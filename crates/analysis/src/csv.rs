@@ -1,0 +1,60 @@
+//! Minimal CSV export (no third-party dependency needed for plain numeric
+//! tables).
+
+use std::fs::File;
+use std::io::{BufWriter, Result, Write};
+use std::path::Path;
+
+/// Writes a header plus numeric rows to `path`.
+pub fn write_csv(path: impl AsRef<Path>, header: &[&str], rows: &[Vec<f64>]) -> Result<()> {
+    let file = File::create(path)?;
+    let mut w = BufWriter::new(file);
+    writeln!(w, "{}", header.join(","))?;
+    for row in rows {
+        assert_eq!(row.len(), header.len(), "CSV row width mismatch");
+        let cells: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
+        writeln!(w, "{}", cells.join(","))?;
+    }
+    w.flush()
+}
+
+/// Renders rows to a CSV string (used by tests and for stdout dumps).
+pub fn to_csv_string(header: &[&str], rows: &[Vec<f64>]) -> String {
+    let mut out = String::new();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for row in rows {
+        assert_eq!(row.len(), header.len(), "CSV row width mismatch");
+        let cells: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
+        out.push_str(&cells.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn string_roundtrip() {
+        let s = to_csv_string(&["a", "b"], &[vec![1.0, 2.5], vec![3.0, 4.0]]);
+        assert_eq!(s, "a,b\n1,2.5\n3,4\n");
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("gcs_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.csv");
+        write_csv(&path, &["x"], &[vec![1.0]]).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "x\n1\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn mismatched_row_rejected() {
+        let _ = to_csv_string(&["a", "b"], &[vec![1.0]]);
+    }
+}

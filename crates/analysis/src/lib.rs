@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! # gcs-analysis
+//!
+//! Measurement, statistics, reporting and parallel sweeps for gradient
+//! clock synchronization experiments.
+//!
+//! * [`metrics`] — global and local skew over simulator snapshots.
+//! * [`recorder`] — time-series recording of an execution (global skew,
+//!   worst local skew, watched-edge skews), with optional invariant
+//!   checking.
+//! * [`stats`] — summary statistics (min/mean/max/percentiles) and simple
+//!   least-squares fits used to check the paper's asymptotic shapes.
+//! * [`table`] — aligned text tables for experiment output.
+//! * [`csv`] — CSV export of recorded series.
+//! * [`sweep`] — embarrassingly parallel parameter sweeps on crossbeam
+//!   scoped threads (one independent simulation per task; no shared
+//!   mutable state, following the hpc-parallel guidance of parallelizing
+//!   the outermost independent loop).
+
+pub mod csv;
+pub mod metrics;
+pub mod recorder;
+pub mod stats;
+pub mod sweep;
+pub mod table;
+
+pub use metrics::{global_skew, local_skews, max_local_skew};
+pub use recorder::{Recorder, Sample};
+pub use stats::Summary;
+pub use sweep::parallel_map;
+pub use table::Table;

@@ -1,0 +1,60 @@
+//! Skew metrics over simulator snapshots.
+
+use gcs_net::Edge;
+use gcs_sim::{Automaton, Simulator};
+
+/// Global skew of a clock vector: `max_u L_u − min_u L_v` (Definition 3.2).
+pub fn global_skew(logical: &[f64]) -> f64 {
+    assert!(!logical.is_empty());
+    let max = logical.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let min = logical.iter().cloned().fold(f64::INFINITY, f64::min);
+    max - min
+}
+
+/// Skew on one edge at the simulator's current time.
+pub fn edge_skew<A: Automaton>(sim: &Simulator<A>, e: Edge) -> f64 {
+    (sim.logical(e.lo()) - sim.logical(e.hi())).abs()
+}
+
+/// `(edge, |L_u − L_v|)` for every edge currently present.
+pub fn local_skews<A: Automaton>(sim: &Simulator<A>) -> Vec<(Edge, f64)> {
+    sim.graph()
+        .edges()
+        .map(|e| (e, edge_skew(sim, e)))
+        .collect()
+}
+
+/// The worst local skew over all currently present edges (0 if none).
+pub fn max_local_skew<A: Automaton>(sim: &Simulator<A>) -> f64 {
+    sim.graph()
+        .edges()
+        .map(|e| edge_skew(sim, e))
+        .fold(0.0, f64::max)
+}
+
+/// The worst local skew restricted to a fixed edge set (edges absent from
+/// the graph are skipped).
+pub fn max_local_skew_over<A: Automaton>(sim: &Simulator<A>, edges: &[Edge]) -> f64 {
+    edges
+        .iter()
+        .filter(|e| sim.graph().contains(**e))
+        .map(|&e| edge_skew(sim, e))
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_skew_spread() {
+        assert_eq!(global_skew(&[1.0, 5.0, 3.0]), 4.0);
+        assert_eq!(global_skew(&[2.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn global_skew_empty_rejected() {
+        let _ = global_skew(&[]);
+    }
+}

@@ -1,0 +1,162 @@
+//! Summary statistics and shape checks.
+//!
+//! The experiments compare *shapes* against the paper's asymptotics
+//! (linear in `n`, proportional to `n/B0`, …), so alongside the usual
+//! summaries we provide a least-squares line fit and a log–log slope
+//! estimate.
+
+/// Five-number-ish summary of a sample.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Number of points.
+    pub count: usize,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (50th percentile).
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+}
+
+impl Summary {
+    /// Summarizes a non-empty sample.
+    pub fn of(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "cannot summarize an empty sample");
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+        let count = sorted.len();
+        Summary {
+            count,
+            min: sorted[0],
+            max: sorted[count - 1],
+            mean: sorted.iter().sum::<f64>() / count as f64,
+            p50: percentile_sorted(&sorted, 0.50),
+            p95: percentile_sorted(&sorted, 0.95),
+        }
+    }
+}
+
+/// Percentile by linear interpolation on a pre-sorted slice.
+pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty() && (0.0..=1.0).contains(&q));
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// Least-squares fit `y ≈ slope·x + intercept`; returns
+/// `(slope, intercept, r²)`.
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> (f64, f64, f64) {
+    assert_eq!(xs.len(), ys.len());
+    assert!(xs.len() >= 2, "need at least two points to fit");
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let syy: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
+    assert!(sxx > 0.0, "x values are all identical");
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let r2 = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    (slope, intercept, r2)
+}
+
+/// Slope of `log y` against `log x` — the empirical power-law exponent.
+/// All inputs must be positive.
+pub fn loglog_slope(xs: &[f64], ys: &[f64]) -> f64 {
+    let lx: Vec<f64> = xs
+        .iter()
+        .map(|&x| {
+            assert!(x > 0.0);
+            x.ln()
+        })
+        .collect();
+    let ly: Vec<f64> = ys
+        .iter()
+        .map(|&y| {
+            assert!(y > 0.0);
+            y.ln()
+        })
+        .collect();
+    linear_fit(&lx, &ly).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basics() {
+        let s = Summary::of(&[3.0, 1.0, 2.0, 4.0, 5.0]);
+        assert_eq!(s.count, 5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        assert!((s.p50 - 3.0).abs() < 1e-12);
+        assert!((s.p95 - 4.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_single_value() {
+        let s = Summary::of(&[7.0]);
+        assert_eq!(s.p50, 7.0);
+        assert_eq!(s.p95, 7.0);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let sorted = [0.0, 10.0];
+        assert!((percentile_sorted(&sorted, 0.5) - 5.0).abs() < 1e-12);
+        assert_eq!(percentile_sorted(&sorted, 0.0), 0.0);
+        assert_eq!(percentile_sorted(&sorted, 1.0), 10.0);
+    }
+
+    #[test]
+    fn linear_fit_exact_line() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [3.0, 5.0, 7.0, 9.0];
+        let (slope, intercept, r2) = linear_fit(&xs, &ys);
+        assert!((slope - 2.0).abs() < 1e-12);
+        assert!((intercept - 1.0).abs() < 1e-12);
+        assert!((r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_fit_r2_degrades_with_noise() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys = [2.0, 4.1, 5.8, 8.2, 9.9];
+        let (_, _, r2) = linear_fit(&xs, &ys);
+        assert!(r2 > 0.99 && r2 < 1.0);
+    }
+
+    #[test]
+    fn loglog_slope_of_power_law() {
+        let xs = [1.0, 2.0, 4.0, 8.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x * x).collect();
+        assert!((loglog_slope(&xs, &ys) - 2.0).abs() < 1e-9);
+        let inv: Vec<f64> = xs.iter().map(|x| 5.0 / x).collect();
+        assert!((loglog_slope(&xs, &inv) + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_summary_rejected() {
+        let _ = Summary::of(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical")]
+    fn degenerate_fit_rejected() {
+        let _ = linear_fit(&[1.0, 1.0], &[2.0, 3.0]);
+    }
+}

@@ -1,0 +1,118 @@
+//! Algorithm-level microbenchmarks: the `on_receive` + `AdjustClock` hot
+//! path of Algorithm 2 at varying neighborhood sizes, and the baseline for
+//! comparison.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gcs_clocks::Time;
+use gcs_core::baseline::MaxSyncNode;
+use gcs_core::{AlgoParams, GradientNode};
+use gcs_net::{node, Edge};
+use gcs_sim::{Automaton, Context, LinkChange, LinkChangeKind, Message, ModelParams, TimerKind};
+
+fn params(n: usize) -> AlgoParams {
+    AlgoParams::with_minimal_b0(ModelParams::new(0.01, 1.0, 2.0), n, 0.5)
+}
+
+/// Preloads a gradient node with `deg` Γ-neighbors.
+fn loaded_node(deg: usize) -> GradientNode {
+    let mut gn = GradientNode::new(params(deg + 2));
+    let mut actions = Vec::new();
+    for i in 1..=deg {
+        let mut ctx = Context::new(node(0), Time::new(1.0), 1.0, &mut actions);
+        gn.on_receive(
+            &mut ctx,
+            node(i),
+            Message {
+                logical: 1.0,
+                max_estimate: 1.0,
+            },
+        );
+        actions.clear();
+    }
+    gn
+}
+
+fn bench_receive_adjust(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gradient_on_receive");
+    for deg in [2usize, 8, 32] {
+        let mut gn = loaded_node(deg);
+        let mut actions = Vec::with_capacity(4);
+        let mut hw = 10.0;
+        group.bench_function(format!("deg{deg}"), |b| {
+            b.iter(|| {
+                hw += 0.01;
+                actions.clear();
+                let mut ctx = Context::new(node(0), Time::new(hw), hw, &mut actions);
+                gn.on_receive(
+                    &mut ctx,
+                    node(1),
+                    Message {
+                        logical: black_box(hw - 0.5),
+                        max_estimate: black_box(hw + 0.5),
+                    },
+                );
+                black_box(gn.logical_clock(hw))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_tick_broadcast(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gradient_tick");
+    for deg in [2usize, 8, 32] {
+        let mut gn = loaded_node(deg);
+        let mut actions = Vec::with_capacity(deg + 2);
+        let mut hw = 10.0;
+        group.bench_function(format!("deg{deg}"), |b| {
+            b.iter(|| {
+                hw += 0.5;
+                actions.clear();
+                let mut ctx = Context::new(node(0), Time::new(hw), hw, &mut actions);
+                gn.on_alarm(&mut ctx, TimerKind::Tick);
+                black_box(actions.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_max_sync_receive(c: &mut Criterion) {
+    let mut ms = MaxSyncNode::new(0.5);
+    let mut actions = Vec::new();
+    {
+        let mut ctx = Context::new(node(0), Time::new(0.5), 0.5, &mut actions);
+        ms.on_discover(
+            &mut ctx,
+            LinkChange {
+                kind: LinkChangeKind::Added,
+                edge: Edge::between(0, 1),
+            },
+        );
+    }
+    let mut hw = 1.0;
+    c.bench_function("max_sync_on_receive", |b| {
+        b.iter(|| {
+            hw += 0.01;
+            actions.clear();
+            let mut ctx = Context::new(node(0), Time::new(hw), hw, &mut actions);
+            ms.on_receive(
+                &mut ctx,
+                node(1),
+                Message {
+                    logical: black_box(hw),
+                    max_estimate: black_box(hw + 0.2),
+                },
+            );
+            black_box(ms.logical_clock(hw))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_receive_adjust,
+    bench_tick_broadcast,
+    bench_max_sync_receive
+);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Microbenchmarks for the clock substrate: rate-schedule evaluation and
+//! inversion (the subjective-timer hot path) and budget evaluation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gcs_clocks::time::at;
+use gcs_clocks::{drift, ClockVar, RateSchedule};
+use gcs_core::budget::aging_budget;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn big_schedule(segments: usize) -> RateSchedule {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut pairs = Vec::with_capacity(segments);
+    let mut t = 0.0;
+    for i in 0..segments {
+        if i > 0 {
+            t += rng.gen_range(0.5..5.0);
+        }
+        pairs.push((t, 1.0 + rng.gen_range(-0.01..0.01)));
+    }
+    RateSchedule::from_pairs(&pairs)
+}
+
+fn bench_schedule_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rate_schedule");
+    for segments in [4usize, 64, 1024] {
+        let sched = big_schedule(segments);
+        let horizon = sched.segments().last().unwrap().start.seconds().max(1.0);
+        group.bench_function(format!("value_at/{segments}seg"), |b| {
+            let mut t = 0.0;
+            b.iter(|| {
+                t = (t + 13.7) % horizon;
+                black_box(sched.value_at(at(t)))
+            })
+        });
+        group.bench_function(format!("time_at_value/{segments}seg"), |b| {
+            let max_h = sched.value_at(at(horizon));
+            let mut h = 0.0;
+            b.iter(|| {
+                h = (h + 11.3) % max_h;
+                black_box(sched.time_at_value(h))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_layered_beta(c: &mut Criterion) {
+    c.bench_function("layered_beta_build", |b| {
+        b.iter(|| black_box(drift::layered_beta(black_box(16), 0.01, 1.0)))
+    });
+}
+
+fn bench_clockvar(c: &mut Criterion) {
+    c.bench_function("clockvar_ops", |b| {
+        let mut v = ClockVar::zeroed();
+        let mut hw = 0.0;
+        b.iter(|| {
+            hw += 0.5;
+            v.raise_to(hw + 1.0, hw);
+            black_box(v.value(hw))
+        })
+    });
+}
+
+fn bench_budget(c: &mut Criterion) {
+    c.bench_function("aging_budget_eval", |b| {
+        let mut dt = 0.0;
+        b.iter(|| {
+            dt = (dt + 7.3) % 1000.0;
+            black_box(aging_budget(black_box(dt), 20.0, 100.0, 0.01, 5.0))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_schedule_eval,
+    bench_layered_beta,
+    bench_clockvar,
+    bench_budget
+);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Engine throughput: events per second on representative workloads.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use gcs_clocks::time::at;
+use gcs_clocks::DriftModel;
+use gcs_core::{AlgoParams, GradientNode};
+use gcs_net::{churn, generators, TopologySchedule};
+use gcs_sim::{DelayStrategy, ModelParams, SimBuilder, Simulator};
+
+fn model() -> ModelParams {
+    ModelParams::new(0.01, 1.0, 2.0)
+}
+
+fn build_ring(n: usize) -> Simulator<GradientNode> {
+    let params = AlgoParams::with_minimal_b0(model(), n, 0.5);
+    SimBuilder::new(model(), TopologySchedule::static_graph(n, generators::ring(n)))
+        .drift(DriftModel::SplitExtremes, 200.0)
+        .delay(DelayStrategy::Uniform { lo: 0.0, hi: 1.0 })
+        .seed(3)
+        .build_with(|_| GradientNode::new(params))
+}
+
+fn bench_ring_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_ring");
+    // Whole-simulation iterations are expensive; bound the bench budget.
+    group
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(8));
+    for n in [16usize, 64, 256] {
+        // Count events once to report meaningful throughput.
+        let mut probe = build_ring(n);
+        probe.run_until(at(50.0));
+        let events = probe.stats().events_processed;
+        group.throughput(Throughput::Elements(events));
+        group.bench_function(format!("n{n}_50s"), |b| {
+            b.iter_batched(
+                || build_ring(n),
+                |mut sim| {
+                    sim.run_until(at(50.0));
+                    black_box(sim.stats().events_processed)
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_churn_throughput(c: &mut Criterion) {
+    let n = 32;
+    let params = AlgoParams::with_minimal_b0(model(), n, 0.5);
+    let mut group = c.benchmark_group("engine_churn");
+    group
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(8));
+    group.bench_function("rotating_star_32_100s", |b| {
+        b.iter_batched(
+            || {
+                let schedule = churn::rotating_star(n, 12.0, 4.0, 100.0);
+                SimBuilder::new(model(), schedule)
+                    .drift(DriftModel::SplitExtremes, 100.0)
+                    .delay(DelayStrategy::Max)
+                    .build_with(|_| GradientNode::new(params))
+            },
+            |mut sim| {
+                sim.run_until(at(100.0));
+                black_box(sim.stats().events_processed)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ring_throughput, bench_churn_throughput);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Microbenchmarks for the dynamic-graph substrate: generation, distance
+//! computation, and T-interval connectivity verification.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gcs_clocks::time::at;
+use gcs_clocks::Duration;
+use gcs_net::{churn, connectivity, distance, generators, node, TopologySchedule};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    group.bench_function("path_1024", |b| b.iter(|| black_box(generators::path(1024))));
+    group.bench_function("grid_32x32", |b| b.iter(|| black_box(generators::grid(32, 32))));
+    group.bench_function("two_chain_256", |b| {
+        b.iter(|| black_box(generators::TwoChain::new(256).edges()))
+    });
+    group.finish();
+}
+
+fn bench_distance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distance");
+    let grid = generators::grid(32, 32);
+    group.bench_function("bfs_grid_1024", |b| {
+        b.iter(|| black_box(distance::bfs_distance(1024, grid.iter().copied(), node(0))))
+    });
+    let ring = generators::ring(512);
+    group.bench_function("diameter_ring_512", |b| {
+        b.iter(|| black_box(distance::diameter(512, ring.iter().copied())))
+    });
+    group.finish();
+}
+
+fn bench_connectivity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("connectivity");
+    let n = 64;
+    let star = churn::rotating_star(n, 12.0, 4.0, 400.0);
+    group.bench_function("interval_check_rotating_star_64", |b| {
+        b.iter(|| {
+            black_box(connectivity::is_interval_connected(
+                &star,
+                Duration::new(3.0),
+                at(400.0),
+            ))
+        })
+    });
+    let staggered = churn::staggered_ring(n, 8.0, 2.0, 5.0, 400.0);
+    group.bench_function("interval_check_staggered_ring_64", |b| {
+        b.iter(|| {
+            black_box(connectivity::is_interval_connected(
+                &staggered,
+                Duration::new(2.0),
+                at(400.0),
+            ))
+        })
+    });
+    let mut rng = StdRng::seed_from_u64(5);
+    let edges = generators::gnp_connected(256, 0.05, &mut rng);
+    let sched = TopologySchedule::static_graph(256, edges);
+    group.bench_function("edges_at_static_256", |b| {
+        b.iter(|| black_box(sched.edges_at(at(100.0)).len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators, bench_distance, bench_connectivity);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! E8 — ablations of the budget function's design (initial value, slope,
+//! assumed `n`, resend interval).
+//!
+//! `cargo run --release -p gcs-bench --bin exp_ablations`
+
+use gcs_bench::e8_ablations as e8;
+use gcs_sim::ModelParams;
+
+fn main() {
+    let config = e8::Config::default();
+    println!("why the budget looks the way it does — each ablation breaks one design choice.\n");
+
+    let cells = e8::run_initial_budget(&config);
+    e8::render_cells(
+        "E8a — initial budget B(0) (paper: 5G(n) + (1+rho)tau + B0 > any possible skew)",
+        &cells,
+    )
+    .print();
+    println!();
+
+    let cells = e8::run_slope(&config);
+    e8::render_cells(
+        "E8b — hardening slope (paper: B0 / ((1+rho)tau))",
+        &cells,
+    )
+    .print();
+    println!();
+
+    let cells = e8::run_wrong_n(&config);
+    e8::render_cells("E8c — assumed n (paper: nodes know n)", &cells).print();
+    println!();
+
+    let cells = e8::run_delta_h(ModelParams::new(0.01, 1.0, 2.0), 32, &[0.25, 0.5, 1.0, 1.9]);
+    e8::render_delta_h(&cells).print();
+    println!();
+    println!("readings: a lag of ~0 means nobody was blocked; '—' means the bridge never");
+    println!("settled within the window. Underestimating B(0), over-fast hardening and");
+    println!("underestimating n all reintroduce the blocking failure of the constant budget.");
+}

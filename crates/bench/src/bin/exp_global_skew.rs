@@ -1,0 +1,18 @@
+//! E1 — Theorem 6.9: global skew vs `n`.
+//!
+//! `cargo run --release -p gcs-bench --bin exp_global_skew`
+
+use gcs_bench::e1_global_skew as e1;
+
+fn main() {
+    let config = e1::Config::default();
+    println!(
+        "paper claim: global skew <= G(n) = ((1+rho)T + 2 rho D)(n-1) at all times (Theorem 6.9)\n"
+    );
+    let outcome = e1::run(&config);
+    e1::render(&outcome).print();
+    let (slope, intercept, r2) = outcome.fit;
+    println!();
+    println!("linear fit of measured skew vs n: slope = {slope:.4}, intercept = {intercept:.3}, r^2 = {r2:.4}");
+    println!("expected shape: linear in n (r^2 close to 1), always below the bound.");
+}

@@ -1,0 +1,23 @@
+//! E9 — the skew gradient: worst pairwise skew as a function of hop
+//! distance.
+//!
+//! `cargo run --release -p gcs-bench --bin exp_gradient_profile`
+
+use gcs_bench::e9_gradient_profile as e9;
+
+fn main() {
+    println!("the gradient property: neighbor clocks are tight; skew grows with distance");
+    println!("toward (but below) the global bound.\n");
+    let configs: Vec<e9::Config> = [32usize, 64, 128]
+        .iter()
+        .map(|&n| e9::Config {
+            n,
+            distances: vec![1, 2, 4, 8, 16, 32, 64, 127],
+            ..e9::Config::default()
+        })
+        .collect();
+    for (n, rows) in e9::run_multi(&configs) {
+        e9::render(n, &rows).print();
+        println!();
+    }
+}

@@ -1,0 +1,22 @@
+//! E2 — Corollary 6.13: dynamic local skew decay on a new edge.
+//!
+//! `cargo run --release -p gcs-bench --bin exp_local_skew`
+
+use gcs_bench::e2_local_skew as e2;
+
+fn main() {
+    let config = e2::Config::default();
+    println!("paper claim: an edge of age dt carries skew at most");
+    println!("  s(n, dt) = B((1-rho)(dt - dT - D - W)+) + 2 rho W   (Corollary 6.13)");
+    println!("independently of its initial skew, while old edges stay within the stable bound.\n");
+    let outcome = e2::run(&config);
+    e2::render(&outcome).print();
+    println!();
+    println!(
+        "W = {:.1}, budget settle age = {:.1}, stable bound = {:.3}",
+        outcome.params.w(),
+        outcome.params.budget_settle_age(),
+        outcome.stable_bound
+    );
+    println!("expected shape: bridge skew decays below the (also decaying) envelope; old edges flat.");
+}

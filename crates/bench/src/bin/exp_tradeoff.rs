@@ -1,0 +1,19 @@
+//! E3 — Corollary 6.14: stabilization time ∝ n/B0.
+//!
+//! `cargo run --release -p gcs-bench --bin exp_tradeoff`
+
+use gcs_bench::e3_tradeoff as e3;
+
+fn main() {
+    let config = e3::Config::default();
+    println!("paper claim: for B0 >= lambda sqrt(rho n), the stable local skew is O(B0) and the");
+    println!("time to reach it on a new edge is O(n/B0) — matching the Omega(n/s) lower bound");
+    println!("(Corollary 6.14). Doubling B0 should roughly halve the settle time.\n");
+    let outcome = e3::run(&config);
+    e3::render(&outcome).print();
+    println!();
+    println!(
+        "log-log slope of settle time vs B0 (largest n): {:.3}  (expected ~ -1)",
+        outcome.slope_vs_b0
+    );
+}

@@ -1,0 +1,14 @@
+//! E10 — the weighted-graph extension (paper §7).
+//!
+//! `cargo run --release -p gcs-bench --bin exp_weighted`
+
+use gcs_bench::e10_weighted as e10;
+
+fn main() {
+    println!("weighted edges (paper §7): an edge's weight scales its stable budget to B0·w,");
+    println!("so tight links (reference broadcast, w << 1) get proportionally tighter skew.");
+    println!("The budgets bind during skew absorption, so down-weighting the old edges of the");
+    println!("merge scenario shrinks their peak skew and slows the bridge closure in step.\n");
+    let points = e10::run(&e10::Config::default());
+    e10::render(&points).print();
+}

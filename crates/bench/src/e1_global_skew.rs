@@ -1,0 +1,130 @@
+//! E1 — Theorem 6.9: the algorithm guarantees a global skew of
+//! `G(n) = ((1+ρ)T + 2ρD)(n−1)` at all times.
+//!
+//! We sweep `n` over paths (worst diameter) under the block-split drift
+//! adversary (the left half of the path at `1+ρ`, the right half at
+//! `1−ρ`, so skew accumulates across the whole diameter) and maximal
+//! message delays, measure the peak global skew over a long horizon, and
+//! check (a) the bound holds, (b) the measured skew grows linearly in `n`
+//! (the paper's shape), via a least-squares fit.
+
+use gcs_analysis::stats::linear_fit;
+use gcs_analysis::{parallel_map, Recorder, Table};
+use gcs_clocks::time::at;
+use gcs_clocks::DriftModel;
+use gcs_core::{AlgoParams, GradientNode, InvariantMonitor};
+use gcs_net::{generators, TopologySchedule};
+use gcs_sim::{DelayStrategy, ModelParams, SimBuilder};
+
+/// Configuration for E1.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Node counts to sweep.
+    pub ns: Vec<usize>,
+    /// Model parameters.
+    pub model: ModelParams,
+    /// Subjective resend interval.
+    pub delta_h: f64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            ns: vec![8, 16, 32, 64, 128],
+            model: ModelParams::new(0.01, 1.0, 2.0),
+            delta_h: 0.5,
+        }
+    }
+}
+
+/// One sweep point.
+#[derive(Clone, Debug)]
+pub struct Point {
+    /// Node count.
+    pub n: usize,
+    /// Peak measured global skew.
+    pub measured: f64,
+    /// The bound `G(n)`.
+    pub bound: f64,
+    /// Invariant violations observed (must be 0).
+    pub violations: usize,
+}
+
+/// Full result of the sweep.
+#[derive(Clone, Debug)]
+pub struct Outcome {
+    /// Per-`n` measurements.
+    pub points: Vec<Point>,
+    /// Least-squares fit of measured skew against `n`: (slope, intercept,
+    /// r²).
+    pub fit: (f64, f64, f64),
+}
+
+/// Runs the sweep (parallel over `n`).
+pub fn run(config: &Config) -> Outcome {
+    let points = parallel_map(&config.ns, |&n| {
+        let params = AlgoParams::with_minimal_b0(config.model, n, config.delta_h);
+        // Long enough for the worst-case skew profile to form across the
+        // whole diameter.
+        let horizon = 8.0 * n as f64 + 200.0;
+        let schedule = TopologySchedule::static_graph(n, generators::path(n));
+        let mut sim = SimBuilder::new(config.model, schedule)
+            .drift(DriftModel::FastUpTo(n / 2), horizon)
+            .delay(DelayStrategy::Max)
+            .build_with(|_| GradientNode::new(params));
+        let mut rec = Recorder::new(2.0).with_monitor(InvariantMonitor::new(params));
+        rec.run(&mut sim, at(horizon));
+        Point {
+            n,
+            measured: rec.peak_global_skew(),
+            bound: params.global_skew_bound(),
+            violations: rec.monitor().unwrap().violations().len(),
+        }
+    });
+    let xs: Vec<f64> = points.iter().map(|p| p.n as f64).collect();
+    let ys: Vec<f64> = points.iter().map(|p| p.measured).collect();
+    let fit = linear_fit(&xs, &ys);
+    Outcome { points, fit }
+}
+
+/// Renders the paper-vs-measured table.
+pub fn render(outcome: &Outcome) -> Table {
+    let mut t = Table::new(
+        "E1 / Theorem 6.9 — global skew vs n (path, split drift, max delays)",
+        &["n", "G(n) bound", "measured peak", "measured/bound", "violations"],
+    );
+    for p in &outcome.points {
+        t.row(&[
+            p.n.to_string(),
+            format!("{:.2}", p.bound),
+            format!("{:.2}", p.measured),
+            format!("{:.3}", p.measured / p.bound),
+            p.violations.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_sweep_respects_bound_and_is_linear() {
+        let config = Config {
+            ns: vec![8, 16, 32],
+            ..Config::default()
+        };
+        let out = run(&config);
+        for p in &out.points {
+            assert_eq!(p.violations, 0, "n={} had violations", p.n);
+            assert!(p.measured <= p.bound, "n={}: {} > {}", p.n, p.measured, p.bound);
+            assert!(p.measured > 0.0);
+        }
+        // Shape: linear fit of measured vs n explains the data well and
+        // has positive slope.
+        let (slope, _, r2) = out.fit;
+        assert!(slope > 0.0, "skew should grow with n");
+        assert!(r2 > 0.9, "expected near-linear growth, r² = {r2}");
+    }
+}

@@ -1,0 +1,43 @@
+//! # gcs-bench
+//!
+//! The experiment harness: one module per quantitative claim of the paper
+//! (see `DESIGN.md` §4 for the experiment index). Each experiment exposes
+//! a `run(config) -> ...Result` function plus a default configuration, and
+//! the binaries in `src/bin/` are thin wrappers that print the
+//! paper-vs-measured tables. Criterion microbenchmarks live in `benches/`.
+//!
+//! | id | claim | module |
+//! |----|-------|--------|
+//! | E1 | Theorem 6.9 — global skew `≤ G(n)`, linear in `n` | [`e1_global_skew`] |
+//! | E2 | Corollary 6.13 — dynamic local skew decay on a new edge | [`e2_local_skew`] |
+//! | E3 | Corollary 6.14 — stabilization time ∝ `n/B0` | [`e3_tradeoff`] |
+//! | E4 | Theorem 4.1 / Figure 1 — the two-chain lower-bound scenario | [`e4_lowerbound`] |
+//! | E5 | Lemma 4.2 — masking builds `≥ T·d/4` skew with legal delays | [`e5_masking`] |
+//! | E6 | Lemma 6.8 — max-estimate propagation under churn | [`e6_max_prop`] |
+//! | E7 | §1 — baseline comparison (aging vs constant budget vs max-sync) | [`e7_baselines`] |
+
+pub mod e1_global_skew;
+pub mod scenario;
+pub mod e2_local_skew;
+pub mod e3_tradeoff;
+pub mod e4_lowerbound;
+pub mod e5_masking;
+pub mod e6_max_prop;
+pub mod e7_baselines;
+pub mod e10_weighted;
+pub mod e8_ablations;
+pub mod e9_gradient_profile;
+
+use gcs_sim::ModelParams;
+
+/// The model parameters shared by the experiments unless a claim needs a
+/// different drift regime: `ρ = 0.01`, `T = 1`, `D = 2`.
+pub fn default_model() -> ModelParams {
+    ModelParams::new(0.01, 1.0, 2.0)
+}
+
+/// A high-drift regime (`ρ = 0.05`) used where visible skew must build up
+/// quickly (local-skew decay, tradeoff, baselines).
+pub fn high_drift_model() -> ModelParams {
+    ModelParams::new(0.05, 1.0, 2.0)
+}

@@ -1,0 +1,106 @@
+//! Shared experiment scenarios.
+//!
+//! The *cluster merge* is the workload behind E2, E3 and E7 (and the
+//! paper's motivating story): two halves of the network evolve separately
+//! — one on fast hardware clocks, one on slow — so their logical clocks
+//! drift apart at rate `2ρ`; at `t_bridge` an edge joins them, instantly
+//! carrying skew `≈ 2ρ·t_bridge`. Scaling `t_bridge` with `n` yields the
+//! `Θ(n)` initial skew of the paper's analysis with an honest execution
+//! (clocks all start at 0; the skew is genuinely accumulated, not
+//! injected).
+
+use gcs_clocks::HardwareClock;
+use gcs_net::schedule::add_at;
+use gcs_net::{Edge, TopologySchedule};
+use gcs_sim::ModelParams;
+
+/// A cluster-merge workload.
+#[derive(Clone, Debug)]
+pub struct Merge {
+    /// Schedule: two disjoint paths, bridged at `t_bridge`.
+    pub schedule: TopologySchedule,
+    /// Per-node hardware clocks (left half fast, right half slow).
+    pub clocks: Vec<HardwareClock>,
+    /// The bridge edge.
+    pub bridge: Edge,
+    /// The pre-existing edges.
+    pub old_edges: Vec<Edge>,
+    /// When the bridge appears.
+    pub t_bridge: f64,
+}
+
+/// Builds a cluster merge over `n` nodes (`n ≥ 4`, even split).
+///
+/// The left cluster is nodes `0..n/2`, the right cluster `n/2..n`; the
+/// bridge is `{n/2 − 1, n/2}`. Hardware rates: the left cluster runs at
+/// `1+ρ` **except its bridge endpoint `n/2 − 1`, which runs at `1−ρ`** —
+/// it tracks the fast cluster's max by *chasing* (discrete jumps), so any
+/// mechanism that blocks jumping shows up as a measurable `Lmax − L` lag
+/// there. The right cluster runs at `1−ρ`. Expected skew on the bridge at
+/// formation: `≈ 2ρ·t_bridge`.
+pub fn merge(n: usize, model: ModelParams, t_bridge: f64) -> Merge {
+    assert!(n >= 4, "merge scenario needs n >= 4");
+    let half = n / 2;
+    let bridge = Edge::between(half - 1, half);
+    let mut old_edges: Vec<Edge> = (0..half - 1).map(|i| Edge::between(i, i + 1)).collect();
+    old_edges.extend((half..n - 1).map(|i| Edge::between(i, i + 1)));
+    let schedule = TopologySchedule::static_graph(n, old_edges.clone())
+        .with_extra_events(vec![add_at(t_bridge, bridge)]);
+    let clocks = (0..n)
+        .map(|i| {
+            let rate = if i < half - 1 {
+                1.0 + model.rho
+            } else {
+                1.0 - model.rho
+            };
+            HardwareClock::constant(rate, model.rho)
+        })
+        .collect();
+    Merge {
+        schedule,
+        clocks,
+        bridge,
+        old_edges,
+        t_bridge,
+    }
+}
+
+/// The `t_bridge` that yields initial bridge skew ≈ `target_skew`.
+pub fn t_bridge_for_skew(model: ModelParams, target_skew: f64) -> f64 {
+    assert!(target_skew > 0.0);
+    target_skew / (2.0 * model.rho)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcs_clocks::time::at;
+    use gcs_core::{AlgoParams, GradientNode};
+    use gcs_sim::{DelayStrategy, SimBuilder};
+
+    #[test]
+    fn merge_accumulates_predicted_skew() {
+        let model = ModelParams::new(0.05, 1.0, 2.0);
+        let n = 16;
+        let m = merge(n, model, 200.0);
+        let params = AlgoParams::with_minimal_b0(model, n, 0.5);
+        let mut sim = SimBuilder::new(model, m.schedule.clone())
+            .clocks(m.clocks.clone())
+            .delay(DelayStrategy::Max)
+            .build_with(|_| GradientNode::new(params));
+        sim.run_until(at(200.0));
+        let skew = (sim.logical(m.bridge.lo()) - sim.logical(m.bridge.hi())).abs();
+        let predicted = 2.0 * model.rho * 200.0;
+        assert!(
+            (skew - predicted).abs() < predicted * 0.15,
+            "skew {skew} vs predicted {predicted}"
+        );
+    }
+
+    #[test]
+    fn t_bridge_helper_inverts() {
+        let model = ModelParams::new(0.05, 1.0, 2.0);
+        let t = t_bridge_for_skew(model, 30.0);
+        assert!((2.0 * model.rho * t - 30.0).abs() < 1e-9);
+    }
+}

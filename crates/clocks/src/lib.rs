@@ -1,0 +1,84 @@
+#![warn(missing_docs)]
+
+//! # gcs-clocks
+//!
+//! Time representation and hardware-clock modelling for the gradient clock
+//! synchronization library (Kuhn, Locher, Oshman: *Gradient Clock
+//! Synchronization in Dynamic Networks*, SPAA 2009).
+//!
+//! The paper's model gives every node a continuous hardware clock `H_u(t)`
+//! whose rate always lies in `[1−ρ, 1+ρ]` relative to real time. This crate
+//! provides:
+//!
+//! * [`Time`] and [`Duration`] — thin, totally-ordered newtypes over `f64`
+//!   real time (NaN is rejected at construction).
+//! * [`RateSchedule`] — an *exact* piecewise-constant rate function with
+//!   forward evaluation (`H(t)`) and inversion (`H⁻¹(h)`), the primitive
+//!   that lets the simulator fire subjective timers (`set_timer` in the
+//!   paper's Algorithm 2) at exactly the right real time.
+//! * [`HardwareClock`] — a rate schedule anchored at `H(0) = 0`, matching
+//!   the paper's convention that all hardware clocks start at zero.
+//! * [`drift`] — generators for drift patterns: constant, random-walk,
+//!   two-phase adversarial, and the layered schedules used by the paper's
+//!   lower-bound executions (Lemma 4.2).
+//! * [`ClockVar`] — the offset-from-hardware representation of algorithm
+//!   variables (`L_u`, `Lmax_u`, `L^v_u`) that grow at the hardware rate
+//!   between discrete events.
+
+pub mod drift;
+pub mod hardware;
+pub mod rate;
+pub mod time;
+pub mod var;
+
+pub use drift::DriftModel;
+pub use hardware::HardwareClock;
+pub use rate::{RateSchedule, RateSegment};
+pub use time::{Duration, Time};
+pub use var::ClockVar;
+
+/// Maximum drift `ρ` values accepted by this library.
+///
+/// The paper requires the logical clock rate to be at least `1/2`; since the
+/// algorithm never slows the logical clock below the hardware rate `1−ρ`,
+/// any `ρ ≤ 1/2` is sound. We cap at `0.5`.
+pub const MAX_RHO: f64 = 0.5;
+
+/// Validates a drift bound `ρ`, panicking with a descriptive message if the
+/// value is outside `(0, MAX_RHO]` or not finite.
+pub fn validate_rho(rho: f64) {
+    assert!(
+        rho.is_finite() && rho > 0.0 && rho <= MAX_RHO,
+        "drift bound rho must lie in (0, {MAX_RHO}], got {rho}"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_rho_accepts_typical_values() {
+        validate_rho(1e-6);
+        validate_rho(0.01);
+        validate_rho(0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "drift bound")]
+    fn validate_rho_rejects_zero() {
+        validate_rho(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "drift bound")]
+    fn validate_rho_rejects_large() {
+        validate_rho(0.75);
+    }
+
+    #[test]
+    #[should_panic(expected = "drift bound")]
+    fn validate_rho_rejects_nan() {
+        validate_rho(f64::NAN);
+    }
+}

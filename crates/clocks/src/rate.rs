@@ -1,0 +1,284 @@
+//! Exact piecewise-constant clock-rate schedules.
+//!
+//! The paper's hardware clocks have a *variable* rate bounded in
+//! `[1−ρ, 1+ρ]`. We model the rate as a piecewise-constant function of real
+//! time, fixed for the whole execution. This supports everything the paper
+//! needs:
+//!
+//! * arbitrary adversarial drift (any measurable rate function can be
+//!   approximated piecewise; the lower-bound constructions in the paper are
+//!   themselves piecewise-constant),
+//! * exact forward evaluation `H(t) = ∫₀ᵗ rate`, and
+//! * exact inversion `H⁻¹(h)`, required to fire subjective timers: if a node
+//!   calls `set_timer(Δt)` at real time `t`, the alarm fires at the real time
+//!   `t'` with `H(t') = H(t) + Δt`.
+
+use crate::time::Time;
+
+/// One constant-rate segment: the clock runs at `rate` from `start` until
+/// the start of the next segment (or forever, for the last one).
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RateSegment {
+    /// Real time at which this segment begins.
+    pub start: Time,
+    /// Clock rate during the segment (must be `> 0`).
+    pub rate: f64,
+}
+
+/// A piecewise-constant rate function anchored at `H(0) = 0`.
+///
+/// Invariants (enforced at construction):
+/// * the first segment starts at `Time::ZERO`,
+/// * segment starts are strictly increasing,
+/// * every rate is finite and strictly positive.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RateSchedule {
+    segments: Vec<RateSegment>,
+    /// `cumulative[i]` = clock value at the start of segment `i`.
+    cumulative: Vec<f64>,
+}
+
+impl RateSchedule {
+    /// A schedule with a single constant rate.
+    pub fn constant(rate: f64) -> Self {
+        Self::from_segments(vec![RateSegment {
+            start: Time::ZERO,
+            rate,
+        }])
+    }
+
+    /// The identity schedule: the clock tracks real time exactly.
+    pub fn real_time() -> Self {
+        Self::constant(1.0)
+    }
+
+    /// Builds a schedule from explicit segments, validating all invariants.
+    pub fn from_segments(segments: Vec<RateSegment>) -> Self {
+        assert!(!segments.is_empty(), "rate schedule needs >= 1 segment");
+        assert_eq!(
+            segments[0].start,
+            Time::ZERO,
+            "first rate segment must start at time 0"
+        );
+        for w in segments.windows(2) {
+            assert!(
+                w[0].start < w[1].start,
+                "rate segment starts must be strictly increasing: {:?} then {:?}",
+                w[0],
+                w[1]
+            );
+        }
+        for seg in &segments {
+            assert!(
+                seg.rate.is_finite() && seg.rate > 0.0,
+                "clock rates must be finite and positive, got {}",
+                seg.rate
+            );
+        }
+        let mut cumulative = Vec::with_capacity(segments.len());
+        let mut acc = 0.0f64;
+        for (i, seg) in segments.iter().enumerate() {
+            cumulative.push(acc);
+            if i + 1 < segments.len() {
+                let span = segments[i + 1].start - seg.start;
+                acc += seg.rate * span.seconds();
+            }
+        }
+        RateSchedule {
+            segments,
+            cumulative,
+        }
+    }
+
+    /// Builds a schedule from `(start_seconds, rate)` pairs.
+    pub fn from_pairs(pairs: &[(f64, f64)]) -> Self {
+        Self::from_segments(
+            pairs
+                .iter()
+                .map(|&(s, r)| RateSegment {
+                    start: Time::new(s),
+                    rate: r,
+                })
+                .collect(),
+        )
+    }
+
+    /// The segments of this schedule.
+    pub fn segments(&self) -> &[RateSegment] {
+        &self.segments
+    }
+
+    /// Index of the segment containing real time `t`.
+    fn segment_index(&self, t: Time) -> usize {
+        debug_assert!(t.is_valid_sim_time(), "queried schedule at {t:?}");
+        // partition_point returns the first segment starting after t;
+        // the containing segment is the one before it.
+        self.segments.partition_point(|seg| seg.start <= t) - 1
+    }
+
+    /// Instantaneous rate at real time `t`.
+    pub fn rate_at(&self, t: Time) -> f64 {
+        self.segments[self.segment_index(t)].rate
+    }
+
+    /// Clock value at real time `t`: `H(t) = ∫₀ᵗ rate(s) ds`.
+    pub fn value_at(&self, t: Time) -> f64 {
+        let i = self.segment_index(t);
+        let seg = self.segments[i];
+        self.cumulative[i] + seg.rate * (t - seg.start).seconds()
+    }
+
+    /// Inverse evaluation: the unique real time `t` with `H(t) = h`.
+    ///
+    /// Rates are strictly positive, so `H` is strictly increasing and the
+    /// inverse is well defined for all `h ≥ 0`.
+    pub fn time_at_value(&self, h: f64) -> Time {
+        assert!(h.is_finite() && h >= 0.0, "clock values are >= 0, got {h}");
+        // Find the last segment whose starting clock value is <= h.
+        let i = self.cumulative.partition_point(|&c| c <= h) - 1;
+        let seg = self.segments[i];
+        Time::new(seg.start.seconds() + (h - self.cumulative[i]) / seg.rate)
+    }
+
+    /// Real time at which the clock will have advanced by `delta` beyond its
+    /// value at time `t` (the subjective-timer primitive).
+    pub fn time_after_advance(&self, t: Time, delta: f64) -> Time {
+        assert!(
+            delta.is_finite() && delta >= 0.0,
+            "subjective advance must be >= 0, got {delta}"
+        );
+        self.time_at_value(self.value_at(t) + delta)
+    }
+
+    /// Minimum rate over the whole schedule.
+    pub fn min_rate(&self) -> f64 {
+        self.segments
+            .iter()
+            .map(|s| s.rate)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum rate over the whole schedule.
+    pub fn max_rate(&self) -> f64 {
+        self.segments
+            .iter()
+            .map(|s| s.rate)
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Checks that every rate lies within the drift bound `[1−ρ, 1+ρ]`.
+    pub fn respects_drift_bound(&self, rho: f64) -> bool {
+        // Tiny epsilon absorbs construction round-off (e.g. 1.0 - 0.01).
+        let eps = 1e-12;
+        self.min_rate() >= 1.0 - rho - eps && self.max_rate() <= 1.0 + rho + eps
+    }
+
+    /// Clock advance over the real-time interval `[t1, t2]`.
+    pub fn advance_over(&self, t1: Time, t2: Time) -> f64 {
+        assert!(t1 <= t2, "interval must be ordered: {t1:?} > {t2:?}");
+        self.value_at(t2) - self.value_at(t1)
+    }
+
+    /// Number of segments (useful for diagnostics and benches).
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Always false: schedules have at least one segment.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+impl Default for RateSchedule {
+    fn default() -> Self {
+        Self::real_time()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::at;
+
+    #[test]
+    fn constant_schedule_is_linear() {
+        let s = RateSchedule::constant(1.5);
+        assert_eq!(s.value_at(at(0.0)), 0.0);
+        assert!((s.value_at(at(4.0)) - 6.0).abs() < 1e-12);
+        assert_eq!(s.rate_at(at(100.0)), 1.5);
+    }
+
+    #[test]
+    fn piecewise_values_accumulate() {
+        // rate 1.0 on [0,10), 2.0 on [10,20), 0.5 afterwards
+        let s = RateSchedule::from_pairs(&[(0.0, 1.0), (10.0, 2.0), (20.0, 0.5)]);
+        assert!((s.value_at(at(10.0)) - 10.0).abs() < 1e-12);
+        assert!((s.value_at(at(15.0)) - 20.0).abs() < 1e-12);
+        assert!((s.value_at(at(20.0)) - 30.0).abs() < 1e-12);
+        assert!((s.value_at(at(24.0)) - 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inversion_roundtrips() {
+        let s = RateSchedule::from_pairs(&[(0.0, 0.99), (5.0, 1.01), (12.0, 1.0)]);
+        for &t in &[0.0, 1.0, 4.999, 5.0, 7.3, 12.0, 100.0] {
+            let h = s.value_at(at(t));
+            let back = s.time_at_value(h);
+            assert!(
+                (back.seconds() - t).abs() < 1e-9,
+                "t={t} h={h} back={back:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn time_after_advance_matches_forward_eval() {
+        let s = RateSchedule::from_pairs(&[(0.0, 1.0), (3.0, 1.02), (9.0, 0.98)]);
+        let t0 = at(2.0);
+        let fire = s.time_after_advance(t0, 10.0);
+        let advanced = s.value_at(fire) - s.value_at(t0);
+        assert!((advanced - 10.0).abs() < 1e-9);
+        assert!(fire > t0);
+    }
+
+    #[test]
+    fn drift_bound_check() {
+        let s = RateSchedule::from_pairs(&[(0.0, 0.99), (1.0, 1.01)]);
+        assert!(s.respects_drift_bound(0.01));
+        assert!(!s.respects_drift_bound(0.005));
+    }
+
+    #[test]
+    fn rate_bounds() {
+        let s = RateSchedule::from_pairs(&[(0.0, 0.97), (1.0, 1.03), (2.0, 1.0)]);
+        assert_eq!(s.min_rate(), 0.97);
+        assert_eq!(s.max_rate(), 1.03);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn advance_over_interval() {
+        let s = RateSchedule::from_pairs(&[(0.0, 1.0), (10.0, 2.0)]);
+        assert!((s.advance_over(at(5.0), at(15.0)) - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unordered_segments_rejected() {
+        let _ = RateSchedule::from_pairs(&[(0.0, 1.0), (5.0, 1.0), (5.0, 1.1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_rejected() {
+        let _ = RateSchedule::from_pairs(&[(0.0, 0.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "start at time 0")]
+    fn late_first_segment_rejected() {
+        let _ = RateSchedule::from_pairs(&[(1.0, 1.0)]);
+    }
+}

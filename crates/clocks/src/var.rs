@@ -1,0 +1,140 @@
+//! Offset-from-hardware representation of clock-valued variables.
+//!
+//! Algorithm 2 keeps several variables that "between events … are increased
+//! at the rate of u's hardware clock": the logical clock `L_u`, the max
+//! estimate `Lmax_u`, and the per-neighbor estimates `L^v_u`. Rather than
+//! numerically integrating those between events, we store each variable as
+//! an *offset from the node's own hardware clock*:
+//!
+//! ```text
+//!     var(t) = H_u(t) + offset
+//! ```
+//!
+//! The offset changes only at discrete events, so inter-event growth at the
+//! hardware rate is exact by construction.
+
+/// A clock-valued variable that grows at the owner's hardware rate between
+/// events, represented as an offset from the hardware clock.
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ClockVar {
+    offset: f64,
+}
+
+impl ClockVar {
+    /// A variable that currently reads exactly the hardware clock
+    /// (offset 0). With `H(0) = 0` this is also the correct initial state
+    /// for `L_u` and `Lmax_u`, both of which start at 0.
+    pub fn zeroed() -> Self {
+        ClockVar { offset: 0.0 }
+    }
+
+    /// A variable that reads `value` when the hardware clock reads `hw`.
+    pub fn with_value(value: f64, hw: f64) -> Self {
+        assert!(value.is_finite() && hw.is_finite());
+        ClockVar { offset: value - hw }
+    }
+
+    /// Current value given the owner's hardware clock reading.
+    #[inline]
+    pub fn value(&self, hw: f64) -> f64 {
+        hw + self.offset
+    }
+
+    /// The raw offset (mainly for diagnostics/serialization).
+    #[inline]
+    pub fn offset(&self) -> f64 {
+        self.offset
+    }
+
+    /// Sets the variable to read `value` at hardware reading `hw`.
+    ///
+    /// Panics if this would move the variable backwards — the paper's
+    /// logical clocks are strictly increasing and never decreased by
+    /// discrete events.
+    #[inline]
+    pub fn set(&mut self, value: f64, hw: f64) {
+        debug_assert!(
+            value + 1e-9 >= self.value(hw),
+            "clock variable would decrease: {} -> {} (hw={})",
+            self.value(hw),
+            value,
+            hw
+        );
+        self.offset = value - hw;
+    }
+
+    /// Sets the variable to `max(current, value)` — the monotone update used
+    /// for `Lmax_u` on message receipt (line 21 of Algorithm 2).
+    #[inline]
+    pub fn raise_to(&mut self, value: f64, hw: f64) {
+        if value > self.value(hw) {
+            self.offset = value - hw;
+        }
+    }
+
+    /// Unconditionally overwrites the value. Used when installing a fresh
+    /// neighbor estimate `L^v_u ← L_v` (line 20), which may legitimately be
+    /// below the previous estimate for a different epoch of the edge.
+    #[inline]
+    pub fn overwrite(&mut self, value: f64, hw: f64) {
+        self.offset = value - hw;
+    }
+}
+
+impl Default for ClockVar {
+    fn default() -> Self {
+        Self::zeroed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grows_with_hardware_clock() {
+        let v = ClockVar::with_value(10.0, 3.0);
+        assert!((v.value(3.0) - 10.0).abs() < 1e-12);
+        // hardware advanced by 4 => variable advanced by 4
+        assert!((v.value(7.0) - 14.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zeroed_tracks_hardware() {
+        let v = ClockVar::zeroed();
+        assert_eq!(v.value(0.0), 0.0);
+        assert_eq!(v.value(5.5), 5.5);
+        assert_eq!(v.offset(), 0.0);
+    }
+
+    #[test]
+    fn raise_to_is_monotone() {
+        let mut v = ClockVar::with_value(10.0, 0.0);
+        v.raise_to(8.0, 0.0); // ignored, below current
+        assert_eq!(v.value(0.0), 10.0);
+        v.raise_to(12.0, 0.0);
+        assert_eq!(v.value(0.0), 12.0);
+    }
+
+    #[test]
+    fn set_moves_forward() {
+        let mut v = ClockVar::with_value(10.0, 2.0);
+        v.set(15.0, 2.0);
+        assert_eq!(v.value(2.0), 15.0);
+    }
+
+    #[test]
+    fn overwrite_may_go_backward() {
+        let mut v = ClockVar::with_value(10.0, 0.0);
+        v.overwrite(4.0, 0.0);
+        assert_eq!(v.value(0.0), 4.0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "decrease")]
+    fn set_backwards_panics_in_debug() {
+        let mut v = ClockVar::with_value(10.0, 0.0);
+        v.set(5.0, 0.0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests for the clock substrate.
+//!
+//! These encode the model axioms of Section 3.3 of the paper as executable
+//! invariants over randomly generated rate schedules.
+
+use gcs_clocks::time::at;
+use gcs_clocks::{drift, ClockVar, DriftModel, HardwareClock, RateSchedule};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: a random piecewise schedule with rates in [1-rho, 1+rho].
+fn arb_schedule(rho: f64) -> impl Strategy<Value = RateSchedule> {
+    prop::collection::vec((0.01f64..50.0, -1.0f64..=1.0), 1..20).prop_map(move |gaps| {
+        let mut pairs = Vec::with_capacity(gaps.len());
+        let mut t = 0.0;
+        for (i, (gap, u)) in gaps.into_iter().enumerate() {
+            let rate = 1.0 + u * rho;
+            if i == 0 {
+                pairs.push((0.0, rate));
+            } else {
+                t += gap;
+                pairs.push((t, rate));
+            }
+        }
+        RateSchedule::from_pairs(&pairs)
+    })
+}
+
+proptest! {
+    /// H is strictly increasing: t1 < t2 implies H(t1) < H(t2).
+    #[test]
+    fn schedule_strictly_increasing(sched in arb_schedule(0.05), t1 in 0.0f64..500.0, gap in 0.001f64..500.0) {
+        let v1 = sched.value_at(at(t1));
+        let v2 = sched.value_at(at(t1 + gap));
+        prop_assert!(v2 > v1, "H({t1}) = {v1} !< H({}) = {v2}", t1 + gap);
+    }
+
+    /// Paper Section 3.3: (1−ρ)(t2−t1) ≤ H(t2)−H(t1) ≤ (1+ρ)(t2−t1).
+    #[test]
+    fn drift_bound_inequality(sched in arb_schedule(0.05), t1 in 0.0f64..400.0, gap in 0.0f64..400.0) {
+        let adv = sched.advance_over(at(t1), at(t1 + gap));
+        prop_assert!(adv >= (1.0 - 0.05) * gap - 1e-7);
+        prop_assert!(adv <= (1.0 + 0.05) * gap + 1e-7);
+    }
+
+    /// Inversion is a true inverse: H⁻¹(H(t)) = t.
+    #[test]
+    fn inversion_roundtrip(sched in arb_schedule(0.05), t in 0.0f64..800.0) {
+        let h = sched.value_at(at(t));
+        let back = sched.time_at_value(h);
+        prop_assert!((back.seconds() - t).abs() < 1e-6, "t={t} back={back:?}");
+    }
+
+    /// Subjective timers fire within the drift envelope:
+    /// Δt/(1+ρ) ≤ fire − now ≤ Δt/(1−ρ).
+    #[test]
+    fn timer_fire_in_envelope(sched in arb_schedule(0.05), now in 0.0f64..300.0, delta in 0.001f64..100.0) {
+        let clock = HardwareClock::new(sched, 0.05);
+        let fire = clock.fire_time(at(now), delta);
+        let elapsed = (fire - at(now)).seconds();
+        prop_assert!(elapsed >= delta / 1.05 - 1e-7);
+        prop_assert!(elapsed <= delta / 0.95 + 1e-7);
+        // And the hardware clock really advanced by exactly delta.
+        let adv = clock.advance_over(at(now), fire);
+        prop_assert!((adv - delta).abs() < 1e-6);
+    }
+
+    /// ClockVar: value is linear in the hardware reading with slope 1.
+    #[test]
+    fn clockvar_growth_exact(v0 in -1e6f64..1e6, hw0 in 0.0f64..1e6, adv in 0.0f64..1e6) {
+        let var = ClockVar::with_value(v0, hw0);
+        let after = var.value(hw0 + adv);
+        prop_assert!((after - (v0 + adv)).abs() < 1e-6);
+    }
+
+    /// raise_to never decreases the value.
+    #[test]
+    fn clockvar_raise_monotone(v0 in -1e3f64..1e3, target in -1e3f64..1e3, hw in 0.0f64..1e3) {
+        let mut var = ClockVar::with_value(v0, hw);
+        let before = var.value(hw);
+        var.raise_to(target, hw);
+        prop_assert!(var.value(hw) >= before - 1e-12);
+        prop_assert!(var.value(hw) >= target - 1e-9 || var.value(hw) >= before - 1e-12);
+    }
+
+    /// Drift models always respect the bound they were built under.
+    #[test]
+    fn drift_models_in_bound(seed in 0u64..1000, idx in 0usize..16) {
+        let rho = 0.03;
+        let mut rng = StdRng::seed_from_u64(seed);
+        for model in [
+            DriftModel::Perfect,
+            DriftModel::SplitExtremes,
+            DriftModel::RandomConstant,
+            DriftModel::RandomWalk { step: 2.0 },
+            DriftModel::Alternating { period: 4.0 },
+        ] {
+            let s = model.build(rho, 100.0, idx, &mut rng);
+            prop_assert!(s.respects_drift_bound(rho));
+        }
+    }
+
+    /// layered_beta matches the closed form H(t) = t + min(ρt, T·layer).
+    #[test]
+    fn layered_beta_closed_form(layer in 0usize..12, t in 0.0f64..5000.0) {
+        let rho = 0.01;
+        let big_t = 2.0;
+        let s = drift::layered_beta(layer, rho, big_t);
+        let expect = t + (rho * t).min(big_t * layer as f64);
+        prop_assert!((s.value_at(at(t)) - expect).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,18 @@
+//! Baseline algorithms the paper's algorithm is compared against.
+//!
+//! * [`MaxSyncNode`] — pure max-estimate chasing (Srikanth–Toueg style
+//!   \[18\]): asymptotically optimal *global* skew, but nodes jump to the
+//!   freshest max estimate unconditionally, so a newly formed edge between
+//!   far-apart nodes makes the behind endpoint jump by the full skew, which
+//!   momentarily shows up on all of its *old* edges.
+//! * Constant-budget gradient — run [`GradientNode`](crate::GradientNode)
+//!   with [`BudgetPolicy::Constant`](crate::BudgetPolicy): the static
+//!   algorithm of Locher–Wattenhofer \[13\] applied unchanged to a dynamic
+//!   graph. A fresh high-skew edge then *blocks* its ahead endpoint
+//!   immediately, dragging it (and transitively its whole cluster) behind
+//!   `Lmax` while the skew closes — exactly the failure mode the paper's
+//!   aging budget is designed to avoid.
+
+pub mod max_sync;
+
+pub use max_sync::MaxSyncNode;

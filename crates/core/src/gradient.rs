@@ -1,0 +1,539 @@
+//! Algorithm 2 as a [`gcs_sim::Automaton`].
+//!
+//! The implementation follows the paper's event handlers line by line; the
+//! only interpretation notes are:
+//!
+//! 1. **`L^v_u` refresh.** The pseudocode's indentation puts `L^v_u ← L_v`
+//!    inside the `if v ∉ Γ_u` branch, but the analysis (Lemma 6.5:
+//!    "upon receiving the message node u sets `L^v_u ← L_v(t_s)`", FIFO
+//!    argument) requires the estimate to be refreshed on *every* receipt.
+//!    We refresh on every receipt.
+//! 2. **`Γ ⊆ Υ` on early messages.** Discovery is per-endpoint, so a
+//!    message can arrive from a neighbor whose `discover(add)` is still in
+//!    flight. To preserve the paper's stated invariant `Γ_u ⊆ Υ_u` we also
+//!    insert the sender into `Υ_u` on receipt (receiving a message is proof
+//!    the edge exists).
+//! 3. All clock-valued state is stored as offsets from the hardware clock
+//!    ([`ClockVar`]), so "between events, the variables are increased at
+//!    the rate of u's hardware clock" holds exactly.
+
+use crate::params::AlgoParams;
+use gcs_clocks::ClockVar;
+use gcs_sim::{Automaton, Context, LinkChange, LinkChangeKind, Message, TimerKind};
+use gcs_net::NodeId;
+use std::collections::{btree_map::Entry, BTreeMap, BTreeSet};
+
+/// Per-neighbor state for `v ∈ Γ_u`.
+#[derive(Clone, Copy, Debug)]
+pub struct NeighborState {
+    /// `C^v_u`: our hardware reading when `v` was last added to `Γ_u`.
+    pub joined_hw: f64,
+    /// `L^v_u`: estimate of `v`'s logical clock (grows at our rate).
+    pub estimate: ClockVar,
+}
+
+/// One node running Algorithm 2.
+#[derive(Clone, Debug)]
+pub struct GradientNode {
+    params: AlgoParams,
+    /// `L_u`.
+    l: ClockVar,
+    /// `Lmax_u`.
+    lmax: ClockVar,
+    /// `Γ_u` with per-neighbor state.
+    gamma: BTreeMap<NodeId, NeighborState>,
+    /// `Υ_u`.
+    upsilon: BTreeSet<NodeId>,
+    /// Count of discrete jumps of `L_u` (diagnostics).
+    jumps: u64,
+    /// Per-neighbor edge weights for the §7 weighted-graph extension: the
+    /// budget toward `v` floors at `B0·w` instead of `B0`. Missing entries
+    /// default to weight 1 (the plain algorithm). In the companion-paper
+    /// reading, the weight is the edge's relative delay uncertainty —
+    /// e.g. a reference-broadcast link gets `w ≪ 1` and therefore a much
+    /// tighter stable skew guarantee.
+    weights: BTreeMap<NodeId, f64>,
+}
+
+impl GradientNode {
+    /// A node at time 0: `L_u = Lmax_u = H_u = 0`, no neighbors.
+    pub fn new(params: AlgoParams) -> Self {
+        GradientNode {
+            params,
+            l: ClockVar::zeroed(),
+            lmax: ClockVar::zeroed(),
+            gamma: BTreeMap::new(),
+            upsilon: BTreeSet::new(),
+            jumps: 0,
+            weights: BTreeMap::new(),
+        }
+    }
+
+    /// A node with per-neighbor edge weights (the weighted-graph extension
+    /// sketched in the paper's conclusion; weights must be in `(0, 1]` so
+    /// the standard analysis still upper-bounds every budget).
+    pub fn with_weights(params: AlgoParams, weights: BTreeMap<NodeId, f64>) -> Self {
+        for (&v, &w) in &weights {
+            assert!(
+                w > 0.0 && w <= 1.0,
+                "edge weight toward {v:?} must be in (0, 1], got {w}"
+            );
+        }
+        GradientNode {
+            weights,
+            ..Self::new(params)
+        }
+    }
+
+    /// The weight of the edge toward `v` (1.0 unless configured).
+    pub fn weight_of(&self, v: NodeId) -> f64 {
+        self.weights.get(&v).copied().unwrap_or(1.0)
+    }
+
+    /// The effective budget toward `v` at subjective edge age `dt`:
+    /// `max{B0·w_v, unfloored B(dt)}`.
+    fn budget_at(&self, v: NodeId, dt: f64) -> f64 {
+        self.params
+            .budget_unfloored(dt)
+            .max(self.params.b0 * self.weight_of(v))
+    }
+
+    /// The parameters this node runs with.
+    pub fn params(&self) -> &AlgoParams {
+        &self.params
+    }
+
+    /// Current `Γ_u`.
+    pub fn gamma(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.gamma.keys().copied()
+    }
+
+    /// Current `Υ_u`.
+    pub fn upsilon(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.upsilon.iter().copied()
+    }
+
+    /// Per-neighbor state, if `v ∈ Γ_u`.
+    pub fn neighbor_state(&self, v: NodeId) -> Option<&NeighborState> {
+        self.gamma.get(&v)
+    }
+
+    /// `B^v_u` — the current budget toward `v`, if `v ∈ Γ_u`.
+    pub fn budget_for(&self, v: NodeId, hw: f64) -> Option<f64> {
+        self.gamma
+            .get(&v)
+            .map(|st| self.budget_at(v, hw - st.joined_hw))
+    }
+
+    /// `L^v_u` — the current estimate of `v`'s clock, if `v ∈ Γ_u`.
+    pub fn estimate_of(&self, v: NodeId, hw: f64) -> Option<f64> {
+        self.gamma.get(&v).map(|st| st.estimate.value(hw))
+    }
+
+    /// Definition 6.1: `u` is *blocked* if `Lmax_u > L_u` and some
+    /// `v ∈ Γ_u` has `L_u − L^v_u > B^v_u`.
+    pub fn is_blocked(&self, hw: f64) -> bool {
+        self.lmax.value(hw) > self.l.value(hw) && self.blocking_neighbor(hw).is_some()
+    }
+
+    /// A neighbor currently blocking `u`, if any.
+    pub fn blocking_neighbor(&self, hw: f64) -> Option<NodeId> {
+        let l = self.l.value(hw);
+        if self.lmax.value(hw) <= l {
+            return None;
+        }
+        self.gamma.iter().find_map(|(&v, st)| {
+            let b = self.budget_at(v, hw - st.joined_hw);
+            (l - st.estimate.value(hw) > b).then_some(v)
+        })
+    }
+
+    /// Number of discrete clock jumps so far.
+    pub fn jump_count(&self) -> u64 {
+        self.jumps
+    }
+
+    /// Procedure `AdjustClock`:
+    /// `L_u ← max{L_u, min{Lmax_u, min_{v∈Γ}(L^v_u + B(H_u − C^v_u))}}`.
+    fn adjust_clock(&mut self, hw: f64) {
+        let mut target = self.lmax.value(hw);
+        for (&v, st) in &self.gamma {
+            let b = self.budget_at(v, hw - st.joined_hw);
+            target = target.min(st.estimate.value(hw) + b);
+        }
+        if target > self.l.value(hw) {
+            self.l.set(target, hw);
+            self.jumps += 1;
+        }
+    }
+
+    fn message(&self, hw: f64) -> Message {
+        Message {
+            logical: self.l.value(hw),
+            max_estimate: self.lmax.value(hw),
+        }
+    }
+}
+
+impl Automaton for GradientNode {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        ctx.set_timer(self.params.delta_h, TimerKind::Tick);
+    }
+
+    // Lines 15–24 of Algorithm 2.
+    fn on_receive(&mut self, ctx: &mut Context<'_>, from: NodeId, msg: Message) {
+        let hw = ctx.hw;
+        ctx.cancel_timer(TimerKind::Lost(from));
+        self.upsilon.insert(from); // see module note 2
+        match self.gamma.entry(from) {
+            Entry::Vacant(e) => {
+                // v joins Γ_u: C^v_u ← H_u, L^v_u ← L_v.
+                e.insert(NeighborState {
+                    joined_hw: hw,
+                    estimate: ClockVar::with_value(msg.logical, hw),
+                });
+            }
+            Entry::Occupied(mut e) => {
+                // Refresh the estimate (module note 1); FIFO delivery makes
+                // this the freshest information about v.
+                e.get_mut().estimate.overwrite(msg.logical, hw);
+            }
+        }
+        // Line 21: Lmax_u ← max{Lmax_u, Lmax_v}.
+        self.lmax.raise_to(msg.max_estimate, hw);
+        self.adjust_clock(hw);
+        ctx.set_timer(self.params.delta_t_prime(), TimerKind::Lost(from));
+    }
+
+    // Lines 1–10.
+    fn on_discover(&mut self, ctx: &mut Context<'_>, change: LinkChange) {
+        let other = change.edge.other(ctx.node);
+        match change.kind {
+            LinkChangeKind::Added => {
+                ctx.send(other, self.message(ctx.hw));
+                self.upsilon.insert(other);
+            }
+            LinkChangeKind::Removed => {
+                self.gamma.remove(&other);
+                self.upsilon.remove(&other);
+            }
+        }
+        self.adjust_clock(ctx.hw);
+    }
+
+    // Lines 11–14 (lost) and 25–30 (tick).
+    fn on_alarm(&mut self, ctx: &mut Context<'_>, kind: TimerKind) {
+        match kind {
+            TimerKind::Lost(v) => {
+                self.gamma.remove(&v);
+                self.adjust_clock(ctx.hw);
+            }
+            TimerKind::Tick => {
+                let msg = self.message(ctx.hw);
+                for &v in &self.upsilon {
+                    ctx.send(v, msg);
+                }
+                self.adjust_clock(ctx.hw);
+                ctx.set_timer(self.params.delta_h, TimerKind::Tick);
+            }
+        }
+    }
+
+    fn logical_clock(&self, hw: f64) -> f64 {
+        self.l.value(hw)
+    }
+
+    fn max_estimate(&self, hw: f64) -> f64 {
+        self.lmax.value(hw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcs_clocks::Time;
+    use gcs_net::{node, Edge};
+    use gcs_sim::{Action, ModelParams};
+
+    fn params() -> AlgoParams {
+        AlgoParams::with_minimal_b0(ModelParams::new(0.01, 1.0, 2.0), 8, 0.5)
+    }
+
+    fn ctx_at<'a>(hw: f64, actions: &'a mut Vec<Action>) -> Context<'a> {
+        Context::new(node(0), Time::new(hw), hw, actions)
+    }
+
+    #[test]
+    fn starts_with_tick_timer() {
+        let mut n = GradientNode::new(params());
+        let mut actions = Vec::new();
+        n.on_start(&mut ctx_at(0.0, &mut actions));
+        assert_eq!(
+            actions,
+            vec![Action::SetTimer {
+                delta: 0.5,
+                kind: TimerKind::Tick
+            }]
+        );
+    }
+
+    #[test]
+    fn receive_installs_neighbor_and_estimate() {
+        let mut n = GradientNode::new(params());
+        let mut actions = Vec::new();
+        n.on_receive(
+            &mut ctx_at(10.0, &mut actions),
+            node(1),
+            Message {
+                logical: 7.0,
+                max_estimate: 12.0,
+            },
+        );
+        assert_eq!(n.gamma().collect::<Vec<_>>(), vec![node(1)]);
+        assert_eq!(n.upsilon().collect::<Vec<_>>(), vec![node(1)]);
+        assert_eq!(n.estimate_of(node(1), 10.0), Some(7.0));
+        // Estimate grows at our hardware rate.
+        assert_eq!(n.estimate_of(node(1), 13.0), Some(10.0));
+        assert_eq!(n.neighbor_state(node(1)).unwrap().joined_hw, 10.0);
+        // Lmax was raised to 12 and L jumped to min(Lmax, est + B(0)).
+        assert_eq!(n.max_estimate(10.0), 12.0);
+        assert_eq!(n.logical_clock(10.0), 12.0); // B(0) huge => cap is Lmax
+        // lost timer armed with ΔT′.
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            Action::SetTimer { kind: TimerKind::Lost(v), delta } if *v == node(1) && (*delta - params().delta_t_prime()).abs() < 1e-12
+        )));
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::CancelTimer { kind: TimerKind::Lost(v) } if *v == node(1))));
+    }
+
+    #[test]
+    fn budget_constrains_after_settling() {
+        let p = params();
+        let mut n = GradientNode::new(p);
+        let mut actions = Vec::new();
+        // Neighbor joins at hw = 0 with estimate 0.
+        n.on_receive(
+            &mut ctx_at(0.0, &mut actions),
+            node(1),
+            Message {
+                logical: 0.0,
+                max_estimate: 0.0,
+            },
+        );
+        // Long afterwards (budget settled to B0), a huge Lmax arrives from
+        // another neighbor; L may only rise to est(v) + B0.
+        let hw = p.budget_settle_age() + 10.0;
+        n.on_receive(
+            &mut ctx_at(hw, &mut actions),
+            node(2),
+            Message {
+                logical: 0.0,
+                max_estimate: 1e6,
+            },
+        );
+        // estimate of node 1 at hw grew to ~hw; cap = hw + B0 (node 2's
+        // budget is fresh and huge, node 1's is settled at B0).
+        let expect = hw + p.b0;
+        assert!(
+            (n.logical_clock(hw) - expect).abs() < 1e-9,
+            "L = {}, expected {}",
+            n.logical_clock(hw),
+            expect
+        );
+        assert!(n.is_blocked(hw), "node should be blocked by node 1");
+        assert_eq!(n.blocking_neighbor(hw), Some(node(1)));
+    }
+
+    #[test]
+    fn adjust_without_neighbors_jumps_to_lmax() {
+        let mut n = GradientNode::new(params());
+        let mut actions = Vec::new();
+        n.on_receive(
+            &mut ctx_at(5.0, &mut actions),
+            node(1),
+            Message {
+                logical: 3.0,
+                max_estimate: 50.0,
+            },
+        );
+        // Remove the neighbor via lost timer; AdjustClock then has no
+        // Γ-constraint and L jumps to Lmax.
+        n.on_alarm(&mut ctx_at(6.0, &mut actions), TimerKind::Lost(node(1)));
+        assert_eq!(n.gamma().count(), 0);
+        assert_eq!(n.logical_clock(6.0), n.max_estimate(6.0));
+    }
+
+    #[test]
+    fn discover_add_sends_current_state() {
+        let mut n = GradientNode::new(params());
+        let mut actions = Vec::new();
+        n.on_discover(
+            &mut ctx_at(4.0, &mut actions),
+            LinkChange {
+                kind: LinkChangeKind::Added,
+                edge: Edge::between(0, 3),
+            },
+        );
+        assert_eq!(n.upsilon().collect::<Vec<_>>(), vec![node(3)]);
+        assert!(matches!(
+            actions[0],
+            Action::Send { to, msg } if to == node(3) && msg.logical == 4.0
+        ));
+    }
+
+    #[test]
+    fn discover_remove_clears_both_sets() {
+        let mut n = GradientNode::new(params());
+        let mut actions = Vec::new();
+        n.on_receive(
+            &mut ctx_at(1.0, &mut actions),
+            node(2),
+            Message {
+                logical: 1.0,
+                max_estimate: 1.0,
+            },
+        );
+        n.on_discover(
+            &mut ctx_at(2.0, &mut actions),
+            LinkChange {
+                kind: LinkChangeKind::Removed,
+                edge: Edge::between(0, 2),
+            },
+        );
+        assert_eq!(n.gamma().count(), 0);
+        assert_eq!(n.upsilon().count(), 0);
+    }
+
+    #[test]
+    fn tick_broadcasts_to_upsilon_and_rearms() {
+        let mut n = GradientNode::new(params());
+        let mut actions = Vec::new();
+        for i in 1..4 {
+            n.on_discover(
+                &mut ctx_at(0.0, &mut actions),
+                LinkChange {
+                    kind: LinkChangeKind::Added,
+                    edge: Edge::between(0, i),
+                },
+            );
+        }
+        actions.clear();
+        n.on_alarm(&mut ctx_at(1.0, &mut actions), TimerKind::Tick);
+        let sends = actions
+            .iter()
+            .filter(|a| matches!(a, Action::Send { .. }))
+            .count();
+        assert_eq!(sends, 3);
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            Action::SetTimer {
+                kind: TimerKind::Tick,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn rejoining_neighbor_resets_budget_age() {
+        let p = params();
+        let mut n = GradientNode::new(p);
+        let mut actions = Vec::new();
+        n.on_receive(
+            &mut ctx_at(0.0, &mut actions),
+            node(1),
+            Message {
+                logical: 0.0,
+                max_estimate: 0.0,
+            },
+        );
+        // Drop v from Γ via the lost alarm, then hear from it again much
+        // later: C^v_u must be re-stamped (budget restarts from B(0)).
+        n.on_alarm(&mut ctx_at(50.0, &mut actions), TimerKind::Lost(node(1)));
+        n.on_receive(
+            &mut ctx_at(100.0, &mut actions),
+            node(1),
+            Message {
+                logical: 90.0,
+                max_estimate: 120.0,
+            },
+        );
+        assert_eq!(n.neighbor_state(node(1)).unwrap().joined_hw, 100.0);
+        let b = n.budget_for(node(1), 100.0).unwrap();
+        assert!((b - p.budget(0.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weighted_edges_floor_at_scaled_b0() {
+        let p = params();
+        let mut n = GradientNode::with_weights(
+            p,
+            [(node(1), 0.25), (node(2), 1.0)].into_iter().collect(),
+        );
+        assert_eq!(n.weight_of(node(1)), 0.25);
+        assert_eq!(n.weight_of(node(3)), 1.0); // default
+        let mut actions = Vec::new();
+        for v in [1, 2] {
+            n.on_receive(
+                &mut ctx_at(0.0, &mut actions),
+                node(v),
+                Message {
+                    logical: 0.0,
+                    max_estimate: 0.0,
+                },
+            );
+        }
+        // Far beyond the settle age, the budgets floor at B0·w.
+        let hw = p.budget_settle_age() * 2.0;
+        let b1 = n.budget_for(node(1), hw).unwrap();
+        let b2 = n.budget_for(node(2), hw).unwrap();
+        assert!((b1 - 0.25 * p.b0).abs() < 1e-9, "weighted floor: {b1}");
+        assert!((b2 - p.b0).abs() < 1e-9, "unit floor: {b2}");
+        // At age 0 both budgets equal the (huge) fresh-edge value.
+        let mut n2 = GradientNode::with_weights(p, [(node(1), 0.25)].into_iter().collect());
+        n2.on_receive(
+            &mut ctx_at(0.0, &mut actions),
+            node(1),
+            Message {
+                logical: 0.0,
+                max_estimate: 0.0,
+            },
+        );
+        assert!((n2.budget_for(node(1), 0.0).unwrap() - p.budget(0.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in (0, 1]")]
+    fn oversized_weight_rejected() {
+        let _ = GradientNode::with_weights(params(), [(node(1), 1.5)].into_iter().collect());
+    }
+
+    #[test]
+    fn logical_clock_never_decreases_and_tracks_hw_between_events() {
+        let mut n = GradientNode::new(params());
+        let mut actions = Vec::new();
+        n.on_receive(
+            &mut ctx_at(1.0, &mut actions),
+            node(1),
+            Message {
+                logical: 0.5,
+                max_estimate: 9.0,
+            },
+        );
+        let l1 = n.logical_clock(1.0);
+        // Between events L grows exactly with hw.
+        assert_eq!(n.logical_clock(3.5), l1 + 2.5);
+        // A later event can only raise it further.
+        n.on_receive(
+            &mut ctx_at(4.0, &mut actions),
+            node(1),
+            Message {
+                logical: 2.0,
+                max_estimate: 20.0,
+            },
+        );
+        assert!(n.logical_clock(4.0) >= l1 + 3.0);
+        assert!(n.jump_count() >= 1);
+    }
+}

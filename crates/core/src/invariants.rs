@@ -1,0 +1,210 @@
+//! Executable invariants from the paper's analysis.
+//!
+//! A [`InvariantMonitor`] consumes periodic snapshots of an execution and
+//! checks:
+//!
+//! * **Validity (Section 3.3)**: every logical clock is strictly
+//!   increasing and progresses at least at half the rate of real time
+//!   (the algorithm in fact guarantees rate `≥ 1−ρ ≥ 1/2`).
+//! * **Max-estimate sanity (Property 6.3)**: `Lmax_u ≥ L_u`.
+//! * **Max-rate (Property 6.7)**: `Lmax = max_u Lmax_u` increases at rate
+//!   at most `1+ρ` between snapshots.
+//! * **Global skew (Theorem 6.9)**: `max_u L_u − min_u L_u ≤ G(n)`.
+//!
+//! The monitor accumulates violations instead of panicking so experiments
+//! can report them; tests assert `violations().is_empty()`.
+
+use crate::params::AlgoParams;
+use gcs_clocks::Time;
+
+/// One recorded violation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Violation {
+    /// Snapshot time at which the violation was observed.
+    pub time: Time,
+    /// Human-readable description.
+    pub what: String,
+}
+
+/// Snapshot-based invariant checker.
+#[derive(Clone, Debug)]
+pub struct InvariantMonitor {
+    params: AlgoParams,
+    prev: Option<(Time, Vec<f64>, f64)>,
+    violations: Vec<Violation>,
+    max_global_skew_seen: f64,
+    snapshots: u64,
+    /// Numerical slack for floating-point comparisons.
+    eps: f64,
+}
+
+impl InvariantMonitor {
+    /// A monitor for executions under `params`.
+    pub fn new(params: AlgoParams) -> Self {
+        InvariantMonitor {
+            params,
+            prev: None,
+            violations: Vec::new(),
+            max_global_skew_seen: 0.0,
+            snapshots: 0,
+            eps: 1e-6,
+        }
+    }
+
+    /// Feeds one snapshot: per-node logical clocks and max estimates at
+    /// real time `t`. Snapshots must be fed in increasing time order.
+    pub fn observe(&mut self, t: Time, logical: &[f64], lmax: &[f64]) {
+        assert_eq!(logical.len(), lmax.len());
+        self.snapshots += 1;
+
+        // Property 6.3: Lmax_u >= L_u.
+        for (i, (&l, &m)) in logical.iter().zip(lmax.iter()).enumerate() {
+            if m < l - self.eps {
+                self.violations.push(Violation {
+                    time: t,
+                    what: format!("node {i}: Lmax {m} < L {l}"),
+                });
+            }
+        }
+
+        // Theorem 6.9: global skew within G(n).
+        let max_l = logical.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let min_l = logical.iter().cloned().fold(f64::INFINITY, f64::min);
+        let skew = max_l - min_l;
+        self.max_global_skew_seen = self.max_global_skew_seen.max(skew);
+        let g = self.params.global_skew_bound();
+        if skew > g + self.eps {
+            self.violations.push(Violation {
+                time: t,
+                what: format!("global skew {skew} exceeds G(n) = {g}"),
+            });
+        }
+
+        let lmax_net = lmax.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        if let Some((t0, prev_l, prev_lmax_net)) = &self.prev {
+            let dt = (t - *t0).seconds();
+            let rho = self.params.model.rho;
+            for (i, (&l, &pl)) in logical.iter().zip(prev_l.iter()).enumerate() {
+                let advance = l - pl;
+                // Validity: strictly increasing, rate >= 1/2.
+                if advance < 0.5 * dt - self.eps {
+                    self.violations.push(Violation {
+                        time: t,
+                        what: format!(
+                            "node {i}: clock advanced {advance} over {dt} (rate < 1/2)"
+                        ),
+                    });
+                }
+            }
+            // Property 6.7: Lmax rate <= 1+ρ.
+            let lmax_advance = lmax_net - prev_lmax_net;
+            if lmax_advance > (1.0 + rho) * dt + self.eps {
+                self.violations.push(Violation {
+                    time: t,
+                    what: format!(
+                        "Lmax advanced {lmax_advance} over {dt} (rate > 1+ρ)"
+                    ),
+                });
+            }
+        }
+        self.prev = Some((t, logical.to_vec(), lmax_net));
+    }
+
+    /// All violations observed so far.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Largest global skew seen across snapshots.
+    pub fn max_global_skew(&self) -> f64 {
+        self.max_global_skew_seen
+    }
+
+    /// Number of snapshots consumed.
+    pub fn snapshots(&self) -> u64 {
+        self.snapshots
+    }
+
+    /// Convenience: panic with a readable report if anything was violated.
+    pub fn assert_clean(&self) {
+        assert!(
+            self.violations.is_empty(),
+            "invariant violations:\n{}",
+            self.violations
+                .iter()
+                .map(|v| format!("  [{}] {}", v.time, v.what))
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcs_clocks::time::at;
+    use gcs_sim::ModelParams;
+
+    fn params() -> AlgoParams {
+        AlgoParams::with_minimal_b0(ModelParams::new(0.01, 1.0, 2.0), 4, 0.5)
+    }
+
+    #[test]
+    fn clean_run_has_no_violations() {
+        let mut m = InvariantMonitor::new(params());
+        for step in 0..10 {
+            let t = step as f64;
+            let l: Vec<f64> = (0..4).map(|i| t + i as f64 * 0.1).collect();
+            let lm: Vec<f64> = l.iter().map(|x| x + 0.5).collect();
+            m.observe(at(t), &l, &lm);
+        }
+        m.assert_clean();
+        assert_eq!(m.snapshots(), 10);
+        assert!((m.max_global_skew() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detects_lmax_below_l() {
+        let mut m = InvariantMonitor::new(params());
+        m.observe(at(0.0), &[1.0, 1.0], &[0.5, 1.0]);
+        assert_eq!(m.violations().len(), 1);
+        assert!(m.violations()[0].what.contains("Lmax"));
+    }
+
+    #[test]
+    fn detects_slow_clock() {
+        let mut m = InvariantMonitor::new(params());
+        m.observe(at(0.0), &[0.0, 0.0], &[0.0, 0.0]);
+        // Node 1 advanced only 0.1 over 1.0 time: rate < 1/2.
+        m.observe(at(1.0), &[1.0, 0.1], &[1.0, 1.0]);
+        assert!(m
+            .violations()
+            .iter()
+            .any(|v| v.what.contains("rate < 1/2")));
+    }
+
+    #[test]
+    fn detects_global_skew_violation() {
+        let p = params();
+        let g = p.global_skew_bound();
+        let mut m = InvariantMonitor::new(p);
+        m.observe(at(0.0), &[0.0, g + 1.0], &[g + 1.0, g + 1.0]);
+        assert!(m.violations().iter().any(|v| v.what.contains("global skew")));
+    }
+
+    #[test]
+    fn detects_too_fast_lmax() {
+        let mut m = InvariantMonitor::new(params());
+        m.observe(at(0.0), &[0.0, 0.0], &[0.0, 0.0]);
+        m.observe(at(1.0), &[1.0, 1.0], &[5.0, 1.0]);
+        assert!(m.violations().iter().any(|v| v.what.contains("1+ρ")));
+    }
+
+    #[test]
+    #[should_panic(expected = "invariant violations")]
+    fn assert_clean_panics_on_violation() {
+        let mut m = InvariantMonitor::new(params());
+        m.observe(at(0.0), &[1.0], &[0.0]);
+        m.assert_clean();
+    }
+}

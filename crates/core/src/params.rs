@@ -1,0 +1,327 @@
+//! Algorithm parameters and every derived constant of the analysis.
+
+use gcs_sim::ModelParams;
+
+/// Which budget function the node uses for its `Γ`-neighbors.
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum BudgetPolicy {
+    /// The paper's aging budget `B(Δt)` (Algorithm 2).
+    Aging,
+    /// A constant budget `B ≡ B0` — the static gradient algorithm of
+    /// Locher–Wattenhofer \[13\] run unchanged on a dynamic graph. Used as a
+    /// baseline: it enforces `B0` on brand-new edges immediately, which
+    /// blocks the ahead endpoint and lets it fall arbitrarily far behind
+    /// `Lmax` while a large-skew edge closes.
+    Constant,
+    /// An explicit linear budget `B(Δt) = max{B0, initial − slope·Δt}` —
+    /// used by the ablation experiments to vary the fresh-edge headroom
+    /// (the paper's `5G(n) + (1+ρ)τ + B0`) and the hardening rate (the
+    /// paper's `B0/((1+ρ)τ)`) independently.
+    Custom {
+        /// Budget at edge age 0.
+        initial: f64,
+        /// Linear decay per subjective time unit.
+        slope: f64,
+    },
+}
+
+/// Parameters for [`GradientNode`](crate::gradient::GradientNode) and the
+/// quantities derived from them in Section 5/6 of the paper.
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct AlgoParams {
+    /// Environment constants `ρ, T, D`.
+    pub model: ModelParams,
+    /// Number of nodes `n` (known to all nodes, as the paper assumes).
+    pub n: usize,
+    /// Subjective resend interval `ΔH`.
+    pub delta_h: f64,
+    /// Stable per-edge skew budget `B0`.
+    pub b0: f64,
+    /// Budget policy (the paper's aging budget, or the constant baseline).
+    pub policy: BudgetPolicy,
+}
+
+impl AlgoParams {
+    /// Validated constructor for the paper's algorithm.
+    ///
+    /// Enforces the standing assumptions:
+    /// * `D > max{T, ΔH/(1−ρ)}` (Section 5),
+    /// * `B0 > 2(1+ρ)τ` (definition of `B`).
+    pub fn new(model: ModelParams, n: usize, delta_h: f64, b0: f64) -> Self {
+        Self::with_policy(model, n, delta_h, b0, BudgetPolicy::Aging)
+    }
+
+    /// Constructor selecting a budget policy (for baselines).
+    pub fn with_policy(
+        model: ModelParams,
+        n: usize,
+        delta_h: f64,
+        b0: f64,
+        policy: BudgetPolicy,
+    ) -> Self {
+        assert!(n >= 2, "need at least two nodes");
+        assert!(
+            delta_h.is_finite() && delta_h > 0.0,
+            "resend interval ΔH must be > 0"
+        );
+        assert!(
+            model.d > model.t && model.d > delta_h / (1.0 - model.rho),
+            "paper assumes D > max(T, ΔH/(1−ρ)): D={}, T={}, ΔH/(1−ρ)={}",
+            model.d,
+            model.t,
+            delta_h / (1.0 - model.rho)
+        );
+        let p = AlgoParams {
+            model,
+            n,
+            delta_h,
+            b0,
+            policy,
+        };
+        assert!(
+            b0 > 2.0 * (1.0 + model.rho) * p.tau(),
+            "budget floor must satisfy B0 > 2(1+ρ)τ = {}",
+            2.0 * (1.0 + model.rho) * p.tau()
+        );
+        p
+    }
+
+    /// Picks the smallest round `B0` above the paper's `2(1+ρ)τ` threshold
+    /// (with 5% headroom) — convenient for experiments that only care about
+    /// `n` and the model.
+    pub fn with_minimal_b0(model: ModelParams, n: usize, delta_h: f64) -> Self {
+        // Compute τ via a temporary (validation skipped by construction
+        // order: τ depends only on model and ΔH).
+        let tmp = AlgoParams {
+            model,
+            n,
+            delta_h,
+            b0: f64::MAX,
+            policy: BudgetPolicy::Aging,
+        };
+        let b0 = (2.0 * (1.0 + model.rho) * tmp.tau() * 1.05).ceil();
+        Self::new(model, n, delta_h, b0)
+    }
+
+    /// `ΔT = T + ΔH/(1−ρ)` — the longest real time between receipts on a
+    /// live edge.
+    pub fn delta_t(&self) -> f64 {
+        self.model.t + self.delta_h / (1.0 - self.model.rho)
+    }
+
+    /// `ΔT′ = (1+ρ)·ΔT` — the subjective timeout after which a silent
+    /// neighbor is dropped from `Γ`.
+    pub fn delta_t_prime(&self) -> f64 {
+        (1.0 + self.model.rho) * self.delta_t()
+    }
+
+    /// `τ = (1+ρ)/(1−ρ)·ΔT + T + D` — the estimate staleness bound: any
+    /// `v ∈ Γ_u` sent a message within the last `τ` real time
+    /// (Property 6.1).
+    pub fn tau(&self) -> f64 {
+        let rho = self.model.rho;
+        (1.0 + rho) / (1.0 - rho) * self.delta_t() + self.model.t + self.model.d
+    }
+
+    /// `G(n) = ((1+ρ)T + 2ρD)(n−1)` — the global skew bound of
+    /// Theorem 6.9.
+    pub fn global_skew_bound(&self) -> f64 {
+        let rho = self.model.rho;
+        ((1.0 + rho) * self.model.t + 2.0 * rho * self.model.d) * (self.n as f64 - 1.0)
+    }
+
+    /// `W = (4·G(n)/B0 + 1)·τ` — once `v` blocks `u`, the edge has been in
+    /// `Γ_u` for at least `W` (Lemma 6.10); also the stabilization horizon
+    /// in the local skew bound.
+    pub fn w(&self) -> f64 {
+        (4.0 * self.global_skew_bound() / self.b0 + 1.0) * self.tau()
+    }
+
+    /// The budget `B(Δt)` for an edge whose `Γ`-membership is `Δt` old in
+    /// subjective time (Section 5), or the constant `B0` under the
+    /// [`BudgetPolicy::Constant`] baseline.
+    pub fn budget(&self, dt: f64) -> f64 {
+        match self.policy {
+            BudgetPolicy::Aging => crate::budget::aging_budget(
+                dt,
+                self.b0,
+                self.global_skew_bound(),
+                self.model.rho,
+                self.tau(),
+            ),
+            BudgetPolicy::Constant => self.b0,
+            BudgetPolicy::Custom { initial, slope } => {
+                (initial - slope * dt.max(0.0)).max(self.b0)
+            }
+        }
+    }
+
+    /// The budget *before* applying the floor `B0` — the decaying part
+    /// only. Used by the weighted-edge extension
+    /// ([`gradient`](crate::gradient)), where each edge gets its own floor
+    /// `B0·w_e` (the paper's §7 weighted-graph approach: the weight plays
+    /// the role of the edge's delay uncertainty). May be negative for very
+    /// old edges; callers apply their own floor.
+    pub fn budget_unfloored(&self, dt: f64) -> f64 {
+        match self.policy {
+            BudgetPolicy::Aging => {
+                let t1 = (1.0 + self.model.rho) * self.tau();
+                5.0 * self.global_skew_bound() + t1 + self.b0 - self.b0 / t1 * dt.max(0.0)
+            }
+            BudgetPolicy::Constant => f64::NEG_INFINITY,
+            BudgetPolicy::Custom { initial, slope } => initial - slope * dt.max(0.0),
+        }
+    }
+
+    /// Subjective age at which the aging budget reaches its floor `B0`:
+    /// `(5G(n) + (1+ρ)τ)·(1+ρ)τ / B0`.
+    pub fn budget_settle_age(&self) -> f64 {
+        let t1 = (1.0 + self.model.rho) * self.tau();
+        (5.0 * self.global_skew_bound() + t1) * t1 / self.b0
+    }
+
+    /// The dynamic local skew function of Corollary 6.13:
+    /// `s(n, Δt) = B((1−ρ)(Δt − ΔT − D − W)⁺) + 2ρW` — an upper bound on
+    /// the skew of any edge that has existed for `Δt` real time,
+    /// independent of its initial skew.
+    pub fn dynamic_local_skew(&self, dt_real: f64) -> f64 {
+        let rho = self.model.rho;
+        let aged = (1.0 - rho) * (dt_real - self.delta_t() - self.model.d - self.w());
+        self.budget(aged.max(0.0)) + 2.0 * rho * self.w()
+    }
+
+    /// The stable local skew `s̄(n) = B0 + 2ρW` (limit of
+    /// [`dynamic_local_skew`](Self::dynamic_local_skew) as `Δt → ∞`).
+    pub fn stable_local_skew(&self) -> f64 {
+        self.b0 + 2.0 * self.model.rho * self.w()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> ModelParams {
+        ModelParams::new(0.01, 1.0, 2.0)
+    }
+
+    fn params() -> AlgoParams {
+        AlgoParams::with_minimal_b0(model(), 16, 0.5)
+    }
+
+    #[test]
+    fn derived_quantities_match_formulas() {
+        let p = params();
+        let rho = 0.01;
+        let dt = 1.0 + 0.5 / 0.99;
+        assert!((p.delta_t() - dt).abs() < 1e-12);
+        assert!((p.delta_t_prime() - 1.01 * dt).abs() < 1e-12);
+        let tau = 1.01 / 0.99 * dt + 3.0;
+        assert!((p.tau() - tau).abs() < 1e-12);
+        let g = (1.01 + 2.0 * rho * 2.0) * 15.0;
+        assert!((p.global_skew_bound() - g).abs() < 1e-12);
+        let w = (4.0 * g / p.b0 + 1.0) * tau;
+        assert!((p.w() - w).abs() < 1e-12);
+    }
+
+    #[test]
+    fn minimal_b0_satisfies_constraint() {
+        let p = params();
+        assert!(p.b0 > 2.0 * 1.01 * p.tau());
+    }
+
+    #[test]
+    fn budget_new_edge_exceeds_global_skew() {
+        let p = params();
+        // B(0) = 5G + (1+ρ)τ + B0 > G: a fresh edge never constrains.
+        assert!(p.budget(0.0) > p.global_skew_bound());
+    }
+
+    #[test]
+    fn budget_settles_to_b0() {
+        let p = params();
+        let settle = p.budget_settle_age();
+        assert!((p.budget(settle) - p.b0).abs() < 1e-9);
+        assert_eq!(p.budget(settle * 2.0), p.b0);
+        // Just before settling it is still above B0.
+        assert!(p.budget(settle * 0.99) > p.b0);
+    }
+
+    #[test]
+    fn budget_is_non_increasing() {
+        let p = params();
+        let mut last = f64::INFINITY;
+        let settle = p.budget_settle_age();
+        for i in 0..200 {
+            let dt = settle * i as f64 / 100.0;
+            let b = p.budget(dt);
+            assert!(b <= last + 1e-12);
+            last = b;
+        }
+    }
+
+    #[test]
+    fn constant_policy_budget_is_flat() {
+        let p = AlgoParams::with_policy(model(), 16, 0.5, params().b0, BudgetPolicy::Constant);
+        assert_eq!(p.budget(0.0), p.b0);
+        assert_eq!(p.budget(1e9), p.b0);
+    }
+
+    #[test]
+    fn custom_policy_linear_decay_with_floor() {
+        let b0 = params().b0;
+        let p = AlgoParams::with_policy(
+            model(),
+            16,
+            0.5,
+            b0,
+            BudgetPolicy::Custom {
+                initial: 100.0,
+                slope: 2.0,
+            },
+        );
+        assert_eq!(p.budget(0.0), 100.0);
+        assert_eq!(p.budget(10.0), 80.0);
+        assert_eq!(p.budget(1e6), b0);
+        // Floor kicks in exactly where the line crosses B0.
+        let cross = (100.0 - b0) / 2.0;
+        assert!((p.budget(cross) - b0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dynamic_local_skew_decreasing_to_stable() {
+        let p = params();
+        // For very young edges the bound exceeds the global skew bound.
+        assert!(p.dynamic_local_skew(0.0) > p.global_skew_bound());
+        // It is non-increasing in edge age…
+        let mut last = f64::INFINITY;
+        for i in 0..100 {
+            let s = p.dynamic_local_skew(i as f64 * p.w() / 10.0);
+            assert!(s <= last + 1e-9);
+            last = s;
+        }
+        // …and converges to B0 + 2ρW.
+        let far = p.dynamic_local_skew(1e9);
+        assert!((far - p.stable_local_skew()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn global_skew_bound_linear_in_n() {
+        let a = AlgoParams::with_minimal_b0(model(), 10, 0.5).global_skew_bound();
+        let b = AlgoParams::with_minimal_b0(model(), 19, 0.5).global_skew_bound();
+        assert!((b / a - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "B0 > 2(1+ρ)τ")]
+    fn too_small_b0_rejected() {
+        let _ = AlgoParams::new(model(), 16, 0.5, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "D > max")]
+    fn too_large_delta_h_rejected() {
+        // ΔH/(1−ρ) must stay below D = 2.
+        let _ = AlgoParams::new(model(), 16, 2.5, 100.0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Weighted-edge extension, end to end.
+//!
+//! The paper's conclusion sketches a weighted-graph view in which each
+//! edge's weight is its delay uncertainty and tighter links get tighter
+//! skew guarantees. Our extension floors the per-edge budget at `B0·w_e`.
+//! The budgets only *bind* while skew is being absorbed (the closure
+//! staircase after a merge steps by one budget per edge), so the visible
+//! effect of down-weighting the old edges is: smaller peak skew on them
+//! during the merge wave, paid for with a slower closure — exactly the
+//! Theorem 4.1 tradeoff, now per edge.
+
+use gcs_clocks::time::at;
+use gcs_clocks::HardwareClock;
+use gcs_core::{AlgoParams, GradientNode};
+use gcs_net::schedule::add_at;
+use gcs_net::{node, Edge, NodeId, TopologySchedule};
+use gcs_sim::{DelayStrategy, ModelParams, SimBuilder};
+use std::collections::BTreeMap;
+
+/// Cluster merge where all *old* edges carry weight `w` (the bridge stays
+/// at weight 1); returns (peak old-edge skew, closure time).
+fn run_merge_with_weight(w: f64) -> (f64, f64) {
+    let rho = 0.1;
+    let model = ModelParams::new(rho, 1.0, 2.0);
+    let n = 16;
+    let half = n / 2;
+    let t_bridge = 300.0; // skew ≈ 2ρ·300 = 60
+    let params = AlgoParams::with_minimal_b0(model, n, 0.5);
+    let bridge = Edge::between(half - 1, half);
+    let mut old_edges: Vec<Edge> = (0..half - 1).map(|i| Edge::between(i, i + 1)).collect();
+    old_edges.extend((half..n - 1).map(|i| Edge::between(i, i + 1)));
+    let schedule = TopologySchedule::static_graph(n, old_edges.clone())
+        .with_extra_events(vec![add_at(t_bridge, bridge)]);
+    let clocks: Vec<HardwareClock> = (0..n)
+        .map(|i| {
+            HardwareClock::constant(
+                if i < half - 1 { 1.0 + rho } else { 1.0 - rho },
+                rho,
+            )
+        })
+        .collect();
+    let weights_for = |i: usize| -> BTreeMap<NodeId, f64> {
+        let mut m = BTreeMap::new();
+        for e in &old_edges {
+            if e.touches(node(i)) {
+                m.insert(e.other(node(i)), w);
+            }
+        }
+        m
+    };
+    let mut sim = SimBuilder::new(model, schedule)
+        .clocks(clocks)
+        .delay(DelayStrategy::Max)
+        .build_with(|i| GradientNode::with_weights(params, weights_for(i)));
+    sim.run_until(at(t_bridge));
+    let mut peak_old: f64 = 0.0;
+    let mut closed_at = None;
+    let horizon = t_bridge + 250.0;
+    let mut t = t_bridge;
+    while t < horizon {
+        t += 0.5;
+        sim.run_until(at(t));
+        for e in &old_edges {
+            peak_old = peak_old.max((sim.logical(e.lo()) - sim.logical(e.hi())).abs());
+        }
+        let bridge_skew = (sim.logical(bridge.lo()) - sim.logical(bridge.hi())).abs();
+        if bridge_skew <= 1.5 * params.b0 {
+            closed_at.get_or_insert(t - t_bridge);
+        } else {
+            closed_at = None;
+        }
+    }
+    (
+        peak_old,
+        closed_at.expect("bridge should close within the horizon"),
+    )
+}
+
+#[test]
+fn down_weighted_old_edges_absorb_less_skew_but_close_slower() {
+    let (peak_unit, close_unit) = run_merge_with_weight(1.0);
+    let (peak_tight, close_tight) = run_merge_with_weight(0.3);
+    // The staircase steps shrink with the weight…
+    assert!(
+        peak_tight < 0.6 * peak_unit,
+        "weighted old edges should carry much less peak skew: {peak_tight} vs {peak_unit}"
+    );
+    // …and the closure is correspondingly slower (the per-edge tradeoff).
+    assert!(
+        close_tight > close_unit,
+        "tighter budgets must slow the closure: {close_tight} vs {close_unit}"
+    );
+}
+
+#[test]
+fn unit_weights_reproduce_plain_algorithm() {
+    // GradientNode::with_weights(…, all 1.0) must behave identically to
+    // GradientNode::new.
+    let model = ModelParams::new(0.01, 1.0, 2.0);
+    let n = 8;
+    let params = AlgoParams::with_minimal_b0(model, n, 0.5);
+    let run = |weighted: bool| {
+        let schedule =
+            TopologySchedule::static_graph(n, gcs_net::generators::ring(n));
+        let mut sim = SimBuilder::new(model, schedule)
+            .drift(gcs_clocks::DriftModel::SplitExtremes, 100.0)
+            .delay(DelayStrategy::Max)
+            .build_with(|i| {
+                if weighted {
+                    let mut w = BTreeMap::new();
+                    w.insert(node((i + 1) % n), 1.0);
+                    w.insert(node((i + n - 1) % n), 1.0);
+                    GradientNode::with_weights(params, w)
+                } else {
+                    GradientNode::new(params)
+                }
+            });
+        sim.run_until(at(100.0));
+        sim.logical_snapshot()
+    };
+    assert_eq!(run(false), run(true));
+}

@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! # gcs-lowerbound
+//!
+//! Executable versions of the paper's lower-bound machinery (Section 4):
+//!
+//! * [`mask`] — delay masks `M = (E_C, P)` and the *flexible distance*
+//!   `dist_M(u, v)` (minimum number of unconstrained edges on any path,
+//!   Definition 4.3), computed by 0–1 BFS.
+//! * [`masking`] — the Masking Lemma (Lemma 4.2) made executable: the
+//!   closed-form clock functions of executions α and β, the
+//!   indistinguishability time-mapping, and a legality checker that
+//!   verifies the Part II case analysis (β-delays in `[0, T]`, constrained
+//!   edges in `[P/(1+ρ), P]`) for arbitrary send/receive pairs.
+//! * [`subsequence`] — Lemma 4.3: extraction of a subsequence whose
+//!   consecutive gaps all lie in `[c−d, c]`, used to place the new edges
+//!   `E_new` carrying prescribed skew.
+//! * [`theorem41`] — the Theorem 4.1 scenario: the two-chain network with
+//!   delay-masked blocks, the β adversary (rates + delays) that drives a
+//!   real algorithm into the Ω(n) skew configuration of Figure 1(a), and
+//!   the `E_new` placement of Figure 1(b).
+
+pub mod mask;
+pub mod masking;
+pub mod subsequence;
+pub mod theorem41;
+
+pub use mask::{flexible_layers, DelayMask};
+pub use subsequence::lemma43_subsequence;
+pub use theorem41::Theorem41Scenario;

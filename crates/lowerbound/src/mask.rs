@@ -1,0 +1,203 @@
+//! Delay masks and flexible distance (Definitions 4.1–4.3).
+
+use gcs_net::{Edge, NodeId};
+use std::collections::{BTreeMap, VecDeque};
+
+/// A delay mask `M = (E_C, P)`: a set of constrained links with a
+/// prescribed message delay for each.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DelayMask {
+    constrained: BTreeMap<Edge, f64>,
+}
+
+impl DelayMask {
+    /// An empty mask (no constrained links).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A mask constraining every given edge to delay `p` (the common case
+    /// in Theorem 4.1, where `P(e) = T` on all of `E_block`).
+    pub fn uniform(edges: impl IntoIterator<Item = Edge>, p: f64) -> Self {
+        assert!(p >= 0.0);
+        DelayMask {
+            constrained: edges.into_iter().map(|e| (e, p)).collect(),
+        }
+    }
+
+    /// Adds a constrained link.
+    pub fn constrain(&mut self, e: Edge, p: f64) -> &mut Self {
+        assert!(p >= 0.0);
+        self.constrained.insert(e, p);
+        self
+    }
+
+    /// The prescribed delay of `e`, if constrained.
+    pub fn delay_of(&self, e: Edge) -> Option<f64> {
+        self.constrained.get(&e).copied()
+    }
+
+    /// True if `e ∈ E_C`.
+    pub fn is_constrained(&self, e: Edge) -> bool {
+        self.constrained.contains_key(&e)
+    }
+
+    /// The constrained-edge map (for building delay strategies).
+    pub fn pattern(&self) -> &BTreeMap<Edge, f64> {
+        &self.constrained
+    }
+
+    /// Number of constrained links.
+    pub fn len(&self) -> usize {
+        self.constrained.len()
+    }
+
+    /// True if no links are constrained.
+    pub fn is_empty(&self) -> bool {
+        self.constrained.is_empty()
+    }
+}
+
+/// Flexible distances `dist_M(u, ·)`: minimum number of *unconstrained*
+/// edges on any path from `u` (Definition 4.3). Constrained edges cost 0,
+/// unconstrained edges cost 1 — a 0–1 BFS.
+///
+/// Panics if the graph is disconnected from `u` (the constructions always
+/// use connected networks).
+pub fn flexible_layers(
+    n: usize,
+    edges: impl IntoIterator<Item = Edge>,
+    mask: &DelayMask,
+    u: NodeId,
+) -> Vec<usize> {
+    let mut adj: Vec<Vec<(NodeId, usize)>> = vec![Vec::new(); n];
+    for e in edges {
+        let w = usize::from(!mask.is_constrained(e));
+        adj[e.lo().index()].push((e.hi(), w));
+        adj[e.hi().index()].push((e.lo(), w));
+    }
+    let mut dist = vec![usize::MAX; n];
+    let mut dq = VecDeque::new();
+    dist[u.index()] = 0;
+    dq.push_back(u);
+    while let Some(x) = dq.pop_front() {
+        let dx = dist[x.index()];
+        for &(y, w) in &adj[x.index()] {
+            let nd = dx + w;
+            if nd < dist[y.index()] {
+                dist[y.index()] = nd;
+                if w == 0 {
+                    dq.push_front(y);
+                } else {
+                    dq.push_back(y);
+                }
+            }
+        }
+    }
+    assert!(
+        dist.iter().all(|&d| d != usize::MAX),
+        "network disconnected from {u:?}"
+    );
+    dist
+}
+
+/// Checks the two structural properties used in the Masking Lemma proof:
+/// constrained edges connect same-layer nodes, and unconstrained edges
+/// connect nodes whose layers differ by at most one. (These hold for any
+/// mask by construction of the 0–1 BFS; the checker exists to document and
+/// test that fact.)
+pub fn check_layer_properties(
+    layers: &[usize],
+    edges: impl IntoIterator<Item = Edge>,
+    mask: &DelayMask,
+) -> Result<(), String> {
+    for e in edges {
+        let (a, b) = (layers[e.lo().index()], layers[e.hi().index()]);
+        if mask.is_constrained(e) {
+            if a != b {
+                return Err(format!(
+                    "constrained edge {e:?} spans layers {a} and {b}"
+                ));
+            }
+        } else if a.abs_diff(b) > 1 {
+            return Err(format!(
+                "unconstrained edge {e:?} spans layers {a} and {b}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcs_net::{generators, node};
+
+    fn e(i: usize, j: usize) -> Edge {
+        Edge::between(i, j)
+    }
+
+    #[test]
+    fn no_mask_gives_hop_distance() {
+        let edges = generators::path(5);
+        let layers = flexible_layers(5, edges.clone(), &DelayMask::new(), node(0));
+        assert_eq!(layers, vec![0, 1, 2, 3, 4]);
+        check_layer_properties(&layers, edges, &DelayMask::new()).unwrap();
+    }
+
+    #[test]
+    fn constrained_prefix_is_free() {
+        // Path 0-1-2-3-4 with {0,1} and {1,2} constrained: layers 0,0,0,1,2.
+        let edges = generators::path(5);
+        let mask = DelayMask::uniform([e(0, 1), e(1, 2)], 1.0);
+        let layers = flexible_layers(5, edges.clone(), &mask, node(0));
+        assert_eq!(layers, vec![0, 0, 0, 1, 2]);
+        check_layer_properties(&layers, edges, &mask).unwrap();
+    }
+
+    #[test]
+    fn shortcut_through_constrained_edges() {
+        // Ring of 6 with half the ring constrained: flexible distance wraps
+        // through the free side.
+        let edges = generators::ring(6);
+        let mask = DelayMask::uniform([e(0, 1), e(1, 2), e(2, 3)], 0.5);
+        let layers = flexible_layers(6, edges.clone(), &mask, node(0));
+        // 0,1,2,3 are all reachable through constrained edges: layer 0.
+        assert_eq!(layers[0], 0);
+        assert_eq!(layers[1], 0);
+        assert_eq!(layers[2], 0);
+        assert_eq!(layers[3], 0);
+        // 4 borders 3 (layer 0) and 5; 5 borders 0.
+        assert_eq!(layers[4], 1);
+        assert_eq!(layers[5], 1);
+        check_layer_properties(&layers, edges, &mask).unwrap();
+    }
+
+    #[test]
+    fn mask_accessors() {
+        let mut m = DelayMask::new();
+        assert!(m.is_empty());
+        m.constrain(e(0, 1), 0.7);
+        assert_eq!(m.len(), 1);
+        assert!(m.is_constrained(e(0, 1)));
+        assert_eq!(m.delay_of(e(0, 1)), Some(0.7));
+        assert_eq!(m.delay_of(e(1, 2)), None);
+    }
+
+    #[test]
+    fn layer_property_checker_detects_violations() {
+        // Fabricated bad layers.
+        let layers = vec![0, 2];
+        let err = check_layer_properties(&layers, [e(0, 1)], &DelayMask::new());
+        assert!(err.is_err());
+        let mask = DelayMask::uniform([e(0, 1)], 1.0);
+        let err2 = check_layer_properties(&[0, 1], [e(0, 1)], &mask);
+        assert!(err2.is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "disconnected")]
+    fn disconnected_rejected() {
+        let _ = flexible_layers(3, [e(0, 1)], &DelayMask::new(), node(0));
+    }
+}

@@ -1,0 +1,145 @@
+//! Lemma 4.3: subsequence extraction with prescribed gaps.
+//!
+//! Given `x_1, …, x_n` with `x_1 ≤ x_n` and `|x_i − x_{i+1}| ≤ d`, and any
+//! `c > d`, there is a subsequence `x_{i_1}, …, x_{i_m}` with
+//!
+//! 1. `m ≤ (x_n − x_1)/(c − d) + 1`, and
+//! 2. every consecutive gap `x_{i_{j+1}} − x_{i_j} ∈ [c − d, c]`.
+//!
+//! Theorem 4.1 applies this to the logical clocks along the B-chain to
+//! choose where the new edges `E_new` go: each new edge then carries skew
+//! in `[I − S, I]` with `c = I` and `d = S`.
+
+/// Returns the indices `i_1 < … < i_m` of the lemma's subsequence,
+/// following the proof's inductive construction exactly.
+pub fn lemma43_subsequence(xs: &[f64], c: f64, d: f64) -> Vec<usize> {
+    let n = xs.len();
+    assert!(n >= 2, "need at least two values");
+    assert!(c > d && d >= 0.0, "need c > d >= 0 (got c={c}, d={d})");
+    assert!(
+        xs[0] <= xs[n - 1],
+        "need x_1 <= x_n (got {} > {})",
+        xs[0],
+        xs[n - 1]
+    );
+    for w in xs.windows(2) {
+        assert!(
+            (w[0] - w[1]).abs() <= d + 1e-9,
+            "adjacent gap {} exceeds d = {d}",
+            (w[0] - w[1]).abs()
+        );
+    }
+    let mut indices = vec![0usize];
+    loop {
+        let ij = *indices.last().expect("non-empty");
+        // i_{j+1} := min({n} ∪ {ℓ | i_j < ℓ < n and x_ℓ − x_{i_j} >= c − d
+        //                        and x_ℓ <= x_n})
+        let next = (ij + 1..n - 1)
+            .find(|&l| xs[l] - xs[ij] >= c - d && xs[l] <= xs[n - 1])
+            .unwrap_or(n - 1);
+        if next == n - 1 {
+            // The sequence reaches n and stays there; m = max{j : i_j < n}.
+            break;
+        }
+        indices.push(next);
+    }
+    indices
+}
+
+/// Checks the lemma's two conclusions on a produced subsequence. Returns
+/// `Err` with a description on failure (used by tests and by the Theorem
+/// 4.1 builder as a sanity check).
+pub fn check_lemma43(xs: &[f64], c: f64, d: f64, indices: &[usize]) -> Result<(), String> {
+    let n = xs.len();
+    let m = indices.len();
+    let bound = (xs[n - 1] - xs[0]) / (c - d) + 1.0;
+    if (m as f64) > bound + 1e-9 {
+        return Err(format!("m = {m} exceeds bound {bound}"));
+    }
+    for w in indices.windows(2) {
+        let gap = xs[w[1]] - xs[w[0]];
+        if !(c - d - 1e-9..=c + 1e-9).contains(&gap) {
+            return Err(format!(
+                "gap x[{}] - x[{}] = {gap} outside [{}, {c}]",
+                w[1],
+                w[0],
+                c - d
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn monotone_ramp() {
+        let xs: Vec<f64> = (0..11).map(|i| i as f64).collect(); // d = 1
+        let idx = lemma43_subsequence(&xs, 3.0, 1.0);
+        check_lemma43(&xs, 3.0, 1.0, &idx).unwrap();
+        // Gaps of >= 2: indices 0, 2, 4, 6, 8 (last index 10 excluded from
+        // the subsequence by the proof's max{j : i_j < n}).
+        assert_eq!(idx, vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn zigzag_sequence() {
+        let xs = vec![0.0, 1.0, 0.5, 1.5, 1.0, 2.0, 1.5, 2.5, 2.0, 3.0];
+        // d = 1 (max adjacent gap is 1, some negative).
+        let idx = lemma43_subsequence(&xs, 2.5, 1.0);
+        check_lemma43(&xs, 2.5, 1.0, &idx).unwrap();
+    }
+
+    #[test]
+    fn flat_sequence_gives_single_index() {
+        let xs = vec![5.0; 8];
+        let idx = lemma43_subsequence(&xs, 1.0, 0.5);
+        assert_eq!(idx, vec![0]);
+        check_lemma43(&xs, 1.0, 0.5, &idx).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "x_1 <= x_n")]
+    fn decreasing_endpoints_rejected() {
+        let _ = lemma43_subsequence(&[3.0, 2.0, 1.0], 2.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds d")]
+    fn oversized_step_rejected() {
+        let _ = lemma43_subsequence(&[0.0, 5.0, 6.0], 2.0, 1.0);
+    }
+
+    proptest! {
+        /// The construction satisfies the lemma's conclusions on random
+        /// bounded-step sequences.
+        #[test]
+        fn lemma_holds_on_random_sequences(
+            steps in prop::collection::vec(-1.0f64..1.0, 2..60),
+            c_extra in 0.1f64..3.0,
+        ) {
+            let d = 1.0;
+            let c = d + c_extra;
+            let mut xs = vec![0.0f64];
+            for s in &steps {
+                xs.push(xs.last().unwrap() + s);
+            }
+            // Enforce x_1 <= x_n by mirroring if needed.
+            if xs[0] > *xs.last().unwrap() {
+                for x in xs.iter_mut() {
+                    *x = -*x;
+                }
+            }
+            let idx = lemma43_subsequence(&xs, c, d);
+            prop_assert!(check_lemma43(&xs, c, d, &idx).is_ok());
+            // Indices strictly increasing and within range.
+            for w in idx.windows(2) {
+                prop_assert!(w[0] < w[1]);
+            }
+            prop_assert!(*idx.last().unwrap() < xs.len());
+        }
+    }
+}

@@ -1,0 +1,290 @@
+//! The Theorem 4.1 scenario (Figure 1).
+//!
+//! The network is the two-chain graph of
+//! [`TwoChain`](gcs_net::generators::TwoChain): `w0` and `wn` joined by
+//! chain A and chain B. The delay mask constrains `E_block` — the first
+//! `⌈k⌉` and last `⌈k⌉`-ish edges of chain A — to delay `T`, so the
+//! designated nodes `u, v` on chain A sit at flexible distance
+//! `≈ n/2 − 2(k+1)` from each other while staying within `k` *constrained*
+//! hops of `w0` and `wn`.
+//!
+//! Running any clock synchronization algorithm under the β adversary
+//! (layered rates + mapped delays, see [`crate::masking`]) drives the
+//! execution into the configuration of Figure 1(a): `Ω(n)` skew between
+//! `u` and `v`, and hence between `w0` and `wn`. Lemma 4.3 then picks the
+//! positions of the new edges `E_new` on chain B so that each carries skew
+//! in `[I − S, I]` (Figure 1(b)).
+
+use crate::mask::{flexible_layers, DelayMask};
+use crate::masking;
+use crate::subsequence::{check_lemma43, lemma43_subsequence};
+use gcs_clocks::{drift, HardwareClock};
+use gcs_net::generators::TwoChain;
+use gcs_net::{Edge, NodeId, TopologySchedule};
+use gcs_sim::DelayStrategy;
+
+/// A fully-specified Theorem 4.1 construction.
+#[derive(Clone, Debug)]
+pub struct Theorem41Scenario {
+    /// The two-chain network.
+    pub tc: TwoChain,
+    /// The block parameter `k` (the paper's `k = δ·n/s̄(n)`).
+    pub k: f64,
+    /// The delay mask `(E_block, P ≡ T)`.
+    pub mask: DelayMask,
+    /// Flexible distances from `u`.
+    pub layers: Vec<usize>,
+    /// Drift bound ρ.
+    pub rho: f64,
+    /// Delay bound `T`.
+    pub big_t: f64,
+}
+
+impl Theorem41Scenario {
+    /// Builds the construction for `n ≥ 8` nodes with block parameter `k`.
+    pub fn new(n: usize, k: f64, rho: f64, big_t: f64) -> Self {
+        assert!(k >= 1.0, "block parameter k must be >= 1");
+        let tc = TwoChain::new(n);
+        let mask = DelayMask::uniform(tc.e_block(k), big_t);
+        let layers = flexible_layers(n, tc.edges(), &mask, tc.u(k));
+        Theorem41Scenario {
+            tc,
+            k,
+            mask,
+            layers,
+            rho,
+            big_t,
+        }
+    }
+
+    /// The designated node `u = ⟨⌈k⌉, A⟩`.
+    pub fn u(&self) -> NodeId {
+        self.tc.u(self.k)
+    }
+
+    /// The designated node `v = ⟨⌊n/2 − k⌋, A⟩`.
+    pub fn v(&self) -> NodeId {
+        self.tc.v(self.k)
+    }
+
+    /// Flexible distance `dist_M(u, v)`.
+    pub fn flexible_distance_uv(&self) -> usize {
+        self.layers[self.v().index()]
+    }
+
+    /// The static topology schedule (before `E_new`).
+    pub fn schedule(&self) -> TopologySchedule {
+        TopologySchedule::static_graph(self.tc.n, self.tc.edges())
+    }
+
+    /// Hardware clocks of execution β: layer `j` runs at `1+ρ` until
+    /// `jT/ρ`, rate 1 after.
+    pub fn beta_clocks(&self) -> Vec<HardwareClock> {
+        self.layers
+            .iter()
+            .map(|&j| {
+                HardwareClock::new(drift::layered_beta(j, self.rho, self.big_t), self.rho)
+            })
+            .collect()
+    }
+
+    /// Hardware clocks of execution α (all rate 1).
+    pub fn alpha_clocks(&self) -> Vec<HardwareClock> {
+        (0..self.tc.n)
+            .map(|_| HardwareClock::perfect(self.rho))
+            .collect()
+    }
+
+    /// The α delay adversary: `P(e)` on `E_block`, `T` uphill, 0 downhill.
+    pub fn alpha_delays(&self) -> DelayStrategy {
+        DelayStrategy::Layered {
+            layer: self.layers.clone(),
+            constrained: self.mask.pattern().clone(),
+            intra: 0.0,
+        }
+    }
+
+    /// The β delay adversary: α mapped through the clock correspondence.
+    pub fn beta_delays(&self) -> DelayStrategy {
+        DelayStrategy::BetaLayered {
+            layer: self.layers.clone(),
+            constrained: self.mask.pattern().clone(),
+            rho: self.rho,
+            intra: 0.0,
+        }
+    }
+
+    /// Real time after which Lemma 4.2's skew guarantee is in force for
+    /// the pair `(u, v)`.
+    pub fn ready_time(&self) -> f64 {
+        masking::lemma42_ready_time(self.flexible_distance_uv(), self.big_t, self.rho)
+    }
+
+    /// The guaranteed skew `T·dist_M(u,v)/4` (in α or β).
+    pub fn skew_bound(&self) -> f64 {
+        masking::lemma42_skew_bound(self.flexible_distance_uv(), self.big_t)
+    }
+
+    /// Chain B's nodes in chain order (`w0 … wn`), whose clock values feed
+    /// Lemma 4.3.
+    pub fn b_chain(&self) -> Vec<NodeId> {
+        self.tc.b_chain()
+    }
+
+    /// Places `E_new` (Figure 1(b)): given the logical clocks of the
+    /// B-chain nodes at `T1` (in chain order), the per-edge skew bound `S`
+    /// (the paper's `S = ξ·s̄(n)`), and the prescribed skew `I > S`,
+    /// returns the new edges, each carrying skew in `[I − S, I]` at `T1`.
+    ///
+    /// The clock sequence may run in either direction; it is reversed
+    /// internally if `x_1 > x_n`.
+    pub fn place_new_edges(&self, b_clocks: &[f64], i_skew: f64, s: f64) -> Vec<Edge> {
+        let chain = self.b_chain();
+        assert_eq!(b_clocks.len(), chain.len());
+        let (values, nodes): (Vec<f64>, Vec<NodeId>) =
+            if b_clocks.first() <= b_clocks.last() {
+                (b_clocks.to_vec(), chain)
+            } else {
+                (
+                    b_clocks.iter().rev().copied().collect(),
+                    chain.into_iter().rev().collect(),
+                )
+            };
+        let idx = lemma43_subsequence(&values, i_skew, s);
+        check_lemma43(&values, i_skew, s, &idx).expect("Lemma 4.3 construction failed");
+        idx.windows(2)
+            .map(|w| Edge::new(nodes[w[0]], nodes[w[1]]))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcs_clocks::time::at;
+    use gcs_core::{AlgoParams, GradientNode};
+    use gcs_sim::{ModelParams, SimBuilder};
+
+    const RHO: f64 = 0.01;
+    const T: f64 = 1.0;
+
+    #[test]
+    fn construction_geometry() {
+        let sc = Theorem41Scenario::new(20, 2.0, RHO, T);
+        assert_eq!(sc.layers[sc.u().index()], 0);
+        // u and v are separated by n/2 − 2k unconstrained A-edges.
+        assert_eq!(sc.flexible_distance_uv(), 6);
+        // w0 and wn are at flexible distance 0 and dist(v) respectively
+        // (the masked blocks are free).
+        assert_eq!(sc.layers[sc.tc.w0().index()], 0);
+        assert_eq!(
+            sc.layers[sc.tc.wn().index()],
+            sc.flexible_distance_uv()
+        );
+    }
+
+    #[test]
+    fn layer_properties_hold() {
+        let sc = Theorem41Scenario::new(32, 3.0, RHO, T);
+        crate::mask::check_layer_properties(&sc.layers, sc.tc.edges(), &sc.mask).unwrap();
+    }
+
+    #[test]
+    fn beta_delays_legal_on_scenario() {
+        let sc = Theorem41Scenario::new(24, 2.0, RHO, T);
+        let times: Vec<f64> = (0..3000).map(|i| i as f64 * 0.5).collect();
+        let v = masking::verify_beta_legality(
+            &sc.tc.edges(),
+            &sc.layers,
+            &sc.mask,
+            RHO,
+            T,
+            0.0,
+            &times,
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    /// The headline reproduction: running the *actual* Algorithm 2 under
+    /// the β adversary produces at least the skew the Masking Lemma
+    /// guarantees (the α execution provably carries almost none, so the
+    /// lemma's `max(α, β) ≥ T·d/4` lands on β).
+    #[test]
+    fn beta_execution_builds_omega_n_skew() {
+        let n = 20;
+        let sc = Theorem41Scenario::new(n, 2.0, RHO, T);
+        let model = ModelParams::new(RHO, T, 2.0);
+        let params = AlgoParams::with_minimal_b0(model, n, 0.5);
+        let mut sim = SimBuilder::new(model, sc.schedule())
+            .clocks(sc.beta_clocks())
+            .delay(sc.beta_delays())
+            .build_with(|_| GradientNode::new(params));
+        let t2 = sc.ready_time() + 10.0;
+        sim.run_until(at(t2));
+        let skew = (sim.logical(sc.u()) - sim.logical(sc.v())).abs();
+        assert!(
+            skew >= sc.skew_bound(),
+            "β execution built only {skew}, lemma guarantees {}",
+            sc.skew_bound()
+        );
+    }
+
+    /// In α (all rates 1) the same algorithm keeps u and v tightly
+    /// synchronized — the skew really comes from the masking adversary.
+    #[test]
+    fn alpha_execution_stays_tight() {
+        let n = 20;
+        let sc = Theorem41Scenario::new(n, 2.0, RHO, T);
+        let model = ModelParams::new(RHO, T, 2.0);
+        let params = AlgoParams::with_minimal_b0(model, n, 0.5);
+        let mut sim = SimBuilder::new(model, sc.schedule())
+            .clocks(sc.alpha_clocks())
+            .delay(sc.alpha_delays())
+            .build_with(|_| GradientNode::new(params));
+        sim.run_until(at(sc.ready_time() + 10.0));
+        let skew = (sim.logical(sc.u()) - sim.logical(sc.v())).abs();
+        assert!(
+            skew < sc.skew_bound() / 4.0,
+            "α execution unexpectedly skewed: {skew}"
+        );
+    }
+
+    #[test]
+    fn new_edge_placement_carries_prescribed_skew() {
+        let sc = Theorem41Scenario::new(24, 2.0, RHO, T);
+        // Synthetic B-chain clocks: ramp from 0 to 60 with steps <= 6.
+        let chain_len = sc.b_chain().len();
+        let b_clocks: Vec<f64> = (0..chain_len).map(|i| 5.0 * i as f64).collect();
+        let s = 6.0;
+        let i_skew = 20.0;
+        let edges = sc.place_new_edges(&b_clocks, i_skew, s);
+        assert!(!edges.is_empty());
+        // Verify every new edge's endpoint clock difference is in
+        // [I − S, I].
+        let chain = sc.b_chain();
+        let clock_of = |w: NodeId| {
+            let pos = chain.iter().position(|&x| x == w).unwrap();
+            b_clocks[pos]
+        };
+        for e in &edges {
+            let gap = (clock_of(e.lo()) - clock_of(e.hi())).abs();
+            assert!(
+                gap >= i_skew - s - 1e-9 && gap <= i_skew + 1e-9,
+                "edge {e:?} carries {gap}, want [{}, {i_skew}]",
+                i_skew - s
+            );
+        }
+        // |E_new| <= G/(I−S) + 1 with G = total B-chain spread.
+        let spread = b_clocks.last().unwrap() - b_clocks[0];
+        assert!((edges.len() as f64) <= spread / (i_skew - s) + 1.0);
+    }
+
+    #[test]
+    fn place_new_edges_handles_descending_chains() {
+        let sc = Theorem41Scenario::new(24, 2.0, RHO, T);
+        let chain_len = sc.b_chain().len();
+        let b_clocks: Vec<f64> = (0..chain_len).map(|i| 100.0 - 5.0 * i as f64).collect();
+        let edges = sc.place_new_edges(&b_clocks, 20.0, 6.0);
+        assert!(!edges.is_empty());
+    }
+}

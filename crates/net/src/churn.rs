@@ -1,0 +1,323 @@
+//! Dynamic-topology generators (churn models).
+//!
+//! Each builder returns a validated [`TopologySchedule`]. The paper's model
+//! permits *arbitrary* edge churn subject to T-interval connectivity
+//! (Definition 3.1), so these builders are parameterized to let callers
+//! stay inside — or deliberately step outside — that envelope:
+//!
+//! * [`rotating_star`] — the canonical "always changing, never stable"
+//!   dynamic graph: the star hub migrates every `period`, with `overlap`
+//!   during which both stars coexist. Choosing `overlap ≥ T` keeps the
+//!   schedule T-interval connected even though no single edge is long-lived.
+//! * [`staggered_ring`] — ring whose edges take turns failing; with outage
+//!   spacing `> T` the surviving graph in every T-window is a path.
+//! * [`random_churn`] — static backbone plus randomly flapping chords.
+//! * [`mobility`] — random-waypoint motion over the unit square with a
+//!   geometric connectivity radius, sampled every `sample_dt`.
+
+use crate::generators;
+use crate::ids::{node, Edge};
+use crate::schedule::{TopologyEvent, TopologyEventKind, TopologySchedule};
+use gcs_clocks::Time;
+use rand::Rng;
+use std::collections::BTreeSet;
+
+fn ev(t: f64, kind: TopologyEventKind, edge: Edge) -> TopologyEvent {
+    TopologyEvent {
+        time: Time::new(t),
+        kind,
+        edge,
+    }
+}
+
+/// A star whose hub migrates: hub `k mod n` is active during
+/// `[k·period − overlap, (k+1)·period)`, so consecutive stars overlap for
+/// `overlap` seconds. With `overlap ≥ T + D` the schedule is
+/// `(T+D)`-interval connected while every individual edge lives at most
+/// `period + overlap`.
+pub fn rotating_star(n: usize, period: f64, overlap: f64, horizon: f64) -> TopologySchedule {
+    assert!(n >= 3, "rotating star needs n >= 3");
+    assert!(period > 0.0 && overlap > 0.0 && overlap < period);
+    let initial = generators::star(n, 0);
+    let mut events = Vec::new();
+    let mut k = 0usize;
+    loop {
+        let switch = (k + 1) as f64 * period;
+        if switch - overlap > horizon {
+            break;
+        }
+        let old_hub = k % n;
+        let new_hub = (k + 1) % n;
+        let t_add = switch - overlap;
+        // Bring up the new star (skip edges already in the old star, i.e.
+        // the {old_hub, new_hub} edge and, when hubs coincide, everything).
+        for i in 0..n {
+            if i == new_hub {
+                continue;
+            }
+            let e = Edge::between(new_hub, i);
+            if !e.touches(node(old_hub)) {
+                events.push(ev(t_add, TopologyEventKind::Add, e));
+            }
+        }
+        // Tear down the old star at the switch, keeping shared edges.
+        for i in 0..n {
+            if i == old_hub {
+                continue;
+            }
+            let e = Edge::between(old_hub, i);
+            if !e.touches(node(new_hub)) {
+                events.push(ev(switch, TopologyEventKind::Remove, e));
+            }
+        }
+        k += 1;
+    }
+    TopologySchedule::new(n, initial, events)
+}
+
+/// Ring over `n` nodes whose edges take turns failing. Edge `i` (the edge
+/// between nodes `i` and `i+1 mod n`) is down during
+/// `[start + i·spacing + r·n·spacing, … + downtime)` for every round `r`.
+/// With `spacing ≥ downtime + T`, at most one ring edge is missing from any
+/// `T`-window, so the schedule stays T-interval connected.
+pub fn staggered_ring(
+    n: usize,
+    spacing: f64,
+    downtime: f64,
+    start: f64,
+    horizon: f64,
+) -> TopologySchedule {
+    assert!(n >= 4, "staggered ring needs n >= 4");
+    assert!(spacing > downtime && downtime > 0.0 && start > 0.0);
+    let initial = generators::ring(n);
+    let ring_edge = |i: usize| Edge::between(i, (i + 1) % n);
+    let mut events = Vec::new();
+    let mut t = start;
+    let mut i = 0usize;
+    while t + downtime <= horizon {
+        events.push(ev(t, TopologyEventKind::Remove, ring_edge(i)));
+        events.push(ev(t + downtime, TopologyEventKind::Add, ring_edge(i)));
+        i = (i + 1) % n;
+        t += spacing;
+    }
+    TopologySchedule::new(n, initial, events)
+}
+
+/// A static backbone (guaranteeing connectivity) plus `chords` random extra
+/// edges that flap: each chord independently toggles with up-times drawn
+/// from `[min_up, max_up]` and down-times from `[min_down, max_down]`.
+pub fn random_churn<R: Rng>(
+    n: usize,
+    backbone: Vec<Edge>,
+    chords: usize,
+    up_range: (f64, f64),
+    down_range: (f64, f64),
+    horizon: f64,
+    rng: &mut R,
+) -> TopologySchedule {
+    assert!(up_range.0 > 0.0 && up_range.0 <= up_range.1);
+    assert!(down_range.0 > 0.0 && down_range.0 <= down_range.1);
+    let backbone_set: BTreeSet<Edge> = backbone.iter().copied().collect();
+    // Pick distinct chord edges not in the backbone.
+    let mut chord_edges = BTreeSet::new();
+    let mut guard = 0;
+    while chord_edges.len() < chords {
+        guard += 1;
+        assert!(
+            guard < 100 * chords + 1000,
+            "could not find {chords} distinct chords for n={n}"
+        );
+        let i = rng.gen_range(0..n);
+        let j = rng.gen_range(0..n);
+        if i == j {
+            continue;
+        }
+        let e = Edge::between(i, j);
+        if !backbone_set.contains(&e) {
+            chord_edges.insert(e);
+        }
+    }
+    let mut initial = backbone;
+    let mut events = Vec::new();
+    for e in chord_edges {
+        let mut up = rng.gen_bool(0.5);
+        if up {
+            initial.push(e);
+        }
+        let mut t = rng.gen_range(0.01..up_range.1);
+        while t <= horizon {
+            let kind = if up {
+                TopologyEventKind::Remove
+            } else {
+                TopologyEventKind::Add
+            };
+            events.push(ev(t, kind, e));
+            up = !up;
+            let dwell = if up {
+                rng.gen_range(up_range.0..=up_range.1)
+            } else {
+                rng.gen_range(down_range.0..=down_range.1)
+            };
+            t += dwell;
+        }
+    }
+    TopologySchedule::new(n, initial, events)
+}
+
+/// Random-waypoint mobility over the unit square.
+///
+/// Each node picks a random waypoint and moves toward it at `speed`,
+/// re-picking on arrival. Connectivity is the geometric graph with the
+/// given `radius`, sampled every `sample_dt`; edge diffs between samples
+/// become add/remove events. If `backbone` is true a static path backbone
+/// is overlaid so the schedule stays connected regardless of geometry.
+#[allow(clippy::too_many_arguments)]
+pub fn mobility<R: Rng>(
+    n: usize,
+    radius: f64,
+    speed: f64,
+    sample_dt: f64,
+    horizon: f64,
+    backbone: bool,
+    rng: &mut R,
+) -> TopologySchedule {
+    assert!(n >= 2 && radius > 0.0 && speed > 0.0 && sample_dt > 0.0);
+    let mut pos = generators::random_positions(n, rng);
+    let mut waypoint = generators::random_positions(n, rng);
+    let backbone_edges: BTreeSet<Edge> = if backbone {
+        generators::path(n).into_iter().collect()
+    } else {
+        BTreeSet::new()
+    };
+    let geo_now: BTreeSet<Edge> = generators::geometric(&pos, radius).into_iter().collect();
+    let mut current: BTreeSet<Edge> = geo_now.union(&backbone_edges).copied().collect();
+    let initial: Vec<Edge> = current.iter().copied().collect();
+    let mut events = Vec::new();
+    let mut t = sample_dt;
+    while t <= horizon {
+        // Advance every node toward its waypoint.
+        for i in 0..n {
+            let (px, py) = pos[i];
+            let (wx, wy) = waypoint[i];
+            let (dx, dy) = (wx - px, wy - py);
+            let d = (dx * dx + dy * dy).sqrt();
+            let step = speed * sample_dt;
+            if d <= step {
+                pos[i] = (wx, wy);
+                waypoint[i] = (rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0));
+            } else {
+                pos[i] = (px + dx / d * step, py + dy / d * step);
+            }
+        }
+        let geo: BTreeSet<Edge> = generators::geometric(&pos, radius).into_iter().collect();
+        let next: BTreeSet<Edge> = geo.union(&backbone_edges).copied().collect();
+        for &e in next.difference(&current) {
+            events.push(ev(t, TopologyEventKind::Add, e));
+        }
+        for &e in current.difference(&next) {
+            events.push(ev(t, TopologyEventKind::Remove, e));
+        }
+        current = next;
+        t += sample_dt;
+    }
+    TopologySchedule::new(n, initial, events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connectivity::{is_connected, is_interval_connected};
+    use gcs_clocks::time::{at, secs};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rotating_star_interval_connected_with_overlap() {
+        let s = rotating_star(6, 10.0, 3.0, 100.0);
+        // overlap 3 >= T 2 => 2-interval connected
+        assert!(is_interval_connected(&s, secs(2.0), at(100.0)));
+        // but 5-interval windows can straddle a full overlap: not enough
+        assert!(!is_interval_connected(&s, secs(5.0), at(100.0)));
+    }
+
+    #[test]
+    fn rotating_star_edges_change() {
+        let s = rotating_star(5, 10.0, 2.0, 50.0);
+        let early = s.edges_at(at(0.0));
+        let late = s.edges_at(at(25.0));
+        assert_ne!(early, late);
+        // At all times the instantaneous graph is connected.
+        for t in [0.0, 8.5, 10.0, 19.0, 33.3, 49.0] {
+            let edges = s.edges_at(at(t));
+            assert!(is_connected(5, edges.iter().copied()), "t={t}");
+        }
+    }
+
+    #[test]
+    fn staggered_ring_interval_connected() {
+        // spacing 5 > downtime 2 + T 2
+        let s = staggered_ring(6, 5.0, 2.0, 1.0, 200.0);
+        assert!(is_interval_connected(&s, secs(2.0), at(200.0)));
+    }
+
+    #[test]
+    fn staggered_ring_tight_spacing_fails() {
+        // downtimes of consecutive edges overlap within a 4-window
+        let s = staggered_ring(6, 3.0, 2.0, 1.0, 100.0);
+        assert!(!is_interval_connected(&s, secs(4.0), at(100.0)));
+    }
+
+    #[test]
+    fn random_churn_keeps_backbone() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let s = random_churn(
+            10,
+            generators::path(10),
+            8,
+            (2.0, 6.0),
+            (1.0, 3.0),
+            100.0,
+            &mut rng,
+        );
+        // Backbone never churns => always interval connected.
+        assert!(is_interval_connected(&s, secs(5.0), at(100.0)));
+        assert!(!s.events().is_empty());
+    }
+
+    #[test]
+    fn random_churn_deterministic_per_seed() {
+        let mk = || {
+            let mut rng = StdRng::seed_from_u64(42);
+            random_churn(
+                8,
+                generators::path(8),
+                5,
+                (2.0, 4.0),
+                (1.0, 2.0),
+                60.0,
+                &mut rng,
+            )
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn mobility_with_backbone_connected() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let s = mobility(12, 0.3, 0.05, 1.0, 50.0, true, &mut rng);
+        assert!(is_interval_connected(&s, secs(1.0), at(50.0)));
+    }
+
+    #[test]
+    fn mobility_produces_churn() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let s = mobility(15, 0.25, 0.1, 1.0, 80.0, false, &mut rng);
+        let adds = s
+            .events()
+            .iter()
+            .filter(|e| e.kind == TopologyEventKind::Add)
+            .count();
+        let removes = s.events().len() - adds;
+        assert!(adds > 0 && removes > 0, "adds={adds} removes={removes}");
+    }
+}

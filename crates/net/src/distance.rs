@@ -1,0 +1,137 @@
+//! BFS distances, eccentricity, and diameter on static edge sets.
+//!
+//! The paper's lower bound reasons about hop distances in the *static*
+//! graphs underlying its constructions (`dist(u, v)` in Section 3.1), so
+//! plain BFS over an edge list is all we need.
+
+use crate::ids::{Edge, NodeId};
+use std::collections::VecDeque;
+
+/// Adjacency lists from an edge list.
+pub fn adjacency(n: usize, edges: impl IntoIterator<Item = Edge>) -> Vec<Vec<NodeId>> {
+    let mut adj = vec![Vec::new(); n];
+    for e in edges {
+        assert!(e.hi().index() < n, "edge {e:?} out of range for n={n}");
+        adj[e.lo().index()].push(e.hi());
+        adj[e.hi().index()].push(e.lo());
+    }
+    adj
+}
+
+/// Hop distances from `src` to every node; `None` for unreachable nodes.
+pub fn bfs_distance(
+    n: usize,
+    edges: impl IntoIterator<Item = Edge>,
+    src: NodeId,
+) -> Vec<Option<usize>> {
+    bfs_on_adjacency(&adjacency(n, edges), src)
+}
+
+/// BFS over prebuilt adjacency lists.
+pub fn bfs_on_adjacency(adj: &[Vec<NodeId>], src: NodeId) -> Vec<Option<usize>> {
+    let mut dist = vec![None; adj.len()];
+    let mut queue = VecDeque::new();
+    dist[src.index()] = Some(0);
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()].expect("queued nodes have distances");
+        for &w in &adj[u.index()] {
+            if dist[w.index()].is_none() {
+                dist[w.index()] = Some(du + 1);
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// Distance between a specific pair, `None` if disconnected.
+pub fn distance(
+    n: usize,
+    edges: impl IntoIterator<Item = Edge>,
+    u: NodeId,
+    v: NodeId,
+) -> Option<usize> {
+    bfs_distance(n, edges, u)[v.index()]
+}
+
+/// Eccentricity of `src` (max distance to any node); `None` if the graph is
+/// disconnected from `src`.
+pub fn eccentricity(adj: &[Vec<NodeId>], src: NodeId) -> Option<usize> {
+    let dist = bfs_on_adjacency(adj, src);
+    let mut ecc = 0;
+    for d in dist {
+        ecc = ecc.max(d?);
+    }
+    Some(ecc)
+}
+
+/// Diameter of the graph; `None` if disconnected.
+pub fn diameter(n: usize, edges: impl IntoIterator<Item = Edge>) -> Option<usize> {
+    let adj = adjacency(n, edges);
+    let mut diam = 0;
+    for i in 0..n {
+        diam = diam.max(eccentricity(&adj, NodeId::from_index(i))?);
+    }
+    Some(diam)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::ids::node;
+
+    #[test]
+    fn path_distances() {
+        let edges = generators::path(5);
+        let d = bfs_distance(5, edges, node(0));
+        assert_eq!(d, vec![Some(0), Some(1), Some(2), Some(3), Some(4)]);
+    }
+
+    #[test]
+    fn path_diameter() {
+        assert_eq!(diameter(6, generators::path(6)), Some(5));
+    }
+
+    #[test]
+    fn ring_diameter() {
+        assert_eq!(diameter(6, generators::ring(6)), Some(3));
+        assert_eq!(diameter(7, generators::ring(7)), Some(3));
+    }
+
+    #[test]
+    fn star_diameter() {
+        assert_eq!(diameter(8, generators::star(8, 0)), Some(2));
+    }
+
+    #[test]
+    fn complete_diameter() {
+        assert_eq!(diameter(5, generators::complete(5)), Some(1));
+    }
+
+    #[test]
+    fn grid_diameter() {
+        assert_eq!(diameter(12, generators::grid(3, 4)), Some(5));
+    }
+
+    #[test]
+    fn disconnected_returns_none() {
+        let edges = vec![Edge::between(0, 1)];
+        assert_eq!(distance(4, edges.clone(), node(0), node(3)), None);
+        assert_eq!(diameter(4, edges), None);
+    }
+
+    #[test]
+    fn pair_distance() {
+        let edges = generators::ring(8);
+        assert_eq!(distance(8, edges, node(0), node(4)), Some(4));
+    }
+
+    #[test]
+    fn eccentricity_on_path() {
+        let adj = adjacency(5, generators::path(5));
+        assert_eq!(eccentricity(&adj, node(0)), Some(4));
+        assert_eq!(eccentricity(&adj, node(2)), Some(2));
+    }
+}

@@ -1,0 +1,248 @@
+//! Replayable dynamic-graph state.
+//!
+//! [`DynamicGraph`] is the *live* view the simulator maintains while
+//! replaying a [`TopologySchedule`]: current adjacency plus the full
+//! presence history of every edge ever seen, which supports the
+//! `exists_throughout` queries used by analysis and invariant checking.
+
+use crate::ids::{Edge, NodeId};
+use crate::schedule::{TopologyEventKind, TopologySchedule};
+use gcs_clocks::Time;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One presence interval of an edge: `[added, removed)` where `removed` is
+/// `None` while the edge is still up.
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PresenceInterval {
+    /// When the edge (re)appeared.
+    pub added: Time,
+    /// When it was removed, if it has been.
+    pub removed: Option<Time>,
+}
+
+/// Live dynamic-graph state with history.
+#[derive(Clone, Debug)]
+pub struct DynamicGraph {
+    n: usize,
+    adjacency: Vec<BTreeSet<NodeId>>,
+    present: BTreeSet<Edge>,
+    history: BTreeMap<Edge, Vec<PresenceInterval>>,
+    now: Time,
+}
+
+impl DynamicGraph {
+    /// A graph over `n` isolated nodes at time 0.
+    pub fn empty(n: usize) -> Self {
+        DynamicGraph {
+            n,
+            adjacency: vec![BTreeSet::new(); n],
+            present: BTreeSet::new(),
+            history: BTreeMap::new(),
+            now: Time::ZERO,
+        }
+    }
+
+    /// A graph initialized with `E₀` at time 0.
+    pub fn with_initial(n: usize, edges: impl IntoIterator<Item = Edge>) -> Self {
+        let mut g = Self::empty(n);
+        for e in edges {
+            g.add_edge(e, Time::ZERO);
+        }
+        g
+    }
+
+    /// Initializes from a schedule's initial edge set (events not applied).
+    pub fn from_schedule_initial(schedule: &TopologySchedule) -> Self {
+        Self::with_initial(schedule.n(), schedule.initial_edges())
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The latest time an event was applied.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Applies a link formation at time `t`.
+    pub fn add_edge(&mut self, e: Edge, t: Time) {
+        assert!(t >= self.now, "events must be applied in time order");
+        assert!(
+            e.hi().index() < self.n,
+            "edge {e:?} out of range for n={}",
+            self.n
+        );
+        assert!(self.present.insert(e), "edge {e:?} already present at {t:?}");
+        self.adjacency[e.lo().index()].insert(e.hi());
+        self.adjacency[e.hi().index()].insert(e.lo());
+        self.history.entry(e).or_default().push(PresenceInterval {
+            added: t,
+            removed: None,
+        });
+        self.now = t;
+    }
+
+    /// Applies a link failure at time `t`.
+    pub fn remove_edge(&mut self, e: Edge, t: Time) {
+        assert!(t >= self.now, "events must be applied in time order");
+        assert!(self.present.remove(&e), "edge {e:?} not present at {t:?}");
+        self.adjacency[e.lo().index()].remove(&e.hi());
+        self.adjacency[e.hi().index()].remove(&e.lo());
+        let intervals = self
+            .history
+            .get_mut(&e)
+            .expect("present edge must have history");
+        let last = intervals.last_mut().expect("present edge has an interval");
+        debug_assert!(last.removed.is_none());
+        last.removed = Some(t);
+        self.now = t;
+    }
+
+    /// Applies one schedule event.
+    pub fn apply(&mut self, kind: TopologyEventKind, e: Edge, t: Time) {
+        match kind {
+            TopologyEventKind::Add => self.add_edge(e, t),
+            TopologyEventKind::Remove => self.remove_edge(e, t),
+        }
+    }
+
+    /// True if `e` is currently up.
+    pub fn contains(&self, e: Edge) -> bool {
+        self.present.contains(&e)
+    }
+
+    /// Current neighbors of `u`.
+    pub fn neighbors(&self, u: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.adjacency[u.index()].iter().copied()
+    }
+
+    /// Current degree of `u`.
+    pub fn degree(&self, u: NodeId) -> usize {
+        self.adjacency[u.index()].len()
+    }
+
+    /// All edges currently up.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.present.iter().copied()
+    }
+
+    /// Number of edges currently up.
+    pub fn edge_count(&self) -> usize {
+        self.present.len()
+    }
+
+    /// Presence history of an edge (empty slice if never seen).
+    pub fn history(&self, e: Edge) -> &[PresenceInterval] {
+        self.history.get(&e).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// True if `e` was present at `t1` and not removed during `[t1, t2]`
+    /// (the paper's "exists throughout" predicate, evaluated on history).
+    pub fn existed_throughout(&self, e: Edge, t1: Time, t2: Time) -> bool {
+        assert!(t1 <= t2 && t2 <= self.now, "interval must lie in the past");
+        self.history(e).iter().any(|iv| {
+            iv.added <= t1
+                && match iv.removed {
+                    None => true,
+                    Some(r) => r > t2,
+                }
+        })
+    }
+
+    /// The time the current presence interval of `e` began, if `e` is up.
+    pub fn up_since(&self, e: Edge) -> Option<Time> {
+        if !self.contains(e) {
+            return None;
+        }
+        self.history(e).last().map(|iv| iv.added)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::node;
+    use gcs_clocks::time::at;
+
+    fn e(i: usize, j: usize) -> Edge {
+        Edge::between(i, j)
+    }
+
+    #[test]
+    fn adjacency_tracks_add_remove() {
+        let mut g = DynamicGraph::empty(3);
+        g.add_edge(e(0, 1), at(1.0));
+        g.add_edge(e(1, 2), at(2.0));
+        assert_eq!(g.degree(node(1)), 2);
+        assert!(g.contains(e(0, 1)));
+        g.remove_edge(e(0, 1), at(3.0));
+        assert_eq!(g.degree(node(1)), 1);
+        assert!(!g.contains(e(0, 1)));
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn history_records_intervals() {
+        let mut g = DynamicGraph::empty(2);
+        g.add_edge(e(0, 1), at(1.0));
+        g.remove_edge(e(0, 1), at(5.0));
+        g.add_edge(e(0, 1), at(8.0));
+        let h = g.history(e(0, 1));
+        assert_eq!(h.len(), 2);
+        assert_eq!(h[0].added, at(1.0));
+        assert_eq!(h[0].removed, Some(at(5.0)));
+        assert_eq!(h[1].added, at(8.0));
+        assert_eq!(h[1].removed, None);
+        assert_eq!(g.up_since(e(0, 1)), Some(at(8.0)));
+    }
+
+    #[test]
+    fn existed_throughout_queries_history() {
+        let mut g = DynamicGraph::empty(2);
+        g.add_edge(e(0, 1), at(1.0));
+        g.remove_edge(e(0, 1), at(5.0));
+        g.add_edge(e(0, 1), at(8.0));
+        // advance `now` so queries up to 10 are legal
+        g.remove_edge(e(0, 1), at(10.0));
+        assert!(g.existed_throughout(e(0, 1), at(1.0), at(4.9)));
+        assert!(!g.existed_throughout(e(0, 1), at(1.0), at(5.0)));
+        assert!(!g.existed_throughout(e(0, 1), at(6.0), at(7.0)));
+        assert!(g.existed_throughout(e(0, 1), at(8.0), at(9.9)));
+        assert!(!g.existed_throughout(e(0, 1), at(8.0), at(10.0)));
+    }
+
+    #[test]
+    fn with_initial_sets_time_zero_edges() {
+        let g = DynamicGraph::with_initial(3, [e(0, 1), e(1, 2)]);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.up_since(e(0, 1)), Some(Time::ZERO));
+    }
+
+    #[test]
+    #[should_panic(expected = "time order")]
+    fn out_of_order_events_rejected() {
+        let mut g = DynamicGraph::empty(2);
+        g.add_edge(e(0, 1), at(5.0));
+        g.remove_edge(e(0, 1), at(3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "already present")]
+    fn double_add_rejected() {
+        let mut g = DynamicGraph::empty(2);
+        g.add_edge(e(0, 1), at(1.0));
+        g.add_edge(e(0, 1), at(2.0));
+    }
+
+    #[test]
+    fn neighbors_iterates_current_set() {
+        let mut g = DynamicGraph::empty(4);
+        g.add_edge(e(0, 1), at(1.0));
+        g.add_edge(e(0, 2), at(1.0));
+        g.add_edge(e(0, 3), at(1.0));
+        let nbrs: Vec<NodeId> = g.neighbors(node(0)).collect();
+        assert_eq!(nbrs, vec![node(1), node(2), node(3)]);
+    }
+}

@@ -1,0 +1,351 @@
+//! Static topology generators.
+//!
+//! Everything returns plain edge lists; wrap them in
+//! [`TopologySchedule::static_graph`](crate::schedule::TopologySchedule) or
+//! feed them to the churn builders. The star of this module is
+//! [`two_chain`], the lower-bound network of the paper's Theorem 4.1
+//! (Figure 1): two parallel chains between `w0` and `wn`.
+
+use crate::ids::{node, Edge, NodeId};
+use rand::Rng;
+
+/// Path `0 − 1 − … − (n−1)`.
+pub fn path(n: usize) -> Vec<Edge> {
+    assert!(n >= 2, "path needs >= 2 nodes");
+    (0..n - 1).map(|i| Edge::between(i, i + 1)).collect()
+}
+
+/// Cycle `0 − 1 − … − (n−1) − 0`.
+pub fn ring(n: usize) -> Vec<Edge> {
+    assert!(n >= 3, "ring needs >= 3 nodes");
+    let mut edges = path(n);
+    edges.push(Edge::between(n - 1, 0));
+    edges
+}
+
+/// Star with hub `hub` over `n` nodes.
+pub fn star(n: usize, hub: usize) -> Vec<Edge> {
+    assert!(n >= 2 && hub < n);
+    (0..n)
+        .filter(|&i| i != hub)
+        .map(|i| Edge::between(hub, i))
+        .collect()
+}
+
+/// Complete graph `K_n`.
+pub fn complete(n: usize) -> Vec<Edge> {
+    assert!(n >= 2);
+    let mut edges = Vec::with_capacity(n * (n - 1) / 2);
+    for i in 0..n {
+        for j in i + 1..n {
+            edges.push(Edge::between(i, j));
+        }
+    }
+    edges
+}
+
+/// `rows × cols` grid, node `(r, c)` is index `r*cols + c`.
+pub fn grid(rows: usize, cols: usize) -> Vec<Edge> {
+    assert!(rows >= 1 && cols >= 1 && rows * cols >= 2);
+    let mut edges = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            let i = r * cols + c;
+            if c + 1 < cols {
+                edges.push(Edge::between(i, i + 1));
+            }
+            if r + 1 < rows {
+                edges.push(Edge::between(i, i + cols));
+            }
+        }
+    }
+    edges
+}
+
+/// Complete binary tree over `n` nodes (node `i` has children `2i+1`,
+/// `2i+2`).
+pub fn binary_tree(n: usize) -> Vec<Edge> {
+    assert!(n >= 2);
+    (1..n).map(|i| Edge::between(i, (i - 1) / 2)).collect()
+}
+
+/// Erdős–Rényi `G(n, p)`, with a spanning path overlaid to guarantee
+/// connectivity (the paper's model requires interval connectivity, so a
+/// disconnected sample would be outside the model).
+pub fn gnp_connected<R: Rng>(n: usize, p: f64, rng: &mut R) -> Vec<Edge> {
+    assert!((0.0..=1.0).contains(&p), "probability out of range");
+    let mut edges: Vec<Edge> = path(n);
+    for i in 0..n {
+        for j in i + 1..n {
+            if j != i + 1 && rng.gen_bool(p) {
+                edges.push(Edge::between(i, j));
+            }
+        }
+    }
+    edges.sort();
+    edges.dedup();
+    edges
+}
+
+/// Random geometric graph: nodes at the given unit-square positions, edges
+/// between pairs within `radius`.
+pub fn geometric(positions: &[(f64, f64)], radius: f64) -> Vec<Edge> {
+    assert!(radius > 0.0);
+    let r2 = radius * radius;
+    let mut edges = Vec::new();
+    for i in 0..positions.len() {
+        for j in i + 1..positions.len() {
+            let dx = positions[i].0 - positions[j].0;
+            let dy = positions[i].1 - positions[j].1;
+            if dx * dx + dy * dy <= r2 {
+                edges.push(Edge::between(i, j));
+            }
+        }
+    }
+    edges
+}
+
+/// Uniformly random unit-square positions for `n` nodes.
+pub fn random_positions<R: Rng>(n: usize, rng: &mut R) -> Vec<(f64, f64)> {
+    (0..n)
+        .map(|_| (rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)))
+        .collect()
+}
+
+/// The two-chain lower-bound network of Theorem 4.1 (Figure 1).
+///
+/// Nodes `w0` and `wn` are connected by two disjoint chains:
+/// * chain A through `⌊n/2⌋ − 1` interior nodes,
+/// * chain B through `⌈n/2⌉ − 1` interior nodes,
+///
+/// for `n` nodes total. The struct exposes the node-naming scheme used in
+/// the proof (`⟨i, A⟩`, `⟨i, B⟩`) and the designated nodes
+/// `u = ⟨⌈k⌉, A⟩`, `v = ⟨⌊n/2 − k⌋, A⟩`.
+#[derive(Clone, Debug)]
+pub struct TwoChain {
+    /// Total number of nodes `n`.
+    pub n: usize,
+    /// Number of interior nodes on chain A (`⌊n/2⌋ − 1`).
+    pub a_len: usize,
+    /// Number of interior nodes on chain B (`⌈n/2⌉ − 1`).
+    pub b_len: usize,
+}
+
+impl TwoChain {
+    /// Builds the naming scheme for `n ≥ 6` nodes.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 6, "two-chain construction needs n >= 6");
+        TwoChain {
+            n,
+            a_len: n / 2 - 1,
+            b_len: n.div_ceil(2) - 1,
+        }
+    }
+
+    /// `w0`, shared left endpoint (index 0).
+    pub fn w0(&self) -> NodeId {
+        node(0)
+    }
+
+    /// `wn`, shared right endpoint (index 1).
+    pub fn wn(&self) -> NodeId {
+        node(1)
+    }
+
+    /// `⟨i, A⟩` for `i ∈ {0, …, ⌊n/2⌋}`; `⟨0,A⟩ = w0`, `⟨⌊n/2⌋,A⟩ = wn`.
+    pub fn a(&self, i: usize) -> NodeId {
+        assert!(i <= self.a_len + 1, "A-chain index {i} out of range");
+        if i == 0 {
+            self.w0()
+        } else if i == self.a_len + 1 {
+            self.wn()
+        } else {
+            node(1 + i) // interior A nodes occupy indices 2..=a_len+1
+        }
+    }
+
+    /// `⟨i, B⟩` for `i ∈ {0, …, ⌈n/2⌉}`; `⟨0,B⟩ = w0`, `⟨⌈n/2⌉,B⟩ = wn`.
+    pub fn b(&self, i: usize) -> NodeId {
+        assert!(i <= self.b_len + 1, "B-chain index {i} out of range");
+        if i == 0 {
+            self.w0()
+        } else if i == self.b_len + 1 {
+            self.wn()
+        } else {
+            node(1 + self.a_len + i)
+        }
+    }
+
+    /// All nodes of chain A in order, `w0` to `wn`.
+    pub fn a_chain(&self) -> Vec<NodeId> {
+        (0..=self.a_len + 1).map(|i| self.a(i)).collect()
+    }
+
+    /// All nodes of chain B in order, `w0` to `wn`.
+    pub fn b_chain(&self) -> Vec<NodeId> {
+        (0..=self.b_len + 1).map(|i| self.b(i)).collect()
+    }
+
+    /// The full edge set of the two-chain network.
+    pub fn edges(&self) -> Vec<Edge> {
+        let mut edges = Vec::with_capacity(self.a_len + self.b_len + 2);
+        let a = self.a_chain();
+        for w in a.windows(2) {
+            edges.push(Edge::new(w[0], w[1]));
+        }
+        let b = self.b_chain();
+        for w in b.windows(2) {
+            edges.push(Edge::new(w[0], w[1]));
+        }
+        edges
+    }
+
+    /// The proof's node `u = ⟨⌈k⌉, A⟩`.
+    pub fn u(&self, k: f64) -> NodeId {
+        self.a(k.ceil() as usize)
+    }
+
+    /// The proof's node `v = ⟨⌊n/2 − k⌋, A⟩`.
+    pub fn v(&self, k: f64) -> NodeId {
+        self.a((self.n as f64 / 2.0 - k).floor() as usize)
+    }
+
+    /// `E_block`: the edges of chain A within `k` hops of `w0` or of `wn` —
+    /// the links the delay mask constrains.
+    pub fn e_block(&self, k: f64) -> Vec<Edge> {
+        let ku = k.ceil() as usize;
+        let kv = (self.n as f64 / 2.0 - k).floor() as usize;
+        let a = self.a_chain();
+        let mut edges = Vec::new();
+        for (i, w) in a.windows(2).enumerate() {
+            // window i is the edge (a_i, a_{i+1})
+            if i < ku || i >= kv {
+                edges.push(Edge::new(w[0], w[1]));
+            }
+        }
+        edges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connectivity::is_connected;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn path_shape() {
+        let e = path(5);
+        assert_eq!(e.len(), 4);
+        assert!(is_connected(5, e.iter().copied()));
+    }
+
+    #[test]
+    fn ring_shape() {
+        let e = ring(5);
+        assert_eq!(e.len(), 5);
+        assert!(is_connected(5, e.iter().copied()));
+    }
+
+    #[test]
+    fn star_shape() {
+        let e = star(6, 2);
+        assert_eq!(e.len(), 5);
+        assert!(e.iter().all(|edge| edge.touches(node(2))));
+    }
+
+    #[test]
+    fn complete_shape() {
+        assert_eq!(complete(5).len(), 10);
+    }
+
+    #[test]
+    fn grid_shape() {
+        let e = grid(3, 4);
+        assert_eq!(e.len(), 3 * 3 + 2 * 4);
+        assert!(is_connected(12, e.iter().copied()));
+    }
+
+    #[test]
+    fn tree_shape() {
+        let e = binary_tree(7);
+        assert_eq!(e.len(), 6);
+        assert!(is_connected(7, e.iter().copied()));
+    }
+
+    #[test]
+    fn gnp_always_connected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..5 {
+            let e = gnp_connected(20, 0.05, &mut rng);
+            assert!(is_connected(20, e.iter().copied()));
+        }
+    }
+
+    #[test]
+    fn geometric_radius_cutoff() {
+        let pos = vec![(0.0, 0.0), (0.05, 0.0), (0.5, 0.5)];
+        let e = geometric(&pos, 0.1);
+        assert_eq!(e, vec![Edge::between(0, 1)]);
+    }
+
+    #[test]
+    fn two_chain_counts() {
+        for n in [6, 7, 10, 13, 32] {
+            let tc = TwoChain::new(n);
+            // interior nodes: a_len + b_len = n - 2
+            assert_eq!(tc.a_len + tc.b_len, n - 2);
+            let edges = tc.edges();
+            // a_len+1 edges on A, b_len+1 on B
+            assert_eq!(edges.len(), n);
+            assert!(is_connected(n, edges.iter().copied()));
+        }
+    }
+
+    #[test]
+    fn two_chain_endpoints_shared() {
+        let tc = TwoChain::new(10);
+        assert_eq!(tc.a(0), tc.b(0));
+        assert_eq!(tc.a(tc.a_len + 1), tc.b(tc.b_len + 1));
+        // all interior nodes distinct
+        let mut all: Vec<NodeId> = tc.a_chain();
+        all.extend(tc.b_chain());
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), 10);
+    }
+
+    #[test]
+    fn two_chain_uv_distance() {
+        let tc = TwoChain::new(32);
+        let k = 2.0;
+        let u = tc.u(k);
+        let v = tc.v(k);
+        assert_ne!(u, v);
+        // u is at A-index ceil(k)=2, v at floor(16-2)=14: 12 hops apart
+        let d = crate::distance::bfs_distance(
+            32,
+            tc.edges().iter().copied(),
+            u,
+        );
+        assert_eq!(d[v.index()], Some(12));
+    }
+
+    #[test]
+    fn e_block_covers_prefix_and_suffix() {
+        let tc = TwoChain::new(32);
+        let blocked = tc.e_block(2.0);
+        // prefix: 2 edges (indices 0,1), suffix: A has a_len+1 = 16 edges,
+        // kv = 14, so edges 14,15 => 2 more
+        assert_eq!(blocked.len(), 4);
+    }
+
+    #[test]
+    fn random_positions_in_unit_square() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for (x, y) in random_positions(50, &mut rng) {
+            assert!((0.0..1.0).contains(&x) && (0.0..1.0).contains(&y));
+        }
+    }
+}

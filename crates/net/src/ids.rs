@@ -1,0 +1,160 @@
+//! Node and edge identifiers.
+
+use std::fmt;
+
+/// A node in the static node set `V`. Nodes are numbered `0..n`.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Index into per-node arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `NodeId` from an array index.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        NodeId(u32::try_from(i).expect("node index exceeds u32"))
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Shorthand used pervasively in helper code and tests.
+#[inline]
+pub fn node(i: usize) -> NodeId {
+    NodeId::from_index(i)
+}
+
+/// An *undirected* potential edge `{u, v} ∈ V⁽²⁾`, stored canonically with
+/// the smaller endpoint first. Self-loops are rejected.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
+pub struct Edge {
+    a: NodeId,
+    b: NodeId,
+}
+
+impl Edge {
+    /// Canonical constructor; panics on self-loops.
+    #[inline]
+    pub fn new(u: NodeId, v: NodeId) -> Self {
+        assert_ne!(u, v, "self-loop edge {{{u:?},{u:?}}} is not allowed");
+        if u < v {
+            Edge { a: u, b: v }
+        } else {
+            Edge { a: v, b: u }
+        }
+    }
+
+    /// Convenience constructor from indices.
+    #[inline]
+    pub fn between(i: usize, j: usize) -> Self {
+        Edge::new(node(i), node(j))
+    }
+
+    /// The smaller endpoint.
+    #[inline]
+    pub fn lo(self) -> NodeId {
+        self.a
+    }
+
+    /// The larger endpoint.
+    #[inline]
+    pub fn hi(self) -> NodeId {
+        self.b
+    }
+
+    /// Both endpoints, smaller first.
+    #[inline]
+    pub fn endpoints(self) -> (NodeId, NodeId) {
+        (self.a, self.b)
+    }
+
+    /// True if `w` is one of the endpoints.
+    #[inline]
+    pub fn touches(self, w: NodeId) -> bool {
+        self.a == w || self.b == w
+    }
+
+    /// The endpoint that is not `w`; panics if `w` is not an endpoint.
+    #[inline]
+    pub fn other(self, w: NodeId) -> NodeId {
+        if self.a == w {
+            self.b
+        } else if self.b == w {
+            self.a
+        } else {
+            panic!("{w:?} is not an endpoint of {self:?}")
+        }
+    }
+}
+
+impl fmt::Debug for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{{:?},{:?}}}", self.a, self.b)
+    }
+}
+
+impl fmt::Display for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_is_canonical() {
+        assert_eq!(Edge::between(3, 1), Edge::between(1, 3));
+        assert_eq!(Edge::between(3, 1).lo(), node(1));
+        assert_eq!(Edge::between(3, 1).hi(), node(3));
+    }
+
+    #[test]
+    fn edge_endpoints_and_other() {
+        let e = Edge::between(2, 5);
+        assert_eq!(e.endpoints(), (node(2), node(5)));
+        assert_eq!(e.other(node(2)), node(5));
+        assert_eq!(e.other(node(5)), node(2));
+        assert!(e.touches(node(2)));
+        assert!(!e.touches(node(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_rejected() {
+        let _ = Edge::between(4, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "not an endpoint")]
+    fn other_rejects_non_endpoint() {
+        let _ = Edge::between(1, 2).other(node(3));
+    }
+
+    #[test]
+    fn node_roundtrip() {
+        assert_eq!(node(7).index(), 7);
+        assert_eq!(NodeId::from_index(7), NodeId(7));
+        assert_eq!(format!("{}", node(7)), "n7");
+        assert_eq!(format!("{}", Edge::between(0, 1)), "{n0,n1}");
+    }
+}

@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! # gcs-net
+//!
+//! Dynamic-network substrate for gradient clock synchronization.
+//!
+//! The paper models a dynamic network over a *static* node set `V`: edges
+//! appear and disappear arbitrarily (events `add({u,v})`, `remove({u,v})`),
+//! subject only to *T-interval connectivity* (Definition 3.1): for every
+//! `t`, the subgraph of edges present throughout `[t, t+T]` is connected.
+//!
+//! This crate provides:
+//!
+//! * [`NodeId`] and canonical undirected [`Edge`] identifiers,
+//! * [`TopologySchedule`] — the timed add/remove event log that defines a
+//!   dynamic graph `E(t)`, with validation (no simultaneous add+remove of
+//!   the same edge, adds only for absent edges, …),
+//! * [`DynamicGraph`] — replayable graph state with full presence history
+//!   and the `exists_throughout` predicate from Section 3.2,
+//! * [`generators`] — static topologies (paths, rings, grids, trees,
+//!   G(n,p), random geometric, and the paper's two-chain lower-bound
+//!   network),
+//! * [`churn`] — dynamic-topology generators (rotating star, flapping
+//!   bridge, random churn over a stable backbone, waypoint mobility),
+//! * [`connectivity`] — instantaneous and T-interval connectivity checks,
+//! * [`distance`] — BFS distances, eccentricity, diameter.
+
+pub mod churn;
+pub mod connectivity;
+pub mod distance;
+pub mod dynamic;
+pub mod generators;
+pub mod ids;
+pub mod schedule;
+
+pub use dynamic::DynamicGraph;
+pub use ids::{node, Edge, NodeId};
+pub use schedule::{TopologyEvent, TopologyEventKind, TopologySchedule};

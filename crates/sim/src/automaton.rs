@@ -1,0 +1,153 @@
+//! The protocol interface: event-driven automata.
+//!
+//! Algorithm 2 in the paper is written as five event handlers (`when
+//! discover(add…)`, `when discover(remove…)`, `when alarm(lost(v))`, `when
+//! receive(…)`, `when alarm(tick)`). [`Automaton`] mirrors that structure.
+//! Handlers receive a [`Context`] through which they can send messages, set
+//! and cancel subjective timers, and read their own hardware clock; the
+//! engine executes the collected [`Action`]s after the handler returns.
+
+use crate::event::{LinkChange, Message, TimerKind};
+use gcs_clocks::Time;
+use gcs_net::NodeId;
+
+/// Side effects a handler can request.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Action {
+    /// `send(u, v, m)`: send `msg` to `to` (delivered within `T` if the
+    /// edge survives; silently dropped otherwise, with a `discover(remove)`
+    /// following within `D` of the send).
+    Send {
+        /// Destination node.
+        to: NodeId,
+        /// Payload.
+        msg: Message,
+    },
+    /// `set_timer(Δt, kind)`: fire `alarm(kind)` after the node's hardware
+    /// clock advances by `delta` (subjective time). Re-setting a pending
+    /// timer replaces it.
+    SetTimer {
+        /// Subjective duration until the alarm.
+        delta: f64,
+        /// Which timer.
+        kind: TimerKind,
+    },
+    /// `cancel(kind)`: cancel a pending timer (no-op if not set).
+    CancelTimer {
+        /// Which timer.
+        kind: TimerKind,
+    },
+}
+
+/// Per-event execution context handed to automaton handlers.
+pub struct Context<'a> {
+    /// This node's id.
+    pub node: NodeId,
+    /// Current real time. Protocol code must not base decisions on this —
+    /// it exists for tracing and assertions; nodes only observe `hw`.
+    pub now: Time,
+    /// This node's hardware clock reading at `now`.
+    pub hw: f64,
+    actions: &'a mut Vec<Action>,
+}
+
+impl<'a> Context<'a> {
+    /// Creates a context writing into `actions` (engine-internal).
+    pub fn new(node: NodeId, now: Time, hw: f64, actions: &'a mut Vec<Action>) -> Self {
+        Context {
+            node,
+            now,
+            hw,
+            actions,
+        }
+    }
+
+    /// Queues a message send.
+    pub fn send(&mut self, to: NodeId, msg: Message) {
+        self.actions.push(Action::Send { to, msg });
+    }
+
+    /// Queues a subjective timer (re)set.
+    pub fn set_timer(&mut self, delta: f64, kind: TimerKind) {
+        assert!(delta >= 0.0 && delta.is_finite(), "timer delta must be >= 0");
+        self.actions.push(Action::SetTimer { delta, kind });
+    }
+
+    /// Queues a timer cancellation.
+    pub fn cancel_timer(&mut self, kind: TimerKind) {
+        self.actions.push(Action::CancelTimer { kind });
+    }
+}
+
+/// An event-driven protocol instance running at one node.
+///
+/// All clock-valued state must be represented so that it grows at the
+/// node's hardware rate between events (see
+/// [`ClockVar`](gcs_clocks::ClockVar)); the engine passes the current
+/// hardware reading `hw` to the query methods.
+pub trait Automaton {
+    /// Called once at time 0, before any discovery of the initial edges.
+    fn on_start(&mut self, ctx: &mut Context<'_>);
+
+    /// `receive(u, v, m)` — a message from `from` arrived.
+    fn on_receive(&mut self, ctx: &mut Context<'_>, from: NodeId, msg: Message);
+
+    /// `discover(add/remove({u,v}))` — this node learned of a link change.
+    fn on_discover(&mut self, ctx: &mut Context<'_>, change: LinkChange);
+
+    /// `alarm(kind)` — a previously set timer fired.
+    fn on_alarm(&mut self, ctx: &mut Context<'_>, kind: TimerKind);
+
+    /// The logical clock `L_u` given the current hardware reading.
+    fn logical_clock(&self, hw: f64) -> f64;
+
+    /// The max-clock estimate `Lmax_u` given the current hardware reading.
+    /// Protocols without such an estimate return their logical clock.
+    fn max_estimate(&self, hw: f64) -> f64 {
+        self.logical_clock(hw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcs_net::node;
+
+    #[test]
+    fn context_collects_actions_in_order() {
+        let mut actions = Vec::new();
+        let mut ctx = Context::new(node(0), Time::ZERO, 0.0, &mut actions);
+        ctx.send(
+            node(1),
+            Message {
+                logical: 1.0,
+                max_estimate: 2.0,
+            },
+        );
+        ctx.set_timer(5.0, TimerKind::Tick);
+        ctx.cancel_timer(TimerKind::Lost(node(1)));
+        assert_eq!(actions.len(), 3);
+        assert!(matches!(actions[0], Action::Send { to, .. } if to == node(1)));
+        assert!(matches!(
+            actions[1],
+            Action::SetTimer {
+                kind: TimerKind::Tick,
+                ..
+            }
+        ));
+        assert!(matches!(
+            actions[2],
+            Action::CancelTimer {
+                kind: TimerKind::Lost(v)
+            } if v == node(1)
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = ">= 0")]
+    fn negative_timer_rejected() {
+        let mut actions = Vec::new();
+        let mut ctx = Context::new(node(0), Time::ZERO, 0.0, &mut actions);
+        ctx.set_timer(-1.0, TimerKind::Tick);
+    }
+}

@@ -1,0 +1,232 @@
+//! Event types and the deterministic event queue.
+
+use gcs_clocks::Time;
+use gcs_net::{Edge, NodeId};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// The message format of Algorithm 2: `⟨L_u, Lmax_u⟩`. All protocols in
+/// this library exchange (logical clock, max-estimate) pairs.
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Message {
+    /// The sender's logical clock value at send time.
+    pub logical: f64,
+    /// The sender's estimate of the maximum logical clock in the network.
+    pub max_estimate: f64,
+}
+
+/// Timers available to protocols — exactly the two used by Algorithm 2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TimerKind {
+    /// The periodic `tick` timer (fires every subjective `ΔH`).
+    Tick,
+    /// The `lost(v)` timer (fires `ΔT′` subjective time after the last
+    /// message from `v`).
+    Lost(NodeId),
+}
+
+/// Direction of a discovered link change.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum LinkChangeKind {
+    /// `discover(add({u,v}))`
+    Added,
+    /// `discover(remove({u,v}))`
+    Removed,
+}
+
+/// A discovered link change, delivered to an endpoint via `on_discover`.
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LinkChange {
+    /// Which way the link changed.
+    pub kind: LinkChangeKind,
+    /// The affected edge (the receiving node is one of its endpoints).
+    pub edge: Edge,
+}
+
+/// Internal event payloads processed by the engine.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EventPayload {
+    /// A message arriving at `to`.
+    Deliver {
+        /// Sending node.
+        from: NodeId,
+        /// Receiving node.
+        to: NodeId,
+        /// Payload.
+        msg: Message,
+        /// Edge epoch at send time; mismatch at delivery means the edge
+        /// went down (and possibly came back) in flight — the message is
+        /// dropped.
+        epoch: u64,
+    },
+    /// A timer alarm at `node`. `generation` invalidates cancelled/reset
+    /// timers.
+    Alarm {
+        /// Owner of the timer.
+        node: NodeId,
+        /// Which timer.
+        kind: TimerKind,
+        /// Set/cancel generation at scheduling time.
+        generation: u64,
+    },
+    /// An actual topology change (from the schedule).
+    Topology {
+        /// Added or removed.
+        kind: LinkChangeKind,
+        /// The edge.
+        edge: Edge,
+        /// Monotone per-edge version number.
+        version: u64,
+    },
+    /// An endpoint learning about a topology change.
+    Discover {
+        /// The endpoint being informed.
+        node: NodeId,
+        /// What it learns.
+        change: LinkChange,
+        /// Version of the underlying topology event; stale discovers
+        /// (older than something already delivered) are skipped.
+        version: u64,
+    },
+}
+
+/// A queued event: totally ordered by (time, seq). Sequence numbers are
+/// assigned at insertion, so simultaneous events are processed in the order
+/// they were scheduled — this both makes runs deterministic and preserves
+/// FIFO for same-instant deliveries.
+#[derive(Clone, Debug)]
+pub struct QueuedEvent {
+    /// When the event fires.
+    pub time: Time,
+    /// Insertion sequence number (tie-break).
+    pub seq: u64,
+    /// What happens.
+    pub payload: EventPayload,
+}
+
+impl PartialEq for QueuedEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for QueuedEvent {}
+
+impl Ord for QueuedEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so earliest (time, seq) pops
+        // first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for QueuedEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Deterministic priority queue of events.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<QueuedEvent>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `payload` at `time`.
+    pub fn push(&mut self, time: Time, payload: EventPayload) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(QueuedEvent { time, seq, payload });
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<QueuedEvent> {
+        self.heap.pop()
+    }
+
+    /// Time of the earliest event without removing it.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcs_clocks::time::at;
+    use gcs_net::node;
+
+    fn alarm(n: usize) -> EventPayload {
+        EventPayload::Alarm {
+            node: node(n),
+            kind: TimerKind::Tick,
+            generation: 0,
+        }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(at(3.0), alarm(3));
+        q.push(at(1.0), alarm(1));
+        q.push(at(2.0), alarm(2));
+        let order: Vec<f64> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.time.seconds())
+            .collect();
+        assert_eq!(order, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn ties_pop_in_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.push(at(5.0), alarm(i));
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.seq).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(at(2.0), alarm(0));
+        q.push(at(1.0), alarm(1));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(at(1.0)));
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.push(at(5.0), alarm(0));
+        q.push(at(1.0), alarm(1));
+        assert_eq!(q.pop().unwrap().time, at(1.0));
+        q.push(at(3.0), alarm(2));
+        q.push(at(0.5), alarm(3));
+        assert_eq!(q.pop().unwrap().time, at(0.5));
+        assert_eq!(q.pop().unwrap().time, at(3.0));
+        assert_eq!(q.pop().unwrap().time, at(5.0));
+        assert!(q.pop().is_none());
+    }
+}

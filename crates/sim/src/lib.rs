@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! # gcs-sim
+//!
+//! A deterministic discrete-event simulator implementing the network model
+//! of Section 3.2 of *Gradient Clock Synchronization in Dynamic Networks*
+//! (Kuhn, Locher, Oshman; SPAA 2009):
+//!
+//! * every node owns a hardware clock with drift bounded by `ρ`,
+//! * message delays are chosen adversarially in `[0, T]`, FIFO per link,
+//! * messages on edges removed mid-flight are either delivered before the
+//!   removal or dropped, in which case the sender discovers the removal no
+//!   later than `send time + D`,
+//! * topology changes are discovered by the endpoints within `D` time
+//!   (transient changes may be skipped, exactly as the model allows),
+//! * timers measure *subjective* (hardware) time and are fired by exact
+//!   inversion of the node's rate schedule.
+//!
+//! Protocols implement the [`Automaton`] trait (`on_start`, `on_receive`,
+//! `on_discover`, `on_alarm`) and interact with the environment through a
+//! [`Context`] that collects sends and timer operations, mirroring the
+//! event-handler style in which Algorithm 2 is written.
+//!
+//! Determinism: a simulation is a pure function of (model parameters,
+//! topology schedule, rate schedules, delay strategy, seed). Ties in the
+//! event queue are broken by sequence number.
+
+pub mod automaton;
+pub mod delay;
+pub mod engine;
+pub mod event;
+pub mod model;
+pub mod stats;
+
+pub use automaton::{Action, Automaton, Context};
+pub use delay::DelayStrategy;
+pub use engine::{SimBuilder, Simulator};
+pub use event::{LinkChange, LinkChangeKind, Message, TimerKind};
+pub use model::ModelParams;
+pub use stats::SimStats;

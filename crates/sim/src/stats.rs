@@ -1,0 +1,60 @@
+//! Execution counters, used by tests (e.g. determinism checks) and benches.
+
+/// Counters accumulated over one simulation run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct SimStats {
+    /// Events popped from the queue (including skipped stale ones).
+    pub events_processed: u64,
+    /// Messages handed to the environment via `send`.
+    pub messages_sent: u64,
+    /// Messages delivered to their destination.
+    pub messages_delivered: u64,
+    /// Sends attempted on edges that did not exist at send time.
+    pub dropped_no_edge: u64,
+    /// Messages lost because the edge went down in flight.
+    pub dropped_in_flight: u64,
+    /// Timer alarms delivered to automata.
+    pub alarms_fired: u64,
+    /// Alarms skipped because the timer was re-set or cancelled.
+    pub alarms_stale: u64,
+    /// Link changes delivered via `on_discover`.
+    pub discovers_delivered: u64,
+    /// Discover events skipped because a newer change for the same edge
+    /// had already been delivered (transient change, allowed by the model).
+    pub discovers_stale: u64,
+    /// Topology events applied.
+    pub topology_events: u64,
+}
+
+impl SimStats {
+    /// Messages lost for any reason.
+    pub fn total_dropped(&self) -> u64 {
+        self.dropped_no_edge + self.dropped_in_flight
+    }
+
+    /// Delivery ratio over attempted sends (1.0 when nothing was dropped).
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.messages_sent == 0 {
+            1.0
+        } else {
+            self.messages_delivered as f64 / self.messages_sent as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios() {
+        let mut s = SimStats::default();
+        assert_eq!(s.delivery_ratio(), 1.0);
+        s.messages_sent = 10;
+        s.messages_delivered = 8;
+        s.dropped_no_edge = 1;
+        s.dropped_in_flight = 1;
+        assert_eq!(s.total_dropped(), 2);
+        assert!((s.delivery_ratio() - 0.8).abs() < 1e-12);
+    }
+}

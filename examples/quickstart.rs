@@ -1,0 +1,65 @@
+//! Quickstart: synchronize a small dynamic network and print the skews
+//! against the paper's bounds.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use gradient_clock_sync::prelude::*;
+
+fn main() {
+    // Environment: drift ρ = 1%, message delay bound T = 1s, topology
+    // changes discovered within D = 2s.
+    let model = ModelParams::new(0.01, 1.0, 2.0);
+    let n = 16;
+    let horizon = 300.0;
+
+    // Algorithm parameters: resend every ΔH = 0.5 subjective seconds,
+    // smallest admissible stable budget B0.
+    let params = AlgoParams::with_minimal_b0(model, n, 0.5);
+    println!("Algorithm 2 on a {n}-node ring");
+    println!("  rho = {}, T = {}, D = {}", model.rho, model.t, model.d);
+    println!("  B0 = {}, tau = {:.3}, W = {:.1}", params.b0, params.tau(), params.w());
+    println!("  global skew bound G(n)   = {:.2}", params.global_skew_bound());
+    println!("  stable local skew bound  = {:.2}", params.stable_local_skew());
+    println!();
+
+    // A ring with adversarial (maximum) message delays and half the nodes
+    // running at 1−ρ, half at 1+ρ.
+    let schedule = TopologySchedule::static_graph(n, generators::ring(n));
+    let mut sim = SimBuilder::new(model, schedule)
+        .drift(DriftModel::SplitExtremes, horizon)
+        .delay(DelayStrategy::Max)
+        .build_with(|_| GradientNode::new(params));
+
+    // Record the execution, checking invariants along the way.
+    let mut recorder = Recorder::new(1.0).with_monitor(InvariantMonitor::new(params));
+    recorder.run(&mut sim, at(horizon));
+
+    let mut table = Table::new(
+        "measured vs. guaranteed",
+        &["metric", "measured", "bound"],
+    );
+    table.row(&[
+        "peak global skew".into(),
+        format!("{:.3}", recorder.peak_global_skew()),
+        format!("{:.3}", params.global_skew_bound()),
+    ]);
+    table.row(&[
+        "final worst local skew".into(),
+        format!("{:.3}", recorder.samples().last().unwrap().max_local_skew),
+        format!("{:.3}", params.dynamic_local_skew(horizon)),
+    ]);
+    table.print();
+    println!();
+
+    let monitor = recorder.monitor().unwrap();
+    monitor.assert_clean();
+    println!(
+        "all invariants held over {} samples (rate >= 1/2, Lmax >= L, skew bounds)",
+        monitor.snapshots()
+    );
+    println!();
+    println!("final logical clocks at t = {horizon}:");
+    for (i, l) in sim.logical_snapshot().iter().enumerate() {
+        println!("  node {i:2}: L = {l:.4}");
+    }
+}

@@ -1,0 +1,156 @@
+//! Integration tests pinning the environment axioms of Section 3.2 as
+//! observed *through the public API*, with the real algorithm running —
+//! the engine-level tests in `gcs-sim` check the same properties with a
+//! toy protocol.
+
+use gradient_clock_sync::net::schedule::remove_at;
+use gradient_clock_sync::prelude::*;
+use gradient_clock_sync::sim::engine::DiscoveryDelay;
+
+fn model() -> ModelParams {
+    ModelParams::new(0.01, 1.0, 2.0)
+}
+
+/// Messages delivered within T: with maximal delays and the slowest
+/// resend rate, a neighbor estimate is never staler than τ (Property 6.1
+/// manifested as Lemma 6.5's estimate quality).
+#[test]
+fn estimate_staleness_bounded_by_tau() {
+    let n = 6;
+    let params = AlgoParams::with_minimal_b0(model(), n, 0.5);
+    let schedule = TopologySchedule::static_graph(n, generators::ring(n));
+    let mut sim = SimBuilder::new(model(), schedule)
+        .drift(DriftModel::SplitExtremes, 100.0)
+        .delay(DelayStrategy::Max)
+        .build_with(|_| GradientNode::new(params));
+    // After the first ΔT + D, every node has all its neighbors in Γ.
+    let mut t = params.delta_t() + model().d + 1.0;
+    while t < 100.0 {
+        sim.run_until(at(t));
+        for i in 0..n {
+            let u = node(i);
+            let hw = sim.hardware(u);
+            let gn = sim.node(u);
+            let gamma: Vec<NodeId> = gn.gamma().collect();
+            assert_eq!(gamma.len(), 2, "ring node {i} should have 2 Γ-neighbors");
+            for v in gamma {
+                // Lemma 6.5: L^v_u(t) >= L_v(t − τ).
+                let est = gn.estimate_of(v, hw).unwrap();
+                let actual_then = {
+                    // L_v(t − τ): rewind via a bound — L_v decreased by at
+                    // most (1+ρ)τ from now.
+                    sim.logical(v) - (1.0 + model().rho) * params.tau()
+                };
+                assert!(
+                    est >= actual_then - 1e-6,
+                    "node {i}: estimate of {v:?} too stale: {est} < {actual_then}"
+                );
+            }
+        }
+        t += 7.0;
+    }
+}
+
+/// After an edge is removed and the removal discovered, the endpoints
+/// drop each other from Γ and Υ within bounded time (Property 6.2's
+/// converse direction).
+#[test]
+fn removal_clears_neighbor_sets_within_bounds() {
+    let params = AlgoParams::with_minimal_b0(model(), 2, 0.5);
+    let e = Edge::between(0, 1);
+    let schedule = TopologySchedule::new(2, [e], vec![remove_at(50.0, e)]);
+    let mut sim = SimBuilder::new(model(), schedule)
+        .discovery(DiscoveryDelay::Constant(2.0))
+        .delay(DelayStrategy::Max)
+        .build_with(|_| GradientNode::new(params));
+    sim.run_until(at(49.0));
+    assert_eq!(sim.node(node(0)).gamma().count(), 1);
+    // Removal at 50, discovered at 52; Γ and Υ empty right after.
+    sim.run_until(at(52.5));
+    for i in 0..2 {
+        assert_eq!(sim.node(node(i)).gamma().count(), 0, "node {i} Γ not cleared");
+        assert_eq!(sim.node(node(i)).upsilon().count(), 0, "node {i} Υ not cleared");
+    }
+}
+
+/// A silent neighbor (edge removed but removal *undiscovered* due to the
+/// lost timer firing first) is dropped from Γ after ΔT′ subjective time —
+/// the lost-timer path of Algorithm 2.
+#[test]
+fn lost_timer_drops_silent_neighbors() {
+    let params = AlgoParams::with_minimal_b0(model(), 2, 0.5);
+    let e = Edge::between(0, 1);
+    let schedule = TopologySchedule::new(2, [e], vec![remove_at(50.0, e)]);
+    // Discovery takes (almost) the full D = 2; the lost timer ΔT′ ≈ 1.53
+    // fires first, so Γ must already be empty before the discover event.
+    let mut sim = SimBuilder::new(model(), schedule)
+        .discovery(DiscoveryDelay::Constant(1.999))
+        .delay(DelayStrategy::Zero)
+        .build_with(|_| GradientNode::new(params));
+    // Just before the discovery instant (50 + 1.999), but after
+    // 50 + ΔT′/(1−ρ):
+    let check = 50.0 + params.delta_t_prime() / (1.0 - model().rho) + 0.05;
+    assert!(check < 51.999, "test setup: lost timer must beat discovery");
+    sim.run_until(at(check));
+    for i in 0..2 {
+        assert_eq!(
+            sim.node(node(i)).gamma().count(),
+            0,
+            "node {i} should have timed out its silent neighbor"
+        );
+        // …but the neighbor is still in Υ (only discovery removes it).
+        assert_eq!(sim.node(node(i)).upsilon().count(), 1);
+    }
+}
+
+/// Both endpoints of a persistent edge end up in each other's Γ within
+/// ΔT + D (Property 6.2).
+#[test]
+fn persistent_edge_joins_gamma_within_bound() {
+    let params = AlgoParams::with_minimal_b0(model(), 3, 0.5);
+    let schedule = TopologySchedule::static_graph(3, generators::path(3))
+        .with_extra_events(vec![gradient_clock_sync::net::schedule::add_at(
+            30.0,
+            Edge::between(0, 2),
+        )]);
+    let mut sim = SimBuilder::new(model(), schedule)
+        .delay(DelayStrategy::Max)
+        .build_with(|_| GradientNode::new(params));
+    let deadline = 30.0 + params.delta_t() + model().d;
+    sim.run_until(at(deadline));
+    assert!(sim.node(node(0)).gamma().any(|v| v == node(2)));
+    assert!(sim.node(node(2)).gamma().any(|v| v == node(0)));
+}
+
+/// `Lmax` rate bound (Property 6.7): the network-wide max estimate never
+/// advances faster than 1+ρ, across any adversary we can throw at it.
+#[test]
+fn lmax_rate_bounded() {
+    let n = 8;
+    let params = AlgoParams::with_minimal_b0(model(), n, 0.5);
+    let schedule = churn::staggered_ring(n, 8.0, 2.0, 5.0, 200.0);
+    let mut sim = SimBuilder::new(model(), schedule)
+        .drift(DriftModel::RandomWalk { step: 2.0 }, 200.0)
+        .delay(DelayStrategy::Uniform { lo: 0.0, hi: 1.0 })
+        .seed(3)
+        .build_with(|_| GradientNode::new(params));
+    let lmax_of = |sim: &Simulator<GradientNode>| {
+        (0..n)
+            .map(|i| sim.max_estimate_of(node(i)))
+            .fold(f64::NEG_INFINITY, f64::max)
+    };
+    let mut t = 0.0;
+    let mut prev = lmax_of(&sim);
+    while t < 200.0 {
+        t += 2.0;
+        sim.run_until(at(t));
+        let cur = lmax_of(&sim);
+        assert!(
+            cur - prev <= (1.0 + model().rho) * 2.0 + 1e-6,
+            "Lmax advanced too fast at t={t}: {}",
+            cur - prev
+        );
+        assert!(cur >= prev, "Lmax decreased");
+        prev = cur;
+    }
+}

@@ -1,0 +1,200 @@
+//! Cross-crate integration tests: one test per headline claim of the
+//! paper, at sizes small enough for CI. The bench binaries run the same
+//! pipelines at full size.
+
+use gradient_clock_sync::lowerbound::Theorem41Scenario;
+use gradient_clock_sync::net::schedule::add_at;
+use gradient_clock_sync::prelude::*;
+
+fn model() -> ModelParams {
+    ModelParams::new(0.01, 1.0, 2.0)
+}
+
+/// Theorem 6.9: global skew ≤ G(n) across topologies, drift patterns and
+/// delay adversaries.
+#[test]
+fn theorem_6_9_global_skew() {
+    let n = 12;
+    let params = AlgoParams::with_minimal_b0(model(), n, 0.5);
+    let topologies: Vec<(&str, Vec<Edge>)> = vec![
+        ("path", generators::path(n)),
+        ("ring", generators::ring(n)),
+        ("star", generators::star(n, 0)),
+        ("tree", generators::binary_tree(n)),
+        ("grid", generators::grid(3, 4)),
+    ];
+    for (name, edges) in topologies {
+        for (dname, drift) in [
+            ("split", DriftModel::SplitExtremes),
+            ("blocks", DriftModel::FastUpTo(n / 2)),
+            ("walk", DriftModel::RandomWalk { step: 5.0 }),
+        ] {
+            let schedule = TopologySchedule::static_graph(n, edges.clone());
+            let mut sim = SimBuilder::new(model(), schedule)
+                .drift(drift, 200.0)
+                .delay(DelayStrategy::Max)
+                .seed(1)
+                .build_with(|_| GradientNode::new(params));
+            let mut rec = Recorder::new(2.0).with_monitor(InvariantMonitor::new(params));
+            rec.run(&mut sim, at(200.0));
+            rec.monitor().unwrap().assert_clean();
+            assert!(
+                rec.peak_global_skew() <= params.global_skew_bound(),
+                "{name}/{dname}: {} > G(n)",
+                rec.peak_global_skew()
+            );
+        }
+    }
+}
+
+/// Theorem 6.12 / Corollary 6.13: settled edges stay within the stable
+/// local skew bound; a freshly inserted high-skew edge obeys the dynamic
+/// envelope as it ages.
+#[test]
+fn corollary_6_13_dynamic_local_skew() {
+    let rho = 0.05;
+    let model = ModelParams::new(rho, 1.0, 2.0);
+    let n = 16;
+    let params = AlgoParams::with_minimal_b0(model, n, 0.5);
+    // Cluster merge with ~4x the stable bound of skew.
+    let target = 4.0 * params.stable_local_skew();
+    let t_bridge = target / (2.0 * rho);
+    let half = n / 2;
+    let bridge = Edge::between(half - 1, half);
+    let mut edges: Vec<Edge> = (0..half - 1).map(|i| Edge::between(i, i + 1)).collect();
+    edges.extend((half..n - 1).map(|i| Edge::between(i, i + 1)));
+    let schedule = TopologySchedule::static_graph(n, edges.clone())
+        .with_extra_events(vec![add_at(t_bridge, bridge)]);
+    let clocks: Vec<HardwareClock> = (0..n)
+        .map(|i| {
+            HardwareClock::constant(
+                if i < half { 1.0 + rho } else { 1.0 - rho },
+                rho,
+            )
+        })
+        .collect();
+    let mut sim = SimBuilder::new(model, schedule)
+        .clocks(clocks)
+        .delay(DelayStrategy::Max)
+        .build_with(|_| GradientNode::new(params));
+    sim.run_until(at(t_bridge));
+    let initial = (sim.logical(bridge.lo()) - sim.logical(bridge.hi())).abs();
+    assert!(initial > 2.0 * params.stable_local_skew());
+    let horizon = t_bridge + 2.0 * params.w() + 100.0;
+    let mut t = t_bridge;
+    while t < horizon {
+        t += 2.0;
+        sim.run_until(at(t));
+        let age = t - t_bridge;
+        let skew = (sim.logical(bridge.lo()) - sim.logical(bridge.hi())).abs();
+        assert!(
+            skew <= params.dynamic_local_skew(age) + 1e-6,
+            "age {age}: bridge skew {skew} above envelope {}",
+            params.dynamic_local_skew(age)
+        );
+        for e in &edges {
+            let s = (sim.logical(e.lo()) - sim.logical(e.hi())).abs();
+            assert!(
+                s <= params.stable_local_skew() + 1e-6,
+                "old edge {e:?} skew {s} above stable bound at age {age}"
+            );
+        }
+    }
+    // And it settled.
+    let final_skew = (sim.logical(bridge.lo()) - sim.logical(bridge.hi())).abs();
+    assert!(final_skew <= params.stable_local_skew());
+}
+
+/// Lemma 4.2 / Theorem 4.1: the masking adversary builds the guaranteed
+/// skew against the real algorithm on the two-chain network.
+#[test]
+fn theorem_4_1_lower_bound_pipeline() {
+    let n = 20;
+    let sc = Theorem41Scenario::new(n, 2.0, 0.01, 1.0);
+    let params = AlgoParams::with_minimal_b0(model(), n, 0.5);
+    let t1 = sc.ready_time() + 10.0;
+    let mut sim = SimBuilder::new(model(), sc.schedule())
+        .clocks(sc.beta_clocks())
+        .delay(sc.beta_delays())
+        .build_with(|_| GradientNode::new(params));
+    sim.run_until(at(t1));
+    let skew_uv = (sim.logical(sc.u()) - sim.logical(sc.v())).abs();
+    assert!(skew_uv >= sc.skew_bound());
+
+    // Lemma 4.3 placement on the measured B-chain clocks.
+    let b_clocks: Vec<f64> = sc.b_chain().iter().map(|&w| sim.logical(w)).collect();
+    let d = b_clocks
+        .windows(2)
+        .map(|w| (w[0] - w[1]).abs())
+        .fold(0.0f64, f64::max)
+        .max(1e-3);
+    let i_skew = skew_uv / 3.0;
+    if i_skew > 2.0 * d {
+        let edges = sc.place_new_edges(&b_clocks, i_skew, d);
+        assert!(!edges.is_empty());
+        // Every placed edge carries the prescribed skew.
+        let chain = sc.b_chain();
+        for e in &edges {
+            let pos = |w: NodeId| chain.iter().position(|&x| x == w).unwrap();
+            let gap = (b_clocks[pos(e.lo())] - b_clocks[pos(e.hi())]).abs();
+            assert!(gap >= i_skew - d - 1e-6 && gap <= i_skew + 1e-6);
+        }
+    }
+}
+
+/// Section 3.3 validity: logical clocks are strictly increasing with rate
+/// at least 1/2 under heavy churn, message loss and drift.
+#[test]
+fn validity_under_heavy_churn() {
+    let n = 10;
+    let params = AlgoParams::with_minimal_b0(model(), n, 0.5);
+    let schedule = churn::rotating_star(n, 10.0, 4.0, 300.0);
+    let mut sim = SimBuilder::new(model(), schedule)
+        .drift(DriftModel::Alternating { period: 15.0 }, 300.0)
+        .delay(DelayStrategy::Uniform { lo: 0.0, hi: 1.0 })
+        .seed(23)
+        .build_with(|_| GradientNode::new(params));
+    let mut prev = sim.logical_snapshot();
+    let mut t = 0.0;
+    while t < 300.0 {
+        t += 5.0;
+        sim.run_until(at(t));
+        let cur = sim.logical_snapshot();
+        for (i, (a, b)) in prev.iter().zip(cur.iter()).enumerate() {
+            let rate = (b - a) / 5.0;
+            assert!(rate >= 0.5, "node {i} rate {rate} < 1/2 at t={t}");
+        }
+        prev = cur;
+    }
+}
+
+/// Determinism across the full stack: identical seeds give bit-identical
+/// executions even with churn, jitter and random drift.
+#[test]
+fn full_stack_determinism() {
+    let run = || {
+        let n = 12;
+        let params = AlgoParams::with_minimal_b0(model(), n, 0.5);
+        let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(77);
+        let schedule = churn::random_churn(
+            n,
+            generators::path(n),
+            6,
+            (3.0, 8.0),
+            (1.0, 4.0),
+            150.0,
+            &mut rng,
+        );
+        let mut sim = SimBuilder::new(model(), schedule)
+            .drift(DriftModel::RandomWalk { step: 3.0 }, 150.0)
+            .delay(DelayStrategy::Uniform { lo: 0.0, hi: 1.0 })
+            .seed(99)
+            .build_with(|_| GradientNode::new(params));
+        sim.run_until(at(150.0));
+        (sim.logical_snapshot(), *sim.stats())
+    };
+    let (a1, s1) = run();
+    let (a2, s2) = run();
+    assert_eq!(a1, a2);
+    assert_eq!(s1, s2);
+}

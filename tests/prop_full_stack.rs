@@ -1,0 +1,98 @@
+//! Full-stack property test: random valid churn schedules, random drift,
+//! random delays — Algorithm 2 must uphold every invariant of Section 3.3
+//! and Property 6.3/6.7 on all of them.
+//!
+//! This is the library's fuzzer: it exercises the engine's drop/discovery
+//! paths, the lost-timer path, re-added edges and budget resets in
+//! combinations no hand-written scenario covers.
+
+use gradient_clock_sync::prelude::*;
+use gradient_clock_sync::sim::Automaton;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[derive(Clone, Debug)]
+struct FuzzCase {
+    n: usize,
+    chords: usize,
+    seed: u64,
+    drift: u8,
+    delay: u8,
+    horizon: f64,
+}
+
+fn arb_case() -> impl Strategy<Value = FuzzCase> {
+    (
+        4usize..12,
+        0usize..6,
+        any::<u64>(),
+        0u8..4,
+        0u8..3,
+        40.0f64..120.0,
+    )
+        .prop_map(|(n, chords, seed, drift, delay, horizon)| FuzzCase {
+            n,
+            chords,
+            seed,
+            drift,
+            delay,
+            horizon,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn algorithm_invariants_hold_on_random_worlds(case in arb_case()) {
+        let model = ModelParams::new(0.01, 1.0, 2.0);
+        let params = AlgoParams::with_minimal_b0(model, case.n, 0.5);
+        // Random churn over a stable path backbone: the backbone keeps the
+        // schedule interval-connected so the skew bounds apply.
+        let mut rng = StdRng::seed_from_u64(case.seed);
+        let schedule = churn::random_churn(
+            case.n,
+            generators::path(case.n),
+            case.chords,
+            (2.0, 7.0),
+            (1.0, 4.0),
+            case.horizon,
+            &mut rng,
+        );
+        let drift = match case.drift {
+            0 => DriftModel::Perfect,
+            1 => DriftModel::SplitExtremes,
+            2 => DriftModel::RandomWalk { step: 3.0 },
+            _ => DriftModel::Alternating { period: 9.0 },
+        };
+        let delay = match case.delay {
+            0 => DelayStrategy::Max,
+            1 => DelayStrategy::Zero,
+            _ => DelayStrategy::Uniform { lo: 0.0, hi: 1.0 },
+        };
+        let mut sim = SimBuilder::new(model, schedule)
+            .drift(drift, case.horizon)
+            .delay(delay)
+            .seed(case.seed)
+            .build_with(|_| GradientNode::new(params));
+        let mut rec = Recorder::new(2.0).with_monitor(InvariantMonitor::new(params));
+        rec.run(&mut sim, at(case.horizon));
+        let monitor = rec.monitor().unwrap();
+        prop_assert!(
+            monitor.violations().is_empty(),
+            "violations on {case:?}: {:?}",
+            monitor.violations()
+        );
+        // Structural node invariants at the end.
+        for i in 0..case.n {
+            let u = node(i);
+            let hw = sim.hardware(u);
+            let gn = sim.node(u);
+            prop_assert!(gn.logical_clock(hw) <= gn.max_estimate(hw) + 1e-9);
+            let gamma: std::collections::BTreeSet<NodeId> = gn.gamma().collect();
+            let upsilon: std::collections::BTreeSet<NodeId> = gn.upsilon().collect();
+            prop_assert!(gamma.is_subset(&upsilon));
+        }
+    }
+}
