@@ -70,11 +70,7 @@ impl Recorder {
         let watched = self
             .watched
             .iter()
-            .map(|&e| {
-                sim.graph()
-                    .contains(e)
-                    .then(|| metrics::edge_skew(sim, e))
-            })
+            .map(|&e| sim.graph().contains(e).then(|| metrics::edge_skew(sim, e)))
             .collect();
         let sample = Sample {
             t: sim.now().seconds(),
@@ -143,9 +139,12 @@ mod tests {
     fn small_sim() -> Simulator<GradientNode> {
         let model = ModelParams::new(0.01, 1.0, 2.0);
         let params = AlgoParams::with_minimal_b0(model, 4, 0.5);
-        SimBuilder::new(model, TopologySchedule::static_graph(4, generators::path(4)))
-            .delay(DelayStrategy::Max)
-            .build_with(move |_| GradientNode::new(params))
+        SimBuilder::new(
+            model,
+            TopologySchedule::static_graph(4, generators::path(4)),
+        )
+        .delay(DelayStrategy::Max)
+        .build_with(move |_| GradientNode::new(params))
     }
 
     #[test]
@@ -160,7 +159,9 @@ mod tests {
     #[test]
     fn watched_edge_tracking() {
         let mut sim = small_sim();
-        let mut rec = Recorder::new(1.0).watch(Edge::between(0, 1)).watch(Edge::between(0, 3));
+        let mut rec = Recorder::new(1.0)
+            .watch(Edge::between(0, 1))
+            .watch(Edge::between(0, 3));
         rec.run(&mut sim, at(5.0));
         for s in rec.samples() {
             assert!(s.watched[0].is_some(), "present edge must be tracked");
@@ -173,8 +174,14 @@ mod tests {
         let mut rec = Recorder::new(1.0).watch(Edge::between(0, 1));
         // Hand-craft samples: skew 5, 3, 1, 2, 1, 0.5 with threshold 2 ⇒
         // settles at the *last* descent below 2 that persists (t=4).
-        for (t, skew) in [(0.0, 5.0), (1.0, 3.0), (2.0, 1.0), (3.0, 2.5), (4.0, 1.0), (5.0, 0.5)]
-        {
+        for (t, skew) in [
+            (0.0, 5.0),
+            (1.0, 3.0),
+            (2.0, 1.0),
+            (3.0, 2.5),
+            (4.0, 1.0),
+            (5.0, 0.5),
+        ] {
             rec.samples.push(Sample {
                 t,
                 global_skew: skew,

@@ -2,8 +2,8 @@
 //!
 //! Individual simulations are inherently sequential (one global event
 //! order), so parallelism lives at the sweep level: every `(parameters,
-//! seed)` cell is an independent task. We fan tasks out over crossbeam
-//! scoped threads with an atomic work index — the classic
+//! seed)` cell is an independent task. We fan tasks out over std scoped
+//! threads with an atomic work index — the classic
 //! embarrassingly-parallel outer loop, with zero shared mutable state
 //! between tasks (each worker writes to its own pre-allocated output
 //! slots).
@@ -37,12 +37,12 @@ where
     // we use a Vec of Mutex-free cells by splitting unsafe-free via
     // scoped channel collection instead.
     let (tx, rx) = std::sync::mpsc::channel::<(usize, O)>();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers {
             let tx = tx.clone();
             let next = &next;
             let f = &f;
-            scope.spawn(move |_| loop {
+            scope.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= items.len() {
                     break;
@@ -56,8 +56,7 @@ where
         for (i, out) in rx {
             results[i] = Some(out);
         }
-    })
-    .expect("sweep worker panicked");
+    });
     results
         .into_iter()
         .map(|o| o.expect("every index produced exactly once"))
@@ -131,10 +130,15 @@ mod tests {
         let work = |&x: &u64| -> u64 {
             let mut acc = x;
             for _ in 0..1000 {
-                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                acc = acc
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
             }
             acc
         };
-        assert_eq!(parallel_map(&items, work), items.iter().map(work).collect::<Vec<_>>());
+        assert_eq!(
+            parallel_map(&items, work),
+            items.iter().map(work).collect::<Vec<_>>()
+        );
     }
 }

@@ -13,11 +13,14 @@ fn model() -> ModelParams {
 
 fn build_ring(n: usize) -> Simulator<GradientNode> {
     let params = AlgoParams::with_minimal_b0(model(), n, 0.5);
-    SimBuilder::new(model(), TopologySchedule::static_graph(n, generators::ring(n)))
-        .drift(DriftModel::SplitExtremes, 200.0)
-        .delay(DelayStrategy::Uniform { lo: 0.0, hi: 1.0 })
-        .seed(3)
-        .build_with(|_| GradientNode::new(params))
+    SimBuilder::new(
+        model(),
+        TopologySchedule::static_graph(n, generators::ring(n)),
+    )
+    .drift(DriftModel::SplitExtremes, 200.0)
+    .delay(DelayStrategy::Uniform { lo: 0.0, hi: 1.0 })
+    .seed(3)
+    .build_with(|_| GradientNode::new(params))
 }
 
 fn bench_ring_throughput(c: &mut Criterion) {

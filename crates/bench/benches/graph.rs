@@ -10,8 +10,12 @@ use rand::SeedableRng;
 
 fn bench_generators(c: &mut Criterion) {
     let mut group = c.benchmark_group("generators");
-    group.bench_function("path_1024", |b| b.iter(|| black_box(generators::path(1024))));
-    group.bench_function("grid_32x32", |b| b.iter(|| black_box(generators::grid(32, 32))));
+    group.bench_function("path_1024", |b| {
+        b.iter(|| black_box(generators::path(1024)))
+    });
+    group.bench_function("grid_32x32", |b| {
+        b.iter(|| black_box(generators::grid(32, 32)))
+    });
     group.bench_function("two_chain_256", |b| {
         b.iter(|| black_box(generators::TwoChain::new(256).edges()))
     });
@@ -63,5 +67,10 @@ fn bench_connectivity(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_generators, bench_distance, bench_connectivity);
+criterion_group!(
+    benches,
+    bench_generators,
+    bench_distance,
+    bench_connectivity
+);
 criterion_main!(benches);

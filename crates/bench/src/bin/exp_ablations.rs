@@ -19,11 +19,7 @@ fn main() {
     println!();
 
     let cells = e8::run_slope(&config);
-    e8::render_cells(
-        "E8b — hardening slope (paper: B0 / ((1+rho)tau))",
-        &cells,
-    )
-    .print();
+    e8::render_cells("E8b — hardening slope (paper: B0 / ((1+rho)tau))", &cells).print();
     println!();
 
     let cells = e8::run_wrong_n(&config);

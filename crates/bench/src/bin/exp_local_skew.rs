@@ -18,5 +18,7 @@ fn main() {
         outcome.params.budget_settle_age(),
         outcome.stable_bound
     );
-    println!("expected shape: bridge skew decays below the (also decaying) envelope; old edges flat.");
+    println!(
+        "expected shape: bridge skew decays below the (also decaying) envelope; old edges flat."
+    );
 }

@@ -45,7 +45,10 @@ fn main() {
     println!("=== E3 / Corollary 6.14 ===");
     let e3 = e3_tradeoff::run(&e3_tradeoff::Config::default());
     e3_tradeoff::render(&e3).print();
-    println!("log-log slope of settle time vs B0: {:.3}\n", e3.slope_vs_b0);
+    println!(
+        "log-log slope of settle time vs B0: {:.3}\n",
+        e3.slope_vs_b0
+    );
 
     println!("=== E4 / Theorem 4.1, Figure 1 ===");
     let e4 = e4_lowerbound::run(&e4_lowerbound::Config::default());
@@ -60,7 +63,10 @@ fn main() {
     println!();
 
     println!("=== E6 / Lemma 6.8 ===");
-    for churn in [e6_max_prop::Churn::RotatingStar, e6_max_prop::Churn::StaggeredRing] {
+    for churn in [
+        e6_max_prop::Churn::RotatingStar,
+        e6_max_prop::Churn::StaggeredRing,
+    ] {
         let config = e6_max_prop::Config {
             churn,
             ..e6_max_prop::Config::default()
@@ -77,7 +83,11 @@ fn main() {
 
     println!("=== E8 / ablations ===");
     let e8cfg = e8_ablations::Config::default();
-    e8_ablations::render_cells("E8a — initial budget B(0)", &e8_ablations::run_initial_budget(&e8cfg)).print();
+    e8_ablations::render_cells(
+        "E8a — initial budget B(0)",
+        &e8_ablations::run_initial_budget(&e8cfg),
+    )
+    .print();
     println!();
     e8_ablations::render_cells("E8b — hardening slope", &e8_ablations::run_slope(&e8cfg)).print();
     println!();

@@ -1,4 +1,4 @@
-//! E10 — the weighted-graph extension (paper §7 / companion paper [9]).
+//! E10 — the weighted-graph extension (paper §7 / companion paper \[9\]).
 //!
 //! Edge weights model per-link delay uncertainty: a tight link (e.g. a
 //! reference-broadcast pair) gets weight `w ≪ 1` and its budget floors at
@@ -87,8 +87,7 @@ pub fn run(config: &Config) -> Vec<Point> {
             for e in &old_edges {
                 peak_old = peak_old.max((sim.logical(e.lo()) - sim.logical(e.hi())).abs());
             }
-            let bridge_skew =
-                (sim.logical(m.bridge.lo()) - sim.logical(m.bridge.hi())).abs();
+            let bridge_skew = (sim.logical(m.bridge.lo()) - sim.logical(m.bridge.hi())).abs();
             if bridge_skew <= 1.5 * params.b0 {
                 closure_time.get_or_insert(t - t_bridge);
             } else {
@@ -108,7 +107,12 @@ pub fn run(config: &Config) -> Vec<Point> {
 pub fn render(points: &[Point]) -> Table {
     let mut t = Table::new(
         "E10 — weighted edges: old-edge protection vs closure speed",
-        &["old-edge weight", "budget floor B0·w", "peak old-edge skew", "closure time"],
+        &[
+            "old-edge weight",
+            "budget floor B0·w",
+            "peak old-edge skew",
+            "closure time",
+        ],
     );
     for p in points {
         t.row(&[

@@ -91,7 +91,13 @@ pub fn run(config: &Config) -> Outcome {
 pub fn render(outcome: &Outcome) -> Table {
     let mut t = Table::new(
         "E1 / Theorem 6.9 — global skew vs n (path, split drift, max delays)",
-        &["n", "G(n) bound", "measured peak", "measured/bound", "violations"],
+        &[
+            "n",
+            "G(n) bound",
+            "measured peak",
+            "measured/bound",
+            "violations",
+        ],
     );
     for p in &outcome.points {
         t.row(&[
@@ -118,7 +124,13 @@ mod tests {
         let out = run(&config);
         for p in &out.points {
             assert_eq!(p.violations, 0, "n={} had violations", p.n);
-            assert!(p.measured <= p.bound, "n={}: {} > {}", p.n, p.measured, p.bound);
+            assert!(
+                p.measured <= p.bound,
+                "n={}: {} > {}",
+                p.n,
+                p.measured,
+                p.bound
+            );
             assert!(p.measured > 0.0);
         }
         // Shape: linear fit of measured vs n explains the data well and

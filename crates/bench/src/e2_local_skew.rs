@@ -120,7 +120,13 @@ pub fn render(outcome: &Outcome) -> Table {
             "E2 / Corollary 6.13 — bridge-edge skew vs edge age (initial skew {:.1})",
             outcome.initial_skew
         ),
-        &["age", "bridge skew", "s(n, age)", "worst old edge", "stable bound"],
+        &[
+            "age",
+            "bridge skew",
+            "s(n, age)",
+            "worst old edge",
+            "stable bound",
+        ],
     );
     let stride = (outcome.curve.len() / 14).max(1);
     for p in outcome.curve.iter().step_by(stride) {

@@ -254,7 +254,10 @@ pub fn render(outcome: &Outcome) -> Vec<Table> {
             .map(|s| format!("{s:.1}"))
             .unwrap_or_else(|| "—".into()),
     ]);
-    settle.row(&["n/B0 reference scale".into(), format!("{:.2}", outcome.n_over_b0)]);
+    settle.row(&[
+        "n/B0 reference scale".into(),
+        format!("{:.2}", outcome.n_over_b0),
+    ]);
     vec![fig_a, fig_d, fig_bc, settle]
 }
 

@@ -95,18 +95,15 @@ pub fn run(config: &Config) -> Vec<Point> {
                 )
             })
             .collect();
-        let mut sim = SimBuilder::new(
-            config.model,
-            TopologySchedule::static_graph(n, edges),
-        )
-        .clocks(clocks)
-        .delay(DelayStrategy::BetaLayered {
-            layer: layers,
-            constrained: mask.pattern().clone(),
-            rho: config.model.rho,
-            intra: 0.0,
-        })
-        .build_with(|_| GradientNode::new(params));
+        let mut sim = SimBuilder::new(config.model, TopologySchedule::static_graph(n, edges))
+            .clocks(clocks)
+            .delay(DelayStrategy::BetaLayered {
+                layer: layers,
+                constrained: mask.pattern().clone(),
+                rho: config.model.rho,
+                intra: 0.0,
+            })
+            .build_with(|_| GradientNode::new(params));
         sim.run_until(at(ready + 10.0));
         Point {
             d,
@@ -122,7 +119,14 @@ pub fn run(config: &Config) -> Vec<Point> {
 pub fn render(points: &[Point]) -> Table {
     let mut t = Table::new(
         "E5 / Lemma 4.2 — masked skew buildup vs flexible distance",
-        &["dist_M(u,v)", "ready time", "measured skew", "T·d/4 bound", "measured/bound", "illegal delays"],
+        &[
+            "dist_M(u,v)",
+            "ready time",
+            "measured skew",
+            "T·d/4 bound",
+            "measured/bound",
+            "illegal delays",
+        ],
     );
     for p in points {
         t.row(&[

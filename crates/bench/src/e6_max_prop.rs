@@ -8,7 +8,7 @@
 
 use gcs_analysis::{parallel_map, Table};
 use gcs_clocks::time::at;
-use gcs_clocks::{Duration, DriftModel};
+use gcs_clocks::{DriftModel, Duration};
 use gcs_core::{AlgoParams, GradientNode};
 use gcs_net::{churn, connectivity, node};
 use gcs_sim::{DelayStrategy, ModelParams, SimBuilder};
@@ -114,7 +114,13 @@ pub fn run(config: &Config) -> Vec<Point> {
 pub fn render(points: &[Point], churn: Churn) -> Table {
     let mut t = Table::new(
         format!("E6 / Lemma 6.8 — max-estimate propagation under churn ({churn:?})"),
-        &["n", "worst gap", "bound", "gap/bound", "(T+D)-interval connected"],
+        &[
+            "n",
+            "worst gap",
+            "bound",
+            "gap/bound",
+            "(T+D)-interval connected",
+        ],
     );
     for p in points {
         t.row(&[

@@ -95,8 +95,7 @@ fn measure<A: Automaton>(
         t += 0.5;
         sim.run_until(at(t));
         for e in old_edges {
-            peak_old_edge =
-                peak_old_edge.max((sim.logical(e.lo()) - sim.logical(e.hi())).abs());
+            peak_old_edge = peak_old_edge.max((sim.logical(e.lo()) - sim.logical(e.hi())).abs());
         }
         peak_lag = peak_lag.max(sim.max_estimate_of(node(m)) - sim.logical(node(m)));
         let bridge_skew = (sim.logical(bridge.lo()) - sim.logical(bridge.hi())).abs();
@@ -120,13 +119,18 @@ pub fn run(config: &Config) -> Vec<Row> {
     let (schedule, clocks, m, bridge) = merge_scenario(config);
     let old_edges: Vec<Edge> = schedule.initial_edges().collect();
     let b0 = AlgoParams::with_minimal_b0(config.model, config.n, config.delta_h).b0;
-    let aging = AlgoParams::with_policy(config.model, config.n, config.delta_h, b0, BudgetPolicy::Aging);
+    let aging = AlgoParams::with_policy(
+        config.model,
+        config.n,
+        config.delta_h,
+        b0,
+        BudgetPolicy::Aging,
+    );
     let threshold = aging.stable_local_skew();
 
     let mut rows = Vec::new();
     for policy in [BudgetPolicy::Aging, BudgetPolicy::Constant] {
-        let params =
-            AlgoParams::with_policy(config.model, config.n, config.delta_h, b0, policy);
+        let params = AlgoParams::with_policy(config.model, config.n, config.delta_h, b0, policy);
         let mut sim = SimBuilder::new(config.model, schedule.clone())
             .clocks(clocks.clone())
             .delay(DelayStrategy::Max)
@@ -156,7 +160,13 @@ pub fn run(config: &Config) -> Vec<Row> {
 pub fn render(rows: &[Row]) -> Table {
     let mut t = Table::new(
         "E7 — cluster merge: gradient vs baselines",
-        &["algorithm", "initial bridge skew", "peak old-edge skew", "peak Lmax−L lag", "bridge settle time"],
+        &[
+            "algorithm",
+            "initial bridge skew",
+            "peak old-edge skew",
+            "peak Lmax−L lag",
+            "bridge settle time",
+        ],
     );
     for r in rows {
         t.row(&[

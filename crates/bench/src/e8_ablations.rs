@@ -201,8 +201,7 @@ pub fn run_delta_h(model: ModelParams, n: usize, delta_hs: &[f64]) -> Vec<DeltaH
             t += 1.0;
             sim.run_until(at(t));
             for i in 0..n - 1 {
-                worst = worst
-                    .max((sim.logical(node(i)) - sim.logical(node(i + 1))).abs());
+                worst = worst.max((sim.logical(node(i)) - sim.logical(node(i + 1))).abs());
             }
         }
         DeltaHCell {

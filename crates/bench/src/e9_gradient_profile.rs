@@ -69,11 +69,7 @@ pub fn run(config: &Config) -> Vec<ProfileRow> {
         .build_with(|_| GradientNode::new(params));
     sim.run_until(at(warmup));
 
-    let distances: Vec<usize> = config
-        .distances
-        .iter()
-        .map(|&d| d.min(n - 1))
-        .collect();
+    let distances: Vec<usize> = config.distances.iter().map(|&d| d.min(n - 1)).collect();
     let mut worst = vec![0.0f64; distances.len()];
     let mut t = warmup;
     while t < horizon {
@@ -94,8 +90,7 @@ pub fn run(config: &Config) -> Vec<ProfileRow> {
         .map(|(distance, worst_skew)| ProfileRow {
             distance,
             worst_skew,
-            bound: (distance as f64 * params.stable_local_skew())
-                .min(params.global_skew_bound()),
+            bound: (distance as f64 * params.stable_local_skew()).min(params.global_skew_bound()),
         })
         .collect()
 }

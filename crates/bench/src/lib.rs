@@ -16,17 +16,17 @@
 //! | E6 | Lemma 6.8 — max-estimate propagation under churn | [`e6_max_prop`] |
 //! | E7 | §1 — baseline comparison (aging vs constant budget vs max-sync) | [`e7_baselines`] |
 
+pub mod e10_weighted;
 pub mod e1_global_skew;
-pub mod scenario;
 pub mod e2_local_skew;
 pub mod e3_tradeoff;
 pub mod e4_lowerbound;
 pub mod e5_masking;
 pub mod e6_max_prop;
 pub mod e7_baselines;
-pub mod e10_weighted;
 pub mod e8_ablations;
 pub mod e9_gradient_profile;
+pub mod scenario;
 
 use gcs_sim::ModelParams;
 

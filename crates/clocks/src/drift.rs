@@ -24,7 +24,7 @@ use rand::Rng;
 
 /// A family of drift adversaries; `build` instantiates the schedule for one
 /// node.
-#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum DriftModel {
     /// All clocks perfect (rate 1).
     Perfect,

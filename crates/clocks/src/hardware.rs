@@ -10,7 +10,7 @@ use crate::time::{Duration, Time};
 use crate::validate_rho;
 
 /// A node's continuous hardware clock with bounded drift.
-#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct HardwareClock {
     schedule: RateSchedule,
     rho: f64,

@@ -17,7 +17,7 @@ use crate::time::Time;
 
 /// One constant-rate segment: the clock runs at `rate` from `start` until
 /// the start of the next segment (or forever, for the last one).
-#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct RateSegment {
     /// Real time at which this segment begins.
     pub start: Time,
@@ -31,7 +31,7 @@ pub struct RateSegment {
 /// * the first segment starts at `Time::ZERO`,
 /// * segment starts are strictly increasing,
 /// * every rate is finite and strictly positive.
-#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct RateSchedule {
     segments: Vec<RateSegment>,
     /// `cumulative[i]` = clock value at the start of segment `i`.

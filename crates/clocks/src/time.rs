@@ -13,11 +13,11 @@ use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
 ///
 /// All executions start at `Time::ZERO`; the paper assumes all hardware
 /// clocks read 0 at that instant.
-#[derive(Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq)]
 pub struct Time(f64);
 
 /// A signed span of real time (seconds).
-#[derive(Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq)]
 pub struct Duration(f64);
 
 impl Time {
@@ -71,7 +71,10 @@ impl Duration {
     /// Creates a duration; panics on non-finite input.
     #[inline]
     pub fn new(seconds: f64) -> Self {
-        assert!(seconds.is_finite(), "Duration must be finite, got {seconds}");
+        assert!(
+            seconds.is_finite(),
+            "Duration must be finite, got {seconds}"
+        );
         Duration(seconds)
     }
 

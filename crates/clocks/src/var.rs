@@ -15,7 +15,7 @@
 
 /// A clock-valued variable that grows at the owner's hardware rate between
 /// events, represented as an offset from the hardware clock.
-#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ClockVar {
     offset: f64,
 }

@@ -68,7 +68,8 @@ impl Automaton for MaxSyncNode {
 
     fn on_receive(&mut self, ctx: &mut Context<'_>, from: NodeId, msg: Message) {
         self.upsilon.insert(from);
-        self.lmax.raise_to(msg.max_estimate.max(msg.logical), ctx.hw);
+        self.lmax
+            .raise_to(msg.max_estimate.max(msg.logical), ctx.hw);
         self.chase(ctx.hw);
     }
 

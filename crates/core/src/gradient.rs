@@ -19,8 +19,8 @@
 
 use crate::params::AlgoParams;
 use gcs_clocks::ClockVar;
-use gcs_sim::{Automaton, Context, LinkChange, LinkChangeKind, Message, TimerKind};
 use gcs_net::NodeId;
+use gcs_sim::{Automaton, Context, LinkChange, LinkChangeKind, Message, TimerKind};
 use std::collections::{btree_map::Entry, BTreeMap, BTreeSet};
 
 /// Per-neighbor state for `v ∈ Γ_u`.
@@ -298,14 +298,14 @@ mod tests {
         // Lmax was raised to 12 and L jumped to min(Lmax, est + B(0)).
         assert_eq!(n.max_estimate(10.0), 12.0);
         assert_eq!(n.logical_clock(10.0), 12.0); // B(0) huge => cap is Lmax
-        // lost timer armed with ΔT′.
+                                                 // lost timer armed with ΔT′.
         assert!(actions.iter().any(|a| matches!(
             a,
             Action::SetTimer { kind: TimerKind::Lost(v), delta } if *v == node(1) && (*delta - params().delta_t_prime()).abs() < 1e-12
         )));
-        assert!(actions
-            .iter()
-            .any(|a| matches!(a, Action::CancelTimer { kind: TimerKind::Lost(v) } if *v == node(1))));
+        assert!(actions.iter().any(
+            |a| matches!(a, Action::CancelTimer { kind: TimerKind::Lost(v) } if *v == node(1))
+        ));
     }
 
     #[test]
@@ -467,10 +467,8 @@ mod tests {
     #[test]
     fn weighted_edges_floor_at_scaled_b0() {
         let p = params();
-        let mut n = GradientNode::with_weights(
-            p,
-            [(node(1), 0.25), (node(2), 1.0)].into_iter().collect(),
-        );
+        let mut n =
+            GradientNode::with_weights(p, [(node(1), 0.25), (node(2), 1.0)].into_iter().collect());
         assert_eq!(n.weight_of(node(1)), 0.25);
         assert_eq!(n.weight_of(node(3)), 1.0); // default
         let mut actions = Vec::new();

@@ -90,9 +90,7 @@ impl InvariantMonitor {
                 if advance < 0.5 * dt - self.eps {
                     self.violations.push(Violation {
                         time: t,
-                        what: format!(
-                            "node {i}: clock advanced {advance} over {dt} (rate < 1/2)"
-                        ),
+                        what: format!("node {i}: clock advanced {advance} over {dt} (rate < 1/2)"),
                     });
                 }
             }
@@ -101,9 +99,7 @@ impl InvariantMonitor {
             if lmax_advance > (1.0 + rho) * dt + self.eps {
                 self.violations.push(Violation {
                     time: t,
-                    what: format!(
-                        "Lmax advanced {lmax_advance} over {dt} (rate > 1+ρ)"
-                    ),
+                    what: format!("Lmax advanced {lmax_advance} over {dt} (rate > 1+ρ)"),
                 });
             }
         }
@@ -177,10 +173,7 @@ mod tests {
         m.observe(at(0.0), &[0.0, 0.0], &[0.0, 0.0]);
         // Node 1 advanced only 0.1 over 1.0 time: rate < 1/2.
         m.observe(at(1.0), &[1.0, 0.1], &[1.0, 1.0]);
-        assert!(m
-            .violations()
-            .iter()
-            .any(|v| v.what.contains("rate < 1/2")));
+        assert!(m.violations().iter().any(|v| v.what.contains("rate < 1/2")));
     }
 
     #[test]
@@ -189,7 +182,10 @@ mod tests {
         let g = p.global_skew_bound();
         let mut m = InvariantMonitor::new(p);
         m.observe(at(0.0), &[0.0, g + 1.0], &[g + 1.0, g + 1.0]);
-        assert!(m.violations().iter().any(|v| v.what.contains("global skew")));
+        assert!(m
+            .violations()
+            .iter()
+            .any(|v| v.what.contains("global skew")));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use gcs_sim::ModelParams;
 
 /// Which budget function the node uses for its `Γ`-neighbors.
-#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum BudgetPolicy {
     /// The paper's aging budget `B(Δt)` (Algorithm 2).
     Aging,
@@ -27,7 +27,7 @@ pub enum BudgetPolicy {
 
 /// Parameters for [`GradientNode`](crate::gradient::GradientNode) and the
 /// quantities derived from them in Section 5/6 of the paper.
-#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct AlgoParams {
     /// Environment constants `ρ, T, D`.
     pub model: ModelParams,
@@ -150,9 +150,7 @@ impl AlgoParams {
                 self.tau(),
             ),
             BudgetPolicy::Constant => self.b0,
-            BudgetPolicy::Custom { initial, slope } => {
-                (initial - slope * dt.max(0.0)).max(self.b0)
-            }
+            BudgetPolicy::Custom { initial, slope } => (initial - slope * dt.max(0.0)).max(self.b0),
         }
     }
 

@@ -40,9 +40,7 @@ fn run_checked(
         t = (t + sample_dt).min(horizon);
         sim.run_until(at(t));
         let logical = sim.logical_snapshot();
-        let lmax: Vec<f64> = (0..sim.n())
-            .map(|i| sim.max_estimate_of(node(i)))
-            .collect();
+        let lmax: Vec<f64> = (0..sim.n()).map(|i| sim.max_estimate_of(node(i))).collect();
         monitor.observe(at(t), &logical, &lmax);
     }
     monitor
@@ -161,8 +159,7 @@ fn new_bridge_edge_skew_decays_without_disturbing_old_edges() {
         t += 1.0;
         sim.run_until(at(t));
         for e in generators::path(n) {
-            worst_old_edge =
-                worst_old_edge.max((sim.logical(e.lo()) - sim.logical(e.hi())).abs());
+            worst_old_edge = worst_old_edge.max((sim.logical(e.lo()) - sim.logical(e.hi())).abs());
         }
     }
     let final_bridge_skew = (sim.logical(node(0)) - sim.logical(node(n - 1))).abs();

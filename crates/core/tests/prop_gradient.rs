@@ -23,11 +23,20 @@ use std::collections::BTreeSet;
 
 #[derive(Clone, Debug)]
 enum Ev {
-    Receive { from: usize, logical: f64, lmax: f64 },
-    DiscoverAdd { other: usize
+    Receive {
+        from: usize,
+        logical: f64,
+        lmax: f64,
     },
-    DiscoverRemove { other: usize },
-    Lost { other: usize },
+    DiscoverAdd {
+        other: usize,
+    },
+    DiscoverRemove {
+        other: usize,
+    },
+    Lost {
+        other: usize,
+    },
     Tick,
 }
 
@@ -53,7 +62,11 @@ fn apply(n: &mut GradientNode, hw: f64, ev: &Ev, actions: &mut Vec<Action>) {
     actions.clear();
     let mut ctx = Context::new(node(0), Time::new(hw), hw, actions);
     match *ev {
-        Ev::Receive { from, logical, lmax } => n.on_receive(
+        Ev::Receive {
+            from,
+            logical,
+            lmax,
+        } => n.on_receive(
             &mut ctx,
             node(from),
             Message {

@@ -32,12 +32,7 @@ fn run_merge_with_weight(w: f64) -> (f64, f64) {
     let schedule = TopologySchedule::static_graph(n, old_edges.clone())
         .with_extra_events(vec![add_at(t_bridge, bridge)]);
     let clocks: Vec<HardwareClock> = (0..n)
-        .map(|i| {
-            HardwareClock::constant(
-                if i < half - 1 { 1.0 + rho } else { 1.0 - rho },
-                rho,
-            )
-        })
+        .map(|i| HardwareClock::constant(if i < half - 1 { 1.0 + rho } else { 1.0 - rho }, rho))
         .collect();
     let weights_for = |i: usize| -> BTreeMap<NodeId, f64> {
         let mut m = BTreeMap::new();
@@ -100,8 +95,7 @@ fn unit_weights_reproduce_plain_algorithm() {
     let n = 8;
     let params = AlgoParams::with_minimal_b0(model, n, 0.5);
     let run = |weighted: bool| {
-        let schedule =
-            TopologySchedule::static_graph(n, gcs_net::generators::ring(n));
+        let schedule = TopologySchedule::static_graph(n, gcs_net::generators::ring(n));
         let mut sim = SimBuilder::new(model, schedule)
             .drift(gcs_clocks::DriftModel::SplitExtremes, 100.0)
             .delay(DelayStrategy::Max)

@@ -115,14 +115,10 @@ pub fn check_layer_properties(
         let (a, b) = (layers[e.lo().index()], layers[e.hi().index()]);
         if mask.is_constrained(e) {
             if a != b {
-                return Err(format!(
-                    "constrained edge {e:?} spans layers {a} and {b}"
-                ));
+                return Err(format!("constrained edge {e:?} spans layers {a} and {b}"));
             }
         } else if a.abs_diff(b) > 1 {
-            return Err(format!(
-                "unconstrained edge {e:?} spans layers {a} and {b}"
-            ));
+            return Err(format!("unconstrained edge {e:?} spans layers {a} and {b}"));
         }
     }
     Ok(())

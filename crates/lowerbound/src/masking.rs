@@ -150,9 +150,15 @@ mod tests {
         let mask = DelayMask::new();
         // Ramp for layer 1 ends at t = T/ρ = 100.
         let d_up = beta_delay(e(0, 1), node(0), 500.0, &layers, &mask, RHO, T, 0.0);
-        assert!(d_up.abs() < 1e-9, "uphill post-ramp should be 0, got {d_up}");
+        assert!(
+            d_up.abs() < 1e-9,
+            "uphill post-ramp should be 0, got {d_up}"
+        );
         let d_down = beta_delay(e(0, 1), node(1), 500.0, &layers, &mask, RHO, T, 0.0);
-        assert!((d_down - T).abs() < 1e-9, "downhill post-ramp should be T, got {d_down}");
+        assert!(
+            (d_down - T).abs() < 1e-9,
+            "downhill post-ramp should be T, got {d_down}"
+        );
     }
 
     #[test]
@@ -189,8 +195,7 @@ mod tests {
         let mask = DelayMask::uniform([e(0, 1), e(1, 2)], T);
         let layers = flexible_layers(n, edges.clone(), &mask, node(0));
         let send_times: Vec<f64> = (0..2000).map(|i| i as f64 * 0.5).collect();
-        let violations =
-            verify_beta_legality(&edges, &layers, &mask, RHO, T, 0.0, &send_times);
+        let violations = verify_beta_legality(&edges, &layers, &mask, RHO, T, 0.0, &send_times);
         assert!(violations.is_empty(), "violations: {violations:?}");
     }
 
@@ -202,8 +207,7 @@ mod tests {
         let mask = DelayMask::uniform(tc.e_block(k), T);
         let layers = flexible_layers(tc.n, edges.clone(), &mask, tc.u(k));
         let send_times: Vec<f64> = (0..3000).map(|i| i as f64 * 0.7).collect();
-        let violations =
-            verify_beta_legality(&edges, &layers, &mask, RHO, T, 0.0, &send_times);
+        let violations = verify_beta_legality(&edges, &layers, &mask, RHO, T, 0.0, &send_times);
         assert!(violations.is_empty(), "violations: {violations:?}");
     }
 

@@ -1,7 +1,7 @@
 //! The Theorem 4.1 scenario (Figure 1).
 //!
 //! The network is the two-chain graph of
-//! [`TwoChain`](gcs_net::generators::TwoChain): `w0` and `wn` joined by
+//! [`gcs_net::generators::TwoChain`]: `w0` and `wn` joined by
 //! chain A and chain B. The delay mask constrains `E_block` — the first
 //! `⌈k⌉` and last `⌈k⌉`-ish edges of chain A — to delay `T`, so the
 //! designated nodes `u, v` on chain A sit at flexible distance
@@ -82,9 +82,7 @@ impl Theorem41Scenario {
     pub fn beta_clocks(&self) -> Vec<HardwareClock> {
         self.layers
             .iter()
-            .map(|&j| {
-                HardwareClock::new(drift::layered_beta(j, self.rho, self.big_t), self.rho)
-            })
+            .map(|&j| HardwareClock::new(drift::layered_beta(j, self.rho, self.big_t), self.rho))
             .collect()
     }
 
@@ -141,15 +139,14 @@ impl Theorem41Scenario {
     pub fn place_new_edges(&self, b_clocks: &[f64], i_skew: f64, s: f64) -> Vec<Edge> {
         let chain = self.b_chain();
         assert_eq!(b_clocks.len(), chain.len());
-        let (values, nodes): (Vec<f64>, Vec<NodeId>) =
-            if b_clocks.first() <= b_clocks.last() {
-                (b_clocks.to_vec(), chain)
-            } else {
-                (
-                    b_clocks.iter().rev().copied().collect(),
-                    chain.into_iter().rev().collect(),
-                )
-            };
+        let (values, nodes): (Vec<f64>, Vec<NodeId>) = if b_clocks.first() <= b_clocks.last() {
+            (b_clocks.to_vec(), chain)
+        } else {
+            (
+                b_clocks.iter().rev().copied().collect(),
+                chain.into_iter().rev().collect(),
+            )
+        };
         let idx = lemma43_subsequence(&values, i_skew, s);
         check_lemma43(&values, i_skew, s, &idx).expect("Lemma 4.3 construction failed");
         idx.windows(2)
@@ -177,10 +174,7 @@ mod tests {
         // w0 and wn are at flexible distance 0 and dist(v) respectively
         // (the masked blocks are free).
         assert_eq!(sc.layers[sc.tc.w0().index()], 0);
-        assert_eq!(
-            sc.layers[sc.tc.wn().index()],
-            sc.flexible_distance_uv()
-        );
+        assert_eq!(sc.layers[sc.tc.wn().index()], sc.flexible_distance_uv());
     }
 
     #[test]

@@ -103,9 +103,11 @@ pub fn staggered_ring(
     TopologySchedule::new(n, initial, events)
 }
 
-/// A static backbone (guaranteeing connectivity) plus `chords` random extra
-/// edges that flap: each chord independently toggles with up-times drawn
-/// from `[min_up, max_up]` and down-times from `[min_down, max_down]`.
+/// A static backbone (guaranteeing connectivity) plus up to `chords`
+/// random extra edges that flap: each chord independently toggles with
+/// up-times drawn from `[min_up, max_up]` and down-times from
+/// `[min_down, max_down]`. Small graphs may not have `chords` edges
+/// outside the backbone; the count is capped at what exists.
 pub fn random_churn<R: Rng>(
     n: usize,
     backbone: Vec<Edge>,
@@ -118,6 +120,7 @@ pub fn random_churn<R: Rng>(
     assert!(up_range.0 > 0.0 && up_range.0 <= up_range.1);
     assert!(down_range.0 > 0.0 && down_range.0 <= down_range.1);
     let backbone_set: BTreeSet<Edge> = backbone.iter().copied().collect();
+    let chords = chords.min(n * (n - 1) / 2 - backbone_set.len());
     // Pick distinct chord edges not in the backbone.
     let mut chord_edges = BTreeSet::new();
     let mut guard = 0;

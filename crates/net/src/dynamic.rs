@@ -12,7 +12,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 /// One presence interval of an edge: `[added, removed)` where `removed` is
 /// `None` while the edge is still up.
-#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct PresenceInterval {
     /// When the edge (re)appeared.
     pub added: Time,
@@ -74,7 +74,10 @@ impl DynamicGraph {
             "edge {e:?} out of range for n={}",
             self.n
         );
-        assert!(self.present.insert(e), "edge {e:?} already present at {t:?}");
+        assert!(
+            self.present.insert(e),
+            "edge {e:?} already present at {t:?}"
+        );
         self.adjacency[e.lo().index()].insert(e.hi());
         self.adjacency[e.hi().index()].insert(e.lo());
         self.history.entry(e).or_default().push(PresenceInterval {

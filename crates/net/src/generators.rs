@@ -3,7 +3,7 @@
 //! Everything returns plain edge lists; wrap them in
 //! [`TopologySchedule::static_graph`](crate::schedule::TopologySchedule) or
 //! feed them to the churn builders. The star of this module is
-//! [`two_chain`], the lower-bound network of the paper's Theorem 4.1
+//! [`TwoChain`], the lower-bound network of the paper's Theorem 4.1
 //! (Figure 1): two parallel chains between `w0` and `wn`.
 
 use crate::ids::{node, Edge, NodeId};
@@ -324,11 +324,7 @@ mod tests {
         let v = tc.v(k);
         assert_ne!(u, v);
         // u is at A-index ceil(k)=2, v at floor(16-2)=14: 12 hops apart
-        let d = crate::distance::bfs_distance(
-            32,
-            tc.edges().iter().copied(),
-            u,
-        );
+        let d = crate::distance::bfs_distance(32, tc.edges().iter().copied(), u);
         assert_eq!(d[v.index()], Some(12));
     }
 

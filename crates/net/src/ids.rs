@@ -3,9 +3,7 @@
 use std::fmt;
 
 /// A node in the static node set `V`. Nodes are numbered `0..n`.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -42,9 +40,7 @@ pub fn node(i: usize) -> NodeId {
 
 /// An *undirected* potential edge `{u, v} ∈ V⁽²⁾`, stored canonically with
 /// the smaller endpoint first. Self-loops are rejected.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Edge {
     a: NodeId,
     b: NodeId,

@@ -12,7 +12,7 @@ use gcs_clocks::Time;
 use std::collections::BTreeSet;
 
 /// What happened to an edge.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum TopologyEventKind {
     /// The link formed.
     Add,
@@ -21,7 +21,7 @@ pub enum TopologyEventKind {
 }
 
 /// One timed topology change.
-#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct TopologyEvent {
     /// Real time of the change.
     pub time: Time,
@@ -32,7 +32,7 @@ pub struct TopologyEvent {
 }
 
 /// A validated dynamic-graph description: initial edges + event log.
-#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TopologySchedule {
     n: usize,
     initial: BTreeSet<Edge>,
@@ -164,10 +164,7 @@ impl TopologySchedule {
             return false;
         }
         !self.events.iter().any(|ev| {
-            ev.edge == edge
-                && ev.kind == TopologyEventKind::Remove
-                && ev.time > t1
-                && ev.time <= t2
+            ev.edge == edge && ev.kind == TopologyEventKind::Remove && ev.time > t1 && ev.time <= t2
         })
     }
 
@@ -316,7 +313,11 @@ mod tests {
         let s = TopologySchedule::new(
             4,
             [],
-            vec![add_at(7.0, e(0, 1)), add_at(3.0, e(2, 3)), add_at(5.0, e(1, 2))],
+            vec![
+                add_at(7.0, e(0, 1)),
+                add_at(3.0, e(2, 3)),
+                add_at(5.0, e(1, 2)),
+            ],
         );
         let times: Vec<f64> = s.events().iter().map(|ev| ev.time.seconds()).collect();
         assert_eq!(times, vec![3.0, 5.0, 7.0]);

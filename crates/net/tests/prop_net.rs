@@ -72,7 +72,7 @@ proptest! {
     #[test]
     fn exists_throughout_agrees(sched in arb_schedule(4), t1 in 0.0f64..80.0, gap in 0.0f64..40.0) {
         let t2 = t1 + gap;
-        
+
         let mut g = DynamicGraph::from_schedule_initial(&sched);
         for ev in sched.events() {
             g.apply(ev.kind, ev.edge, ev.time);

@@ -69,7 +69,10 @@ impl<'a> Context<'a> {
 
     /// Queues a subjective timer (re)set.
     pub fn set_timer(&mut self, delta: f64, kind: TimerKind) {
-        assert!(delta >= 0.0 && delta.is_finite(), "timer delta must be >= 0");
+        assert!(
+            delta >= 0.0 && delta.is_finite(),
+            "timer delta must be >= 0"
+        );
         self.actions.push(Action::SetTimer { delta, kind });
     }
 

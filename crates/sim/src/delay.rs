@@ -7,8 +7,8 @@
 //! and "downhill" messages take `0`. [`DelayStrategy`] covers all the
 //! adversaries used in the paper and the experiments.
 
-use gcs_net::{Edge, NodeId};
 use gcs_clocks::Time;
+use gcs_net::{Edge, NodeId};
 use rand::rngs::StdRng;
 use rand::Rng;
 use std::collections::BTreeMap;
@@ -99,14 +99,7 @@ impl DelayStrategy {
     /// `big_t` is the model's delay bound `T`; the returned value is always
     /// clamped into `[0, T]` and asserted against the strategy's own
     /// parameters in debug builds.
-    pub fn delay(
-        &self,
-        edge: Edge,
-        from: NodeId,
-        now: Time,
-        big_t: f64,
-        rng: &mut StdRng,
-    ) -> f64 {
+    pub fn delay(&self, edge: Edge, from: NodeId, now: Time, big_t: f64, rng: &mut StdRng) -> f64 {
         let raw = match self {
             DelayStrategy::Constant(d) => *d,
             DelayStrategy::Max => big_t,
@@ -154,7 +147,7 @@ impl DelayStrategy {
                     p
                 } else {
                     match jx.cmp(&jy) {
-                        std::cmp::Ordering::Less => big_t, // uphill
+                        std::cmp::Ordering::Less => big_t,  // uphill
                         std::cmp::Ordering::Greater => 0.0, // downhill
                         std::cmp::Ordering::Equal => *intra,
                     }

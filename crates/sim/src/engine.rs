@@ -22,9 +22,7 @@
 
 use crate::automaton::{Action, Automaton, Context};
 use crate::delay::DelayStrategy;
-use crate::event::{
-    EventPayload, EventQueue, LinkChange, LinkChangeKind, Message, TimerKind,
-};
+use crate::event::{EventPayload, EventQueue, LinkChange, LinkChangeKind, Message, TimerKind};
 use crate::model::ModelParams;
 use crate::stats::SimStats;
 use gcs_clocks::{DriftModel, HardwareClock, Time};
@@ -197,7 +195,10 @@ impl SimBuilder {
                     ev.time + gcs_clocks::Duration::new(lat),
                     EventPayload::Discover {
                         node: w,
-                        change: LinkChange { kind, edge: ev.edge },
+                        change: LinkChange {
+                            kind,
+                            edge: ev.edge,
+                        },
                         version,
                     },
                 );
@@ -388,8 +389,8 @@ impl<A: Automaton> Simulator<A> {
 
     fn apply_delivery(&mut self, from: NodeId, to: NodeId, msg: Message, epoch: u64) {
         let edge = Edge::new(from, to);
-        let live = self.graph.contains(edge)
-            && self.edge_epoch.get(&edge).copied().unwrap_or(0) == epoch;
+        let live =
+            self.graph.contains(edge) && self.edge_epoch.get(&edge).copied().unwrap_or(0) == epoch;
         if live {
             self.stats.messages_delivered += 1;
             self.with_node(to, |sim, node| {

@@ -7,7 +7,7 @@ use std::collections::BinaryHeap;
 
 /// The message format of Algorithm 2: `⟨L_u, Lmax_u⟩`. All protocols in
 /// this library exchange (logical clock, max-estimate) pairs.
-#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Message {
     /// The sender's logical clock value at send time.
     pub logical: f64,
@@ -26,7 +26,7 @@ pub enum TimerKind {
 }
 
 /// Direction of a discovered link change.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum LinkChangeKind {
     /// `discover(add({u,v}))`
     Added,
@@ -35,7 +35,7 @@ pub enum LinkChangeKind {
 }
 
 /// A discovered link change, delivered to an endpoint via `on_discover`.
-#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct LinkChange {
     /// Which way the link changed.
     pub kind: LinkChangeKind,

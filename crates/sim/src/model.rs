@@ -8,7 +8,7 @@ use gcs_clocks::validate_rho;
 /// The paper assumes `D > T` ("nodes do not necessarily find out about
 /// changes to the network within T time units"); the constructor enforces
 /// it.
-#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ModelParams {
     /// Maximum hardware clock drift `ρ ∈ (0, 1/2]`.
     pub rho: f64,
@@ -25,7 +25,10 @@ impl ModelParams {
     pub fn new(rho: f64, t: f64, d: f64) -> Self {
         validate_rho(rho);
         assert!(t.is_finite() && t > 0.0, "delay bound T must be > 0");
-        assert!(d.is_finite() && d > t, "discovery bound D must exceed T (got D={d}, T={t})");
+        assert!(
+            d.is_finite() && d > t,
+            "discovery bound D must exceed T (got D={d}, T={t})"
+        );
         ModelParams { rho, t, d }
     }
 

@@ -1,7 +1,7 @@
 //! Execution counters, used by tests (e.g. determinism checks) and benches.
 
 /// Counters accumulated over one simulation run.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SimStats {
     /// Events popped from the queue (including skipped stale ones).
     pub events_processed: u64,

@@ -50,7 +50,8 @@ impl Automaton for Flood {
 
     fn on_receive(&mut self, ctx: &mut Context<'_>, from: NodeId, msg: Message) {
         self.value = self.value.max(msg.logical);
-        self.received.push((ctx.now.seconds(), from, msg.max_estimate));
+        self.received
+            .push((ctx.now.seconds(), from, msg.max_estimate));
     }
 
     fn on_discover(&mut self, ctx: &mut Context<'_>, change: LinkChange) {
@@ -117,7 +118,9 @@ fn initial_edges_discovered_at_time_zero() {
     // Node 1 touches both initial edges.
     let d = &sim.node(node(1)).discoveries;
     assert_eq!(d.len(), 2);
-    assert!(d.iter().all(|(t, c)| *t == 0.0 && c.kind == LinkChangeKind::Added));
+    assert!(d
+        .iter()
+        .all(|(t, c)| *t == 0.0 && c.kind == LinkChangeKind::Added));
 }
 
 #[test]
@@ -125,7 +128,10 @@ fn topology_changes_discovered_within_d() {
     let schedule = TopologySchedule::new(
         2,
         [],
-        vec![add_at(5.0, Edge::between(0, 1)), remove_at(20.0, Edge::between(0, 1))],
+        vec![
+            add_at(5.0, Edge::between(0, 1)),
+            remove_at(20.0, Edge::between(0, 1)),
+        ],
     );
     let mut sim = SimBuilder::new(params(), schedule)
         .discovery(DiscoveryDelay::Uniform { lo: 0.5, hi: 2.0 })
@@ -155,8 +161,11 @@ fn messages_dropped_after_removal_notify_sender() {
     // Edge removed at t=10; discovery takes the full D=2, so node 0 keeps
     // sending into the void for a while. Every such message must be dropped
     // and node 0 must get a discover(remove) no later than send + D.
-    let schedule =
-        TopologySchedule::new(2, [Edge::between(0, 1)], vec![remove_at(10.0, Edge::between(0, 1))]);
+    let schedule = TopologySchedule::new(
+        2,
+        [Edge::between(0, 1)],
+        vec![remove_at(10.0, Edge::between(0, 1))],
+    );
     let mut sim = SimBuilder::new(params(), schedule)
         .discovery(DiscoveryDelay::Constant(2.0))
         .build_with(|_| Flood::new(1.0, 0.5));
@@ -178,8 +187,11 @@ fn messages_dropped_after_removal_notify_sender() {
 fn in_flight_message_dropped_when_edge_dies() {
     // Max delay T=1; removal at 10.25 catches messages sent at 10.0-.
     // (tick at subjective 0.5 with perfect clocks => sends at 0.5, 1.0, …)
-    let schedule =
-        TopologySchedule::new(2, [Edge::between(0, 1)], vec![remove_at(10.25, Edge::between(0, 1))]);
+    let schedule = TopologySchedule::new(
+        2,
+        [Edge::between(0, 1)],
+        vec![remove_at(10.25, Edge::between(0, 1))],
+    );
     let mut sim = SimBuilder::new(params(), schedule)
         .delay(DelayStrategy::Max)
         .build_with(|_| Flood::new(1.0, 0.5));
@@ -224,7 +236,10 @@ fn delays_never_exceed_bound() {
         let log = &sim.node(node(i)).received;
         for w in log.windows(2) {
             let gap = w[1].0 - w[0].0;
-            assert!(gap <= delta_t + 1e-9, "arrival gap {gap} exceeds ΔT {delta_t}");
+            assert!(
+                gap <= delta_t + 1e-9,
+                "arrival gap {gap} exceeds ΔT {delta_t}"
+            );
         }
     }
 }
@@ -321,11 +336,7 @@ fn transient_change_may_be_skipped() {
     // removal (version-skip). Either way the final neighbor view is
     // coherent (the edge is up).
     let e = Edge::between(0, 1);
-    let schedule = TopologySchedule::new(
-        2,
-        [e],
-        vec![remove_at(10.0, e), add_at(10.5, e)],
-    );
+    let schedule = TopologySchedule::new(2, [e], vec![remove_at(10.0, e), add_at(10.5, e)]);
     let mut sim = SimBuilder::new(params(), schedule)
         .discovery(DiscoveryDelay::Uniform { lo: 0.2, hi: 2.0 })
         .seed(12)

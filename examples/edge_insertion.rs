@@ -42,13 +42,21 @@ fn main() {
     let initial = (sim.logical(bridge.lo()) - sim.logical(bridge.hi())).abs();
     println!("bridge {bridge} inserted at t = {t_bridge:.0}");
     println!("  initial skew on the new edge: {initial:.3}");
-    println!("  stable local skew bound:      {:.3}", params.stable_local_skew());
+    println!(
+        "  stable local skew bound:      {:.3}",
+        params.stable_local_skew()
+    );
     println!("  stabilization window W:       {:.1}", params.w());
     println!();
 
     let mut table = Table::new(
         "skew decay on the new edge (the Figure 1 story)",
-        &["edge age", "bridge skew", "s(n, age) bound", "worst old edge"],
+        &[
+            "edge age",
+            "bridge skew",
+            "s(n, age) bound",
+            "worst old edge",
+        ],
     );
     let mut t = t_bridge;
     let step = params.w() / 6.0;

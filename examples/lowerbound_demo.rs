@@ -49,9 +49,7 @@ fn main() {
         }
         println!("t = {t:7.1}   (logical clock − real time), averaged per layer:");
         for layer in 0..=max_layer {
-            let members: Vec<usize> = (0..n)
-                .filter(|&i| sc.layers[i] == layer)
-                .collect();
+            let members: Vec<usize> = (0..n).filter(|&i| sc.layers[i] == layer).collect();
             let avg: f64 = members
                 .iter()
                 .map(|&i| sim.logical(node(i)) - t)

@@ -17,9 +17,20 @@ fn main() {
     let params = AlgoParams::with_minimal_b0(model, n, 0.5);
     println!("Algorithm 2 on a {n}-node ring");
     println!("  rho = {}, T = {}, D = {}", model.rho, model.t, model.d);
-    println!("  B0 = {}, tau = {:.3}, W = {:.1}", params.b0, params.tau(), params.w());
-    println!("  global skew bound G(n)   = {:.2}", params.global_skew_bound());
-    println!("  stable local skew bound  = {:.2}", params.stable_local_skew());
+    println!(
+        "  B0 = {}, tau = {:.3}, W = {:.1}",
+        params.b0,
+        params.tau(),
+        params.w()
+    );
+    println!(
+        "  global skew bound G(n)   = {:.2}",
+        params.global_skew_bound()
+    );
+    println!(
+        "  stable local skew bound  = {:.2}",
+        params.stable_local_skew()
+    );
     println!();
 
     // A ring with adversarial (maximum) message delays and half the nodes
@@ -34,10 +45,7 @@ fn main() {
     let mut recorder = Recorder::new(1.0).with_monitor(InvariantMonitor::new(params));
     recorder.run(&mut sim, at(horizon));
 
-    let mut table = Table::new(
-        "measured vs. guaranteed",
-        &["metric", "measured", "bound"],
-    );
+    let mut table = Table::new("measured vs. guaranteed", &["metric", "measured", "bound"]);
     table.row(&[
         "peak global skew".into(),
         format!("{:.3}", recorder.peak_global_skew()),

@@ -51,7 +51,10 @@ fn main() {
     // Let the budgets settle, then observe a long steady-state window.
     let settle = params.w() + params.budget_settle_age() / (1.0 - model.rho);
     sim.run_until(at(settle));
-    println!("TDMA over a {n}-node geometric network ({} links)", edges.len());
+    println!(
+        "TDMA over a {n}-node geometric network ({} links)",
+        edges.len()
+    );
     println!("  frame = {SLOTS} slots x {SLOT_LEN}s, settled after t = {settle:.0}");
 
     let mut peak_neighbor_skew: f64 = 0.0;

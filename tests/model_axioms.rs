@@ -68,8 +68,16 @@ fn removal_clears_neighbor_sets_within_bounds() {
     // Removal at 50, discovered at 52; Γ and Υ empty right after.
     sim.run_until(at(52.5));
     for i in 0..2 {
-        assert_eq!(sim.node(node(i)).gamma().count(), 0, "node {i} Γ not cleared");
-        assert_eq!(sim.node(node(i)).upsilon().count(), 0, "node {i} Υ not cleared");
+        assert_eq!(
+            sim.node(node(i)).gamma().count(),
+            0,
+            "node {i} Γ not cleared"
+        );
+        assert_eq!(
+            sim.node(node(i)).upsilon().count(),
+            0,
+            "node {i} Υ not cleared"
+        );
     }
 }
 
@@ -108,11 +116,9 @@ fn lost_timer_drops_silent_neighbors() {
 #[test]
 fn persistent_edge_joins_gamma_within_bound() {
     let params = AlgoParams::with_minimal_b0(model(), 3, 0.5);
-    let schedule = TopologySchedule::static_graph(3, generators::path(3))
-        .with_extra_events(vec![gradient_clock_sync::net::schedule::add_at(
-            30.0,
-            Edge::between(0, 2),
-        )]);
+    let schedule = TopologySchedule::static_graph(3, generators::path(3)).with_extra_events(vec![
+        gradient_clock_sync::net::schedule::add_at(30.0, Edge::between(0, 2)),
+    ]);
     let mut sim = SimBuilder::new(model(), schedule)
         .delay(DelayStrategy::Max)
         .build_with(|_| GradientNode::new(params));

@@ -66,12 +66,7 @@ fn corollary_6_13_dynamic_local_skew() {
     let schedule = TopologySchedule::static_graph(n, edges.clone())
         .with_extra_events(vec![add_at(t_bridge, bridge)]);
     let clocks: Vec<HardwareClock> = (0..n)
-        .map(|i| {
-            HardwareClock::constant(
-                if i < half { 1.0 + rho } else { 1.0 - rho },
-                rho,
-            )
-        })
+        .map(|i| HardwareClock::constant(if i < half { 1.0 + rho } else { 1.0 - rho }, rho))
         .collect();
     let mut sim = SimBuilder::new(model, schedule)
         .clocks(clocks)

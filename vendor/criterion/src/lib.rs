@@ -1,0 +1,271 @@
+//! Offline stand-in for the `criterion` crate (0.5-era API).
+//!
+//! The build environment cannot reach crates.io, so the workspace vendors
+//! the benchmarking surface its `[[bench]]` targets use: [`Criterion`],
+//! [`BenchmarkGroup`], `Bencher::{iter, iter_batched}`, [`Throughput`],
+//! [`BatchSize`], [`black_box`] and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple — warm up, pick an iteration count
+//! that fills the per-sample budget, time `sample_size` samples with
+//! `std::time::Instant`, and print min/mean/max per iteration. There are
+//! no plots, no statistical regression analysis and no saved baselines,
+//! but relative comparisons between runs on the same machine remain
+//! meaningful.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `Bencher::iter_batched` amortises setup cost. The stand-in times
+/// one routine call per setup regardless of variant, which matches
+/// `LargeInput` — the only variant this workspace uses in anger.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs (setup re-run for every sample).
+    LargeInput,
+    /// Fresh input for every single iteration.
+    PerIteration,
+}
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Throughput {
+    /// Iterations process this many abstract elements (e.g. events).
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Settings {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_millis(300),
+            throughput: None,
+        }
+    }
+}
+
+/// Collected timing for one benchmark, in nanoseconds per iteration.
+#[derive(Clone, Copy, Debug)]
+struct Sampled {
+    min: f64,
+    mean: f64,
+    max: f64,
+}
+
+fn format_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn report(id: &str, s: Sampled, throughput: Option<Throughput>) {
+    let mut line = format!(
+        "{id:<40} [{} {} {}]",
+        format_time(s.min),
+        format_time(s.mean),
+        format_time(s.max)
+    );
+    if let Some(tp) = throughput {
+        let (count, unit) = match tp {
+            Throughput::Elements(n) => (n, "elem/s"),
+            Throughput::Bytes(n) => (n, "B/s"),
+        };
+        if s.mean > 0.0 {
+            let rate = count as f64 / (s.mean / 1_000_000_000.0);
+            line.push_str(&format!("  {rate:.3e} {unit}"));
+        }
+    }
+    println!("{line}");
+}
+
+/// Times closures handed to it by benchmark definitions.
+pub struct Bencher<'a> {
+    settings: &'a Settings,
+    result: Option<Sampled>,
+}
+
+impl Bencher<'_> {
+    /// Time `routine`, called back-to-back in timed batches.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and estimate a single-iteration duration.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.settings.warm_up_time || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let per_sample =
+            self.settings.measurement_time.as_secs_f64() / self.settings.sample_size as f64;
+        let iters = ((per_sample / per_iter.max(1e-9)) as u64).clamp(1, 10_000_000);
+
+        let mut samples = Vec::with_capacity(self.settings.sample_size);
+        for _ in 0..self.settings.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            samples.push(start.elapsed().as_secs_f64() * 1e9 / iters as f64);
+        }
+        self.result = Some(summarise(&samples));
+    }
+
+    /// Time `routine` on inputs produced by `setup`; `setup` is untimed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // One warmup round, untimed.
+        black_box(routine(setup()));
+        let mut samples = Vec::with_capacity(self.settings.sample_size);
+        for _ in 0..self.settings.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            samples.push(start.elapsed().as_secs_f64() * 1e9);
+        }
+        self.result = Some(summarise(&samples));
+    }
+}
+
+fn summarise(samples: &[f64]) -> Sampled {
+    let mut min = f64::INFINITY;
+    let mut max = 0.0f64;
+    let mut sum = 0.0f64;
+    for &s in samples {
+        min = min.min(s);
+        max = max.max(s);
+        sum += s;
+    }
+    Sampled {
+        min,
+        mean: sum / samples.len() as f64,
+        max,
+    }
+}
+
+/// Entry point handed to `criterion_group!` target functions.
+#[derive(Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Run a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&self.settings, &id.into(), f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            settings: Settings::default(),
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(settings: &Settings, id: &str, mut f: F) {
+    let mut bencher = Bencher {
+        settings,
+        result: None,
+    };
+    f(&mut bencher);
+    match bencher.result {
+        Some(sampled) => report(id, sampled, settings.throughput),
+        None => println!("{id:<40} [no measurement recorded]"),
+    }
+}
+
+/// A group of benchmarks sharing settings and a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    settings: Settings,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.settings.sample_size = n;
+        self
+    }
+
+    /// Set the total measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    /// Record the units of work one iteration performs.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.settings.throughput = Some(t);
+        self
+    }
+
+    /// Run a benchmark inside this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_one(&self.settings, &full, f);
+        self
+    }
+
+    /// Close the group. (No-op beyond marking intent, as in criterion.)
+    pub fn finish(self) {}
+}
+
+/// Collect benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Cargo passes harness flags (e.g. `--bench`) that this
+            // stand-in does not need; accept and ignore them.
+            $($group();)+
+        }
+    };
+}

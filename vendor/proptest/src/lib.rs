@@ -1,0 +1,154 @@
+//! Offline stand-in for the `proptest` crate (1.x-era API).
+//!
+//! The build environment cannot reach crates.io, so the workspace vendors
+//! the slice of `proptest` its test suites actually use:
+//!
+//! * the [`strategy::Strategy`] trait with `prop_map` and `boxed`,
+//! * numeric-range, tuple, [`strategy::Just`] and [`arbitrary::any`]
+//!   strategies,
+//! * [`collection::vec`] for variable-length vectors,
+//! * the [`proptest!`], [`prop_oneof!`], [`prop_assert!`],
+//!   [`prop_assert_eq!`] and [`prop_assert_ne!`] macros,
+//! * [`test_runner::ProptestConfig`] with `with_cases` and the
+//!   `PROPTEST_CASES` environment override.
+//!
+//! Semantics are intentionally simpler than real proptest: inputs are
+//! generated from a deterministic per-test seed and failures panic with
+//! the case number — there is no shrinking and no persisted regression
+//! corpus. For invariant-style suites (every case must pass) that is
+//! behaviour-compatible.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod arbitrary;
+pub mod collection;
+
+/// The glob-import surface mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// Mirror of the `proptest::prelude::prop` module alias.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Assert a condition inside a [`proptest!`] test body.
+///
+/// Panics (failing the whole test, no shrinking) when the condition is
+/// false. Accepts an optional format message like [`assert!`].
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Assert two values are equal inside a [`proptest!`] test body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Assert two values are distinct inside a [`proptest!`] test body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Skip the current generated case when an assumption does not hold.
+///
+/// Real proptest re-draws the case; this stand-in simply moves on to the
+/// next iteration of the case loop via an early `return` from a
+/// per-case closure — see [`proptest!`].
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+/// Uniform choice between several strategies producing the same type.
+///
+/// Only the unweighted form is supported: `prop_oneof![s1, s2, ...]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Define property tests: `proptest! { #[test] fn f(x in strat) { .. } }`.
+///
+/// Supports the optional `#![proptest_config(..)]` inner attribute and any
+/// number of test functions whose arguments are `ident in strategy`
+/// bindings.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            @cfg($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg($cfg:expr)
+     $(
+         $(#[$meta:meta])*
+         fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+     )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $cfg;
+                let mut __rng = $crate::test_runner::TestRng::for_test(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                // Evaluate each strategy expression once, before the case
+                // loop, binding it to the argument's own name (the inner
+                // per-case `let` shadows it only within one iteration).
+                $(let $arg = $strat;)+
+                for __case in 0..__config.cases {
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::generate(&$arg, &mut __rng);
+                    )+
+                    // Run the body in a closure so `prop_assume!` can skip
+                    // a case with `return`; panics propagate with context.
+                    let __run = || $body;
+                    if let Err(panic) = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(__run),
+                    ) {
+                        eprintln!(
+                            "proptest case {}/{} failed in {}",
+                            __case + 1,
+                            __config.cases,
+                            stringify!($name),
+                        );
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+}

@@ -1,0 +1,67 @@
+//! Per-test configuration and the deterministic test RNG.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Configuration accepted by `#![proptest_config(..)]`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` generated inputs per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 256 cases, like real proptest; overridable via the
+    /// `PROPTEST_CASES` environment variable.
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256);
+        ProptestConfig { cases }
+    }
+}
+
+/// Deterministic RNG driving value generation for one test function.
+///
+/// Seeded from the test's fully qualified name so every test draws an
+/// independent, reproducible stream. Set `PROPTEST_SEED` to perturb all
+/// streams at once (e.g. for a scheduled fuzz sweep).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Build the RNG for the test named `name` (usually
+    /// `module_path!() :: test_name`).
+    pub fn for_test(name: &str) -> Self {
+        // FNV-1a over the name, mixed with an optional environment seed.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        if let Ok(extra) = std::env::var("PROPTEST_SEED") {
+            if let Ok(x) = extra.parse::<u64>() {
+                h ^= x.rotate_left(17);
+            }
+        }
+        TestRng {
+            inner: StdRng::seed_from_u64(h),
+        }
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
