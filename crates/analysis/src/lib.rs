@@ -13,10 +13,29 @@
 //!   least-squares fits used to check the paper's asymptotic shapes.
 //! * [`table`] — aligned text tables for experiment output.
 //! * [`csv`] — CSV export of recorded series.
-//! * [`sweep`] — embarrassingly parallel parameter sweeps on crossbeam
-//!   scoped threads (one independent simulation per task; no shared
-//!   mutable state, following the hpc-parallel guidance of parallelizing
-//!   the outermost independent loop).
+//! * [`sweep`] — embarrassingly parallel parameter sweeps and the
+//!   scenario-level [`sweep::fan_out`] runner, both on `std::thread::scope`
+//!   (one independent simulation per task; no shared mutable state —
+//!   parallelism lives at the outermost independent loop).
+//!
+//! # Example
+//!
+//! A parameter sweep fanned out over scoped threads, summarized with the
+//! stats helpers — results always come back in input order:
+//!
+//! ```
+//! use gcs_analysis::{parallel_map, Summary};
+//!
+//! let ns: Vec<usize> = vec![8, 16, 32, 64];
+//! // Stand-in for "run one simulation per n" — any Fn(&I) -> O + Sync.
+//! let measured = parallel_map(&ns, |&n| (n as f64).sqrt());
+//! assert_eq!(measured.len(), ns.len());
+//! assert!(measured.windows(2).all(|w| w[0] < w[1]), "order preserved");
+//!
+//! let summary = Summary::of(&measured);
+//! assert_eq!(summary.max, 8.0);
+//! assert!(summary.mean > summary.min && summary.mean < summary.max);
+//! ```
 
 pub mod csv;
 pub mod metrics;
@@ -28,5 +47,5 @@ pub mod table;
 pub use metrics::{global_skew, local_skews, max_local_skew};
 pub use recorder::{Recorder, Sample};
 pub use stats::Summary;
-pub use sweep::parallel_map;
+pub use sweep::{fan_out, parallel_map};
 pub use table::Table;

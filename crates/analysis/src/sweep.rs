@@ -63,6 +63,64 @@ where
         .collect()
 }
 
+/// A boxed one-shot job for [`fan_out`].
+pub type Job<'a, O> = Box<dyn FnOnce() -> O + Send + 'a>;
+
+/// Fans heterogeneous one-shot jobs out over `std::thread::scope`,
+/// preserving result order.
+///
+/// This is the scenario-level runner behind `gcs_bench::scenario`: each
+/// job is a whole experiment (itself free to call [`parallel_map`] for its
+/// inner sweep). Jobs are claimed by an atomic work index; each boxed
+/// closure is taken exactly once, so `FnOnce` jobs (holding owned state)
+/// are fine.
+pub fn fan_out<'a, O: Send>(jobs: Vec<Job<'a, O>>) -> Vec<O> {
+    if jobs.is_empty() {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(jobs.len());
+    if workers <= 1 {
+        return jobs.into_iter().map(|j| j()).collect();
+    }
+    let slots: Vec<std::sync::Mutex<Option<Job<'a, O>>>> = jobs
+        .into_iter()
+        .map(|j| std::sync::Mutex::new(Some(j)))
+        .collect();
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, O)>();
+    let mut results: Vec<Option<O>> = (0..slots.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            let slots = &slots;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= slots.len() {
+                    break;
+                }
+                let job = slots[i]
+                    .lock()
+                    .expect("job mutex poisoned")
+                    .take()
+                    .expect("job claimed twice");
+                let _ = tx.send((i, job()));
+            });
+        }
+        drop(tx);
+        for (i, out) in rx {
+            results[i] = Some(out);
+        }
+    });
+    results
+        .into_iter()
+        .map(|o| o.expect("every job produced exactly once"))
+        .collect()
+}
+
 /// Runs `f` for every `(param, seed)` pair with seeds `0..repeats`, in
 /// parallel, and returns `repeats` results per parameter, grouped by
 /// parameter in input order.
@@ -114,6 +172,24 @@ mod tests {
     #[test]
     fn single_item() {
         assert_eq!(parallel_map(&[5u32], |&x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn fan_out_preserves_order_and_runs_each_once() {
+        let calls = AtomicU64::new(0);
+        let jobs: Vec<Box<dyn FnOnce() -> u64 + Send>> = (0..37u64)
+            .map(|i| {
+                let calls = &calls;
+                Box::new(move || {
+                    calls.fetch_add(1, Ordering::Relaxed);
+                    i * 3
+                }) as Box<dyn FnOnce() -> u64 + Send>
+            })
+            .collect();
+        let out = fan_out(jobs);
+        assert_eq!(out, (0..37u64).map(|i| i * 3).collect::<Vec<_>>());
+        assert_eq!(calls.load(Ordering::Relaxed), 37);
+        assert!(fan_out::<u64>(Vec::new()).is_empty());
     }
 
     #[test]

@@ -1,6 +1,13 @@
 //! Engine throughput: events per second on representative workloads.
+//!
+//! The `engine_e1_churn_n1024` group is the acceptance benchmark of the
+//! batched rewrite: the E1 workload (path, split drift, max delays) with
+//! churn at `n = 1024`, batched time-wheel engine vs the frozen
+//! pre-rewrite engine. `run_all` records the same comparison as
+//! `BENCH_engine.json`.
 
 use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use gcs_bench::engine_bench::Workload;
 use gcs_clocks::time::at;
 use gcs_clocks::DriftModel;
 use gcs_core::{AlgoParams, GradientNode};
@@ -75,5 +82,50 @@ fn bench_churn_throughput(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_ring_throughput, bench_churn_throughput);
+fn bench_e1_churn_engines(c: &mut Criterion) {
+    let w = Workload {
+        n: 1024,
+        horizon: 20.0,
+        churn: true,
+        seed: 42,
+    };
+    // Count events once so throughput is reported per event, not per run.
+    let mut probe = w.build();
+    probe.run_until(at(w.horizon));
+    let events = probe.stats().events_processed;
+
+    let mut group = c.benchmark_group("engine_e1_churn_n1024");
+    group
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(10));
+    group.throughput(Throughput::Elements(events));
+    group.bench_function("wheel_batched", |b| {
+        b.iter_batched(
+            || w.build(),
+            |mut sim| {
+                sim.run_until(at(w.horizon));
+                black_box(sim.stats().events_processed)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("legacy_heap", |b| {
+        b.iter_batched(
+            || w.build_legacy(),
+            |mut sim| {
+                sim.run_until(at(w.horizon));
+                black_box(sim.stats().events_processed)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ring_throughput,
+    bench_churn_throughput,
+    bench_e1_churn_engines
+);
 criterion_main!(benches);

@@ -1,9 +1,19 @@
-//! Regenerates every experiment table (E1–E10) in one run and exports the
-//! main series as CSV under `target/experiments/`.
+//! Regenerates every experiment table (E1–E10) in one run, exports the
+//! main series as CSV under `target/experiments/`, and records the engine
+//! perf trajectory as machine-readable `BENCH_engine.json`.
 //!
 //! `cargo run --release -p gcs-bench --bin run_all`
+//!
+//! All ten scenarios come from [`gcs_bench::scenario::all_scenarios`] and
+//! are fanned out in parallel over scoped threads; reports print in
+//! experiment order once everything finishes. The final phase times the
+//! batched time-wheel engine against the frozen pre-rewrite engine on the
+//! E1 workload (`n = 1024`, churn on) so every future PR can diff
+//! events/sec against this one.
 
-use gcs_bench::*;
+use gcs_bench::engine_bench::{compare, Measurement, Workload};
+use gcs_bench::scenario::{all_scenarios, run_parallel};
+use std::io::Write;
 
 fn csv_dir() -> std::path::PathBuf {
     let dir = std::path::PathBuf::from("target/experiments");
@@ -11,111 +21,65 @@ fn csv_dir() -> std::path::PathBuf {
     dir
 }
 
+fn engine_json(w: &Workload, wheel: &Measurement, legacy: &Measurement) -> String {
+    let entry = |m: &Measurement| {
+        format!(
+            "    {{\n      \"engine\": \"{}\",\n      \"events\": {},\n      \"wall_s\": {:.6},\n      \"events_per_sec\": {:.1}\n    }}",
+            m.engine, m.events, m.wall_s, m.events_per_sec
+        )
+    };
+    format!(
+        "{{\n  \"schema\": \"bench-engine/v1\",\n  \"generated_by\": \"gcs-bench run_all\",\n  \"workload\": {{\n    \"scenario\": \"e1_global_skew\",\n    \"n\": {},\n    \"churn\": {},\n    \"horizon_s\": {:.1},\n    \"delay\": \"max\",\n    \"drift\": \"split\"\n  }},\n  \"engines\": [\n{},\n{}\n  ],\n  \"speedup_events_per_sec\": {:.3}\n}}\n",
+        w.n,
+        w.churn,
+        w.horizon,
+        entry(wheel),
+        entry(legacy),
+        wheel.events_per_sec / legacy.events_per_sec
+    )
+}
+
 fn main() {
     let t0 = std::time::Instant::now();
     let dir = csv_dir();
 
-    println!("=== E1 / Theorem 6.9 ===");
-    let e1 = e1_global_skew::run(&e1_global_skew::Config::default());
-    e1_global_skew::render(&e1).print();
-    let (slope, _, r2) = e1.fit;
-    println!("linear fit: slope {slope:.4}, r^2 {r2:.4}\n");
-    let _ = gcs_analysis::csv::write_csv(
-        dir.join("e1_global_skew.csv"),
-        &["n", "bound", "measured"],
-        &e1.points
-            .iter()
-            .map(|p| vec![p.n as f64, p.bound, p.measured])
-            .collect::<Vec<_>>(),
-    );
-
-    println!("=== E2 / Corollary 6.13 ===");
-    let e2 = e2_local_skew::run(&e2_local_skew::Config::default());
-    e2_local_skew::render(&e2).print();
-    println!();
-    let _ = gcs_analysis::csv::write_csv(
-        dir.join("e2_local_skew_decay.csv"),
-        &["age", "bridge_skew", "envelope", "worst_old_edge"],
-        &e2.curve
-            .iter()
-            .map(|p| vec![p.age, p.bridge_skew, p.bound, p.worst_old_edge])
-            .collect::<Vec<_>>(),
-    );
-
-    println!("=== E3 / Corollary 6.14 ===");
-    let e3 = e3_tradeoff::run(&e3_tradeoff::Config::default());
-    e3_tradeoff::render(&e3).print();
+    let scenarios = all_scenarios();
     println!(
-        "log-log slope of settle time vs B0: {:.3}\n",
-        e3.slope_vs_b0
+        "running {} experiments in parallel over scoped threads...\n",
+        scenarios.len()
     );
-
-    println!("=== E4 / Theorem 4.1, Figure 1 ===");
-    let e4 = e4_lowerbound::run(&e4_lowerbound::Config::default());
-    for t in e4_lowerbound::render(&e4) {
-        t.print();
+    let reports = run_parallel(&scenarios);
+    for (s, rep) in scenarios.iter().zip(&reports) {
+        println!("=== {} / {} ===", s.id(), s.claim());
+        rep.print();
+        if let Err(e) = rep.write_csv(&dir) {
+            eprintln!("warning: could not write CSV for {}: {e}", s.id());
+        }
         println!();
     }
 
-    println!("=== E5 / Lemma 4.2 ===");
-    let e5 = e5_masking::run(&e5_masking::Config::default());
-    e5_masking::render(&e5).print();
-    println!();
-
-    println!("=== E6 / Lemma 6.8 ===");
-    for churn in [
-        e6_max_prop::Churn::RotatingStar,
-        e6_max_prop::Churn::StaggeredRing,
-    ] {
-        let config = e6_max_prop::Config {
-            churn,
-            ..e6_max_prop::Config::default()
-        };
-        let points = e6_max_prop::run(&config);
-        e6_max_prop::render(&points, churn).print();
-        println!();
-    }
-
-    println!("=== E7 / baselines ===");
-    let e7 = e7_baselines::run(&e7_baselines::Config::default());
-    e7_baselines::render(&e7).print();
-    println!();
-
-    println!("=== E8 / ablations ===");
-    let e8cfg = e8_ablations::Config::default();
-    e8_ablations::render_cells(
-        "E8a — initial budget B(0)",
-        &e8_ablations::run_initial_budget(&e8cfg),
-    )
-    .print();
-    println!();
-    e8_ablations::render_cells("E8b — hardening slope", &e8_ablations::run_slope(&e8cfg)).print();
-    println!();
-    e8_ablations::render_cells("E8c — assumed n", &e8_ablations::run_wrong_n(&e8cfg)).print();
-    println!();
-    e8_ablations::render_delta_h(&e8_ablations::run_delta_h(
-        default_model(),
-        32,
-        &[0.25, 0.5, 1.0, 1.9],
-    ))
-    .print();
-    println!();
-
-    println!("=== E9 / gradient profile ===");
-    let e9 = e9_gradient_profile::run(&e9_gradient_profile::Config::default());
-    e9_gradient_profile::render(e9_gradient_profile::Config::default().n, &e9).print();
-    let _ = gcs_analysis::csv::write_csv(
-        dir.join("e9_gradient_profile.csv"),
-        &["distance", "worst_skew", "bound"],
-        &e9.iter()
-            .map(|r| vec![r.distance as f64, r.worst_skew, r.bound])
-            .collect::<Vec<_>>(),
+    println!("=== engine trajectory (batched time-wheel vs frozen legacy) ===");
+    let w = Workload::acceptance();
+    let (wheel, legacy) = compare(&w, 2);
+    println!(
+        "{}: {:>10.0} events/s  ({} events in {:.2}s)",
+        wheel.engine, wheel.events_per_sec, wheel.events, wheel.wall_s
     );
-    println!();
-
-    println!("=== E10 / weighted edges (§7 extension) ===");
-    let e10 = e10_weighted::run(&e10_weighted::Config::default());
-    e10_weighted::render(&e10).print();
+    println!(
+        "{}:   {:>10.0} events/s  ({} events in {:.2}s)",
+        legacy.engine, legacy.events_per_sec, legacy.events, legacy.wall_s
+    );
+    println!(
+        "speedup: {:.2}x on E1 (n = {}, churn on)",
+        wheel.events_per_sec / legacy.events_per_sec,
+        w.n
+    );
+    let json = engine_json(&w, &wheel, &legacy);
+    match std::fs::File::create("BENCH_engine.json").and_then(|mut f| f.write_all(json.as_bytes()))
+    {
+        Ok(()) => println!("wrote BENCH_engine.json"),
+        Err(e) => eprintln!("warning: could not write BENCH_engine.json: {e}"),
+    }
 
     println!(
         "\nall experiments regenerated in {:.1}s; CSV series in {}",

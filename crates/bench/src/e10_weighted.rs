@@ -127,6 +127,31 @@ pub fn render(points: &[Point]) -> Table {
     t
 }
 
+/// E10 behind the [`Scenario`](crate::scenario::Scenario) surface.
+#[derive(Clone, Debug, Default)]
+pub struct Experiment {
+    /// Weighted-extension configuration.
+    pub config: Config,
+}
+
+impl crate::scenario::Scenario for Experiment {
+    fn id(&self) -> &'static str {
+        "E10"
+    }
+    fn title(&self) -> &'static str {
+        "per-edge weighted budgets (reference-broadcast style links)"
+    }
+    fn claim(&self) -> &'static str {
+        "§7 extension — stable skew floors at B0·w per edge"
+    }
+    fn run_scenario(&self) -> crate::scenario::ScenarioReport {
+        let points = run(&self.config);
+        let mut rep = crate::scenario::ScenarioReport::new();
+        rep.table(render(&points));
+        rep
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -111,6 +111,41 @@ pub fn render(outcome: &Outcome) -> Table {
     t
 }
 
+/// E1 behind the [`Scenario`](crate::scenario::Scenario) surface.
+#[derive(Clone, Debug, Default)]
+pub struct Experiment {
+    /// Sweep configuration.
+    pub config: Config,
+}
+
+impl crate::scenario::Scenario for Experiment {
+    fn id(&self) -> &'static str {
+        "E1"
+    }
+    fn title(&self) -> &'static str {
+        "global skew vs n (path, split drift, max delays)"
+    }
+    fn claim(&self) -> &'static str {
+        "Theorem 6.9 — global skew ≤ G(n), linear in n"
+    }
+    fn run_scenario(&self) -> crate::scenario::ScenarioReport {
+        let out = run(&self.config);
+        let mut rep = crate::scenario::ScenarioReport::new();
+        rep.table(render(&out));
+        let (slope, _, r2) = out.fit;
+        rep.note(format!("linear fit: slope {slope:.4}, r^2 {r2:.4}"));
+        rep.csv(
+            "e1_global_skew.csv",
+            &["n", "bound", "measured"],
+            out.points
+                .iter()
+                .map(|p| vec![p.n as f64, p.bound, p.measured])
+                .collect(),
+        );
+        rep
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

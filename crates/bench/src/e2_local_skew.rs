@@ -141,6 +141,43 @@ pub fn render(outcome: &Outcome) -> Table {
     t
 }
 
+/// E2 behind the [`Scenario`](crate::scenario::Scenario) surface.
+#[derive(Clone, Debug, Default)]
+pub struct Experiment {
+    /// Decay-curve configuration.
+    pub config: Config,
+}
+
+impl crate::scenario::Scenario for Experiment {
+    fn id(&self) -> &'static str {
+        "E2"
+    }
+    fn title(&self) -> &'static str {
+        "bridge-edge skew decay vs edge age (cluster merge)"
+    }
+    fn claim(&self) -> &'static str {
+        "Corollary 6.13 — dynamic local skew envelope s(n, Δt)"
+    }
+    fn run_scenario(&self) -> crate::scenario::ScenarioReport {
+        let out = run(&self.config);
+        let mut rep = crate::scenario::ScenarioReport::new();
+        rep.table(render(&out));
+        rep.note(format!(
+            "initial bridge skew {:.2}, stable bound {:.2}",
+            out.initial_skew, out.stable_bound
+        ));
+        rep.csv(
+            "e2_local_skew_decay.csv",
+            &["age", "bridge_skew", "envelope", "worst_old_edge"],
+            out.curve
+                .iter()
+                .map(|p| vec![p.age, p.bridge_skew, p.bound, p.worst_old_edge])
+                .collect(),
+        );
+        rep
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -144,6 +144,35 @@ pub fn render(outcome: &Outcome) -> Table {
     t
 }
 
+/// E3 behind the [`Scenario`](crate::scenario::Scenario) surface.
+#[derive(Clone, Debug, Default)]
+pub struct Experiment {
+    /// Tradeoff-sweep configuration.
+    pub config: Config,
+}
+
+impl crate::scenario::Scenario for Experiment {
+    fn id(&self) -> &'static str {
+        "E3"
+    }
+    fn title(&self) -> &'static str {
+        "stabilization time vs stable budget B0"
+    }
+    fn claim(&self) -> &'static str {
+        "Corollary 6.14 — settle time proportional to n/B0"
+    }
+    fn run_scenario(&self) -> crate::scenario::ScenarioReport {
+        let out = run(&self.config);
+        let mut rep = crate::scenario::ScenarioReport::new();
+        rep.table(render(&out));
+        rep.note(format!(
+            "log-log slope of settle time vs B0: {:.3}",
+            out.slope_vs_b0
+        ));
+        rep
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -261,6 +261,33 @@ pub fn render(outcome: &Outcome) -> Vec<Table> {
     vec![fig_a, fig_d, fig_bc, settle]
 }
 
+/// E4 behind the [`Scenario`](crate::scenario::Scenario) surface.
+#[derive(Clone, Debug, Default)]
+pub struct Experiment {
+    /// Two-chain scenario configuration.
+    pub config: Config,
+}
+
+impl crate::scenario::Scenario for Experiment {
+    fn id(&self) -> &'static str {
+        "E4"
+    }
+    fn title(&self) -> &'static str {
+        "two-chain lower-bound scenario (Figure 1)"
+    }
+    fn claim(&self) -> &'static str {
+        "Theorem 4.1 — new edges cannot be exploited instantly"
+    }
+    fn run_scenario(&self) -> crate::scenario::ScenarioReport {
+        let out = run(&self.config);
+        let mut rep = crate::scenario::ScenarioReport::new();
+        for t in render(&out) {
+            rep.table(t);
+        }
+        rep
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -141,6 +141,31 @@ pub fn render(points: &[Point]) -> Table {
     t
 }
 
+/// E5 behind the [`Scenario`](crate::scenario::Scenario) surface.
+#[derive(Clone, Debug, Default)]
+pub struct Experiment {
+    /// Masking-lemma configuration.
+    pub config: Config,
+}
+
+impl crate::scenario::Scenario for Experiment {
+    fn id(&self) -> &'static str {
+        "E5"
+    }
+    fn title(&self) -> &'static str {
+        "skew built by legal delay masking on a chain"
+    }
+    fn claim(&self) -> &'static str {
+        "Lemma 4.2 (Masking Lemma) — ≥ T·d/4 skew with legal delays"
+    }
+    fn run_scenario(&self) -> crate::scenario::ScenarioReport {
+        let points = run(&self.config);
+        let mut rep = crate::scenario::ScenarioReport::new();
+        rep.table(render(&points));
+        rep
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

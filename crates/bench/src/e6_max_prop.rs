@@ -134,6 +134,38 @@ pub fn render(points: &[Point], churn: Churn) -> Table {
     t
 }
 
+/// E6 behind the [`Scenario`](crate::scenario::Scenario) surface; runs
+/// both churn regimes of the experiment.
+#[derive(Clone, Debug, Default)]
+pub struct Experiment {
+    /// Base configuration (the churn field is overridden per regime).
+    pub config: Config,
+}
+
+impl crate::scenario::Scenario for Experiment {
+    fn id(&self) -> &'static str {
+        "E6"
+    }
+    fn title(&self) -> &'static str {
+        "max-estimate propagation under rotating-star and staggered-ring churn"
+    }
+    fn claim(&self) -> &'static str {
+        "Lemma 6.8 — Lmax reaches every node within the propagation window"
+    }
+    fn run_scenario(&self) -> crate::scenario::ScenarioReport {
+        let mut rep = crate::scenario::ScenarioReport::new();
+        for churn in [Churn::RotatingStar, Churn::StaggeredRing] {
+            let config = Config {
+                churn,
+                ..self.config.clone()
+            };
+            let points = run(&config);
+            rep.table(render(&points, churn));
+        }
+        rep
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -182,6 +182,31 @@ pub fn render(rows: &[Row]) -> Table {
     t
 }
 
+/// E7 behind the [`Scenario`](crate::scenario::Scenario) surface.
+#[derive(Clone, Debug, Default)]
+pub struct Experiment {
+    /// Baseline-comparison configuration.
+    pub config: Config,
+}
+
+impl crate::scenario::Scenario for Experiment {
+    fn id(&self) -> &'static str {
+        "E7"
+    }
+    fn title(&self) -> &'static str {
+        "aging budget vs constant budget vs max-sync on a cluster merge"
+    }
+    fn claim(&self) -> &'static str {
+        "§1 motivation — only the aging budget gives a dynamic gradient"
+    }
+    fn run_scenario(&self) -> crate::scenario::ScenarioReport {
+        let rows = run(&self.config);
+        let mut rep = crate::scenario::ScenarioReport::new();
+        rep.table(render(&rows));
+        rep
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

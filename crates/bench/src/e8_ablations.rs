@@ -245,6 +245,44 @@ pub fn render_delta_h(cells: &[DeltaHCell]) -> Table {
     t
 }
 
+/// E8 behind the [`Scenario`](crate::scenario::Scenario) surface; runs
+/// all four ablations.
+#[derive(Clone, Debug, Default)]
+pub struct Experiment {
+    /// Shared ablation configuration.
+    pub config: Config,
+}
+
+impl crate::scenario::Scenario for Experiment {
+    fn id(&self) -> &'static str {
+        "E8"
+    }
+    fn title(&self) -> &'static str {
+        "parameter ablations: B(0), hardening slope, assumed n, ΔH"
+    }
+    fn claim(&self) -> &'static str {
+        "§5–6 — every parameter choice in Algorithm 2 is load-bearing"
+    }
+    fn run_scenario(&self) -> crate::scenario::ScenarioReport {
+        let mut rep = crate::scenario::ScenarioReport::new();
+        rep.table(render_cells(
+            "E8a — initial budget B(0)",
+            &run_initial_budget(&self.config),
+        ));
+        rep.table(render_cells(
+            "E8b — hardening slope",
+            &run_slope(&self.config),
+        ));
+        rep.table(render_cells("E8c — assumed n", &run_wrong_n(&self.config)));
+        rep.table(render_delta_h(&run_delta_h(
+            crate::default_model(),
+            32,
+            &[0.25, 0.5, 1.0, 1.9],
+        )));
+        rep
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

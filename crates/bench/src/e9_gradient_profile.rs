@@ -117,6 +117,38 @@ pub fn render(n: usize, rows: &[ProfileRow]) -> Table {
     t
 }
 
+/// E9 behind the [`Scenario`](crate::scenario::Scenario) surface.
+#[derive(Clone, Debug, Default)]
+pub struct Experiment {
+    /// Profile configuration.
+    pub config: Config,
+}
+
+impl crate::scenario::Scenario for Experiment {
+    fn id(&self) -> &'static str {
+        "E9"
+    }
+    fn title(&self) -> &'static str {
+        "worst skew as a function of graph distance"
+    }
+    fn claim(&self) -> &'static str {
+        "§6 gradient property — skew grows with distance, bounded per hop"
+    }
+    fn run_scenario(&self) -> crate::scenario::ScenarioReport {
+        let rows = run(&self.config);
+        let mut rep = crate::scenario::ScenarioReport::new();
+        rep.table(render(self.config.n, &rows));
+        rep.csv(
+            "e9_gradient_profile.csv",
+            &["distance", "worst_skew", "bound"],
+            rows.iter()
+                .map(|r| vec![r.distance as f64, r.worst_skew, r.bound])
+                .collect(),
+        );
+        rep
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

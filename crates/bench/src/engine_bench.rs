@@ -1,0 +1,199 @@
+//! The engine-throughput workload: E1's global-skew scenario with churn.
+//!
+//! One canonical workload, three consumers:
+//!
+//! * the criterion group in `benches/engine.rs` (events/sec of the batched
+//!   time-wheel engine vs the frozen [`gcs_sim::legacy`] engine),
+//! * `run_all --` which records the same comparison as machine-readable
+//!   `BENCH_engine.json` (the perf trajectory future PRs diff against),
+//! * the trace-equivalence regression tests in
+//!   `tests/engine_equivalence.rs`.
+//!
+//! The workload is the E1 topology (a path, worst diameter) with the
+//! block-split drift adversary, plus randomly flapping chord edges so the
+//! discovery/epoch machinery is exercised — "churn on" in the experiment
+//! table.
+
+use gcs_clocks::time::at;
+use gcs_clocks::DriftModel;
+use gcs_core::{AlgoParams, GradientNode};
+use gcs_net::{churn, generators, TopologySchedule};
+use gcs_sim::{
+    DelayStrategy, LegacySimBuilder, LegacySimulator, ModelParams, SimBuilder, Simulator,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Parameters of the throughput workload.
+#[derive(Clone, Copy, Debug)]
+pub struct Workload {
+    /// Node count (the acceptance target is `n = 1024`).
+    pub n: usize,
+    /// Real-time horizon to simulate.
+    pub horizon: f64,
+    /// Whether chord edges flap on top of the path backbone.
+    pub churn: bool,
+    /// Seed for churn placement and the engines' internal randomness.
+    pub seed: u64,
+}
+
+impl Workload {
+    /// The acceptance-criteria configuration: `n = 1024`, churn on.
+    pub fn acceptance() -> Self {
+        Workload {
+            n: 1024,
+            horizon: 60.0,
+            churn: true,
+            seed: 42,
+        }
+    }
+
+    /// Model parameters (the E1 defaults).
+    pub fn model(&self) -> ModelParams {
+        ModelParams::new(0.01, 1.0, 2.0)
+    }
+
+    /// Algorithm parameters (the E1 defaults).
+    pub fn params(&self) -> AlgoParams {
+        AlgoParams::with_minimal_b0(self.model(), self.n, 0.5)
+    }
+
+    /// The topology schedule: path backbone, plus `n/4` flapping chords
+    /// when churn is enabled.
+    pub fn schedule(&self) -> TopologySchedule {
+        let backbone = generators::path(self.n);
+        if !self.churn {
+            return TopologySchedule::static_graph(self.n, backbone);
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x000c_4e1d);
+        churn::random_churn(
+            self.n,
+            backbone,
+            self.n / 4,
+            (6.0, 12.0),
+            (2.0, 4.0),
+            self.horizon,
+            &mut rng,
+        )
+    }
+
+    /// Builds the workload on the batched time-wheel engine.
+    pub fn build(&self) -> Simulator<GradientNode> {
+        let params = self.params();
+        SimBuilder::new(self.model(), self.schedule())
+            .drift(DriftModel::FastUpTo(self.n / 2), self.horizon)
+            .delay(DelayStrategy::Max)
+            .seed(self.seed)
+            .build_with(|_| GradientNode::new(params))
+    }
+
+    /// Builds the identical workload on the frozen pre-rewrite engine.
+    pub fn build_legacy(&self) -> LegacySimulator<GradientNode> {
+        let params = self.params();
+        LegacySimBuilder::new(self.model(), self.schedule())
+            .drift(DriftModel::FastUpTo(self.n / 2), self.horizon)
+            .delay(DelayStrategy::Max)
+            .seed(self.seed)
+            .build_with(|_| GradientNode::new(params))
+    }
+}
+
+/// One timed engine run.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// `"wheel-batched"` or `"legacy-heap"`.
+    pub engine: &'static str,
+    /// Events processed over the run.
+    pub events: u64,
+    /// Wall-clock seconds.
+    pub wall_s: f64,
+    /// Throughput.
+    pub events_per_sec: f64,
+}
+
+fn timed(engine: &'static str, events: impl FnOnce() -> u64) -> Measurement {
+    let t0 = std::time::Instant::now();
+    let events = events();
+    let wall_s = t0.elapsed().as_secs_f64();
+    Measurement {
+        engine,
+        events,
+        wall_s,
+        events_per_sec: events as f64 / wall_s.max(1e-12),
+    }
+}
+
+/// Times one full run on the batched time-wheel engine.
+pub fn measure_wheel(w: &Workload) -> Measurement {
+    let mut sim = w.build();
+    timed("wheel-batched", move || {
+        sim.run_until(at(w.horizon));
+        sim.stats().events_processed
+    })
+}
+
+/// Times one full run on the frozen legacy engine.
+pub fn measure_legacy(w: &Workload) -> Measurement {
+    let mut sim = w.build_legacy();
+    timed("legacy-heap", move || {
+        sim.run_until(at(w.horizon));
+        sim.stats().events_processed
+    })
+}
+
+/// Runs both engines `repeats` times and returns the best (lowest-wall)
+/// measurement of each — criterion-style minimum-of-samples, cheap enough
+/// to live inside `run_all`.
+pub fn compare(w: &Workload, repeats: usize) -> (Measurement, Measurement) {
+    assert!(repeats >= 1);
+    let best = |mut runs: Vec<Measurement>| {
+        runs.sort_by(|a, b| a.wall_s.total_cmp(&b.wall_s));
+        runs.remove(0)
+    };
+    let wheel = best((0..repeats).map(|_| measure_wheel(w)).collect());
+    let legacy = best((0..repeats).map(|_| measure_legacy(w)).collect());
+    (wheel, legacy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_builds_and_runs_on_both_engines() {
+        let w = Workload {
+            n: 16,
+            horizon: 10.0,
+            churn: true,
+            seed: 7,
+        };
+        let (wheel, legacy) = compare(&w, 1);
+        assert_eq!(
+            wheel.events, legacy.events,
+            "engines must process identical event counts"
+        );
+        assert!(
+            wheel.events > 1000,
+            "workload too small: {} events",
+            wheel.events
+        );
+        assert!(wheel.events_per_sec > 0.0 && legacy.events_per_sec > 0.0);
+    }
+
+    #[test]
+    fn churn_workload_actually_churns() {
+        let w = Workload {
+            n: 32,
+            horizon: 20.0,
+            churn: true,
+            seed: 3,
+        };
+        assert!(!w.schedule().events().is_empty());
+        let mut sim = w.build();
+        sim.run_until(at(w.horizon));
+        assert!(sim.stats().topology_events > 0);
+        // Without churn the schedule is static.
+        let quiet = Workload { churn: false, ..w };
+        assert!(quiet.schedule().events().is_empty());
+    }
+}

@@ -1,10 +1,13 @@
 //! # gcs-bench
 //!
-//! The experiment harness: one module per quantitative claim of the paper
-//! (see `DESIGN.md` §4 for the experiment index). Each experiment exposes
-//! a `run(config) -> ...Result` function plus a default configuration, and
-//! the binaries in `src/bin/` are thin wrappers that print the
-//! paper-vs-measured tables. Criterion microbenchmarks live in `benches/`.
+//! The experiment harness. Every quantitative claim of the paper runs
+//! behind the [`scenario::Scenario`] trait: one module per experiment,
+//! each exposing a `run(config)` function, a rendered table, and an
+//! `Experiment` wrapper registered in [`scenario::all_scenarios`]. The
+//! binaries in `src/bin/` are thin wrappers (`run_all` fans all ten out
+//! in parallel and records the engine perf trajectory as
+//! `BENCH_engine.json`); criterion microbenchmarks live in `benches/`,
+//! with the engine-rewrite acceptance workload in [`engine_bench`].
 //!
 //! | id | claim | module |
 //! |----|-------|--------|
@@ -15,6 +18,24 @@
 //! | E5 | Lemma 4.2 — masking builds `≥ T·d/4` skew with legal delays | [`e5_masking`] |
 //! | E6 | Lemma 6.8 — max-estimate propagation under churn | [`e6_max_prop`] |
 //! | E7 | §1 — baseline comparison (aging vs constant budget vs max-sync) | [`e7_baselines`] |
+//! | E8 | §5–6 — parameter ablations (`B(0)`, slope, assumed `n`, `ΔH`) | [`e8_ablations`] |
+//! | E9 | §6 — gradient profile: worst skew vs graph distance | [`e9_gradient_profile`] |
+//! | E10 | §7 — weighted per-edge budget floors | [`e10_weighted`] |
+//!
+//! # Example
+//!
+//! The experiment registry is itself checkable — every scenario names
+//! the claim it reproduces:
+//!
+//! ```
+//! use gcs_bench::scenario::all_scenarios;
+//!
+//! let scenarios = all_scenarios();
+//! assert_eq!(scenarios.len(), 10);
+//! assert_eq!(scenarios[0].id(), "E1");
+//! assert!(scenarios[0].claim().contains("Theorem 6.9"));
+//! assert!(scenarios.iter().all(|s| !s.title().is_empty()));
+//! ```
 
 pub mod e10_weighted;
 pub mod e1_global_skew;
@@ -26,6 +47,7 @@ pub mod e6_max_prop;
 pub mod e7_baselines;
 pub mod e8_ablations;
 pub mod e9_gradient_profile;
+pub mod engine_bench;
 pub mod scenario;
 
 use gcs_sim::ModelParams;

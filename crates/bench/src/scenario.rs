@@ -1,18 +1,148 @@
-//! Shared experiment scenarios.
+//! The experiment surface: the [`Scenario`] trait plus shared workloads.
 //!
-//! The *cluster merge* is the workload behind E2, E3 and E7 (and the
-//! paper's motivating story): two halves of the network evolve separately
-//! — one on fast hardware clocks, one on slow — so their logical clocks
-//! drift apart at rate `2ρ`; at `t_bridge` an edge joins them, instantly
-//! carrying skew `≈ 2ρ·t_bridge`. Scaling `t_bridge` with `n` yields the
-//! `Θ(n)` initial skew of the paper's analysis with an honest execution
-//! (clocks all start at 0; the skew is genuinely accumulated, not
-//! injected).
+//! Every quantitative claim reproduced by this repository runs behind the
+//! same fail-closed interface: a [`Scenario`] names itself (`E1`…`E10` or
+//! an example binary), states the paper claim it reproduces, and produces
+//! a [`ScenarioReport`] — rendered tables, free-form notes, and CSV series
+//! for the perf/shape trajectory. [`all_scenarios`] enumerates E1–E10 so
+//! `run_all` (and any future driver) cannot silently drop an experiment,
+//! and [`run_parallel`] fans scenarios out over scoped threads via
+//! [`gcs_analysis::sweep::fan_out`].
+//!
+//! The *cluster merge* below is the shared workload behind E2, E3 and E7
+//! (and the paper's motivating story): two halves of the network evolve
+//! separately — one on fast hardware clocks, one on slow — so their
+//! logical clocks drift apart at rate `2ρ`; at `t_bridge` an edge joins
+//! them, instantly carrying skew `≈ 2ρ·t_bridge`. Scaling `t_bridge` with
+//! `n` yields the `Θ(n)` initial skew of the paper's analysis with an
+//! honest execution (clocks all start at 0; the skew is genuinely
+//! accumulated, not injected).
 
+use gcs_analysis::Table;
 use gcs_clocks::HardwareClock;
 use gcs_net::schedule::add_at;
 use gcs_net::{Edge, TopologySchedule};
 use gcs_sim::ModelParams;
+use std::path::Path;
+
+/// One CSV output series of a scenario.
+#[derive(Clone, Debug)]
+pub struct CsvSeries {
+    /// File name (relative to the experiment output directory).
+    pub filename: String,
+    /// Column names.
+    pub header: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<f64>>,
+}
+
+/// Everything a scenario produces: human-readable tables and notes plus
+/// machine-readable CSV series.
+#[derive(Clone, Debug, Default)]
+pub struct ScenarioReport {
+    /// Rendered paper-vs-measured tables.
+    pub tables: Vec<Table>,
+    /// Free-form findings (fits, slopes, assertions that held).
+    pub notes: Vec<String>,
+    /// CSV series for the trajectory directory.
+    pub series: Vec<CsvSeries>,
+}
+
+impl ScenarioReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a rendered table.
+    pub fn table(&mut self, t: Table) -> &mut Self {
+        self.tables.push(t);
+        self
+    }
+
+    /// Adds a note line.
+    pub fn note(&mut self, s: impl Into<String>) -> &mut Self {
+        self.notes.push(s.into());
+        self
+    }
+
+    /// Adds a CSV series.
+    pub fn csv(
+        &mut self,
+        filename: impl Into<String>,
+        header: &[&str],
+        rows: Vec<Vec<f64>>,
+    ) -> &mut Self {
+        self.series.push(CsvSeries {
+            filename: filename.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows,
+        });
+        self
+    }
+
+    /// Prints tables then notes to stdout.
+    pub fn print(&self) {
+        for t in &self.tables {
+            t.print();
+            println!();
+        }
+        for n in &self.notes {
+            println!("{n}");
+        }
+    }
+
+    /// Writes every CSV series under `dir` (created if needed).
+    pub fn write_csv(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        for s in &self.series {
+            let header: Vec<&str> = s.header.iter().map(String::as_str).collect();
+            gcs_analysis::csv::write_csv(dir.join(&s.filename), &header, &s.rows)?;
+        }
+        Ok(())
+    }
+}
+
+/// A named, self-describing experiment.
+///
+/// Implemented by all ten `E*` experiment modules (each wraps its `Config`
+/// in an `Experiment` struct) and by the `examples/` binaries, so every
+/// entry point into the reproduction goes through one documented surface.
+pub trait Scenario: Send + Sync {
+    /// Short identifier (`"E1"`, `"tdma"`, …).
+    fn id(&self) -> &'static str;
+    /// What the scenario measures.
+    fn title(&self) -> &'static str;
+    /// The paper claim it reproduces (section/theorem).
+    fn claim(&self) -> &'static str;
+    /// Runs the workload and collects the report.
+    fn run_scenario(&self) -> ScenarioReport;
+}
+
+/// All ten paper experiments, in order.
+pub fn all_scenarios() -> Vec<Box<dyn Scenario>> {
+    vec![
+        Box::new(crate::e1_global_skew::Experiment::default()),
+        Box::new(crate::e2_local_skew::Experiment::default()),
+        Box::new(crate::e3_tradeoff::Experiment::default()),
+        Box::new(crate::e4_lowerbound::Experiment::default()),
+        Box::new(crate::e5_masking::Experiment::default()),
+        Box::new(crate::e6_max_prop::Experiment::default()),
+        Box::new(crate::e7_baselines::Experiment::default()),
+        Box::new(crate::e8_ablations::Experiment::default()),
+        Box::new(crate::e9_gradient_profile::Experiment::default()),
+        Box::new(crate::e10_weighted::Experiment::default()),
+    ]
+}
+
+/// Runs scenarios in parallel over scoped threads, preserving order.
+pub fn run_parallel(scenarios: &[Box<dyn Scenario>]) -> Vec<ScenarioReport> {
+    let jobs: Vec<Box<dyn FnOnce() -> ScenarioReport + Send + '_>> = scenarios
+        .iter()
+        .map(|s| Box::new(move || s.run_scenario()) as Box<dyn FnOnce() -> ScenarioReport + Send>)
+        .collect();
+    gcs_analysis::sweep::fan_out(jobs)
+}
 
 /// A cluster-merge workload.
 #[derive(Clone, Debug)]
@@ -75,6 +205,57 @@ pub fn t_bridge_for_skew(model: ModelParams, target_skew: f64) -> f64 {
 mod tests {
     use super::*;
     use gcs_clocks::time::at;
+
+    #[test]
+    fn registry_lists_all_ten_experiments_in_order() {
+        let ids: Vec<&str> = all_scenarios().iter().map(|s| s.id()).collect();
+        assert_eq!(
+            ids,
+            vec!["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10"]
+        );
+        for s in all_scenarios() {
+            assert!(!s.title().is_empty(), "{} needs a title", s.id());
+            assert!(!s.claim().is_empty(), "{} needs a claim", s.id());
+        }
+    }
+
+    #[test]
+    fn report_collects_and_writes() {
+        struct Tiny;
+        impl Scenario for Tiny {
+            fn id(&self) -> &'static str {
+                "tiny"
+            }
+            fn title(&self) -> &'static str {
+                "plumbing check"
+            }
+            fn claim(&self) -> &'static str {
+                "n/a"
+            }
+            fn run_scenario(&self) -> ScenarioReport {
+                let mut rep = ScenarioReport::new();
+                rep.table(Table::new("t", &["a"])).note("done").csv(
+                    "tiny.csv",
+                    &["x", "y"],
+                    vec![vec![1.0, 2.0]],
+                );
+                rep
+            }
+        }
+        let scenarios: Vec<Box<dyn Scenario>> = vec![Box::new(Tiny), Box::new(Tiny)];
+        let reports = run_parallel(&scenarios);
+        assert_eq!(reports.len(), 2);
+        for rep in &reports {
+            assert_eq!(rep.tables.len(), 1);
+            assert_eq!(rep.notes, vec!["done".to_string()]);
+            assert_eq!(rep.series.len(), 1);
+        }
+        let dir = std::env::temp_dir().join("gcs_scenario_report_test");
+        reports[0].write_csv(&dir).unwrap();
+        let written = std::fs::read_to_string(dir.join("tiny.csv")).unwrap();
+        assert!(written.starts_with("x,y"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
     use gcs_core::{AlgoParams, GradientNode};
     use gcs_sim::{DelayStrategy, SimBuilder};
 

@@ -24,6 +24,28 @@
 //! * [`ClockVar`] — the offset-from-hardware representation of algorithm
 //!   variables (`L_u`, `Lmax_u`, `L^v_u`) that grow at the hardware rate
 //!   between discrete events.
+//!
+//! # Example
+//!
+//! A clock that runs slow then fast, read forward and inverted exactly —
+//! the primitive behind subjective timers:
+//!
+//! ```
+//! use gcs_clocks::time::at;
+//! use gcs_clocks::{HardwareClock, RateSchedule};
+//!
+//! // Rate 0.99 until t = 10, then 1.01 (both within rho = 0.01).
+//! let schedule = RateSchedule::from_pairs(&[(0.0, 0.99), (10.0, 1.01)]);
+//! let clock = HardwareClock::new(schedule, 0.01);
+//!
+//! // H(10) = 9.9; H(20) = 9.9 + 10.1 = 20.0.
+//! assert!((clock.read(at(20.0)) - 20.0).abs() < 1e-12);
+//!
+//! // A timer set at t = 5 for subjective duration 10 fires when H has
+//! // advanced by exactly 10: 4.95 at rate 0.99, then 5.05 at 1.01.
+//! let fire = clock.fire_time(at(5.0), 10.0);
+//! assert!((clock.read(fire) - (clock.read(at(5.0)) + 10.0)).abs() < 1e-9);
+//! ```
 
 pub mod drift;
 pub mod hardware;

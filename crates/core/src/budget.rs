@@ -17,6 +17,11 @@
 /// * `g` — the global skew bound `G(n)`,
 /// * `rho` — drift bound,
 /// * `tau` — the staleness bound `τ`.
+///
+/// This sits on the per-event hot path (`AdjustClock` evaluates it once
+/// per neighbor, over the flat entries of
+/// [`crate::neighbors::FlatMap`]), hence the `#[inline]`.
+#[inline]
 pub fn aging_budget(dt: f64, b0: f64, g: f64, rho: f64, tau: f64) -> f64 {
     debug_assert!(dt >= -1e-9, "edge age must be non-negative, got {dt}");
     let t1 = (1.0 + rho) * tau;

@@ -16,12 +16,20 @@
 //! 3. All clock-valued state is stored as offsets from the hardware clock
 //!    ([`ClockVar`]), so "between events, the variables are increased at
 //!    the rate of u's hardware clock" holds exactly.
+//!
+//! Per-neighbor state (`Γ_u`, `Υ_u`, weights) lives in the flat
+//! dense-indexed containers of [`crate::neighbors`] rather than tree maps:
+//! the per-event path (`AdjustClock` scan, estimate refresh, tick
+//! broadcast) walks contiguous arrays, and iteration order is ascending
+//! node id — identical to the old `BTreeMap` order, so execution traces
+//! are unchanged.
 
+use crate::neighbors::{FlatMap, IdSet};
 use crate::params::AlgoParams;
 use gcs_clocks::ClockVar;
 use gcs_net::NodeId;
 use gcs_sim::{Automaton, Context, LinkChange, LinkChangeKind, Message, TimerKind};
-use std::collections::{btree_map::Entry, BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 
 /// Per-neighbor state for `v ∈ Γ_u`.
 #[derive(Clone, Copy, Debug)]
@@ -41,9 +49,9 @@ pub struct GradientNode {
     /// `Lmax_u`.
     lmax: ClockVar,
     /// `Γ_u` with per-neighbor state.
-    gamma: BTreeMap<NodeId, NeighborState>,
+    gamma: FlatMap<NeighborState>,
     /// `Υ_u`.
-    upsilon: BTreeSet<NodeId>,
+    upsilon: IdSet,
     /// Count of discrete jumps of `L_u` (diagnostics).
     jumps: u64,
     /// Per-neighbor edge weights for the §7 weighted-graph extension: the
@@ -51,8 +59,8 @@ pub struct GradientNode {
     /// default to weight 1 (the plain algorithm). In the companion-paper
     /// reading, the weight is the edge's relative delay uncertainty —
     /// e.g. a reference-broadcast link gets `w ≪ 1` and therefore a much
-    /// tighter stable skew guarantee.
-    weights: BTreeMap<NodeId, f64>,
+    /// tighter stable skew guarantee. Stored dense, indexed by node id.
+    weights: Vec<f64>,
 }
 
 impl GradientNode {
@@ -62,10 +70,10 @@ impl GradientNode {
             params,
             l: ClockVar::zeroed(),
             lmax: ClockVar::zeroed(),
-            gamma: BTreeMap::new(),
-            upsilon: BTreeSet::new(),
+            gamma: FlatMap::new(),
+            upsilon: IdSet::new(),
             jumps: 0,
-            weights: BTreeMap::new(),
+            weights: Vec::new(),
         }
     }
 
@@ -73,21 +81,26 @@ impl GradientNode {
     /// sketched in the paper's conclusion; weights must be in `(0, 1]` so
     /// the standard analysis still upper-bounds every budget).
     pub fn with_weights(params: AlgoParams, weights: BTreeMap<NodeId, f64>) -> Self {
+        let mut dense = Vec::new();
         for (&v, &w) in &weights {
             assert!(
                 w > 0.0 && w <= 1.0,
                 "edge weight toward {v:?} must be in (0, 1], got {w}"
             );
+            if dense.len() <= v.index() {
+                dense.resize(v.index() + 1, 1.0);
+            }
+            dense[v.index()] = w;
         }
         GradientNode {
-            weights,
+            weights: dense,
             ..Self::new(params)
         }
     }
 
     /// The weight of the edge toward `v` (1.0 unless configured).
     pub fn weight_of(&self, v: NodeId) -> f64 {
-        self.weights.get(&v).copied().unwrap_or(1.0)
+        self.weights.get(v.index()).copied().unwrap_or(1.0)
     }
 
     /// The effective budget toward `v` at subjective edge age `dt`:
@@ -105,29 +118,29 @@ impl GradientNode {
 
     /// Current `Γ_u`.
     pub fn gamma(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.gamma.keys().copied()
+        self.gamma.keys()
     }
 
     /// Current `Υ_u`.
     pub fn upsilon(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.upsilon.iter().copied()
+        self.upsilon.iter()
     }
 
     /// Per-neighbor state, if `v ∈ Γ_u`.
     pub fn neighbor_state(&self, v: NodeId) -> Option<&NeighborState> {
-        self.gamma.get(&v)
+        self.gamma.get(v)
     }
 
     /// `B^v_u` — the current budget toward `v`, if `v ∈ Γ_u`.
     pub fn budget_for(&self, v: NodeId, hw: f64) -> Option<f64> {
         self.gamma
-            .get(&v)
+            .get(v)
             .map(|st| self.budget_at(v, hw - st.joined_hw))
     }
 
     /// `L^v_u` — the current estimate of `v`'s clock, if `v ∈ Γ_u`.
     pub fn estimate_of(&self, v: NodeId, hw: f64) -> Option<f64> {
-        self.gamma.get(&v).map(|st| st.estimate.value(hw))
+        self.gamma.get(v).map(|st| st.estimate.value(hw))
     }
 
     /// Definition 6.1: `u` is *blocked* if `Lmax_u > L_u` and some
@@ -142,7 +155,7 @@ impl GradientNode {
         if self.lmax.value(hw) <= l {
             return None;
         }
-        self.gamma.iter().find_map(|(&v, st)| {
+        self.gamma.iter().find_map(|(v, st)| {
             let b = self.budget_at(v, hw - st.joined_hw);
             (l - st.estimate.value(hw) > b).then_some(v)
         })
@@ -157,7 +170,7 @@ impl GradientNode {
     /// `L_u ← max{L_u, min{Lmax_u, min_{v∈Γ}(L^v_u + B(H_u − C^v_u))}}`.
     fn adjust_clock(&mut self, hw: f64) {
         let mut target = self.lmax.value(hw);
-        for (&v, st) in &self.gamma {
+        for (v, st) in self.gamma.iter() {
             let b = self.budget_at(v, hw - st.joined_hw);
             target = target.min(st.estimate.value(hw) + b);
         }
@@ -185,18 +198,21 @@ impl Automaton for GradientNode {
         let hw = ctx.hw;
         ctx.cancel_timer(TimerKind::Lost(from));
         self.upsilon.insert(from); // see module note 2
-        match self.gamma.entry(from) {
-            Entry::Vacant(e) => {
+        match self.gamma.get_mut(from) {
+            None => {
                 // v joins Γ_u: C^v_u ← H_u, L^v_u ← L_v.
-                e.insert(NeighborState {
-                    joined_hw: hw,
-                    estimate: ClockVar::with_value(msg.logical, hw),
-                });
+                self.gamma.insert(
+                    from,
+                    NeighborState {
+                        joined_hw: hw,
+                        estimate: ClockVar::with_value(msg.logical, hw),
+                    },
+                );
             }
-            Entry::Occupied(mut e) => {
+            Some(st) => {
                 // Refresh the estimate (module note 1); FIFO delivery makes
                 // this the freshest information about v.
-                e.get_mut().estimate.overwrite(msg.logical, hw);
+                st.estimate.overwrite(msg.logical, hw);
             }
         }
         // Line 21: Lmax_u ← max{Lmax_u, Lmax_v}.
@@ -214,8 +230,8 @@ impl Automaton for GradientNode {
                 self.upsilon.insert(other);
             }
             LinkChangeKind::Removed => {
-                self.gamma.remove(&other);
-                self.upsilon.remove(&other);
+                self.gamma.remove(other);
+                self.upsilon.remove(other);
             }
         }
         self.adjust_clock(ctx.hw);
@@ -225,12 +241,12 @@ impl Automaton for GradientNode {
     fn on_alarm(&mut self, ctx: &mut Context<'_>, kind: TimerKind) {
         match kind {
             TimerKind::Lost(v) => {
-                self.gamma.remove(&v);
+                self.gamma.remove(v);
                 self.adjust_clock(ctx.hw);
             }
             TimerKind::Tick => {
                 let msg = self.message(ctx.hw);
-                for &v in &self.upsilon {
+                for v in self.upsilon.iter() {
                     ctx.send(v, msg);
                 }
                 self.adjust_clock(ctx.hw);

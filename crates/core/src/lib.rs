@@ -41,13 +41,35 @@
 //!   algorithm of Locher–Wattenhofer applied blindly to a dynamic graph).
 //! * [`invariants`] — runtime checkers for Section 3.3's validity
 //!   conditions and the skew bounds of Theorems 6.9 and 6.12.
+//! * [`neighbors`] — flat, dense-indexed containers for the per-neighbor
+//!   hot state ([`FlatMap`], [`IdSet`]).
+//!
+//! # Example
+//!
+//! The aging budget in isolation: a fresh edge starts above the global
+//! skew bound (it constrains nothing), hardens linearly, and floors at
+//! `B0` from the settle age onward:
+//!
+//! ```
+//! use gcs_core::budget::{aging_budget, settle_age};
+//!
+//! let (b0, g, rho, tau) = (20.0, 100.0, 0.01, 5.0);
+//! let fresh = aging_budget(0.0, b0, g, rho, tau);
+//! assert!(fresh > g, "a brand-new edge must not constrain the clock");
+//!
+//! let settle = settle_age(b0, g, rho, tau);
+//! assert!((aging_budget(settle, b0, g, rho, tau) - b0).abs() < 1e-9);
+//! assert_eq!(aging_budget(settle + 1e6, b0, g, rho, tau), b0);
+//! ```
 
 pub mod baseline;
 pub mod budget;
 pub mod gradient;
 pub mod invariants;
+pub mod neighbors;
 pub mod params;
 
 pub use gradient::{GradientNode, NeighborState};
 pub use invariants::InvariantMonitor;
+pub use neighbors::{FlatMap, IdSet};
 pub use params::{AlgoParams, BudgetPolicy};

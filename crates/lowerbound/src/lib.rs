@@ -19,6 +19,25 @@
 //!   delay-masked blocks, the β adversary (rates + delays) that drives a
 //!   real algorithm into the Ω(n) skew configuration of Figure 1(a), and
 //!   the `E_new` placement of Figure 1(b).
+//!
+//! # Example
+//!
+//! Lemma 4.3 made executable: from any increasing sequence, extract a
+//! subsequence whose consecutive gaps all land in `[c−d, c]`, verified by
+//! the bundled checker:
+//!
+//! ```
+//! use gcs_lowerbound::subsequence::{check_lemma43, lemma43_subsequence};
+//!
+//! let xs: Vec<f64> = (0..20).map(|i| i as f64 * 0.7).collect();
+//! let (c, d) = (3.0, 1.0);
+//! let picked = lemma43_subsequence(&xs, c, d);
+//! check_lemma43(&xs, c, d, &picked).expect("gaps must lie in [c-d, c]");
+//! for w in picked.windows(2) {
+//!     let gap = xs[w[1]] - xs[w[0]];
+//!     assert!(gap >= c - d - 1e-12 && gap <= c + 1e-12);
+//! }
+//! ```
 
 pub mod mask;
 pub mod masking;

@@ -24,6 +24,28 @@
 //!   bridge, random churn over a stable backbone, waypoint mobility),
 //! * [`connectivity`] — instantaneous and T-interval connectivity checks,
 //! * [`distance`] — BFS distances, eccentricity, diameter.
+//!
+//! # Example
+//!
+//! A three-node dynamic graph: one edge fails, another forms, and the
+//! validated schedule replays the edge set at any instant:
+//!
+//! ```
+//! use gcs_clocks::time::at;
+//! use gcs_net::schedule::{add_at, remove_at};
+//! use gcs_net::{Edge, TopologySchedule};
+//!
+//! let schedule = TopologySchedule::new(
+//!     3,
+//!     [Edge::between(0, 1)],
+//!     vec![add_at(5.0, Edge::between(1, 2)), remove_at(9.0, Edge::between(0, 1))],
+//! );
+//! assert_eq!(schedule.edges_at(at(0.0)).len(), 1);
+//! assert_eq!(schedule.edges_at(at(5.0)).len(), 2);
+//! assert!(!schedule.edges_at(at(9.0)).contains(&Edge::between(0, 1)));
+//! // {1,2} exists throughout [5, 100] — it is never removed.
+//! assert!(schedule.exists_throughout(Edge::between(1, 2), at(5.0), at(100.0)));
+//! ```
 
 pub mod churn;
 pub mod connectivity;

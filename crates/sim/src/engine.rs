@@ -1,4 +1,4 @@
-//! The discrete-event simulation engine.
+//! The batched, cache-friendly discrete-event simulation engine.
 //!
 //! [`Simulator`] replays a [`TopologySchedule`] against a set of protocol
 //! [`Automaton`]s, enforcing the model guarantees of Section 3.2:
@@ -19,18 +19,43 @@
 //! * **Subjective timers**: `set_timer(Δt)` fires when the node's hardware
 //!   clock has advanced by exactly `Δt`, computed by exact inversion of the
 //!   node's rate schedule.
+//!
+//! ## The hot path, after the batched rewrite
+//!
+//! The original engine (preserved verbatim as [`crate::legacy`]) popped one
+//! event at a time from a global `BinaryHeap` and looked up per-edge state
+//! in `BTreeMap`s and a SipHash `HashMap` per directed link. This engine
+//! keeps the exact same event *semantics and order* — traces are
+//! bit-identical, see `crates/bench/tests/engine_equivalence.rs` — but
+//! restructures the data layout around three ideas:
+//!
+//! 1. **Time wheel.** Events live in a bucketed calendar queue
+//!    ([`TimeWheel`]) keyed on the delay bound `T` (bucket width `T/4`).
+//!    Most pushes are an append to a small contiguous bucket instead of a
+//!    `log m` sift through a heap spanning the whole future (including the
+//!    pre-scheduled churn log).
+//! 2. **Batched delivery.** Messages arriving at the same node at the same
+//!    instant (broadcast fan-in is the common case under `Max` delays) are
+//!    dispatched in one batch: one automaton borrow, one hardware-clock
+//!    read, consecutive handler runs.
+//! 3. **Flat link state.** Epochs, change versions, per-endpoint discovery
+//!    watermarks and FIFO horizons live in per-node adjacency vectors
+//!    sorted by neighbor id (`AdjEntry`), indexed by `NodeId` — a couple
+//!    of cache lines per node instead of pointer-chasing tree maps. The
+//!    canonical copy of undirected edge state sits on the lower endpoint.
 
 use crate::automaton::{Action, Automaton, Context};
 use crate::delay::DelayStrategy;
-use crate::event::{EventPayload, EventQueue, LinkChange, LinkChangeKind, Message, TimerKind};
+use crate::event::{EventPayload, LinkChange, LinkChangeKind, Message, TimerKind};
 use crate::model::ModelParams;
 use crate::stats::SimStats;
+use crate::wheel::TimeWheel;
 use gcs_clocks::{DriftModel, HardwareClock, Time};
 use gcs_net::schedule::TopologyEventKind;
 use gcs_net::{DynamicGraph, Edge, NodeId, TopologySchedule};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 /// How long the environment waits before telling an endpoint about a
 /// topology change. All variants are validated against the bound `D`.
@@ -48,7 +73,7 @@ pub enum DiscoveryDelay {
 }
 
 impl DiscoveryDelay {
-    fn sample(&self, d_bound: f64, rng: &mut StdRng) -> f64 {
+    pub(crate) fn sample(&self, d_bound: f64, rng: &mut StdRng) -> f64 {
         let v = match self {
             DiscoveryDelay::Constant(d) => *d,
             DiscoveryDelay::Uniform { lo, hi } => {
@@ -64,6 +89,120 @@ impl DiscoveryDelay {
             "discovery delay {v} outside (0, {d_bound}]"
         );
         v.clamp(f64::MIN_POSITIVE, d_bound)
+    }
+}
+
+/// Per-neighbor link state, stored flat in each node's adjacency vector
+/// (sorted by `neighbor`). Entries are created on first contact and are
+/// sticky: churn toggles fields instead of reshaping the vector.
+#[derive(Clone, Copy, Debug)]
+struct AdjEntry {
+    /// The other endpoint.
+    neighbor: NodeId,
+    /// Mirror of `graph.contains(edge)` — canonical on the lower endpoint.
+    live: bool,
+    /// Incremented when the edge is (re-)added — canonical on the lower
+    /// endpoint. Deliveries carry the epoch they were sent in.
+    epoch: u64,
+    /// Version of the most recent removal — canonical on the lower
+    /// endpoint.
+    last_remove_version: u64,
+    /// Highest change version *this* node has been told about (per
+    /// endpoint, not canonical).
+    discovered_version: u64,
+    /// Latest delivery already scheduled from this node to `neighbor`
+    /// (FIFO enforcement for the directed link; per endpoint).
+    fifo_out: Time,
+}
+
+impl AdjEntry {
+    fn new(neighbor: NodeId) -> Self {
+        AdjEntry {
+            neighbor,
+            live: false,
+            epoch: 0,
+            last_remove_version: 0,
+            discovered_version: 0,
+            fifo_out: Time::ZERO,
+        }
+    }
+}
+
+/// One node's adjacency vector, sorted by neighbor id.
+#[derive(Clone, Debug, Default)]
+struct Links {
+    adj: Vec<AdjEntry>,
+}
+
+impl Links {
+    #[inline]
+    fn find(&self, v: NodeId) -> Option<&AdjEntry> {
+        self.adj
+            .binary_search_by_key(&v, |e| e.neighbor)
+            .ok()
+            .map(|i| &self.adj[i])
+    }
+
+    #[inline]
+    fn entry(&mut self, v: NodeId) -> &mut AdjEntry {
+        match self.adj.binary_search_by_key(&v, |e| e.neighbor) {
+            Ok(i) => &mut self.adj[i],
+            Err(i) => {
+                self.adj.insert(i, AdjEntry::new(v));
+                &mut self.adj[i]
+            }
+        }
+    }
+}
+
+/// One node's armed timers, sorted by kind. Mirrors the legacy engine's
+/// `HashMap<TimerKind, u64>` exactly: an *armed* timer is a present entry
+/// whose generation must match the alarm's; cancelling bumps the
+/// generation but keeps the entry; firing removes it.
+#[derive(Clone, Debug, Default)]
+struct TimerSlots {
+    v: Vec<(TimerKind, u64)>,
+}
+
+impl TimerSlots {
+    #[inline]
+    fn get(&self, kind: TimerKind) -> Option<u64> {
+        self.v
+            .binary_search_by_key(&kind, |e| e.0)
+            .ok()
+            .map(|i| self.v[i].1)
+    }
+
+    /// `set_timer`: bump the generation (inserting at 0 first) and return
+    /// the new value.
+    #[inline]
+    fn arm(&mut self, kind: TimerKind) -> u64 {
+        match self.v.binary_search_by_key(&kind, |e| e.0) {
+            Ok(i) => {
+                self.v[i].1 = self.v[i].1.wrapping_add(1);
+                self.v[i].1
+            }
+            Err(i) => {
+                self.v.insert(i, (kind, 1));
+                1
+            }
+        }
+    }
+
+    /// `cancel`: bump the generation if armed (entry stays present).
+    #[inline]
+    fn cancel(&mut self, kind: TimerKind) {
+        if let Ok(i) = self.v.binary_search_by_key(&kind, |e| e.0) {
+            self.v[i].1 = self.v[i].1.wrapping_add(1);
+        }
+    }
+
+    /// A fired alarm consumes its entry.
+    #[inline]
+    fn disarm(&mut self, kind: TimerKind) {
+        if let Ok(i) = self.v.binary_search_by_key(&kind, |e| e.0) {
+            self.v.remove(i);
+        }
     }
 }
 
@@ -145,17 +284,19 @@ impl SimBuilder {
             .unwrap_or_else(|| vec![HardwareClock::perfect(self.params.rho); n]);
         let mut nodes: Vec<A> = (0..n).map(make_node).collect();
 
-        let mut queue = EventQueue::new();
+        // Bucket width tied to the delay bound: most deliveries span a
+        // handful of buckets, timers a few more.
+        let mut queue = TimeWheel::new(self.params.t / 4.0);
         let mut graph = DynamicGraph::empty(n);
-        let mut edge_epoch = BTreeMap::new();
-        let mut edge_version = BTreeMap::new();
+        let mut links: Vec<Links> = vec![Links::default(); n];
         let mut rng = StdRng::seed_from_u64(self.seed);
 
         // Initial edges exist (and are discovered) at time 0.
         for e in self.schedule.initial_edges() {
             graph.add_edge(e, Time::ZERO);
-            edge_epoch.insert(e, 1u64);
-            edge_version.insert(e, 1u64);
+            let entry = links[e.lo().index()].entry(e.hi());
+            entry.live = true;
+            entry.epoch = 1;
             for w in [e.lo(), e.hi()] {
                 queue.push(
                     Time::ZERO,
@@ -172,7 +313,9 @@ impl SimBuilder {
         }
 
         // Pre-schedule every topology event and its endpoint discoveries.
-        let mut version_counter: BTreeMap<Edge, u64> = edge_version.clone();
+        // (Far-future events land in the wheel's overflow map.)
+        let mut version_counter: BTreeMap<Edge, u64> =
+            self.schedule.initial_edges().map(|e| (e, 1u64)).collect();
         for ev in self.schedule.events() {
             let v = version_counter.entry(ev.edge).or_insert(0);
             *v += 1;
@@ -210,12 +353,8 @@ impl SimBuilder {
             clocks,
             graph,
             queue,
-            timers: vec![HashMap::new(); n],
-            edge_epoch,
-            edge_version,
-            last_remove_version: BTreeMap::new(),
-            discovered_version: vec![BTreeMap::new(); n],
-            fifo_last: HashMap::new(),
+            links,
+            timers: vec![TimerSlots::default(); n],
             delay: self.delay,
             discovery: self.discovery,
             rng,
@@ -239,23 +378,15 @@ pub struct Simulator<A: Automaton> {
     params: ModelParams,
     clocks: Vec<HardwareClock>,
     graph: DynamicGraph,
-    queue: EventQueue,
+    queue: TimeWheel,
     /// Automata, lifted out of their slots while their handlers run.
     nodes: Vec<Option<A>>,
-    /// Per-node, per-timer generation counters; alarms with stale
+    /// Flat per-node link state (epochs, versions, discovery watermarks,
+    /// FIFO horizons).
+    links: Vec<Links>,
+    /// Per-node armed timers with generation counters; alarms with stale
     /// generations are skipped.
-    timers: Vec<HashMap<TimerKind, u64>>,
-    /// Incremented when an edge is (re-)added; deliveries carry the epoch
-    /// they were sent in.
-    edge_epoch: BTreeMap<Edge, u64>,
-    /// Incremented on every add/remove of an edge.
-    edge_version: BTreeMap<Edge, u64>,
-    /// Version of the most recent removal of each edge.
-    last_remove_version: BTreeMap<Edge, u64>,
-    /// Highest change version each node has been told about, per edge.
-    discovered_version: Vec<BTreeMap<Edge, u64>>,
-    /// Last scheduled delivery per directed link (FIFO enforcement).
-    fifo_last: HashMap<(NodeId, NodeId), Time>,
+    timers: Vec<TimerSlots>,
     delay: DelayStrategy,
     discovery: DiscoveryDelay,
     rng: StdRng,
@@ -327,13 +458,17 @@ impl<A: Automaton> Simulator<A> {
 
     /// Runs until all events at time `≤ until` are processed, then advances
     /// the clock to `until` so state queries observe that instant.
+    ///
+    /// Same-instant deliveries to the same node are dispatched in batches
+    /// (one automaton borrow, one clock read); the handler invocation order
+    /// is still exactly the `(time, seq)` order of the per-event engine.
     pub fn run_until(&mut self, until: Time) {
         assert!(until >= self.now, "cannot run backwards");
         while let Some(t) = self.queue.peek_time() {
             if t > until {
                 break;
             }
-            self.step();
+            self.step_batched();
         }
         self.now = until;
     }
@@ -357,7 +492,74 @@ impl<A: Automaton> Simulator<A> {
                 to,
                 msg,
                 epoch,
-            } => self.apply_delivery(from, to, msg, epoch),
+            } => {
+                let mut hw = None;
+                self.with_node(to, |sim, node| {
+                    sim.deliver_one(node, to, &mut hw, from, msg, epoch);
+                });
+            }
+            EventPayload::Alarm {
+                node,
+                kind,
+                generation,
+            } => self.apply_alarm(node, kind, generation),
+            EventPayload::Discover {
+                node,
+                change,
+                version,
+            } => self.apply_discover(node, change, version),
+        }
+        true
+    }
+
+    /// Like [`step`](Self::step), but drains the run of consecutive
+    /// same-instant deliveries to the same destination in one batch.
+    fn step_batched(&mut self) -> bool {
+        let Some(ev) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.time >= self.now, "event queue went backwards");
+        self.now = ev.time;
+        self.stats.events_processed += 1;
+        match ev.payload {
+            EventPayload::Deliver {
+                from,
+                to,
+                msg,
+                epoch,
+            } => {
+                let t = ev.time;
+                // Lazily read once for the whole batch, and only if some
+                // delivery is actually live (dropped messages never need
+                // the destination's clock).
+                let mut hw = None;
+                let mut node = self.nodes[to.index()]
+                    .take()
+                    .expect("automaton re-entered its own handler");
+                self.deliver_one(&mut node, to, &mut hw, from, msg, epoch);
+                // Deliveries cannot change liveness or epochs, so the whole
+                // batch sees consistent link state; events pushed by the
+                // handlers carry later sequence numbers and stay behind the
+                // already-queued batch members, exactly as in the per-event
+                // engine.
+                while self.queue.peek_is_delivery_to(to, t) {
+                    let ev = self.queue.pop().expect("peek said non-empty");
+                    self.stats.events_processed += 1;
+                    let EventPayload::Deliver {
+                        from, msg, epoch, ..
+                    } = ev.payload
+                    else {
+                        unreachable!("peek_is_delivery_to matched a non-delivery");
+                    };
+                    self.deliver_one(&mut node, to, &mut hw, from, msg, epoch);
+                }
+                self.nodes[to.index()] = Some(node);
+            }
+            EventPayload::Topology {
+                kind,
+                edge,
+                version,
+            } => self.apply_topology(kind, edge, version),
             EventPayload::Alarm {
                 node,
                 kind,
@@ -374,33 +576,53 @@ impl<A: Automaton> Simulator<A> {
 
     fn apply_topology(&mut self, kind: LinkChangeKind, edge: Edge, version: u64) {
         self.stats.topology_events += 1;
-        self.edge_version.insert(edge, version);
+        let now = self.now;
+        let entry = self.links[edge.lo().index()].entry(edge.hi());
         match kind {
             LinkChangeKind::Added => {
-                *self.edge_epoch.entry(edge).or_insert(0) += 1;
-                self.graph.add_edge(edge, self.now);
+                entry.epoch += 1;
+                entry.live = true;
+                self.graph.add_edge(edge, now);
             }
             LinkChangeKind::Removed => {
-                self.last_remove_version.insert(edge, version);
-                self.graph.remove_edge(edge, self.now);
+                entry.last_remove_version = version;
+                entry.live = false;
+                self.graph.remove_edge(edge, now);
             }
         }
     }
 
-    fn apply_delivery(&mut self, from: NodeId, to: NodeId, msg: Message, epoch: u64) {
+    /// Handles one delivery for a node already lifted out of its slot.
+    /// `hw_cache` memoizes the destination's hardware reading across a
+    /// same-instant batch; it is only computed if a delivery is live.
+    fn deliver_one(
+        &mut self,
+        node: &mut A,
+        to: NodeId,
+        hw_cache: &mut Option<f64>,
+        from: NodeId,
+        msg: Message,
+        epoch: u64,
+    ) {
         let edge = Edge::new(from, to);
-        let live =
-            self.graph.contains(edge) && self.edge_epoch.get(&edge).copied().unwrap_or(0) == epoch;
+        let state = self.links[edge.lo().index()].find(edge.hi());
+        let live = state.map(|e| e.live && e.epoch == epoch).unwrap_or(false);
         if live {
             self.stats.messages_delivered += 1;
-            self.with_node(to, |sim, node| {
-                sim.dispatch_external(to, node, |a, ctx| a.on_receive(ctx, from, msg));
-            });
+            let hw = match *hw_cache {
+                Some(h) => h,
+                None => {
+                    let h = self.clocks[to.index()].read(self.now);
+                    *hw_cache = Some(h);
+                    h
+                }
+            };
+            self.dispatch_with_hw(to, node, hw, |a, ctx| a.on_receive(ctx, from, msg));
         } else {
             // Dropped in flight: the model obliges the environment to tell
             // the sender within D of the send; we tell it now (≤ send + T).
             self.stats.dropped_in_flight += 1;
-            let version = self.last_remove_version.get(&edge).copied().unwrap_or(0);
+            let version = state.map(|e| e.last_remove_version).unwrap_or(0);
             self.queue.push(
                 self.now,
                 EventPayload::Discover {
@@ -416,12 +638,11 @@ impl<A: Automaton> Simulator<A> {
     }
 
     fn apply_alarm(&mut self, u: NodeId, kind: TimerKind, generation: u64) {
-        let current = self.timers[u.index()].get(&kind).copied();
-        if current != Some(generation) {
+        if self.timers[u.index()].get(kind) != Some(generation) {
             self.stats.alarms_stale += 1;
             return;
         }
-        self.timers[u.index()].remove(&kind);
+        self.timers[u.index()].disarm(kind);
         self.stats.alarms_fired += 1;
         self.with_node(u, |sim, node| {
             sim.dispatch_external(u, node, |a, ctx| a.on_alarm(ctx, kind));
@@ -429,15 +650,13 @@ impl<A: Automaton> Simulator<A> {
     }
 
     fn apply_discover(&mut self, u: NodeId, change: LinkChange, version: u64) {
-        let seen = self.discovered_version[u.index()]
-            .get(&change.edge)
-            .copied()
-            .unwrap_or(0);
-        if version <= seen {
+        let other = change.edge.other(u);
+        let entry = self.links[u.index()].entry(other);
+        if version <= entry.discovered_version {
             self.stats.discovers_stale += 1;
             return;
         }
-        self.discovered_version[u.index()].insert(change.edge, version);
+        entry.discovered_version = version;
         self.stats.discovers_delivered += 1;
         self.with_node(u, |sim, node| {
             sim.dispatch_external(u, node, |a, ctx| a.on_discover(ctx, change));
@@ -463,6 +682,18 @@ impl<A: Automaton> Simulator<A> {
         f: impl FnOnce(&mut A, &mut Context<'_>),
     ) {
         let hw = self.clocks[u.index()].read(self.now);
+        self.dispatch_with_hw(u, node, hw, f);
+    }
+
+    /// Runs a handler with a precomputed hardware reading and applies the
+    /// produced actions on behalf of `u`.
+    fn dispatch_with_hw(
+        &mut self,
+        u: NodeId,
+        node: &mut A,
+        hw: f64,
+        f: impl FnOnce(&mut A, &mut Context<'_>),
+    ) {
         let mut actions = std::mem::take(&mut self.actions_buf);
         actions.clear();
         {
@@ -479,9 +710,7 @@ impl<A: Automaton> Simulator<A> {
         match action {
             Action::Send { to, msg } => self.apply_send(u, to, msg),
             Action::SetTimer { delta, kind } => {
-                let gen = self.timers[u.index()].entry(kind).or_insert(0);
-                *gen = gen.wrapping_add(1);
-                let generation = *gen;
+                let generation = self.timers[u.index()].arm(kind);
                 let fire = self.clocks[u.index()].fire_time(self.now, delta);
                 self.queue.push(
                     fire,
@@ -492,22 +721,19 @@ impl<A: Automaton> Simulator<A> {
                     },
                 );
             }
-            Action::CancelTimer { kind } => {
-                if let Some(gen) = self.timers[u.index()].get_mut(&kind) {
-                    *gen = gen.wrapping_add(1);
-                }
-            }
+            Action::CancelTimer { kind } => self.timers[u.index()].cancel(kind),
         }
     }
 
     fn apply_send(&mut self, from: NodeId, to: NodeId, msg: Message) {
         self.stats.messages_sent += 1;
         let edge = Edge::new(from, to);
-        if !self.graph.contains(edge) {
+        let state = self.links[edge.lo().index()].find(edge.hi());
+        if !state.map(|e| e.live).unwrap_or(false) {
             // The edge does not exist: the message is not delivered and the
             // sender discovers that within D.
             self.stats.dropped_no_edge += 1;
-            let version = self.last_remove_version.get(&edge).copied().unwrap_or(0);
+            let version = state.map(|e| e.last_remove_version).unwrap_or(0);
             let lat = self.discovery.sample(self.params.d, &mut self.rng);
             self.queue.push(
                 self.now + gcs_clocks::Duration::new(lat),
@@ -522,17 +748,15 @@ impl<A: Automaton> Simulator<A> {
             );
             return;
         }
-        let epoch = self.edge_epoch.get(&edge).copied().unwrap_or(0);
+        let epoch = state.expect("live edge has an entry").epoch;
         let d = self
             .delay
             .delay(edge, from, self.now, self.params.t, &mut self.rng);
         let mut deliver_at = self.now + gcs_clocks::Duration::new(d);
         // FIFO per directed link: never deliver before an earlier message.
-        let key = (from, to);
-        if let Some(&last) = self.fifo_last.get(&key) {
-            deliver_at = deliver_at.max(last);
-        }
-        self.fifo_last.insert(key, deliver_at);
+        let out = self.links[from.index()].entry(to);
+        deliver_at = deliver_at.max(out.fifo_out);
+        out.fifo_out = deliver_at;
         self.queue.push(
             deliver_at,
             EventPayload::Deliver {

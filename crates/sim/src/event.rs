@@ -44,7 +44,7 @@ pub struct LinkChange {
 }
 
 /// Internal event payloads processed by the engine.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum EventPayload {
     /// A message arriving at `to`.
     Deliver {
@@ -94,7 +94,7 @@ pub enum EventPayload {
 /// assigned at insertion, so simultaneous events are processed in the order
 /// they were scheduled — this both makes runs deterministic and preserves
 /// FIFO for same-instant deliveries.
-#[derive(Clone, Debug)]
+#[derive(Clone, Copy, Debug)]
 pub struct QueuedEvent {
     /// When the event fires.
     pub time: Time,

@@ -1,0 +1,509 @@
+//! The pre-rewrite, per-event reference engine — **frozen**.
+//!
+//! This module is a verbatim snapshot of the original `engine` module
+//! before the batched time-wheel rewrite: one [`BinaryHeap`] pop per
+//! event, per-edge `BTreeMap`s for epochs/versions/discoveries and a
+//! `HashMap` per directed link for FIFO enforcement.
+//!
+//! It exists for two reasons and must not be "improved":
+//!
+//! 1. **Differential testing.** The rewrite claims trace equivalence: for
+//!    identical inputs (schedule, clocks, delay strategy, seed) the new
+//!    [`Simulator`](crate::Simulator) must produce bit-identical logical
+//!    clock traces and statistics. `crates/bench/tests/engine_equivalence.rs`
+//!    pins that against this snapshot.
+//! 2. **Benchmark baseline.** The criterion suite and `run_all`'s
+//!    `BENCH_engine.json` report events/sec of the new engine relative to
+//!    this one, so the perf trajectory stays anchored to the pre-rewrite
+//!    state.
+//!
+//! Once a few PRs of equivalence history have accumulated, this module is
+//! scheduled for deletion; do not build new features on it.
+//!
+//! [`BinaryHeap`]: std::collections::BinaryHeap
+
+use crate::automaton::{Action, Automaton, Context};
+use crate::delay::DelayStrategy;
+use crate::engine::DiscoveryDelay;
+use crate::event::{EventPayload, EventQueue, LinkChange, LinkChangeKind, Message, TimerKind};
+use crate::model::ModelParams;
+use crate::stats::SimStats;
+use gcs_clocks::{DriftModel, HardwareClock, Time};
+use gcs_net::schedule::TopologyEventKind;
+use gcs_net::{DynamicGraph, Edge, NodeId, TopologySchedule};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::{BTreeMap, HashMap};
+
+/// Builder for [`LegacySimulator`]; mirrors [`SimBuilder`](crate::SimBuilder).
+pub struct LegacySimBuilder {
+    params: ModelParams,
+    schedule: TopologySchedule,
+    clocks: Option<Vec<HardwareClock>>,
+    delay: DelayStrategy,
+    discovery: DiscoveryDelay,
+    seed: u64,
+}
+
+impl LegacySimBuilder {
+    /// Starts a builder with defaults: perfect clocks, maximum delays,
+    /// worst-case (`= D`) discovery latency, seed 0.
+    pub fn new(params: ModelParams, schedule: TopologySchedule) -> Self {
+        LegacySimBuilder {
+            discovery: DiscoveryDelay::Constant(params.d),
+            params,
+            schedule,
+            clocks: None,
+            delay: DelayStrategy::Max,
+            seed: 0,
+        }
+    }
+
+    /// Uses explicit per-node hardware clocks.
+    pub fn clocks(mut self, clocks: Vec<HardwareClock>) -> Self {
+        assert_eq!(
+            clocks.len(),
+            self.schedule.n(),
+            "need one clock per node ({} != {})",
+            clocks.len(),
+            self.schedule.n()
+        );
+        self.clocks = Some(clocks);
+        self
+    }
+
+    /// Generates clocks from a drift model over `[0, horizon]` using the
+    /// builder's seed (offset so clock randomness is independent of delay
+    /// randomness).
+    pub fn drift(mut self, model: DriftModel, horizon: f64) -> Self {
+        let rho = self.params.rho;
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x9e37_79b9_7f4a_7c15);
+        let clocks = (0..self.schedule.n())
+            .map(|i| HardwareClock::new(model.build(rho, horizon, i, &mut rng), rho))
+            .collect();
+        self.clocks = Some(clocks);
+        self
+    }
+
+    /// Sets the delay adversary.
+    pub fn delay(mut self, delay: DelayStrategy) -> Self {
+        self.delay = delay;
+        self
+    }
+
+    /// Sets the discovery-latency model.
+    pub fn discovery(mut self, discovery: DiscoveryDelay) -> Self {
+        self.discovery = discovery;
+        self
+    }
+
+    /// Seeds all randomness (delays, discovery jitter, drift generation).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Finalizes the simulator; `make_node(i)` constructs the automaton for
+    /// node `i`. `on_start` handlers run immediately, followed by the
+    /// discovery of the initial edge set at time 0.
+    pub fn build_with<A: Automaton>(self, make_node: impl FnMut(usize) -> A) -> LegacySimulator<A> {
+        let n = self.schedule.n();
+        let clocks = self
+            .clocks
+            .unwrap_or_else(|| vec![HardwareClock::perfect(self.params.rho); n]);
+        let mut nodes: Vec<A> = (0..n).map(make_node).collect();
+
+        let mut queue = EventQueue::new();
+        let mut graph = DynamicGraph::empty(n);
+        let mut edge_epoch = BTreeMap::new();
+        let mut edge_version = BTreeMap::new();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+
+        // Initial edges exist (and are discovered) at time 0.
+        for e in self.schedule.initial_edges() {
+            graph.add_edge(e, Time::ZERO);
+            edge_epoch.insert(e, 1u64);
+            edge_version.insert(e, 1u64);
+            for w in [e.lo(), e.hi()] {
+                queue.push(
+                    Time::ZERO,
+                    EventPayload::Discover {
+                        node: w,
+                        change: LinkChange {
+                            kind: LinkChangeKind::Added,
+                            edge: e,
+                        },
+                        version: 1,
+                    },
+                );
+            }
+        }
+
+        // Pre-schedule every topology event and its endpoint discoveries.
+        let mut version_counter: BTreeMap<Edge, u64> = edge_version.clone();
+        for ev in self.schedule.events() {
+            let v = version_counter.entry(ev.edge).or_insert(0);
+            *v += 1;
+            let version = *v;
+            let kind = match ev.kind {
+                TopologyEventKind::Add => LinkChangeKind::Added,
+                TopologyEventKind::Remove => LinkChangeKind::Removed,
+            };
+            queue.push(
+                ev.time,
+                EventPayload::Topology {
+                    kind,
+                    edge: ev.edge,
+                    version,
+                },
+            );
+            for w in [ev.edge.lo(), ev.edge.hi()] {
+                let lat = self.discovery.sample(self.params.d, &mut rng);
+                queue.push(
+                    ev.time + gcs_clocks::Duration::new(lat),
+                    EventPayload::Discover {
+                        node: w,
+                        change: LinkChange {
+                            kind,
+                            edge: ev.edge,
+                        },
+                        version,
+                    },
+                );
+            }
+        }
+
+        let mut sim = LegacySimulator {
+            params: self.params,
+            clocks,
+            graph,
+            queue,
+            timers: vec![HashMap::new(); n],
+            edge_epoch,
+            edge_version,
+            last_remove_version: BTreeMap::new(),
+            discovered_version: vec![BTreeMap::new(); n],
+            fifo_last: HashMap::new(),
+            delay: self.delay,
+            discovery: self.discovery,
+            rng,
+            now: Time::ZERO,
+            stats: SimStats::default(),
+            actions_buf: Vec::new(),
+            nodes: Vec::new(),
+        };
+        // `on_start` before any event (matching "at the beginning of the
+        // execution").
+        for (i, node) in nodes.iter_mut().enumerate() {
+            sim.dispatch_external(NodeId::from_index(i), node, |a, ctx| a.on_start(ctx));
+        }
+        sim.nodes = nodes.into_iter().map(Some).collect();
+        sim
+    }
+}
+
+/// The frozen per-event engine; see the module docs for why it exists.
+pub struct LegacySimulator<A: Automaton> {
+    params: ModelParams,
+    clocks: Vec<HardwareClock>,
+    graph: DynamicGraph,
+    queue: EventQueue,
+    /// Automata, lifted out of their slots while their handlers run.
+    nodes: Vec<Option<A>>,
+    /// Per-node, per-timer generation counters; alarms with stale
+    /// generations are skipped.
+    timers: Vec<HashMap<TimerKind, u64>>,
+    /// Incremented when an edge is (re-)added; deliveries carry the epoch
+    /// they were sent in.
+    edge_epoch: BTreeMap<Edge, u64>,
+    /// Incremented on every add/remove of an edge.
+    edge_version: BTreeMap<Edge, u64>,
+    /// Version of the most recent removal of each edge.
+    last_remove_version: BTreeMap<Edge, u64>,
+    /// Highest change version each node has been told about, per edge.
+    discovered_version: Vec<BTreeMap<Edge, u64>>,
+    /// Last scheduled delivery per directed link (FIFO enforcement).
+    fifo_last: HashMap<(NodeId, NodeId), Time>,
+    delay: DelayStrategy,
+    discovery: DiscoveryDelay,
+    rng: StdRng,
+    now: Time,
+    stats: SimStats,
+    actions_buf: Vec<Action>,
+}
+
+impl<A: Automaton> LegacySimulator<A> {
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Current simulation time (last processed event, or the target of the
+    /// last `run_until`).
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Model parameters.
+    pub fn params(&self) -> ModelParams {
+        self.params
+    }
+
+    /// Execution counters.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// The live graph state.
+    pub fn graph(&self) -> &DynamicGraph {
+        &self.graph
+    }
+
+    /// Immutable access to a node's automaton.
+    pub fn node(&self, u: NodeId) -> &A {
+        self.nodes[u.index()]
+            .as_ref()
+            .expect("node queried from inside its own handler")
+    }
+
+    /// Hardware clock reading of `u` at the current time.
+    pub fn hardware(&self, u: NodeId) -> f64 {
+        self.clocks[u.index()].read(self.now)
+    }
+
+    /// Logical clock `L_u` at the current time.
+    pub fn logical(&self, u: NodeId) -> f64 {
+        self.node(u).logical_clock(self.hardware(u))
+    }
+
+    /// Max estimate `Lmax_u` at the current time.
+    pub fn max_estimate_of(&self, u: NodeId) -> f64 {
+        self.node(u).max_estimate(self.hardware(u))
+    }
+
+    /// All logical clocks at the current time.
+    pub fn logical_snapshot(&self) -> Vec<f64> {
+        (0..self.n())
+            .map(|i| self.logical(NodeId::from_index(i)))
+            .collect()
+    }
+
+    /// Runs until all events at time `≤ until` are processed, then advances
+    /// the clock to `until` so state queries observe that instant.
+    pub fn run_until(&mut self, until: Time) {
+        assert!(until >= self.now, "cannot run backwards");
+        while let Some(t) = self.queue.peek_time() {
+            if t > until {
+                break;
+            }
+            self.step();
+        }
+        self.now = until;
+    }
+
+    /// Processes the single earliest event. Returns false if none pending.
+    pub fn step(&mut self) -> bool {
+        let Some(ev) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.time >= self.now, "event queue went backwards");
+        self.now = ev.time;
+        self.stats.events_processed += 1;
+        match ev.payload {
+            EventPayload::Topology {
+                kind,
+                edge,
+                version,
+            } => self.apply_topology(kind, edge, version),
+            EventPayload::Deliver {
+                from,
+                to,
+                msg,
+                epoch,
+            } => self.apply_delivery(from, to, msg, epoch),
+            EventPayload::Alarm {
+                node,
+                kind,
+                generation,
+            } => self.apply_alarm(node, kind, generation),
+            EventPayload::Discover {
+                node,
+                change,
+                version,
+            } => self.apply_discover(node, change, version),
+        }
+        true
+    }
+
+    fn apply_topology(&mut self, kind: LinkChangeKind, edge: Edge, version: u64) {
+        self.stats.topology_events += 1;
+        self.edge_version.insert(edge, version);
+        match kind {
+            LinkChangeKind::Added => {
+                *self.edge_epoch.entry(edge).or_insert(0) += 1;
+                self.graph.add_edge(edge, self.now);
+            }
+            LinkChangeKind::Removed => {
+                self.last_remove_version.insert(edge, version);
+                self.graph.remove_edge(edge, self.now);
+            }
+        }
+    }
+
+    fn apply_delivery(&mut self, from: NodeId, to: NodeId, msg: Message, epoch: u64) {
+        let edge = Edge::new(from, to);
+        let live =
+            self.graph.contains(edge) && self.edge_epoch.get(&edge).copied().unwrap_or(0) == epoch;
+        if live {
+            self.stats.messages_delivered += 1;
+            self.with_node(to, |sim, node| {
+                sim.dispatch_external(to, node, |a, ctx| a.on_receive(ctx, from, msg));
+            });
+        } else {
+            // Dropped in flight: the model obliges the environment to tell
+            // the sender within D of the send; we tell it now (≤ send + T).
+            self.stats.dropped_in_flight += 1;
+            let version = self.last_remove_version.get(&edge).copied().unwrap_or(0);
+            self.queue.push(
+                self.now,
+                EventPayload::Discover {
+                    node: from,
+                    change: LinkChange {
+                        kind: LinkChangeKind::Removed,
+                        edge,
+                    },
+                    version,
+                },
+            );
+        }
+    }
+
+    fn apply_alarm(&mut self, u: NodeId, kind: TimerKind, generation: u64) {
+        let current = self.timers[u.index()].get(&kind).copied();
+        if current != Some(generation) {
+            self.stats.alarms_stale += 1;
+            return;
+        }
+        self.timers[u.index()].remove(&kind);
+        self.stats.alarms_fired += 1;
+        self.with_node(u, |sim, node| {
+            sim.dispatch_external(u, node, |a, ctx| a.on_alarm(ctx, kind));
+        });
+    }
+
+    fn apply_discover(&mut self, u: NodeId, change: LinkChange, version: u64) {
+        let seen = self.discovered_version[u.index()]
+            .get(&change.edge)
+            .copied()
+            .unwrap_or(0);
+        if version <= seen {
+            self.stats.discovers_stale += 1;
+            return;
+        }
+        self.discovered_version[u.index()].insert(change.edge, version);
+        self.stats.discovers_delivered += 1;
+        self.with_node(u, |sim, node| {
+            sim.dispatch_external(u, node, |a, ctx| a.on_discover(ctx, change));
+        });
+    }
+
+    /// Temporarily moves node `u` out of its slot so a handler can run with
+    /// `&mut` access to both the automaton and the engine.
+    fn with_node(&mut self, u: NodeId, f: impl FnOnce(&mut Self, &mut A)) {
+        let mut node = self.nodes[u.index()]
+            .take()
+            .expect("automaton re-entered its own handler");
+        f(self, &mut node);
+        self.nodes[u.index()] = Some(node);
+    }
+
+    /// Runs a handler on an automaton that is *not* stored in self (used at
+    /// startup) and applies the produced actions on behalf of `u`.
+    fn dispatch_external(
+        &mut self,
+        u: NodeId,
+        node: &mut A,
+        f: impl FnOnce(&mut A, &mut Context<'_>),
+    ) {
+        let hw = self.clocks[u.index()].read(self.now);
+        let mut actions = std::mem::take(&mut self.actions_buf);
+        actions.clear();
+        {
+            let mut ctx = Context::new(u, self.now, hw, &mut actions);
+            f(node, &mut ctx);
+        }
+        for action in actions.drain(..) {
+            self.apply_action(u, action);
+        }
+        self.actions_buf = actions;
+    }
+
+    fn apply_action(&mut self, u: NodeId, action: Action) {
+        match action {
+            Action::Send { to, msg } => self.apply_send(u, to, msg),
+            Action::SetTimer { delta, kind } => {
+                let gen = self.timers[u.index()].entry(kind).or_insert(0);
+                *gen = gen.wrapping_add(1);
+                let generation = *gen;
+                let fire = self.clocks[u.index()].fire_time(self.now, delta);
+                self.queue.push(
+                    fire,
+                    EventPayload::Alarm {
+                        node: u,
+                        kind,
+                        generation,
+                    },
+                );
+            }
+            Action::CancelTimer { kind } => {
+                if let Some(gen) = self.timers[u.index()].get_mut(&kind) {
+                    *gen = gen.wrapping_add(1);
+                }
+            }
+        }
+    }
+
+    fn apply_send(&mut self, from: NodeId, to: NodeId, msg: Message) {
+        self.stats.messages_sent += 1;
+        let edge = Edge::new(from, to);
+        if !self.graph.contains(edge) {
+            // The edge does not exist: the message is not delivered and the
+            // sender discovers that within D.
+            self.stats.dropped_no_edge += 1;
+            let version = self.last_remove_version.get(&edge).copied().unwrap_or(0);
+            let lat = self.discovery.sample(self.params.d, &mut self.rng);
+            self.queue.push(
+                self.now + gcs_clocks::Duration::new(lat),
+                EventPayload::Discover {
+                    node: from,
+                    change: LinkChange {
+                        kind: LinkChangeKind::Removed,
+                        edge,
+                    },
+                    version,
+                },
+            );
+            return;
+        }
+        let epoch = self.edge_epoch.get(&edge).copied().unwrap_or(0);
+        let d = self
+            .delay
+            .delay(edge, from, self.now, self.params.t, &mut self.rng);
+        let mut deliver_at = self.now + gcs_clocks::Duration::new(d);
+        // FIFO per directed link: never deliver before an earlier message.
+        let key = (from, to);
+        if let Some(&last) = self.fifo_last.get(&key) {
+            deliver_at = deliver_at.max(last);
+        }
+        self.fifo_last.insert(key, deliver_at);
+        self.queue.push(
+            deliver_at,
+            EventPayload::Deliver {
+                from,
+                to,
+                msg,
+                epoch,
+            },
+        );
+    }
+}

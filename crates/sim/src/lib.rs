@@ -24,17 +24,56 @@
 //! Determinism: a simulation is a pure function of (model parameters,
 //! topology schedule, rate schedules, delay strategy, seed). Ties in the
 //! event queue are broken by sequence number.
+//!
+//! The hot path is the batched [`engine`]: a [`wheel::TimeWheel`]
+//! calendar queue keyed on the delay bound `T`, same-instant deliveries
+//! dispatched per node in batches, and flat per-node link state. The
+//! pre-rewrite per-event engine is frozen as [`legacy`] for differential
+//! testing and benchmarking, and both produce bit-identical traces.
+//!
+//! # Example
+//!
+//! The time wheel pops in exactly `(time, seq)` order — earliest time
+//! first, insertion order on ties — which is what makes the batched
+//! engine trace-identical to the reference engine:
+//!
+//! ```
+//! use gcs_clocks::time::at;
+//! use gcs_net::node;
+//! use gcs_sim::event::{EventPayload, TimerKind};
+//! use gcs_sim::TimeWheel;
+//!
+//! let alarm = |i: usize, generation: u64| EventPayload::Alarm {
+//!     node: node(i),
+//!     kind: TimerKind::Tick,
+//!     generation,
+//! };
+//! let mut wheel = TimeWheel::new(0.25); // bucket width, e.g. T/4
+//! wheel.push(at(3.0), alarm(0, 1));
+//! wheel.push(at(1.0), alarm(1, 1));
+//! wheel.push(at(3.0), alarm(2, 1)); // same instant as the first push
+//!
+//! assert_eq!(wheel.peek_time(), Some(at(1.0)));
+//! let order: Vec<_> = std::iter::from_fn(|| wheel.pop())
+//!     .map(|ev| (ev.time.seconds(), ev.seq))
+//!     .collect();
+//! assert_eq!(order, vec![(1.0, 1), (3.0, 0), (3.0, 2)]);
+//! ```
 
 pub mod automaton;
 pub mod delay;
 pub mod engine;
 pub mod event;
+pub mod legacy;
 pub mod model;
 pub mod stats;
+pub mod wheel;
 
 pub use automaton::{Action, Automaton, Context};
 pub use delay::DelayStrategy;
 pub use engine::{SimBuilder, Simulator};
 pub use event::{LinkChange, LinkChangeKind, Message, TimerKind};
+pub use legacy::{LegacySimBuilder, LegacySimulator};
 pub use model::ModelParams;
 pub use stats::SimStats;
+pub use wheel::TimeWheel;

@@ -1,6 +1,7 @@
 //! The Figure 1 story, live: a new edge appears between two far-apart
 //! nodes carrying large skew, and the algorithm grinds it down without
-//! ever violating the budgets of old edges.
+//! ever violating the budgets of old edges. Implements the [`Scenario`]
+//! experiment surface.
 //!
 //! To make the effect visible at demo scale we use the cluster-merge
 //! construction: two halves of the network evolve disconnected — one on
@@ -12,85 +13,128 @@
 use gradient_clock_sync::net::schedule::add_at;
 use gradient_clock_sync::prelude::*;
 
-fn main() {
-    let rho = 0.05;
-    let model = ModelParams::new(rho, 1.0, 2.0);
-    let n = 32;
-    let half = n / 2;
-    let params = AlgoParams::with_minimal_b0(model, n, 0.5);
+/// The edge-insertion workload: cluster merge at demo scale.
+struct EdgeInsertion {
+    n: usize,
+    rho: f64,
+}
 
-    // Two disjoint half-paths; the bridge joins them at t_bridge with
-    // accumulated skew ≈ 2ρ·t_bridge ≈ 4x the stable bound.
-    let target_skew = 4.0 * params.stable_local_skew();
-    let t_bridge = target_skew / (2.0 * rho);
-    let horizon = t_bridge + 3.0 * params.w();
-    let bridge = Edge::between(half - 1, half);
-    let mut old_edges: Vec<Edge> = (0..half - 1).map(|i| Edge::between(i, i + 1)).collect();
-    old_edges.extend((half..n - 1).map(|i| Edge::between(i, i + 1)));
-    let schedule = TopologySchedule::static_graph(n, old_edges.clone())
-        .with_extra_events(vec![add_at(t_bridge, bridge)]);
-    let clocks: Vec<HardwareClock> = (0..n)
-        .map(|i| HardwareClock::constant(if i < half { 1.0 + rho } else { 1.0 - rho }, rho))
-        .collect();
+impl Scenario for EdgeInsertion {
+    fn id(&self) -> &'static str {
+        "edge_insertion"
+    }
+    fn title(&self) -> &'static str {
+        "skew decay on a freshly inserted high-skew edge"
+    }
+    fn claim(&self) -> &'static str {
+        "Corollary 6.13 / Figure 1 — new edges harden gradually"
+    }
+    fn run_scenario(&self) -> ScenarioReport {
+        let model = ModelParams::new(self.rho, 1.0, 2.0);
+        let n = self.n;
+        let half = n / 2;
+        let params = AlgoParams::with_minimal_b0(model, n, 0.5);
+        let mut rep = ScenarioReport::new();
 
-    let mut sim = SimBuilder::new(model, schedule)
-        .clocks(clocks)
-        .delay(DelayStrategy::Max)
-        .build_with(|_| GradientNode::new(params));
+        // Two disjoint half-paths; the bridge joins them at t_bridge with
+        // accumulated skew ≈ 2ρ·t_bridge ≈ 4x the stable bound.
+        let target_skew = 4.0 * params.stable_local_skew();
+        let t_bridge = target_skew / (2.0 * self.rho);
+        let horizon = t_bridge + 3.0 * params.w();
+        let bridge = Edge::between(half - 1, half);
+        let mut old_edges: Vec<Edge> = (0..half - 1).map(|i| Edge::between(i, i + 1)).collect();
+        old_edges.extend((half..n - 1).map(|i| Edge::between(i, i + 1)));
+        let schedule = TopologySchedule::static_graph(n, old_edges.clone())
+            .with_extra_events(vec![add_at(t_bridge, bridge)]);
+        let clocks: Vec<HardwareClock> = (0..n)
+            .map(|i| {
+                HardwareClock::constant(
+                    if i < half {
+                        1.0 + self.rho
+                    } else {
+                        1.0 - self.rho
+                    },
+                    self.rho,
+                )
+            })
+            .collect();
 
-    sim.run_until(at(t_bridge));
-    let initial = (sim.logical(bridge.lo()) - sim.logical(bridge.hi())).abs();
-    println!("bridge {bridge} inserted at t = {t_bridge:.0}");
-    println!("  initial skew on the new edge: {initial:.3}");
-    println!(
-        "  stable local skew bound:      {:.3}",
-        params.stable_local_skew()
-    );
-    println!("  stabilization window W:       {:.1}", params.w());
-    println!();
+        let mut sim = SimBuilder::new(model, schedule)
+            .clocks(clocks)
+            .delay(DelayStrategy::Max)
+            .build_with(|_| GradientNode::new(params));
 
-    let mut table = Table::new(
-        "skew decay on the new edge (the Figure 1 story)",
-        &[
-            "edge age",
-            "bridge skew",
-            "s(n, age) bound",
-            "worst old edge",
-        ],
-    );
-    let mut t = t_bridge;
-    let step = params.w() / 6.0;
-    let mut settled_at = None;
-    while t < horizon {
-        t += step;
-        sim.run_until(at(t));
-        let age = t - t_bridge;
-        let bridge_skew = (sim.logical(bridge.lo()) - sim.logical(bridge.hi())).abs();
-        let worst_old = old_edges
-            .iter()
-            .map(|e| (sim.logical(e.lo()) - sim.logical(e.hi())).abs())
-            .fold(0.0, f64::max);
-        table.row(&[
-            format!("{age:.0}"),
-            format!("{bridge_skew:.3}"),
-            format!("{:.3}", params.dynamic_local_skew(age)),
-            format!("{worst_old:.3}"),
-        ]);
-        if bridge_skew <= params.stable_local_skew() {
-            settled_at.get_or_insert(age);
-        }
-        assert!(
-            worst_old <= params.stable_local_skew() + 1e-6,
-            "old edge violated its budget"
+        sim.run_until(at(t_bridge));
+        let initial = (sim.logical(bridge.lo()) - sim.logical(bridge.hi())).abs();
+        rep.note(format!("bridge {bridge} inserted at t = {t_bridge:.0}"));
+        rep.note(format!("initial skew on the new edge: {initial:.3}"));
+        rep.note(format!(
+            "stable local skew bound: {:.3}; stabilization window W: {:.1}",
+            params.stable_local_skew(),
+            params.w()
+        ));
+
+        let mut table = Table::new(
+            "skew decay on the new edge (the Figure 1 story)",
+            &[
+                "edge age",
+                "bridge skew",
+                "s(n, age) bound",
+                "worst old edge",
+            ],
         );
+        let mut t = t_bridge;
+        let step = params.w() / 6.0;
+        let mut settled_at = None;
+        let mut rows = Vec::new();
+        while t < horizon {
+            t += step;
+            sim.run_until(at(t));
+            let age = t - t_bridge;
+            let bridge_skew = (sim.logical(bridge.lo()) - sim.logical(bridge.hi())).abs();
+            let worst_old = old_edges
+                .iter()
+                .map(|e| (sim.logical(e.lo()) - sim.logical(e.hi())).abs())
+                .fold(0.0, f64::max);
+            table.row(&[
+                format!("{age:.0}"),
+                format!("{bridge_skew:.3}"),
+                format!("{:.3}", params.dynamic_local_skew(age)),
+                format!("{worst_old:.3}"),
+            ]);
+            rows.push(vec![
+                age,
+                bridge_skew,
+                params.dynamic_local_skew(age),
+                worst_old,
+            ]);
+            if bridge_skew <= params.stable_local_skew() {
+                settled_at.get_or_insert(age);
+            }
+            assert!(
+                worst_old <= params.stable_local_skew() + 1e-6,
+                "old edge violated its budget"
+            );
+        }
+        rep.table(table);
+        rep.csv(
+            "edge_insertion_decay.csv",
+            &["age", "bridge_skew", "envelope", "worst_old_edge"],
+            rows,
+        );
+        match settled_at {
+            Some(age) => rep.note(format!(
+                "the bridge settled below the stable bound after ~{age:.0}s; old edges never \
+                 exceeded it."
+            )),
+            None => rep.note("the bridge had not settled within the horizon (increase it)."),
+        };
+        rep
     }
-    table.print();
-    println!();
-    match settled_at {
-        Some(age) => println!(
-            "the bridge settled below the stable bound after ~{age:.0}s; old edges never \
-             exceeded it."
-        ),
-        None => println!("the bridge had not settled within the horizon (increase it)."),
-    }
+}
+
+fn main() {
+    let s = EdgeInsertion { n: 32, rho: 0.05 };
+    println!("[{}] {} ({})\n", s.id(), s.title(), s.claim());
+    s.run_scenario().print();
 }

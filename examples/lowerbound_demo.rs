@@ -1,4 +1,5 @@
-//! Watch the lower-bound adversary at work.
+//! Watch the lower-bound adversary at work, behind the [`Scenario`]
+//! experiment surface.
 //!
 //! The Masking Lemma's execution β lets nodes far (in *flexible* distance)
 //! from the reference node `u` run fast until each layer has banked `T` of
@@ -14,68 +15,106 @@
 use gradient_clock_sync::lowerbound::Theorem41Scenario;
 use gradient_clock_sync::prelude::*;
 
-fn main() {
-    let rho = 0.05; // faster ramps => shorter demo
-    let big_t = 1.0;
-    let n = 24;
-    let sc = Theorem41Scenario::new(n, 2.0, rho, big_t);
-    let model = ModelParams::new(rho, big_t, 2.0);
-    let params = AlgoParams::with_minimal_b0(model, n, 0.5);
+/// The lower-bound demo workload: the two-chain β execution.
+struct LowerboundDemo {
+    n: usize,
+    rho: f64,
+    big_t: f64,
+}
 
-    println!(
-        "two-chain network, n = {n}; u = {:?}, v = {:?}, flexible distance d = {}",
-        sc.u(),
-        sc.v(),
-        sc.flexible_distance_uv()
-    );
-    println!(
-        "lemma: after t = {:.0}, skew(u,v) >= T·d/4 = {:.2}\n",
-        sc.ready_time(),
-        sc.skew_bound()
-    );
-
-    let mut sim = SimBuilder::new(model, sc.schedule())
-        .clocks(sc.beta_clocks())
-        .delay(sc.beta_delays())
-        .build_with(|_| GradientNode::new(params));
-
-    let max_layer = *sc.layers.iter().max().unwrap();
-    let t_end = sc.ready_time() + 10.0;
-    let steps = 6;
-    for step in 0..=steps {
-        let t = t_end * step as f64 / steps as f64;
-        if step > 0 {
-            sim.run_until(at(t));
-        }
-        println!("t = {t:7.1}   (logical clock − real time), averaged per layer:");
-        for layer in 0..=max_layer {
-            let members: Vec<usize> = (0..n).filter(|&i| sc.layers[i] == layer).collect();
-            let avg: f64 = members
-                .iter()
-                .map(|&i| sim.logical(node(i)) - t)
-                .sum::<f64>()
-                / members.len() as f64;
-            let bar_len = (avg / big_t * 3.0).round().max(0.0) as usize;
-            println!(
-                "  layer {layer:2} ({:2} nodes)  {:>7.2}  {}",
-                members.len(),
-                avg,
-                "#".repeat(bar_len.min(72))
-            );
-        }
-        let skew = (sim.logical(sc.u()) - sim.logical(sc.v())).abs();
-        println!("  skew(u, v) = {skew:.3}\n");
+impl Scenario for LowerboundDemo {
+    fn id(&self) -> &'static str {
+        "lowerbound_demo"
     }
+    fn title(&self) -> &'static str {
+        "the β adversary builds a T·d/4 skew staircase"
+    }
+    fn claim(&self) -> &'static str {
+        "Lemma 4.2 / Theorem 4.1 — indistinguishable executions force skew"
+    }
+    fn run_scenario(&self) -> ScenarioReport {
+        let sc = Theorem41Scenario::new(self.n, 2.0, self.rho, self.big_t);
+        let model = ModelParams::new(self.rho, self.big_t, 2.0);
+        let params = AlgoParams::with_minimal_b0(model, self.n, 0.5);
+        let mut rep = ScenarioReport::new();
 
-    let final_skew = (sim.logical(sc.u()) - sim.logical(sc.v())).abs();
-    println!(
-        "final skew(u,v) = {final_skew:.2} >= lemma bound {:.2}: {}",
-        sc.skew_bound(),
-        if final_skew >= sc.skew_bound() {
-            "reproduced"
-        } else {
-            "NOT reproduced (?)"
+        rep.note(format!(
+            "two-chain network, n = {}; u = {:?}, v = {:?}, flexible distance d = {}",
+            self.n,
+            sc.u(),
+            sc.v(),
+            sc.flexible_distance_uv()
+        ));
+        rep.note(format!(
+            "lemma: after t = {:.0}, skew(u,v) >= T·d/4 = {:.2}",
+            sc.ready_time(),
+            sc.skew_bound()
+        ));
+
+        let mut sim = SimBuilder::new(model, sc.schedule())
+            .clocks(sc.beta_clocks())
+            .delay(sc.beta_delays())
+            .build_with(|_| GradientNode::new(params));
+
+        let max_layer = *sc.layers.iter().max().unwrap();
+        let t_end = sc.ready_time() + 10.0;
+        let steps = 6;
+        for step in 0..=steps {
+            let t = t_end * step as f64 / steps as f64;
+            if step > 0 {
+                sim.run_until(at(t));
+            }
+            let mut table = Table::new(
+                format!("t = {t:.1} — (logical clock − real time), averaged per layer"),
+                &["layer", "nodes", "avg offset", "staircase"],
+            );
+            for layer in 0..=max_layer {
+                let members: Vec<usize> = (0..self.n).filter(|&i| sc.layers[i] == layer).collect();
+                let avg: f64 = members
+                    .iter()
+                    .map(|&i| sim.logical(node(i)) - t)
+                    .sum::<f64>()
+                    / members.len() as f64;
+                let bar_len = (avg / self.big_t * 3.0).round().max(0.0) as usize;
+                table.row(&[
+                    format!("{layer}"),
+                    format!("{}", members.len()),
+                    format!("{avg:.2}"),
+                    "#".repeat(bar_len.min(72)),
+                ]);
+            }
+            let skew = (sim.logical(sc.u()) - sim.logical(sc.v())).abs();
+            table.row(&[
+                "skew(u,v)".into(),
+                String::new(),
+                format!("{skew:.3}"),
+                String::new(),
+            ]);
+            rep.table(table);
         }
-    );
-    assert!(final_skew >= sc.skew_bound());
+
+        let final_skew = (sim.logical(sc.u()) - sim.logical(sc.v())).abs();
+        rep.note(format!(
+            "final skew(u,v) = {final_skew:.2} >= lemma bound {:.2}: {}",
+            sc.skew_bound(),
+            if final_skew >= sc.skew_bound() {
+                "reproduced"
+            } else {
+                "NOT reproduced (?)"
+            }
+        ));
+        assert!(final_skew >= sc.skew_bound());
+        rep
+    }
+}
+
+fn main() {
+    // Faster ramps (higher rho) keep the demo short.
+    let s = LowerboundDemo {
+        n: 24,
+        rho: 0.05,
+        big_t: 1.0,
+    };
+    println!("[{}] {} ({})\n", s.id(), s.title(), s.claim());
+    s.run_scenario().print();
 }

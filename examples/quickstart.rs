@@ -1,73 +1,88 @@
 //! Quickstart: synchronize a small dynamic network and print the skews
 //! against the paper's bounds.
 //!
+//! Like the E1–E10 experiments, the workload implements the
+//! [`Scenario`] trait, so the same entry point could be driven by any
+//! harness that understands `ScenarioReport`s.
+//!
 //! Run with: `cargo run --release --example quickstart`
 
 use gradient_clock_sync::prelude::*;
 
-fn main() {
-    // Environment: drift ρ = 1%, message delay bound T = 1s, topology
-    // changes discovered within D = 2s.
-    let model = ModelParams::new(0.01, 1.0, 2.0);
-    let n = 16;
-    let horizon = 300.0;
+/// The quickstart workload: Algorithm 2 on a 16-node ring with split
+/// drift and worst-case delays.
+struct Quickstart {
+    n: usize,
+    horizon: f64,
+}
 
-    // Algorithm parameters: resend every ΔH = 0.5 subjective seconds,
-    // smallest admissible stable budget B0.
-    let params = AlgoParams::with_minimal_b0(model, n, 0.5);
-    println!("Algorithm 2 on a {n}-node ring");
-    println!("  rho = {}, T = {}, D = {}", model.rho, model.t, model.d);
-    println!(
-        "  B0 = {}, tau = {:.3}, W = {:.1}",
-        params.b0,
-        params.tau(),
-        params.w()
-    );
-    println!(
-        "  global skew bound G(n)   = {:.2}",
-        params.global_skew_bound()
-    );
-    println!(
-        "  stable local skew bound  = {:.2}",
-        params.stable_local_skew()
-    );
-    println!();
-
-    // A ring with adversarial (maximum) message delays and half the nodes
-    // running at 1−ρ, half at 1+ρ.
-    let schedule = TopologySchedule::static_graph(n, generators::ring(n));
-    let mut sim = SimBuilder::new(model, schedule)
-        .drift(DriftModel::SplitExtremes, horizon)
-        .delay(DelayStrategy::Max)
-        .build_with(|_| GradientNode::new(params));
-
-    // Record the execution, checking invariants along the way.
-    let mut recorder = Recorder::new(1.0).with_monitor(InvariantMonitor::new(params));
-    recorder.run(&mut sim, at(horizon));
-
-    let mut table = Table::new("measured vs. guaranteed", &["metric", "measured", "bound"]);
-    table.row(&[
-        "peak global skew".into(),
-        format!("{:.3}", recorder.peak_global_skew()),
-        format!("{:.3}", params.global_skew_bound()),
-    ]);
-    table.row(&[
-        "final worst local skew".into(),
-        format!("{:.3}", recorder.samples().last().unwrap().max_local_skew),
-        format!("{:.3}", params.dynamic_local_skew(horizon)),
-    ]);
-    table.print();
-    println!();
-
-    let monitor = recorder.monitor().unwrap();
-    monitor.assert_clean();
-    println!(
-        "all invariants held over {} samples (rate >= 1/2, Lmax >= L, skew bounds)",
-        monitor.snapshots()
-    );
-    println!();
-    println!("final logical clocks at t = {horizon}:");
-    for (i, l) in sim.logical_snapshot().iter().enumerate() {
-        println!("  node {i:2}: L = {l:.4}");
+impl Scenario for Quickstart {
+    fn id(&self) -> &'static str {
+        "quickstart"
     }
+    fn title(&self) -> &'static str {
+        "Algorithm 2 on a ring: measured vs guaranteed skews"
+    }
+    fn claim(&self) -> &'static str {
+        "Theorems 6.9 and 6.12 — global and stable local skew bounds"
+    }
+    fn run_scenario(&self) -> ScenarioReport {
+        let model = ModelParams::new(0.01, 1.0, 2.0);
+        let params = AlgoParams::with_minimal_b0(model, self.n, 0.5);
+        let mut rep = ScenarioReport::new();
+        rep.note(format!(
+            "rho = {}, T = {}, D = {}; B0 = {}, tau = {:.3}, W = {:.1}",
+            model.rho,
+            model.t,
+            model.d,
+            params.b0,
+            params.tau(),
+            params.w()
+        ));
+
+        // A ring with adversarial (maximum) message delays and half the
+        // nodes running at 1−ρ, half at 1+ρ.
+        let schedule = TopologySchedule::static_graph(self.n, generators::ring(self.n));
+        let mut sim = SimBuilder::new(model, schedule)
+            .drift(DriftModel::SplitExtremes, self.horizon)
+            .delay(DelayStrategy::Max)
+            .build_with(|_| GradientNode::new(params));
+
+        // Record the execution, checking invariants along the way.
+        let mut recorder = Recorder::new(1.0).with_monitor(InvariantMonitor::new(params));
+        recorder.run(&mut sim, at(self.horizon));
+
+        let mut table = Table::new("measured vs. guaranteed", &["metric", "measured", "bound"]);
+        table.row(&[
+            "peak global skew".into(),
+            format!("{:.3}", recorder.peak_global_skew()),
+            format!("{:.3}", params.global_skew_bound()),
+        ]);
+        table.row(&[
+            "final worst local skew".into(),
+            format!("{:.3}", recorder.samples().last().unwrap().max_local_skew),
+            format!("{:.3}", params.dynamic_local_skew(self.horizon)),
+        ]);
+        rep.table(table);
+
+        let monitor = recorder.monitor().unwrap();
+        monitor.assert_clean();
+        rep.note(format!(
+            "all invariants held over {} samples (rate >= 1/2, Lmax >= L, skew bounds)",
+            monitor.snapshots()
+        ));
+        for (i, l) in sim.logical_snapshot().iter().enumerate() {
+            rep.note(format!("node {i:2}: L = {l:.4} at t = {}", self.horizon));
+        }
+        rep
+    }
+}
+
+fn main() {
+    let s = Quickstart {
+        n: 16,
+        horizon: 300.0,
+    };
+    println!("[{}] {} ({})\n", s.id(), s.title(), s.claim());
+    s.run_scenario().print();
 }

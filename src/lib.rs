@@ -42,6 +42,7 @@
 //! ```
 
 pub use gcs_analysis as analysis;
+pub use gcs_bench as bench;
 pub use gcs_clocks as clocks;
 pub use gcs_core as core;
 pub use gcs_lowerbound as lowerbound;
@@ -51,6 +52,7 @@ pub use gcs_sim as sim;
 /// The most common imports in one place.
 pub mod prelude {
     pub use gcs_analysis::{metrics, Recorder, Summary, Table};
+    pub use gcs_bench::scenario::{Scenario, ScenarioReport};
     pub use gcs_clocks::{time::at, DriftModel, Duration, HardwareClock, RateSchedule, Time};
     pub use gcs_core::baseline::MaxSyncNode;
     pub use gcs_core::{AlgoParams, BudgetPolicy, GradientNode, InvariantMonitor};
