@@ -1,5 +1,5 @@
 //! Minimal CSV export (no third-party dependency needed for plain numeric
-//! tables).
+//! tables), including a bounded-memory streaming writer.
 
 use std::fs::File;
 use std::io::{BufWriter, Result, Write};
@@ -7,15 +7,53 @@ use std::path::Path;
 
 /// Writes a header plus numeric rows to `path`.
 pub fn write_csv(path: impl AsRef<Path>, header: &[&str], rows: &[Vec<f64>]) -> Result<()> {
-    let file = File::create(path)?;
-    let mut w = BufWriter::new(file);
-    writeln!(w, "{}", header.join(","))?;
+    let mut w = CsvWriter::create(path, header)?;
     for row in rows {
-        assert_eq!(row.len(), header.len(), "CSV row width mismatch");
-        let cells: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
-        writeln!(w, "{}", cells.join(","))?;
+        w.row(row)?;
     }
     w.flush()
+}
+
+/// An incremental CSV writer: rows go straight to a buffered file, so a
+/// long-running recording never holds its series in memory.
+#[derive(Debug)]
+pub struct CsvWriter {
+    w: BufWriter<File>,
+    width: usize,
+    rows_written: u64,
+}
+
+impl CsvWriter {
+    /// Creates `path` and writes the header line.
+    pub fn create(path: impl AsRef<Path>, header: &[&str]) -> Result<Self> {
+        let file = File::create(path)?;
+        let mut w = BufWriter::new(file);
+        writeln!(w, "{}", header.join(","))?;
+        Ok(CsvWriter {
+            w,
+            width: header.len(),
+            rows_written: 0,
+        })
+    }
+
+    /// Appends one numeric row (must match the header width).
+    pub fn row(&mut self, row: &[f64]) -> Result<()> {
+        assert_eq!(row.len(), self.width, "CSV row width mismatch");
+        let cells: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
+        writeln!(self.w, "{}", cells.join(","))?;
+        self.rows_written += 1;
+        Ok(())
+    }
+
+    /// Rows written so far (excluding the header).
+    pub fn rows_written(&self) -> u64 {
+        self.rows_written
+    }
+
+    /// Flushes the underlying buffer.
+    pub fn flush(&mut self) -> Result<()> {
+        self.w.flush()
+    }
 }
 
 /// Renders rows to a CSV string (used by tests and for stdout dumps).
@@ -50,6 +88,30 @@ mod tests {
         write_csv(&path, &["x"], &[vec![1.0]]).unwrap();
         let content = std::fs::read_to_string(&path).unwrap();
         assert_eq!(content, "x\n1\n");
+    }
+
+    #[test]
+    fn streaming_writer_appends_rows() {
+        let dir = std::env::temp_dir().join("gcs_csv_stream_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stream.csv");
+        let mut w = CsvWriter::create(&path, &["a", "b"]).unwrap();
+        for i in 0..3 {
+            w.row(&[i as f64, (i * 2) as f64]).unwrap();
+        }
+        assert_eq!(w.rows_written(), 3);
+        w.flush().unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "a,b\n0,0\n1,2\n2,4\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn streaming_writer_rejects_bad_width() {
+        let dir = std::env::temp_dir().join("gcs_csv_stream_bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut w = CsvWriter::create(dir.join("bad.csv"), &["a", "b"]).unwrap();
+        let _ = w.row(&[1.0]);
     }
 
     #[test]

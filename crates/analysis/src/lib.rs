@@ -5,10 +5,14 @@
 //! Measurement, statistics, reporting and parallel sweeps for gradient
 //! clock synchronization experiments.
 //!
-//! * [`metrics`] — global and local skew over simulator snapshots.
+//! * [`metrics`] — global and local skew over simulator snapshots (one
+//!   `O(n)` snapshot pass per query, `O(1)` per edge).
 //! * [`recorder`] — time-series recording of an execution (global skew,
 //!   worst local skew, watched-edge skews), with optional invariant
-//!   checking.
+//!   checking, streaming [`recorder::Sink`]s and bounded retention.
+//! * [`probe`] — event-driven streaming observability: incremental
+//!   per-edge skew maintained from the engine's per-instant touched-node
+//!   reports, with a certified error bound — no `O(n + m)` snapshots.
 //! * [`stats`] — summary statistics (min/mean/max/percentiles) and simple
 //!   least-squares fits used to check the paper's asymptotic shapes.
 //! * [`table`] — aligned text tables for experiment output.
@@ -39,13 +43,15 @@
 
 pub mod csv;
 pub mod metrics;
+pub mod probe;
 pub mod recorder;
 pub mod stats;
 pub mod sweep;
 pub mod table;
 
 pub use metrics::{global_skew, local_skews, max_local_skew};
-pub use recorder::{Recorder, Sample};
+pub use probe::SkewStream;
+pub use recorder::{CsvSink, Recorder, Sample, Sink};
 pub use stats::Summary;
 pub use sweep::{fan_out, parallel_map};
 pub use table::Table;

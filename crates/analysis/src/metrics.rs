@@ -1,4 +1,11 @@
 //! Skew metrics over simulator snapshots.
+//!
+//! The edge-set metrics take **one** logical snapshot (one `O(n)` pass of
+//! clock reads) and index into it per endpoint, instead of re-deriving
+//! `sim.logical(u)` — a hardware-clock read plus an automaton query — for
+//! both endpoints of every edge. At `m` edges that turns `2m` clock reads
+//! into `n`, which is what keeps fixed-cadence sampling affordable as the
+//! graphs grow.
 
 use gcs_net::Edge;
 use gcs_sim::{Automaton, Simulator};
@@ -16,29 +23,44 @@ pub fn edge_skew<A: Automaton>(sim: &Simulator<A>, e: Edge) -> f64 {
     (sim.logical(e.lo()) - sim.logical(e.hi())).abs()
 }
 
+/// Skew on one edge, read from a prepared logical snapshot.
+#[inline]
+pub fn edge_skew_in(logical: &[f64], e: Edge) -> f64 {
+    (logical[e.lo().index()] - logical[e.hi().index()]).abs()
+}
+
 /// `(edge, |L_u − L_v|)` for every edge currently present.
 pub fn local_skews<A: Automaton>(sim: &Simulator<A>) -> Vec<(Edge, f64)> {
+    let logical = sim.logical_snapshot();
     sim.graph()
         .edges()
-        .map(|e| (e, edge_skew(sim, e)))
+        .map(|e| (e, edge_skew_in(&logical, e)))
         .collect()
 }
 
 /// The worst local skew over all currently present edges (0 if none).
 pub fn max_local_skew<A: Automaton>(sim: &Simulator<A>) -> f64 {
-    sim.graph()
+    max_local_skew_in(&sim.logical_snapshot(), sim.graph())
+}
+
+/// The worst local skew, read from a prepared logical snapshot (shared by
+/// [`max_local_skew`] and the recorder, which reuses one snapshot for
+/// several metrics).
+pub fn max_local_skew_in(logical: &[f64], graph: &gcs_net::DynamicGraph) -> f64 {
+    graph
         .edges()
-        .map(|e| edge_skew(sim, e))
+        .map(|e| edge_skew_in(logical, e))
         .fold(0.0, f64::max)
 }
 
 /// The worst local skew restricted to a fixed edge set (edges absent from
 /// the graph are skipped).
 pub fn max_local_skew_over<A: Automaton>(sim: &Simulator<A>, edges: &[Edge]) -> f64 {
+    let logical = sim.logical_snapshot();
     edges
         .iter()
         .filter(|e| sim.graph().contains(**e))
-        .map(|&e| edge_skew(sim, e))
+        .map(|&e| edge_skew_in(&logical, e))
         .fold(0.0, f64::max)
 }
 
@@ -50,6 +72,13 @@ mod tests {
     fn global_skew_spread() {
         assert_eq!(global_skew(&[1.0, 5.0, 3.0]), 4.0);
         assert_eq!(global_skew(&[2.0]), 0.0);
+    }
+
+    #[test]
+    fn edge_skew_in_indexes_snapshot() {
+        let logical = [10.0, 4.0, 7.5];
+        assert_eq!(edge_skew_in(&logical, Edge::between(0, 1)), 6.0);
+        assert_eq!(edge_skew_in(&logical, Edge::between(2, 1)), 3.5);
     }
 
     #[test]

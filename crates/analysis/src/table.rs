@@ -6,7 +6,7 @@
 use std::fmt::Write as _;
 
 /// A simple column-aligned text table.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct Table {
     title: String,
     header: Vec<String>,

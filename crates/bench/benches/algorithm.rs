@@ -8,6 +8,8 @@ use gcs_core::baseline::MaxSyncNode;
 use gcs_core::{AlgoParams, GradientNode};
 use gcs_net::{node, Edge};
 use gcs_sim::{Automaton, Context, LinkChange, LinkChangeKind, Message, ModelParams, TimerKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 fn params(n: usize) -> AlgoParams {
     AlgoParams::with_minimal_b0(ModelParams::new(0.01, 1.0, 2.0), n, 0.5)
@@ -17,8 +19,9 @@ fn params(n: usize) -> AlgoParams {
 fn loaded_node(deg: usize) -> GradientNode {
     let mut gn = GradientNode::new(params(deg + 2));
     let mut actions = Vec::new();
+    let mut rng = StdRng::seed_from_u64(0);
     for i in 1..=deg {
-        let mut ctx = Context::new(node(0), Time::new(1.0), 1.0, &mut actions);
+        let mut ctx = Context::new(node(0), Time::new(1.0), 1.0, &mut actions, &mut rng);
         gn.on_receive(
             &mut ctx,
             node(i),
@@ -37,12 +40,13 @@ fn bench_receive_adjust(c: &mut Criterion) {
     for deg in [2usize, 8, 32] {
         let mut gn = loaded_node(deg);
         let mut actions = Vec::with_capacity(4);
+        let mut rng = StdRng::seed_from_u64(0);
         let mut hw = 10.0;
         group.bench_function(format!("deg{deg}"), |b| {
             b.iter(|| {
                 hw += 0.01;
                 actions.clear();
-                let mut ctx = Context::new(node(0), Time::new(hw), hw, &mut actions);
+                let mut ctx = Context::new(node(0), Time::new(hw), hw, &mut actions, &mut rng);
                 gn.on_receive(
                     &mut ctx,
                     node(1),
@@ -63,12 +67,13 @@ fn bench_tick_broadcast(c: &mut Criterion) {
     for deg in [2usize, 8, 32] {
         let mut gn = loaded_node(deg);
         let mut actions = Vec::with_capacity(deg + 2);
+        let mut rng = StdRng::seed_from_u64(0);
         let mut hw = 10.0;
         group.bench_function(format!("deg{deg}"), |b| {
             b.iter(|| {
                 hw += 0.5;
                 actions.clear();
-                let mut ctx = Context::new(node(0), Time::new(hw), hw, &mut actions);
+                let mut ctx = Context::new(node(0), Time::new(hw), hw, &mut actions, &mut rng);
                 gn.on_alarm(&mut ctx, TimerKind::Tick);
                 black_box(actions.len())
             })
@@ -80,8 +85,9 @@ fn bench_tick_broadcast(c: &mut Criterion) {
 fn bench_max_sync_receive(c: &mut Criterion) {
     let mut ms = MaxSyncNode::new(0.5);
     let mut actions = Vec::new();
+    let mut rng = StdRng::seed_from_u64(0);
     {
-        let mut ctx = Context::new(node(0), Time::new(0.5), 0.5, &mut actions);
+        let mut ctx = Context::new(node(0), Time::new(0.5), 0.5, &mut actions, &mut rng);
         ms.on_discover(
             &mut ctx,
             LinkChange {
@@ -95,7 +101,7 @@ fn bench_max_sync_receive(c: &mut Criterion) {
         b.iter(|| {
             hw += 0.01;
             actions.clear();
-            let mut ctx = Context::new(node(0), Time::new(hw), hw, &mut actions);
+            let mut ctx = Context::new(node(0), Time::new(hw), hw, &mut actions, &mut rng);
             ms.on_receive(
                 &mut ctx,
                 node(1),

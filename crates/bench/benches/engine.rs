@@ -1,10 +1,12 @@
 //! Engine throughput: events per second on representative workloads.
 //!
-//! The `engine_e1_churn_n1024` group is the acceptance benchmark of the
-//! batched rewrite: the E1 workload (path, split drift, max delays) with
-//! churn at `n = 1024`, batched time-wheel engine vs the frozen
-//! pre-rewrite engine. `run_all` records the same comparison as
-//! `BENCH_engine.json`.
+//! The `engine_e1_churn_n1024` group is the E1 workload (path, split
+//! drift, max delays) with churn at `n = 1024`, swept over dispatcher
+//! worker counts `threads ∈ {1, 2, 8}` — `threads = 1` is the batched
+//! serial baseline every speedup is measured against (the frozen
+//! pre-rewrite engine was deleted once its equivalence history had
+//! accumulated). `run_all` records the same sweep, at the E11 scale
+//! (`n = 65 536`), as `BENCH_engine.json`.
 
 use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use gcs_bench::engine_bench::Workload;
@@ -82,12 +84,13 @@ fn bench_churn_throughput(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_e1_churn_engines(c: &mut Criterion) {
+fn bench_e1_churn_threads(c: &mut Criterion) {
     let w = Workload {
         n: 1024,
         horizon: 20.0,
         churn: true,
         seed: 42,
+        threads: 1,
     };
     // Count events once so throughput is reported per event, not per run.
     let mut probe = w.build();
@@ -99,26 +102,19 @@ fn bench_e1_churn_engines(c: &mut Criterion) {
         .sample_size(10)
         .measurement_time(std::time::Duration::from_secs(10));
     group.throughput(Throughput::Elements(events));
-    group.bench_function("wheel_batched", |b| {
-        b.iter_batched(
-            || w.build(),
-            |mut sim| {
-                sim.run_until(at(w.horizon));
-                black_box(sim.stats().events_processed)
-            },
-            BatchSize::LargeInput,
-        )
-    });
-    group.bench_function("legacy_heap", |b| {
-        b.iter_batched(
-            || w.build_legacy(),
-            |mut sim| {
-                sim.run_until(at(w.horizon));
-                black_box(sim.stats().events_processed)
-            },
-            BatchSize::LargeInput,
-        )
-    });
+    for threads in [1usize, 2, 8] {
+        let wt = w.with_threads(threads);
+        group.bench_function(format!("threads_{threads}"), |b| {
+            b.iter_batched(
+                || wt.build(),
+                |mut sim| {
+                    sim.run_until(at(wt.horizon));
+                    black_box(sim.stats().events_processed)
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
     group.finish();
 }
 
@@ -126,6 +122,6 @@ criterion_group!(
     benches,
     bench_ring_throughput,
     bench_churn_throughput,
-    bench_e1_churn_engines
+    bench_e1_churn_threads
 );
 criterion_main!(benches);

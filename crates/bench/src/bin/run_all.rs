@@ -1,17 +1,23 @@
-//! Regenerates every experiment table (E1–E10) in one run, exports the
+//! Regenerates every experiment table (E1–E11) in one run, exports the
 //! main series as CSV under `target/experiments/`, and records the engine
 //! perf trajectory as machine-readable `BENCH_engine.json`.
 //!
 //! `cargo run --release -p gcs-bench --bin run_all`
+//! `cargo run --release -p gcs-bench --bin run_all -- --engine-only`
 //!
-//! All ten scenarios come from [`gcs_bench::scenario::all_scenarios`] and
-//! are fanned out in parallel over scoped threads; reports print in
-//! experiment order once everything finishes. The final phase times the
-//! batched time-wheel engine against the frozen pre-rewrite engine on the
-//! E1 workload (`n = 1024`, churn on) so every future PR can diff
-//! events/sec against this one.
+//! All scenarios come from [`gcs_bench::scenario::all_scenarios`] and are
+//! fanned out in parallel over scoped threads; reports print in experiment
+//! order once everything finishes. The final phase times the engine on the
+//! E1 workload (`n = 1024`, continuity with the PR 2 numbers) and on the
+//! E11 workload (`n = 65 536`, churn on) at worker counts {1, 2, 8}.
+//!
+//! With the frozen pre-rewrite engine deleted, the **batched serial
+//! engine (`threads = 1`) is the baseline** every speedup in the JSON is
+//! measured against. `host_cpus` records how much hardware parallelism
+//! the recording machine actually had — thread-sweep numbers from a
+//! single-core host measure dispatch overhead, not speedup.
 
-use gcs_bench::engine_bench::{compare, Measurement, Workload};
+use gcs_bench::engine_bench::{measure_threads, Measurement, Workload};
 use gcs_bench::scenario::{all_scenarios, run_parallel};
 use std::io::Write;
 
@@ -21,60 +27,96 @@ fn csv_dir() -> std::path::PathBuf {
     dir
 }
 
-fn engine_json(w: &Workload, wheel: &Measurement, legacy: &Measurement) -> String {
-    let entry = |m: &Measurement| {
+fn entry(m: &Measurement) -> String {
+    format!(
+        "    {{\n      \"engine\": \"{}\",\n      \"threads\": {},\n      \"events\": {},\n      \"wall_s\": {:.6},\n      \"events_per_sec\": {:.1}\n    }}",
+        m.engine, m.threads, m.events, m.wall_s, m.events_per_sec
+    )
+}
+
+fn engine_json(
+    host_cpus: usize,
+    e1: &(Workload, Measurement),
+    e11: &(Workload, Vec<Measurement>),
+) -> String {
+    let workload = |w: &Workload| {
         format!(
-            "    {{\n      \"engine\": \"{}\",\n      \"events\": {},\n      \"wall_s\": {:.6},\n      \"events_per_sec\": {:.1}\n    }}",
-            m.engine, m.events, m.wall_s, m.events_per_sec
+            "  \"workload\": {{\n    \"n\": {},\n    \"churn\": {},\n    \"horizon_s\": {:.1},\n    \"delay\": \"max\",\n    \"drift\": \"split\"\n  }}",
+            w.n, w.churn, w.horizon
         )
     };
+    let e11_entries: Vec<String> = e11.1.iter().map(entry).collect();
+    let serial = e11.1.iter().find(|m| m.threads == 1);
+    let best_parallel = e11
+        .1
+        .iter()
+        .filter(|m| m.threads > 1)
+        .max_by(|a, b| a.events_per_sec.total_cmp(&b.events_per_sec));
+    let speedup = match (serial, best_parallel) {
+        (Some(s), Some(p)) => p.events_per_sec / s.events_per_sec,
+        _ => 1.0,
+    };
     format!(
-        "{{\n  \"schema\": \"bench-engine/v1\",\n  \"generated_by\": \"gcs-bench run_all\",\n  \"workload\": {{\n    \"scenario\": \"e1_global_skew\",\n    \"n\": {},\n    \"churn\": {},\n    \"horizon_s\": {:.1},\n    \"delay\": \"max\",\n    \"drift\": \"split\"\n  }},\n  \"engines\": [\n{},\n{}\n  ],\n  \"speedup_events_per_sec\": {:.3}\n}}\n",
-        w.n,
-        w.churn,
-        w.horizon,
-        entry(wheel),
-        entry(legacy),
-        wheel.events_per_sec / legacy.events_per_sec
+        "{{\n  \"schema\": \"bench-engine/v2\",\n  \"generated_by\": \"gcs-bench run_all\",\n  \"baseline\": \"batched-serial (threads = 1); the pre-rewrite heap engine was deleted after its equivalence history\",\n  \"host_cpus\": {host_cpus},\n  \"e1_n1024\": {{\n  {},\n  \"engines\": [\n{}\n  ]\n  }},\n  \"e11_large_scale\": {{\n  {},\n  \"engines\": [\n{}\n  ],\n  \"best_parallel_speedup_vs_serial\": {:.3}\n  }}\n}}\n",
+        workload(&e1.0),
+        entry(&e1.1),
+        workload(&e11.0),
+        e11_entries.join(",\n"),
+        speedup
     )
 }
 
 fn main() {
     let t0 = std::time::Instant::now();
+    let engine_only = std::env::args().any(|a| a == "--engine-only");
     let dir = csv_dir();
 
-    let scenarios = all_scenarios();
-    println!(
-        "running {} experiments in parallel over scoped threads...\n",
-        scenarios.len()
-    );
-    let reports = run_parallel(&scenarios);
-    for (s, rep) in scenarios.iter().zip(&reports) {
-        println!("=== {} / {} ===", s.id(), s.claim());
-        rep.print();
-        if let Err(e) = rep.write_csv(&dir) {
-            eprintln!("warning: could not write CSV for {}: {e}", s.id());
+    if !engine_only {
+        // E11 is itself a wall-clock benchmark: it must not time its runs
+        // while ten other CPU-bound experiments share the machine, so it
+        // runs alone after the parallel batch.
+        let mut scenarios = all_scenarios();
+        let e11 = scenarios.pop().expect("registry is non-empty");
+        assert_eq!(e11.id(), "E11", "E11 must be last in the registry");
+        println!(
+            "running {} experiments in parallel over scoped threads, then E11 alone...\n",
+            scenarios.len()
+        );
+        let mut reports = run_parallel(&scenarios);
+        reports.push(e11.run_scenario());
+        scenarios.push(e11);
+        for (s, rep) in scenarios.iter().zip(&reports) {
+            println!("=== {} / {} ===", s.id(), s.claim());
+            rep.print();
+            if let Err(e) = rep.write_csv(&dir) {
+                eprintln!("warning: could not write CSV for {}: {e}", s.id());
+            }
+            println!();
         }
-        println!();
     }
 
-    println!("=== engine trajectory (batched time-wheel vs frozen legacy) ===");
-    let w = Workload::acceptance();
-    let (wheel, legacy) = compare(&w, 2);
+    let host_cpus = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    println!("=== engine trajectory (baseline: batched serial; host_cpus = {host_cpus}) ===");
+    let w1 = Workload::acceptance();
+    let m1 = measure_threads(&w1, &[1], 2).remove(0);
     println!(
-        "{}: {:>10.0} events/s  ({} events in {:.2}s)",
-        wheel.engine, wheel.events_per_sec, wheel.events, wheel.wall_s
+        "E1  n={:>6} {:>16}: {:>10.0} events/s  ({} events in {:.2}s)",
+        w1.n, m1.engine, m1.events_per_sec, m1.events, m1.wall_s
     );
-    println!(
-        "{}:   {:>10.0} events/s  ({} events in {:.2}s)",
-        legacy.engine, legacy.events_per_sec, legacy.events, legacy.wall_s
-    );
-    println!(
-        "speedup: {:.2}x on E1 (n = {}, churn on)",
-        wheel.events_per_sec / legacy.events_per_sec,
-        w.n
-    );
-    let json = engine_json(&w, &wheel, &legacy);
+    let w11 = Workload::large_scale();
+    // Two repeats, best-of: the first large-n run pays page faults for
+    // freshly allocated memory, which would otherwise masquerade as a
+    // thread-count effect.
+    let sweep = measure_threads(&w11, &[1, 2, 8], 2);
+    for m in &sweep {
+        println!(
+            "E11 n={:>6} {:>16}: {:>10.0} events/s  ({} events in {:.2}s)",
+            w11.n, m.engine, m.events_per_sec, m.events, m.wall_s
+        );
+    }
+    let json = engine_json(host_cpus, &(w1, m1), &(w11, sweep));
     match std::fs::File::create("BENCH_engine.json").and_then(|mut f| f.write_all(json.as_bytes()))
     {
         Ok(()) => println!("wrote BENCH_engine.json"),
@@ -82,7 +124,7 @@ fn main() {
     }
 
     println!(
-        "\nall experiments regenerated in {:.1}s; CSV series in {}",
+        "\ndone in {:.1}s; CSV series in {}",
         t0.elapsed().as_secs_f64(),
         dir.display()
     );

@@ -25,6 +25,9 @@ pub struct Config {
     pub model: ModelParams,
     /// Subjective resend interval.
     pub delta_h: f64,
+    /// Engine worker count (`None` = engine default). Traces — and
+    /// therefore the whole report — are identical for every value.
+    pub threads: Option<usize>,
 }
 
 impl Default for Config {
@@ -33,6 +36,7 @@ impl Default for Config {
             ns: vec![8, 16, 32, 64, 128],
             model: ModelParams::new(0.01, 1.0, 2.0),
             delta_h: 0.5,
+            threads: None,
         }
     }
 }
@@ -68,10 +72,13 @@ pub fn run(config: &Config) -> Outcome {
         // whole diameter.
         let horizon = 8.0 * n as f64 + 200.0;
         let schedule = TopologySchedule::static_graph(n, generators::path(n));
-        let mut sim = SimBuilder::new(config.model, schedule)
+        let mut builder = SimBuilder::new(config.model, schedule)
             .drift(DriftModel::FastUpTo(n / 2), horizon)
-            .delay(DelayStrategy::Max)
-            .build_with(|_| GradientNode::new(params));
+            .delay(DelayStrategy::Max);
+        if let Some(t) = config.threads {
+            builder = builder.threads(t);
+        }
+        let mut sim = builder.build_with(|_| GradientNode::new(params));
         let mut rec = Recorder::new(2.0).with_monitor(InvariantMonitor::new(params));
         rec.run(&mut sim, at(horizon));
         Point {

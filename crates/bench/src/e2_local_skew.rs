@@ -31,6 +31,9 @@ pub struct Config {
     pub sample_dt: f64,
     /// How many stabilization windows `W` to observe.
     pub windows: f64,
+    /// Engine worker count (`None` = engine default). Traces — and
+    /// therefore the whole report — are identical for every value.
+    pub threads: Option<usize>,
 }
 
 impl Default for Config {
@@ -42,6 +45,7 @@ impl Default for Config {
             target_skew: 60.0,
             sample_dt: 2.0,
             windows: 2.0,
+            threads: None,
         }
     }
 }
@@ -79,10 +83,13 @@ pub fn run(config: &Config) -> Outcome {
     let t_bridge = scenario::t_bridge_for_skew(config.model, config.target_skew);
     let m = scenario::merge(n, config.model, t_bridge);
     let horizon = t_bridge + config.windows * params.w() + 100.0;
-    let mut sim = SimBuilder::new(config.model, m.schedule.clone())
+    let mut builder = SimBuilder::new(config.model, m.schedule.clone())
         .clocks(m.clocks.clone())
-        .delay(DelayStrategy::Max)
-        .build_with(|_| GradientNode::new(params));
+        .delay(DelayStrategy::Max);
+    if let Some(t) = config.threads {
+        builder = builder.threads(t);
+    }
+    let mut sim = builder.build_with(|_| GradientNode::new(params));
 
     sim.run_until(at(t_bridge));
     let initial_skew = (sim.logical(m.bridge.lo()) - sim.logical(m.bridge.hi())).abs();

@@ -1,13 +1,17 @@
-//! The engine-throughput workload: E1's global-skew scenario with churn.
+//! The engine-throughput workloads: E1's global-skew scenario with churn,
+//! at the classic `n = 1024` and at the E11 large-scale `n = 65 536`.
 //!
-//! One canonical workload, three consumers:
+//! One canonical workload shape, three consumers:
 //!
-//! * the criterion group in `benches/engine.rs` (events/sec of the batched
-//!   time-wheel engine vs the frozen [`gcs_sim::legacy`] engine),
-//! * `run_all --` which records the same comparison as machine-readable
-//!   `BENCH_engine.json` (the perf trajectory future PRs diff against),
-//! * the trace-equivalence regression tests in
-//!   `tests/engine_equivalence.rs`.
+//! * the criterion groups in `benches/engine.rs` (events/sec of the
+//!   batched serial engine, and of the parallel dispatcher at
+//!   `threads ∈ {1, 2, 8}`),
+//! * `run_all`, which records the same comparison as machine-readable
+//!   `BENCH_engine.json` (the perf trajectory future PRs diff against) —
+//!   since the frozen pre-rewrite engine was deleted, the **batched
+//!   serial engine (`threads = 1`) is the baseline** every speedup is
+//!   measured against,
+//! * the determinism regression tests in `tests/determinism.rs`.
 //!
 //! The workload is the E1 topology (a path, worst diameter) with the
 //! block-split drift adversary, plus randomly flapping chord edges so the
@@ -18,34 +22,54 @@ use gcs_clocks::time::at;
 use gcs_clocks::DriftModel;
 use gcs_core::{AlgoParams, GradientNode};
 use gcs_net::{churn, generators, TopologySchedule};
-use gcs_sim::{
-    DelayStrategy, LegacySimBuilder, LegacySimulator, ModelParams, SimBuilder, Simulator,
-};
+use gcs_sim::{DelayStrategy, ModelParams, SimBuilder, SimStats, Simulator};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 /// Parameters of the throughput workload.
 #[derive(Clone, Copy, Debug)]
 pub struct Workload {
-    /// Node count (the acceptance target is `n = 1024`).
+    /// Node count.
     pub n: usize,
     /// Real-time horizon to simulate.
     pub horizon: f64,
     /// Whether chord edges flap on top of the path backbone.
     pub churn: bool,
-    /// Seed for churn placement and the engines' internal randomness.
+    /// Seed for churn placement and the engine's per-node streams.
     pub seed: u64,
+    /// Worker count for the parallel dispatcher (1 = batched serial).
+    pub threads: usize,
 }
 
 impl Workload {
-    /// The acceptance-criteria configuration: `n = 1024`, churn on.
+    /// The serial-baseline configuration of the batched-rewrite PR:
+    /// `n = 1024`, churn on, one worker.
     pub fn acceptance() -> Self {
         Workload {
             n: 1024,
             horizon: 60.0,
             churn: true,
             seed: 42,
+            threads: 1,
         }
+    }
+
+    /// The E11 large-scale configuration: `n = 65 536`, churn on. The
+    /// horizon is short — at this width a single simulated second is
+    /// hundreds of thousands of events.
+    pub fn large_scale() -> Self {
+        Workload {
+            n: 65_536,
+            horizon: 10.0,
+            churn: true,
+            seed: 42,
+            threads: 1,
+        }
+    }
+
+    /// The same workload with a different worker count (trace-invariant).
+    pub fn with_threads(self, threads: usize) -> Self {
+        Workload { threads, ..self }
     }
 
     /// Model parameters (the E1 defaults).
@@ -77,23 +101,14 @@ impl Workload {
         )
     }
 
-    /// Builds the workload on the batched time-wheel engine.
+    /// Builds the workload on the engine with this workload's threads.
     pub fn build(&self) -> Simulator<GradientNode> {
         let params = self.params();
         SimBuilder::new(self.model(), self.schedule())
             .drift(DriftModel::FastUpTo(self.n / 2), self.horizon)
             .delay(DelayStrategy::Max)
             .seed(self.seed)
-            .build_with(|_| GradientNode::new(params))
-    }
-
-    /// Builds the identical workload on the frozen pre-rewrite engine.
-    pub fn build_legacy(&self) -> LegacySimulator<GradientNode> {
-        let params = self.params();
-        LegacySimBuilder::new(self.model(), self.schedule())
-            .drift(DriftModel::FastUpTo(self.n / 2), self.horizon)
-            .delay(DelayStrategy::Max)
-            .seed(self.seed)
+            .threads(self.threads)
             .build_with(|_| GradientNode::new(params))
     }
 }
@@ -101,58 +116,58 @@ impl Workload {
 /// One timed engine run.
 #[derive(Clone, Debug)]
 pub struct Measurement {
-    /// `"wheel-batched"` or `"legacy-heap"`.
-    pub engine: &'static str,
+    /// Engine label, e.g. `"batched-serial"` or `"parallel-8t"`.
+    pub engine: String,
+    /// Worker count used.
+    pub threads: usize,
     /// Events processed over the run.
     pub events: u64,
     /// Wall-clock seconds.
     pub wall_s: f64,
     /// Throughput.
     pub events_per_sec: f64,
+    /// Execution counters of the run (identical across thread counts —
+    /// consumers use this for determinism cross-checks without re-running).
+    pub stats: SimStats,
 }
 
-fn timed(engine: &'static str, events: impl FnOnce() -> u64) -> Measurement {
+/// Times one full run of `w` on the parallel dispatcher at `w.threads`.
+pub fn measure(w: &Workload) -> Measurement {
+    let engine = if w.threads == 1 {
+        "batched-serial".to_string()
+    } else {
+        format!("parallel-{}t", w.threads)
+    };
+    let mut sim = w.build();
     let t0 = std::time::Instant::now();
-    let events = events();
+    sim.run_until(at(w.horizon));
     let wall_s = t0.elapsed().as_secs_f64();
+    let stats = *sim.stats();
+    let events = stats.events_processed;
     Measurement {
         engine,
+        threads: w.threads,
         events,
         wall_s,
         events_per_sec: events as f64 / wall_s.max(1e-12),
+        stats,
     }
 }
 
-/// Times one full run on the batched time-wheel engine.
-pub fn measure_wheel(w: &Workload) -> Measurement {
-    let mut sim = w.build();
-    timed("wheel-batched", move || {
-        sim.run_until(at(w.horizon));
-        sim.stats().events_processed
-    })
-}
-
-/// Times one full run on the frozen legacy engine.
-pub fn measure_legacy(w: &Workload) -> Measurement {
-    let mut sim = w.build_legacy();
-    timed("legacy-heap", move || {
-        sim.run_until(at(w.horizon));
-        sim.stats().events_processed
-    })
-}
-
-/// Runs both engines `repeats` times and returns the best (lowest-wall)
-/// measurement of each — criterion-style minimum-of-samples, cheap enough
-/// to live inside `run_all`.
-pub fn compare(w: &Workload, repeats: usize) -> (Measurement, Measurement) {
+/// Runs `w` at each worker count, `repeats` times each, and returns the
+/// best (lowest-wall) measurement per count — criterion-style
+/// minimum-of-samples, cheap enough to live inside `run_all`.
+pub fn measure_threads(w: &Workload, thread_counts: &[usize], repeats: usize) -> Vec<Measurement> {
     assert!(repeats >= 1);
-    let best = |mut runs: Vec<Measurement>| {
-        runs.sort_by(|a, b| a.wall_s.total_cmp(&b.wall_s));
-        runs.remove(0)
-    };
-    let wheel = best((0..repeats).map(|_| measure_wheel(w)).collect());
-    let legacy = best((0..repeats).map(|_| measure_legacy(w)).collect());
-    (wheel, legacy)
+    thread_counts
+        .iter()
+        .map(|&t| {
+            let wt = w.with_threads(t);
+            let mut runs: Vec<Measurement> = (0..repeats).map(|_| measure(&wt)).collect();
+            runs.sort_by(|a, b| a.wall_s.total_cmp(&b.wall_s));
+            runs.remove(0)
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -160,24 +175,28 @@ mod tests {
     use super::*;
 
     #[test]
-    fn workload_builds_and_runs_on_both_engines() {
+    fn workload_runs_identically_across_thread_counts() {
         let w = Workload {
             n: 16,
             horizon: 10.0,
             churn: true,
             seed: 7,
+            threads: 1,
         };
-        let (wheel, legacy) = compare(&w, 1);
+        let serial = measure(&w);
+        let parallel = measure(&w.with_threads(4));
         assert_eq!(
-            wheel.events, legacy.events,
-            "engines must process identical event counts"
+            serial.events, parallel.events,
+            "thread counts must process identical event counts"
         );
         assert!(
-            wheel.events > 1000,
+            serial.events > 1000,
             "workload too small: {} events",
-            wheel.events
+            serial.events
         );
-        assert!(wheel.events_per_sec > 0.0 && legacy.events_per_sec > 0.0);
+        assert!(serial.events_per_sec > 0.0 && parallel.events_per_sec > 0.0);
+        assert_eq!(serial.engine, "batched-serial");
+        assert_eq!(parallel.engine, "parallel-4t");
     }
 
     #[test]
@@ -187,6 +206,7 @@ mod tests {
             horizon: 20.0,
             churn: true,
             seed: 3,
+            threads: 1,
         };
         assert!(!w.schedule().events().is_empty());
         let mut sim = w.build();
@@ -195,5 +215,21 @@ mod tests {
         // Without churn the schedule is static.
         let quiet = Workload { churn: false, ..w };
         assert!(quiet.schedule().events().is_empty());
+    }
+
+    #[test]
+    fn measure_threads_covers_requested_counts() {
+        let w = Workload {
+            n: 12,
+            horizon: 5.0,
+            churn: false,
+            seed: 1,
+            threads: 1,
+        };
+        let ms = measure_threads(&w, &[1, 2], 1);
+        assert_eq!(ms.len(), 2);
+        assert_eq!(ms[0].threads, 1);
+        assert_eq!(ms[1].threads, 2);
+        assert_eq!(ms[0].events, ms[1].events);
     }
 }

@@ -4,10 +4,11 @@
 //! behind the [`scenario::Scenario`] trait: one module per experiment,
 //! each exposing a `run(config)` function, a rendered table, and an
 //! `Experiment` wrapper registered in [`scenario::all_scenarios`]. The
-//! binaries in `src/bin/` are thin wrappers (`run_all` fans all ten out
+//! binaries in `src/bin/` are thin wrappers (`run_all` fans them all out
 //! in parallel and records the engine perf trajectory as
 //! `BENCH_engine.json`); criterion microbenchmarks live in `benches/`,
-//! with the engine-rewrite acceptance workload in [`engine_bench`].
+//! with the throughput workloads (serial baseline and the parallel
+//! dispatcher's thread sweep) in [`engine_bench`].
 //!
 //! | id | claim | module |
 //! |----|-------|--------|
@@ -21,6 +22,7 @@
 //! | E8 | §5–6 — parameter ablations (`B(0)`, slope, assumed `n`, `ΔH`) | [`e8_ablations`] |
 //! | E9 | §6 — gradient profile: worst skew vs graph distance | [`e9_gradient_profile`] |
 //! | E10 | §7 — weighted per-edge budget floors | [`e10_weighted`] |
+//! | E11 | Theorem 4.1 at scale — parallel dispatch at `n = 65 536` | [`e11_large_scale`] |
 //!
 //! # Example
 //!
@@ -31,13 +33,15 @@
 //! use gcs_bench::scenario::all_scenarios;
 //!
 //! let scenarios = all_scenarios();
-//! assert_eq!(scenarios.len(), 10);
+//! assert_eq!(scenarios.len(), 11);
 //! assert_eq!(scenarios[0].id(), "E1");
 //! assert!(scenarios[0].claim().contains("Theorem 6.9"));
+//! assert_eq!(scenarios[10].id(), "E11");
 //! assert!(scenarios.iter().all(|s| !s.title().is_empty()));
 //! ```
 
 pub mod e10_weighted;
+pub mod e11_large_scale;
 pub mod e1_global_skew;
 pub mod e2_local_skew;
 pub mod e3_tradeoff;

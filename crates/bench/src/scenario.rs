@@ -26,7 +26,7 @@ use gcs_sim::ModelParams;
 use std::path::Path;
 
 /// One CSV output series of a scenario.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct CsvSeries {
     /// File name (relative to the experiment output directory).
     pub filename: String,
@@ -38,7 +38,11 @@ pub struct CsvSeries {
 
 /// Everything a scenario produces: human-readable tables and notes plus
 /// machine-readable CSV series.
-#[derive(Clone, Debug, Default)]
+///
+/// `PartialEq` is deliberate: the determinism regression tests assert
+/// that whole reports — rendered tables, notes, and every CSV cell — are
+/// identical across engine thread counts.
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct ScenarioReport {
     /// Rendered paper-vs-measured tables.
     pub tables: Vec<Table>,
@@ -119,7 +123,8 @@ pub trait Scenario: Send + Sync {
     fn run_scenario(&self) -> ScenarioReport;
 }
 
-/// All ten paper experiments, in order.
+/// All eleven experiments, in order (E1–E10 reproduce paper claims at
+/// small `n`; E11 is the large-scale parallel-engine run).
 pub fn all_scenarios() -> Vec<Box<dyn Scenario>> {
     vec![
         Box::new(crate::e1_global_skew::Experiment::default()),
@@ -132,6 +137,7 @@ pub fn all_scenarios() -> Vec<Box<dyn Scenario>> {
         Box::new(crate::e8_ablations::Experiment::default()),
         Box::new(crate::e9_gradient_profile::Experiment::default()),
         Box::new(crate::e10_weighted::Experiment::default()),
+        Box::new(crate::e11_large_scale::Experiment::default()),
     ]
 }
 
@@ -207,11 +213,11 @@ mod tests {
     use gcs_clocks::time::at;
 
     #[test]
-    fn registry_lists_all_ten_experiments_in_order() {
+    fn registry_lists_all_eleven_experiments_in_order() {
         let ids: Vec<&str> = all_scenarios().iter().map(|s| s.id()).collect();
         assert_eq!(
             ids,
-            vec!["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10"]
+            vec!["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11"]
         );
         for s in all_scenarios() {
             assert!(!s.title().is_empty(), "{} needs a title", s.id());

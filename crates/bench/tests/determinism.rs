@@ -1,0 +1,245 @@
+//! Determinism regression tests: the parallel dispatcher must be
+//! *trace-identical* across worker counts.
+//!
+//! "Identical" is the strongest possible reading — bit-equal `f64`
+//! logical clocks at every sample instant, equal execution counters, and
+//! equal whole `ScenarioReport`s — because the sharded dispatch changes
+//! scheduling, not semantics: events of one instant are split at topology
+//! barriers, owner-exclusive state is only ever touched by the owner's
+//! events in their queue order, random draws come from per-node streams,
+//! and emitted events merge back into the wheel in a canonical
+//! `(trigger seq, emission idx)` order. Any divergence between thread
+//! counts is a bug in the dispatcher, not tolerance noise.
+//!
+//! The workloads are the two experiments named in the issue: E1 (global
+//! skew on a path, with churn) and E2 (cluster merge / dynamic local skew
+//! decay), both under a fixed seed, at `n` large enough that segments
+//! exceed the parallel threshold and real worker threads run.
+
+use gcs_bench::engine_bench::Workload;
+use gcs_bench::scenario::{self, Scenario};
+use gcs_bench::{e1_global_skew, e2_local_skew};
+use gcs_clocks::time::at;
+use gcs_core::{AlgoParams, GradientNode};
+use gcs_sim::{DelayStrategy, ModelParams, SimBuilder, Simulator};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+#[test]
+fn e1_churn_traces_bit_identical_across_thread_counts() {
+    // n = 96 makes same-instant delivery fan-in wide enough to cross the
+    // dispatcher's parallel threshold, so worker threads genuinely run.
+    let w = Workload {
+        n: 96,
+        horizon: 40.0,
+        churn: true,
+        seed: 1234,
+        threads: 1,
+    };
+    let mut sims: Vec<Simulator<GradientNode>> = THREAD_COUNTS
+        .iter()
+        .map(|&t| w.with_threads(t).build())
+        .collect();
+    let mut t = 0.0;
+    while t < w.horizon {
+        t = (t + 2.0).min(w.horizon);
+        let mut reference: Option<Vec<f64>> = None;
+        for (sim, &threads) in sims.iter_mut().zip(&THREAD_COUNTS) {
+            sim.run_until(at(t));
+            let snap = sim.logical_snapshot();
+            match &reference {
+                None => reference = Some(snap),
+                Some(r) => {
+                    for (i, (x, y)) in r.iter().zip(&snap).enumerate() {
+                        assert!(
+                            x.to_bits() == y.to_bits(),
+                            "t={t}: node {i} diverged at {threads} threads: {y:?} vs serial {x:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+    let reference_stats = *sims[0].stats();
+    for (sim, &threads) in sims.iter().zip(&THREAD_COUNTS) {
+        assert_eq!(
+            *sim.stats(),
+            reference_stats,
+            "counters diverged at {threads} threads"
+        );
+    }
+    // The workload must have exercised the interesting paths: churned
+    // topology, dropped messages, stale discoveries.
+    assert!(reference_stats.topology_events > 0);
+    assert!(reference_stats.total_dropped() > 0);
+}
+
+#[test]
+fn e2_merge_traces_bit_identical_across_thread_counts() {
+    let n = 96;
+    let model = ModelParams::new(0.05, 1.0, 2.0);
+    let params = AlgoParams::with_minimal_b0(model, n, 0.5);
+    let t_bridge = scenario::t_bridge_for_skew(model, 40.0);
+    let m = scenario::merge(n, model, t_bridge);
+    let horizon = t_bridge + params.w() + 50.0;
+
+    let mut sims: Vec<Simulator<GradientNode>> = THREAD_COUNTS
+        .iter()
+        .map(|&threads| {
+            SimBuilder::new(model, m.schedule.clone())
+                .clocks(m.clocks.clone())
+                .delay(DelayStrategy::Max)
+                .seed(9)
+                .threads(threads)
+                .build_with(|_| GradientNode::new(params))
+        })
+        .collect();
+    let mut t = 0.0;
+    while t < horizon {
+        t = (t + 5.0).min(horizon);
+        let mut reference: Option<Vec<f64>> = None;
+        for sim in sims.iter_mut() {
+            sim.run_until(at(t));
+            let snap = sim.logical_snapshot();
+            match &reference {
+                None => reference = Some(snap),
+                Some(r) => {
+                    for (x, y) in r.iter().zip(&snap) {
+                        assert!(x.to_bits() == y.to_bits());
+                    }
+                }
+            }
+        }
+    }
+    for sim in &sims[1..] {
+        assert_eq!(*sim.stats(), *sims[0].stats());
+    }
+    // Identical traces imply identical bridge-skew decay; spot-check the
+    // headline E2 quantity explicitly.
+    let skews: Vec<f64> = sims
+        .iter()
+        .map(|s| (s.logical(m.bridge.lo()) - s.logical(m.bridge.hi())).abs())
+        .collect();
+    assert!(skews.iter().all(|s| s.to_bits() == skews[0].to_bits()));
+}
+
+#[test]
+fn scenario_reports_identical_across_thread_counts() {
+    // Whole reports — tables, notes, every CSV cell — must match, because
+    // they are pure functions of the traces.
+    let e1_reports: Vec<_> = THREAD_COUNTS
+        .iter()
+        .map(|&t| {
+            e1_global_skew::Experiment {
+                config: e1_global_skew::Config {
+                    ns: vec![8, 16],
+                    threads: Some(t),
+                    ..Default::default()
+                },
+            }
+            .run_scenario()
+        })
+        .collect();
+    assert_eq!(e1_reports[0], e1_reports[1], "E1 report diverged at 2t");
+    assert_eq!(e1_reports[0], e1_reports[2], "E1 report diverged at 8t");
+
+    let e2_reports: Vec<_> = THREAD_COUNTS
+        .iter()
+        .map(|&t| {
+            e2_local_skew::Experiment {
+                config: e2_local_skew::Config {
+                    n: 24,
+                    target_skew: 40.0,
+                    windows: 1.0,
+                    threads: Some(t),
+                    ..Default::default()
+                },
+            }
+            .run_scenario()
+        })
+        .collect();
+    assert_eq!(e2_reports[0], e2_reports[1], "E2 report diverged at 2t");
+    assert_eq!(e2_reports[0], e2_reports[2], "E2 report diverged at 8t");
+    assert!(!e1_reports[0].series.is_empty() && !e2_reports[0].series.is_empty());
+}
+
+#[test]
+fn per_event_step_matches_parallel_run_until() {
+    // `Simulator::step` (strictly serial, one event at a time) and the
+    // parallel `run_until` must agree too: same dispatch core, same
+    // canonical effect order.
+    let w = Workload {
+        n: 72,
+        horizon: 30.0,
+        churn: true,
+        seed: 77,
+        threads: 1,
+    };
+    let mut batched = w.with_threads(8).build();
+    let mut stepped = w.build();
+    batched.run_until(at(w.horizon));
+    while let Some(t) = {
+        let more = stepped.step();
+        more.then(|| stepped.now())
+    } {
+        if t > at(w.horizon) {
+            break;
+        }
+    }
+    // Align the query instant, then compare.
+    let final_t = at(w.horizon.max(stepped.now().seconds()));
+    batched.run_until(final_t);
+    stepped.run_until(final_t);
+    for (x, y) in batched
+        .logical_snapshot()
+        .iter()
+        .zip(stepped.logical_snapshot())
+    {
+        assert!(x.to_bits() == y.to_bits());
+    }
+}
+
+#[test]
+fn random_delay_traces_bit_identical_across_thread_counts() {
+    // Per-node streams are what keep *randomized* delay adversaries
+    // thread-count invariant; pin that separately from the Max-delay runs.
+    let w = Workload {
+        n: 80,
+        horizon: 25.0,
+        churn: true,
+        seed: 555,
+        threads: 1,
+    };
+    let params = w.params();
+    let mut sims: Vec<Simulator<GradientNode>> = THREAD_COUNTS
+        .iter()
+        .map(|&threads| {
+            SimBuilder::new(w.model(), w.schedule())
+                .delay(DelayStrategy::Uniform { lo: 0.0, hi: 1.0 })
+                .seed(w.seed)
+                .threads(threads)
+                .build_with(|_| GradientNode::new(params))
+        })
+        .collect();
+    let mut t = 0.0;
+    while t < w.horizon {
+        t = (t + 1.5).min(w.horizon);
+        let mut reference: Option<Vec<f64>> = None;
+        for sim in sims.iter_mut() {
+            sim.run_until(at(t));
+            let snap = sim.logical_snapshot();
+            match &reference {
+                None => reference = Some(snap),
+                Some(r) => {
+                    for (x, y) in r.iter().zip(&snap) {
+                        assert!(x.to_bits() == y.to_bits());
+                    }
+                }
+            }
+        }
+    }
+    for sim in &sims[1..] {
+        assert_eq!(*sim.stats(), *sims[0].stats());
+    }
+    assert!(sims[0].stats().messages_delivered > 0);
+}

@@ -111,17 +111,20 @@ mod tests {
     use gcs_clocks::Time;
     use gcs_net::{node, Edge};
     use gcs_sim::Action;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
-    fn ctx_at<'a>(hw: f64, actions: &'a mut Vec<Action>) -> Context<'a> {
-        Context::new(node(0), Time::new(hw), hw, actions)
+    fn ctx_at<'a>(hw: f64, actions: &'a mut Vec<Action>, rng: &'a mut StdRng) -> Context<'a> {
+        Context::new(node(0), Time::new(hw), hw, actions, rng)
     }
 
     #[test]
     fn jumps_to_received_max_immediately() {
         let mut n = MaxSyncNode::new(0.5);
         let mut actions = Vec::new();
+        let mut rng = StdRng::seed_from_u64(0);
         n.on_receive(
-            &mut ctx_at(2.0, &mut actions),
+            &mut ctx_at(2.0, &mut actions, &mut rng),
             node(1),
             Message {
                 logical: 40.0,
@@ -137,9 +140,10 @@ mod tests {
     fn logical_equals_lmax_after_every_event() {
         let mut n = MaxSyncNode::new(0.5);
         let mut actions = Vec::new();
+        let mut rng = StdRng::seed_from_u64(0);
         for (hw, lv) in [(1.0, 3.0), (2.0, 2.0), (3.0, 9.0)] {
             n.on_receive(
-                &mut ctx_at(hw, &mut actions),
+                &mut ctx_at(hw, &mut actions, &mut rng),
                 node(1),
                 Message {
                     logical: lv,
@@ -154,15 +158,16 @@ mod tests {
     fn tick_floods_and_rearms() {
         let mut n = MaxSyncNode::new(0.5);
         let mut actions = Vec::new();
+        let mut rng = StdRng::seed_from_u64(0);
         n.on_discover(
-            &mut ctx_at(0.0, &mut actions),
+            &mut ctx_at(0.0, &mut actions, &mut rng),
             LinkChange {
                 kind: LinkChangeKind::Added,
                 edge: Edge::between(0, 1),
             },
         );
         actions.clear();
-        n.on_alarm(&mut ctx_at(1.0, &mut actions), TimerKind::Tick);
+        n.on_alarm(&mut ctx_at(1.0, &mut actions, &mut rng), TimerKind::Tick);
         assert!(matches!(actions[0], Action::Send { to, .. } if to == node(1)));
         assert!(matches!(
             actions[1],
@@ -177,22 +182,23 @@ mod tests {
     fn removal_stops_sending() {
         let mut n = MaxSyncNode::new(0.5);
         let mut actions = Vec::new();
+        let mut rng = StdRng::seed_from_u64(0);
         n.on_discover(
-            &mut ctx_at(0.0, &mut actions),
+            &mut ctx_at(0.0, &mut actions, &mut rng),
             LinkChange {
                 kind: LinkChangeKind::Added,
                 edge: Edge::between(0, 1),
             },
         );
         n.on_discover(
-            &mut ctx_at(1.0, &mut actions),
+            &mut ctx_at(1.0, &mut actions, &mut rng),
             LinkChange {
                 kind: LinkChangeKind::Removed,
                 edge: Edge::between(0, 1),
             },
         );
         actions.clear();
-        n.on_alarm(&mut ctx_at(2.0, &mut actions), TimerKind::Tick);
+        n.on_alarm(&mut ctx_at(2.0, &mut actions, &mut rng), TimerKind::Tick);
         assert!(!actions.iter().any(|a| matches!(a, Action::Send { .. })));
     }
 
@@ -200,8 +206,9 @@ mod tests {
     fn clock_never_decreases() {
         let mut n = MaxSyncNode::new(0.5);
         let mut actions = Vec::new();
+        let mut rng = StdRng::seed_from_u64(0);
         n.on_receive(
-            &mut ctx_at(1.0, &mut actions),
+            &mut ctx_at(1.0, &mut actions, &mut rng),
             node(1),
             Message {
                 logical: 10.0,
@@ -211,7 +218,7 @@ mod tests {
         let before = n.logical_clock(1.0);
         // A stale (smaller) value cannot pull the clock down.
         n.on_receive(
-            &mut ctx_at(1.5, &mut actions),
+            &mut ctx_at(1.5, &mut actions, &mut rng),
             node(2),
             Message {
                 logical: 1.0,

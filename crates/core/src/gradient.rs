@@ -17,12 +17,13 @@
 //!    ([`ClockVar`]), so "between events, the variables are increased at
 //!    the rate of u's hardware clock" holds exactly.
 //!
-//! Per-neighbor state (`Γ_u`, `Υ_u`, weights) lives in the flat
-//! dense-indexed containers of [`crate::neighbors`] rather than tree maps:
-//! the per-event path (`AdjustClock` scan, estimate refresh, tick
-//! broadcast) walks contiguous arrays, and iteration order is ascending
-//! node id — identical to the old `BTreeMap` order, so execution traces
-//! are unchanged.
+//! Per-neighbor state (`Γ_u`, `Υ_u`, weights) lives in the flat sorted
+//! containers of [`crate::neighbors`] rather than tree maps: the per-event
+//! path (`AdjustClock` scan, estimate refresh, tick broadcast) walks
+//! contiguous arrays, memory stays `O(degree)` per node even at the
+//! `n = 65 536` scale of E11, and iteration order is ascending node id —
+//! identical to the old `BTreeMap` order, so execution traces are
+//! unchanged.
 
 use crate::neighbors::{FlatMap, IdSet};
 use crate::params::AlgoParams;
@@ -270,20 +271,23 @@ mod tests {
     use gcs_clocks::Time;
     use gcs_net::{node, Edge};
     use gcs_sim::{Action, ModelParams};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     fn params() -> AlgoParams {
         AlgoParams::with_minimal_b0(ModelParams::new(0.01, 1.0, 2.0), 8, 0.5)
     }
 
-    fn ctx_at<'a>(hw: f64, actions: &'a mut Vec<Action>) -> Context<'a> {
-        Context::new(node(0), Time::new(hw), hw, actions)
+    fn ctx_at<'a>(hw: f64, actions: &'a mut Vec<Action>, rng: &'a mut StdRng) -> Context<'a> {
+        Context::new(node(0), Time::new(hw), hw, actions, rng)
     }
 
     #[test]
     fn starts_with_tick_timer() {
         let mut n = GradientNode::new(params());
         let mut actions = Vec::new();
-        n.on_start(&mut ctx_at(0.0, &mut actions));
+        let mut rng = StdRng::seed_from_u64(0);
+        n.on_start(&mut ctx_at(0.0, &mut actions, &mut rng));
         assert_eq!(
             actions,
             vec![Action::SetTimer {
@@ -297,8 +301,9 @@ mod tests {
     fn receive_installs_neighbor_and_estimate() {
         let mut n = GradientNode::new(params());
         let mut actions = Vec::new();
+        let mut rng = StdRng::seed_from_u64(0);
         n.on_receive(
-            &mut ctx_at(10.0, &mut actions),
+            &mut ctx_at(10.0, &mut actions, &mut rng),
             node(1),
             Message {
                 logical: 7.0,
@@ -329,9 +334,10 @@ mod tests {
         let p = params();
         let mut n = GradientNode::new(p);
         let mut actions = Vec::new();
+        let mut rng = StdRng::seed_from_u64(0);
         // Neighbor joins at hw = 0 with estimate 0.
         n.on_receive(
-            &mut ctx_at(0.0, &mut actions),
+            &mut ctx_at(0.0, &mut actions, &mut rng),
             node(1),
             Message {
                 logical: 0.0,
@@ -342,7 +348,7 @@ mod tests {
         // another neighbor; L may only rise to est(v) + B0.
         let hw = p.budget_settle_age() + 10.0;
         n.on_receive(
-            &mut ctx_at(hw, &mut actions),
+            &mut ctx_at(hw, &mut actions, &mut rng),
             node(2),
             Message {
                 logical: 0.0,
@@ -366,8 +372,9 @@ mod tests {
     fn adjust_without_neighbors_jumps_to_lmax() {
         let mut n = GradientNode::new(params());
         let mut actions = Vec::new();
+        let mut rng = StdRng::seed_from_u64(0);
         n.on_receive(
-            &mut ctx_at(5.0, &mut actions),
+            &mut ctx_at(5.0, &mut actions, &mut rng),
             node(1),
             Message {
                 logical: 3.0,
@@ -376,7 +383,10 @@ mod tests {
         );
         // Remove the neighbor via lost timer; AdjustClock then has no
         // Γ-constraint and L jumps to Lmax.
-        n.on_alarm(&mut ctx_at(6.0, &mut actions), TimerKind::Lost(node(1)));
+        n.on_alarm(
+            &mut ctx_at(6.0, &mut actions, &mut rng),
+            TimerKind::Lost(node(1)),
+        );
         assert_eq!(n.gamma().count(), 0);
         assert_eq!(n.logical_clock(6.0), n.max_estimate(6.0));
     }
@@ -385,8 +395,9 @@ mod tests {
     fn discover_add_sends_current_state() {
         let mut n = GradientNode::new(params());
         let mut actions = Vec::new();
+        let mut rng = StdRng::seed_from_u64(0);
         n.on_discover(
-            &mut ctx_at(4.0, &mut actions),
+            &mut ctx_at(4.0, &mut actions, &mut rng),
             LinkChange {
                 kind: LinkChangeKind::Added,
                 edge: Edge::between(0, 3),
@@ -403,8 +414,9 @@ mod tests {
     fn discover_remove_clears_both_sets() {
         let mut n = GradientNode::new(params());
         let mut actions = Vec::new();
+        let mut rng = StdRng::seed_from_u64(0);
         n.on_receive(
-            &mut ctx_at(1.0, &mut actions),
+            &mut ctx_at(1.0, &mut actions, &mut rng),
             node(2),
             Message {
                 logical: 1.0,
@@ -412,7 +424,7 @@ mod tests {
             },
         );
         n.on_discover(
-            &mut ctx_at(2.0, &mut actions),
+            &mut ctx_at(2.0, &mut actions, &mut rng),
             LinkChange {
                 kind: LinkChangeKind::Removed,
                 edge: Edge::between(0, 2),
@@ -426,9 +438,10 @@ mod tests {
     fn tick_broadcasts_to_upsilon_and_rearms() {
         let mut n = GradientNode::new(params());
         let mut actions = Vec::new();
+        let mut rng = StdRng::seed_from_u64(0);
         for i in 1..4 {
             n.on_discover(
-                &mut ctx_at(0.0, &mut actions),
+                &mut ctx_at(0.0, &mut actions, &mut rng),
                 LinkChange {
                     kind: LinkChangeKind::Added,
                     edge: Edge::between(0, i),
@@ -436,7 +449,7 @@ mod tests {
             );
         }
         actions.clear();
-        n.on_alarm(&mut ctx_at(1.0, &mut actions), TimerKind::Tick);
+        n.on_alarm(&mut ctx_at(1.0, &mut actions, &mut rng), TimerKind::Tick);
         let sends = actions
             .iter()
             .filter(|a| matches!(a, Action::Send { .. }))
@@ -456,8 +469,9 @@ mod tests {
         let p = params();
         let mut n = GradientNode::new(p);
         let mut actions = Vec::new();
+        let mut rng = StdRng::seed_from_u64(0);
         n.on_receive(
-            &mut ctx_at(0.0, &mut actions),
+            &mut ctx_at(0.0, &mut actions, &mut rng),
             node(1),
             Message {
                 logical: 0.0,
@@ -466,9 +480,12 @@ mod tests {
         );
         // Drop v from Γ via the lost alarm, then hear from it again much
         // later: C^v_u must be re-stamped (budget restarts from B(0)).
-        n.on_alarm(&mut ctx_at(50.0, &mut actions), TimerKind::Lost(node(1)));
+        n.on_alarm(
+            &mut ctx_at(50.0, &mut actions, &mut rng),
+            TimerKind::Lost(node(1)),
+        );
         n.on_receive(
-            &mut ctx_at(100.0, &mut actions),
+            &mut ctx_at(100.0, &mut actions, &mut rng),
             node(1),
             Message {
                 logical: 90.0,
@@ -488,9 +505,10 @@ mod tests {
         assert_eq!(n.weight_of(node(1)), 0.25);
         assert_eq!(n.weight_of(node(3)), 1.0); // default
         let mut actions = Vec::new();
+        let mut rng = StdRng::seed_from_u64(0);
         for v in [1, 2] {
             n.on_receive(
-                &mut ctx_at(0.0, &mut actions),
+                &mut ctx_at(0.0, &mut actions, &mut rng),
                 node(v),
                 Message {
                     logical: 0.0,
@@ -507,7 +525,7 @@ mod tests {
         // At age 0 both budgets equal the (huge) fresh-edge value.
         let mut n2 = GradientNode::with_weights(p, [(node(1), 0.25)].into_iter().collect());
         n2.on_receive(
-            &mut ctx_at(0.0, &mut actions),
+            &mut ctx_at(0.0, &mut actions, &mut rng),
             node(1),
             Message {
                 logical: 0.0,
@@ -527,8 +545,9 @@ mod tests {
     fn logical_clock_never_decreases_and_tracks_hw_between_events() {
         let mut n = GradientNode::new(params());
         let mut actions = Vec::new();
+        let mut rng = StdRng::seed_from_u64(0);
         n.on_receive(
-            &mut ctx_at(1.0, &mut actions),
+            &mut ctx_at(1.0, &mut actions, &mut rng),
             node(1),
             Message {
                 logical: 0.5,
@@ -540,7 +559,7 @@ mod tests {
         assert_eq!(n.logical_clock(3.5), l1 + 2.5);
         // A later event can only raise it further.
         n.on_receive(
-            &mut ctx_at(4.0, &mut actions),
+            &mut ctx_at(4.0, &mut actions, &mut rng),
             node(1),
             Message {
                 logical: 2.0,

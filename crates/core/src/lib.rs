@@ -41,8 +41,8 @@
 //!   algorithm of Locher–Wattenhofer applied blindly to a dynamic graph).
 //! * [`invariants`] — runtime checkers for Section 3.3's validity
 //!   conditions and the skew bounds of Theorems 6.9 and 6.12.
-//! * [`neighbors`] — flat, dense-indexed containers for the per-neighbor
-//!   hot state ([`FlatMap`], [`IdSet`]).
+//! * [`neighbors`] — flat sorted containers for the per-neighbor hot
+//!   state ([`FlatMap`], [`IdSet`]), `O(degree)` memory per node.
 //!
 //! # Example
 //!

@@ -4,30 +4,32 @@
 //! `C^v_u`, edge weights) on **every** receive, tick and discovery — it is
 //! the algorithm's hot data. The original implementation kept it in
 //! `BTreeMap`/`BTreeSet`, which costs a pointer chase per node visited;
-//! these containers store the same state as two flat arrays:
+//! these containers store the same state as one compact entry array kept
+//! **sorted by [`NodeId`]**:
 //!
-//! * a **dense position index** `pos`, indexed directly by `NodeId`
-//!   (`pos[v] == u32::MAX` means absent) — O(1) membership and lookup,
-//! * a **compact entry array** kept sorted by `NodeId` — cache-linear
-//!   iteration in exactly the order the old tree maps iterated, so
-//!   deterministic traces (message emission order, blocking-neighbor
-//!   selection) are preserved bit-for-bit.
+//! * membership and lookup are a binary search over the compact array —
+//!   `O(log degree)`, and degree is tiny for the bounded-degree topologies
+//!   the experiments run,
+//! * iteration is cache-linear in ascending node id — exactly the order
+//!   the old tree maps iterated, so deterministic traces (message emission
+//!   order, blocking-neighbor selection) are preserved bit-for-bit,
+//! * memory is `O(degree)` per node. An earlier revision kept an auxiliary
+//!   dense `pos` index (`O(max neighbor id)` per node) for `O(1)` lookup;
+//!   at the `n = 65 536` scale of E11 that costs `O(n²)` bytes across the
+//!   network — gigabytes — for a lookup that a two-probe binary search
+//!   over a few cache-resident entries already wins. The dense index is
+//!   gone.
 //!
-//! Inserts and removals shift the compact tail and patch the dense index —
-//! O(degree), which is tiny for the bounded-degree topologies the
-//! experiments run — while the per-event read path (the actual hot loop)
-//! becomes branch-predictable array walking.
+//! Inserts and removals shift the compact tail — `O(degree)` — while the
+//! per-event read path (the actual hot loop) stays branch-predictable
+//! array walking.
 
 use gcs_net::NodeId;
 
-const ABSENT: u32 = u32::MAX;
-
-/// A map from [`NodeId`] to `T` backed by a dense index plus a sorted
-/// compact entry array. Iteration order is ascending node id.
+/// A map from [`NodeId`] to `T` backed by a compact entry array sorted by
+/// node id. Iteration order is ascending node id.
 #[derive(Clone, Debug, Default)]
 pub struct FlatMap<T> {
-    /// Dense: `pos[v.index()]` is the entry slot of `v`, or `ABSENT`.
-    pos: Vec<u32>,
     /// Compact, sorted by node id.
     entries: Vec<(NodeId, T)>,
 }
@@ -36,17 +38,13 @@ impl<T> FlatMap<T> {
     /// An empty map.
     pub fn new() -> Self {
         FlatMap {
-            pos: Vec::new(),
             entries: Vec::new(),
         }
     }
 
     #[inline]
     fn slot(&self, v: NodeId) -> Option<usize> {
-        match self.pos.get(v.index()) {
-            Some(&p) if p != ABSENT => Some(p as usize),
-            _ => None,
-        }
+        self.entries.binary_search_by_key(&v, |e| e.0).ok()
     }
 
     /// Number of entries.
@@ -84,32 +82,19 @@ impl<T> FlatMap<T> {
 
     /// Inserts or replaces the entry for `v`; returns the previous value.
     pub fn insert(&mut self, v: NodeId, value: T) -> Option<T> {
-        if let Some(i) = self.slot(v) {
-            return Some(std::mem::replace(&mut self.entries[i].1, value));
+        match self.entries.binary_search_by_key(&v, |e| e.0) {
+            Ok(i) => Some(std::mem::replace(&mut self.entries[i].1, value)),
+            Err(at) => {
+                self.entries.insert(at, (v, value));
+                None
+            }
         }
-        if self.pos.len() <= v.index() {
-            self.pos.resize(v.index() + 1, ABSENT);
-        }
-        let at = self
-            .entries
-            .binary_search_by_key(&v, |e| e.0)
-            .expect_err("dense index said absent");
-        self.entries.insert(at, (v, value));
-        // Re-point every shifted entry (including the new one).
-        for (i, (w, _)) in self.entries.iter().enumerate().skip(at) {
-            self.pos[w.index()] = i as u32;
-        }
-        None
     }
 
     /// Removes the entry for `v`, returning it if present.
     pub fn remove(&mut self, v: NodeId) -> Option<T> {
         let i = self.slot(v)?;
         let (_, value) = self.entries.remove(i);
-        self.pos[v.index()] = ABSENT;
-        for (j, (w, _)) in self.entries.iter().enumerate().skip(i) {
-            self.pos[w.index()] = j as u32;
-        }
         Some(value)
     }
 
@@ -126,29 +111,17 @@ impl<T> FlatMap<T> {
     }
 }
 
-/// A set of [`NodeId`]s with the same dense-plus-compact layout as
+/// A set of [`NodeId`]s with the same sorted compact layout as
 /// [`FlatMap`]. Iteration order is ascending node id.
 #[derive(Clone, Debug, Default)]
 pub struct IdSet {
-    pos: Vec<u32>,
     items: Vec<NodeId>,
 }
 
 impl IdSet {
     /// An empty set.
     pub fn new() -> Self {
-        IdSet {
-            pos: Vec::new(),
-            items: Vec::new(),
-        }
-    }
-
-    #[inline]
-    fn slot(&self, v: NodeId) -> Option<usize> {
-        match self.pos.get(v.index()) {
-            Some(&p) if p != ABSENT => Some(p as usize),
-            _ => None,
-        }
+        IdSet { items: Vec::new() }
     }
 
     /// Number of members.
@@ -166,39 +139,29 @@ impl IdSet {
     /// True if `v` is a member.
     #[inline]
     pub fn contains(&self, v: NodeId) -> bool {
-        self.slot(v).is_some()
+        self.items.binary_search(&v).is_ok()
     }
 
     /// Adds `v`; returns true if it was newly inserted.
     pub fn insert(&mut self, v: NodeId) -> bool {
-        if self.contains(v) {
-            return false;
+        match self.items.binary_search(&v) {
+            Ok(_) => false,
+            Err(at) => {
+                self.items.insert(at, v);
+                true
+            }
         }
-        if self.pos.len() <= v.index() {
-            self.pos.resize(v.index() + 1, ABSENT);
-        }
-        let at = self
-            .items
-            .binary_search(&v)
-            .expect_err("dense index said absent");
-        self.items.insert(at, v);
-        for (i, w) in self.items.iter().enumerate().skip(at) {
-            self.pos[w.index()] = i as u32;
-        }
-        true
     }
 
     /// Removes `v`; returns true if it was a member.
     pub fn remove(&mut self, v: NodeId) -> bool {
-        let Some(i) = self.slot(v) else {
-            return false;
-        };
-        self.items.remove(i);
-        self.pos[v.index()] = ABSENT;
-        for (j, w) in self.items.iter().enumerate().skip(i) {
-            self.pos[w.index()] = j as u32;
+        match self.items.binary_search(&v) {
+            Ok(i) => {
+                self.items.remove(i);
+                true
+            }
+            Err(_) => false,
         }
-        true
     }
 
     /// Members in ascending node-id order.
@@ -255,7 +218,7 @@ mod tests {
     }
 
     #[test]
-    fn map_dense_index_survives_shifts() {
+    fn map_survives_shifting_inserts_and_removals() {
         // Insert in descending order (worst shifting), then remove from the
         // middle and verify every remaining lookup.
         let mut m = FlatMap::new();
@@ -270,6 +233,17 @@ mod tests {
             assert_eq!(m.get(node(i)).copied(), expect, "id {i}");
         }
         assert_eq!(m.len(), 17);
+    }
+
+    #[test]
+    fn map_memory_is_degree_bound_for_huge_ids() {
+        // A node whose only neighbor has a huge id must not allocate
+        // proportionally to that id (the n = 65k scale requirement).
+        let mut m = FlatMap::new();
+        m.insert(node(65_535), 1u8);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get(node(65_535)), Some(&1));
+        assert_eq!(m.get(node(65_534)), None);
     }
 
     #[test]

@@ -59,8 +59,10 @@ fn params() -> AlgoParams {
 }
 
 fn apply(n: &mut GradientNode, hw: f64, ev: &Ev, actions: &mut Vec<Action>) {
+    use rand::{rngs::StdRng, SeedableRng};
     actions.clear();
-    let mut ctx = Context::new(node(0), Time::new(hw), hw, actions);
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut ctx = Context::new(node(0), Time::new(hw), hw, actions, &mut rng);
     match *ev {
         Ev::Receive {
             from,

@@ -57,4 +57,4 @@ pub mod schedule;
 
 pub use dynamic::DynamicGraph;
 pub use ids::{node, Edge, NodeId};
-pub use schedule::{TopologyEvent, TopologyEventKind, TopologySchedule};
+pub use schedule::{ShardView, TopologyEvent, TopologyEventKind, TopologySchedule};

@@ -4,12 +4,20 @@
 //! discover(add…)`, `when discover(remove…)`, `when alarm(lost(v))`, `when
 //! receive(…)`, `when alarm(tick)`). [`Automaton`] mirrors that structure.
 //! Handlers receive a [`Context`] through which they can send messages, set
-//! and cancel subjective timers, and read their own hardware clock; the
-//! engine executes the collected [`Action`]s after the handler returns.
+//! and cancel subjective timers, read their own hardware clock, and draw
+//! from their node's private random stream; the engine executes the
+//! collected [`Action`]s after the handler returns.
+//!
+//! Automata are `Send`: the engine dispatches same-instant events to
+//! *different* nodes across worker threads (see [`crate::engine`]), so a
+//! node's state must be movable to the worker that owns its shard. No
+//! `Sync` is required — every node is owned by exactly one shard and only
+//! its owner ever touches it.
 
 use crate::event::{LinkChange, Message, TimerKind};
 use gcs_clocks::Time;
 use gcs_net::NodeId;
+use rand::rngs::StdRng;
 
 /// Side effects a handler can request.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -49,16 +57,26 @@ pub struct Context<'a> {
     /// This node's hardware clock reading at `now`.
     pub hw: f64,
     actions: &'a mut Vec<Action>,
+    /// The node's private random stream (see [`Context::rng`]).
+    rng: &'a mut StdRng,
 }
 
 impl<'a> Context<'a> {
-    /// Creates a context writing into `actions` (engine-internal).
-    pub fn new(node: NodeId, now: Time, hw: f64, actions: &'a mut Vec<Action>) -> Self {
+    /// Creates a context writing into `actions`, drawing randomness from
+    /// `rng` (engine-internal; tests construct one directly).
+    pub fn new(
+        node: NodeId,
+        now: Time,
+        hw: f64,
+        actions: &'a mut Vec<Action>,
+        rng: &'a mut StdRng,
+    ) -> Self {
         Context {
             node,
             now,
             hw,
             actions,
+            rng,
         }
     }
 
@@ -80,6 +98,17 @@ impl<'a> Context<'a> {
     pub fn cancel_timer(&mut self, kind: TimerKind) {
         self.actions.push(Action::CancelTimer { kind });
     }
+
+    /// This node's private random stream.
+    ///
+    /// The stream is **shard-local**: it is seeded from `(simulation seed,
+    /// node id)` and consumed only while this node's handlers run, in the
+    /// node's own event order. Draws therefore never depend on how events
+    /// at *other* nodes interleave — which is what keeps randomized
+    /// protocols bit-identical across engine thread counts.
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
 }
 
 /// An event-driven protocol instance running at one node.
@@ -88,7 +117,10 @@ impl<'a> Context<'a> {
 /// node's hardware rate between events (see
 /// [`ClockVar`](gcs_clocks::ClockVar)); the engine passes the current
 /// hardware reading `hw` to the query methods.
-pub trait Automaton {
+///
+/// The `Send` supertrait lets the engine hand the node to the worker
+/// thread owning its shard (nodes never run on two threads at once).
+pub trait Automaton: Send {
     /// Called once at time 0, before any discovery of the initial edges.
     fn on_start(&mut self, ctx: &mut Context<'_>);
 
@@ -115,11 +147,13 @@ pub trait Automaton {
 mod tests {
     use super::*;
     use gcs_net::node;
+    use rand::{Rng, SeedableRng};
 
     #[test]
     fn context_collects_actions_in_order() {
         let mut actions = Vec::new();
-        let mut ctx = Context::new(node(0), Time::ZERO, 0.0, &mut actions);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut ctx = Context::new(node(0), Time::ZERO, 0.0, &mut actions, &mut rng);
         ctx.send(
             node(1),
             Message {
@@ -147,10 +181,21 @@ mod tests {
     }
 
     #[test]
+    fn context_rng_draws_from_the_node_stream() {
+        let mut actions = Vec::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut reference = StdRng::seed_from_u64(7);
+        let mut ctx = Context::new(node(0), Time::ZERO, 0.0, &mut actions, &mut rng);
+        let drawn: f64 = ctx.rng().gen_range(0.0..1.0);
+        assert_eq!(drawn, reference.gen_range(0.0..1.0));
+    }
+
+    #[test]
     #[should_panic(expected = ">= 0")]
     fn negative_timer_rejected() {
         let mut actions = Vec::new();
-        let mut ctx = Context::new(node(0), Time::ZERO, 0.0, &mut actions);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut ctx = Context::new(node(0), Time::ZERO, 0.0, &mut actions, &mut rng);
         ctx.set_timer(-1.0, TimerKind::Tick);
     }
 }

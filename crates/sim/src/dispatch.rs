@@ -1,0 +1,290 @@
+//! The deterministic dispatch core shared by every execution mode.
+//!
+//! One function, [`run_event`], embodies the engine's event semantics.
+//! It is called
+//!
+//! * from worker threads during parallel segments (each worker owns one
+//!   shard and processes that shard's slice of the segment in event-seq
+//!   order),
+//! * inline on the serial fast path (small segments, `threads = 1`),
+//! * and for single steps ([`Simulator::step`](crate::Simulator::step)).
+//!
+//! ## Why all three modes produce bit-identical traces
+//!
+//! Within a segment (a run of same-instant events between topology
+//! barriers), a handler can only observe
+//!
+//! 1. its own node's state (automaton, timers, discovery watermarks, FIFO
+//!    horizons, RNG stream) — owner-exclusive, mutated in the node's own
+//!    event-seq order regardless of which thread runs it,
+//! 2. the canonical edge state — read-only inside a segment (only
+//!    topology events write it, and they are barriers),
+//! 3. the hardware clocks — immutable.
+//!
+//! Everything a handler *emits* — message deliveries, alarms, drop
+//! notifications — is buffered as an [`Effect`] tagged with the
+//! triggering event's queue sequence number and the emission index within
+//! that event. After the segment, the engine sorts all effects by
+//! `(trigger seq, emission idx)` and pushes them into the wheel in that
+//! canonical order, so new events receive the same sequence numbers (and
+//! therefore the same tie-break order) no matter how many workers ran or
+//! how their execution interleaved. Randomness cannot break ties either:
+//! every draw comes from the consuming node's private stream
+//! (see [`Context::rng`](crate::Context::rng)), never from a shared one.
+
+use crate::automaton::{Action, Automaton, Context};
+use crate::delay::DelayStrategy;
+use crate::engine::DiscoveryDelay;
+use crate::event::{EventPayload, LinkChange, LinkChangeKind, QueuedEvent};
+use crate::model::ModelParams;
+use crate::shard::{EdgeStore, Shard};
+use gcs_clocks::{HardwareClock, Time};
+use gcs_net::{Edge, NodeId};
+
+/// Segments shorter than this run inline on the coordinating thread: the
+/// scoped-thread fork/join overhead only pays for itself on wide
+/// same-instant batches (broadcast fan-in at large `n`). The threshold
+/// affects scheduling only — traces are identical either way.
+pub(crate) const PAR_MIN_EVENTS: usize = 64;
+
+/// A deferred engine effect: an event to enqueue once the segment's
+/// canonical merge runs.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Effect {
+    /// Queue sequence number of the triggering event.
+    pub seq: u64,
+    /// Emission index within the triggering event.
+    pub k: u32,
+    /// When the new event fires.
+    pub time: Time,
+    /// What it is.
+    pub payload: EventPayload,
+}
+
+/// The read-only world shared by every worker during one segment.
+#[derive(Clone, Copy)]
+pub(crate) struct DispatchCtx<'a> {
+    pub edges: &'a EdgeStore,
+    pub clocks: &'a [HardwareClock],
+    pub delay: &'a DelayStrategy,
+    pub discovery: &'a DiscoveryDelay,
+    pub params: ModelParams,
+    pub now: Time,
+    /// Monotone instant id for hardware-reading memoization.
+    pub instant: u64,
+    /// Number of shards (for the id → local-index mapping).
+    pub shard_count: usize,
+    /// Whether to record touched nodes for an attached observer.
+    pub observing: bool,
+}
+
+impl DispatchCtx<'_> {
+    /// The owner of an event — the node whose state it may mutate.
+    /// Topology events have no single owner; they are segment barriers and
+    /// never reach [`run_event`].
+    pub fn owner(payload: &EventPayload) -> NodeId {
+        match payload {
+            EventPayload::Deliver { to, .. } => *to,
+            EventPayload::Alarm { node, .. } => *node,
+            EventPayload::Discover { node, .. } => *node,
+            EventPayload::Topology { .. } => {
+                unreachable!("topology events are barriers, not dispatched")
+            }
+        }
+    }
+}
+
+/// Processes one shard's slice of a segment, in event-seq order.
+pub(crate) fn run_shard<A: Automaton>(ctx: &DispatchCtx<'_>, shard: &mut Shard<A>) {
+    let events = std::mem::take(&mut shard.events);
+    for ev in &events {
+        let owner = DispatchCtx::owner(&ev.payload);
+        run_event(ctx, shard, owner, ev);
+    }
+    shard.events = events;
+    shard.events.clear();
+}
+
+/// Processes a single non-topology event against its owner's shard.
+pub(crate) fn run_event<A: Automaton>(
+    ctx: &DispatchCtx<'_>,
+    shard: &mut Shard<A>,
+    owner: NodeId,
+    ev: &QueuedEvent,
+) {
+    let local = owner.index() / ctx.shard_count;
+    match ev.payload {
+        EventPayload::Deliver {
+            from,
+            to,
+            msg,
+            epoch,
+            ..
+        } => {
+            let edge = Edge::new(from, to);
+            let state = ctx.edges.find(edge);
+            if state.map(|e| e.live && e.epoch == epoch).unwrap_or(false) {
+                shard.stats.messages_delivered += 1;
+                run_handler(ctx, shard, owner, local, ev.seq, |a, c| {
+                    a.on_receive(c, from, msg)
+                });
+            } else {
+                // Dropped in flight: the model obliges the environment to
+                // tell the sender within D of the send; we tell it now
+                // (≤ send + T).
+                shard.stats.dropped_in_flight += 1;
+                let version = state.map(|e| e.last_remove_version).unwrap_or(0);
+                shard.effects.push(Effect {
+                    seq: ev.seq,
+                    k: 0,
+                    time: ctx.now,
+                    payload: EventPayload::Discover {
+                        node: from,
+                        change: LinkChange {
+                            kind: LinkChangeKind::Removed,
+                            edge,
+                        },
+                        version,
+                    },
+                });
+            }
+        }
+        EventPayload::Alarm {
+            kind, generation, ..
+        } => {
+            let loc = &mut shard.locals[local];
+            if loc.timers.get(kind) != Some(generation) {
+                shard.stats.alarms_stale += 1;
+                return;
+            }
+            loc.timers.disarm(kind);
+            shard.stats.alarms_fired += 1;
+            run_handler(ctx, shard, owner, local, ev.seq, |a, c| a.on_alarm(c, kind));
+        }
+        EventPayload::Discover {
+            change, version, ..
+        } => {
+            let other = change.edge.other(owner);
+            let peer = shard.locals[local].peer(other);
+            if version <= peer.discovered_version {
+                shard.stats.discovers_stale += 1;
+                return;
+            }
+            peer.discovered_version = version;
+            shard.stats.discovers_delivered += 1;
+            run_handler(ctx, shard, owner, local, ev.seq, |a, c| {
+                a.on_discover(c, change)
+            });
+        }
+        EventPayload::Topology { .. } => {
+            unreachable!("topology events are applied serially between segments")
+        }
+    }
+}
+
+/// Runs one handler on its owner and turns the produced [`Action`]s into
+/// effects, applying owner-local side effects (timer generations, FIFO
+/// horizons, RNG draws) immediately so later events of the *same* node in
+/// the same segment observe them — exactly as the per-event engine did.
+pub(crate) fn run_handler<A: Automaton>(
+    ctx: &DispatchCtx<'_>,
+    shard: &mut Shard<A>,
+    u: NodeId,
+    local: usize,
+    seq: u64,
+    f: impl FnOnce(&mut A, &mut Context<'_>),
+) {
+    let Shard {
+        nodes,
+        locals,
+        effects,
+        stats,
+        touched,
+        actions,
+        ..
+    } = shard;
+    let loc = &mut locals[local];
+    // One hardware-clock read per node per instant.
+    if loc.hw_instant != ctx.instant {
+        loc.hw = ctx.clocks[u.index()].read(ctx.now);
+        loc.hw_instant = ctx.instant;
+    }
+    let hw = loc.hw;
+    actions.clear();
+    {
+        let mut c = Context::new(u, ctx.now, hw, actions, &mut loc.rng);
+        f(&mut nodes[local], &mut c);
+    }
+    if ctx.observing {
+        touched.push(u);
+    }
+    let mut k = 0u32;
+    for action in actions.drain(..) {
+        match action {
+            Action::Send { to, msg } => {
+                stats.messages_sent += 1;
+                let edge = Edge::new(u, to);
+                let state = ctx.edges.find(edge);
+                if state.map(|e| e.live).unwrap_or(false) {
+                    let epoch = state.expect("live edge has an entry").epoch;
+                    let d = ctx
+                        .delay
+                        .delay(edge, u, ctx.now, ctx.params.t, &mut loc.rng);
+                    let mut deliver_at = ctx.now + gcs_clocks::Duration::new(d);
+                    // FIFO per directed link: never deliver before an
+                    // earlier message.
+                    let peer = loc.peer(to);
+                    deliver_at = deliver_at.max(peer.fifo_out);
+                    peer.fifo_out = deliver_at;
+                    effects.push(Effect {
+                        seq,
+                        k,
+                        time: deliver_at,
+                        payload: EventPayload::Deliver {
+                            from: u,
+                            to,
+                            msg,
+                            epoch,
+                        },
+                    });
+                } else {
+                    // The edge does not exist: the message is not delivered
+                    // and the sender discovers that within D.
+                    stats.dropped_no_edge += 1;
+                    let version = state.map(|e| e.last_remove_version).unwrap_or(0);
+                    let lat = ctx.discovery.sample(ctx.params.d, &mut loc.rng);
+                    effects.push(Effect {
+                        seq,
+                        k,
+                        time: ctx.now + gcs_clocks::Duration::new(lat),
+                        payload: EventPayload::Discover {
+                            node: u,
+                            change: LinkChange {
+                                kind: LinkChangeKind::Removed,
+                                edge,
+                            },
+                            version,
+                        },
+                    });
+                }
+                k += 1;
+            }
+            Action::SetTimer { delta, kind } => {
+                let generation = loc.timers.arm(kind);
+                let fire = ctx.clocks[u.index()].fire_time(ctx.now, delta);
+                effects.push(Effect {
+                    seq,
+                    k,
+                    time: fire,
+                    payload: EventPayload::Alarm {
+                        node: u,
+                        kind,
+                        generation,
+                    },
+                });
+                k += 1;
+            }
+            Action::CancelTimer { kind } => loc.timers.cancel(kind),
+        }
+    }
+}

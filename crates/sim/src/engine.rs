@@ -1,4 +1,4 @@
-//! The batched, cache-friendly discrete-event simulation engine.
+//! The deterministic parallel discrete-event simulation engine.
 //!
 //! [`Simulator`] replays a [`TopologySchedule`] against a set of protocol
 //! [`Automaton`]s, enforcing the model guarantees of Section 3.2:
@@ -20,34 +20,30 @@
 //!   clock has advanced by exactly `Δt`, computed by exact inversion of the
 //!   node's rate schedule.
 //!
-//! ## The hot path, after the batched rewrite
+//! ## The hot path: instants, segments, shards
 //!
-//! The original engine (preserved verbatim as [`crate::legacy`]) popped one
-//! event at a time from a global `BinaryHeap` and looked up per-edge state
-//! in `BTreeMap`s and a SipHash `HashMap` per directed link. This engine
-//! keeps the exact same event *semantics and order* — traces are
-//! bit-identical, see `crates/bench/tests/engine_equivalence.rs` — but
-//! restructures the data layout around three ideas:
-//!
-//! 1. **Time wheel.** Events live in a bucketed calendar queue
-//!    ([`TimeWheel`]) keyed on the delay bound `T` (bucket width `T/4`).
-//!    Most pushes are an append to a small contiguous bucket instead of a
-//!    `log m` sift through a heap spanning the whole future (including the
-//!    pre-scheduled churn log).
-//! 2. **Batched delivery.** Messages arriving at the same node at the same
-//!    instant (broadcast fan-in is the common case under `Max` delays) are
-//!    dispatched in one batch: one automaton borrow, one hardware-clock
-//!    read, consecutive handler runs.
-//! 3. **Flat link state.** Epochs, change versions, per-endpoint discovery
-//!    watermarks and FIFO horizons live in per-node adjacency vectors
-//!    sorted by neighbor id (`AdjEntry`), indexed by `NodeId` — a couple
-//!    of cache lines per node instead of pointer-chasing tree maps. The
-//!    canonical copy of undirected edge state sits on the lower endpoint.
+//! Events live in a [`TimeWheel`] calendar queue keyed on the delay bound
+//! `T`. [`Simulator::run_until`] drains the wheel one **instant** (all
+//! events at the earliest pending time) at a time. Within an instant,
+//! **topology events are barriers**: they mutate the canonical edge state
+//! every delivery reads, so the instant is split into *segments* at each
+//! topology event and the segments run in queue order. All events inside a
+//! segment target node-exclusive state, so a segment is dispatched
+//! **sharded by owning [`NodeId`]** — round-robin over
+//! [`SimBuilder::threads`] worker shards, run on `std::thread::scope`
+//! workers when the segment is wide enough (the `dispatch` module) and
+//! inline otherwise. Handler-emitted actions are buffered and merged back
+//! into the wheel in the canonical `(triggering event seq, emission
+//! index)` order, and every random draw comes from the consuming node's
+//! private stream, so the trace is **bit-identical for every thread
+//! count** — pinned by `crates/bench/tests/determinism.rs`.
 
-use crate::automaton::{Action, Automaton, Context};
+use crate::automaton::Automaton;
 use crate::delay::DelayStrategy;
-use crate::event::{EventPayload, LinkChange, LinkChangeKind, Message, TimerKind};
+use crate::dispatch::{self, DispatchCtx, Effect, PAR_MIN_EVENTS};
+use crate::event::{EventPayload, LinkChange, LinkChangeKind, QueuedEvent};
 use crate::model::ModelParams;
+use crate::shard::{EdgeStore, Shards};
 use crate::stats::SimStats;
 use crate::wheel::TimeWheel;
 use gcs_clocks::{DriftModel, HardwareClock, Time};
@@ -56,6 +52,24 @@ use gcs_net::{DynamicGraph, Edge, NodeId, TopologySchedule};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
+
+/// Environment variable consulted for the default worker count, so a CI
+/// matrix (or an operator) can exercise the parallel path without touching
+/// code: `GCS_SIM_THREADS=8 cargo test`.
+pub const THREADS_ENV: &str = "GCS_SIM_THREADS";
+
+/// Hard cap on worker shards — far above any sensible host, it only guards
+/// against a malformed environment value allocating absurd shard counts.
+const MAX_THREADS: usize = 64;
+
+fn threads_from_env() -> usize {
+    std::env::var(THREADS_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&t| t >= 1)
+        .map(|t| t.min(MAX_THREADS))
+        .unwrap_or(1)
+}
 
 /// How long the environment waits before telling an endpoint about a
 /// topology change. All variants are validated against the bound `D`.
@@ -92,120 +106,6 @@ impl DiscoveryDelay {
     }
 }
 
-/// Per-neighbor link state, stored flat in each node's adjacency vector
-/// (sorted by `neighbor`). Entries are created on first contact and are
-/// sticky: churn toggles fields instead of reshaping the vector.
-#[derive(Clone, Copy, Debug)]
-struct AdjEntry {
-    /// The other endpoint.
-    neighbor: NodeId,
-    /// Mirror of `graph.contains(edge)` — canonical on the lower endpoint.
-    live: bool,
-    /// Incremented when the edge is (re-)added — canonical on the lower
-    /// endpoint. Deliveries carry the epoch they were sent in.
-    epoch: u64,
-    /// Version of the most recent removal — canonical on the lower
-    /// endpoint.
-    last_remove_version: u64,
-    /// Highest change version *this* node has been told about (per
-    /// endpoint, not canonical).
-    discovered_version: u64,
-    /// Latest delivery already scheduled from this node to `neighbor`
-    /// (FIFO enforcement for the directed link; per endpoint).
-    fifo_out: Time,
-}
-
-impl AdjEntry {
-    fn new(neighbor: NodeId) -> Self {
-        AdjEntry {
-            neighbor,
-            live: false,
-            epoch: 0,
-            last_remove_version: 0,
-            discovered_version: 0,
-            fifo_out: Time::ZERO,
-        }
-    }
-}
-
-/// One node's adjacency vector, sorted by neighbor id.
-#[derive(Clone, Debug, Default)]
-struct Links {
-    adj: Vec<AdjEntry>,
-}
-
-impl Links {
-    #[inline]
-    fn find(&self, v: NodeId) -> Option<&AdjEntry> {
-        self.adj
-            .binary_search_by_key(&v, |e| e.neighbor)
-            .ok()
-            .map(|i| &self.adj[i])
-    }
-
-    #[inline]
-    fn entry(&mut self, v: NodeId) -> &mut AdjEntry {
-        match self.adj.binary_search_by_key(&v, |e| e.neighbor) {
-            Ok(i) => &mut self.adj[i],
-            Err(i) => {
-                self.adj.insert(i, AdjEntry::new(v));
-                &mut self.adj[i]
-            }
-        }
-    }
-}
-
-/// One node's armed timers, sorted by kind. Mirrors the legacy engine's
-/// `HashMap<TimerKind, u64>` exactly: an *armed* timer is a present entry
-/// whose generation must match the alarm's; cancelling bumps the
-/// generation but keeps the entry; firing removes it.
-#[derive(Clone, Debug, Default)]
-struct TimerSlots {
-    v: Vec<(TimerKind, u64)>,
-}
-
-impl TimerSlots {
-    #[inline]
-    fn get(&self, kind: TimerKind) -> Option<u64> {
-        self.v
-            .binary_search_by_key(&kind, |e| e.0)
-            .ok()
-            .map(|i| self.v[i].1)
-    }
-
-    /// `set_timer`: bump the generation (inserting at 0 first) and return
-    /// the new value.
-    #[inline]
-    fn arm(&mut self, kind: TimerKind) -> u64 {
-        match self.v.binary_search_by_key(&kind, |e| e.0) {
-            Ok(i) => {
-                self.v[i].1 = self.v[i].1.wrapping_add(1);
-                self.v[i].1
-            }
-            Err(i) => {
-                self.v.insert(i, (kind, 1));
-                1
-            }
-        }
-    }
-
-    /// `cancel`: bump the generation if armed (entry stays present).
-    #[inline]
-    fn cancel(&mut self, kind: TimerKind) {
-        if let Ok(i) = self.v.binary_search_by_key(&kind, |e| e.0) {
-            self.v[i].1 = self.v[i].1.wrapping_add(1);
-        }
-    }
-
-    /// A fired alarm consumes its entry.
-    #[inline]
-    fn disarm(&mut self, kind: TimerKind) {
-        if let Ok(i) = self.v.binary_search_by_key(&kind, |e| e.0) {
-            self.v.remove(i);
-        }
-    }
-}
-
 /// Builder for [`Simulator`].
 pub struct SimBuilder {
     params: ModelParams,
@@ -214,11 +114,13 @@ pub struct SimBuilder {
     delay: DelayStrategy,
     discovery: DiscoveryDelay,
     seed: u64,
+    threads: Option<usize>,
 }
 
 impl SimBuilder {
     /// Starts a builder with defaults: perfect clocks, maximum delays,
-    /// worst-case (`= D`) discovery latency, seed 0.
+    /// worst-case (`= D`) discovery latency, seed 0, worker count from
+    /// [`THREADS_ENV`] (1 when unset).
     pub fn new(params: ModelParams, schedule: TopologySchedule) -> Self {
         SimBuilder {
             discovery: DiscoveryDelay::Constant(params.d),
@@ -227,6 +129,7 @@ impl SimBuilder {
             clocks: None,
             delay: DelayStrategy::Max,
             seed: 0,
+            threads: None,
         }
     }
 
@@ -268,9 +171,19 @@ impl SimBuilder {
         self
     }
 
-    /// Seeds all randomness (delays, discovery jitter, drift generation).
+    /// Seeds all randomness (per-node streams, discovery jitter, drift
+    /// generation).
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Number of worker shards for parallel dispatch (≥ 1). The trace is
+    /// bit-identical for every value; only wall-clock time changes.
+    /// Overrides [`THREADS_ENV`].
+    pub fn threads(mut self, threads: usize) -> Self {
+        assert!(threads >= 1, "need at least one worker");
+        self.threads = Some(threads.min(MAX_THREADS));
         self
     }
 
@@ -279,24 +192,25 @@ impl SimBuilder {
     /// discovery of the initial edge set at time 0.
     pub fn build_with<A: Automaton>(self, make_node: impl FnMut(usize) -> A) -> Simulator<A> {
         let n = self.schedule.n();
+        let workers = self.threads.unwrap_or_else(threads_from_env).max(1);
+        let shard_count = workers.min(n.max(1));
         let clocks = self
             .clocks
             .unwrap_or_else(|| vec![HardwareClock::perfect(self.params.rho); n]);
-        let mut nodes: Vec<A> = (0..n).map(make_node).collect();
+        let nodes: Vec<A> = (0..n).map(make_node).collect();
+        let mut shards = Shards::build(shard_count, self.seed, nodes);
+        // Canonical edge state, pre-sized shard by shard from the
+        // schedule's per-shard views (content is shard-count independent).
+        let edges = EdgeStore::from_schedule(&self.schedule, shard_count);
 
         // Bucket width tied to the delay bound: most deliveries span a
         // handful of buckets, timers a few more.
         let mut queue = TimeWheel::new(self.params.t / 4.0);
         let mut graph = DynamicGraph::empty(n);
-        let mut links: Vec<Links> = vec![Links::default(); n];
-        let mut rng = StdRng::seed_from_u64(self.seed);
 
         // Initial edges exist (and are discovered) at time 0.
         for e in self.schedule.initial_edges() {
             graph.add_edge(e, Time::ZERO);
-            let entry = links[e.lo().index()].entry(e.hi());
-            entry.live = true;
-            entry.epoch = 1;
             for w in [e.lo(), e.hi()] {
                 queue.push(
                     Time::ZERO,
@@ -313,6 +227,8 @@ impl SimBuilder {
         }
 
         // Pre-schedule every topology event and its endpoint discoveries.
+        // Discovery latency is drawn from the *endpoint's* stream (in
+        // schedule order), so the draws are independent of thread count.
         // (Far-future events land in the wheel's overflow map.)
         let mut version_counter: BTreeMap<Edge, u64> =
             self.schedule.initial_edges().map(|e| (e, 1u64)).collect();
@@ -333,7 +249,9 @@ impl SimBuilder {
                 },
             );
             for w in [ev.edge.lo(), ev.edge.hi()] {
-                let lat = self.discovery.sample(self.params.d, &mut rng);
+                let lat = self
+                    .discovery
+                    .sample(self.params.d, &mut shards.local_mut(w).rng);
                 queue.push(
                     ev.time + gcs_clocks::Duration::new(lat),
                     EventPayload::Discover {
@@ -353,22 +271,34 @@ impl SimBuilder {
             clocks,
             graph,
             queue,
-            links,
-            timers: vec![TimerSlots::default(); n],
+            shards,
+            edges,
             delay: self.delay,
             discovery: self.discovery,
-            rng,
             now: Time::ZERO,
             stats: SimStats::default(),
-            actions_buf: Vec::new(),
-            nodes: Vec::new(),
+            workers,
+            os_workers: shard_count.min(
+                std::thread::available_parallelism()
+                    .map(|p| p.get())
+                    .unwrap_or(1)
+                    .max(2),
+            ),
+            instant: 0,
+            observing: false,
+            n,
+            round_buf: Vec::new(),
+            effects_buf: Vec::new(),
+            touched_buf: Vec::new(),
         };
         // `on_start` before any event (matching "at the beginning of the
-        // execution").
-        for (i, node) in nodes.iter_mut().enumerate() {
-            sim.dispatch_external(NodeId::from_index(i), node, |a, ctx| a.on_start(ctx));
+        // execution"), one node at a time in id order so emitted events are
+        // enqueued exactly as the per-event engine enqueued them.
+        for i in 0..n {
+            sim.instant += 1;
+            sim.dispatch_start(NodeId::from_index(i));
+            sim.merge_effects();
         }
-        sim.nodes = nodes.into_iter().map(Some).collect();
         sim
     }
 }
@@ -379,26 +309,37 @@ pub struct Simulator<A: Automaton> {
     clocks: Vec<HardwareClock>,
     graph: DynamicGraph,
     queue: TimeWheel,
-    /// Automata, lifted out of their slots while their handlers run.
-    nodes: Vec<Option<A>>,
-    /// Flat per-node link state (epochs, versions, discovery watermarks,
-    /// FIFO horizons).
-    links: Vec<Links>,
-    /// Per-node armed timers with generation counters; alarms with stale
-    /// generations are skipped.
-    timers: Vec<TimerSlots>,
+    /// Automata plus node-local engine state, sharded by owner.
+    shards: Shards<A>,
+    /// Canonical per-edge state (liveness, epochs, removal versions),
+    /// written only between segments.
+    edges: EdgeStore,
     delay: DelayStrategy,
     discovery: DiscoveryDelay,
-    rng: StdRng,
     now: Time,
     stats: SimStats,
-    actions_buf: Vec<Action>,
+    /// Configured worker count (shard count is `min(workers, n)`).
+    workers: usize,
+    /// OS threads actually spawned per wide segment:
+    /// `min(shard count, max(2, host parallelism))`. Caps oversubscription
+    /// when the host has fewer cores than configured shards; floored at 2
+    /// so the concurrent dispatch path runs on every host. Scheduling
+    /// only — traces never depend on it.
+    os_workers: usize,
+    /// Monotone instant id (hardware-reading memoization).
+    instant: u64,
+    /// Whether the current drain collects touched nodes for an observer.
+    observing: bool,
+    n: usize,
+    round_buf: Vec<QueuedEvent>,
+    effects_buf: Vec<Effect>,
+    touched_buf: Vec<NodeId>,
 }
 
 impl<A: Automaton> Simulator<A> {
     /// Number of nodes.
     pub fn n(&self) -> usize {
-        self.nodes.len()
+        self.n
     }
 
     /// Current simulation time (last processed event, or the target of the
@@ -410,6 +351,11 @@ impl<A: Automaton> Simulator<A> {
     /// Model parameters.
     pub fn params(&self) -> ModelParams {
         self.params
+    }
+
+    /// Configured worker count.
+    pub fn threads(&self) -> usize {
+        self.workers
     }
 
     /// Execution counters.
@@ -424,9 +370,7 @@ impl<A: Automaton> Simulator<A> {
 
     /// Immutable access to a node's automaton.
     pub fn node(&self, u: NodeId) -> &A {
-        self.nodes[u.index()]
-            .as_ref()
-            .expect("node queried from inside its own handler")
+        self.shards.node(u)
     }
 
     /// Hardware clock reading of `u` at the current time.
@@ -458,28 +402,71 @@ impl<A: Automaton> Simulator<A> {
 
     /// Runs until all events at time `≤ until` are processed, then advances
     /// the clock to `until` so state queries observe that instant.
-    ///
-    /// Same-instant deliveries to the same node are dispatched in batches
-    /// (one automaton borrow, one clock read); the handler invocation order
-    /// is still exactly the `(time, seq)` order of the per-event engine.
     pub fn run_until(&mut self, until: Time) {
+        self.observing = false;
+        self.drain(until, |_, _, _| {});
+    }
+
+    /// Like [`run_until`](Self::run_until), but invokes `observe` after
+    /// every processed instant with the simulator (in a consistent state),
+    /// the instant's time, and the ascending, deduplicated list of nodes
+    /// whose handlers ran at that instant.
+    ///
+    /// This is the engine half of the streaming observability API: an
+    /// observer can maintain incremental metrics (per-edge skew, counters,
+    /// CSV rows) without ever taking `O(n + m)` snapshots — see
+    /// `gcs_analysis::probe`.
+    pub fn run_until_with(&mut self, until: Time, mut observe: impl FnMut(&Self, Time, &[NodeId])) {
+        self.observing = true;
+        self.drain(until, &mut observe);
+        self.observing = false;
+    }
+
+    fn drain(&mut self, until: Time, mut observe: impl FnMut(&Self, Time, &[NodeId])) {
         assert!(until >= self.now, "cannot run backwards");
-        while let Some(t) = self.queue.peek_time() {
-            if t > until {
-                break;
+        let mut round = std::mem::take(&mut self.round_buf);
+        loop {
+            match self.queue.peek_time() {
+                Some(t) if t <= until => {}
+                _ => break,
             }
-            self.step_batched();
+            round.clear();
+            let t = self
+                .queue
+                .pop_instant(&mut round)
+                .expect("peek said non-empty");
+            self.now = t;
+            self.instant += 1;
+            self.stats.events_processed += round.len() as u64;
+            self.run_round(&round);
+            if self.observing {
+                let mut touched = std::mem::take(&mut self.touched_buf);
+                for shard in &mut self.shards.shards {
+                    touched.append(&mut shard.touched);
+                }
+                touched.sort_unstable();
+                touched.dedup();
+                observe(self, t, &touched);
+                touched.clear();
+                self.touched_buf = touched;
+            }
         }
+        self.round_buf = round;
         self.now = until;
     }
 
     /// Processes the single earliest event. Returns false if none pending.
+    ///
+    /// Stepping and [`run_until`](Self::run_until) produce bit-identical
+    /// traces: both go through the same dispatch core and the same
+    /// canonical effect ordering.
     pub fn step(&mut self) -> bool {
         let Some(ev) = self.queue.pop() else {
             return false;
         };
         debug_assert!(ev.time >= self.now, "event queue went backwards");
         self.now = ev.time;
+        self.instant += 1;
         self.stats.events_processed += 1;
         match ev.payload {
             EventPayload::Topology {
@@ -487,97 +474,132 @@ impl<A: Automaton> Simulator<A> {
                 edge,
                 version,
             } => self.apply_topology(kind, edge, version),
-            EventPayload::Deliver {
-                from,
-                to,
-                msg,
-                epoch,
-            } => {
-                let mut hw = None;
-                self.with_node(to, |sim, node| {
-                    sim.deliver_one(node, to, &mut hw, from, msg, epoch);
-                });
+            _ => {
+                let owner = DispatchCtx::owner(&ev.payload);
+                let (ctx, shards) = self.split_dispatch();
+                let shard_idx = shards.shard_of(owner);
+                dispatch::run_event(&ctx, &mut shards.shards[shard_idx], owner, &ev);
+                self.merge_effects();
             }
-            EventPayload::Alarm {
-                node,
-                kind,
-                generation,
-            } => self.apply_alarm(node, kind, generation),
-            EventPayload::Discover {
-                node,
-                change,
-                version,
-            } => self.apply_discover(node, change, version),
         }
         true
     }
 
-    /// Like [`step`](Self::step), but drains the run of consecutive
-    /// same-instant deliveries to the same destination in one batch.
-    fn step_batched(&mut self) -> bool {
-        let Some(ev) = self.queue.pop() else {
-            return false;
-        };
-        debug_assert!(ev.time >= self.now, "event queue went backwards");
-        self.now = ev.time;
-        self.stats.events_processed += 1;
-        match ev.payload {
-            EventPayload::Deliver {
-                from,
-                to,
-                msg,
-                epoch,
-            } => {
-                let t = ev.time;
-                // Lazily read once for the whole batch, and only if some
-                // delivery is actually live (dropped messages never need
-                // the destination's clock).
-                let mut hw = None;
-                let mut node = self.nodes[to.index()]
-                    .take()
-                    .expect("automaton re-entered its own handler");
-                self.deliver_one(&mut node, to, &mut hw, from, msg, epoch);
-                // Deliveries cannot change liveness or epochs, so the whole
-                // batch sees consistent link state; events pushed by the
-                // handlers carry later sequence numbers and stay behind the
-                // already-queued batch members, exactly as in the per-event
-                // engine.
-                while self.queue.peek_is_delivery_to(to, t) {
-                    let ev = self.queue.pop().expect("peek said non-empty");
-                    self.stats.events_processed += 1;
-                    let EventPayload::Deliver {
-                        from, msg, epoch, ..
-                    } = ev.payload
-                    else {
-                        unreachable!("peek_is_delivery_to matched a non-delivery");
-                    };
-                    self.deliver_one(&mut node, to, &mut hw, from, msg, epoch);
-                }
-                self.nodes[to.index()] = Some(node);
-            }
-            EventPayload::Topology {
+    /// One instant: split into segments at topology barriers, dispatch each
+    /// segment sharded by owner, merge effects canonically after each.
+    fn run_round(&mut self, round: &[QueuedEvent]) {
+        let mut i = 0;
+        while i < round.len() {
+            if let EventPayload::Topology {
                 kind,
                 edge,
                 version,
-            } => self.apply_topology(kind, edge, version),
-            EventPayload::Alarm {
-                node,
-                kind,
-                generation,
-            } => self.apply_alarm(node, kind, generation),
-            EventPayload::Discover {
-                node,
-                change,
-                version,
-            } => self.apply_discover(node, change, version),
+            } = round[i].payload
+            {
+                self.apply_topology(kind, edge, version);
+                i += 1;
+                continue;
+            }
+            let end = i + round[i..]
+                .iter()
+                .position(|ev| matches!(ev.payload, EventPayload::Topology { .. }))
+                .unwrap_or(round.len() - i);
+            self.run_segment(&round[i..end]);
+            i = end;
         }
-        true
+    }
+
+    /// Dispatches one topology-free segment and merges its effects.
+    fn run_segment(&mut self, seg: &[QueuedEvent]) {
+        let os_workers = self.os_workers;
+        let (ctx, shards) = self.split_dispatch();
+        let shard_count = shards.count();
+        let parallel = shard_count > 1 && seg.len() >= PAR_MIN_EVENTS;
+        if !parallel {
+            for ev in seg {
+                let owner = DispatchCtx::owner(&ev.payload);
+                let s = shards.shard_of(owner);
+                dispatch::run_event(&ctx, &mut shards.shards[s], owner, ev);
+            }
+        } else {
+            for ev in seg {
+                let owner = DispatchCtx::owner(&ev.payload);
+                let s = owner.index() % shard_count;
+                shards.shards[s].events.push(*ev);
+            }
+            // One OS thread can serve several shards: shard count fixes
+            // the (trace-relevant) data partition, `os_workers` only caps
+            // oversubscription. Contiguous chunking is safe because
+            // shards are mutually independent within a segment.
+            let per_worker = shard_count.div_ceil(os_workers);
+            std::thread::scope(|scope| {
+                for chunk in shards.shards.chunks_mut(per_worker) {
+                    if chunk.iter().all(|s| s.events.is_empty()) {
+                        continue;
+                    }
+                    let ctx = &ctx;
+                    scope.spawn(move || {
+                        for shard in chunk.iter_mut() {
+                            if !shard.events.is_empty() {
+                                dispatch::run_shard(ctx, shard);
+                            }
+                        }
+                    });
+                }
+            });
+        }
+        self.merge_effects();
+    }
+
+    /// Splits the borrow of `self` into the read-only dispatch context and
+    /// the mutable shard set (disjoint fields, checked by the compiler).
+    fn split_dispatch(&mut self) -> (DispatchCtx<'_>, &mut Shards<A>) {
+        let ctx = DispatchCtx {
+            edges: &self.edges,
+            clocks: &self.clocks,
+            delay: &self.delay,
+            discovery: &self.discovery,
+            params: self.params,
+            now: self.now,
+            instant: self.instant,
+            shard_count: self.shards.count(),
+            observing: self.observing,
+        };
+        (ctx, &mut self.shards)
+    }
+
+    /// Startup dispatch of `on_start` for one node (serial, build time).
+    fn dispatch_start(&mut self, u: NodeId) {
+        let (ctx, shards) = self.split_dispatch();
+        let shard_idx = shards.shard_of(u);
+        let local = u.index() / shards.count();
+        dispatch::run_handler(&ctx, &mut shards.shards[shard_idx], u, local, 0, |a, c| {
+            a.on_start(c)
+        });
+    }
+
+    /// Collects per-shard effects, sorts them into the canonical
+    /// `(trigger seq, emission idx)` order, enqueues them, and folds the
+    /// per-shard stats deltas into the global counters.
+    fn merge_effects(&mut self) {
+        let mut buf = std::mem::take(&mut self.effects_buf);
+        buf.clear();
+        for shard in &mut self.shards.shards {
+            self.stats.absorb(&shard.stats);
+            shard.stats = SimStats::default();
+            buf.append(&mut shard.effects);
+        }
+        buf.sort_unstable_by_key(|e| (e.seq, e.k));
+        for e in &buf {
+            self.queue.push(e.time, e.payload);
+        }
+        self.effects_buf = buf;
     }
 
     fn apply_topology(&mut self, kind: LinkChangeKind, edge: Edge, version: u64) {
         self.stats.topology_events += 1;
         let now = self.now;
-        let entry = self.links[edge.lo().index()].entry(edge.hi());
+        let entry = self.edges.entry(edge);
         match kind {
             LinkChangeKind::Added => {
                 entry.epoch += 1;
@@ -590,181 +612,5 @@ impl<A: Automaton> Simulator<A> {
                 self.graph.remove_edge(edge, now);
             }
         }
-    }
-
-    /// Handles one delivery for a node already lifted out of its slot.
-    /// `hw_cache` memoizes the destination's hardware reading across a
-    /// same-instant batch; it is only computed if a delivery is live.
-    fn deliver_one(
-        &mut self,
-        node: &mut A,
-        to: NodeId,
-        hw_cache: &mut Option<f64>,
-        from: NodeId,
-        msg: Message,
-        epoch: u64,
-    ) {
-        let edge = Edge::new(from, to);
-        let state = self.links[edge.lo().index()].find(edge.hi());
-        let live = state.map(|e| e.live && e.epoch == epoch).unwrap_or(false);
-        if live {
-            self.stats.messages_delivered += 1;
-            let hw = match *hw_cache {
-                Some(h) => h,
-                None => {
-                    let h = self.clocks[to.index()].read(self.now);
-                    *hw_cache = Some(h);
-                    h
-                }
-            };
-            self.dispatch_with_hw(to, node, hw, |a, ctx| a.on_receive(ctx, from, msg));
-        } else {
-            // Dropped in flight: the model obliges the environment to tell
-            // the sender within D of the send; we tell it now (≤ send + T).
-            self.stats.dropped_in_flight += 1;
-            let version = state.map(|e| e.last_remove_version).unwrap_or(0);
-            self.queue.push(
-                self.now,
-                EventPayload::Discover {
-                    node: from,
-                    change: LinkChange {
-                        kind: LinkChangeKind::Removed,
-                        edge,
-                    },
-                    version,
-                },
-            );
-        }
-    }
-
-    fn apply_alarm(&mut self, u: NodeId, kind: TimerKind, generation: u64) {
-        if self.timers[u.index()].get(kind) != Some(generation) {
-            self.stats.alarms_stale += 1;
-            return;
-        }
-        self.timers[u.index()].disarm(kind);
-        self.stats.alarms_fired += 1;
-        self.with_node(u, |sim, node| {
-            sim.dispatch_external(u, node, |a, ctx| a.on_alarm(ctx, kind));
-        });
-    }
-
-    fn apply_discover(&mut self, u: NodeId, change: LinkChange, version: u64) {
-        let other = change.edge.other(u);
-        let entry = self.links[u.index()].entry(other);
-        if version <= entry.discovered_version {
-            self.stats.discovers_stale += 1;
-            return;
-        }
-        entry.discovered_version = version;
-        self.stats.discovers_delivered += 1;
-        self.with_node(u, |sim, node| {
-            sim.dispatch_external(u, node, |a, ctx| a.on_discover(ctx, change));
-        });
-    }
-
-    /// Temporarily moves node `u` out of its slot so a handler can run with
-    /// `&mut` access to both the automaton and the engine.
-    fn with_node(&mut self, u: NodeId, f: impl FnOnce(&mut Self, &mut A)) {
-        let mut node = self.nodes[u.index()]
-            .take()
-            .expect("automaton re-entered its own handler");
-        f(self, &mut node);
-        self.nodes[u.index()] = Some(node);
-    }
-
-    /// Runs a handler on an automaton that is *not* stored in self (used at
-    /// startup) and applies the produced actions on behalf of `u`.
-    fn dispatch_external(
-        &mut self,
-        u: NodeId,
-        node: &mut A,
-        f: impl FnOnce(&mut A, &mut Context<'_>),
-    ) {
-        let hw = self.clocks[u.index()].read(self.now);
-        self.dispatch_with_hw(u, node, hw, f);
-    }
-
-    /// Runs a handler with a precomputed hardware reading and applies the
-    /// produced actions on behalf of `u`.
-    fn dispatch_with_hw(
-        &mut self,
-        u: NodeId,
-        node: &mut A,
-        hw: f64,
-        f: impl FnOnce(&mut A, &mut Context<'_>),
-    ) {
-        let mut actions = std::mem::take(&mut self.actions_buf);
-        actions.clear();
-        {
-            let mut ctx = Context::new(u, self.now, hw, &mut actions);
-            f(node, &mut ctx);
-        }
-        for action in actions.drain(..) {
-            self.apply_action(u, action);
-        }
-        self.actions_buf = actions;
-    }
-
-    fn apply_action(&mut self, u: NodeId, action: Action) {
-        match action {
-            Action::Send { to, msg } => self.apply_send(u, to, msg),
-            Action::SetTimer { delta, kind } => {
-                let generation = self.timers[u.index()].arm(kind);
-                let fire = self.clocks[u.index()].fire_time(self.now, delta);
-                self.queue.push(
-                    fire,
-                    EventPayload::Alarm {
-                        node: u,
-                        kind,
-                        generation,
-                    },
-                );
-            }
-            Action::CancelTimer { kind } => self.timers[u.index()].cancel(kind),
-        }
-    }
-
-    fn apply_send(&mut self, from: NodeId, to: NodeId, msg: Message) {
-        self.stats.messages_sent += 1;
-        let edge = Edge::new(from, to);
-        let state = self.links[edge.lo().index()].find(edge.hi());
-        if !state.map(|e| e.live).unwrap_or(false) {
-            // The edge does not exist: the message is not delivered and the
-            // sender discovers that within D.
-            self.stats.dropped_no_edge += 1;
-            let version = state.map(|e| e.last_remove_version).unwrap_or(0);
-            let lat = self.discovery.sample(self.params.d, &mut self.rng);
-            self.queue.push(
-                self.now + gcs_clocks::Duration::new(lat),
-                EventPayload::Discover {
-                    node: from,
-                    change: LinkChange {
-                        kind: LinkChangeKind::Removed,
-                        edge,
-                    },
-                    version,
-                },
-            );
-            return;
-        }
-        let epoch = state.expect("live edge has an entry").epoch;
-        let d = self
-            .delay
-            .delay(edge, from, self.now, self.params.t, &mut self.rng);
-        let mut deliver_at = self.now + gcs_clocks::Duration::new(d);
-        // FIFO per directed link: never deliver before an earlier message.
-        let out = self.links[from.index()].entry(to);
-        deliver_at = deliver_at.max(out.fifo_out);
-        out.fifo_out = deliver_at;
-        self.queue.push(
-            deliver_at,
-            EventPayload::Deliver {
-                from,
-                to,
-                msg,
-                epoch,
-            },
-        );
     }
 }

@@ -22,20 +22,22 @@
 //! event-handler style in which Algorithm 2 is written.
 //!
 //! Determinism: a simulation is a pure function of (model parameters,
-//! topology schedule, rate schedules, delay strategy, seed). Ties in the
-//! event queue are broken by sequence number.
-//!
-//! The hot path is the batched [`engine`]: a [`wheel::TimeWheel`]
-//! calendar queue keyed on the delay bound `T`, same-instant deliveries
-//! dispatched per node in batches, and flat per-node link state. The
-//! pre-rewrite per-event engine is frozen as [`legacy`] for differential
-//! testing and benchmarking, and both produce bit-identical traces.
+//! topology schedule, rate schedules, delay strategy, seed) — and of
+//! *nothing else*. In particular the worker count
+//! ([`SimBuilder::threads`], default from the `GCS_SIM_THREADS`
+//! environment variable) never changes a trace: same-instant events to
+//! different nodes are dispatched across scoped worker threads sharded by
+//! node id, every random draw comes from the consuming node's private
+//! stream, and handler-emitted events are merged back into the time wheel
+//! in a canonical `(triggering seq, emission index)` order. See
+//! [`engine`] for the full argument and
+//! `crates/bench/tests/determinism.rs` for the pin.
 //!
 //! # Example
 //!
 //! The time wheel pops in exactly `(time, seq)` order — earliest time
-//! first, insertion order on ties — which is what makes the batched
-//! engine trace-identical to the reference engine:
+//! first, insertion order on ties — which is the total order all dispatch
+//! modes (stepped, batched serial, parallel) preserve:
 //!
 //! ```
 //! use gcs_clocks::time::at;
@@ -62,18 +64,18 @@
 
 pub mod automaton;
 pub mod delay;
+mod dispatch;
 pub mod engine;
 pub mod event;
-pub mod legacy;
 pub mod model;
+mod shard;
 pub mod stats;
 pub mod wheel;
 
 pub use automaton::{Action, Automaton, Context};
 pub use delay::DelayStrategy;
-pub use engine::{SimBuilder, Simulator};
+pub use engine::{DiscoveryDelay, SimBuilder, Simulator, THREADS_ENV};
 pub use event::{LinkChange, LinkChangeKind, Message, TimerKind};
-pub use legacy::{LegacySimBuilder, LegacySimulator};
 pub use model::ModelParams;
 pub use stats::SimStats;
 pub use wheel::TimeWheel;

@@ -1,0 +1,401 @@
+//! Sharded per-node engine state and the canonical edge store.
+//!
+//! The parallel dispatcher (see [`crate::dispatch`]) relies on a strict
+//! ownership discipline:
+//!
+//! * **Node-local state** — the automaton itself, its armed timers, its
+//!   per-neighbor discovery watermarks and FIFO horizons, and its private
+//!   RNG stream — lives in the [`Shard`] that owns the node
+//!   (`shard = node mod shard_count`). During a parallel segment each
+//!   worker holds `&mut` over exactly one shard, so owner-exclusive
+//!   mutation is enforced by the borrow checker, not by locks.
+//! * **Canonical edge state** — liveness, epoch and removal version of
+//!   every edge, kept on the edge's *lower* endpoint — lives in the
+//!   [`EdgeStore`], which is only ever written *between* segments (by
+//!   topology events and by the serial startup/step paths). During a
+//!   segment every worker reads it through a shared `&`, which is safe
+//!   precisely because deliveries cannot change liveness or epochs.
+//!
+//! The node → shard assignment is round-robin by id. It affects only data
+//! layout, never semantics: traces are identical for every shard count
+//! (pinned by `crates/bench/tests/determinism.rs`).
+
+use crate::event::TimerKind;
+use gcs_clocks::Time;
+use gcs_net::{Edge, NodeId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Canonical per-edge state, stored on the lower endpoint's adjacency
+/// vector (sorted by the higher endpoint). Entries are created on first
+/// contact and are sticky: churn toggles fields instead of reshaping the
+/// vector.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct EdgeShared {
+    /// The higher endpoint of the edge.
+    pub neighbor: NodeId,
+    /// Mirror of `graph.contains(edge)`.
+    pub live: bool,
+    /// Incremented when the edge is (re-)added. Deliveries carry the epoch
+    /// they were sent in; a mismatch at delivery means the edge went down
+    /// (and possibly came back) in flight.
+    pub epoch: u64,
+    /// Version of the most recent removal.
+    pub last_remove_version: u64,
+}
+
+impl EdgeShared {
+    fn new(neighbor: NodeId) -> Self {
+        EdgeShared {
+            neighbor,
+            live: false,
+            epoch: 0,
+            last_remove_version: 0,
+        }
+    }
+}
+
+/// The canonical edge state of the whole network, sharded by the lower
+/// endpoint's owner so churn events route to the shard that owns them.
+///
+/// Reads go through a shared reference during parallel segments; writes
+/// (topology changes, lazy entry creation on first send) happen only on
+/// the serial paths between segments.
+#[derive(Debug)]
+pub(crate) struct EdgeStore {
+    /// `adj[shard][local(lo)]` = sorted adjacency of node `lo`.
+    adj: Vec<Vec<Vec<EdgeShared>>>,
+    shard_count: usize,
+}
+
+impl EdgeStore {
+    /// An empty store over `n` nodes split into `shard_count` shards.
+    pub fn new(n: usize, shard_count: usize) -> Self {
+        assert!(shard_count >= 1);
+        let mut adj: Vec<Vec<Vec<EdgeShared>>> = (0..shard_count).map(|_| Vec::new()).collect();
+        for (s, shard_adj) in adj.iter_mut().enumerate() {
+            let local_n = n / shard_count + usize::from(s < n % shard_count);
+            shard_adj.resize(local_n, Vec::new());
+        }
+        EdgeStore { adj, shard_count }
+    }
+
+    /// Builds the store from a schedule, shard by shard through the
+    /// schedule's [`shard views`](gcs_net::TopologySchedule::shard_view):
+    /// each shard pre-creates an entry for every edge it will ever own
+    /// (initial *and* churned), so the hot path never reshapes adjacency
+    /// vectors mid-run, and marks the initial edges live at epoch 1.
+    ///
+    /// The resulting *content* is independent of `shard_count`; only the
+    /// physical layout differs — which is why traces do not depend on the
+    /// worker count.
+    pub fn from_schedule(schedule: &gcs_net::TopologySchedule, shard_count: usize) -> Self {
+        let mut store = Self::new(schedule.n(), shard_count);
+        for s in 0..shard_count {
+            let view = schedule.shard_view(s, shard_count);
+            for edge in view.edges_ever() {
+                store.entry(edge);
+            }
+            for edge in view.initial_edges() {
+                let entry = store.entry(edge);
+                entry.live = true;
+                entry.epoch = 1;
+            }
+        }
+        store
+    }
+
+    #[inline]
+    fn row(&self, lo: NodeId) -> &Vec<EdgeShared> {
+        let i = lo.index();
+        &self.adj[i % self.shard_count][i / self.shard_count]
+    }
+
+    #[inline]
+    fn row_mut(&mut self, lo: NodeId) -> &mut Vec<EdgeShared> {
+        let i = lo.index();
+        &mut self.adj[i % self.shard_count][i / self.shard_count]
+    }
+
+    /// The canonical state of `edge`, if any contact has happened.
+    #[inline]
+    pub fn find(&self, edge: Edge) -> Option<&EdgeShared> {
+        let row = self.row(edge.lo());
+        row.binary_search_by_key(&edge.hi(), |e| e.neighbor)
+            .ok()
+            .map(|i| &row[i])
+    }
+
+    /// The canonical state of `edge`, created on first contact.
+    pub fn entry(&mut self, edge: Edge) -> &mut EdgeShared {
+        let row = self.row_mut(edge.lo());
+        match row.binary_search_by_key(&edge.hi(), |e| e.neighbor) {
+            Ok(i) => &mut row[i],
+            Err(i) => {
+                row.insert(i, EdgeShared::new(edge.hi()));
+                &mut row[i]
+            }
+        }
+    }
+}
+
+/// One node's armed timers, sorted by kind. An *armed* timer is a present
+/// entry whose generation must match the alarm's; cancelling bumps the
+/// generation but keeps the entry; firing removes it.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct TimerSlots {
+    v: Vec<(TimerKind, u64)>,
+}
+
+impl TimerSlots {
+    #[inline]
+    pub fn get(&self, kind: TimerKind) -> Option<u64> {
+        self.v
+            .binary_search_by_key(&kind, |e| e.0)
+            .ok()
+            .map(|i| self.v[i].1)
+    }
+
+    /// `set_timer`: bump the generation (inserting at 0 first) and return
+    /// the new value.
+    #[inline]
+    pub fn arm(&mut self, kind: TimerKind) -> u64 {
+        match self.v.binary_search_by_key(&kind, |e| e.0) {
+            Ok(i) => {
+                self.v[i].1 = self.v[i].1.wrapping_add(1);
+                self.v[i].1
+            }
+            Err(i) => {
+                self.v.insert(i, (kind, 1));
+                1
+            }
+        }
+    }
+
+    /// `cancel`: bump the generation if armed (entry stays present).
+    #[inline]
+    pub fn cancel(&mut self, kind: TimerKind) {
+        if let Ok(i) = self.v.binary_search_by_key(&kind, |e| e.0) {
+            self.v[i].1 = self.v[i].1.wrapping_add(1);
+        }
+    }
+
+    /// A fired alarm consumes its entry.
+    #[inline]
+    pub fn disarm(&mut self, kind: TimerKind) {
+        if let Ok(i) = self.v.binary_search_by_key(&kind, |e| e.0) {
+            self.v.remove(i);
+        }
+    }
+}
+
+/// A node's view of one neighbor: state that only this node ever touches.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct PeerLocal {
+    /// The other endpoint.
+    pub neighbor: NodeId,
+    /// Highest change version this node has been told about.
+    pub discovered_version: u64,
+    /// Latest delivery already scheduled from this node to `neighbor`
+    /// (FIFO enforcement for the directed link).
+    pub fifo_out: Time,
+}
+
+impl PeerLocal {
+    fn new(neighbor: NodeId) -> Self {
+        PeerLocal {
+            neighbor,
+            discovered_version: 0,
+            fifo_out: Time::ZERO,
+        }
+    }
+}
+
+/// Everything a node owns besides its automaton.
+#[derive(Clone, Debug)]
+pub(crate) struct NodeLocal {
+    /// Armed timers with generation counters.
+    pub timers: TimerSlots,
+    /// Per-neighbor local state, sorted by neighbor id.
+    pub peers: Vec<PeerLocal>,
+    /// The node's private random stream (delay/discovery sampling and
+    /// `Context::rng`), seeded from `(simulation seed, node id)`.
+    pub rng: StdRng,
+    /// Memoized hardware reading: valid while `hw_instant` equals the
+    /// engine's current instant id (one clock read per node per instant).
+    pub hw: f64,
+    pub hw_instant: u64,
+}
+
+impl NodeLocal {
+    fn new(seed: u64, index: usize) -> Self {
+        NodeLocal {
+            timers: TimerSlots::default(),
+            peers: Vec::new(),
+            rng: StdRng::seed_from_u64(node_stream_seed(seed, index)),
+            hw: 0.0,
+            hw_instant: 0,
+        }
+    }
+
+    /// This node's local state for `v`, created on first contact.
+    #[inline]
+    pub fn peer(&mut self, v: NodeId) -> &mut PeerLocal {
+        match self.peers.binary_search_by_key(&v, |p| p.neighbor) {
+            Ok(i) => &mut self.peers[i],
+            Err(i) => {
+                self.peers.insert(i, PeerLocal::new(v));
+                &mut self.peers[i]
+            }
+        }
+    }
+}
+
+/// Decorrelated per-node stream seed: the golden-ratio multiply spreads
+/// consecutive indices across the seed space before `seed_from_u64`'s
+/// SplitMix expansion. The extra constant domain-separates node streams
+/// from the builder's drift-generation stream (`seed ^ GOLDEN`), which
+/// node 0's stream (`seed ^ 1·GOLDEN`) would otherwise collide with —
+/// correlating the delay adversary with the drift adversary.
+pub(crate) fn node_stream_seed(seed: u64, index: usize) -> u64 {
+    seed ^ 0xA076_1D64_78BD_642F ^ (index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// The nodes owned by one worker, plus that worker's scratch buffers.
+#[derive(Debug)]
+pub(crate) struct Shard<A> {
+    /// Automata of the owned nodes, indexed by local id.
+    pub nodes: Vec<A>,
+    /// Matching node-local engine state.
+    pub locals: Vec<NodeLocal>,
+    /// Deferred effects produced during the current segment.
+    pub effects: Vec<crate::dispatch::Effect>,
+    /// Per-segment stats delta (merged and cleared after each segment).
+    pub stats: crate::stats::SimStats,
+    /// Nodes whose handlers ran in the current instant (only collected
+    /// when an observer is attached).
+    pub touched: Vec<NodeId>,
+    /// Scratch action buffer for handler dispatch.
+    pub actions: Vec<crate::automaton::Action>,
+    /// This shard's slice of the current segment (reused across rounds).
+    pub events: Vec<crate::event::QueuedEvent>,
+}
+
+/// All shards plus the id ↔ (shard, local) mapping.
+#[derive(Debug)]
+pub(crate) struct Shards<A> {
+    pub shards: Vec<Shard<A>>,
+    count: usize,
+}
+
+impl<A> Shards<A> {
+    /// Distributes `n` freshly built nodes round-robin over `count` shards.
+    pub fn build(count: usize, seed: u64, nodes: Vec<A>) -> Self {
+        assert!(count >= 1);
+        let mut shards: Vec<Shard<A>> = (0..count)
+            .map(|_| Shard {
+                nodes: Vec::new(),
+                locals: Vec::new(),
+                effects: Vec::new(),
+                stats: crate::stats::SimStats::default(),
+                touched: Vec::new(),
+                actions: Vec::new(),
+                events: Vec::new(),
+            })
+            .collect();
+        for (i, node) in nodes.into_iter().enumerate() {
+            shards[i % count].nodes.push(node);
+            shards[i % count].locals.push(NodeLocal::new(seed, i));
+        }
+        Shards { shards, count }
+    }
+
+    /// Number of shards.
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// The shard index owning `u`.
+    #[inline]
+    pub fn shard_of(&self, u: NodeId) -> usize {
+        u.index() % self.count
+    }
+
+    /// The automaton of `u`.
+    #[inline]
+    pub fn node(&self, u: NodeId) -> &A {
+        &self.shards[u.index() % self.count].nodes[u.index() / self.count]
+    }
+
+    /// The node-local state of `u` (serial paths only).
+    #[inline]
+    pub fn local_mut(&mut self, u: NodeId) -> &mut NodeLocal {
+        &mut self.shards[u.index() % self.count].locals[u.index() / self.count]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcs_net::node;
+
+    #[test]
+    fn edge_store_routes_by_lower_endpoint_shard() {
+        let mut store = EdgeStore::new(10, 3);
+        let e = Edge::between(4, 7); // lo = 4 → shard 1, local 1
+        assert!(store.find(e).is_none());
+        store.entry(e).live = true;
+        store.entry(e).epoch = 2;
+        let shared = store.find(e).expect("entry created");
+        assert!(shared.live);
+        assert_eq!(shared.epoch, 2);
+        assert_eq!(shared.neighbor, node(7));
+        // A different edge off the same lower endpoint sorts after.
+        store.entry(Edge::between(4, 9));
+        let row: Vec<NodeId> = store.row(node(4)).iter().map(|e| e.neighbor).collect();
+        assert_eq!(row, vec![node(7), node(9)]);
+    }
+
+    #[test]
+    fn timer_slots_generation_discipline() {
+        let mut t = TimerSlots::default();
+        assert_eq!(t.get(TimerKind::Tick), None);
+        assert_eq!(t.arm(TimerKind::Tick), 1);
+        assert_eq!(t.arm(TimerKind::Tick), 2);
+        t.cancel(TimerKind::Tick);
+        assert_eq!(t.get(TimerKind::Tick), Some(3));
+        t.disarm(TimerKind::Tick);
+        assert_eq!(t.get(TimerKind::Tick), None);
+        // Re-arming after a fire continues the old count? No: the entry was
+        // consumed, so arming restarts at 1 — matching the legacy engine's
+        // HashMap semantics where a fired timer's entry was removed.
+        assert_eq!(t.arm(TimerKind::Tick), 1);
+    }
+
+    #[test]
+    fn shards_round_robin_mapping() {
+        let shards = Shards::build(3, 0, (0..8u32).collect::<Vec<_>>());
+        assert_eq!(shards.count(), 3);
+        for i in 0..8usize {
+            assert_eq!(shards.shard_of(node(i)), i % 3);
+            assert_eq!(*shards.node(node(i)), i as u32);
+        }
+        assert_eq!(shards.shards[0].nodes, vec![0, 3, 6]);
+        assert_eq!(shards.shards[1].nodes, vec![1, 4, 7]);
+        assert_eq!(shards.shards[2].nodes, vec![2, 5]);
+    }
+
+    #[test]
+    fn node_streams_are_decorrelated_and_stable() {
+        use rand::{Rng, RngCore, SeedableRng};
+        let mut a = StdRng::seed_from_u64(node_stream_seed(42, 0));
+        let mut b = StdRng::seed_from_u64(node_stream_seed(42, 1));
+        let mut a2 = StdRng::seed_from_u64(node_stream_seed(42, 0));
+        assert_eq!(a.next_u64(), a2.next_u64());
+        let collisions = (0..64)
+            .filter(|_| a.gen_range(0u64..1 << 32) == b.gen_range(0u64..1 << 32))
+            .count();
+        assert!(collisions < 4, "streams should differ: {collisions}/64");
+    }
+}

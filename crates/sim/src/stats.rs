@@ -27,6 +27,22 @@ pub struct SimStats {
 }
 
 impl SimStats {
+    /// Adds another counter set into this one (used to fold per-shard
+    /// deltas into the global counters; addition is order-independent, so
+    /// totals are identical for every worker count).
+    pub fn absorb(&mut self, other: &SimStats) {
+        self.events_processed += other.events_processed;
+        self.messages_sent += other.messages_sent;
+        self.messages_delivered += other.messages_delivered;
+        self.dropped_no_edge += other.dropped_no_edge;
+        self.dropped_in_flight += other.dropped_in_flight;
+        self.alarms_fired += other.alarms_fired;
+        self.alarms_stale += other.alarms_stale;
+        self.discovers_delivered += other.discovers_delivered;
+        self.discovers_stale += other.discovers_stale;
+        self.topology_events += other.topology_events;
+    }
+
     /// Messages lost for any reason.
     pub fn total_dropped(&self) -> u64 {
         self.dropped_no_edge + self.dropped_in_flight

@@ -226,17 +226,45 @@ impl TimeWheel {
         self.front().map(|e| e.time)
     }
 
-    /// True if the earliest pending event is a delivery to `node` at
-    /// exactly `time` (used to batch same-instant deliveries per node).
-    pub fn peek_is_delivery_to(&mut self, node: gcs_net::NodeId, time: Time) -> bool {
-        matches!(
-            self.front(),
-            Some(QueuedEvent {
-                time: t,
-                payload: EventPayload::Deliver { to, .. },
-                ..
-            }) if *t == time && *to == node
-        )
+    /// Earliest `(time, seq)` still pending in the cursor bucket (array or
+    /// spill), *without* advancing the cursor. Used by [`pop_instant`]:
+    /// events of one instant all live in one bucket, and not advancing
+    /// keeps the cursor parked there so the engine can push follow-up
+    /// events at the same instant after the round.
+    ///
+    /// [`pop_instant`]: Self::pop_instant
+    fn peek_in_cursor(&self) -> Option<&QueuedEvent> {
+        let cur = self.current.get(self.cur_idx);
+        let sp = self.spill.peek();
+        match (cur, sp) {
+            (Some(c), Some(s)) => Some(if (s.time, s.seq) < (c.time, c.seq) {
+                s
+            } else {
+                c
+            }),
+            (Some(c), None) => Some(c),
+            (None, sp) => sp,
+        }
+    }
+
+    /// Drains the complete run of earliest events sharing one instant into
+    /// `buf` (appending, in `(time, seq)` order) and returns that instant.
+    ///
+    /// This is the engine's round extraction: everything at the same time
+    /// forms one dispatch round. Events pushed *while* the round executes
+    /// land behind it (larger sequence numbers) and are picked up by the
+    /// next call, even at the same instant.
+    pub fn pop_instant(&mut self, buf: &mut Vec<QueuedEvent>) -> Option<Time> {
+        let first = self.pop()?;
+        let t = first.time;
+        buf.push(first);
+        // All remaining events at time `t` share the first event's bucket,
+        // so peeking inside the cursor bucket is exhaustive — and it leaves
+        // the cursor in place for same-instant pushes after the round.
+        while self.peek_in_cursor().map(|e| e.time) == Some(t) {
+            buf.push(self.pop().expect("peek said non-empty"));
+        }
+        Some(t)
     }
 
     /// Number of pending events.
@@ -360,39 +388,27 @@ mod tests {
     }
 
     #[test]
-    fn peek_is_delivery_to_detects_batches() {
+    fn pop_instant_drains_exactly_one_time_tie_group() {
         let mut w = TimeWheel::new(0.25);
-        let msg = crate::event::Message {
-            logical: 1.0,
-            max_estimate: 1.0,
-        };
-        w.push(
-            at(2.0),
-            EventPayload::Deliver {
-                from: node(1),
-                to: node(0),
-                msg,
-                epoch: 1,
-            },
+        for i in 0..5 {
+            w.push(at(2.0), alarm(i));
+        }
+        w.push(at(3.0), alarm(5));
+        let mut buf = Vec::new();
+        assert_eq!(w.pop_instant(&mut buf), Some(at(2.0)));
+        assert_eq!(buf.len(), 5);
+        assert!(buf.iter().all(|e| e.time == at(2.0)));
+        assert_eq!(
+            buf.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            (0..5).collect::<Vec<_>>(),
+            "within an instant the order is insertion order"
         );
-        w.push(
-            at(2.0),
-            EventPayload::Deliver {
-                from: node(2),
-                to: node(0),
-                msg,
-                epoch: 1,
-            },
-        );
-        w.push(at(2.0), alarm(0));
-        assert!(w.peek_is_delivery_to(node(0), at(2.0)));
-        assert!(!w.peek_is_delivery_to(node(1), at(2.0)));
-        assert!(!w.peek_is_delivery_to(node(0), at(3.0)));
-        w.pop();
-        assert!(w.peek_is_delivery_to(node(0), at(2.0)));
-        w.pop();
-        // Next head is the alarm: no longer a delivery batch.
-        assert!(!w.peek_is_delivery_to(node(0), at(2.0)));
+        buf.clear();
+        assert_eq!(w.pop_instant(&mut buf), Some(at(3.0)));
+        assert_eq!(buf.len(), 1);
+        buf.clear();
+        assert_eq!(w.pop_instant(&mut buf), None);
+        assert!(w.is_empty());
     }
 
     #[test]

@@ -51,7 +51,7 @@ pub use gcs_sim as sim;
 
 /// The most common imports in one place.
 pub mod prelude {
-    pub use gcs_analysis::{metrics, Recorder, Summary, Table};
+    pub use gcs_analysis::{metrics, CsvSink, Recorder, SkewStream, Summary, Table};
     pub use gcs_bench::scenario::{Scenario, ScenarioReport};
     pub use gcs_clocks::{time::at, DriftModel, Duration, HardwareClock, RateSchedule, Time};
     pub use gcs_core::baseline::MaxSyncNode;
