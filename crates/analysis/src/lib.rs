@@ -13,6 +13,8 @@
 //! * [`probe`] — event-driven streaming observability: incremental
 //!   per-edge skew maintained from the engine's per-instant touched-node
 //!   reports, with a certified error bound — no `O(n + m)` snapshots.
+//! * [`mem`] — process peak-RSS readers (`/proc/self/status`), so memory
+//!   claims in reports are measured rather than asserted.
 //! * [`stats`] — summary statistics (min/mean/max/percentiles) and simple
 //!   least-squares fits used to check the paper's asymptotic shapes.
 //! * [`table`] — aligned text tables for experiment output.
@@ -42,6 +44,7 @@
 //! ```
 
 pub mod csv;
+pub mod mem;
 pub mod metrics;
 pub mod probe;
 pub mod recorder;
@@ -49,6 +52,7 @@ pub mod stats;
 pub mod sweep;
 pub mod table;
 
+pub use mem::{current_rss_bytes, peak_rss_bytes};
 pub use metrics::{global_skew, local_skews, max_local_skew};
 pub use probe::SkewStream;
 pub use recorder::{CsvSink, Recorder, Sample, Sink};

@@ -30,6 +30,10 @@ pub struct Sample {
     pub global_skew: f64,
     /// Worst skew over currently present edges.
     pub max_local_skew: f64,
+    /// Cumulative topology events applied by this time — read from the
+    /// engine's streamed counter, not derived by diffing edge-set
+    /// snapshots, so it costs `O(1)` per sample at any scale.
+    pub topology_events: u64,
     /// Skew of each watched edge (`None` while the edge is absent),
     /// in the order the edges were registered.
     pub watched: Vec<Option<f64>>,
@@ -42,8 +46,8 @@ pub trait Sink {
 }
 
 /// A [`Sink`] that appends one CSV row per sample:
-/// `t, global_skew, max_local_skew, watched...` (absent watched edges are
-/// written as `NaN`).
+/// `t, global_skew, max_local_skew, topology_events, watched...` (absent
+/// watched edges are written as `NaN`).
 pub struct CsvSink {
     w: crate::csv::CsvWriter,
     row: Vec<f64>,
@@ -57,6 +61,7 @@ impl CsvSink {
             "t".to_string(),
             "global_skew".to_string(),
             "max_local_skew".to_string(),
+            "topology_events".to_string(),
         ];
         header.extend((0..watched).map(|i| format!("watched_{i}")));
         let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
@@ -83,8 +88,12 @@ impl CsvSink {
 impl Sink for CsvSink {
     fn record(&mut self, sample: &Sample) {
         self.row.clear();
-        self.row
-            .extend([sample.t, sample.global_skew, sample.max_local_skew]);
+        self.row.extend([
+            sample.t,
+            sample.global_skew,
+            sample.max_local_skew,
+            sample.topology_events as f64,
+        ]);
         self.row
             .extend(sample.watched.iter().map(|w| w.unwrap_or(f64::NAN)));
         // A failed write must not abort the simulation mid-run, but it
@@ -190,6 +199,7 @@ impl Recorder {
             t: sim.now().seconds(),
             global_skew: metrics::global_skew(&logical),
             max_local_skew: metrics::max_local_skew_in(&logical, sim.graph()),
+            topology_events: sim.stats().topology_events,
             watched,
         };
         if let Some(m) = &mut self.monitor {
@@ -322,6 +332,7 @@ mod tests {
                 t,
                 global_skew: skew,
                 max_local_skew: skew,
+                topology_events: 0,
                 watched: vec![Some(skew)],
             });
         }
@@ -341,6 +352,7 @@ mod tests {
                 t: i as f64,
                 global_skew: skew,
                 max_local_skew: skew,
+                topology_events: 0,
                 watched: vec![],
             });
         }
@@ -351,6 +363,7 @@ mod tests {
                 t: i as f64,
                 global_skew: skew,
                 max_local_skew: skew,
+                topology_events: 0,
                 watched: vec![],
             });
         }
@@ -392,7 +405,10 @@ mod tests {
         drop(rec); // dropping the recorder drops (and flushes) the sink
         let content = std::fs::read_to_string(&path).unwrap();
         let lines: Vec<&str> = content.lines().collect();
-        assert_eq!(lines[0], "t,global_skew,max_local_skew,watched_0");
+        assert_eq!(
+            lines[0],
+            "t,global_skew,max_local_skew,topology_events,watched_0"
+        );
         assert_eq!(lines.len(), 1 + 4, "header plus one row per sample");
         let _ = std::fs::remove_dir_all(&dir);
     }

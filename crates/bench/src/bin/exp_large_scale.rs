@@ -1,11 +1,16 @@
 //! E11 — parallel dispatch throughput and streamed skew at `n = 65 536`.
 //!
 //! `cargo run --release -p gcs-bench --bin exp_large_scale`
+//!
+//! CI smoke runs shrink the width with `GCS_SMOKE_N=4096` so the
+//! large-scale code path is exercised on every push.
 
 use gcs_bench::e11_large_scale as e11;
+use gcs_bench::engine_bench::smoke_n;
 
 fn main() {
-    let config = e11::Config::default();
+    let mut config = e11::Config::default();
+    config.n = smoke_n(config.n);
     println!(
         "claim: Theorem 4.1's gradient only emerges at large n; the engine must scale there\n"
     );
@@ -29,4 +34,10 @@ fn main() {
         "streamed peaks: global {:.2}, local {:.2} (certified error <= {:.3})",
         out.peak_global, out.peak_local, out.skew_error_bound
     );
+    println!(
+        "peak topology backlog: {} (streamed, not pre-loaded); process peak RSS: {} MiB",
+        out.points[0].peak_topology_backlog,
+        gcs_analysis::mem::fmt_mib(gcs_analysis::peak_rss_bytes()),
+    );
+    assert!(out.deterministic, "thread counts diverged");
 }

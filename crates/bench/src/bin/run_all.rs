@@ -1,24 +1,27 @@
-//! Regenerates every experiment table (E1–E11) in one run, exports the
+//! Regenerates every experiment table (E1–E12) in one run, exports the
 //! main series as CSV under `target/experiments/`, and records the engine
 //! perf trajectory as machine-readable `BENCH_engine.json`.
 //!
 //! `cargo run --release -p gcs-bench --bin run_all`
 //! `cargo run --release -p gcs-bench --bin run_all -- --engine-only`
 //!
-//! All scenarios come from [`gcs_bench::scenario::all_scenarios`] and are
-//! fanned out in parallel over scoped threads; reports print in experiment
-//! order once everything finishes. The final phase times the engine on the
-//! E1 workload (`n = 1024`, continuity with the PR 2 numbers) and on the
+//! All scenarios come from [`gcs_bench::scenario::all_scenarios`]. E1–E10
+//! are fanned out in parallel over scoped threads; E11 and E12 are
+//! themselves wall-clock/memory benchmarks, so they run **alone** after
+//! the parallel batch. The final phase times the engine on the E1
+//! workload (`n = 1024`, continuity with the PR 2 numbers) and on the
 //! E11 workload (`n = 65 536`, churn on) at worker counts {1, 2, 8}.
 //!
 //! With the frozen pre-rewrite engine deleted, the **batched serial
-//! engine (`threads = 1`) is the baseline** every speedup in the JSON is
-//! measured against. `host_cpus` records how much hardware parallelism
-//! the recording machine actually had — thread-sweep numbers from a
-//! single-core host measure dispatch overhead, not speedup.
+//! engine (`threads = 1`) is the baseline** every speedup is measured
+//! against. `host_cpus` records how much hardware parallelism the
+//! recording machine actually had; when it is 1 the JSON carries
+//! `"thread_sweep_valid": false` and the run prints a loud warning —
+//! single-core thread-sweep numbers measure dispatch overhead, not
+//! speedup, and must not be read against the scaling target.
 
 use gcs_bench::engine_bench::{measure_threads, Measurement, Workload};
-use gcs_bench::scenario::{all_scenarios, run_parallel};
+use gcs_bench::scenario::{all_scenarios, run_parallel, Scenario};
 use std::io::Write;
 
 fn csv_dir() -> std::path::PathBuf {
@@ -29,15 +32,38 @@ fn csv_dir() -> std::path::PathBuf {
 
 fn entry(m: &Measurement) -> String {
     format!(
-        "    {{\n      \"engine\": \"{}\",\n      \"threads\": {},\n      \"events\": {},\n      \"wall_s\": {:.6},\n      \"events_per_sec\": {:.1}\n    }}",
-        m.engine, m.threads, m.events, m.wall_s, m.events_per_sec
+        "    {{\n      \"engine\": \"{}\",\n      \"threads\": {},\n      \"events\": {},\n      \"setup_s\": {:.6},\n      \"wall_s\": {:.6},\n      \"events_per_sec\": {:.1},\n      \"peak_topology_backlog\": {}\n    }}",
+        m.engine, m.threads, m.events, m.setup_s, m.wall_s, m.events_per_sec, m.peak_topology_backlog
     )
 }
 
+fn e12_entry(o: &gcs_bench::e12_dynamic_workloads::FamilyOutcome) -> String {
+    format!(
+        "    {{\n      \"family\": \"{}\",\n      \"events\": {},\n      \"setup_s\": {:.6},\n      \"wall_s\": {:.6},\n      \"events_per_sec\": {:.1},\n      \"topology_events\": {},\n      \"peak_topology_backlog\": {},\n      \"current_rss_bytes\": {}\n    }}",
+        o.family,
+        o.events,
+        o.setup_s,
+        o.wall_s,
+        o.events_per_sec,
+        o.stats.topology_events,
+        o.stats.peak_topology_backlog,
+        json_opt_u64(o.current_rss_bytes)
+    )
+}
+
+fn json_opt_u64(v: Option<u64>) -> String {
+    v.map(|b| b.to_string())
+        .unwrap_or_else(|| "null".to_string())
+}
+
+#[allow(clippy::too_many_arguments)]
 fn engine_json(
     host_cpus: usize,
     e1: &(Workload, Measurement),
     e11: &(Workload, Vec<Measurement>),
+    e12: &[gcs_bench::e12_dynamic_workloads::FamilyOutcome],
+    e12_n: usize,
+    peak_rss_bytes: Option<u64>,
 ) -> String {
     let workload = |w: &Workload| {
         format!(
@@ -56,14 +82,32 @@ fn engine_json(
         (Some(s), Some(p)) => p.events_per_sec / s.events_per_sec,
         _ => 1.0,
     };
+    let thread_sweep_valid = host_cpus > 1;
+    let e12_entries: Vec<String> = e12.iter().map(e12_entry).collect();
     format!(
-        "{{\n  \"schema\": \"bench-engine/v2\",\n  \"generated_by\": \"gcs-bench run_all\",\n  \"baseline\": \"batched-serial (threads = 1); the pre-rewrite heap engine was deleted after its equivalence history\",\n  \"host_cpus\": {host_cpus},\n  \"e1_n1024\": {{\n  {},\n  \"engines\": [\n{}\n  ]\n  }},\n  \"e11_large_scale\": {{\n  {},\n  \"engines\": [\n{}\n  ],\n  \"best_parallel_speedup_vs_serial\": {:.3}\n  }}\n}}\n",
+        "{{\n  \"schema\": \"bench-engine/v3\",\n  \"generated_by\": \"gcs-bench run_all\",\n  \"baseline\": \"batched-serial (threads = 1); the pre-rewrite heap engine was deleted after its equivalence history\",\n  \"host_cpus\": {host_cpus},\n  \"thread_sweep_valid\": {thread_sweep_valid},\n  \"peak_rss_bytes\": {},\n  \"e1_n1024\": {{\n  {},\n  \"engines\": [\n{}\n  ]\n  }},\n  \"e11_large_scale\": {{\n  {},\n  \"engines\": [\n{}\n  ],\n  \"best_parallel_speedup_vs_serial\": {:.3}\n  }},\n  \"e12_dynamic_workloads\": {{\n  \"n\": {},\n  \"families\": [\n{}\n  ]\n  }}\n}}\n",
+        json_opt_u64(peak_rss_bytes),
         workload(&e1.0),
         entry(&e1.1),
         workload(&e11.0),
         e11_entries.join(",\n"),
-        speedup
+        speedup,
+        e12_n,
+        e12_entries.join(",\n"),
     )
+}
+
+fn print_report(
+    s: &dyn Scenario,
+    rep: &gcs_bench::scenario::ScenarioReport,
+    dir: &std::path::Path,
+) {
+    println!("=== {} / {} ===", s.id(), s.claim());
+    rep.print();
+    if let Err(e) = rep.write_csv(dir) {
+        eprintln!("warning: could not write CSV for {}: {e}", s.id());
+    }
+    println!();
 }
 
 fn main() {
@@ -71,39 +115,60 @@ fn main() {
     let engine_only = std::env::args().any(|a| a == "--engine-only");
     let dir = csv_dir();
 
-    if !engine_only {
-        // E11 is itself a wall-clock benchmark: it must not time its runs
-        // while ten other CPU-bound experiments share the machine, so it
-        // runs alone after the parallel batch.
-        let mut scenarios = all_scenarios();
-        let e11 = scenarios.pop().expect("registry is non-empty");
-        assert_eq!(e11.id(), "E11", "E11 must be last in the registry");
-        println!(
-            "running {} experiments in parallel over scoped threads, then E11 alone...\n",
-            scenarios.len()
-        );
-        let mut reports = run_parallel(&scenarios);
-        reports.push(e11.run_scenario());
-        scenarios.push(e11);
-        for (s, rep) in scenarios.iter().zip(&reports) {
-            println!("=== {} / {} ===", s.id(), s.claim());
-            rep.print();
-            if let Err(e) = rep.write_csv(&dir) {
-                eprintln!("warning: could not write CSV for {}: {e}", s.id());
-            }
-            println!();
-        }
-    }
-
     let host_cpus = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1);
+    if host_cpus == 1 {
+        eprintln!(
+            "\nWARNING: host_cpus = 1 — the thread sweep below measures DISPATCH OVERHEAD,\n\
+             not parallel speedup. BENCH_engine.json will carry \"thread_sweep_valid\": false;\n\
+             re-record on a multi-core host before reading any speedup number.\n"
+        );
+    }
+
+    // E12 runs in both modes: its outcome feeds the JSON trajectory.
+    let e12_config = gcs_bench::e12_dynamic_workloads::Config::default();
+
+    let mut e12_outcomes = None;
+    if !engine_only {
+        // E11 and E12 are themselves wall-clock/memory benchmarks: they
+        // must not time their runs while ten other CPU-bound experiments
+        // share the machine, so they run alone after the parallel batch.
+        let mut scenarios = all_scenarios();
+        let e12 = scenarios.pop().expect("registry is non-empty");
+        let e11 = scenarios.pop().expect("registry has >= 2 entries");
+        assert_eq!(
+            e11.id(),
+            "E11",
+            "E11 must be second-to-last in the registry"
+        );
+        assert_eq!(e12.id(), "E12", "E12 must be last in the registry");
+        println!(
+            "running {} experiments in parallel over scoped threads, then E11 and E12 alone...\n",
+            scenarios.len()
+        );
+        let reports = run_parallel(&scenarios);
+        for (s, rep) in scenarios.iter().zip(&reports) {
+            print_report(s.as_ref(), rep, &dir);
+        }
+        print_report(e11.as_ref(), &e11.run_scenario(), &dir);
+        // E12 at n = 2^17 is expensive: run its families once and reuse
+        // the outcomes for both the report and the JSON trajectory below.
+        let outcomes = gcs_bench::e12_dynamic_workloads::run(&e12_config);
+        print_report(
+            e12.as_ref(),
+            &gcs_bench::e12_dynamic_workloads::report(&e12_config, &outcomes),
+            &dir,
+        );
+        e12_outcomes = Some(outcomes);
+    }
+
     println!("=== engine trajectory (baseline: batched serial; host_cpus = {host_cpus}) ===");
     let w1 = Workload::acceptance();
     let m1 = measure_threads(&w1, &[1], 2).remove(0);
     println!(
-        "E1  n={:>6} {:>16}: {:>10.0} events/s  ({} events in {:.2}s)",
-        w1.n, m1.engine, m1.events_per_sec, m1.events, m1.wall_s
+        "E1  n={:>6} {:>16}: {:>10.0} events/s  ({} events in {:.2}s, setup {:.3}s)",
+        w1.n, m1.engine, m1.events_per_sec, m1.events, m1.wall_s, m1.setup_s
     );
     let w11 = Workload::large_scale();
     // Two repeats, best-of: the first large-n run pays page faults for
@@ -112,15 +177,44 @@ fn main() {
     let sweep = measure_threads(&w11, &[1, 2, 8], 2);
     for m in &sweep {
         println!(
-            "E11 n={:>6} {:>16}: {:>10.0} events/s  ({} events in {:.2}s)",
-            w11.n, m.engine, m.events_per_sec, m.events, m.wall_s
+            "E11 n={:>6} {:>16}: {:>10.0} events/s  ({} events in {:.2}s, setup {:.3}s, backlog {})",
+            w11.n, m.engine, m.events_per_sec, m.events, m.wall_s, m.setup_s, m.peak_topology_backlog
         );
     }
-    let json = engine_json(host_cpus, &(w1, m1), &(w11, sweep));
+    // The E12 streaming families, timed once each for the trajectory.
+    let e12_for_json = e12_outcomes
+        .take()
+        .unwrap_or_else(|| gcs_bench::e12_dynamic_workloads::run(&e12_config));
+    for o in &e12_for_json {
+        println!(
+            "E12 n={:>6} {:>16}: {:>10.0} events/s  ({} events in {:.2}s, setup {:.3}s, backlog {})",
+            e12_config.n,
+            o.family,
+            o.events_per_sec,
+            o.events,
+            o.wall_s,
+            o.setup_s,
+            o.stats.peak_topology_backlog
+        );
+    }
+    let json = engine_json(
+        host_cpus,
+        &(w1, m1),
+        &(w11, sweep),
+        &e12_for_json,
+        e12_config.n,
+        gcs_analysis::peak_rss_bytes(),
+    );
     match std::fs::File::create("BENCH_engine.json").and_then(|mut f| f.write_all(json.as_bytes()))
     {
         Ok(()) => println!("wrote BENCH_engine.json"),
         Err(e) => eprintln!("warning: could not write BENCH_engine.json: {e}"),
+    }
+    if host_cpus == 1 {
+        eprintln!(
+            "WARNING: recorded with host_cpus = 1 (thread_sweep_valid = false) — \
+             speedup columns are dispatch overhead only."
+        );
     }
 
     println!(

@@ -113,12 +113,20 @@ pub fn render(outcome: &Outcome) -> Table {
     let base = outcome.points[0].events_per_sec;
     let mut t = Table::new(
         "E11 / Theorem 4.1 at scale — events/sec vs worker count (n = 65 536 class, churn on)",
-        &["threads", "events", "wall s", "events/sec", "vs serial"],
+        &[
+            "threads",
+            "events",
+            "setup s",
+            "wall s",
+            "events/sec",
+            "vs serial",
+        ],
     );
     for p in &outcome.points {
         t.row(&[
             p.threads.to_string(),
             p.events.to_string(),
+            format!("{:.3}", p.setup_s),
             format!("{:.2}", p.wall_s),
             format!("{:.0}", p.events_per_sec),
             format!("{:.2}x", p.events_per_sec / base),
@@ -156,17 +164,31 @@ impl crate::scenario::Scenario for Experiment {
             "streamed peaks: global {:.2}, local {:.2} (certified error <= {:.3})",
             out.peak_global, out.peak_local, out.skew_error_bound
         ));
+        rep.record_memory();
+        rep.note(format!(
+            "peak topology backlog: {} (streamed, not pre-loaded)",
+            out.points[0].peak_topology_backlog,
+        ));
         rep.csv(
             "e11_large_scale.csv",
-            &["threads", "events", "wall_s", "events_per_sec"],
+            &[
+                "threads",
+                "events",
+                "setup_s",
+                "wall_s",
+                "events_per_sec",
+                "peak_backlog",
+            ],
             out.points
                 .iter()
                 .map(|p| {
                     vec![
                         p.threads as f64,
                         p.events as f64,
+                        p.setup_s,
                         p.wall_s,
                         p.events_per_sec,
+                        p.peak_topology_backlog as f64,
                     ]
                 })
                 .collect(),

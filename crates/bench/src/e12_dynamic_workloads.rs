@@ -1,0 +1,373 @@
+//! E12 — the streaming dynamic-workload family at `n = 2^17`.
+//!
+//! The paper's subject is *dynamic* networks (§3.1–3.2: edges appear and
+//! disappear under T-interval connectivity), and this scenario family is
+//! where the repository actually exercises that regime at scale. Three
+//! lazily generated workloads from `gcs_net::workloads` run at
+//! `n = 131 072` on the streaming topology pipeline:
+//!
+//! * **mobility** — random-waypoint motion, geometric radius graph over
+//!   a path backbone (sustained distributed churn),
+//! * **partition** — periodic partition-and-heal (correlated bursts of
+//!   simultaneous failures, deliberately outside Definition 3.1),
+//! * **flash-crowd** — join/leave waves against rotating hubs (degree
+//!   spikes and mass discovery storms).
+//!
+//! Every run uses [`SkewStream`] streaming observability — no `O(n + m)`
+//! snapshots — and reports the three quantities the streaming pipeline
+//! exists to control: **setup time** (seconds before the first event
+//! runs), **peak topology backlog** (pulled-but-unapplied events, the
+//! pipeline's only event buffer), and **peak RSS** (measured, via
+//! `gcs_analysis::mem`). With the old eager pipeline, setup and memory
+//! both grew with the total churn-event count; here the backlog is
+//! bounded by the events of one pull window — it still scales with the
+//! churn *rate*, but not with the horizon or the total event count.
+
+use crate::scenario::{Scenario, ScenarioReport};
+use gcs_analysis::{SkewStream, Table};
+use gcs_clocks::time::at;
+use gcs_clocks::DriftModel;
+use gcs_core::{AlgoParams, GradientNode};
+use gcs_net::workloads::{FlashCrowdSource, MobilitySource, PartitionSource};
+use gcs_net::TopologySource;
+use gcs_sim::{DelayStrategy, ModelParams, SimBuilder, SimStats};
+
+/// Configuration for E12.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Node count (the headline configuration is `2^17 = 131 072`).
+    pub n: usize,
+    /// Real-time horizon.
+    pub horizon: f64,
+    /// Seed for workload generation and per-node streams.
+    pub seed: u64,
+    /// Worker count for the dispatcher (trace-invariant).
+    pub threads: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            n: 1 << 17,
+            horizon: 4.0,
+            seed: 42,
+            threads: 1,
+        }
+    }
+}
+
+/// The three workload families, as fresh sources for one run each.
+pub fn sources(config: &Config) -> Vec<(&'static str, Box<dyn TopologySource>)> {
+    let n = config.n;
+    // Geometric radius for ≈ 6 expected geometric neighbors; node motion
+    // covers a quarter radius per sample so edges persist a few samples.
+    let radius = (6.0 / (std::f64::consts::PI * n as f64)).sqrt();
+    let sample_dt = 0.5;
+    let speed = radius / (4.0 * sample_dt);
+    vec![
+        (
+            "mobility",
+            Box::new(MobilitySource::new(
+                n,
+                radius,
+                speed,
+                sample_dt,
+                config.horizon,
+                true,
+                config.seed,
+            )) as Box<dyn TopologySource>,
+        ),
+        (
+            "partition",
+            Box::new(PartitionSource::new(n, 4, 2.0, 0.5, config.horizon)),
+        ),
+        (
+            "flash-crowd",
+            Box::new(FlashCrowdSource::new(
+                n,
+                8,
+                (n / 64).max(1),
+                2.0,
+                0.5,
+                1.0,
+                config.horizon,
+                config.seed,
+            )),
+        ),
+    ]
+}
+
+/// The result of one family's run.
+#[derive(Clone, Debug)]
+pub struct FamilyOutcome {
+    /// Family name (`"mobility"`, `"partition"`, `"flash-crowd"`).
+    pub family: &'static str,
+    /// Seconds spent building the simulation (generator + engine setup).
+    pub setup_s: f64,
+    /// Seconds spent running it.
+    pub wall_s: f64,
+    /// Events processed.
+    pub events: u64,
+    /// Throughput.
+    pub events_per_sec: f64,
+    /// Streamed peak global skew.
+    pub peak_global: f64,
+    /// Streamed peak local skew.
+    pub peak_local: f64,
+    /// The probe's certified error bound on those peaks.
+    pub skew_error_bound: f64,
+    /// Current resident set right after this family's run, while its
+    /// simulation is still live — unlike the process-wide high-water
+    /// mark, this reflects *this* family's footprint even when other
+    /// work ran earlier in the process.
+    pub current_rss_bytes: Option<u64>,
+    /// Execution counters (carries `topology_events`, `topology_pulled`
+    /// and `peak_topology_backlog`).
+    pub stats: SimStats,
+}
+
+fn model() -> ModelParams {
+    crate::default_model()
+}
+
+/// Runs one family to the horizon with the streaming skew probe attached.
+pub fn run_family(
+    config: &Config,
+    family: &'static str,
+    source: Box<dyn TopologySource>,
+) -> FamilyOutcome {
+    let n = config.n;
+    let model = model();
+    let params = AlgoParams::with_minimal_b0(model, n, 0.5);
+    let t0 = std::time::Instant::now();
+    let mut sim = SimBuilder::from_source(model, source)
+        .drift(DriftModel::FastUpTo(n / 2), config.horizon)
+        .delay(DelayStrategy::Max)
+        .seed(config.seed)
+        .threads(config.threads)
+        .build_with(|_| GradientNode::new(params));
+    let setup_s = t0.elapsed().as_secs_f64();
+    let mut probe = SkewStream::new(n, model.rho, 64);
+    let t1 = std::time::Instant::now();
+    sim.run_until_with(at(config.horizon), |sim, t, touched| {
+        probe.observe(sim, t, touched);
+    });
+    let wall_s = t1.elapsed().as_secs_f64();
+    let stats = *sim.stats();
+    // Read while `sim` is still alive so the number reflects this
+    // family's live allocations.
+    let current_rss_bytes = gcs_analysis::current_rss_bytes();
+    FamilyOutcome {
+        family,
+        setup_s,
+        wall_s,
+        events: stats.events_processed,
+        events_per_sec: stats.events_processed as f64 / wall_s.max(1e-12),
+        peak_global: probe.peak_global_skew(),
+        peak_local: probe.peak_local_skew(),
+        skew_error_bound: probe.error_bound(),
+        current_rss_bytes,
+        stats,
+    }
+}
+
+/// Runs all three families in sequence (each alone, so its timing and
+/// memory readings are honest).
+pub fn run(config: &Config) -> Vec<FamilyOutcome> {
+    sources(config)
+        .into_iter()
+        .map(|(family, source)| run_family(config, family, source))
+        .collect()
+}
+
+/// Renders the family comparison table.
+pub fn render(config: &Config, outcomes: &[FamilyOutcome]) -> Table {
+    let mut t = Table::new(
+        format!(
+            "E12 / §3.1–3.2 dynamic workloads at n = {} — streaming topology pipeline",
+            config.n
+        ),
+        &[
+            "family",
+            "setup s",
+            "wall s",
+            "events",
+            "events/sec",
+            "topo events",
+            "peak backlog",
+            "peak gskew",
+            "err bound",
+        ],
+    );
+    for o in outcomes {
+        t.row(&[
+            o.family.to_string(),
+            format!("{:.3}", o.setup_s),
+            format!("{:.2}", o.wall_s),
+            o.events.to_string(),
+            format!("{:.0}", o.events_per_sec),
+            o.stats.topology_events.to_string(),
+            o.stats.peak_topology_backlog.to_string(),
+            format!("{:.2}", o.peak_global),
+            format!("{:.3}", o.skew_error_bound),
+        ]);
+    }
+    t
+}
+
+/// E12 behind the [`Scenario`] surface.
+#[derive(Clone, Debug, Default)]
+pub struct Experiment {
+    /// Workload-family configuration.
+    pub config: Config,
+}
+
+impl Scenario for Experiment {
+    fn id(&self) -> &'static str {
+        "E12"
+    }
+    fn title(&self) -> &'static str {
+        "streaming dynamic workloads (mobility / partition / flash-crowd) at n = 2^17"
+    }
+    fn claim(&self) -> &'static str {
+        "§3.1–3.2 — dynamic networks at scale on the streaming topology pipeline"
+    }
+    fn run_scenario(&self) -> ScenarioReport {
+        report(&self.config, &run(&self.config))
+    }
+}
+
+/// Builds the scenario report from already-computed outcomes (shared by
+/// [`Scenario::run_scenario`] and `run_all`, which reuses one expensive
+/// `n = 2^17` run for both the report and the JSON trajectory).
+pub fn report(config: &Config, outcomes: &[FamilyOutcome]) -> ScenarioReport {
+    let mut rep = ScenarioReport::new();
+    rep.table(render(config, outcomes));
+    for o in outcomes {
+        rep.note(format!(
+            "{}: backlog peaked at {} of {} pulled topology events ({} applied) — \
+                 the streaming pipeline buffers a lookahead window, never the schedule",
+            o.family,
+            o.stats.peak_topology_backlog,
+            o.stats.topology_pulled,
+            o.stats.topology_events,
+        ));
+    }
+    // Memory goes into the dedicated field (and `print`), never into the
+    // trace-compared notes; per-family live RSS is in the JSON trajectory.
+    rep.record_memory();
+    rep.csv(
+        "e12_dynamic_workloads.csv",
+        &[
+            "family",
+            "setup_s",
+            "wall_s",
+            "events",
+            "events_per_sec",
+            "topology_events",
+            "peak_backlog",
+            "peak_global_skew",
+        ],
+        outcomes
+            .iter()
+            .enumerate()
+            .map(|(i, o)| {
+                vec![
+                    i as f64,
+                    o.setup_s,
+                    o.wall_s,
+                    o.events as f64,
+                    o.events_per_sec,
+                    o.stats.topology_events as f64,
+                    o.stats.peak_topology_backlog as f64,
+                    o.peak_global,
+                ]
+            })
+            .collect(),
+    );
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Config {
+        Config {
+            n: 128,
+            horizon: 10.0,
+            seed: 7,
+            threads: 1,
+        }
+    }
+
+    #[test]
+    fn all_three_families_run_and_stream() {
+        let outcomes = run(&small());
+        assert_eq!(outcomes.len(), 3);
+        let names: Vec<_> = outcomes.iter().map(|o| o.family).collect();
+        assert_eq!(names, vec!["mobility", "partition", "flash-crowd"]);
+        for o in &outcomes {
+            assert!(
+                o.events > 5_000,
+                "{}: workload too small: {}",
+                o.family,
+                o.events
+            );
+            assert!(
+                o.stats.topology_events > 0,
+                "{}: no churn reached the engine",
+                o.family
+            );
+            assert_eq!(
+                o.stats.topology_pulled, o.stats.topology_events,
+                "{}: every pulled event must apply by the horizon",
+                o.family
+            );
+            assert!(o.skew_error_bound.is_finite());
+        }
+    }
+
+    #[test]
+    fn backlog_stays_a_window_not_the_schedule() {
+        // The defining property of the streaming pipeline: the peak
+        // pulled-but-unapplied backlog is a lookahead window, far below
+        // the total number of topology events of a long run.
+        let config = Config {
+            n: 64,
+            horizon: 60.0,
+            seed: 3,
+            threads: 1,
+        };
+        for o in run(&config) {
+            assert!(
+                o.stats.topology_events > 50,
+                "{}: need sustained churn, got {}",
+                o.family,
+                o.stats.topology_events
+            );
+            assert!(
+                o.stats.peak_topology_backlog < o.stats.topology_events / 2,
+                "{}: backlog {} not a window of {} total events",
+                o.family,
+                o.stats.peak_topology_backlog,
+                o.stats.topology_events
+            );
+        }
+    }
+
+    #[test]
+    fn families_are_trace_invariant_across_thread_counts() {
+        let base = small();
+        let serial = run(&base);
+        let parallel = run(&Config { threads: 4, ..base });
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.stats, p.stats, "{} diverged across threads", s.family);
+            assert!(
+                s.peak_global.to_bits() == p.peak_global.to_bits(),
+                "{}: streamed peaks diverged",
+                s.family
+            );
+        }
+    }
+}

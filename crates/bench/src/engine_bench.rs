@@ -122,10 +122,18 @@ pub struct Measurement {
     pub threads: usize,
     /// Events processed over the run.
     pub events: u64,
-    /// Wall-clock seconds.
+    /// Wall-clock seconds spent *building* the simulation (schedule
+    /// generation + engine construction). With eager schedules this is
+    /// the serial setup phase the streaming pipeline removes; tracked in
+    /// `BENCH_engine.json` so the trajectory shows it.
+    pub setup_s: f64,
+    /// Wall-clock seconds of the run itself.
     pub wall_s: f64,
     /// Throughput.
     pub events_per_sec: f64,
+    /// Peak pulled-but-unapplied topology events (the streaming
+    /// pipeline's event backlog; equals the stats field of the run).
+    pub peak_topology_backlog: u64,
     /// Execution counters of the run (identical across thread counts —
     /// consumers use this for determinism cross-checks without re-running).
     pub stats: SimStats,
@@ -138,20 +146,40 @@ pub fn measure(w: &Workload) -> Measurement {
     } else {
         format!("parallel-{}t", w.threads)
     };
-    let mut sim = w.build();
     let t0 = std::time::Instant::now();
+    let mut sim = w.build();
+    let setup_s = t0.elapsed().as_secs_f64();
+    let t1 = std::time::Instant::now();
     sim.run_until(at(w.horizon));
-    let wall_s = t0.elapsed().as_secs_f64();
+    let wall_s = t1.elapsed().as_secs_f64();
     let stats = *sim.stats();
     let events = stats.events_processed;
     Measurement {
         engine,
         threads: w.threads,
         events,
+        setup_s,
         wall_s,
         events_per_sec: events as f64 / wall_s.max(1e-12),
+        peak_topology_backlog: stats.peak_topology_backlog,
         stats,
     }
+}
+
+/// The environment variable CI smoke jobs use to shrink the large-scale
+/// experiment widths (`GCS_SMOKE_N=4096 cargo run ... --bin
+/// exp_large_scale`), so the scale paths run on every push instead of
+/// only in benches.
+pub const SMOKE_N_ENV: &str = "GCS_SMOKE_N";
+
+/// The configured large-scale width: `full` unless [`SMOKE_N_ENV`]
+/// overrides it with a smaller value (floored at 16 nodes).
+pub fn smoke_n(full: usize) -> usize {
+    std::env::var(SMOKE_N_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .map(|n| n.clamp(16, full))
+        .unwrap_or(full)
 }
 
 /// Runs `w` at each worker count, `repeats` times each, and returns the

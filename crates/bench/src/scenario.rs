@@ -37,12 +37,15 @@ pub struct CsvSeries {
 }
 
 /// Everything a scenario produces: human-readable tables and notes plus
-/// machine-readable CSV series.
+/// machine-readable CSV series, and (optionally) the process peak RSS
+/// observed after the run.
 ///
-/// `PartialEq` is deliberate: the determinism regression tests assert
-/// that whole reports — rendered tables, notes, and every CSV cell — are
-/// identical across engine thread counts.
-#[derive(Clone, Debug, Default, PartialEq)]
+/// `PartialEq` is deliberate and *manual*: the determinism regression
+/// tests assert that whole reports — rendered tables, notes, and every
+/// CSV cell — are identical across engine thread counts. The memory
+/// reading is a host fact, not a trace fact (it varies run to run), so
+/// it is excluded from equality.
+#[derive(Clone, Debug, Default)]
 pub struct ScenarioReport {
     /// Rendered paper-vs-measured tables.
     pub tables: Vec<Table>,
@@ -50,12 +53,32 @@ pub struct ScenarioReport {
     pub notes: Vec<String>,
     /// CSV series for the trajectory directory.
     pub series: Vec<CsvSeries>,
+    /// Process peak RSS in bytes after the scenario ran, if measured
+    /// (see [`ScenarioReport::record_memory`]). Process-wide: only
+    /// meaningful for scenarios that run alone, like E11/E12.
+    pub peak_rss_bytes: Option<u64>,
+}
+
+impl PartialEq for ScenarioReport {
+    fn eq(&self, other: &Self) -> bool {
+        // `peak_rss_bytes` deliberately excluded — see the type docs.
+        self.tables == other.tables && self.notes == other.notes && self.series == other.series
+    }
 }
 
 impl ScenarioReport {
     /// An empty report.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Stamps the process peak RSS (high-water mark) into the report so
+    /// memory claims are measured, not asserted. Call at the end of a
+    /// scenario that runs alone; `None` on platforms without
+    /// `/proc/self/status`.
+    pub fn record_memory(&mut self) -> &mut Self {
+        self.peak_rss_bytes = gcs_analysis::peak_rss_bytes();
+        self
     }
 
     /// Adds a rendered table.
@@ -85,7 +108,9 @@ impl ScenarioReport {
         self
     }
 
-    /// Prints tables then notes to stdout.
+    /// Prints tables, notes, then the memory reading (if recorded) to
+    /// stdout. The memory line lives here — not in `notes` — so host
+    /// facts never leak into the trace-compared report content.
     pub fn print(&self) {
         for t in &self.tables {
             t.print();
@@ -93,6 +118,13 @@ impl ScenarioReport {
         }
         for n in &self.notes {
             println!("{n}");
+        }
+        if let Some(bytes) = self.peak_rss_bytes {
+            println!(
+                "process peak RSS: {} MiB (process-lifetime high-water mark — \
+                 faithful only in a fresh process, e.g. the standalone bins)",
+                gcs_analysis::mem::fmt_mib(Some(bytes))
+            );
         }
     }
 
@@ -123,8 +155,9 @@ pub trait Scenario: Send + Sync {
     fn run_scenario(&self) -> ScenarioReport;
 }
 
-/// All eleven experiments, in order (E1–E10 reproduce paper claims at
-/// small `n`; E11 is the large-scale parallel-engine run).
+/// All twelve experiments, in order (E1–E10 reproduce paper claims at
+/// small `n`; E11 is the large-scale parallel-engine run; E12 is the
+/// streaming dynamic-workload family at `n = 2^17`).
 pub fn all_scenarios() -> Vec<Box<dyn Scenario>> {
     vec![
         Box::new(crate::e1_global_skew::Experiment::default()),
@@ -138,6 +171,7 @@ pub fn all_scenarios() -> Vec<Box<dyn Scenario>> {
         Box::new(crate::e9_gradient_profile::Experiment::default()),
         Box::new(crate::e10_weighted::Experiment::default()),
         Box::new(crate::e11_large_scale::Experiment::default()),
+        Box::new(crate::e12_dynamic_workloads::Experiment::default()),
     ]
 }
 
@@ -213,16 +247,28 @@ mod tests {
     use gcs_clocks::time::at;
 
     #[test]
-    fn registry_lists_all_eleven_experiments_in_order() {
+    fn registry_lists_all_twelve_experiments_in_order() {
         let ids: Vec<&str> = all_scenarios().iter().map(|s| s.id()).collect();
         assert_eq!(
             ids,
-            vec!["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11"]
+            vec!["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12"]
         );
         for s in all_scenarios() {
             assert!(!s.title().is_empty(), "{} needs a title", s.id());
             assert!(!s.claim().is_empty(), "{} needs a claim", s.id());
         }
+    }
+
+    #[test]
+    fn report_equality_ignores_memory_readings() {
+        let mut a = ScenarioReport::new();
+        a.note("same trace");
+        let mut b = a.clone();
+        a.peak_rss_bytes = Some(1);
+        b.peak_rss_bytes = Some(2);
+        assert_eq!(a, b, "host memory facts must not break determinism pins");
+        b.note("different trace");
+        assert_ne!(a, b);
     }
 
     #[test]

@@ -1,0 +1,192 @@
+//! Eager-vs-streaming equivalence: the lazily pulled topology pipeline
+//! must be *bit-identical* to running the same event stream from a fully
+//! materialized [`TopologySchedule`].
+//!
+//! Both paths go through the one streaming engine (an eager schedule is
+//! served by `ScheduleSource`), so these tests pin the contract that
+//! makes lazy generation safe: a source and its collected schedule
+//! describe the same execution — same logical-clock bits at every
+//! checkpoint, same execution counters (including the pull/backlog
+//! counters) — at every thread count, and regardless of how `run_until`
+//! is chunked.
+
+use gcs_bench::scenario;
+use gcs_clocks::time::at;
+use gcs_clocks::{DriftModel, Time};
+use gcs_core::{AlgoParams, GradientNode};
+use gcs_net::churn::ChurnSource;
+use gcs_net::source::{collect_schedule, TopologySource};
+use gcs_net::{generators, Edge, TopologyEvent, TopologySchedule};
+use gcs_sim::{DelayStrategy, ModelParams, SimBuilder, Simulator};
+
+const THREAD_COUNTS: [usize; 2] = [1, 8];
+
+fn e1_model() -> ModelParams {
+    ModelParams::new(0.01, 1.0, 2.0)
+}
+
+fn e1_churn_source(n: usize, horizon: f64, seed: u64) -> ChurnSource {
+    ChurnSource::new(
+        n,
+        generators::path(n),
+        n / 4,
+        (6.0, 12.0),
+        (2.0, 4.0),
+        horizon,
+        seed ^ 0x000c_4e1d,
+    )
+}
+
+fn run_and_compare(
+    mut eager: Simulator<GradientNode>,
+    mut streaming: Simulator<GradientNode>,
+    horizon: f64,
+    step: f64,
+) {
+    let mut t = 0.0;
+    while t < horizon {
+        t = (t + step).min(horizon);
+        eager.run_until(at(t));
+        streaming.run_until(at(t));
+        for (i, (x, y)) in eager
+            .logical_snapshot()
+            .iter()
+            .zip(streaming.logical_snapshot())
+            .enumerate()
+        {
+            assert!(
+                x.to_bits() == y.to_bits(),
+                "t={t}: node {i} diverged: streaming {y:?} vs eager {x:?}"
+            );
+        }
+    }
+    assert_eq!(
+        eager.stats(),
+        streaming.stats(),
+        "counters diverged (including pull/backlog counters)"
+    );
+    assert!(eager.stats().topology_events > 0, "workload must churn");
+}
+
+#[test]
+fn e1_churn_eager_vs_streaming_bit_identical() {
+    let (n, horizon, seed) = (96, 40.0, 1234);
+    let model = e1_model();
+    let params = AlgoParams::with_minimal_b0(model, n, 0.5);
+    // The lazy generator's stream, fully collected and validated.
+    let schedule: TopologySchedule = collect_schedule(e1_churn_source(n, horizon, seed));
+    for threads in THREAD_COUNTS {
+        let mk = |sched: Option<TopologySchedule>| {
+            let b = match sched {
+                Some(s) => SimBuilder::new(model, s),
+                None => SimBuilder::from_source(model, e1_churn_source(n, horizon, seed)),
+            };
+            b.drift(DriftModel::FastUpTo(n / 2), horizon)
+                .delay(DelayStrategy::Max)
+                .seed(seed)
+                .threads(threads)
+                .build_with(|_| GradientNode::new(params))
+        };
+        run_and_compare(mk(Some(schedule.clone())), mk(None), horizon, 2.0);
+    }
+}
+
+/// A hand-written lazy source for the E2 merge workload: the bridge add
+/// is *computed on demand*, never materialized up front.
+struct LazyMerge {
+    n: usize,
+    initial: Vec<Edge>,
+    bridge: Edge,
+    t_bridge: Time,
+    emitted: bool,
+}
+
+impl TopologySource for LazyMerge {
+    fn n(&self) -> usize {
+        self.n
+    }
+    fn initial_edges(&mut self) -> Vec<Edge> {
+        std::mem::take(&mut self.initial)
+    }
+    fn peek_time(&mut self) -> Option<Time> {
+        (!self.emitted).then_some(self.t_bridge)
+    }
+    fn pull_until(&mut self, until: Time, buf: &mut Vec<TopologyEvent>) {
+        if !self.emitted && self.t_bridge <= until {
+            buf.push(gcs_net::schedule::add_at(
+                self.t_bridge.seconds(),
+                self.bridge,
+            ));
+            self.emitted = true;
+        }
+    }
+}
+
+#[test]
+fn e2_merge_eager_vs_streaming_bit_identical() {
+    let n = 96;
+    let model = ModelParams::new(0.05, 1.0, 2.0);
+    let params = AlgoParams::with_minimal_b0(model, n, 0.5);
+    let t_bridge = scenario::t_bridge_for_skew(model, 40.0);
+    let m = scenario::merge(n, model, t_bridge);
+    let horizon = t_bridge + params.w() + 50.0;
+    for threads in THREAD_COUNTS {
+        let eager = SimBuilder::new(model, m.schedule.clone())
+            .clocks(m.clocks.clone())
+            .delay(DelayStrategy::Max)
+            .seed(9)
+            .threads(threads)
+            .build_with(|_| GradientNode::new(params));
+        let lazy = LazyMerge {
+            n,
+            // Same sorted order the schedule's BTreeSet iterates in.
+            initial: m.schedule.initial_edges().collect(),
+            bridge: m.bridge,
+            t_bridge: at(t_bridge),
+            emitted: false,
+        };
+        let streaming = SimBuilder::from_source(model, lazy)
+            .clocks(m.clocks.clone())
+            .delay(DelayStrategy::Max)
+            .seed(9)
+            .threads(threads)
+            .build_with(|_| GradientNode::new(params));
+        run_and_compare(eager, streaming, horizon, 5.0);
+    }
+}
+
+#[test]
+fn streaming_pull_pattern_invariant_under_run_until_chunking() {
+    // Pull decisions must depend only on the wheel/source state — never
+    // on the `run_until` target — so chunked and one-shot drains agree.
+    let (n, horizon, seed) = (48, 30.0, 7);
+    let model = e1_model();
+    let params = AlgoParams::with_minimal_b0(model, n, 0.5);
+    let mk = || {
+        SimBuilder::from_source(model, e1_churn_source(n, horizon, seed))
+            .delay(DelayStrategy::Uniform { lo: 0.0, hi: 1.0 })
+            .seed(seed)
+            .build_with(|_| GradientNode::new(params))
+    };
+    let mut one_shot = mk();
+    one_shot.run_until(at(horizon));
+    let mut chunked = mk();
+    let mut t = 0.0;
+    while t < horizon {
+        t = (t + 0.7).min(horizon);
+        chunked.run_until(at(t));
+    }
+    for (x, y) in one_shot
+        .logical_snapshot()
+        .iter()
+        .zip(chunked.logical_snapshot())
+    {
+        assert!(x.to_bits() == y.to_bits());
+    }
+    assert_eq!(one_shot.stats(), chunked.stats());
+    assert!(one_shot.stats().peak_topology_backlog > 0);
+    assert!(
+        one_shot.stats().peak_topology_backlog < one_shot.stats().topology_pulled,
+        "backlog must be a window, not the whole stream"
+    );
+}

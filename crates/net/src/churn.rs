@@ -18,9 +18,12 @@
 use crate::generators;
 use crate::ids::{node, Edge};
 use crate::schedule::{TopologyEvent, TopologyEventKind, TopologySchedule};
+use crate::source::TopologySource;
 use gcs_clocks::Time;
-use rand::Rng;
-use std::collections::BTreeSet;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap};
 
 fn ev(t: f64, kind: TopologyEventKind, edge: Edge) -> TopologyEvent {
     TopologyEvent {
@@ -226,13 +229,172 @@ pub fn mobility<R: Rng>(
     TopologySchedule::new(n, initial, events)
 }
 
+/// Decorrelated per-edge stream seed for the lazy churn generator: each
+/// chord edge owns an independent RNG stream derived from `(seed, edge)`,
+/// so its toggle sequence can be generated on demand without replaying
+/// any other edge's draws.
+fn edge_stream_seed(seed: u64, e: Edge) -> u64 {
+    seed ^ 0x6A09_E667_F3BC_C908
+        ^ (e.lo().index() as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (e.hi().index() as u64 + 1).wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+}
+
+/// Per-chord toggle state of a [`ChurnSource`].
+#[derive(Debug)]
+struct Chord {
+    edge: Edge,
+    /// The chord's private stream (dwell draws only).
+    rng: StdRng,
+    /// Whether the chord is currently up (state *before* the next toggle).
+    up: bool,
+}
+
+/// The lazy counterpart of [`random_churn`]: a static backbone plus
+/// flapping chord edges whose toggle sequences are generated **on
+/// demand** from per-edge RNG streams.
+///
+/// Memory is `O(chords)` — one RNG and one pending-toggle heap entry per
+/// chord — independent of how many toggle events the horizon implies,
+/// which is what makes sustained churn at `n = 2^17` affordable. The
+/// stream is deterministic per `(seed, parameters)` and, collected,
+/// passes [`TopologySchedule::new`] validation (each chord alternates
+/// add/remove at strictly increasing times).
+///
+/// Chord *placement* matches [`random_churn`]'s rejection sampling
+/// exactly (same seed → same chord set); the toggle *times* come from
+/// per-edge streams instead of one shared draw sequence, so the two
+/// generators describe the same family but not bit-identical logs.
+#[derive(Debug)]
+pub struct ChurnSource {
+    n: usize,
+    horizon: f64,
+    up_range: (f64, f64),
+    down_range: (f64, f64),
+    initial: Vec<Edge>,
+    chords: Vec<Chord>,
+    /// Pending next toggle per chord, earliest `(time, edge)` first.
+    queue: BinaryHeap<Reverse<(Time, Edge, usize)>>,
+}
+
+impl ChurnSource {
+    /// Builds the source; parameters mirror [`random_churn`].
+    pub fn new(
+        n: usize,
+        backbone: Vec<Edge>,
+        chords: usize,
+        up_range: (f64, f64),
+        down_range: (f64, f64),
+        horizon: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(up_range.0 > 0.0 && up_range.0 <= up_range.1);
+        assert!(down_range.0 > 0.0 && down_range.0 <= down_range.1);
+        let backbone_set: BTreeSet<Edge> = backbone.iter().copied().collect();
+        let chords = chords.min(n * (n - 1) / 2 - backbone_set.len());
+        // Chord placement: same rejection sampling as the eager builder.
+        let mut placement = StdRng::seed_from_u64(seed);
+        let mut chord_edges = BTreeSet::new();
+        let mut guard = 0;
+        while chord_edges.len() < chords {
+            guard += 1;
+            assert!(
+                guard < 100 * chords + 1000,
+                "could not find {chords} distinct chords for n={n}"
+            );
+            let i = placement.gen_range(0..n);
+            let j = placement.gen_range(0..n);
+            if i == j {
+                continue;
+            }
+            let e = Edge::between(i, j);
+            if !backbone_set.contains(&e) {
+                chord_edges.insert(e);
+            }
+        }
+        let mut initial: BTreeSet<Edge> = backbone_set;
+        let mut states = Vec::with_capacity(chords);
+        let mut queue = BinaryHeap::with_capacity(chords);
+        for e in chord_edges {
+            let mut rng = StdRng::seed_from_u64(edge_stream_seed(seed, e));
+            let up = rng.gen_bool(0.5);
+            if up {
+                initial.insert(e);
+            }
+            let first = rng.gen_range(0.01..up_range.1);
+            let idx = states.len();
+            states.push(Chord { edge: e, rng, up });
+            if first <= horizon {
+                queue.push(Reverse((Time::new(first), e, idx)));
+            }
+        }
+        ChurnSource {
+            n,
+            horizon,
+            up_range,
+            down_range,
+            initial: initial.into_iter().collect(),
+            chords: states,
+            queue,
+        }
+    }
+
+    /// Emits the pending toggle of chord `idx` at `t` and schedules the
+    /// chord's next toggle if it lands within the horizon.
+    fn toggle(&mut self, t: Time, idx: usize) -> TopologyEvent {
+        let chord = &mut self.chords[idx];
+        let kind = if chord.up {
+            TopologyEventKind::Remove
+        } else {
+            TopologyEventKind::Add
+        };
+        chord.up = !chord.up;
+        let dwell = if chord.up {
+            chord.rng.gen_range(self.up_range.0..=self.up_range.1)
+        } else {
+            chord.rng.gen_range(self.down_range.0..=self.down_range.1)
+        };
+        let next = t.seconds() + dwell;
+        if next <= self.horizon {
+            self.queue.push(Reverse((Time::new(next), chord.edge, idx)));
+        }
+        TopologyEvent {
+            time: t,
+            kind,
+            edge: chord.edge,
+        }
+    }
+}
+
+impl TopologySource for ChurnSource {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn initial_edges(&mut self) -> Vec<Edge> {
+        std::mem::take(&mut self.initial)
+    }
+
+    fn peek_time(&mut self) -> Option<Time> {
+        self.queue.peek().map(|Reverse((t, _, _))| *t)
+    }
+
+    fn pull_until(&mut self, until: Time, buf: &mut Vec<TopologyEvent>) {
+        while let Some(&Reverse((t, _, idx))) = self.queue.peek() {
+            if t > until {
+                break;
+            }
+            self.queue.pop();
+            buf.push(self.toggle(t, idx));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::connectivity::{is_connected, is_interval_connected};
+    use crate::source::collect_schedule;
     use gcs_clocks::time::{at, secs};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn rotating_star_interval_connected_with_overlap() {
@@ -309,6 +471,86 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let s = mobility(12, 0.3, 0.05, 1.0, 50.0, true, &mut rng);
         assert!(is_interval_connected(&s, secs(1.0), at(50.0)));
+    }
+
+    #[test]
+    fn churn_source_collects_to_valid_schedule() {
+        let src = ChurnSource::new(12, generators::path(12), 8, (2.0, 6.0), (1.0, 3.0), 80.0, 7);
+        // `collect_schedule` runs the full TopologySchedule::new validator.
+        let sched = collect_schedule(src);
+        assert!(!sched.events().is_empty());
+        // Backbone never churns, so the schedule stays interval connected.
+        assert!(is_interval_connected(&sched, secs(5.0), at(80.0)));
+    }
+
+    #[test]
+    fn churn_source_is_deterministic_per_seed_and_lazy_pulls_compose() {
+        let mk = || {
+            ChurnSource::new(
+                10,
+                generators::path(10),
+                6,
+                (2.0, 4.0),
+                (1.0, 2.0),
+                60.0,
+                42,
+            )
+        };
+        let all = collect_schedule(mk());
+        // Pulling in small increments yields the identical stream.
+        let mut src = mk();
+        let initial = src.initial_edges();
+        let mut events = Vec::new();
+        let mut t = 0.0;
+        while t < 70.0 {
+            t += 1.3;
+            src.pull_until(at(t), &mut events);
+        }
+        let chunked = TopologySchedule::new(10, initial, events);
+        assert_eq!(all, chunked);
+        assert_ne!(
+            all,
+            collect_schedule(ChurnSource::new(
+                10,
+                generators::path(10),
+                6,
+                (2.0, 4.0),
+                (1.0, 2.0),
+                60.0,
+                43
+            )),
+            "different seeds must differ"
+        );
+    }
+
+    #[test]
+    fn churn_source_places_chords_like_the_eager_builder() {
+        // Same seed ⇒ same chord placement (rejection sampling is shared);
+        // toggle times differ (per-edge streams vs one shared stream).
+        let seed = 11;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let eager = random_churn(
+            10,
+            generators::path(10),
+            5,
+            (2.0, 6.0),
+            (1.0, 3.0),
+            50.0,
+            &mut rng,
+        );
+        let lazy = collect_schedule(ChurnSource::new(
+            10,
+            generators::path(10),
+            5,
+            (2.0, 6.0),
+            (1.0, 3.0),
+            50.0,
+            seed,
+        ));
+        let edges_of = |s: &TopologySchedule| -> BTreeSet<Edge> {
+            s.events().iter().map(|ev| ev.edge).collect()
+        };
+        assert_eq!(edges_of(&eager), edges_of(&lazy));
     }
 
     #[test]

@@ -20,26 +20,48 @@ pub struct PresenceInterval {
     pub removed: Option<Time>,
 }
 
-/// Live dynamic-graph state with history.
+/// Live dynamic-graph state with (optional) history.
 #[derive(Clone, Debug)]
 pub struct DynamicGraph {
     n: usize,
     adjacency: Vec<BTreeSet<NodeId>>,
     present: BTreeSet<Edge>,
     history: BTreeMap<Edge, Vec<PresenceInterval>>,
+    /// Whether presence intervals are recorded. History costs `O(total
+    /// events)` memory over a run — the streaming engine disables it by
+    /// default so peak memory stays independent of the churn volume.
+    retain_history: bool,
     now: Time,
 }
 
 impl DynamicGraph {
-    /// A graph over `n` isolated nodes at time 0.
+    /// A graph over `n` isolated nodes at time 0 (history retained).
     pub fn empty(n: usize) -> Self {
         DynamicGraph {
             n,
             adjacency: vec![BTreeSet::new(); n],
             present: BTreeSet::new(),
             history: BTreeMap::new(),
+            retain_history: true,
             now: Time::ZERO,
         }
+    }
+
+    /// Enables or disables presence-history recording. Disabling clears
+    /// any history already accumulated; while disabled,
+    /// [`history`](Self::history) returns empty slices and
+    /// [`existed_throughout`](Self::existed_throughout) /
+    /// [`up_since`](Self::up_since) cannot answer.
+    pub fn set_retain_history(&mut self, retain: bool) {
+        self.retain_history = retain;
+        if !retain {
+            self.history.clear();
+        }
+    }
+
+    /// Whether presence history is being recorded.
+    pub fn retains_history(&self) -> bool {
+        self.retain_history
     }
 
     /// A graph initialized with `E₀` at time 0.
@@ -80,10 +102,12 @@ impl DynamicGraph {
         );
         self.adjacency[e.lo().index()].insert(e.hi());
         self.adjacency[e.hi().index()].insert(e.lo());
-        self.history.entry(e).or_default().push(PresenceInterval {
-            added: t,
-            removed: None,
-        });
+        if self.retain_history {
+            self.history.entry(e).or_default().push(PresenceInterval {
+                added: t,
+                removed: None,
+            });
+        }
         self.now = t;
     }
 
@@ -93,13 +117,15 @@ impl DynamicGraph {
         assert!(self.present.remove(&e), "edge {e:?} not present at {t:?}");
         self.adjacency[e.lo().index()].remove(&e.hi());
         self.adjacency[e.hi().index()].remove(&e.lo());
-        let intervals = self
-            .history
-            .get_mut(&e)
-            .expect("present edge must have history");
-        let last = intervals.last_mut().expect("present edge has an interval");
-        debug_assert!(last.removed.is_none());
-        last.removed = Some(t);
+        if self.retain_history {
+            let intervals = self
+                .history
+                .get_mut(&e)
+                .expect("present edge must have history");
+            let last = intervals.last_mut().expect("present edge has an interval");
+            debug_assert!(last.removed.is_none());
+            last.removed = Some(t);
+        }
         self.now = t;
     }
 
@@ -237,6 +263,21 @@ mod tests {
         let mut g = DynamicGraph::empty(2);
         g.add_edge(e(0, 1), at(1.0));
         g.add_edge(e(0, 1), at(2.0));
+    }
+
+    #[test]
+    fn history_retention_can_be_disabled() {
+        let mut g = DynamicGraph::empty(2);
+        g.set_retain_history(false);
+        assert!(!g.retains_history());
+        g.add_edge(e(0, 1), at(1.0));
+        g.remove_edge(e(0, 1), at(5.0));
+        g.add_edge(e(0, 1), at(8.0));
+        // Live state is fully tracked; history is not.
+        assert!(g.contains(e(0, 1)));
+        assert_eq!(g.degree(node(0)), 1);
+        assert!(g.history(e(0, 1)).is_empty());
+        assert_eq!(g.up_since(e(0, 1)), None);
     }
 
     #[test]

@@ -22,6 +22,12 @@
 //!   network),
 //! * [`churn`] — dynamic-topology generators (rotating star, flapping
 //!   bridge, random churn over a stable backbone, waypoint mobility),
+//! * [`source`] — the pull-based [`TopologySource`] stream abstraction
+//!   (lazy topology generation with memory independent of the total
+//!   churn-event count) and the [`ScheduleSource`] adapter over eager
+//!   schedules,
+//! * [`workloads`] — lazy dynamic-workload families: random-waypoint
+//!   mobility, periodic partition-and-heal, flash-crowd join/leave waves,
 //! * [`connectivity`] — instantaneous and T-interval connectivity checks,
 //! * [`distance`] — BFS distances, eccentricity, diameter.
 //!
@@ -54,7 +60,10 @@ pub mod dynamic;
 pub mod generators;
 pub mod ids;
 pub mod schedule;
+pub mod source;
+pub mod workloads;
 
 pub use dynamic::DynamicGraph;
 pub use ids::{node, Edge, NodeId};
-pub use schedule::{ShardView, TopologyEvent, TopologyEventKind, TopologySchedule};
+pub use schedule::{TopologyEvent, TopologyEventKind, TopologySchedule};
+pub use source::{collect_schedule, ScheduleSource, TopologySource};

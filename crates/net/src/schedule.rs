@@ -190,72 +190,6 @@ impl TopologySchedule {
     pub fn last_event_time(&self) -> Time {
         self.events.last().map(|e| e.time).unwrap_or(Time::ZERO)
     }
-
-    /// The slice of this schedule owned by one shard, under the canonical
-    /// ownership rule used throughout the workspace: an edge is owned by
-    /// its **lower** endpoint, and node `u` belongs to shard
-    /// `u mod num_shards` (round-robin).
-    ///
-    /// Sharded engines use the views to build their per-shard canonical
-    /// edge state and to route churn to the shard that owns it. The views
-    /// of all shards partition the schedule exactly; see
-    /// [`ShardView::owns`].
-    pub fn shard_view(&self, shard: usize, num_shards: usize) -> ShardView<'_> {
-        assert!(num_shards >= 1 && shard < num_shards, "shard out of range");
-        ShardView {
-            schedule: self,
-            shard,
-            num_shards,
-        }
-    }
-}
-
-/// One shard's view of a [`TopologySchedule`] (see
-/// [`TopologySchedule::shard_view`]).
-#[derive(Clone, Copy, Debug)]
-pub struct ShardView<'a> {
-    schedule: &'a TopologySchedule,
-    shard: usize,
-    num_shards: usize,
-}
-
-impl<'a> ShardView<'a> {
-    /// This view's shard index.
-    pub fn shard(&self) -> usize {
-        self.shard
-    }
-
-    /// True if this shard owns `edge` (its lower endpoint lives here).
-    #[inline]
-    pub fn owns(&self, edge: Edge) -> bool {
-        edge.lo().index() % self.num_shards == self.shard
-    }
-
-    /// The initial edges owned by this shard, in canonical order.
-    pub fn initial_edges(&self) -> impl Iterator<Item = Edge> + 'a {
-        let (shard, num_shards) = (self.shard, self.num_shards);
-        self.schedule
-            .initial_edges()
-            .filter(move |e| e.lo().index() % num_shards == shard)
-    }
-
-    /// The timed events owned by this shard, in schedule order.
-    pub fn events(&self) -> impl Iterator<Item = &'a TopologyEvent> {
-        let (shard, num_shards) = (self.shard, self.num_shards);
-        self.schedule
-            .events()
-            .iter()
-            .filter(move |ev| ev.edge.lo().index() % num_shards == shard)
-    }
-
-    /// Every edge this shard will ever own — the initial edges plus every
-    /// edge that appears in an owned event. Engines use this to pre-size
-    /// their per-shard edge state before the run starts.
-    pub fn edges_ever(&self) -> BTreeSet<Edge> {
-        let mut all: BTreeSet<Edge> = self.initial_edges().collect();
-        all.extend(self.events().map(|ev| ev.edge));
-        all
-    }
 }
 
 /// Convenience constructor for an add event.
@@ -372,51 +306,6 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn out_of_range_endpoint_rejected() {
         let _ = TopologySchedule::static_graph(2, [e(0, 5)]);
-    }
-
-    #[test]
-    fn shard_views_partition_the_schedule() {
-        let s = TopologySchedule::new(
-            6,
-            [e(0, 1), e(1, 2), e(2, 3), e(4, 5)],
-            vec![
-                remove_at(3.0, e(1, 2)),
-                add_at(5.0, e(0, 4)),
-                add_at(7.0, e(3, 5)),
-            ],
-        );
-        let num_shards = 3;
-        let mut initial_seen = BTreeSet::new();
-        let mut events_seen = 0usize;
-        for shard in 0..num_shards {
-            let view = s.shard_view(shard, num_shards);
-            assert_eq!(view.shard(), shard);
-            for edge in view.initial_edges() {
-                assert!(view.owns(edge));
-                assert_eq!(edge.lo().index() % num_shards, shard);
-                assert!(initial_seen.insert(edge), "edge {edge:?} owned twice");
-            }
-            for ev in view.events() {
-                assert!(view.owns(ev.edge));
-                events_seen += 1;
-            }
-        }
-        assert_eq!(initial_seen.len(), 4, "every initial edge owned once");
-        assert_eq!(events_seen, s.events().len(), "every event owned once");
-        // edges_ever covers initial plus churned edges of the shard.
-        let view0 = s.shard_view(0, num_shards);
-        let ever = view0.edges_ever();
-        assert!(ever.contains(&e(0, 1)));
-        assert!(ever.contains(&e(0, 4)), "churn-only edge included");
-        assert!(ever.contains(&e(3, 5)), "lo=3 is shard 0");
-        assert!(!ever.contains(&e(1, 2)), "lo=1 belongs to shard 1");
-    }
-
-    #[test]
-    #[should_panic(expected = "shard out of range")]
-    fn shard_view_rejects_out_of_range() {
-        let s = TopologySchedule::static_graph(2, [e(0, 1)]);
-        let _ = s.shard_view(2, 2);
     }
 
     #[test]

@@ -1,0 +1,202 @@
+//! Pull-based topology event streams.
+//!
+//! A [`TopologySource`] is the lazy counterpart of a
+//! [`TopologySchedule`]: instead of materializing the whole add/remove
+//! log up front (hundreds of MB at `n = 2^17` under sustained churn), a
+//! source is *pulled* — the simulation engine asks for events only
+//! shortly before their instant is processed, so peak memory is
+//! independent of the total churn-event count.
+//!
+//! ## The contract
+//!
+//! * [`initial_edges`](TopologySource::initial_edges) is called exactly
+//!   once, before any pull, and returns `E₀` sorted ascending with no
+//!   duplicates (the order [`TopologySchedule`] iterates its initial
+//!   set, so eager and lazy paths replay identically).
+//! * Events are emitted in nondecreasing `(time, edge)` order — the
+//!   exact order [`TopologySchedule::new`] sorts an eager log into —
+//!   with every event time `> 0`.
+//! * **Horizon contract**: after `pull_until(t, buf)` returns, every
+//!   event with time `≤ t` has been emitted; `peek_time` names the time
+//!   of the earliest event not yet emitted (`None` once exhausted).
+//!   Callers pull with nondecreasing `t`.
+//! * The emitted stream, collected, must pass [`TopologySchedule::new`]
+//!   validation: no same-instant add+remove of one edge, adds only for
+//!   absent edges, removes only for present ones. [`collect_schedule`]
+//!   does exactly that collection and is how the property tests pin
+//!   every lazy generator to the eager validator.
+//!
+//! [`ScheduleSource`] adapts an eager schedule to this interface (kept
+//! for tests, validation, and the many experiments whose logs are tiny);
+//! the lazy generators live in [`crate::churn`] ([`ChurnSource`]) and
+//! [`crate::workloads`] (mobility, partition-and-heal, flash crowds).
+//!
+//! [`ChurnSource`]: crate::churn::ChurnSource
+
+use crate::ids::Edge;
+use crate::schedule::{TopologyEvent, TopologySchedule};
+use gcs_clocks::Time;
+
+/// A time-ordered, pull-based stream of topology events. See the module
+/// docs for the full contract.
+pub trait TopologySource: Send {
+    /// Number of nodes in the static node set `V`.
+    fn n(&self) -> usize;
+
+    /// The initial edge set `E₀`, sorted ascending, no duplicates.
+    /// Called exactly once, before any pull.
+    fn initial_edges(&mut self) -> Vec<Edge>;
+
+    /// Time of the earliest event not yet emitted, or `None` when the
+    /// stream is exhausted.
+    fn peek_time(&mut self) -> Option<Time>;
+
+    /// Appends every pending event with time `≤ until` to `buf`, in
+    /// nondecreasing `(time, edge)` order.
+    fn pull_until(&mut self, until: Time, buf: &mut Vec<TopologyEvent>);
+}
+
+impl TopologySource for Box<dyn TopologySource> {
+    fn n(&self) -> usize {
+        (**self).n()
+    }
+    fn initial_edges(&mut self) -> Vec<Edge> {
+        (**self).initial_edges()
+    }
+    fn peek_time(&mut self) -> Option<Time> {
+        (**self).peek_time()
+    }
+    fn pull_until(&mut self, until: Time, buf: &mut Vec<TopologyEvent>) {
+        (**self).pull_until(until, buf)
+    }
+}
+
+/// Adapter: an eagerly materialized [`TopologySchedule`] served through
+/// the pull interface. The schedule's validated, `(time, edge)`-sorted
+/// event log is replayed verbatim, so engines built from a schedule and
+/// engines built from any lazy source emitting the same stream produce
+/// bit-identical traces.
+#[derive(Clone, Debug)]
+pub struct ScheduleSource {
+    schedule: TopologySchedule,
+    cursor: usize,
+}
+
+impl ScheduleSource {
+    /// Wraps a validated schedule.
+    pub fn new(schedule: TopologySchedule) -> Self {
+        ScheduleSource {
+            schedule,
+            cursor: 0,
+        }
+    }
+
+    /// The wrapped schedule.
+    pub fn schedule(&self) -> &TopologySchedule {
+        &self.schedule
+    }
+}
+
+impl TopologySource for ScheduleSource {
+    fn n(&self) -> usize {
+        self.schedule.n()
+    }
+
+    fn initial_edges(&mut self) -> Vec<Edge> {
+        self.schedule.initial_edges().collect()
+    }
+
+    fn peek_time(&mut self) -> Option<Time> {
+        self.schedule.events().get(self.cursor).map(|ev| ev.time)
+    }
+
+    fn pull_until(&mut self, until: Time, buf: &mut Vec<TopologyEvent>) {
+        let events = self.schedule.events();
+        while let Some(ev) = events.get(self.cursor) {
+            if ev.time > until {
+                break;
+            }
+            buf.push(*ev);
+            self.cursor += 1;
+        }
+    }
+}
+
+/// Drains a (finite-horizon) source completely and validates the result
+/// through [`TopologySchedule::new`] — the bridge from lazy generators
+/// back to the eager world. Panics exactly where the eager validator
+/// would: unsorted times, same-instant add+remove of one edge, adds of
+/// present edges, removes of absent ones.
+pub fn collect_schedule(mut source: impl TopologySource) -> TopologySchedule {
+    let n = source.n();
+    let initial = source.initial_edges();
+    let mut events = Vec::new();
+    source.pull_until(Time::new(f64::MAX), &mut events);
+    debug_assert!(source.peek_time().is_none(), "source not exhausted");
+    for pair in events.windows(2) {
+        debug_assert!(
+            (pair[0].time, pair[0].edge) <= (pair[1].time, pair[1].edge),
+            "source emitted out of (time, edge) order: {pair:?}"
+        );
+    }
+    TopologySchedule::new(n, initial, events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{add_at, remove_at};
+    use gcs_clocks::time::at;
+
+    fn sample_schedule() -> TopologySchedule {
+        TopologySchedule::new(
+            4,
+            [Edge::between(0, 1), Edge::between(1, 2)],
+            vec![
+                add_at(2.0, Edge::between(2, 3)),
+                remove_at(5.0, Edge::between(0, 1)),
+                add_at(9.0, Edge::between(0, 1)),
+            ],
+        )
+    }
+
+    #[test]
+    fn schedule_source_round_trips() {
+        let sched = sample_schedule();
+        let collected = collect_schedule(ScheduleSource::new(sched.clone()));
+        assert_eq!(collected, sched);
+    }
+
+    #[test]
+    fn pull_until_respects_horizon_contract() {
+        let sched = sample_schedule();
+        let mut src = ScheduleSource::new(sched.clone());
+        assert_eq!(src.initial_edges().len(), 2);
+        assert_eq!(src.peek_time(), Some(at(2.0)));
+        let mut buf = Vec::new();
+        src.pull_until(at(1.9), &mut buf);
+        assert!(buf.is_empty(), "nothing due before 2.0");
+        src.pull_until(at(5.0), &mut buf);
+        assert_eq!(buf.len(), 2, "events at 2.0 and 5.0 are due");
+        assert_eq!(src.peek_time(), Some(at(9.0)));
+        src.pull_until(at(100.0), &mut buf);
+        assert_eq!(buf.len(), 3);
+        assert_eq!(src.peek_time(), None);
+        assert_eq!(&buf[..], sched.events());
+    }
+
+    #[test]
+    fn initial_edges_come_out_sorted() {
+        let sched = TopologySchedule::static_graph(
+            5,
+            [
+                Edge::between(3, 4),
+                Edge::between(0, 1),
+                Edge::between(1, 3),
+            ],
+        );
+        let mut src = ScheduleSource::new(sched);
+        let initial = src.initial_edges();
+        assert!(initial.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,7 +1,9 @@
 //! The deterministic parallel discrete-event simulation engine.
 //!
-//! [`Simulator`] replays a [`TopologySchedule`] against a set of protocol
-//! [`Automaton`]s, enforcing the model guarantees of Section 3.2:
+//! [`Simulator`] replays a topology stream — any [`TopologySource`], with
+//! eager [`TopologySchedule`]s adapted through [`ScheduleSource`] —
+//! against a set of protocol [`Automaton`]s, enforcing the model
+//! guarantees of Section 3.2:
 //!
 //! * **Delays**: every delivered message takes `[0, T]` real time, FIFO per
 //!   directed link (enforced by clamping a later message's delivery to the
@@ -20,10 +22,30 @@
 //!   clock has advanced by exactly `Δt`, computed by exact inversion of the
 //!   node's rate schedule.
 //!
+//! ## The streaming topology pipeline
+//!
+//! Topology is **pulled, not pre-loaded**: before each instant the engine
+//! asks the source for any events due at or before the wheel's next
+//! event (`Simulator::pump_topology`, with a small fixed lookahead
+//! window to amortize pulls). Each pulled event is assigned its per-edge
+//! change version (stream order, via the `EdgeStore` counter), pushed
+//! into the wheel, and its two endpoint `Discover` events are scheduled
+//! with latencies drawn from a dedicated per-`(edge, version, endpoint)`
+//! stream — never from a node's stream, so the draw is independent of
+//! *when* the event happens to be pulled. Peak memory is therefore
+//! `O(backlog window)`, independent of the total churn-event count; the
+//! old eager path held the whole schedule in the wheel's overflow map.
+//! Pull decisions depend only on the instant sequence (itself part of the
+//! trace), so they are identical across thread counts and across
+//! arbitrary `run_until` splits.
+//!
 //! ## The hot path: instants, segments, shards
 //!
 //! Events live in a [`TimeWheel`] calendar queue keyed on the delay bound
-//! `T`. [`Simulator::run_until`] drains the wheel one **instant** (all
+//! `T` and popped in `(time, class, seq)` order — topology events sort
+//! before same-instant protocol events (a change takes effect *at* its
+//! instant), insertion order breaks remaining ties.
+//! [`Simulator::run_until`] drains the wheel one **instant** (all
 //! events at the earliest pending time) at a time. Within an instant,
 //! **topology events are barriers**: they mutate the canonical edge state
 //! every delivery reads, so the instant is split into *segments* at each
@@ -36,7 +58,9 @@
 //! into the wheel in the canonical `(triggering event seq, emission
 //! index)` order, and every random draw comes from the consuming node's
 //! private stream, so the trace is **bit-identical for every thread
-//! count** — pinned by `crates/bench/tests/determinism.rs`.
+//! count** — pinned by `crates/bench/tests/determinism.rs`, with
+//! eager-vs-streaming equivalence pinned by
+//! `crates/bench/tests/streaming.rs`.
 
 use crate::automaton::Automaton;
 use crate::delay::DelayStrategy;
@@ -46,12 +70,13 @@ use crate::model::ModelParams;
 use crate::shard::{EdgeStore, Shards};
 use crate::stats::SimStats;
 use crate::wheel::TimeWheel;
-use gcs_clocks::{DriftModel, HardwareClock, Time};
+use gcs_clocks::{DriftModel, Duration, HardwareClock, Time};
 use gcs_net::schedule::TopologyEventKind;
-use gcs_net::{DynamicGraph, Edge, NodeId, TopologySchedule};
+use gcs_net::{
+    DynamicGraph, Edge, NodeId, ScheduleSource, TopologyEvent, TopologySchedule, TopologySource,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::BTreeMap;
 
 /// Environment variable consulted for the default worker count, so a CI
 /// matrix (or an operator) can exercise the parallel path without touching
@@ -104,32 +129,80 @@ impl DiscoveryDelay {
         );
         v.clamp(f64::MIN_POSITIVE, d_bound)
     }
+
+    /// Latency of a *scheduled* topology discovery, drawn from a dedicated
+    /// stream keyed by `(seed, edge, version, endpoint)`. Topology is
+    /// pulled lazily, so this draw must not touch any node's private
+    /// stream: its position there would depend on how far the simulation
+    /// had progressed when the pull happened, and with it the trace.
+    /// A keyed one-shot stream makes the latency a pure function of the
+    /// event identity instead.
+    pub(crate) fn scheduled_latency(
+        &self,
+        d_bound: f64,
+        seed: u64,
+        edge: Edge,
+        version: u64,
+        endpoint: NodeId,
+    ) -> f64 {
+        match self {
+            DiscoveryDelay::Constant(d) => d.clamp(f64::MIN_POSITIVE, d_bound),
+            DiscoveryDelay::Uniform { .. } => {
+                let mut rng =
+                    StdRng::seed_from_u64(discovery_stream_seed(seed, edge, version, endpoint));
+                self.sample(d_bound, &mut rng)
+            }
+        }
+    }
+}
+
+/// Decorrelated one-shot stream seed for scheduled-discovery latencies.
+fn discovery_stream_seed(seed: u64, edge: Edge, version: u64, endpoint: NodeId) -> u64 {
+    seed ^ 0xBB67_AE85_84CA_A73B
+        ^ (edge.lo().index() as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (edge.hi().index() as u64 + 1).wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+        ^ version.wrapping_mul(0xD6E8_FEB8_6659_FD93)
+        ^ (endpoint.index() as u64 + 1).wrapping_mul(0xA076_1D64_78BD_642F)
 }
 
 /// Builder for [`Simulator`].
 pub struct SimBuilder {
     params: ModelParams,
-    schedule: TopologySchedule,
+    source: Box<dyn TopologySource>,
+    n: usize,
     clocks: Option<Vec<HardwareClock>>,
     delay: DelayStrategy,
     discovery: DiscoveryDelay,
     seed: u64,
     threads: Option<usize>,
+    record_history: bool,
 }
 
 impl SimBuilder {
-    /// Starts a builder with defaults: perfect clocks, maximum delays,
-    /// worst-case (`= D`) discovery latency, seed 0, worker count from
-    /// [`THREADS_ENV`] (1 when unset).
+    /// Starts a builder over an eagerly materialized schedule (adapted
+    /// through [`ScheduleSource`] — every simulation runs the streaming
+    /// pipeline). Defaults: perfect clocks, maximum delays, worst-case
+    /// (`= D`) discovery latency, seed 0, worker count from
+    /// [`THREADS_ENV`] (1 when unset), presence history off.
     pub fn new(params: ModelParams, schedule: TopologySchedule) -> Self {
+        Self::from_source(params, ScheduleSource::new(schedule))
+    }
+
+    /// Starts a builder over any lazily generated topology stream. This
+    /// is the scale path: peak memory stays independent of the total
+    /// churn-event count.
+    pub fn from_source(params: ModelParams, source: impl TopologySource + 'static) -> Self {
+        let n = source.n();
         SimBuilder {
             discovery: DiscoveryDelay::Constant(params.d),
             params,
-            schedule,
+            source: Box::new(source),
+            n,
             clocks: None,
             delay: DelayStrategy::Max,
             seed: 0,
             threads: None,
+            record_history: false,
         }
     }
 
@@ -137,10 +210,10 @@ impl SimBuilder {
     pub fn clocks(mut self, clocks: Vec<HardwareClock>) -> Self {
         assert_eq!(
             clocks.len(),
-            self.schedule.n(),
+            self.n,
             "need one clock per node ({} != {})",
             clocks.len(),
-            self.schedule.n()
+            self.n
         );
         self.clocks = Some(clocks);
         self
@@ -152,10 +225,19 @@ impl SimBuilder {
     pub fn drift(mut self, model: DriftModel, horizon: f64) -> Self {
         let rho = self.params.rho;
         let mut rng = StdRng::seed_from_u64(self.seed ^ 0x9e37_79b9_7f4a_7c15);
-        let clocks = (0..self.schedule.n())
+        let clocks = (0..self.n)
             .map(|i| HardwareClock::new(model.build(rho, horizon, i, &mut rng), rho))
             .collect();
         self.clocks = Some(clocks);
+        self
+    }
+
+    /// Records full per-edge presence history on the live
+    /// [`DynamicGraph`] (off by default: history costs `O(total events)`
+    /// memory over a run, which is exactly the term the streaming
+    /// pipeline removes).
+    pub fn record_history(mut self, record: bool) -> Self {
+        self.record_history = record;
         self
     }
 
@@ -189,28 +271,37 @@ impl SimBuilder {
 
     /// Finalizes the simulator; `make_node(i)` constructs the automaton for
     /// node `i`. `on_start` handlers run immediately, followed by the
-    /// discovery of the initial edge set at time 0.
-    pub fn build_with<A: Automaton>(self, make_node: impl FnMut(usize) -> A) -> Simulator<A> {
-        let n = self.schedule.n();
+    /// discovery of the initial edge set at time 0. Scheduled topology is
+    /// **not** pre-loaded — it streams from the source as the simulation
+    /// advances.
+    pub fn build_with<A: Automaton>(mut self, make_node: impl FnMut(usize) -> A) -> Simulator<A> {
+        let n = self.n;
         let workers = self.threads.unwrap_or_else(threads_from_env).max(1);
         let shard_count = workers.min(n.max(1));
         let clocks = self
             .clocks
             .unwrap_or_else(|| vec![HardwareClock::perfect(self.params.rho); n]);
         let nodes: Vec<A> = (0..n).map(make_node).collect();
-        let mut shards = Shards::build(shard_count, self.seed, nodes);
-        // Canonical edge state, pre-sized shard by shard from the
-        // schedule's per-shard views (content is shard-count independent).
-        let edges = EdgeStore::from_schedule(&self.schedule, shard_count);
+        let shards = Shards::build(shard_count, self.seed, nodes);
+        // Canonical edge state: initial edges now, churned edges as their
+        // first event is pulled (content is shard-count independent).
+        let mut edges = EdgeStore::new(n, shard_count);
 
         // Bucket width tied to the delay bound: most deliveries span a
         // handful of buckets, timers a few more.
         let mut queue = TimeWheel::new(self.params.t / 4.0);
         let mut graph = DynamicGraph::empty(n);
+        graph.set_retain_history(self.record_history);
 
         // Initial edges exist (and are discovered) at time 0.
-        for e in self.schedule.initial_edges() {
+        let initial = self.source.initial_edges();
+        debug_assert!(
+            initial.windows(2).all(|w| w[0] < w[1]),
+            "source initial edges must be sorted and distinct"
+        );
+        for &e in &initial {
             graph.add_edge(e, Time::ZERO);
+            edges.insert_initial(e);
             for w in [e.lo(), e.hi()] {
                 queue.push(
                     Time::ZERO,
@@ -226,46 +317,6 @@ impl SimBuilder {
             }
         }
 
-        // Pre-schedule every topology event and its endpoint discoveries.
-        // Discovery latency is drawn from the *endpoint's* stream (in
-        // schedule order), so the draws are independent of thread count.
-        // (Far-future events land in the wheel's overflow map.)
-        let mut version_counter: BTreeMap<Edge, u64> =
-            self.schedule.initial_edges().map(|e| (e, 1u64)).collect();
-        for ev in self.schedule.events() {
-            let v = version_counter.entry(ev.edge).or_insert(0);
-            *v += 1;
-            let version = *v;
-            let kind = match ev.kind {
-                TopologyEventKind::Add => LinkChangeKind::Added,
-                TopologyEventKind::Remove => LinkChangeKind::Removed,
-            };
-            queue.push(
-                ev.time,
-                EventPayload::Topology {
-                    kind,
-                    edge: ev.edge,
-                    version,
-                },
-            );
-            for w in [ev.edge.lo(), ev.edge.hi()] {
-                let lat = self
-                    .discovery
-                    .sample(self.params.d, &mut shards.local_mut(w).rng);
-                queue.push(
-                    ev.time + gcs_clocks::Duration::new(lat),
-                    EventPayload::Discover {
-                        node: w,
-                        change: LinkChange {
-                            kind,
-                            edge: ev.edge,
-                        },
-                        version,
-                    },
-                );
-            }
-        }
-
         let mut sim = Simulator {
             params: self.params,
             clocks,
@@ -273,10 +324,22 @@ impl SimBuilder {
             queue,
             shards,
             edges,
+            source: self.source,
             delay: self.delay,
             discovery: self.discovery,
+            seed: self.seed,
             now: Time::ZERO,
             stats: SimStats::default(),
+            topo_backlog: 0,
+            // Pull lookahead: one delay bound of simulated time per pull.
+            // Messages in flight span up to T, so the wheel is touched a
+            // handful of times per T anyway — pumping once per T adds no
+            // measurable overhead, and the topology backlog is bounded by
+            // the events falling inside one T-window (independent of the
+            // horizon and of the total event count, though it still
+            // scales with the churn *rate* within the window).
+            pull_chunk: self.params.t,
+            pull_buf: Vec::new(),
             workers,
             os_workers: shard_count.min(
                 std::thread::available_parallelism()
@@ -311,13 +374,23 @@ pub struct Simulator<A: Automaton> {
     queue: TimeWheel,
     /// Automata plus node-local engine state, sharded by owner.
     shards: Shards<A>,
-    /// Canonical per-edge state (liveness, epochs, removal versions),
-    /// written only between segments.
+    /// Canonical per-edge state (liveness, epochs, change/removal
+    /// versions), written only between segments.
     edges: EdgeStore,
+    /// The topology stream; pulled incrementally by `pump_topology`.
+    source: Box<dyn TopologySource>,
     delay: DelayStrategy,
     discovery: DiscoveryDelay,
+    /// Simulation seed (scheduled-discovery latency streams key off it).
+    seed: u64,
     now: Time,
     stats: SimStats,
+    /// Topology events pulled but not yet applied.
+    topo_backlog: u64,
+    /// Lookahead window (seconds) pulled beyond the next due event.
+    pull_chunk: f64,
+    /// Scratch buffer for pulls.
+    pull_buf: Vec<TopologyEvent>,
     /// Configured worker count (shard count is `min(workers, n)`).
     workers: usize,
     /// OS threads actually spawned per wide segment:
@@ -422,10 +495,77 @@ impl<A: Automaton> Simulator<A> {
         self.observing = false;
     }
 
+    /// Streams due topology into the wheel: while the source's next event
+    /// is at or before the wheel's next event (or the wheel is empty),
+    /// pull everything up to that time plus the lookahead window and
+    /// schedule it. Pull decisions depend only on the wheel/source state
+    /// at instant boundaries — never on the `run_until` target or the
+    /// thread count — so traces are invariant under both.
+    fn pump_topology(&mut self) {
+        loop {
+            let Some(ts) = self.source.peek_time() else {
+                return;
+            };
+            if let Some(wheel_next) = self.queue.peek_time() {
+                if ts > wheel_next {
+                    return;
+                }
+            }
+            let mut buf = std::mem::take(&mut self.pull_buf);
+            buf.clear();
+            self.source
+                .pull_until(ts + Duration::new(self.pull_chunk), &mut buf);
+            debug_assert!(!buf.is_empty(), "peek_time promised an event at {ts:?}");
+            for ev in &buf {
+                self.schedule_topology(*ev);
+            }
+            self.pull_buf = buf;
+        }
+    }
+
+    /// Assigns a pulled event its per-edge version and schedules it plus
+    /// its two endpoint discoveries.
+    fn schedule_topology(&mut self, ev: TopologyEvent) {
+        debug_assert!(ev.time > Time::ZERO, "topology events occur after time 0");
+        let version = self.edges.next_version(ev.edge);
+        let kind = match ev.kind {
+            TopologyEventKind::Add => LinkChangeKind::Added,
+            TopologyEventKind::Remove => LinkChangeKind::Removed,
+        };
+        self.queue.push(
+            ev.time,
+            EventPayload::Topology {
+                kind,
+                edge: ev.edge,
+                version,
+            },
+        );
+        self.stats.topology_pulled += 1;
+        self.topo_backlog += 1;
+        self.stats.peak_topology_backlog = self.stats.peak_topology_backlog.max(self.topo_backlog);
+        for w in [ev.edge.lo(), ev.edge.hi()] {
+            let lat =
+                self.discovery
+                    .scheduled_latency(self.params.d, self.seed, ev.edge, version, w);
+            self.queue.push(
+                ev.time + Duration::new(lat),
+                EventPayload::Discover {
+                    node: w,
+                    change: LinkChange {
+                        kind,
+                        edge: ev.edge,
+                    },
+                    version,
+                },
+            );
+        }
+    }
+
     fn drain(&mut self, until: Time, mut observe: impl FnMut(&Self, Time, &[NodeId])) {
         assert!(until >= self.now, "cannot run backwards");
         let mut round = std::mem::take(&mut self.round_buf);
         loop {
+            self.pump_topology();
             match self.queue.peek_time() {
                 Some(t) if t <= until => {}
                 _ => break,
@@ -461,6 +601,7 @@ impl<A: Automaton> Simulator<A> {
     /// traces: both go through the same dispatch core and the same
     /// canonical effect ordering.
     pub fn step(&mut self) -> bool {
+        self.pump_topology();
         let Some(ev) = self.queue.pop() else {
             return false;
         };
@@ -598,6 +739,7 @@ impl<A: Automaton> Simulator<A> {
 
     fn apply_topology(&mut self, kind: LinkChangeKind, edge: Edge, version: u64) {
         self.stats.topology_events += 1;
+        self.topo_backlog -= 1;
         let now = self.now;
         let entry = self.edges.entry(edge);
         match kind {

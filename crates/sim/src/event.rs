@@ -90,10 +90,30 @@ pub enum EventPayload {
     },
 }
 
-/// A queued event: totally ordered by (time, seq). Sequence numbers are
-/// assigned at insertion, so simultaneous events are processed in the order
-/// they were scheduled — this both makes runs deterministic and preserves
-/// FIFO for same-instant deliveries.
+impl EventPayload {
+    /// Class rank within an instant: `Topology` events order before every
+    /// other payload at the same time, regardless of when they were
+    /// pushed. This encodes the §3.2 convention that a change "takes
+    /// effect at its instant" (an edge removed at `t` is not in `E(t)`):
+    /// with the schedule now *pulled* lazily, a topology event can be
+    /// pushed long after a same-instant delivery, so insertion order alone
+    /// can no longer guarantee changes apply before deliveries observe
+    /// them.
+    #[inline]
+    pub fn class_rank(&self) -> u8 {
+        match self {
+            EventPayload::Topology { .. } => 0,
+            _ => 1,
+        }
+    }
+}
+
+/// A queued event: totally ordered by `(time, class, seq)` — earliest
+/// time first, topology changes before other payloads at the same
+/// instant, insertion order on remaining ties. Sequence numbers are
+/// assigned at insertion, so simultaneous same-class events are processed
+/// in the order they were scheduled — this both makes runs deterministic
+/// and preserves FIFO for same-instant deliveries.
 #[derive(Clone, Copy, Debug)]
 pub struct QueuedEvent {
     /// When the event fires.
@@ -102,6 +122,14 @@ pub struct QueuedEvent {
     pub seq: u64,
     /// What happens.
     pub payload: EventPayload,
+}
+
+impl QueuedEvent {
+    /// The total-order key all queues pop in.
+    #[inline]
+    pub fn key(&self) -> (Time, u8, u64) {
+        (self.time, self.payload.class_rank(), self.seq)
+    }
 }
 
 impl PartialEq for QueuedEvent {
@@ -113,12 +141,8 @@ impl Eq for QueuedEvent {}
 
 impl Ord for QueuedEvent {
     fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so earliest (time, seq) pops
-        // first.
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+        // BinaryHeap is a max-heap; invert so the earliest key pops first.
+        other.key().cmp(&self.key())
     }
 }
 

@@ -22,8 +22,11 @@
 //! event-handler style in which Algorithm 2 is written.
 //!
 //! Determinism: a simulation is a pure function of (model parameters,
-//! topology schedule, rate schedules, delay strategy, seed) — and of
-//! *nothing else*. In particular the worker count
+//! topology stream, rate schedules, delay strategy, seed) — and of
+//! *nothing else*. Topology streams from a lazily pulled
+//! `gcs_net::TopologySource` (eager `TopologySchedule`s are adapted
+//! automatically), so peak memory is independent of the total
+//! churn-event count. In particular the worker count
 //! ([`SimBuilder::threads`], default from the `GCS_SIM_THREADS`
 //! environment variable) never changes a trace: same-instant events to
 //! different nodes are dispatched across scoped worker threads sharded by

@@ -9,12 +9,17 @@
 //!   (`shard = node mod shard_count`). During a parallel segment each
 //!   worker holds `&mut` over exactly one shard, so owner-exclusive
 //!   mutation is enforced by the borrow checker, not by locks.
-//! * **Canonical edge state** — liveness, epoch and removal version of
-//!   every edge, kept on the edge's *lower* endpoint — lives in the
-//!   [`EdgeStore`], which is only ever written *between* segments (by
-//!   topology events and by the serial startup/step paths). During a
-//!   segment every worker reads it through a shared `&`, which is safe
-//!   precisely because deliveries cannot change liveness or epochs.
+//! * **Canonical edge state** — liveness, epoch, removal version and the
+//!   per-edge schedule-version counter of every edge, kept on the edge's
+//!   *lower* endpoint — lives in the [`EdgeStore`], which is only ever
+//!   written *between* segments (by topology pulls and applications, and
+//!   by the serial startup/step paths). Entries are created
+//!   **incrementally**: initial edges at build time, churned edges the
+//!   moment their first event is pulled from the `TopologySource` — the
+//!   store never needs to know the future, which is what lets topology
+//!   stream instead of materializing. During a segment every worker
+//!   reads it through a shared `&`, which is safe precisely because
+//!   deliveries cannot change liveness or epochs.
 //!
 //! The node → shard assignment is round-robin by id. It affects only data
 //! layout, never semantics: traces are identical for every shard count
@@ -42,6 +47,11 @@ pub(crate) struct EdgeShared {
     pub epoch: u64,
     /// Version of the most recent removal.
     pub last_remove_version: u64,
+    /// Monotone per-edge change-version counter: initial presence counts
+    /// as version 1, every pulled topology event takes the next value.
+    /// Assigned at pull time (stream order), carried by the `Topology`
+    /// and `Discover` payloads, and used to suppress stale discoveries.
+    pub versions: u64,
 }
 
 impl EdgeShared {
@@ -51,6 +61,7 @@ impl EdgeShared {
             live: false,
             epoch: 0,
             last_remove_version: 0,
+            versions: 0,
         }
     }
 }
@@ -58,9 +69,18 @@ impl EdgeShared {
 /// The canonical edge state of the whole network, sharded by the lower
 /// endpoint's owner so churn events route to the shard that owns them.
 ///
+/// This is the incrementally maintained successor of the old
+/// `TopologySchedule::shard_view` pre-sizing (deleted with the eager
+/// pre-load): entries appear when an edge
+/// first matters (initial set at build, churned edges at pull time) and
+/// add/remove deltas are applied per instant as the pulled events fire.
+/// Content is a function of the event stream alone — never of the shard
+/// count or of pull timing — which is why traces do not depend on the
+/// worker count.
+///
 /// Reads go through a shared reference during parallel segments; writes
-/// (topology changes, lazy entry creation on first send) happen only on
-/// the serial paths between segments.
+/// (topology pulls and applications) happen only on the serial paths
+/// between segments.
 #[derive(Debug)]
 pub(crate) struct EdgeStore {
     /// `adj[shard][local(lo)]` = sorted adjacency of node `lo`.
@@ -80,29 +100,21 @@ impl EdgeStore {
         EdgeStore { adj, shard_count }
     }
 
-    /// Builds the store from a schedule, shard by shard through the
-    /// schedule's [`shard views`](gcs_net::TopologySchedule::shard_view):
-    /// each shard pre-creates an entry for every edge it will ever own
-    /// (initial *and* churned), so the hot path never reshapes adjacency
-    /// vectors mid-run, and marks the initial edges live at epoch 1.
-    ///
-    /// The resulting *content* is independent of `shard_count`; only the
-    /// physical layout differs — which is why traces do not depend on the
-    /// worker count.
-    pub fn from_schedule(schedule: &gcs_net::TopologySchedule, shard_count: usize) -> Self {
-        let mut store = Self::new(schedule.n(), shard_count);
-        for s in 0..shard_count {
-            let view = schedule.shard_view(s, shard_count);
-            for edge in view.edges_ever() {
-                store.entry(edge);
-            }
-            for edge in view.initial_edges() {
-                let entry = store.entry(edge);
-                entry.live = true;
-                entry.epoch = 1;
-            }
-        }
-        store
+    /// Marks an initial edge live at epoch 1, change-version 1.
+    pub fn insert_initial(&mut self, edge: Edge) {
+        let entry = self.entry(edge);
+        entry.live = true;
+        entry.epoch = 1;
+        entry.versions = 1;
+    }
+
+    /// Assigns the next change version of `edge` (creating the entry on
+    /// first contact). Called at pull time, in stream order, so version
+    /// numbers are monotone per edge and independent of thread count.
+    pub fn next_version(&mut self, edge: Edge) -> u64 {
+        let entry = self.entry(edge);
+        entry.versions += 1;
+        entry.versions
     }
 
     #[inline]
@@ -327,12 +339,6 @@ impl<A> Shards<A> {
     pub fn node(&self, u: NodeId) -> &A {
         &self.shards[u.index() % self.count].nodes[u.index() / self.count]
     }
-
-    /// The node-local state of `u` (serial paths only).
-    #[inline]
-    pub fn local_mut(&mut self, u: NodeId) -> &mut NodeLocal {
-        &mut self.shards[u.index() % self.count].locals[u.index() / self.count]
-    }
 }
 
 #[cfg(test)]
@@ -355,6 +361,20 @@ mod tests {
         store.entry(Edge::between(4, 9));
         let row: Vec<NodeId> = store.row(node(4)).iter().map(|e| e.neighbor).collect();
         assert_eq!(row, vec![node(7), node(9)]);
+    }
+
+    #[test]
+    fn edge_versions_count_from_initial_presence() {
+        let mut store = EdgeStore::new(6, 2);
+        let seeded = Edge::between(0, 1);
+        store.insert_initial(seeded);
+        assert_eq!(store.find(seeded).unwrap().versions, 1);
+        assert_eq!(store.next_version(seeded), 2, "first change is v2");
+        assert_eq!(store.next_version(seeded), 3);
+        // A churn-only edge starts counting at 1.
+        let fresh = Edge::between(2, 5);
+        assert_eq!(store.next_version(fresh), 1);
+        assert!(!store.find(fresh).unwrap().live, "pull does not apply");
     }
 
     #[test]

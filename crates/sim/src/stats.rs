@@ -24,6 +24,15 @@ pub struct SimStats {
     pub discovers_stale: u64,
     /// Topology events applied.
     pub topology_events: u64,
+    /// Topology events pulled from the source into the wheel.
+    pub topology_pulled: u64,
+    /// Peak number of pulled-but-not-yet-applied topology events — the
+    /// streaming pipeline's event backlog. Bounded by the pull lookahead
+    /// window, independent of the total churn-event count (the old eager
+    /// pre-load made this the whole schedule). Identical across thread
+    /// counts: pulls are driven by the instant sequence, which is part of
+    /// the trace.
+    pub peak_topology_backlog: u64,
 }
 
 impl SimStats {
@@ -41,6 +50,8 @@ impl SimStats {
         self.discovers_delivered += other.discovers_delivered;
         self.discovers_stale += other.discovers_stale;
         self.topology_events += other.topology_events;
+        self.topology_pulled += other.topology_pulled;
+        self.peak_topology_backlog = self.peak_topology_backlog.max(other.peak_topology_backlog);
     }
 
     /// Messages lost for any reason.

@@ -23,9 +23,11 @@
 //!
 //! Invariants that make this work (checked in debug builds):
 //!
-//! * pushes never go backwards: `time` is at or after the last popped
-//!   event, so its bucket index is `≥ cursor`; a push into the cursor
-//!   bucket goes to the current heap,
+//! * pushes never go backwards in *time*: `time` is at or after the last
+//!   popped event. The bucket index may still be `≤ cursor` — the cursor
+//!   skips empty buckets, and a lazily pulled topology event can land in
+//!   a skipped one — in which case the push joins the spill heap, which
+//!   every pop consults, so the pop order is unaffected,
 //! * a non-empty ring slot holds events of exactly one bucket index
 //!   (within any window of `SLOTS` consecutive buckets, each residue
 //!   `index mod SLOTS` occurs once),
@@ -72,6 +74,9 @@ pub struct TimeWheel {
     len: usize,
     /// Insertion sequence counter (global tie-break, like `EventQueue`).
     next_seq: u64,
+    /// Time of the last popped event — the floor below which a push would
+    /// be genuine time travel (checked in debug builds).
+    last_popped: Time,
 }
 
 impl TimeWheel {
@@ -92,6 +97,7 @@ impl TimeWheel {
             overflow: BTreeMap::new(),
             len: 0,
             next_seq: 0,
+            last_popped: Time::ZERO,
         }
     }
 
@@ -101,19 +107,25 @@ impl TimeWheel {
         (time.seconds() / self.width) as u64
     }
 
-    /// Schedules `payload` at `time`. Equal times pop in push order.
+    /// Schedules `payload` at `time`. Equal `(time, class)` pops in push
+    /// order; topology payloads order before others at the same instant
+    /// (see [`QueuedEvent::key`]).
     pub fn push(&mut self, time: Time, payload: EventPayload) {
+        debug_assert!(
+            time >= self.last_popped,
+            "push at {time:?} behind the last popped event ({:?})",
+            self.last_popped
+        );
         let seq = self.next_seq;
         self.next_seq += 1;
         let ev = QueuedEvent { time, seq, payload };
         let bucket = self.bucket_of(time);
         self.len += 1;
         if bucket <= self.cursor {
-            debug_assert!(
-                bucket == self.cursor,
-                "push into an already-drained bucket ({bucket} < cursor {})",
-                self.cursor
-            );
+            // Either the cursor bucket itself, or a bucket the cursor
+            // skipped while it was empty (a lazily pulled topology event
+            // can be earlier than everything pending). The spill heap is
+            // consulted on every pop, so order is preserved either way.
             self.spill.push(ev);
         } else if bucket < self.cursor + SLOTS as u64 {
             self.ring[(bucket % SLOTS as u64) as usize].push(ev);
@@ -166,7 +178,7 @@ impl TimeWheel {
             .current
             .iter()
             .all(|ev| (ev.time.seconds() / self.width) as u64 == next));
-        self.current.sort_unstable_by_key(|ev| (ev.time, ev.seq));
+        self.current.sort_unstable_by_key(QueuedEvent::key);
     }
 
     /// Makes the cursor bucket non-empty (advancing if needed); false when
@@ -187,7 +199,7 @@ impl TimeWheel {
     #[inline]
     fn front_is_spill(&self) -> bool {
         match (self.current.get(self.cur_idx), self.spill.peek()) {
-            (Some(c), Some(s)) => (s.time, s.seq) < (c.time, c.seq),
+            (Some(c), Some(s)) => s.key() < c.key(),
             (None, Some(_)) => true,
             _ => false,
         }
@@ -199,13 +211,17 @@ impl TimeWheel {
             return None;
         }
         self.len -= 1;
-        if self.front_is_spill() {
+        let ev = if self.front_is_spill() {
             self.spill.pop()
         } else {
             let ev = self.current[self.cur_idx];
             self.cur_idx += 1;
             Some(ev)
+        };
+        if let Some(ev) = &ev {
+            self.last_popped = ev.time;
         }
+        ev
     }
 
     /// The earliest pending event, advancing the cursor if needed.
@@ -237,11 +253,7 @@ impl TimeWheel {
         let cur = self.current.get(self.cur_idx);
         let sp = self.spill.peek();
         match (cur, sp) {
-            (Some(c), Some(s)) => Some(if (s.time, s.seq) < (c.time, c.seq) {
-                s
-            } else {
-                c
-            }),
+            (Some(c), Some(s)) => Some(if s.key() < c.key() { s } else { c }),
             (Some(c), None) => Some(c),
             (None, sp) => sp,
         }
@@ -415,5 +427,62 @@ mod tests {
     #[should_panic(expected = "bucket width")]
     fn zero_width_rejected() {
         let _ = TimeWheel::new(0.0);
+    }
+
+    fn topo(i: usize) -> EventPayload {
+        EventPayload::Topology {
+            kind: crate::event::LinkChangeKind::Added,
+            edge: gcs_net::Edge::between(i, i + 1),
+            version: 1,
+        }
+    }
+
+    #[test]
+    fn topology_sorts_before_other_payloads_at_the_same_instant() {
+        // The lazily pulled schedule can push a topology event *after*
+        // same-instant protocol events already entered the wheel; the
+        // class rank must still apply it first (§3.2: a change takes
+        // effect at its instant).
+        let mut w = TimeWheel::new(0.25);
+        w.push(at(2.0), alarm(0));
+        w.push(at(2.0), topo(0));
+        w.push(at(2.0), alarm(1));
+        w.push(at(2.0), topo(2));
+        let order: Vec<u8> = std::iter::from_fn(|| w.pop())
+            .map(|e| e.payload.class_rank())
+            .collect();
+        assert_eq!(order, vec![0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn push_into_skipped_bucket_pops_in_order() {
+        // The cursor skips empty buckets; a late (pulled) push can then
+        // target one of them. It must land in the spill heap and pop in
+        // correct time order.
+        let mut w = TimeWheel::new(0.25);
+        w.push(at(1.0), alarm(0));
+        w.push(at(100.0), alarm(1));
+        assert_eq!(w.pop().unwrap().time, at(1.0));
+        // Peeking advances the cursor to the 100.0 bucket...
+        assert_eq!(w.peek_time(), Some(at(100.0)));
+        // ...then a pulled event lands in a long-skipped bucket.
+        w.push(at(50.0), topo(0));
+        w.push(at(100.0), topo(1));
+        let order: Vec<f64> = std::iter::from_fn(|| w.pop())
+            .map(|e| e.time.seconds())
+            .collect();
+        assert_eq!(order, vec![50.0, 100.0, 100.0]);
+    }
+
+    #[test]
+    fn pop_instant_includes_spilled_same_instant_events() {
+        let mut w = TimeWheel::new(0.25);
+        w.push(at(10.0), alarm(0));
+        assert_eq!(w.peek_time(), Some(at(10.0)));
+        w.push(at(10.0), topo(0));
+        let mut buf = Vec::new();
+        assert_eq!(w.pop_instant(&mut buf), Some(at(10.0)));
+        assert_eq!(buf.len(), 2);
+        assert_eq!(buf[0].payload.class_rank(), 0, "topology first");
     }
 }

@@ -56,6 +56,9 @@ pub mod prelude {
     pub use gcs_clocks::{time::at, DriftModel, Duration, HardwareClock, RateSchedule, Time};
     pub use gcs_core::baseline::MaxSyncNode;
     pub use gcs_core::{AlgoParams, BudgetPolicy, GradientNode, InvariantMonitor};
-    pub use gcs_net::{churn, generators, node, Edge, NodeId, TopologySchedule};
+    pub use gcs_net::{
+        churn, generators, node, workloads, Edge, NodeId, ScheduleSource, TopologySchedule,
+        TopologySource,
+    };
     pub use gcs_sim::{DelayStrategy, ModelParams, SimBuilder, Simulator};
 }
