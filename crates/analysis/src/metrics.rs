@@ -6,6 +6,12 @@
 //! both endpoints of every edge. At `m` edges that turns `2m` clock reads
 //! into `n`, which is what keeps fixed-cadence sampling affordable as the
 //! graphs grow.
+//!
+//! For fixed-cadence sampling **loops**, the `*_with` variants
+//! additionally reuse a caller-held scratch buffer through
+//! [`Simulator::logical_snapshot_into`], so a long recording allocates
+//! one snapshot vector total instead of one per sample (the
+//! [`Recorder`](crate::Recorder) samples this way).
 
 use gcs_net::Edge;
 use gcs_sim::{Automaton, Simulator};
@@ -43,6 +49,15 @@ pub fn max_local_skew<A: Automaton>(sim: &Simulator<A>) -> f64 {
     max_local_skew_in(&sim.logical_snapshot(), sim.graph())
 }
 
+/// [`max_local_skew`] reusing a caller-held snapshot buffer — the
+/// allocation-free variant for sampling loops. On return `scratch` holds
+/// the logical snapshot the result was computed from, for further
+/// same-instant metrics ([`global_skew`], [`edge_skew_in`]).
+pub fn max_local_skew_with<A: Automaton>(sim: &Simulator<A>, scratch: &mut Vec<f64>) -> f64 {
+    sim.logical_snapshot_into(scratch);
+    max_local_skew_in(scratch, sim.graph())
+}
+
 /// The worst local skew, read from a prepared logical snapshot (shared by
 /// [`max_local_skew`] and the recorder, which reuses one snapshot for
 /// several metrics).
@@ -56,11 +71,20 @@ pub fn max_local_skew_in(logical: &[f64], graph: &gcs_net::DynamicGraph) -> f64 
 /// The worst local skew restricted to a fixed edge set (edges absent from
 /// the graph are skipped).
 pub fn max_local_skew_over<A: Automaton>(sim: &Simulator<A>, edges: &[Edge]) -> f64 {
-    let logical = sim.logical_snapshot();
+    max_local_skew_over_with(sim, edges, &mut Vec::new())
+}
+
+/// [`max_local_skew_over`] reusing a caller-held snapshot buffer.
+pub fn max_local_skew_over_with<A: Automaton>(
+    sim: &Simulator<A>,
+    edges: &[Edge],
+    scratch: &mut Vec<f64>,
+) -> f64 {
+    sim.logical_snapshot_into(scratch);
     edges
         .iter()
         .filter(|e| sim.graph().contains(**e))
-        .map(|&e| edge_skew_in(&logical, e))
+        .map(|&e| edge_skew_in(scratch, e))
         .fold(0.0, f64::max)
 }
 

@@ -126,6 +126,11 @@ pub struct Recorder {
     peak_global: f64,
     peak_local: f64,
     samples_taken: u64,
+    /// Reused logical-snapshot buffer: a long recording allocates one
+    /// snapshot vector total, not one per sample.
+    snap_buf: Vec<f64>,
+    /// Reused `Lmax` buffer for the invariant monitor.
+    lmax_buf: Vec<f64>,
 }
 
 impl Recorder {
@@ -142,6 +147,8 @@ impl Recorder {
             peak_global: 0.0,
             peak_local: 0.0,
             samples_taken: 0,
+            snap_buf: Vec::new(),
+            lmax_buf: Vec::new(),
         }
     }
 
@@ -183,28 +190,33 @@ impl Recorder {
         }
     }
 
-    /// Takes one sample at the simulator's current time.
+    /// Takes one sample at the simulator's current time (reusing the
+    /// recorder's snapshot buffers — no per-sample allocation beyond the
+    /// retained [`Sample`] itself).
     pub fn sample_now<A: Automaton>(&mut self, sim: &mut Simulator<A>) {
-        let logical = sim.logical_snapshot();
+        sim.logical_snapshot_into(&mut self.snap_buf);
+        let logical = &self.snap_buf;
         let watched = self
             .watched
             .iter()
             .map(|&e| {
                 sim.graph()
                     .contains(e)
-                    .then(|| metrics::edge_skew_in(&logical, e))
+                    .then(|| metrics::edge_skew_in(logical, e))
             })
             .collect();
         let sample = Sample {
             t: sim.now().seconds(),
-            global_skew: metrics::global_skew(&logical),
-            max_local_skew: metrics::max_local_skew_in(&logical, sim.graph()),
+            global_skew: metrics::global_skew(logical),
+            max_local_skew: metrics::max_local_skew_in(logical, sim.graph()),
             topology_events: sim.stats().topology_events,
             watched,
         };
         if let Some(m) = &mut self.monitor {
-            let lmax: Vec<f64> = (0..sim.n()).map(|i| sim.max_estimate_of(node(i))).collect();
-            m.observe(sim.now(), &logical, &lmax);
+            self.lmax_buf.clear();
+            self.lmax_buf
+                .extend((0..sim.n()).map(|i| sim.max_estimate_of(node(i))));
+            m.observe(sim.now(), logical, &self.lmax_buf);
         }
         self.ingest(sample);
     }

@@ -3,7 +3,9 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use gcs_clocks::time::at;
-use gcs_clocks::{drift, ClockVar, RateSchedule};
+use gcs_clocks::{
+    drift, ClockVar, DriftModel, DriftSource, ModelDrift, RateSchedule, ScheduleDrift,
+};
 use gcs_core::budget::aging_budget;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -45,6 +47,52 @@ fn bench_schedule_eval(c: &mut Criterion) {
     group.finish();
 }
 
+/// Rate-evaluation throughput through the lazy drift plane: a forward
+/// cursor streaming over a multi-segment random-walk adversary, against
+/// binary-searched `value_at` on the materialized schedule (served via
+/// the `ScheduleDrift` adapter, the engine's eager path) and against the
+/// cold `read_at` walk. This is the engine's per-instant clock read at
+/// E13 scale, where the cursor must hold its own against the
+/// materialized plane it replaced.
+fn bench_drift_plane(c: &mut Criterion) {
+    let mut group = c.benchmark_group("drift_plane");
+    for segments in [16usize, 256] {
+        let step = 2.0;
+        let horizon = step * segments as f64;
+        let plane = ModelDrift::new(DriftModel::RandomWalk { step }, 0.01, horizon, 7);
+        let adapter = ScheduleDrift::new(vec![plane.clock(0)]);
+        // Forward streaming reads, re-initialized each wrap — the hot
+        // path shape (monotone per-node query times).
+        group.bench_function(format!("cursor_stream/{segments}seg"), |b| {
+            let mut cursor = plane.init(0);
+            let mut t = 0.0;
+            b.iter(|| {
+                t += 13.7;
+                if t >= horizon {
+                    t %= horizon;
+                    cursor = plane.init(0);
+                }
+                black_box(plane.read(0, &mut cursor, at(t)))
+            })
+        });
+        group.bench_function(format!("materialized_value_at/{segments}seg"), |b| {
+            let mut t = 0.0;
+            b.iter(|| {
+                t = (t + 13.7) % horizon;
+                black_box(adapter.read_at(0, at(t)))
+            })
+        });
+        group.bench_function(format!("cold_read_at/{segments}seg"), |b| {
+            let mut t = 0.0;
+            b.iter(|| {
+                t = (t + 13.7) % horizon;
+                black_box(plane.read_at(0, at(t)))
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_layered_beta(c: &mut Criterion) {
     c.bench_function("layered_beta_build", |b| {
         b.iter(|| black_box(drift::layered_beta(black_box(16), 0.01, 1.0)))
@@ -76,6 +124,7 @@ fn bench_budget(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_schedule_eval,
+    bench_drift_plane,
     bench_layered_beta,
     bench_clockvar,
     bench_budget

@@ -1,4 +1,4 @@
-//! Regenerates every experiment table (E1–E12) in one run, exports the
+//! Regenerates every experiment table (E1–E13) in one run, exports the
 //! main series as CSV under `target/experiments/`, and records the engine
 //! perf trajectory as machine-readable `BENCH_engine.json`.
 //!
@@ -6,7 +6,7 @@
 //! `cargo run --release -p gcs-bench --bin run_all -- --engine-only`
 //!
 //! All scenarios come from [`gcs_bench::scenario::all_scenarios`]. E1–E10
-//! are fanned out in parallel over scoped threads; E11 and E12 are
+//! are fanned out in parallel over scoped threads; E11, E12 and E13 are
 //! themselves wall-clock/memory benchmarks, so they run **alone** after
 //! the parallel batch. The final phase times the engine on the E1
 //! workload (`n = 1024`, continuity with the PR 2 numbers) and on the
@@ -51,6 +51,23 @@ fn e12_entry(o: &gcs_bench::e12_dynamic_workloads::FamilyOutcome) -> String {
     )
 }
 
+fn e13_entry(o: &gcs_bench::e13_scale_ceiling::FamilyOutcome) -> String {
+    format!(
+        "    {{\n      \"family\": \"{}\",\n      \"events\": {},\n      \"setup_s\": {:.6},\n      \"wall_s\": {:.6},\n      \"events_per_sec\": {:.1},\n      \"topology_events\": {},\n      \"peak_topology_backlog\": {},\n      \"drift_cursors\": {},\n      \"node_state_watermark\": {},\n      \"rng_streams\": {},\n      \"current_rss_bytes\": {}\n    }}",
+        o.family,
+        o.events,
+        o.setup_s,
+        o.wall_s,
+        o.events_per_sec,
+        o.stats.topology_events,
+        o.stats.peak_topology_backlog,
+        o.drift_cursors,
+        o.node_state_watermark,
+        o.rng_streams,
+        json_opt_u64(o.current_rss_bytes)
+    )
+}
+
 fn json_opt_u64(v: Option<u64>) -> String {
     v.map(|b| b.to_string())
         .unwrap_or_else(|| "null".to_string())
@@ -63,6 +80,8 @@ fn engine_json(
     e11: &(Workload, Vec<Measurement>),
     e12: &[gcs_bench::e12_dynamic_workloads::FamilyOutcome],
     e12_n: usize,
+    e13: &[gcs_bench::e13_scale_ceiling::FamilyOutcome],
+    e13_n: usize,
     peak_rss_bytes: Option<u64>,
 ) -> String {
     let workload = |w: &Workload| {
@@ -84,8 +103,9 @@ fn engine_json(
     };
     let thread_sweep_valid = host_cpus > 1;
     let e12_entries: Vec<String> = e12.iter().map(e12_entry).collect();
+    let e13_entries: Vec<String> = e13.iter().map(e13_entry).collect();
     format!(
-        "{{\n  \"schema\": \"bench-engine/v3\",\n  \"generated_by\": \"gcs-bench run_all\",\n  \"baseline\": \"batched-serial (threads = 1); the pre-rewrite heap engine was deleted after its equivalence history\",\n  \"host_cpus\": {host_cpus},\n  \"thread_sweep_valid\": {thread_sweep_valid},\n  \"peak_rss_bytes\": {},\n  \"e1_n1024\": {{\n  {},\n  \"engines\": [\n{}\n  ]\n  }},\n  \"e11_large_scale\": {{\n  {},\n  \"engines\": [\n{}\n  ],\n  \"best_parallel_speedup_vs_serial\": {:.3}\n  }},\n  \"e12_dynamic_workloads\": {{\n  \"n\": {},\n  \"families\": [\n{}\n  ]\n  }}\n}}\n",
+        "{{\n  \"schema\": \"bench-engine/v4\",\n  \"generated_by\": \"gcs-bench run_all\",\n  \"baseline\": \"batched-serial (threads = 1); the pre-rewrite heap engine was deleted after its equivalence history\",\n  \"host_cpus\": {host_cpus},\n  \"thread_sweep_valid\": {thread_sweep_valid},\n  \"peak_rss_bytes\": {},\n  \"e1_n1024\": {{\n  {},\n  \"engines\": [\n{}\n  ]\n  }},\n  \"e11_large_scale\": {{\n  {},\n  \"engines\": [\n{}\n  ],\n  \"best_parallel_speedup_vs_serial\": {:.3}\n  }},\n  \"e12_dynamic_workloads\": {{\n  \"n\": {},\n  \"families\": [\n{}\n  ]\n  }},\n  \"e13_scale_ceiling\": {{\n  \"n\": {},\n  \"families\": [\n{}\n  ]\n  }}\n}}\n",
         json_opt_u64(peak_rss_bytes),
         workload(&e1.0),
         entry(&e1.1),
@@ -94,6 +114,8 @@ fn engine_json(
         speedup,
         e12_n,
         e12_entries.join(",\n"),
+        e13_n,
+        e13_entries.join(",\n"),
     )
 }
 
@@ -126,25 +148,31 @@ fn main() {
         );
     }
 
-    // E12 runs in both modes: its outcome feeds the JSON trajectory.
+    // E12 and E13 run in both modes: their outcomes feed the JSON
+    // trajectory.
     let e12_config = gcs_bench::e12_dynamic_workloads::Config::default();
+    let e13_config = gcs_bench::e13_scale_ceiling::Config::default();
 
     let mut e12_outcomes = None;
+    let mut e13_outcomes = None;
     if !engine_only {
-        // E11 and E12 are themselves wall-clock/memory benchmarks: they
-        // must not time their runs while ten other CPU-bound experiments
-        // share the machine, so they run alone after the parallel batch.
+        // E11, E12 and E13 are themselves wall-clock/memory benchmarks:
+        // they must not time their runs while ten other CPU-bound
+        // experiments share the machine, so they run alone after the
+        // parallel batch.
         let mut scenarios = all_scenarios();
-        let e12 = scenarios.pop().expect("registry is non-empty");
-        let e11 = scenarios.pop().expect("registry has >= 2 entries");
+        let e13 = scenarios.pop().expect("registry is non-empty");
+        let e12 = scenarios.pop().expect("registry has >= 2 entries");
+        let e11 = scenarios.pop().expect("registry has >= 3 entries");
+        assert_eq!(e11.id(), "E11", "E11 must be third-to-last in the registry");
         assert_eq!(
-            e11.id(),
-            "E11",
-            "E11 must be second-to-last in the registry"
+            e12.id(),
+            "E12",
+            "E12 must be second-to-last in the registry"
         );
-        assert_eq!(e12.id(), "E12", "E12 must be last in the registry");
+        assert_eq!(e13.id(), "E13", "E13 must be last in the registry");
         println!(
-            "running {} experiments in parallel over scoped threads, then E11 and E12 alone...\n",
+            "running {} experiments in parallel over scoped threads, then E11, E12 and E13 alone...\n",
             scenarios.len()
         );
         let reports = run_parallel(&scenarios);
@@ -152,8 +180,9 @@ fn main() {
             print_report(s.as_ref(), rep, &dir);
         }
         print_report(e11.as_ref(), &e11.run_scenario(), &dir);
-        // E12 at n = 2^17 is expensive: run its families once and reuse
-        // the outcomes for both the report and the JSON trajectory below.
+        // E12 at n = 2^17 and E13 at n = 2^20 are expensive: run each
+        // family set once and reuse the outcomes for both the report and
+        // the JSON trajectory below.
         let outcomes = gcs_bench::e12_dynamic_workloads::run(&e12_config);
         print_report(
             e12.as_ref(),
@@ -161,6 +190,13 @@ fn main() {
             &dir,
         );
         e12_outcomes = Some(outcomes);
+        let outcomes = gcs_bench::e13_scale_ceiling::run(&e13_config);
+        print_report(
+            e13.as_ref(),
+            &gcs_bench::e13_scale_ceiling::report(&e13_config, &outcomes),
+            &dir,
+        );
+        e13_outcomes = Some(outcomes);
     }
 
     println!("=== engine trajectory (baseline: batched serial; host_cpus = {host_cpus}) ===");
@@ -197,12 +233,31 @@ fn main() {
             o.stats.peak_topology_backlog
         );
     }
+    // The E13 scale-ceiling families on the lazy clock plane.
+    let e13_for_json = e13_outcomes
+        .take()
+        .unwrap_or_else(|| gcs_bench::e13_scale_ceiling::run(&e13_config));
+    for o in &e13_for_json {
+        println!(
+            "E13 n={:>7} {:>16}: {:>10.0} events/s  ({} events in {:.2}s, setup {:.3}s, {} cursors / {} touched)",
+            e13_config.n,
+            o.family,
+            o.events_per_sec,
+            o.events,
+            o.wall_s,
+            o.setup_s,
+            o.drift_cursors,
+            o.node_state_watermark
+        );
+    }
     let json = engine_json(
         host_cpus,
         &(w1, m1),
         &(w11, sweep),
         &e12_for_json,
         e12_config.n,
+        &e13_for_json,
+        e13_config.n,
         gcs_analysis::peak_rss_bytes(),
     );
     match std::fs::File::create("BENCH_engine.json").and_then(|mut f| f.write_all(json.as_bytes()))

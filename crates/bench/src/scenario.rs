@@ -155,9 +155,10 @@ pub trait Scenario: Send + Sync {
     fn run_scenario(&self) -> ScenarioReport;
 }
 
-/// All twelve experiments, in order (E1–E10 reproduce paper claims at
+/// All thirteen experiments, in order (E1–E10 reproduce paper claims at
 /// small `n`; E11 is the large-scale parallel-engine run; E12 is the
-/// streaming dynamic-workload family at `n = 2^17`).
+/// streaming dynamic-workload family at `n = 2^17`; E13 is the lazy
+/// clock plane's scale-ceiling run at `n = 2^20`).
 pub fn all_scenarios() -> Vec<Box<dyn Scenario>> {
     vec![
         Box::new(crate::e1_global_skew::Experiment::default()),
@@ -172,6 +173,7 @@ pub fn all_scenarios() -> Vec<Box<dyn Scenario>> {
         Box::new(crate::e10_weighted::Experiment::default()),
         Box::new(crate::e11_large_scale::Experiment::default()),
         Box::new(crate::e12_dynamic_workloads::Experiment::default()),
+        Box::new(crate::e13_scale_ceiling::Experiment::default()),
     ]
 }
 
@@ -247,11 +249,11 @@ mod tests {
     use gcs_clocks::time::at;
 
     #[test]
-    fn registry_lists_all_twelve_experiments_in_order() {
+    fn registry_lists_all_thirteen_experiments_in_order() {
         let ids: Vec<&str> = all_scenarios().iter().map(|s| s.id()).collect();
         assert_eq!(
             ids,
-            vec!["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12"]
+            vec!["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"]
         );
         for s in all_scenarios() {
             assert!(!s.title().is_empty(), "{} needs a title", s.id());

@@ -1,0 +1,184 @@
+//! Lazy-vs-eager drift equivalence: the on-demand clock plane must be
+//! *bit-identical* to running the same workload with every node's
+//! `RateSchedule` fully materialized up front.
+//!
+//! Both paths go through the one `DriftSource` plane — the eager side is
+//! served by `ScheduleDrift`, exactly as `ScheduleSource` serves eager
+//! topology — so these tests pin the contract that makes lazy drift
+//! safe: a model plane and its materialized schedules describe the same
+//! execution (same logical-clock bits at every checkpoint, same
+//! counters) at every thread count, with the lazy side holding only O(1)
+//! cursors for touched nodes and the eager side holding none.
+
+use gcs_bench::engine_bench::Workload;
+use gcs_clocks::time::at;
+use gcs_clocks::{DriftModel, HardwareClock, ModelDrift};
+use gcs_core::{AlgoParams, GradientNode};
+use gcs_net::churn::ChurnSource;
+use gcs_net::generators;
+use gcs_sim::{DelayStrategy, ModelParams, SimBuilder, Simulator};
+
+const THREAD_COUNTS: [usize; 2] = [1, 8];
+
+/// The engine's model-plane seed derivation (`SimBuilder::drift` keys
+/// the lazy plane off `seed ^ GOLDEN`; see `build_with`).
+fn plane_for(model: DriftModel, rho: f64, horizon: f64, seed: u64) -> ModelDrift {
+    ModelDrift::new(model, rho, horizon, seed ^ 0x9e37_79b9_7f4a_7c15)
+}
+
+fn run_and_compare(
+    mut eager: Simulator<GradientNode>,
+    mut lazy: Simulator<GradientNode>,
+    horizon: f64,
+    step: f64,
+) {
+    let mut t = 0.0;
+    while t < horizon {
+        t = (t + step).min(horizon);
+        eager.run_until(at(t));
+        lazy.run_until(at(t));
+        for (i, (x, y)) in eager
+            .logical_snapshot()
+            .iter()
+            .zip(lazy.logical_snapshot())
+            .enumerate()
+        {
+            assert!(
+                x.to_bits() == y.to_bits(),
+                "t={t}: node {i} diverged: lazy {y:?} vs eager {x:?}"
+            );
+        }
+    }
+    assert_eq!(eager.stats(), lazy.stats(), "counters diverged");
+    assert_eq!(
+        eager.drift_cursors(),
+        0,
+        "materialized clocks must keep the plane stateless"
+    );
+    assert!(
+        lazy.drift_cursors() > 0,
+        "the lazy plane should be holding cursors for touched nodes"
+    );
+    assert!(
+        lazy.drift_cursors() <= lazy.node_state_watermark(),
+        "at most one cursor per touched node"
+    );
+}
+
+/// E1-style churn under the multi-segment random-walk adversary — the
+/// workload class E13 runs at n = 2^20, pinned here at test width.
+#[test]
+fn e1_churn_lazy_vs_materialized_drift_bit_identical() {
+    let (n, horizon, seed) = (96, 40.0, 77);
+    let model = ModelParams::new(0.01, 1.0, 2.0);
+    let params = AlgoParams::with_minimal_b0(model, n, 0.5);
+    let drift = DriftModel::RandomWalk { step: 3.0 };
+    let plane = plane_for(drift, model.rho, horizon, seed);
+    let clocks: Vec<HardwareClock> = (0..n).map(|i| plane.clock(i)).collect();
+    let source = || {
+        ChurnSource::new(
+            n,
+            generators::path(n),
+            n / 4,
+            (6.0, 12.0),
+            (2.0, 4.0),
+            horizon,
+            seed ^ 0x000c_4e1d,
+        )
+    };
+    for threads in THREAD_COUNTS {
+        let eager = SimBuilder::from_source(model, source())
+            .clocks(clocks.clone())
+            .delay(DelayStrategy::Max)
+            .seed(seed)
+            .threads(threads)
+            .build_with(|_| GradientNode::new(params));
+        let lazy = SimBuilder::from_source(model, source())
+            .drift(drift, horizon)
+            .delay(DelayStrategy::Max)
+            .seed(seed)
+            .threads(threads)
+            .build_with(|_| GradientNode::new(params));
+        run_and_compare(eager, lazy, horizon, 2.0);
+    }
+}
+
+/// Alternating square-wave drift plus random delays and random discovery
+/// latencies: lazy drift composes with every other randomized subsystem
+/// without perturbing any stream.
+#[test]
+fn alternating_drift_with_random_delays_bit_identical() {
+    let (n, horizon, seed) = (48, 30.0, 5);
+    let model = ModelParams::new(0.02, 1.0, 2.0);
+    let params = AlgoParams::with_minimal_b0(model, n, 0.5);
+    let drift = DriftModel::Alternating { period: 2.5 };
+    let plane = plane_for(drift, model.rho, horizon, seed);
+    let clocks: Vec<HardwareClock> = (0..n).map(|i| plane.clock(i)).collect();
+    let mk = |lazy: bool, threads: usize| {
+        let b = SimBuilder::new(
+            model,
+            Workload {
+                n,
+                horizon,
+                churn: true,
+                seed,
+                threads: 1,
+            }
+            .schedule(),
+        )
+        .delay(DelayStrategy::Uniform { lo: 0.0, hi: 1.0 })
+        .seed(seed)
+        .threads(threads);
+        let b = if lazy {
+            b.drift(drift, horizon)
+        } else {
+            b.clocks(clocks.clone())
+        };
+        b.build_with(|_| GradientNode::new(params))
+    };
+    for threads in THREAD_COUNTS {
+        run_and_compare(mk(false, threads), mk(true, threads), horizon, 1.5);
+    }
+}
+
+/// The large-scale workload shape (what E11/E13 run), under the E13
+/// multi-segment random-walk adversary so the plane actually holds
+/// cursors, is thread-count invariant — including the cursor census
+/// (cursor creation is part of the trace, not of the scheduling).
+#[test]
+fn workload_lazy_drift_thread_invariant() {
+    let w = Workload {
+        n: 32,
+        horizon: 15.0,
+        churn: true,
+        seed: 9,
+        threads: 1,
+    };
+    let model = w.model();
+    let params = w.params();
+    let mk = |threads: usize| {
+        SimBuilder::new(model, w.schedule())
+            .drift(DriftModel::RandomWalk { step: 3.0 }, w.horizon)
+            .delay(DelayStrategy::Max)
+            .seed(w.seed)
+            .threads(threads)
+            .build_with(|_| GradientNode::new(params))
+    };
+    let mut batched = mk(1);
+    batched.run_until(at(w.horizon));
+    let mut wide = mk(8);
+    wide.run_until(at(w.horizon));
+    assert_eq!(batched.stats(), wide.stats());
+    assert!(
+        batched.drift_cursors() > 0,
+        "multi-segment drift must cursor"
+    );
+    assert_eq!(batched.drift_cursors(), wide.drift_cursors());
+    for (x, y) in batched
+        .logical_snapshot()
+        .iter()
+        .zip(wide.logical_snapshot())
+    {
+        assert!(x.to_bits() == y.to_bits(), "wide diverged from batched");
+    }
+}

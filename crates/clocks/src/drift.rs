@@ -58,8 +58,18 @@ pub enum DriftModel {
 
 impl DriftModel {
     /// Builds the rate schedule for node number `node_index` under drift
-    /// bound `rho`, covering real times `[0, horizon]` (the final segment
-    /// extends beyond the horizon).
+    /// bound `rho`, covering real times `[0, horizon]`.
+    ///
+    /// ## Horizon contract (deterministic extension)
+    ///
+    /// Every rate *change* lies within `[0, horizon]`; the final segment
+    /// extends to `+∞`, so queries past the horizon are well defined and
+    /// deterministically continue the last in-horizon rate (see the
+    /// [`RateSchedule`] type docs). This is asserted below — a generator
+    /// can never emit a change beyond the horizon and have queries
+    /// silently extrapolate a rate the horizon never contained. The lazy
+    /// plane ([`crate::source::ModelDrift`]) generates the identical
+    /// segment sequence on demand and honours the same extension.
     pub fn build<R: Rng>(
         &self,
         rho: f64,
@@ -69,7 +79,7 @@ impl DriftModel {
     ) -> RateSchedule {
         validate_rho(rho);
         assert!(horizon.is_finite() && horizon > 0.0, "horizon must be > 0");
-        match *self {
+        let schedule = match *self {
             DriftModel::Perfect => RateSchedule::real_time(),
             DriftModel::Constant(rate) => RateSchedule::constant(rate),
             DriftModel::SplitExtremes => {
@@ -120,7 +130,18 @@ impl DriftModel {
                 }
                 RateSchedule::from_segments(segments)
             }
-        }
+        };
+        let last_start = schedule
+            .segments()
+            .last()
+            .expect("schedules are non-empty")
+            .start
+            .seconds();
+        assert!(
+            last_start <= horizon,
+            "{self:?} emitted a rate change at {last_start} beyond horizon {horizon}"
+        );
+        schedule
     }
 }
 
@@ -234,6 +255,40 @@ mod tests {
         assert_eq!(b.rate_at(at(1.0)), 0.95);
         assert_eq!(a.rate_at(at(3.0)), 0.95);
         assert_eq!(b.rate_at(at(3.0)), 1.05);
+    }
+
+    #[test]
+    fn horizon_extension_is_the_final_in_horizon_segment() {
+        // The deterministic-extension contract, tested at the boundary:
+        // build to `horizon`, then query at, just past, and far past it —
+        // all must continue the final in-horizon rate linearly.
+        let (rho, horizon) = (0.02, 17.0);
+        for model in [
+            DriftModel::RandomWalk { step: 5.0 },
+            DriftModel::Alternating { period: 4.0 },
+            DriftModel::SplitExtremes,
+        ] {
+            for idx in 0..4 {
+                let s = model.build(rho, horizon, idx, &mut rng());
+                let last = *s.segments().last().unwrap();
+                assert!(
+                    last.start.seconds() <= horizon,
+                    "{model:?}: change beyond the horizon"
+                );
+                assert_eq!(s.final_rate(), last.rate);
+                let anchor = s.value_at(at(horizon));
+                for &dt in &[0.0, 1e-9, 1.0, 1000.0] {
+                    let t = horizon + dt;
+                    assert_eq!(s.rate_at(at(t)), last.rate, "{model:?} t={t}");
+                    let got = s.value_at(at(t));
+                    let expect = anchor + last.rate * dt;
+                    assert!(
+                        (got - expect).abs() < 1e-9,
+                        "{model:?} t={t}: {got} vs linear extension {expect}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

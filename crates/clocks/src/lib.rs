@@ -21,6 +21,11 @@
 //! * [`drift`] — generators for drift patterns: constant, random-walk,
 //!   two-phase adversarial, and the layered schedules used by the paper's
 //!   lower-bound executions (Lemma 4.2).
+//! * [`source`] — the **lazy drift plane**: [`DriftSource`] evaluates any
+//!   drift pattern on demand through an O(1) per-node [`DriftCursor`]
+//!   (bit-identical to the materialized schedule), with [`ModelDrift`]
+//!   generating every [`DriftModel`] from per-node keyed streams and
+//!   [`ScheduleDrift`] adapting explicit eager clocks.
 //! * [`ClockVar`] — the offset-from-hardware representation of algorithm
 //!   variables (`L_u`, `Lmax_u`, `L^v_u`) that grow at the hardware rate
 //!   between discrete events.
@@ -50,12 +55,14 @@
 pub mod drift;
 pub mod hardware;
 pub mod rate;
+pub mod source;
 pub mod time;
 pub mod var;
 
 pub use drift::DriftModel;
 pub use hardware::HardwareClock;
 pub use rate::{RateSchedule, RateSegment};
+pub use source::{drift_stream_seed, DriftCursor, DriftSource, ModelDrift, ScheduleDrift};
 pub use time::{Duration, Time};
 pub use var::ClockVar;
 

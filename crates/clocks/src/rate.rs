@@ -31,6 +31,19 @@ pub struct RateSegment {
 /// * the first segment starts at `Time::ZERO`,
 /// * segment starts are strictly increasing,
 /// * every rate is finite and strictly positive.
+///
+/// ## Horizon contract (deterministic extension)
+///
+/// A schedule has no built-in horizon: the **final segment extends to
+/// `+∞`**, so `value_at`/`rate_at`/`time_at_value` are defined — and
+/// deterministic — for every `t ≥ 0`, including times beyond whatever
+/// horizon a generator covered. Builders that take a horizon (see
+/// [`DriftModel::build`](crate::drift::DriftModel::build)) guarantee that
+/// rate changes are confined to `[0, horizon]`; queries past it continue
+/// the last in-horizon rate forever. The lazy plane
+/// ([`crate::source`]) honours the same extension (`seg_end == None`),
+/// which is what keeps lazy and eager evaluation bit-identical at and
+/// beyond the boundary.
 #[derive(Clone, Debug, PartialEq)]
 pub struct RateSchedule {
     segments: Vec<RateSegment>,
@@ -156,6 +169,13 @@ impl RateSchedule {
             .iter()
             .map(|s| s.rate)
             .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Rate of the final segment — the rate every query beyond the last
+    /// segment start observes, under the deterministic-extension
+    /// contract (see the type docs).
+    pub fn final_rate(&self) -> f64 {
+        self.segments.last().expect("schedules are non-empty").rate
     }
 
     /// Maximum rate over the whole schedule.

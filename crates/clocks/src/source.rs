@@ -1,0 +1,646 @@
+//! The lazy drift plane: on-demand hardware-rate evaluation.
+//!
+//! [`DriftModel::build`] materializes a full [`RateSchedule`] — one segment
+//! vector spanning the whole horizon — per node. At `n = 2^20` under a
+//! multi-segment adversary that is hundreds of megabytes of rate state,
+//! almost all of it for instants no one ever queries. The paper's §3 model
+//! only requires that a node's rate be *queryable* at the instants the
+//! execution touches it, which is exactly the shape the streaming topology
+//! pipeline (`gcs_net::TopologySource`) already proved out for edges.
+//!
+//! A [`DriftSource`] is the per-node, seed-keyed drift counterpart: it
+//! evaluates (and integrates) the hardware rate on demand at query
+//! instants, caching only an O(1) [`DriftCursor`] per *touched* node —
+//! last segment boundary, accumulated hardware time, current rate, RNG
+//! stream position. Untouched nodes cost zero bytes of drift state.
+//!
+//! ## The contract
+//!
+//! * **`H(0) = 0`** for every node (the paper's convention); a fresh
+//!   cursor starts at the first segment with zero accumulated time.
+//! * **Forward-only cursors**: [`DriftSource::read`] may only be called
+//!   with nondecreasing times per cursor. Arbitrary-time queries go
+//!   through [`DriftSource::read_at`] (a fresh throwaway cursor), and
+//!   [`DriftSource::fire_time`] looks *ahead* of the persistent cursor
+//!   with a cloned probe, so the cursor never advances past its last
+//!   `read` time.
+//! * **Bit-identity with the eager plane**: for every node,
+//!   `read`/`read_at` equals `RateSchedule::value_at` and
+//!   `fire_time`/`fire_at` equals `RateSchedule::time_after_advance` of
+//!   the materialized schedule, **bit for bit** — the cursor accumulates
+//!   hardware time with the same operations, in the same order, as
+//!   [`RateSchedule::from_segments`] builds its cumulative table. Pinned
+//!   by the property tests in `crates/clocks/tests/prop_clocks.rs` and,
+//!   end to end, by `crates/bench/tests/lazy_drift.rs`.
+//! * **Deterministic extension**: the final segment extends to `+∞`,
+//!   matching the [`RateSchedule`] horizon contract (see
+//!   [`DriftModel::build`]).
+//!
+//! Two implementations ship: [`ModelDrift`] generates any [`DriftModel`]
+//! lazily from per-node keyed RNG streams, and [`ScheduleDrift`] adapts
+//! explicit per-node [`HardwareClock`]s (the `ScheduleSource` idiom), so
+//! every existing eager construction keeps working through the one plane.
+
+use crate::drift::DriftModel;
+use crate::hardware::HardwareClock;
+use crate::rate::RateSchedule;
+use crate::time::Time;
+use crate::validate_rho;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Decorrelated per-node drift stream seed.
+///
+/// Each node's rate generator draws from its own keyed stream, so a
+/// node's schedule is a pure function of `(plane seed, node index)` —
+/// evaluable lazily, in any node order, without generating anyone else's
+/// draws. The mixing constant differs from the engine's
+/// `node_stream_seed` domain, keeping drift draws independent of delay
+/// draws.
+pub fn drift_stream_seed(seed: u64, index: usize) -> u64 {
+    seed ^ 0x243F_6A88_85A3_08D3 ^ (index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// O(1) per-node evaluation state: the current constant-rate segment plus
+/// the accumulated hardware time at its start and (for random sources)
+/// the RNG stream position. This is *all* the drift plane ever stores per
+/// node — segment history is never retained.
+#[derive(Clone, Debug)]
+pub struct DriftCursor {
+    /// Real time at which the current segment begins.
+    seg_start: Time,
+    /// Hardware reading at `seg_start` (accumulated exactly as
+    /// [`RateSchedule::from_segments`] accumulates its cumulative table).
+    seg_h: f64,
+    /// Rate on `[seg_start, seg_end)`.
+    rate: f64,
+    /// End of the current segment; `None` means it extends to `+∞`
+    /// (the deterministic-extension contract).
+    seg_end: Option<Time>,
+    /// Keyed RNG stream position for random sources.
+    rng: Option<StdRng>,
+    /// Segments opened so far (generator scratch / segment index).
+    step: u64,
+}
+
+impl DriftCursor {
+    /// A cursor positioned at the first segment `[0, seg_end)` at `rate`,
+    /// with `H(0) = 0`.
+    pub fn first(rate: f64, seg_end: Option<Time>) -> Self {
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "clock rates must be finite and positive, got {rate}"
+        );
+        if let Some(end) = seg_end {
+            assert!(end > Time::ZERO, "first segment must not be empty");
+        }
+        DriftCursor {
+            seg_start: Time::ZERO,
+            seg_h: 0.0,
+            rate,
+            seg_end,
+            rng: None,
+            step: 0,
+        }
+    }
+
+    /// Attaches a keyed RNG stream (random sources draw future segment
+    /// rates from it; the stream position is part of the cursor).
+    pub fn with_rng(mut self, rng: StdRng) -> Self {
+        self.rng = Some(rng);
+        self
+    }
+
+    /// Start of the current segment.
+    pub fn seg_start(&self) -> Time {
+        self.seg_start
+    }
+
+    /// End of the current segment (`None` = extends to `+∞`).
+    pub fn seg_end(&self) -> Option<Time> {
+        self.seg_end
+    }
+
+    /// Rate of the current segment.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Segments opened so far (equals the current segment index).
+    pub fn step(&self) -> u64 {
+        self.step
+    }
+
+    /// The cursor's RNG stream.
+    ///
+    /// # Panics
+    /// Panics if the cursor was built without one.
+    pub fn rng_mut(&mut self) -> &mut StdRng {
+        self.rng.as_mut().expect("cursor has no RNG stream")
+    }
+
+    /// Closes the current segment at its end and opens the next at `rate`
+    /// until `next_end`, accumulating hardware time exactly as
+    /// [`RateSchedule::from_segments`] does.
+    ///
+    /// # Panics
+    /// Panics when called on a final (`seg_end == None`) segment, on a
+    /// non-positive rate, or on a non-increasing boundary.
+    pub fn open(&mut self, rate: f64, next_end: Option<Time>) {
+        let end = self
+            .seg_end
+            .expect("open() called on the final segment (deterministic extension)");
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "clock rates must be finite and positive, got {rate}"
+        );
+        if let Some(e) = next_end {
+            assert!(e > end, "segment boundaries must be strictly increasing");
+        }
+        self.seg_h += self.rate * (end - self.seg_start).seconds();
+        self.seg_start = end;
+        self.rate = rate;
+        self.seg_end = next_end;
+        self.step += 1;
+    }
+
+    /// Hardware reading at `t`, which must lie in the current segment
+    /// (callers advance first; see [`DriftSource::read`]).
+    #[inline]
+    pub fn eval(&self, t: Time) -> f64 {
+        debug_assert!(t >= self.seg_start, "eval before segment start");
+        debug_assert!(self.seg_end.is_none_or(|e| t < e), "eval past segment end");
+        self.seg_h + self.rate * (t - self.seg_start).seconds()
+    }
+}
+
+/// A per-node, on-demand drift generator. See the module docs for the
+/// contract; implementors provide segment generation ([`init`] and
+/// [`next_segment`]), the provided methods do evaluation and inversion.
+///
+/// [`init`]: DriftSource::init
+/// [`next_segment`]: DriftSource::next_segment
+pub trait DriftSource: Send + Sync {
+    /// The drift bound `ρ` every generated rate respects.
+    fn rho(&self) -> f64;
+
+    /// A fresh cursor for node `index`, positioned at the first segment.
+    fn init(&self, index: usize) -> DriftCursor;
+
+    /// Opens the cursor's next segment. Only called while the current
+    /// segment is finite (`seg_end` is `Some`).
+    fn next_segment(&self, index: usize, cursor: &mut DriftCursor);
+
+    /// True when per-node evaluation needs no cursor (eager adapters
+    /// answer from materialized state); the engine then skips cursor
+    /// bookkeeping entirely and uses [`read_at`](Self::read_at) /
+    /// [`fire_at`](Self::fire_at).
+    fn stateless(&self) -> bool {
+        false
+    }
+
+    /// Hardware reading `H_index(t)`, advancing `cursor` to the segment
+    /// containing `t`. Forward-only: `t` must be at or after the cursor's
+    /// current segment start.
+    fn read(&self, index: usize, cursor: &mut DriftCursor, t: Time) -> f64 {
+        debug_assert!(t.is_valid_sim_time(), "queried drift source at {t:?}");
+        debug_assert!(
+            t >= cursor.seg_start,
+            "cursor reads are forward-only: {t:?} before {:?}",
+            cursor.seg_start
+        );
+        while cursor.seg_end.is_some_and(|end| t >= end) {
+            self.next_segment(index, cursor);
+        }
+        cursor.eval(t)
+    }
+
+    /// The real time at which node `index`'s clock will have advanced by
+    /// the subjective duration `delta` past its reading at `now` — the
+    /// `set_timer` primitive. Advances `cursor` to `now` only; the
+    /// look-ahead past `now` runs on a cloned probe, so later `read`s
+    /// between `now` and the fire time stay forward.
+    fn fire_time(&self, index: usize, cursor: &mut DriftCursor, now: Time, delta: f64) -> Time {
+        assert!(
+            delta.is_finite() && delta >= 0.0,
+            "subjective advance must be >= 0, got {delta}"
+        );
+        let h = self.read(index, cursor, now) + delta;
+        let mut probe = cursor.clone();
+        loop {
+            if let Some(end) = probe.seg_end {
+                // Same boundary rule as `RateSchedule::time_at_value`:
+                // land in the *last* segment whose starting value is <= h.
+                let end_h = probe.seg_h + probe.rate * (end - probe.seg_start).seconds();
+                if end_h <= h {
+                    self.next_segment(index, &mut probe);
+                    continue;
+                }
+            }
+            return Time::new(probe.seg_start.seconds() + (h - probe.seg_h) / probe.rate);
+        }
+    }
+
+    /// Cold evaluation at an arbitrary time: a throwaway cursor walks the
+    /// segments from 0. O(segments up to `t`) — fine for queries and
+    /// snapshots, not for hot loops (those hold a cursor).
+    fn read_at(&self, index: usize, t: Time) -> f64 {
+        let mut cursor = self.init(index);
+        self.read(index, &mut cursor, t)
+    }
+
+    /// Cold [`fire_time`](Self::fire_time) with a throwaway cursor.
+    fn fire_at(&self, index: usize, now: Time, delta: f64) -> Time {
+        let mut cursor = self.init(index);
+        self.fire_time(index, &mut cursor, now, delta)
+    }
+}
+
+/// The lazy generator for every [`DriftModel`]: node `index`'s schedule
+/// is a pure function of `(seed, index)` via [`drift_stream_seed`] — no
+/// per-node state exists until a cursor is created, and the cursor stays
+/// O(1) no matter how many segments the model spans.
+///
+/// [`ModelDrift::materialize`] builds the exact eager [`RateSchedule`]
+/// the cursor walks (it hands [`DriftModel::build`] the same keyed
+/// stream), bridging lazy → eager for validation and tests.
+#[derive(Clone, Copy, Debug)]
+pub struct ModelDrift {
+    model: DriftModel,
+    rho: f64,
+    horizon: f64,
+    seed: u64,
+}
+
+impl ModelDrift {
+    /// A lazy plane generating `model` under drift bound `rho` with rate
+    /// changes confined to `[0, horizon]` (the final segment extends
+    /// beyond — the deterministic-extension contract of
+    /// [`DriftModel::build`]).
+    pub fn new(model: DriftModel, rho: f64, horizon: f64, seed: u64) -> Self {
+        validate_rho(rho);
+        assert!(horizon.is_finite() && horizon > 0.0, "horizon must be > 0");
+        match model {
+            DriftModel::RandomWalk { step } => {
+                assert!(step > 0.0, "random-walk step must be > 0")
+            }
+            DriftModel::Alternating { period } => {
+                assert!(period > 0.0, "alternation period must be > 0")
+            }
+            _ => {}
+        }
+        ModelDrift {
+            model,
+            rho,
+            horizon,
+            seed,
+        }
+    }
+
+    /// The generated model.
+    pub fn model(&self) -> DriftModel {
+        self.model
+    }
+
+    /// The horizon rate changes are confined to.
+    pub fn horizon(&self) -> f64 {
+        self.horizon
+    }
+
+    /// Node `index`'s keyed drift stream, freshly positioned.
+    pub fn node_rng(&self, index: usize) -> StdRng {
+        StdRng::seed_from_u64(drift_stream_seed(self.seed, index))
+    }
+
+    /// The eager schedule this plane generates for node `index` —
+    /// [`DriftModel::build`] fed the node's keyed stream, so cursor
+    /// evaluation is bit-identical to `value_at` on this schedule.
+    pub fn materialize(&self, index: usize) -> RateSchedule {
+        self.model
+            .build(self.rho, self.horizon, index, &mut self.node_rng(index))
+    }
+
+    /// The materialized schedule wrapped as a [`HardwareClock`].
+    pub fn clock(&self, index: usize) -> HardwareClock {
+        HardwareClock::new(self.materialize(index), self.rho)
+    }
+
+    /// The next segment boundary after `prev`, accumulated exactly as
+    /// [`DriftModel::build`]'s `t += step` loop accumulates it; `None`
+    /// once past the horizon (the segment ending there is final).
+    fn boundary_after(&self, prev: f64, step: f64) -> Option<Time> {
+        let next = prev + step;
+        (next <= self.horizon).then(|| Time::new(next))
+    }
+}
+
+impl DriftSource for ModelDrift {
+    fn rho(&self) -> f64 {
+        self.rho
+    }
+
+    /// Closed-form single-segment models (constant rates derived from
+    /// the node index alone) need no cursor: a cold evaluation is O(1)
+    /// and draw-free, so the engine skips per-node bookkeeping entirely.
+    fn stateless(&self) -> bool {
+        matches!(
+            self.model,
+            DriftModel::Perfect
+                | DriftModel::Constant(_)
+                | DriftModel::SplitExtremes
+                | DriftModel::FastUpTo(_)
+        )
+    }
+
+    fn init(&self, index: usize) -> DriftCursor {
+        let rho = self.rho;
+        match self.model {
+            DriftModel::Perfect => DriftCursor::first(1.0, None),
+            DriftModel::Constant(rate) => DriftCursor::first(rate, None),
+            DriftModel::SplitExtremes => DriftCursor::first(
+                if index.is_multiple_of(2) {
+                    1.0 - rho
+                } else {
+                    1.0 + rho
+                },
+                None,
+            ),
+            DriftModel::FastUpTo(boundary) => DriftCursor::first(
+                if index < boundary {
+                    1.0 + rho
+                } else {
+                    1.0 - rho
+                },
+                None,
+            ),
+            DriftModel::RandomConstant => {
+                let mut rng = self.node_rng(index);
+                DriftCursor::first(rng.gen_range(1.0 - rho..=1.0 + rho), None)
+            }
+            DriftModel::RandomWalk { step } => {
+                DriftCursor::first(1.0, self.boundary_after(0.0, step))
+                    .with_rng(self.node_rng(index))
+            }
+            DriftModel::Alternating { period } => DriftCursor::first(
+                if index.is_multiple_of(2) {
+                    1.0 + rho
+                } else {
+                    1.0 - rho
+                },
+                self.boundary_after(0.0, period),
+            ),
+        }
+    }
+
+    fn next_segment(&self, _index: usize, cursor: &mut DriftCursor) {
+        let rho = self.rho;
+        let start = cursor
+            .seg_end()
+            .expect("next_segment on a final segment")
+            .seconds();
+        match self.model {
+            DriftModel::RandomWalk { step } => {
+                // Same draw and clamp as `DriftModel::build`, from the
+                // same stream position (one draw per opened segment).
+                let delta = cursor.rng_mut().gen_range(-rho / 4.0..=rho / 4.0);
+                let rate = (cursor.rate() + delta).clamp(1.0 - rho, 1.0 + rho);
+                cursor.open(rate, self.boundary_after(start, step));
+            }
+            DriftModel::Alternating { period } => {
+                let rate = if cursor.rate() > 1.0 {
+                    1.0 - rho
+                } else {
+                    1.0 + rho
+                };
+                cursor.open(rate, self.boundary_after(start, period));
+            }
+            _ => unreachable!("single-segment drift models have no next segment"),
+        }
+    }
+}
+
+/// Eager adapter: explicit per-node [`HardwareClock`]s served through the
+/// [`DriftSource`] plane (the drift counterpart of
+/// `gcs_net::ScheduleSource`). Evaluation answers directly from the
+/// materialized schedules ([`stateless`](DriftSource::stateless) is
+/// true, so the engine keeps no cursors), with identical bits to the
+/// pre-plane `HardwareClock` calls; the cursor path is still implemented
+/// — replaying the stored segments — so adapters and lazy generators can
+/// be compared through either interface.
+#[derive(Clone, Debug)]
+pub struct ScheduleDrift {
+    clocks: Vec<HardwareClock>,
+    rho: f64,
+}
+
+impl ScheduleDrift {
+    /// Wraps explicit clocks; the plane's `rho` is the largest bound any
+    /// clock was built under (0 for an empty set).
+    pub fn new(clocks: Vec<HardwareClock>) -> Self {
+        let rho = clocks.iter().map(|c| c.rho()).fold(0.0, f64::max);
+        ScheduleDrift { clocks, rho }
+    }
+
+    /// The wrapped clocks.
+    pub fn clocks(&self) -> &[HardwareClock] {
+        &self.clocks
+    }
+
+    /// Number of nodes covered.
+    pub fn len(&self) -> usize {
+        self.clocks.len()
+    }
+
+    /// True when no clocks are wrapped.
+    pub fn is_empty(&self) -> bool {
+        self.clocks.is_empty()
+    }
+}
+
+impl DriftSource for ScheduleDrift {
+    fn rho(&self) -> f64 {
+        self.rho
+    }
+
+    fn stateless(&self) -> bool {
+        true
+    }
+
+    fn init(&self, index: usize) -> DriftCursor {
+        let segs = self.clocks[index].schedule().segments();
+        DriftCursor::first(segs[0].rate, segs.get(1).map(|s| s.start))
+    }
+
+    fn next_segment(&self, index: usize, cursor: &mut DriftCursor) {
+        let segs = self.clocks[index].schedule().segments();
+        let i = cursor.step() as usize + 1;
+        cursor.open(segs[i].rate, segs.get(i + 1).map(|s| s.start));
+    }
+
+    fn read_at(&self, index: usize, t: Time) -> f64 {
+        self.clocks[index].read(t)
+    }
+
+    fn fire_at(&self, index: usize, now: Time, delta: f64) -> Time {
+        self.clocks[index].fire_time(now, delta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::at;
+
+    const MODELS: [DriftModel; 7] = [
+        DriftModel::Perfect,
+        DriftModel::Constant(1.005),
+        DriftModel::SplitExtremes,
+        DriftModel::FastUpTo(3),
+        DriftModel::RandomConstant,
+        DriftModel::RandomWalk { step: 3.0 },
+        DriftModel::Alternating { period: 4.0 },
+    ];
+
+    #[test]
+    fn cursor_reads_match_materialized_value_at_bitwise() {
+        for model in MODELS {
+            let plane = ModelDrift::new(model, 0.02, 50.0, 9);
+            for index in 0..6 {
+                let sched = plane.materialize(index);
+                let mut cursor = plane.init(index);
+                // Monotone queries spanning segment interiors, joints, and
+                // the beyond-horizon extension.
+                for &t in &[0.0, 0.5, 3.0, 4.0, 12.0, 49.9, 50.0, 200.0] {
+                    let lazy = plane.read(index, &mut cursor, at(t));
+                    let eager = sched.value_at(at(t));
+                    assert!(
+                        lazy.to_bits() == eager.to_bits(),
+                        "{model:?} node {index} t={t}: lazy {lazy} != eager {eager}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fire_time_matches_materialized_inversion_bitwise() {
+        for model in MODELS {
+            let plane = ModelDrift::new(model, 0.02, 40.0, 5);
+            for index in 0..4 {
+                let sched = plane.materialize(index);
+                let mut cursor = plane.init(index);
+                for &(now, delta) in &[(0.0, 0.5), (1.0, 10.0), (7.5, 0.0), (39.0, 60.0)] {
+                    let lazy = plane.fire_time(index, &mut cursor, at(now), delta);
+                    let eager = sched.time_after_advance(at(now), delta);
+                    assert!(
+                        lazy.seconds().to_bits() == eager.seconds().to_bits(),
+                        "{model:?} node {index} now={now} delta={delta}: \
+                         lazy {lazy:?} != eager {eager:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fire_time_leaves_cursor_at_now() {
+        let plane = ModelDrift::new(DriftModel::RandomWalk { step: 2.0 }, 0.05, 30.0, 1);
+        let mut cursor = plane.init(0);
+        let fire = plane.fire_time(0, &mut cursor, at(1.0), 20.0);
+        assert!(fire > at(20.0), "lookahead spans many segments");
+        // The persistent cursor stayed at now's segment, so an
+        // intermediate forward read is still legal.
+        assert!(cursor.seg_start() <= at(1.0));
+        let mid = plane.read(0, &mut cursor, at(5.0));
+        assert_eq!(
+            mid.to_bits(),
+            plane.materialize(0).value_at(at(5.0)).to_bits()
+        );
+    }
+
+    #[test]
+    fn schedule_adapter_is_stateless_and_exact() {
+        let plane = ModelDrift::new(DriftModel::Alternating { period: 3.0 }, 0.01, 20.0, 2);
+        let clocks: Vec<HardwareClock> = (0..4).map(|i| plane.clock(i)).collect();
+        let adapter = ScheduleDrift::new(clocks.clone());
+        assert!(adapter.stateless());
+        assert!(!plane.stateless());
+        assert_eq!(adapter.len(), 4);
+        assert!((adapter.rho() - 0.01).abs() < 1e-15);
+        for (i, clock) in clocks.iter().enumerate() {
+            for &t in &[0.0, 2.9, 3.0, 10.0, 100.0] {
+                assert_eq!(
+                    adapter.read_at(i, at(t)).to_bits(),
+                    clock.read(at(t)).to_bits()
+                );
+                // The adapter's cursor path replays the same segments.
+                assert_eq!(adapter.read_at(i, at(t)).to_bits(), {
+                    let mut c = adapter.init(i);
+                    adapter.read(i, &mut c, at(t)).to_bits()
+                });
+            }
+            let f = adapter.fire_at(i, at(1.0), 7.0);
+            assert_eq!(
+                f.seconds().to_bits(),
+                clock.fire_time(at(1.0), 7.0).seconds().to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn keyed_streams_decouple_nodes() {
+        // Lazily evaluating node 5 must not depend on nodes 0..5 — the
+        // defining property the shared-sequential eager builder lacked.
+        let plane = ModelDrift::new(DriftModel::RandomConstant, 0.03, 10.0, 7);
+        let direct = plane.read_at(5, at(10.0));
+        // Same plane, evaluated after touching other nodes first.
+        for i in 0..5 {
+            let _ = plane.read_at(i, at(10.0));
+        }
+        assert_eq!(direct.to_bits(), plane.read_at(5, at(10.0)).to_bits());
+        // And per-node schedules respect the bound.
+        for i in 0..8 {
+            assert!(plane.materialize(i).respects_drift_bound(0.03));
+        }
+    }
+
+    #[test]
+    fn extension_beyond_horizon_is_the_final_segment() {
+        // The deterministic-extension contract at and past the horizon.
+        let plane = ModelDrift::new(DriftModel::RandomWalk { step: 4.0 }, 0.04, 21.0, 3);
+        let sched = plane.materialize(0);
+        let last = *sched.segments().last().unwrap();
+        assert!(
+            last.start.seconds() <= 21.0,
+            "no segment starts past the horizon"
+        );
+        assert_eq!(sched.final_rate(), last.rate);
+        for &t in &[21.0, 21.0 + 1e-9, 500.0] {
+            let expect = sched.value_at(last.start) + last.rate * (t - last.start.seconds());
+            assert!((sched.value_at(at(t)) - expect).abs() < 1e-9);
+            assert_eq!(
+                plane.read_at(0, at(t)).to_bits(),
+                sched.value_at(at(t)).to_bits(),
+                "lazy extension diverged at t={t}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "final segment")]
+    fn open_on_final_segment_rejected() {
+        let mut c = DriftCursor::first(1.0, None);
+        c.open(1.01, None);
+    }
+
+    #[test]
+    fn drift_stream_seeds_are_distinct() {
+        let mut seen = std::collections::BTreeSet::new();
+        for i in 0..1000 {
+            assert!(
+                seen.insert(drift_stream_seed(42, i)),
+                "seed collision at {i}"
+            );
+        }
+    }
+}

@@ -4,10 +4,27 @@
 //! invariants over randomly generated rate schedules.
 
 use gcs_clocks::time::at;
-use gcs_clocks::{drift, ClockVar, DriftModel, HardwareClock, RateSchedule};
+use gcs_clocks::{
+    drift, ClockVar, DriftModel, DriftSource, HardwareClock, ModelDrift, RateSchedule,
+    ScheduleDrift,
+};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Strategy: any [`DriftModel`] variant (rates parameterized to respect
+/// the `rho = 0.03` bound the equivalence tests run under).
+fn arb_model() -> impl Strategy<Value = DriftModel> {
+    prop_oneof![
+        Just(DriftModel::Perfect),
+        (-1.0f64..=1.0).prop_map(|u| DriftModel::Constant(1.0 + u * 0.03)),
+        Just(DriftModel::SplitExtremes),
+        (0usize..8).prop_map(DriftModel::FastUpTo),
+        Just(DriftModel::RandomConstant),
+        (0.5f64..6.0).prop_map(|step| DriftModel::RandomWalk { step }),
+        (0.5f64..6.0).prop_map(|period| DriftModel::Alternating { period }),
+    ]
+}
 
 /// Strategy: a random piecewise schedule with rates in [1-rho, 1+rho].
 fn arb_schedule(rho: f64) -> impl Strategy<Value = RateSchedule> {
@@ -98,6 +115,82 @@ proptest! {
         ] {
             let s = model.build(rho, 100.0, idx, &mut rng);
             prop_assert!(s.respects_drift_bound(rho));
+        }
+    }
+
+    /// Lazy-vs-eager drift equivalence for every model variant: a single
+    /// forward cursor walked over sorted random query times reads
+    /// bit-identically to `value_at` on the materialized schedule
+    /// (mirroring `prop_net.rs`'s generator-vs-eager pattern).
+    #[test]
+    fn lazy_cursor_matches_eager_schedule_bitwise(
+        model in arb_model(),
+        seed in 0u64..500,
+        index in 0usize..12,
+        horizon in 5.0f64..60.0,
+        times in prop::collection::vec(0.0f64..90.0, 1..24),
+    ) {
+        let plane = ModelDrift::new(model, 0.03, horizon, seed);
+        let sched = plane.materialize(index);
+        let mut times = times;
+        times.sort_by(f64::total_cmp);
+        let mut cursor = plane.init(index);
+        for &t in &times {
+            let lazy = plane.read(index, &mut cursor, at(t));
+            let eager = sched.value_at(at(t));
+            prop_assert!(
+                lazy.to_bits() == eager.to_bits(),
+                "{model:?} node {index} t={t}: lazy {lazy} != eager {eager}"
+            );
+        }
+    }
+
+    /// Random query *orderings*: arbitrary-time queries through the cold
+    /// path (`read_at`, a fresh throwaway cursor per query — the plane's
+    /// interface for non-monotone access) agree with the eager schedule
+    /// in whatever order they arrive, as does the eager adapter.
+    #[test]
+    fn lazy_random_order_queries_match_eager(
+        model in arb_model(),
+        seed in 0u64..500,
+        index in 0usize..12,
+        horizon in 5.0f64..60.0,
+        times in prop::collection::vec(0.0f64..90.0, 1..24),
+    ) {
+        let plane = ModelDrift::new(model, 0.03, horizon, seed);
+        let sched = plane.materialize(index);
+        let adapter = ScheduleDrift::new(vec![HardwareClock::new(sched.clone(), 0.03)]);
+        for &t in &times {
+            let eager = sched.value_at(at(t));
+            prop_assert!(plane.read_at(index, at(t)).to_bits() == eager.to_bits());
+            prop_assert!(adapter.read_at(0, at(t)).to_bits() == eager.to_bits());
+        }
+    }
+
+    /// Subjective-timer inversion through the lazy plane is bit-identical
+    /// to `time_after_advance` on the materialized schedule, at random
+    /// (forward) set times and deltas — including fire times far past the
+    /// horizon (the deterministic extension).
+    #[test]
+    fn lazy_fire_time_matches_eager_inversion(
+        model in arb_model(),
+        seed in 0u64..500,
+        index in 0usize..12,
+        horizon in 5.0f64..40.0,
+        sets in prop::collection::vec((0.0f64..50.0, 0.0f64..80.0), 1..12),
+    ) {
+        let plane = ModelDrift::new(model, 0.03, horizon, seed);
+        let sched = plane.materialize(index);
+        let mut sets = sets;
+        sets.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut cursor = plane.init(index);
+        for &(now, delta) in &sets {
+            let lazy = plane.fire_time(index, &mut cursor, at(now), delta);
+            let eager = sched.time_after_advance(at(now), delta);
+            prop_assert!(
+                lazy.seconds().to_bits() == eager.seconds().to_bits(),
+                "{model:?} node {index} now={now} delta={delta}: {lazy:?} != {eager:?}"
+            );
         }
     }
 

@@ -47,6 +47,19 @@ pub enum Action {
     },
 }
 
+/// Where a [`Context`] gets its random stream: either a borrowed live
+/// generator (tests) or the owner's lazy shard slot, materialized on the
+/// first draw (the engine; seeding is a pure function of
+/// `(seed, node id)`, so *when* the stream is created is unobservable).
+enum RngHandle<'a> {
+    Ready(&'a mut StdRng),
+    Lazy {
+        slot: &'a mut Option<Box<StdRng>>,
+        seed: u64,
+        index: usize,
+    },
+}
+
 /// Per-event execution context handed to automaton handlers.
 pub struct Context<'a> {
     /// This node's id.
@@ -58,12 +71,12 @@ pub struct Context<'a> {
     pub hw: f64,
     actions: &'a mut Vec<Action>,
     /// The node's private random stream (see [`Context::rng`]).
-    rng: &'a mut StdRng,
+    rng: RngHandle<'a>,
 }
 
 impl<'a> Context<'a> {
     /// Creates a context writing into `actions`, drawing randomness from
-    /// `rng` (engine-internal; tests construct one directly).
+    /// `rng` (tests construct one directly).
     pub fn new(
         node: NodeId,
         now: Time,
@@ -76,7 +89,29 @@ impl<'a> Context<'a> {
             now,
             hw,
             actions,
-            rng,
+            rng: RngHandle::Ready(rng),
+        }
+    }
+
+    /// Engine-internal constructor over the owner's lazy stream slot.
+    pub(crate) fn with_lazy_rng(
+        node: NodeId,
+        now: Time,
+        hw: f64,
+        actions: &'a mut Vec<Action>,
+        slot: &'a mut Option<Box<StdRng>>,
+        seed: u64,
+    ) -> Self {
+        Context {
+            node,
+            now,
+            hw,
+            actions,
+            rng: RngHandle::Lazy {
+                slot,
+                seed,
+                index: node.index(),
+            },
         }
     }
 
@@ -105,9 +140,14 @@ impl<'a> Context<'a> {
     /// node id)` and consumed only while this node's handlers run, in the
     /// node's own event order. Draws therefore never depend on how events
     /// at *other* nodes interleave — which is what keeps randomized
-    /// protocols bit-identical across engine thread counts.
+    /// protocols bit-identical across engine thread counts. It is also
+    /// **lazy**: the generator materializes on the first draw, so nodes
+    /// that never draw cost no stream state.
     pub fn rng(&mut self) -> &mut StdRng {
-        self.rng
+        match &mut self.rng {
+            RngHandle::Ready(rng) => rng,
+            RngHandle::Lazy { slot, seed, index } => crate::shard::lazy_rng(slot, *seed, *index),
+        }
     }
 }
 

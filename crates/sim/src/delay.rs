@@ -94,6 +94,24 @@ pub fn beta_hw_inverse(h: f64, layer: usize, rho: f64, big_t: f64) -> f64 {
 }
 
 impl DelayStrategy {
+    /// True when [`delay`](Self::delay) may draw from the RNG. The engine
+    /// only materializes a node's lazy private stream for drawing
+    /// strategies; a non-drawing strategy is handed a never-consumed
+    /// stand-in. **Contract**: any strategy that can draw must return
+    /// `true` here — drawing from the stand-in would break the
+    /// node-stream determinism argument.
+    pub fn draws(&self) -> bool {
+        match self {
+            DelayStrategy::Uniform { lo, hi } => lo != hi,
+            DelayStrategy::Masked { default, .. } => default.draws(),
+            DelayStrategy::Constant(_)
+            | DelayStrategy::Max
+            | DelayStrategy::Zero
+            | DelayStrategy::Layered { .. }
+            | DelayStrategy::BetaLayered { .. } => false,
+        }
+    }
+
     /// The delay for a message sent at `now` from `from` across `edge`.
     ///
     /// `big_t` is the model's delay bound `T`; the returned value is always
@@ -239,6 +257,26 @@ mod tests {
         let mut r = rng();
         assert_eq!(s.delay(e(0, 1), node(0), at(0.0), 1.0, &mut r), 0.25);
         assert_eq!(s.delay(e(1, 2), node(1), at(0.0), 1.0, &mut r), 1.0);
+    }
+
+    #[test]
+    fn draws_declares_randomness_exactly() {
+        assert!(!DelayStrategy::Max.draws());
+        assert!(!DelayStrategy::Zero.draws());
+        assert!(!DelayStrategy::Constant(0.5).draws());
+        assert!(DelayStrategy::Uniform { lo: 0.1, hi: 0.9 }.draws());
+        // Degenerate uniform never samples — and declares so.
+        assert!(!DelayStrategy::Uniform { lo: 0.5, hi: 0.5 }.draws());
+        assert!(!DelayStrategy::Masked {
+            pattern: BTreeMap::new(),
+            default: Box::new(DelayStrategy::Max),
+        }
+        .draws());
+        assert!(DelayStrategy::Masked {
+            pattern: BTreeMap::new(),
+            default: Box::new(DelayStrategy::Uniform { lo: 0.0, hi: 1.0 }),
+        }
+        .draws());
     }
 
     #[test]

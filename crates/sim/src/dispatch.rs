@@ -15,11 +15,14 @@
 //! barriers), a handler can only observe
 //!
 //! 1. its own node's state (automaton, timers, discovery watermarks, FIFO
-//!    horizons, RNG stream) — owner-exclusive, mutated in the node's own
-//!    event-seq order regardless of which thread runs it,
+//!    horizons, RNG stream, drift cursor) — owner-exclusive, mutated in
+//!    the node's own event-seq order regardless of which thread runs it,
 //! 2. the canonical edge state — read-only inside a segment (only
 //!    topology events write it, and they are barriers),
-//! 3. the hardware clocks — immutable.
+//! 3. the drift plane — an immutable [`DriftSource`]; all *mutable*
+//!    evaluation state is the owner's private cursor (point 1), and
+//!    cursor evaluation is bit-identical to the materialized schedule,
+//!    so lazy generation can never show in a trace.
 //!
 //! Everything a handler *emits* — message deliveries, alarms, drop
 //! notifications — is buffered as an [`Effect`] tagged with the
@@ -37,9 +40,10 @@ use crate::delay::DelayStrategy;
 use crate::engine::DiscoveryDelay;
 use crate::event::{EventPayload, LinkChange, LinkChangeKind, QueuedEvent};
 use crate::model::ModelParams;
-use crate::shard::{EdgeStore, Shard};
-use gcs_clocks::{HardwareClock, Time};
+use crate::shard::{lazy_rng, EdgeStore, Shard};
+use gcs_clocks::{DriftCursor, DriftSource, Time};
 use gcs_net::{Edge, NodeId};
+use rand::rngs::StdRng;
 
 /// Segments shorter than this run inline on the coordinating thread: the
 /// scoped-thread fork/join overhead only pays for itself on wide
@@ -65,13 +69,15 @@ pub(crate) struct Effect {
 #[derive(Clone, Copy)]
 pub(crate) struct DispatchCtx<'a> {
     pub edges: &'a EdgeStore,
-    pub clocks: &'a [HardwareClock],
+    /// The drift plane; per-node evaluation state lives in the owner's
+    /// shard as a lazy cursor.
+    pub drift: &'a dyn DriftSource,
     pub delay: &'a DelayStrategy,
     pub discovery: &'a DiscoveryDelay,
     pub params: ModelParams,
     pub now: Time,
-    /// Monotone instant id for hardware-reading memoization.
-    pub instant: u64,
+    /// Simulation seed (lazy per-node streams key off it).
+    pub seed: u64,
     /// Number of shards (for the id → local-index mapping).
     pub shard_count: usize,
     /// Whether to record touched nodes for an attached observer.
@@ -90,6 +96,85 @@ impl DispatchCtx<'_> {
             EventPayload::Topology { .. } => {
                 unreachable!("topology events are barriers, not dispatched")
             }
+        }
+    }
+}
+
+/// Hardware reading of `u` at `t` through the lazy drift plane.
+///
+/// `H(0) = 0` by the model's convention, so queries at time 0 touch
+/// nothing. Stateless planes (eager adapters) answer directly from their
+/// materialized schedules. Otherwise the node's cursor — created here on
+/// first use — advances to `t` (per-node query times are monotone: one
+/// memoized read per instant, instants in time order).
+pub(crate) fn read_hw(
+    ctx: &DispatchCtx<'_>,
+    slot: &mut Option<Box<DriftCursor>>,
+    u: NodeId,
+    t: Time,
+) -> f64 {
+    if t == Time::ZERO {
+        return 0.0;
+    }
+    if ctx.drift.stateless() {
+        return ctx.drift.read_at(u.index(), t);
+    }
+    let cursor = slot.get_or_insert_with(|| Box::new(ctx.drift.init(u.index())));
+    ctx.drift.read(u.index(), cursor, t)
+}
+
+/// Hands `f` the right stream for a maybe-drawing strategy: the node's
+/// lazy stream when the strategy declares it draws, else the shard's
+/// never-drawn scratch stand-in. In debug builds the stand-in is checked
+/// to come back untouched — a strategy that draws while declaring
+/// `draws() == false` would silently sample shard-shared state and break
+/// the trace-invariance argument, so it fails loudly here instead.
+pub(crate) fn sample_with_rng<R>(
+    draws: bool,
+    slot: &mut Option<Box<StdRng>>,
+    scratch: &mut StdRng,
+    seed: u64,
+    index: usize,
+    f: impl FnOnce(&mut StdRng) -> R,
+) -> R {
+    if draws {
+        return f(lazy_rng(slot, seed, index));
+    }
+    #[cfg(debug_assertions)]
+    let before = scratch.clone();
+    let out = f(scratch);
+    #[cfg(debug_assertions)]
+    debug_assert!(
+        *scratch == before,
+        "strategy drew from the scratch stream while declaring draws() == false"
+    );
+    out
+}
+
+/// Subjective-timer inversion for `u` at `now` through the lazy plane.
+///
+/// The look-ahead past `now` runs on a probe clone, so the persistent
+/// cursor never advances beyond `now`. At time 0 the cursor would stay
+/// in its initial state, so none is persisted — a node whose only
+/// activity is `on_start` keeps zero drift state.
+pub(crate) fn fire_hw(
+    ctx: &DispatchCtx<'_>,
+    slot: &mut Option<Box<DriftCursor>>,
+    u: NodeId,
+    now: Time,
+    delta: f64,
+) -> Time {
+    if ctx.drift.stateless() {
+        return ctx.drift.fire_at(u.index(), now, delta);
+    }
+    match slot {
+        Some(cursor) => ctx.drift.fire_time(u.index(), cursor, now, delta),
+        None if now == Time::ZERO => ctx.drift.fire_at(u.index(), now, delta),
+        None => {
+            let mut cursor = Box::new(ctx.drift.init(u.index()));
+            let t = ctx.drift.fire_time(u.index(), &mut cursor, now, delta);
+            *slot = Some(cursor);
+            t
         }
     }
 }
@@ -113,6 +198,7 @@ pub(crate) fn run_event<A: Automaton>(
     ev: &QueuedEvent,
 ) {
     let local = owner.index() / ctx.shard_count;
+    shard.table.ensure(local);
     match ev.payload {
         EventPayload::Deliver {
             from,
@@ -152,12 +238,12 @@ pub(crate) fn run_event<A: Automaton>(
         EventPayload::Alarm {
             kind, generation, ..
         } => {
-            let loc = &mut shard.locals[local];
-            if loc.timers.get(kind) != Some(generation) {
+            let timers = &mut shard.table.timers[local];
+            if timers.get(kind) != Some(generation) {
                 shard.stats.alarms_stale += 1;
                 return;
             }
-            loc.timers.disarm(kind);
+            timers.disarm(kind);
             shard.stats.alarms_fired += 1;
             run_handler(ctx, shard, owner, local, ev.seq, |a, c| a.on_alarm(c, kind));
         }
@@ -165,7 +251,7 @@ pub(crate) fn run_event<A: Automaton>(
             change, version, ..
         } => {
             let other = change.edge.other(owner);
-            let peer = shard.locals[local].peer(other);
+            let peer = shard.table.peer(local, other);
             if version <= peer.discovered_version {
                 shard.stats.discovers_stale += 1;
                 return;
@@ -184,8 +270,9 @@ pub(crate) fn run_event<A: Automaton>(
 
 /// Runs one handler on its owner and turns the produced [`Action`]s into
 /// effects, applying owner-local side effects (timer generations, FIFO
-/// horizons, RNG draws) immediately so later events of the *same* node in
-/// the same segment observe them — exactly as the per-event engine did.
+/// horizons, RNG draws, cursor advances) immediately so later events of
+/// the *same* node in the same segment observe them — exactly as the
+/// per-event engine did.
 pub(crate) fn run_handler<A: Automaton>(
     ctx: &DispatchCtx<'_>,
     shard: &mut Shard<A>,
@@ -196,24 +283,46 @@ pub(crate) fn run_handler<A: Automaton>(
 ) {
     let Shard {
         nodes,
-        locals,
+        table,
         effects,
         stats,
         touched,
         actions,
+        scratch_rng,
         ..
     } = shard;
-    let loc = &mut locals[local];
-    // One hardware-clock read per node per instant.
-    if loc.hw_instant != ctx.instant {
-        loc.hw = ctx.clocks[u.index()].read(ctx.now);
-        loc.hw_instant = ctx.instant;
-    }
-    let hw = loc.hw;
+    // One drift-plane evaluation per node per instant (two events at the
+    // same instant read the same hardware value by definition). At time 0
+    // every clock reads exactly 0, so `on_start` dispatch touches no
+    // table slot — a node whose start handler does nothing never
+    // materializes any engine state at all.
+    let hw = if ctx.now == Time::ZERO {
+        0.0
+    } else {
+        table.ensure(local);
+        if table.hw_time[local] != ctx.now {
+            table.hw[local] = read_hw(ctx, &mut table.drift[local], u, ctx.now);
+            table.hw_time[local] = ctx.now;
+        }
+        table.hw[local]
+    };
     actions.clear();
+    // The RNG slot rides outside the table during the handler so a
+    // not-yet-materialized node only claims its slots if the handler
+    // actually did something (drew, or emitted actions).
+    let ensured = local < table.watermark();
+    let mut rng_slot = if ensured {
+        table.rng[local].take()
+    } else {
+        None
+    };
     {
-        let mut c = Context::new(u, ctx.now, hw, actions, &mut loc.rng);
+        let mut c = Context::with_lazy_rng(u, ctx.now, hw, actions, &mut rng_slot, ctx.seed);
         f(&mut nodes[local], &mut c);
+    }
+    if ensured || rng_slot.is_some() || !actions.is_empty() {
+        table.ensure(local);
+        table.rng[local] = rng_slot;
     }
     if ctx.observing {
         touched.push(u);
@@ -227,13 +336,20 @@ pub(crate) fn run_handler<A: Automaton>(
                 let state = ctx.edges.find(edge);
                 if state.map(|e| e.live).unwrap_or(false) {
                     let epoch = state.expect("live edge has an entry").epoch;
-                    let d = ctx
-                        .delay
-                        .delay(edge, u, ctx.now, ctx.params.t, &mut loc.rng);
+                    // The node's stream materializes only for
+                    // strategies that actually draw.
+                    let d = sample_with_rng(
+                        ctx.delay.draws(),
+                        &mut table.rng[local],
+                        scratch_rng,
+                        ctx.seed,
+                        u.index(),
+                        |rng| ctx.delay.delay(edge, u, ctx.now, ctx.params.t, rng),
+                    );
                     let mut deliver_at = ctx.now + gcs_clocks::Duration::new(d);
                     // FIFO per directed link: never deliver before an
                     // earlier message.
-                    let peer = loc.peer(to);
+                    let peer = table.peer(local, to);
                     deliver_at = deliver_at.max(peer.fifo_out);
                     peer.fifo_out = deliver_at;
                     effects.push(Effect {
@@ -252,7 +368,14 @@ pub(crate) fn run_handler<A: Automaton>(
                     // and the sender discovers that within D.
                     stats.dropped_no_edge += 1;
                     let version = state.map(|e| e.last_remove_version).unwrap_or(0);
-                    let lat = ctx.discovery.sample(ctx.params.d, &mut loc.rng);
+                    let lat = sample_with_rng(
+                        ctx.discovery.draws(),
+                        &mut table.rng[local],
+                        scratch_rng,
+                        ctx.seed,
+                        u.index(),
+                        |rng| ctx.discovery.sample(ctx.params.d, rng),
+                    );
                     effects.push(Effect {
                         seq,
                         k,
@@ -270,8 +393,8 @@ pub(crate) fn run_handler<A: Automaton>(
                 k += 1;
             }
             Action::SetTimer { delta, kind } => {
-                let generation = loc.timers.arm(kind);
-                let fire = ctx.clocks[u.index()].fire_time(ctx.now, delta);
+                let generation = table.timers[local].arm(kind);
+                let fire = fire_hw(ctx, &mut table.drift[local], u, ctx.now, delta);
                 effects.push(Effect {
                     seq,
                     k,
@@ -284,7 +407,7 @@ pub(crate) fn run_handler<A: Automaton>(
                 });
                 k += 1;
             }
-            Action::CancelTimer { kind } => loc.timers.cancel(kind),
+            Action::CancelTimer { kind } => table.timers[local].cancel(kind),
         }
     }
 }

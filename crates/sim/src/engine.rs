@@ -20,7 +20,7 @@
 //!   or may not be detected".
 //! * **Subjective timers**: `set_timer(Δt)` fires when the node's hardware
 //!   clock has advanced by exactly `Δt`, computed by exact inversion of the
-//!   node's rate schedule.
+//!   node's rate schedule (through the lazy drift plane — see below).
 //!
 //! ## The streaming topology pipeline
 //!
@@ -38,6 +38,20 @@
 //! Pull decisions depend only on the instant sequence (itself part of the
 //! trace), so they are identical across thread counts and across
 //! arbitrary `run_until` splits.
+//!
+//! ## The lazy clock plane
+//!
+//! Hardware rates stream the same way: the engine holds one immutable
+//! [`DriftSource`] instead of `n` materialized `RateSchedule`s, and the
+//! only per-node drift state is an O(1) cursor in the owning shard,
+//! created the first time a node's clock is evaluated past time 0
+//! (`H(0) = 0` needs nothing). Eager `.clocks(...)` constructions are
+//! adapted through `ScheduleDrift` (stateless — no cursors at all), and
+//! node-local engine state lives in a struct-of-arrays table sized by
+//! the touched-node watermark, so untouched nodes cost zero bytes of
+//! clock, RNG, timer, and peer state. Every evaluation path produces
+//! the identical bits the materialized schedule would — pinned by
+//! `crates/bench/tests/lazy_drift.rs`.
 //!
 //! ## The hot path: instants, segments, shards
 //!
@@ -70,7 +84,9 @@ use crate::model::ModelParams;
 use crate::shard::{EdgeStore, Shards};
 use crate::stats::SimStats;
 use crate::wheel::TimeWheel;
-use gcs_clocks::{DriftModel, Duration, HardwareClock, Time};
+use gcs_clocks::{
+    DriftModel, DriftSource, Duration, HardwareClock, ModelDrift, ScheduleDrift, Time,
+};
 use gcs_net::schedule::TopologyEventKind;
 use gcs_net::{
     DynamicGraph, Edge, NodeId, ScheduleSource, TopologyEvent, TopologySchedule, TopologySource,
@@ -112,6 +128,16 @@ pub enum DiscoveryDelay {
 }
 
 impl DiscoveryDelay {
+    /// True when [`sample`](Self::sample) may draw from the RNG — same
+    /// contract as [`DelayStrategy::draws`]: the engine only materializes
+    /// a node's lazy stream for drawing models.
+    pub(crate) fn draws(&self) -> bool {
+        match self {
+            DiscoveryDelay::Constant(_) => false,
+            DiscoveryDelay::Uniform { lo, hi } => lo != hi,
+        }
+    }
+
     pub(crate) fn sample(&self, d_bound: f64, rng: &mut StdRng) -> f64 {
         let v = match self {
             DiscoveryDelay::Constant(d) => *d,
@@ -165,12 +191,27 @@ fn discovery_stream_seed(seed: u64, edge: Edge, version: u64, endpoint: NodeId) 
         ^ (endpoint.index() as u64 + 1).wrapping_mul(0xA076_1D64_78BD_642F)
 }
 
+/// How the builder was told to generate hardware clocks; resolved into
+/// one [`DriftSource`] plane at build time.
+enum DriftSpec {
+    /// Perfect clocks (the default).
+    Perfect,
+    /// Explicit per-node clocks, served through the eager
+    /// [`ScheduleDrift`] adapter.
+    Clocks(Vec<HardwareClock>),
+    /// A [`DriftModel`] evaluated lazily ([`ModelDrift`]), keyed by the
+    /// builder's *final* seed.
+    Model { model: DriftModel, horizon: f64 },
+    /// A caller-supplied plane.
+    Source(Box<dyn DriftSource>),
+}
+
 /// Builder for [`Simulator`].
 pub struct SimBuilder {
     params: ModelParams,
     source: Box<dyn TopologySource>,
     n: usize,
-    clocks: Option<Vec<HardwareClock>>,
+    drift: DriftSpec,
     delay: DelayStrategy,
     discovery: DiscoveryDelay,
     seed: u64,
@@ -198,7 +239,7 @@ impl SimBuilder {
             params,
             source: Box::new(source),
             n,
-            clocks: None,
+            drift: DriftSpec::Perfect,
             delay: DelayStrategy::Max,
             seed: 0,
             threads: None,
@@ -206,7 +247,9 @@ impl SimBuilder {
         }
     }
 
-    /// Uses explicit per-node hardware clocks.
+    /// Uses explicit per-node hardware clocks, served through the eager
+    /// [`ScheduleDrift`] adapter (the `ScheduleSource` of the drift
+    /// plane) — every materialized construction keeps working unchanged.
     pub fn clocks(mut self, clocks: Vec<HardwareClock>) -> Self {
         assert_eq!(
             clocks.len(),
@@ -215,20 +258,30 @@ impl SimBuilder {
             clocks.len(),
             self.n
         );
-        self.clocks = Some(clocks);
+        self.drift = DriftSpec::Clocks(clocks);
         self
     }
 
-    /// Generates clocks from a drift model over `[0, horizon]` using the
-    /// builder's seed (offset so clock randomness is independent of delay
-    /// randomness).
+    /// Generates clocks from a drift model with rate changes confined to
+    /// `[0, horizon]` (queries beyond continue the final rate — the
+    /// deterministic-extension contract of [`DriftModel::build`]).
+    ///
+    /// The model is evaluated **lazily**: nothing is materialized per
+    /// node; each node's rates are generated on demand from its own
+    /// keyed stream (a pure function of the builder's *final* seed and
+    /// the node index, resolved at [`build_with`](Self::build_with) —
+    /// unlike the old eager builder, `.drift(..).seed(s)` and
+    /// `.seed(s).drift(..)` are equivalent). Drift streams are
+    /// domain-separated from delay/discovery streams.
     pub fn drift(mut self, model: DriftModel, horizon: f64) -> Self {
-        let rho = self.params.rho;
-        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x9e37_79b9_7f4a_7c15);
-        let clocks = (0..self.n)
-            .map(|i| HardwareClock::new(model.build(rho, horizon, i, &mut rng), rho))
-            .collect();
-        self.clocks = Some(clocks);
+        self.drift = DriftSpec::Model { model, horizon };
+        self
+    }
+
+    /// Uses a caller-supplied drift plane (any [`DriftSource`]) — the
+    /// fully general lazy path.
+    pub fn drift_source(mut self, source: impl DriftSource + 'static) -> Self {
+        self.drift = DriftSpec::Source(Box::new(source));
         self
     }
 
@@ -278,11 +331,27 @@ impl SimBuilder {
         let n = self.n;
         let workers = self.threads.unwrap_or_else(threads_from_env).max(1);
         let shard_count = workers.min(n.max(1));
-        let clocks = self
-            .clocks
-            .unwrap_or_else(|| vec![HardwareClock::perfect(self.params.rho); n]);
+        // Resolve the drift spec into the one plane every evaluation goes
+        // through. The model plane's stream seed keeps the historical
+        // `seed ^ GOLDEN` domain separation from node streams.
+        let drift: Box<dyn DriftSource> = match self.drift {
+            DriftSpec::Perfect => Box::new(ModelDrift::new(
+                DriftModel::Perfect,
+                self.params.rho,
+                1.0,
+                self.seed,
+            )),
+            DriftSpec::Clocks(clocks) => Box::new(ScheduleDrift::new(clocks)),
+            DriftSpec::Model { model, horizon } => Box::new(ModelDrift::new(
+                model,
+                self.params.rho,
+                horizon,
+                self.seed ^ 0x9e37_79b9_7f4a_7c15,
+            )),
+            DriftSpec::Source(source) => source,
+        };
         let nodes: Vec<A> = (0..n).map(make_node).collect();
-        let shards = Shards::build(shard_count, self.seed, nodes);
+        let shards = Shards::build(shard_count, nodes);
         // Canonical edge state: initial edges now, churned edges as their
         // first event is pulled (content is shard-count independent).
         let mut edges = EdgeStore::new(n, shard_count);
@@ -319,7 +388,7 @@ impl SimBuilder {
 
         let mut sim = Simulator {
             params: self.params,
-            clocks,
+            drift,
             graph,
             queue,
             shards,
@@ -347,7 +416,6 @@ impl SimBuilder {
                     .unwrap_or(1)
                     .max(2),
             ),
-            instant: 0,
             observing: false,
             n,
             round_buf: Vec::new(),
@@ -358,7 +426,6 @@ impl SimBuilder {
         // execution"), one node at a time in id order so emitted events are
         // enqueued exactly as the per-event engine enqueued them.
         for i in 0..n {
-            sim.instant += 1;
             sim.dispatch_start(NodeId::from_index(i));
             sim.merge_effects();
         }
@@ -369,7 +436,9 @@ impl SimBuilder {
 /// The simulation engine; see the module docs for semantics.
 pub struct Simulator<A: Automaton> {
     params: ModelParams,
-    clocks: Vec<HardwareClock>,
+    /// The drift plane: rates are evaluated on demand (per-node cursors
+    /// live in the owning shard; stateless adapters keep none).
+    drift: Box<dyn DriftSource>,
     graph: DynamicGraph,
     queue: TimeWheel,
     /// Automata plus node-local engine state, sharded by owner.
@@ -399,8 +468,6 @@ pub struct Simulator<A: Automaton> {
     /// so the concurrent dispatch path runs on every host. Scheduling
     /// only — traces never depend on it.
     os_workers: usize,
-    /// Monotone instant id (hardware-reading memoization).
-    instant: u64,
     /// Whether the current drain collects touched nodes for an observer.
     observing: bool,
     n: usize,
@@ -447,13 +514,70 @@ impl<A: Automaton> Simulator<A> {
     }
 
     /// Hardware clock reading of `u` at the current time.
+    ///
+    /// Answered without mutating anything: the memoized per-instant
+    /// reading when current, else the node's cursor (its segment when the
+    /// query falls inside it, a cloned probe when it falls ahead), else a
+    /// cold walk from time 0. All paths produce the identical bits the
+    /// hot path would.
     pub fn hardware(&self, u: NodeId) -> f64 {
-        self.clocks[u.index()].read(self.now)
+        let now = self.now;
+        if now == Time::ZERO {
+            return 0.0;
+        }
+        if self.drift.stateless() {
+            return self.drift.read_at(u.index(), now);
+        }
+        let table = &self.shards.shards[self.shards.shard_of(u)].table;
+        let local = u.index() / self.shards.count();
+        if local < table.watermark() {
+            if table.hw_time[local] == now {
+                return table.hw[local];
+            }
+            if let Some(cursor) = &table.drift[local] {
+                if now >= cursor.seg_start() {
+                    if cursor.seg_end().is_none_or(|end| now < end) {
+                        return cursor.eval(now);
+                    }
+                    let mut probe = (**cursor).clone();
+                    return self.drift.read(u.index(), &mut probe, now);
+                }
+            }
+        }
+        self.drift.read_at(u.index(), now)
     }
 
-    /// Hardware clock of node `u`.
-    pub fn clock(&self, u: NodeId) -> &HardwareClock {
-        &self.clocks[u.index()]
+    /// The drift plane hardware rates are evaluated through.
+    pub fn drift_plane(&self) -> &dyn DriftSource {
+        &*self.drift
+    }
+
+    /// Drift cursors currently materialized — the drift plane's entire
+    /// per-node memory footprint. Zero for untouched nodes and for
+    /// stateless (eagerly materialized) planes; identical across thread
+    /// counts, like everything else derived from the trace.
+    pub fn drift_cursors(&self) -> usize {
+        self.shards
+            .shards
+            .iter()
+            .map(|s| s.table.drift_cursors())
+            .sum()
+    }
+
+    /// Node-local state slots materialized across all shards (the sum of
+    /// the per-shard touched watermarks).
+    pub fn node_state_watermark(&self) -> usize {
+        self.shards.shards.iter().map(|s| s.table.watermark()).sum()
+    }
+
+    /// Lazy per-node RNG streams materialized across all shards — zero
+    /// for runs whose delay/discovery strategies and automata never draw.
+    pub fn rng_streams(&self) -> usize {
+        self.shards
+            .shards
+            .iter()
+            .map(|s| s.table.rng_streams())
+            .sum()
     }
 
     /// Logical clock `L_u` at the current time.
@@ -468,9 +592,18 @@ impl<A: Automaton> Simulator<A> {
 
     /// All logical clocks at the current time.
     pub fn logical_snapshot(&self) -> Vec<f64> {
-        (0..self.n())
-            .map(|i| self.logical(NodeId::from_index(i)))
-            .collect()
+        let mut out = Vec::with_capacity(self.n());
+        self.logical_snapshot_into(&mut out);
+        out
+    }
+
+    /// Writes all logical clocks at the current time into `out`
+    /// (cleared first) — the allocation-free variant for fixed-cadence
+    /// sampling loops, which would otherwise allocate one `Vec<f64>` per
+    /// sample (see `gcs_analysis`'s recorder and metrics).
+    pub fn logical_snapshot_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend((0..self.n()).map(|i| self.logical(NodeId::from_index(i))));
     }
 
     /// Runs until all events at time `≤ until` are processed, then advances
@@ -576,7 +709,6 @@ impl<A: Automaton> Simulator<A> {
                 .pop_instant(&mut round)
                 .expect("peek said non-empty");
             self.now = t;
-            self.instant += 1;
             self.stats.events_processed += round.len() as u64;
             self.run_round(&round);
             if self.observing {
@@ -607,7 +739,6 @@ impl<A: Automaton> Simulator<A> {
         };
         debug_assert!(ev.time >= self.now, "event queue went backwards");
         self.now = ev.time;
-        self.instant += 1;
         self.stats.events_processed += 1;
         match ev.payload {
             EventPayload::Topology {
@@ -697,12 +828,12 @@ impl<A: Automaton> Simulator<A> {
     fn split_dispatch(&mut self) -> (DispatchCtx<'_>, &mut Shards<A>) {
         let ctx = DispatchCtx {
             edges: &self.edges,
-            clocks: &self.clocks,
+            drift: &*self.drift,
             delay: &self.delay,
             discovery: &self.discovery,
             params: self.params,
             now: self.now,
-            instant: self.instant,
+            seed: self.seed,
             shard_count: self.shards.count(),
             observing: self.observing,
         };

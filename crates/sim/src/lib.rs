@@ -22,11 +22,15 @@
 //! event-handler style in which Algorithm 2 is written.
 //!
 //! Determinism: a simulation is a pure function of (model parameters,
-//! topology stream, rate schedules, delay strategy, seed) — and of
+//! topology stream, drift plane, delay strategy, seed) — and of
 //! *nothing else*. Topology streams from a lazily pulled
 //! `gcs_net::TopologySource` (eager `TopologySchedule`s are adapted
 //! automatically), so peak memory is independent of the total
-//! churn-event count. In particular the worker count
+//! churn-event count; hardware rates stream the same way from a
+//! [`gcs_clocks::DriftSource`] (eager clocks are adapted through
+//! `ScheduleDrift`), so per-node drift state is an O(1) cursor for
+//! touched nodes — bit-identical to the materialized schedules, pinned
+//! by `crates/bench/tests/lazy_drift.rs`. In particular the worker count
 //! ([`SimBuilder::threads`], default from the `GCS_SIM_THREADS`
 //! environment variable) never changes a trace: same-instant events to
 //! different nodes are dispatched across scoped worker threads sharded by

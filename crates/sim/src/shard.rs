@@ -4,11 +4,23 @@
 //! ownership discipline:
 //!
 //! * **Node-local state** — the automaton itself, its armed timers, its
-//!   per-neighbor discovery watermarks and FIFO horizons, and its private
-//!   RNG stream — lives in the [`Shard`] that owns the node
-//!   (`shard = node mod shard_count`). During a parallel segment each
-//!   worker holds `&mut` over exactly one shard, so owner-exclusive
+//!   per-neighbor discovery watermarks and FIFO horizons, its private
+//!   RNG stream, and its drift cursor — lives in the [`Shard`] that owns
+//!   the node (`shard = node mod shard_count`). During a parallel segment
+//!   each worker holds `&mut` over exactly one shard, so owner-exclusive
 //!   mutation is enforced by the borrow checker, not by locks.
+//!
+//!   Within a shard this state is a compact **struct-of-arrays**
+//!   [`NodeTable`] sized by the *touched-node watermark*: the arrays grow
+//!   only to the highest local index whose handlers have actually run, so
+//!   a node no event ever reaches costs zero bytes of engine state. The
+//!   two expensive per-node members are additionally lazy inside their
+//!   slots: the RNG stream materializes on the node's **first draw**
+//!   (runs under `DelayStrategy::Max` never allocate one), and the
+//!   [`DriftCursor`] materializes on the node's first hardware-clock
+//!   evaluation past time 0 (see [`crate::dispatch::read_hw`]). Both are
+//!   trace-neutral: a stream seeds identically whenever it is created,
+//!   and cursor evaluation is bit-identical to the eager schedule.
 //! * **Canonical edge state** — liveness, epoch, removal version and the
 //!   per-edge schedule-version counter of every edge, kept on the edge's
 //!   *lower* endpoint — lives in the [`EdgeStore`], which is only ever
@@ -26,7 +38,7 @@
 //! (pinned by `crates/bench/tests/determinism.rs`).
 
 use crate::event::TimerKind;
-use gcs_clocks::Time;
+use gcs_clocks::{DriftCursor, Time};
 use gcs_net::{Edge, NodeId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -223,44 +235,86 @@ impl PeerLocal {
     }
 }
 
-/// Everything a node owns besides its automaton.
-#[derive(Clone, Debug)]
-pub(crate) struct NodeLocal {
+/// The node-local engine state of one shard, laid out struct-of-arrays
+/// and sized by the **touched-node watermark**: every array covers local
+/// indices `0..watermark()`, where the watermark is the highest local
+/// index any event has reached (plus one). Untouched nodes occupy no
+/// slots at all; touched nodes occupy compact fixed-size slots whose two
+/// heap members (RNG stream, drift cursor) stay `None` until genuinely
+/// needed.
+#[derive(Debug, Default)]
+pub(crate) struct NodeTable {
     /// Armed timers with generation counters.
-    pub timers: TimerSlots,
+    pub timers: Vec<TimerSlots>,
     /// Per-neighbor local state, sorted by neighbor id.
-    pub peers: Vec<PeerLocal>,
+    pub peers: Vec<Vec<PeerLocal>>,
     /// The node's private random stream (delay/discovery sampling and
-    /// `Context::rng`), seeded from `(simulation seed, node id)`.
-    pub rng: StdRng,
-    /// Memoized hardware reading: valid while `hw_instant` equals the
-    /// engine's current instant id (one clock read per node per instant).
-    pub hw: f64,
-    pub hw_instant: u64,
+    /// `Context::rng`), seeded from `(simulation seed, node id)` on the
+    /// **first draw** — identical stream whenever created, so laziness
+    /// never shows in a trace.
+    pub rng: Vec<Option<Box<StdRng>>>,
+    /// Memoized hardware reading at `hw_time` (one drift-plane
+    /// evaluation per node per instant; `H(0) = 0` makes the default
+    /// slot a valid memo).
+    pub hw: Vec<f64>,
+    /// The time `hw` was evaluated at.
+    pub hw_time: Vec<Time>,
+    /// The node's lazy drift cursor — the *only* per-node state of the
+    /// drift plane. `None` until the node's clock is first evaluated
+    /// past time 0 (and permanently for stateless eager adapters).
+    pub drift: Vec<Option<Box<DriftCursor>>>,
 }
 
-impl NodeLocal {
-    fn new(seed: u64, index: usize) -> Self {
-        NodeLocal {
-            timers: TimerSlots::default(),
-            peers: Vec::new(),
-            rng: StdRng::seed_from_u64(node_stream_seed(seed, index)),
-            hw: 0.0,
-            hw_instant: 0,
+impl NodeTable {
+    /// Grows every array to cover `local` (the touched-node watermark).
+    #[inline]
+    pub fn ensure(&mut self, local: usize) {
+        if local >= self.timers.len() {
+            let n = local + 1;
+            self.timers.resize_with(n, TimerSlots::default);
+            self.peers.resize_with(n, Vec::new);
+            self.rng.resize_with(n, || None);
+            self.hw.resize(n, 0.0);
+            self.hw_time.resize(n, Time::ZERO);
+            self.drift.resize_with(n, || None);
         }
     }
 
-    /// This node's local state for `v`, created on first contact.
+    /// Slots currently materialized (the touched-node watermark).
     #[inline]
-    pub fn peer(&mut self, v: NodeId) -> &mut PeerLocal {
-        match self.peers.binary_search_by_key(&v, |p| p.neighbor) {
-            Ok(i) => &mut self.peers[i],
+    pub fn watermark(&self) -> usize {
+        self.timers.len()
+    }
+
+    /// Node `local`'s state for neighbor `v`, created on first contact.
+    #[inline]
+    pub fn peer(&mut self, local: usize, v: NodeId) -> &mut PeerLocal {
+        let peers = &mut self.peers[local];
+        match peers.binary_search_by_key(&v, |p| p.neighbor) {
+            Ok(i) => &mut peers[i],
             Err(i) => {
-                self.peers.insert(i, PeerLocal::new(v));
-                &mut self.peers[i]
+                peers.insert(i, PeerLocal::new(v));
+                &mut peers[i]
             }
         }
     }
+
+    /// Drift cursors materialized in this table.
+    pub fn drift_cursors(&self) -> usize {
+        self.drift.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// RNG streams materialized in this table.
+    pub fn rng_streams(&self) -> usize {
+        self.rng.iter().filter(|r| r.is_some()).count()
+    }
+}
+
+/// The node's private stream, materialized on first use (seeding is a
+/// pure function of `(seed, index)`, so when it happens is unobservable).
+#[inline]
+pub(crate) fn lazy_rng(slot: &mut Option<Box<StdRng>>, seed: u64, index: usize) -> &mut StdRng {
+    slot.get_or_insert_with(|| Box::new(StdRng::seed_from_u64(node_stream_seed(seed, index))))
 }
 
 /// Decorrelated per-node stream seed: the golden-ratio multiply spreads
@@ -278,8 +332,8 @@ pub(crate) fn node_stream_seed(seed: u64, index: usize) -> u64 {
 pub(crate) struct Shard<A> {
     /// Automata of the owned nodes, indexed by local id.
     pub nodes: Vec<A>,
-    /// Matching node-local engine state.
-    pub locals: Vec<NodeLocal>,
+    /// Node-local engine state, struct-of-arrays, watermark-sized.
+    pub table: NodeTable,
     /// Deferred effects produced during the current segment.
     pub effects: Vec<crate::dispatch::Effect>,
     /// Per-segment stats delta (merged and cleared after each segment).
@@ -291,6 +345,10 @@ pub(crate) struct Shard<A> {
     pub actions: Vec<crate::automaton::Action>,
     /// This shard's slice of the current segment (reused across rounds).
     pub events: Vec<crate::event::QueuedEvent>,
+    /// Never-drawn stand-in stream handed to strategies that declare
+    /// [`DelayStrategy::draws`](crate::DelayStrategy::draws) `== false`,
+    /// so non-random runs never materialize per-node streams.
+    pub scratch_rng: StdRng,
 }
 
 /// All shards plus the id ↔ (shard, local) mapping.
@@ -301,23 +359,25 @@ pub(crate) struct Shards<A> {
 }
 
 impl<A> Shards<A> {
-    /// Distributes `n` freshly built nodes round-robin over `count` shards.
-    pub fn build(count: usize, seed: u64, nodes: Vec<A>) -> Self {
+    /// Distributes `n` freshly built nodes round-robin over `count`
+    /// shards. Node-local engine state is **not** allocated here — the
+    /// [`NodeTable`]s start empty and grow to the touched watermark.
+    pub fn build(count: usize, nodes: Vec<A>) -> Self {
         assert!(count >= 1);
         let mut shards: Vec<Shard<A>> = (0..count)
             .map(|_| Shard {
                 nodes: Vec::new(),
-                locals: Vec::new(),
+                table: NodeTable::default(),
                 effects: Vec::new(),
                 stats: crate::stats::SimStats::default(),
                 touched: Vec::new(),
                 actions: Vec::new(),
                 events: Vec::new(),
+                scratch_rng: StdRng::seed_from_u64(0),
             })
             .collect();
         for (i, node) in nodes.into_iter().enumerate() {
             shards[i % count].nodes.push(node);
-            shards[i % count].locals.push(NodeLocal::new(seed, i));
         }
         Shards { shards, count }
     }
@@ -394,8 +454,29 @@ mod tests {
     }
 
     #[test]
+    fn node_table_grows_to_the_touched_watermark() {
+        let mut t = NodeTable::default();
+        assert_eq!(t.watermark(), 0, "no state before the first touch");
+        t.ensure(4);
+        assert_eq!(t.watermark(), 5);
+        assert_eq!(t.drift_cursors(), 0, "cursors stay lazy inside slots");
+        assert_eq!(t.rng_streams(), 0, "streams stay lazy inside slots");
+        t.ensure(2); // never shrinks
+        assert_eq!(t.watermark(), 5);
+        // First contact creates a peer slot; the rng materializes on
+        // first draw with the exact keyed stream.
+        t.peer(3, node(9)).discovered_version = 7;
+        assert_eq!(t.peer(3, node(9)).discovered_version, 7);
+        use rand::RngCore;
+        let drawn = lazy_rng(&mut t.rng[1], 42, 1).next_u64();
+        let mut reference = StdRng::seed_from_u64(node_stream_seed(42, 1));
+        assert_eq!(drawn, reference.next_u64());
+        assert_eq!(t.rng_streams(), 1);
+    }
+
+    #[test]
     fn shards_round_robin_mapping() {
-        let shards = Shards::build(3, 0, (0..8u32).collect::<Vec<_>>());
+        let shards = Shards::build(3, (0..8u32).collect::<Vec<_>>());
         assert_eq!(shards.count(), 3);
         for i in 0..8usize {
             assert_eq!(shards.shard_of(node(i)), i % 3);

@@ -349,6 +349,62 @@ fn transient_change_may_be_skipped() {
 }
 
 #[test]
+fn untouched_nodes_cost_zero_drift_and_node_state() {
+    // Only node 0 ever does anything; nodes 1..n see no events at all.
+    // The lazy clock plane must materialize exactly one drift cursor and
+    // the node tables must stop at the touched watermark — untouched
+    // nodes cost zero bytes of engine state, which is what lets the
+    // drift plane scale independently of n.
+    struct TickOnly {
+        active: bool,
+    }
+    impl Automaton for TickOnly {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            if self.active {
+                ctx.set_timer(0.5, TimerKind::Tick);
+            }
+        }
+        fn on_receive(&mut self, _: &mut Context<'_>, _: NodeId, _: Message) {}
+        fn on_discover(&mut self, _: &mut Context<'_>, _: LinkChange) {}
+        fn on_alarm(&mut self, ctx: &mut Context<'_>, _: TimerKind) {
+            ctx.set_timer(0.5, TimerKind::Tick);
+        }
+        fn logical_clock(&self, hw: f64) -> f64 {
+            hw
+        }
+    }
+    let n = 64;
+    let schedule = TopologySchedule::static_graph(n, []);
+    let mut sim = SimBuilder::new(params(), schedule)
+        .drift(DriftModel::RandomWalk { step: 1.0 }, 50.0)
+        .build_with(|i| TickOnly { active: i == 0 });
+    sim.run_until(at(50.0));
+    assert!(sim.stats().alarms_fired > 10);
+    assert_eq!(
+        sim.drift_cursors(),
+        1,
+        "only the ticking node pays drift-plane state"
+    );
+    assert_eq!(
+        sim.node_state_watermark(),
+        1,
+        "node tables stop at the touched watermark"
+    );
+    assert_eq!(sim.rng_streams(), 0, "nothing drew from a node stream");
+    // Untouched nodes stay queryable through the cold path, and agree
+    // with the materialized schedule bit for bit.
+    let hw_tail = sim.hardware(node(n - 1));
+    assert!(hw_tail > 0.0);
+    // Explicit eager clocks keep the plane stateless: no cursors at all.
+    let clocks = vec![HardwareClock::perfect(0.01); 4];
+    let mut eager = SimBuilder::new(params(), TopologySchedule::static_graph(4, []))
+        .clocks(clocks)
+        .build_with(|_| TickOnly { active: true });
+    eager.run_until(at(20.0));
+    assert_eq!(eager.drift_cursors(), 0, "eager adapters keep no cursors");
+}
+
+#[test]
 fn alarms_cancelled_before_firing_are_stale() {
     // A node that re-sets its tick timer on every receive will invalidate
     // pending alarms; the engine must count them as stale, not fire them.

@@ -142,7 +142,7 @@ pub mod rngs {
 
     /// Deterministic seedable generator: xoshiro256** with SplitMix64
     /// seed expansion.
-    #[derive(Clone, Debug)]
+    #[derive(Clone, Debug, PartialEq, Eq)]
     pub struct StdRng {
         s: [u64; 4],
     }
