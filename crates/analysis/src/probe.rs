@@ -201,15 +201,15 @@ mod tests {
     use super::*;
     use gcs_clocks::time::at;
     use gcs_core::{AlgoParams, GradientNode};
-    use gcs_net::{generators, TopologySchedule};
+    use gcs_net::{generators, ScheduleSource, TopologySchedule};
     use gcs_sim::{DelayStrategy, ModelParams, SimBuilder};
 
     fn run_with_stream(n: usize, horizon: f64) -> (SkewStream, f64, f64) {
         let model = ModelParams::new(0.01, 1.0, 2.0);
         let params = AlgoParams::with_minimal_b0(model, n, 0.5);
-        let mut sim = SimBuilder::new(
+        let mut sim = SimBuilder::topology(
             model,
-            TopologySchedule::static_graph(n, generators::path(n)),
+            ScheduleSource::new(TopologySchedule::static_graph(n, generators::path(n))),
         )
         .delay(DelayStrategy::Max)
         .build_with(move |_| GradientNode::new(params));

@@ -288,7 +288,7 @@ mod tests {
     use super::*;
     use gcs_clocks::time::at;
     use gcs_core::{AlgoParams, GradientNode};
-    use gcs_net::{generators, TopologySchedule};
+    use gcs_net::{generators, ScheduleSource, TopologySchedule};
     use gcs_sim::{DelayStrategy, ModelParams, SimBuilder};
     use std::cell::RefCell;
     use std::rc::Rc;
@@ -296,9 +296,9 @@ mod tests {
     fn small_sim() -> Simulator<GradientNode> {
         let model = ModelParams::new(0.01, 1.0, 2.0);
         let params = AlgoParams::with_minimal_b0(model, 4, 0.5);
-        SimBuilder::new(
+        SimBuilder::topology(
             model,
-            TopologySchedule::static_graph(4, generators::path(4)),
+            ScheduleSource::new(TopologySchedule::static_graph(4, generators::path(4))),
         )
         .delay(DelayStrategy::Max)
         .build_with(move |_| GradientNode::new(params))

@@ -13,7 +13,7 @@ use gcs_bench::engine_bench::Workload;
 use gcs_clocks::time::at;
 use gcs_clocks::DriftModel;
 use gcs_core::{AlgoParams, GradientNode};
-use gcs_net::{churn, generators, TopologySchedule};
+use gcs_net::{churn, generators, ScheduleSource, TopologySchedule};
 use gcs_sim::{DelayStrategy, ModelParams, SimBuilder, Simulator};
 
 fn model() -> ModelParams {
@@ -22,11 +22,11 @@ fn model() -> ModelParams {
 
 fn build_ring(n: usize) -> Simulator<GradientNode> {
     let params = AlgoParams::with_minimal_b0(model(), n, 0.5);
-    SimBuilder::new(
+    SimBuilder::topology(
         model(),
-        TopologySchedule::static_graph(n, generators::ring(n)),
+        ScheduleSource::new(TopologySchedule::static_graph(n, generators::ring(n))),
     )
-    .drift(DriftModel::SplitExtremes, 200.0)
+    .drift_model(DriftModel::SplitExtremes, 200.0)
     .delay(DelayStrategy::Uniform { lo: 0.0, hi: 1.0 })
     .seed(3)
     .build_with(|_| GradientNode::new(params))
@@ -69,8 +69,8 @@ fn bench_churn_throughput(c: &mut Criterion) {
         b.iter_batched(
             || {
                 let schedule = churn::rotating_star(n, 12.0, 4.0, 100.0);
-                SimBuilder::new(model(), schedule)
-                    .drift(DriftModel::SplitExtremes, 100.0)
+                SimBuilder::topology(model(), ScheduleSource::new(schedule))
+                    .drift_model(DriftModel::SplitExtremes, 100.0)
                     .delay(DelayStrategy::Max)
                     .build_with(|_| GradientNode::new(params))
             },

@@ -1,0 +1,44 @@
+//! E15 — the fault-and-adversary scenario family: crash/restart with
+//! state loss, loss and delay-spike windows, the greedy worst-case chord
+//! adversary (Theorem 4.1's empirical companion), and the
+//! drift-excursion negative control that must trip the invariant
+//! monitor.
+//!
+//! `cargo run --release -p gcs-bench --bin exp_faults`
+//!
+//! CI smoke runs shrink the width with `GCS_SMOKE_N` so the fault plane
+//! and the adversary search are exercised on every push.
+
+use gcs_bench::e15_faults as e15;
+use gcs_bench::engine_bench::smoke_n;
+
+fn main() {
+    let mut config = e15::Config::default();
+    config.n = smoke_n(config.n);
+    println!(
+        "claim: Theorem 4.1 — a chord between drifted-apart regions creates worst-case\n\
+         local skew; plus fail-closed detection of model violations\n"
+    );
+    println!(
+        "running n = {}, horizon {}s, {} refinement rounds...\n",
+        config.n, config.horizon, config.refine_steps
+    );
+    let outcomes = e15::run(&config);
+    e15::report(&config, &outcomes).print();
+    println!();
+    assert!(
+        outcomes.control.violations > 0,
+        "negative control must trip the invariant monitor — a silent monitor is vacuous"
+    );
+    assert!(
+        outcomes.adversary.peak_local >= outcomes.adversary.baseline_peak_local,
+        "the searched attack ({:.3}) must dominate the well-behaved merge baseline ({:.3})",
+        outcomes.adversary.peak_local,
+        outcomes.adversary.baseline_peak_local
+    );
+    assert_eq!(outcomes.fault.crashes, outcomes.fault.restarts);
+    println!(
+        "all E15 acceptance gates held: adversary dominates baseline, control tripped ({} violations), {} crash/restart cycles applied",
+        outcomes.control.violations, outcomes.fault.crashes
+    );
+}

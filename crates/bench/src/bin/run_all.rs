@@ -21,7 +21,7 @@
 //! speedup, and must not be read against the scaling target.
 
 use gcs_bench::engine_bench::{measure_threads, Measurement, Workload};
-use gcs_bench::scenario::{all_scenarios, run_parallel, Scenario};
+use gcs_bench::scenario::{all_scenarios, run_parallel, Scenario, ScenarioFamily};
 use std::io::Write;
 
 fn csv_dir() -> std::path::PathBuf {
@@ -73,6 +73,32 @@ fn json_opt_u64(v: Option<u64>) -> String {
         .unwrap_or_else(|| "null".to_string())
 }
 
+fn e15_section(n: usize, o: &gcs_bench::e15_faults::Outcomes) -> String {
+    format!(
+        "  \"e15_faults\": {{\n  \"n\": {},\n  \"fault\": {{\n    \"peak_global_skew\": {:.4},\n    \"final_global_skew\": {:.4},\n    \"recovery_s\": {},\n    \"crashes\": {},\n    \"restarts\": {},\n    \"dropped\": {},\n    \"delay_spiked\": {}\n  }},\n  \"adversary\": {{\n    \"attack_edge\": \"{}-{}\",\n    \"attack_time_s\": {:.3},\n    \"peak_local_skew\": {:.4},\n    \"baseline_peak_local_skew\": {:.4},\n    \"dominates_baseline\": {},\n    \"evaluations\": {}\n  }},\n  \"negative_control\": {{\n    \"monitor_violations\": {},\n    \"tripped\": {}\n  }}\n  }}",
+        n,
+        o.fault.peak_global,
+        o.fault.final_global,
+        o.fault
+            .recovery_s
+            .map(|s| format!("{s:.1}"))
+            .unwrap_or_else(|| "null".to_string()),
+        o.fault.crashes,
+        o.fault.restarts,
+        o.fault.dropped,
+        o.fault.delay_spiked,
+        o.adversary.attack.edge.lo().index(),
+        o.adversary.attack.edge.hi().index(),
+        o.adversary.attack.time,
+        o.adversary.peak_local,
+        o.adversary.baseline_peak_local,
+        o.adversary.peak_local >= o.adversary.baseline_peak_local,
+        o.adversary.evaluations,
+        o.control.violations,
+        o.control.violations > 0,
+    )
+}
+
 #[allow(clippy::too_many_arguments)]
 fn engine_json(
     host_cpus: usize,
@@ -82,6 +108,8 @@ fn engine_json(
     e12_n: usize,
     e13: &[gcs_bench::e13_scale_ceiling::FamilyOutcome],
     e13_n: usize,
+    e15: &gcs_bench::e15_faults::Outcomes,
+    e15_n: usize,
     peak_rss_bytes: Option<u64>,
 ) -> String {
     let workload = |w: &Workload| {
@@ -105,7 +133,7 @@ fn engine_json(
     let e12_entries: Vec<String> = e12.iter().map(e12_entry).collect();
     let e13_entries: Vec<String> = e13.iter().map(e13_entry).collect();
     format!(
-        "{{\n  \"schema\": \"bench-engine/v4\",\n  \"generated_by\": \"gcs-bench run_all\",\n  \"baseline\": \"batched-serial (threads = 1); the pre-rewrite heap engine was deleted after its equivalence history\",\n  \"host_cpus\": {host_cpus},\n  \"thread_sweep_valid\": {thread_sweep_valid},\n  \"peak_rss_bytes\": {},\n  \"e1_n1024\": {{\n  {},\n  \"engines\": [\n{}\n  ]\n  }},\n  \"e11_large_scale\": {{\n  {},\n  \"engines\": [\n{}\n  ],\n  \"best_parallel_speedup_vs_serial\": {:.3}\n  }},\n  \"e12_dynamic_workloads\": {{\n  \"n\": {},\n  \"families\": [\n{}\n  ]\n  }},\n  \"e13_scale_ceiling\": {{\n  \"n\": {},\n  \"families\": [\n{}\n  ]\n  }}\n}}\n",
+        "{{\n  \"schema\": \"bench-engine/v5\",\n  \"generated_by\": \"gcs-bench run_all\",\n  \"baseline\": \"batched-serial (threads = 1); the pre-rewrite heap engine was deleted after its equivalence history\",\n  \"host_cpus\": {host_cpus},\n  \"thread_sweep_valid\": {thread_sweep_valid},\n  \"peak_rss_bytes\": {},\n  \"e1_n1024\": {{\n  {},\n  \"engines\": [\n{}\n  ]\n  }},\n  \"e11_large_scale\": {{\n  {},\n  \"engines\": [\n{}\n  ],\n  \"best_parallel_speedup_vs_serial\": {:.3}\n  }},\n  \"e12_dynamic_workloads\": {{\n  \"n\": {},\n  \"families\": [\n{}\n  ]\n  }},\n  \"e13_scale_ceiling\": {{\n  \"n\": {},\n  \"families\": [\n{}\n  ]\n  }},\n{}\n}}\n",
         json_opt_u64(peak_rss_bytes),
         workload(&e1.0),
         entry(&e1.1),
@@ -116,6 +144,7 @@ fn engine_json(
         e12_entries.join(",\n"),
         e13_n,
         e13_entries.join(",\n"),
+        e15_section(e15_n, e15),
     )
 }
 
@@ -148,55 +177,72 @@ fn main() {
         );
     }
 
-    // E12 and E13 run in both modes: their outcomes feed the JSON
+    // E12, E13 and E15 run in both modes: their outcomes feed the JSON
     // trajectory.
     let e12_config = gcs_bench::e12_dynamic_workloads::Config::default();
     let e13_config = gcs_bench::e13_scale_ceiling::Config::default();
+    let e15_config = gcs_bench::e15_faults::Config::default();
 
     let mut e12_outcomes = None;
     let mut e13_outcomes = None;
+    let mut e15_outcomes = None;
     if !engine_only {
-        // E11, E12 and E13 are themselves wall-clock/memory benchmarks:
-        // they must not time their runs while ten other CPU-bound
-        // experiments share the machine, so they run alone after the
-        // parallel batch.
-        let mut scenarios = all_scenarios();
-        let e13 = scenarios.pop().expect("registry is non-empty");
-        let e12 = scenarios.pop().expect("registry has >= 2 entries");
-        let e11 = scenarios.pop().expect("registry has >= 3 entries");
-        assert_eq!(e11.id(), "E11", "E11 must be third-to-last in the registry");
-        assert_eq!(
-            e12.id(),
-            "E12",
-            "E12 must be second-to-last in the registry"
-        );
-        assert_eq!(e13.id(), "E13", "E13 must be last in the registry");
+        // Partition the registry on typed scenario metadata: the claim
+        // batch fans out in parallel; scale scenarios (themselves
+        // wall-clock/memory benchmarks) and the fault family (CPU-heavy
+        // adversary search) run alone afterwards, in registry order.
+        let mut claim_batch = Vec::new();
+        let mut solo = Vec::new();
+        for s in all_scenarios() {
+            match s.meta().family {
+                ScenarioFamily::Claim => claim_batch.push(s),
+                _ => solo.push(s),
+            }
+        }
         println!(
-            "running {} experiments in parallel over scoped threads, then E11, E12 and E13 alone...\n",
-            scenarios.len()
+            "running {} claim experiments in parallel over scoped threads, then {} alone...\n",
+            claim_batch.len(),
+            solo.iter().map(|s| s.id()).collect::<Vec<_>>().join(", ")
         );
-        let reports = run_parallel(&scenarios);
-        for (s, rep) in scenarios.iter().zip(&reports) {
+        let reports = run_parallel(&claim_batch);
+        for (s, rep) in claim_batch.iter().zip(&reports) {
             print_report(s.as_ref(), rep, &dir);
         }
-        print_report(e11.as_ref(), &e11.run_scenario(), &dir);
-        // E12 at n = 2^17 and E13 at n = 2^20 are expensive: run each
-        // family set once and reuse the outcomes for both the report and
-        // the JSON trajectory below.
-        let outcomes = gcs_bench::e12_dynamic_workloads::run(&e12_config);
-        print_report(
-            e12.as_ref(),
-            &gcs_bench::e12_dynamic_workloads::report(&e12_config, &outcomes),
-            &dir,
-        );
-        e12_outcomes = Some(outcomes);
-        let outcomes = gcs_bench::e13_scale_ceiling::run(&e13_config);
-        print_report(
-            e13.as_ref(),
-            &gcs_bench::e13_scale_ceiling::report(&e13_config, &outcomes),
-            &dir,
-        );
-        e13_outcomes = Some(outcomes);
+        // E12 at n = 2^17, E13 at n = 2^20 and E15's adversary search are
+        // expensive: run each outcome set once and reuse it for both the
+        // report and the JSON trajectory below.
+        for s in &solo {
+            match s.meta().name {
+                "E12" => {
+                    let outcomes = gcs_bench::e12_dynamic_workloads::run(&e12_config);
+                    print_report(
+                        s.as_ref(),
+                        &gcs_bench::e12_dynamic_workloads::report(&e12_config, &outcomes),
+                        &dir,
+                    );
+                    e12_outcomes = Some(outcomes);
+                }
+                "E13" => {
+                    let outcomes = gcs_bench::e13_scale_ceiling::run(&e13_config);
+                    print_report(
+                        s.as_ref(),
+                        &gcs_bench::e13_scale_ceiling::report(&e13_config, &outcomes),
+                        &dir,
+                    );
+                    e13_outcomes = Some(outcomes);
+                }
+                "E15" => {
+                    let outcomes = gcs_bench::e15_faults::run(&e15_config);
+                    print_report(
+                        s.as_ref(),
+                        &gcs_bench::e15_faults::report(&e15_config, &outcomes),
+                        &dir,
+                    );
+                    e15_outcomes = Some(outcomes);
+                }
+                _ => print_report(s.as_ref(), &s.run_scenario(), &dir),
+            }
+        }
     }
 
     println!("=== engine trajectory (baseline: batched serial; host_cpus = {host_cpus}) ===");
@@ -250,6 +296,20 @@ fn main() {
             o.node_state_watermark
         );
     }
+    // The E15 fault/adversary outcomes for the trajectory.
+    let e15_for_json = e15_outcomes
+        .take()
+        .unwrap_or_else(|| gcs_bench::e15_faults::run(&e15_config));
+    println!(
+        "E15 n={:>6} {:>16}: adversary peak local {:.2} (baseline {:.2}), {} crashes/{} restarts, control violations {}",
+        e15_config.n,
+        "fault+adversary",
+        e15_for_json.adversary.peak_local,
+        e15_for_json.adversary.baseline_peak_local,
+        e15_for_json.fault.crashes,
+        e15_for_json.fault.restarts,
+        e15_for_json.control.violations
+    );
     let json = engine_json(
         host_cpus,
         &(w1, m1),
@@ -258,6 +318,8 @@ fn main() {
         e12_config.n,
         &e13_for_json,
         e13_config.n,
+        &e15_for_json,
+        e15_config.n,
         gcs_analysis::peak_rss_bytes(),
     );
     match std::fs::File::create("BENCH_engine.json").and_then(|mut f| f.write_all(json.as_bytes()))

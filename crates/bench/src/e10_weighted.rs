@@ -11,8 +11,9 @@
 use crate::scenario;
 use gcs_analysis::{parallel_map, Table};
 use gcs_clocks::time::at;
+use gcs_clocks::ScheduleDrift;
 use gcs_core::{AlgoParams, GradientNode};
-use gcs_net::{node, NodeId};
+use gcs_net::{node, NodeId, ScheduleSource};
 use gcs_sim::{DelayStrategy, ModelParams, SimBuilder};
 use std::collections::BTreeMap;
 
@@ -73,8 +74,8 @@ pub fn run(config: &Config) -> Vec<Point> {
                 .map(|e| (e.other(node(i)), w))
                 .collect()
         };
-        let mut sim = SimBuilder::new(config.model, m.schedule.clone())
-            .clocks(m.clocks.clone())
+        let mut sim = SimBuilder::topology(config.model, ScheduleSource::new(m.schedule.clone()))
+            .drift(ScheduleDrift::new(m.clocks.clone()))
             .delay(DelayStrategy::Max)
             .build_with(|i| GradientNode::with_weights(params, weights_for(i)));
         sim.run_until(at(t_bridge));
@@ -143,6 +144,14 @@ impl crate::scenario::Scenario for Experiment {
     }
     fn claim(&self) -> &'static str {
         "§7 extension — stable skew floors at B0·w per edge"
+    }
+    fn meta(&self) -> crate::scenario::ScenarioMeta {
+        crate::scenario::ScenarioMeta {
+            name: "E10",
+            n: Some(self.config.n),
+            family: crate::scenario::ScenarioFamily::Claim,
+            fault_profile: None,
+        }
     }
     fn run_scenario(&self) -> crate::scenario::ScenarioReport {
         let points = run(&self.config);

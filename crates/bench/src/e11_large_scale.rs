@@ -152,6 +152,14 @@ impl crate::scenario::Scenario for Experiment {
     fn claim(&self) -> &'static str {
         "Theorem 4.1 — large-n scale-up (deterministic parallel engine)"
     }
+    fn meta(&self) -> crate::scenario::ScenarioMeta {
+        crate::scenario::ScenarioMeta {
+            name: "E11",
+            n: Some(self.config.n),
+            family: crate::scenario::ScenarioFamily::Scale,
+            fault_profile: None,
+        }
+    }
     fn run_scenario(&self) -> crate::scenario::ScenarioReport {
         let out = run(&self.config);
         let mut rep = crate::scenario::ScenarioReport::new();

@@ -23,7 +23,7 @@
 //! bounded by the events of one pull window — it still scales with the
 //! churn *rate*, but not with the horizon or the total event count.
 
-use crate::scenario::{Scenario, ScenarioReport};
+use crate::scenario::{Scenario, ScenarioFamily, ScenarioMeta, ScenarioReport};
 use gcs_analysis::{SkewStream, Table};
 use gcs_clocks::time::at;
 use gcs_clocks::DriftModel;
@@ -140,8 +140,8 @@ pub fn run_family(
     let model = model();
     let params = AlgoParams::with_minimal_b0(model, n, 0.5);
     let t0 = std::time::Instant::now();
-    let mut sim = SimBuilder::from_source(model, source)
-        .drift(DriftModel::FastUpTo(n / 2), config.horizon)
+    let mut sim = SimBuilder::topology(model, source)
+        .drift_model(DriftModel::FastUpTo(n / 2), config.horizon)
         .delay(DelayStrategy::Max)
         .seed(config.seed)
         .threads(config.threads)
@@ -231,6 +231,14 @@ impl Scenario for Experiment {
     }
     fn claim(&self) -> &'static str {
         "§3.1–3.2 — dynamic networks at scale on the streaming topology pipeline"
+    }
+    fn meta(&self) -> ScenarioMeta {
+        ScenarioMeta {
+            name: "E12",
+            n: Some(self.config.n),
+            family: ScenarioFamily::Scale,
+            fault_profile: None,
+        }
     }
     fn run_scenario(&self) -> ScenarioReport {
         report(&self.config, &run(&self.config))

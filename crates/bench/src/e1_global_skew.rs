@@ -13,7 +13,7 @@ use gcs_analysis::{parallel_map, Recorder, Table};
 use gcs_clocks::time::at;
 use gcs_clocks::DriftModel;
 use gcs_core::{AlgoParams, GradientNode, InvariantMonitor};
-use gcs_net::{generators, TopologySchedule};
+use gcs_net::{generators, ScheduleSource, TopologySchedule};
 use gcs_sim::{DelayStrategy, ModelParams, SimBuilder};
 
 /// Configuration for E1.
@@ -72,8 +72,8 @@ pub fn run(config: &Config) -> Outcome {
         // whole diameter.
         let horizon = 8.0 * n as f64 + 200.0;
         let schedule = TopologySchedule::static_graph(n, generators::path(n));
-        let mut builder = SimBuilder::new(config.model, schedule)
-            .drift(DriftModel::FastUpTo(n / 2), horizon)
+        let mut builder = SimBuilder::topology(config.model, ScheduleSource::new(schedule))
+            .drift_model(DriftModel::FastUpTo(n / 2), horizon)
             .delay(DelayStrategy::Max);
         if let Some(t) = config.threads {
             builder = builder.threads(t);
@@ -134,6 +134,14 @@ impl crate::scenario::Scenario for Experiment {
     }
     fn claim(&self) -> &'static str {
         "Theorem 6.9 — global skew ≤ G(n), linear in n"
+    }
+    fn meta(&self) -> crate::scenario::ScenarioMeta {
+        crate::scenario::ScenarioMeta {
+            name: "E1",
+            n: self.config.ns.iter().copied().max(),
+            family: crate::scenario::ScenarioFamily::Claim,
+            fault_profile: None,
+        }
     }
     fn run_scenario(&self) -> crate::scenario::ScenarioReport {
         let out = run(&self.config);

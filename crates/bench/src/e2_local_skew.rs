@@ -11,7 +11,9 @@
 use crate::scenario;
 use gcs_analysis::Table;
 use gcs_clocks::time::at;
+use gcs_clocks::ScheduleDrift;
 use gcs_core::{AlgoParams, GradientNode};
+use gcs_net::ScheduleSource;
 use gcs_sim::{DelayStrategy, ModelParams, SimBuilder};
 
 /// Configuration for E2.
@@ -83,8 +85,8 @@ pub fn run(config: &Config) -> Outcome {
     let t_bridge = scenario::t_bridge_for_skew(config.model, config.target_skew);
     let m = scenario::merge(n, config.model, t_bridge);
     let horizon = t_bridge + config.windows * params.w() + 100.0;
-    let mut builder = SimBuilder::new(config.model, m.schedule.clone())
-        .clocks(m.clocks.clone())
+    let mut builder = SimBuilder::topology(config.model, ScheduleSource::new(m.schedule.clone()))
+        .drift(ScheduleDrift::new(m.clocks.clone()))
         .delay(DelayStrategy::Max);
     if let Some(t) = config.threads {
         builder = builder.threads(t);
@@ -164,6 +166,14 @@ impl crate::scenario::Scenario for Experiment {
     }
     fn claim(&self) -> &'static str {
         "Corollary 6.13 — dynamic local skew envelope s(n, Δt)"
+    }
+    fn meta(&self) -> crate::scenario::ScenarioMeta {
+        crate::scenario::ScenarioMeta {
+            name: "E2",
+            n: Some(self.config.n),
+            family: crate::scenario::ScenarioFamily::Claim,
+            fault_profile: None,
+        }
     }
     fn run_scenario(&self) -> crate::scenario::ScenarioReport {
         let out = run(&self.config);

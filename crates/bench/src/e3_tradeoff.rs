@@ -13,7 +13,9 @@ use crate::scenario;
 use gcs_analysis::stats::loglog_slope;
 use gcs_analysis::{parallel_map, Recorder, Table};
 use gcs_clocks::time::at;
+use gcs_clocks::ScheduleDrift;
 use gcs_core::{AlgoParams, GradientNode};
+use gcs_net::ScheduleSource;
 use gcs_sim::{DelayStrategy, ModelParams, SimBuilder};
 
 /// Configuration for E3.
@@ -103,8 +105,8 @@ fn run_cell(config: &Config, n: usize, b0_multiplier: f64) -> Cell {
     // Horizon: generous multiple of the expected closure time plus the
     // stabilization window.
     let horizon = t_bridge + 6.0 * (target_skew / b0 + 1.0) * params.tau() + 4.0 * params.w();
-    let mut sim = SimBuilder::new(config.model, m.schedule.clone())
-        .clocks(m.clocks.clone())
+    let mut sim = SimBuilder::topology(config.model, ScheduleSource::new(m.schedule.clone()))
+        .drift(ScheduleDrift::new(m.clocks.clone()))
         .delay(DelayStrategy::Max)
         .build_with(|_| GradientNode::new(params));
     sim.run_until(at(t_bridge));
@@ -160,6 +162,14 @@ impl crate::scenario::Scenario for Experiment {
     }
     fn claim(&self) -> &'static str {
         "Corollary 6.14 — settle time proportional to n/B0"
+    }
+    fn meta(&self) -> crate::scenario::ScenarioMeta {
+        crate::scenario::ScenarioMeta {
+            name: "E3",
+            n: self.config.ns.iter().copied().max(),
+            family: crate::scenario::ScenarioFamily::Claim,
+            fault_profile: None,
+        }
     }
     fn run_scenario(&self) -> crate::scenario::ScenarioReport {
         let out = run(&self.config);

@@ -16,10 +16,11 @@
 
 use gcs_analysis::Table;
 use gcs_clocks::time::at;
+use gcs_clocks::ScheduleDrift;
 use gcs_core::{AlgoParams, GradientNode};
 use gcs_lowerbound::Theorem41Scenario;
 use gcs_net::schedule::add_at;
-use gcs_net::{Edge, NodeId};
+use gcs_net::{Edge, NodeId, ScheduleSource};
 use gcs_sim::{DelayStrategy, ModelParams, SimBuilder, Simulator};
 use std::collections::BTreeMap;
 
@@ -110,8 +111,8 @@ pub fn run(config: &Config) -> Outcome {
     let t2 = t1 + config.k * config.model.t / (1.0 + config.model.rho);
 
     // Phase 1: establish the Figure 1(a) configuration.
-    let mut sim = SimBuilder::new(config.model, sc.schedule())
-        .clocks(sc.beta_clocks())
+    let mut sim = SimBuilder::topology(config.model, ScheduleSource::new(sc.schedule()))
+        .drift(ScheduleDrift::new(sc.beta_clocks()))
         .delay(sc.beta_delays())
         .build_with(|_| GradientNode::new(params));
     sim.run_until(at(t1));
@@ -146,8 +147,8 @@ pub fn run(config: &Config) -> Outcome {
     let schedule2 = sc
         .schedule()
         .with_extra_events(new_edges.iter().map(|&e| add_at(t1, e)).collect());
-    let mut sim2 = SimBuilder::new(config.model, schedule2)
-        .clocks(sc.beta_clocks())
+    let mut sim2 = SimBuilder::topology(config.model, ScheduleSource::new(schedule2))
+        .drift(ScheduleDrift::new(sc.beta_clocks()))
         .delay(DelayStrategy::Masked {
             pattern,
             default: Box::new(sc.beta_delays()),
@@ -277,6 +278,14 @@ impl crate::scenario::Scenario for Experiment {
     }
     fn claim(&self) -> &'static str {
         "Theorem 4.1 — new edges cannot be exploited instantly"
+    }
+    fn meta(&self) -> crate::scenario::ScenarioMeta {
+        crate::scenario::ScenarioMeta {
+            name: "E4",
+            n: Some(self.config.n),
+            family: crate::scenario::ScenarioFamily::Claim,
+            fault_profile: None,
+        }
     }
     fn run_scenario(&self) -> crate::scenario::ScenarioReport {
         let out = run(&self.config);

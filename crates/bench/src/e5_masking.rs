@@ -10,10 +10,11 @@
 
 use gcs_analysis::{parallel_map, Table};
 use gcs_clocks::time::at;
+use gcs_clocks::ScheduleDrift;
 use gcs_core::{AlgoParams, GradientNode};
 use gcs_lowerbound::mask::{flexible_layers, DelayMask};
 use gcs_lowerbound::masking;
-use gcs_net::{generators, node, TopologySchedule};
+use gcs_net::{generators, node, ScheduleSource, TopologySchedule};
 use gcs_sim::{DelayStrategy, ModelParams, SimBuilder};
 
 /// Configuration for E5.
@@ -95,15 +96,18 @@ pub fn run(config: &Config) -> Vec<Point> {
                 )
             })
             .collect();
-        let mut sim = SimBuilder::new(config.model, TopologySchedule::static_graph(n, edges))
-            .clocks(clocks)
-            .delay(DelayStrategy::BetaLayered {
-                layer: layers,
-                constrained: mask.pattern().clone(),
-                rho: config.model.rho,
-                intra: 0.0,
-            })
-            .build_with(|_| GradientNode::new(params));
+        let mut sim = SimBuilder::topology(
+            config.model,
+            ScheduleSource::new(TopologySchedule::static_graph(n, edges)),
+        )
+        .drift(ScheduleDrift::new(clocks))
+        .delay(DelayStrategy::BetaLayered {
+            layer: layers,
+            constrained: mask.pattern().clone(),
+            rho: config.model.rho,
+            intra: 0.0,
+        })
+        .build_with(|_| GradientNode::new(params));
         sim.run_until(at(ready + 10.0));
         Point {
             d,
@@ -157,6 +161,19 @@ impl crate::scenario::Scenario for Experiment {
     }
     fn claim(&self) -> &'static str {
         "Lemma 4.2 (Masking Lemma) — ≥ T·d/4 skew with legal delays"
+    }
+    fn meta(&self) -> crate::scenario::ScenarioMeta {
+        crate::scenario::ScenarioMeta {
+            name: "E5",
+            n: self
+                .config
+                .distances
+                .iter()
+                .map(|d| d + self.config.masked_prefix + 1)
+                .max(),
+            family: crate::scenario::ScenarioFamily::Claim,
+            fault_profile: None,
+        }
     }
     fn run_scenario(&self) -> crate::scenario::ScenarioReport {
         let points = run(&self.config);

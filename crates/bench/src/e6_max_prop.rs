@@ -10,7 +10,7 @@ use gcs_analysis::{parallel_map, Table};
 use gcs_clocks::time::at;
 use gcs_clocks::{DriftModel, Duration};
 use gcs_core::{AlgoParams, GradientNode};
-use gcs_net::{churn, connectivity, node};
+use gcs_net::{churn, connectivity, node, ScheduleSource};
 use gcs_sim::{DelayStrategy, ModelParams, SimBuilder};
 
 /// Which churn pattern to use.
@@ -87,8 +87,8 @@ pub fn run(config: &Config) -> Vec<Point> {
             at(config.horizon),
         );
         let params = AlgoParams::with_minimal_b0(config.model, n, config.delta_h);
-        let mut sim = SimBuilder::new(config.model, schedule)
-            .drift(DriftModel::SplitExtremes, config.horizon)
+        let mut sim = SimBuilder::topology(config.model, ScheduleSource::new(schedule))
+            .drift_model(DriftModel::SplitExtremes, config.horizon)
             .delay(DelayStrategy::Max)
             .build_with(|_| GradientNode::new(params));
         let mut worst_gap: f64 = 0.0;
@@ -151,6 +151,14 @@ impl crate::scenario::Scenario for Experiment {
     }
     fn claim(&self) -> &'static str {
         "Lemma 6.8 — Lmax reaches every node within the propagation window"
+    }
+    fn meta(&self) -> crate::scenario::ScenarioMeta {
+        crate::scenario::ScenarioMeta {
+            name: "E6",
+            n: self.config.ns.iter().copied().max(),
+            family: crate::scenario::ScenarioFamily::Claim,
+            fault_profile: None,
+        }
     }
     fn run_scenario(&self) -> crate::scenario::ScenarioReport {
         let mut rep = crate::scenario::ScenarioReport::new();

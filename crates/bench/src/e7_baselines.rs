@@ -18,10 +18,11 @@
 use gcs_analysis::Table;
 use gcs_clocks::time::at;
 use gcs_clocks::HardwareClock;
+use gcs_clocks::ScheduleDrift;
 use gcs_core::baseline::MaxSyncNode;
 use gcs_core::{AlgoParams, BudgetPolicy, GradientNode};
 
-use gcs_net::{node, Edge, TopologySchedule};
+use gcs_net::{node, Edge, ScheduleSource, TopologySchedule};
 use gcs_sim::{Automaton, DelayStrategy, ModelParams, SimBuilder, Simulator};
 
 /// Configuration for E7.
@@ -131,8 +132,8 @@ pub fn run(config: &Config) -> Vec<Row> {
     let mut rows = Vec::new();
     for policy in [BudgetPolicy::Aging, BudgetPolicy::Constant] {
         let params = AlgoParams::with_policy(config.model, config.n, config.delta_h, b0, policy);
-        let mut sim = SimBuilder::new(config.model, schedule.clone())
-            .clocks(clocks.clone())
+        let mut sim = SimBuilder::topology(config.model, ScheduleSource::new(schedule.clone()))
+            .drift(ScheduleDrift::new(clocks.clone()))
             .delay(DelayStrategy::Max)
             .build_with(|_| GradientNode::new(params));
         let mut row = measure(&mut sim, config, m, bridge, &old_edges, threshold);
@@ -145,8 +146,8 @@ pub fn run(config: &Config) -> Vec<Row> {
     }
     {
         let delta_h = config.delta_h;
-        let mut sim = SimBuilder::new(config.model, schedule)
-            .clocks(clocks)
+        let mut sim = SimBuilder::topology(config.model, ScheduleSource::new(schedule))
+            .drift(ScheduleDrift::new(clocks))
             .delay(DelayStrategy::Max)
             .build_with(|_| MaxSyncNode::new(delta_h));
         let mut row = measure(&mut sim, config, m, bridge, &old_edges, threshold);
@@ -198,6 +199,14 @@ impl crate::scenario::Scenario for Experiment {
     }
     fn claim(&self) -> &'static str {
         "§1 motivation — only the aging budget gives a dynamic gradient"
+    }
+    fn meta(&self) -> crate::scenario::ScenarioMeta {
+        crate::scenario::ScenarioMeta {
+            name: "E7",
+            n: Some(self.config.n),
+            family: crate::scenario::ScenarioFamily::Claim,
+            fault_profile: None,
+        }
     }
     fn run_scenario(&self) -> crate::scenario::ScenarioReport {
         let rows = run(&self.config);

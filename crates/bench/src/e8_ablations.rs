@@ -24,8 +24,9 @@ use crate::scenario;
 use gcs_analysis::{parallel_map, Table};
 use gcs_clocks::time::at;
 use gcs_clocks::DriftModel;
+use gcs_clocks::ScheduleDrift;
 use gcs_core::{AlgoParams, BudgetPolicy, GradientNode};
-use gcs_net::{generators, node, TopologySchedule};
+use gcs_net::{generators, node, ScheduleSource, TopologySchedule};
 use gcs_sim::{DelayStrategy, ModelParams, SimBuilder};
 
 /// Configuration for the budget-shape ablations.
@@ -69,8 +70,8 @@ pub struct Cell {
 fn run_merge_with(config: &Config, params: AlgoParams, label: String) -> Cell {
     let t_bridge = scenario::t_bridge_for_skew(config.model, config.target_skew);
     let m = scenario::merge(config.n, config.model, t_bridge);
-    let mut sim = SimBuilder::new(config.model, m.schedule.clone())
-        .clocks(m.clocks.clone())
+    let mut sim = SimBuilder::topology(config.model, ScheduleSource::new(m.schedule.clone()))
+        .drift(ScheduleDrift::new(m.clocks.clone()))
         .delay(DelayStrategy::Max)
         .build_with(|_| GradientNode::new(params));
     sim.run_until(at(t_bridge));
@@ -190,8 +191,8 @@ pub fn run_delta_h(model: ModelParams, n: usize, delta_hs: &[f64]) -> Vec<DeltaH
         let params = AlgoParams::with_minimal_b0(model, n, delta_h);
         let horizon = 300.0;
         let schedule = TopologySchedule::static_graph(n, generators::path(n));
-        let mut sim = SimBuilder::new(model, schedule)
-            .drift(DriftModel::FastUpTo(n / 2), horizon)
+        let mut sim = SimBuilder::topology(model, ScheduleSource::new(schedule))
+            .drift_model(DriftModel::FastUpTo(n / 2), horizon)
             .delay(DelayStrategy::Max)
             .build_with(|_| GradientNode::new(params));
         sim.run_until(at(horizon * 0.75));
@@ -262,6 +263,14 @@ impl crate::scenario::Scenario for Experiment {
     }
     fn claim(&self) -> &'static str {
         "§5–6 — every parameter choice in Algorithm 2 is load-bearing"
+    }
+    fn meta(&self) -> crate::scenario::ScenarioMeta {
+        crate::scenario::ScenarioMeta {
+            name: "E8",
+            n: Some(self.config.n),
+            family: crate::scenario::ScenarioFamily::Claim,
+            fault_profile: None,
+        }
     }
     fn run_scenario(&self) -> crate::scenario::ScenarioReport {
         let mut rep = crate::scenario::ScenarioReport::new();

@@ -14,7 +14,7 @@ use gcs_analysis::{parallel_map, Table};
 use gcs_clocks::time::at;
 use gcs_clocks::DriftModel;
 use gcs_core::{AlgoParams, GradientNode};
-use gcs_net::{generators, node, TopologySchedule};
+use gcs_net::{generators, node, ScheduleSource, TopologySchedule};
 use gcs_sim::{DelayStrategy, ModelParams, SimBuilder};
 
 /// Configuration for the gradient profile.
@@ -63,8 +63,8 @@ pub fn run(config: &Config) -> Vec<ProfileRow> {
     let warmup = 8.0 * n as f64;
     let horizon = warmup + config.window;
     let schedule = TopologySchedule::static_graph(n, generators::path(n));
-    let mut sim = SimBuilder::new(config.model, schedule)
-        .drift(DriftModel::FastUpTo(n / 2), horizon)
+    let mut sim = SimBuilder::topology(config.model, ScheduleSource::new(schedule))
+        .drift_model(DriftModel::FastUpTo(n / 2), horizon)
         .delay(DelayStrategy::Max)
         .build_with(|_| GradientNode::new(params));
     sim.run_until(at(warmup));
@@ -133,6 +133,14 @@ impl crate::scenario::Scenario for Experiment {
     }
     fn claim(&self) -> &'static str {
         "§6 gradient property — skew grows with distance, bounded per hop"
+    }
+    fn meta(&self) -> crate::scenario::ScenarioMeta {
+        crate::scenario::ScenarioMeta {
+            name: "E9",
+            n: Some(self.config.n),
+            family: crate::scenario::ScenarioFamily::Claim,
+            fault_profile: None,
+        }
     }
     fn run_scenario(&self) -> crate::scenario::ScenarioReport {
         let rows = run(&self.config);

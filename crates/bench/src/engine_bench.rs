@@ -21,7 +21,7 @@
 use gcs_clocks::time::at;
 use gcs_clocks::DriftModel;
 use gcs_core::{AlgoParams, GradientNode};
-use gcs_net::{churn, generators, TopologySchedule};
+use gcs_net::{churn, generators, ScheduleSource, TopologySchedule};
 use gcs_sim::{DelayStrategy, ModelParams, SimBuilder, SimStats, Simulator};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -104,8 +104,8 @@ impl Workload {
     /// Builds the workload on the engine with this workload's threads.
     pub fn build(&self) -> Simulator<GradientNode> {
         let params = self.params();
-        SimBuilder::new(self.model(), self.schedule())
-            .drift(DriftModel::FastUpTo(self.n / 2), self.horizon)
+        SimBuilder::topology(self.model(), ScheduleSource::new(self.schedule()))
+            .drift_model(DriftModel::FastUpTo(self.n / 2), self.horizon)
             .delay(DelayStrategy::Max)
             .seed(self.seed)
             .threads(self.threads)

@@ -139,9 +139,41 @@ impl ScenarioReport {
     }
 }
 
+/// Which batch of the driver a scenario belongs to. Typed — `run_all`
+/// partitions on this instead of matching id strings, so adding a
+/// scenario can never silently land it in the wrong batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScenarioFamily {
+    /// Reproduces a paper claim at small `n`; safe to fan out in
+    /// parallel with its siblings.
+    Claim,
+    /// Is itself a wall-clock/memory benchmark; must run alone.
+    Scale,
+    /// Injects faults or adversarial topology control; runs alone after
+    /// the claim batch (its runs are deterministic but CPU-heavy).
+    Fault,
+    /// An `examples/` binary behind the scenario surface.
+    Example,
+}
+
+/// Structured self-description of a scenario — the typed replacement
+/// for matching on [`Scenario::id`] strings in drivers and registries.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScenarioMeta {
+    /// Short identifier, identical to [`Scenario::id`].
+    pub name: &'static str,
+    /// The (largest) node count the scenario runs at, when meaningful.
+    pub n: Option<usize>,
+    /// Driver batch.
+    pub family: ScenarioFamily,
+    /// Human-readable summary of the fault injections, for
+    /// [`ScenarioFamily::Fault`] scenarios.
+    pub fault_profile: Option<&'static str>,
+}
+
 /// A named, self-describing experiment.
 ///
-/// Implemented by all ten `E*` experiment modules (each wraps its `Config`
+/// Implemented by all `E*` experiment modules (each wraps its `Config`
 /// in an `Experiment` struct) and by the `examples/` binaries, so every
 /// entry point into the reproduction goes through one documented surface.
 pub trait Scenario: Send + Sync {
@@ -151,14 +183,27 @@ pub trait Scenario: Send + Sync {
     fn title(&self) -> &'static str;
     /// The paper claim it reproduces (section/theorem).
     fn claim(&self) -> &'static str;
+    /// Structured metadata. The default marks the scenario an
+    /// [`ScenarioFamily::Example`] with unspecified size — the
+    /// `examples/` binaries take it as-is; every registry experiment
+    /// overrides it.
+    fn meta(&self) -> ScenarioMeta {
+        ScenarioMeta {
+            name: self.id(),
+            n: None,
+            family: ScenarioFamily::Example,
+            fault_profile: None,
+        }
+    }
     /// Runs the workload and collects the report.
     fn run_scenario(&self) -> ScenarioReport;
 }
 
-/// All thirteen experiments, in order (E1–E10 reproduce paper claims at
+/// All fourteen experiments, in order (E1–E10 reproduce paper claims at
 /// small `n`; E11 is the large-scale parallel-engine run; E12 is the
 /// streaming dynamic-workload family at `n = 2^17`; E13 is the lazy
-/// clock plane's scale-ceiling run at `n = 2^20`).
+/// clock plane's scale-ceiling run at `n = 2^20`; E15 is the fault and
+/// adversary family).
 pub fn all_scenarios() -> Vec<Box<dyn Scenario>> {
     vec![
         Box::new(crate::e1_global_skew::Experiment::default()),
@@ -174,7 +219,16 @@ pub fn all_scenarios() -> Vec<Box<dyn Scenario>> {
         Box::new(crate::e11_large_scale::Experiment::default()),
         Box::new(crate::e12_dynamic_workloads::Experiment::default()),
         Box::new(crate::e13_scale_ceiling::Experiment::default()),
+        Box::new(crate::e15_faults::Experiment::default()),
     ]
+}
+
+/// The registry scenarios belonging to `family`, in registry order.
+pub fn scenarios_in(family: ScenarioFamily) -> Vec<Box<dyn Scenario>> {
+    all_scenarios()
+        .into_iter()
+        .filter(|s| s.meta().family == family)
+        .collect()
 }
 
 /// Runs scenarios in parallel over scoped threads, preserving order.
@@ -249,16 +303,46 @@ mod tests {
     use gcs_clocks::time::at;
 
     #[test]
-    fn registry_lists_all_thirteen_experiments_in_order() {
+    fn registry_lists_all_fourteen_experiments_in_order() {
         let ids: Vec<&str> = all_scenarios().iter().map(|s| s.id()).collect();
         assert_eq!(
             ids,
-            vec!["E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"]
+            vec![
+                "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13",
+                "E15"
+            ]
         );
         for s in all_scenarios() {
             assert!(!s.title().is_empty(), "{} needs a title", s.id());
             assert!(!s.claim().is_empty(), "{} needs a claim", s.id());
+            let meta = s.meta();
+            assert_eq!(meta.name, s.id(), "meta name must equal id");
+            assert_ne!(
+                meta.family,
+                ScenarioFamily::Example,
+                "{}: registry experiments must override the default meta",
+                s.id()
+            );
         }
+    }
+
+    #[test]
+    fn families_partition_the_registry() {
+        let claim = scenarios_in(ScenarioFamily::Claim);
+        let scale = scenarios_in(ScenarioFamily::Scale);
+        let fault = scenarios_in(ScenarioFamily::Fault);
+        assert_eq!(claim.len(), 10, "E1-E10 are the claim batch");
+        let scale_ids: Vec<&str> = scale.iter().map(|s| s.id()).collect();
+        assert_eq!(scale_ids, vec!["E11", "E12", "E13"]);
+        let fault_ids: Vec<&str> = fault.iter().map(|s| s.id()).collect();
+        assert_eq!(fault_ids, vec!["E15"]);
+        for s in fault {
+            assert!(
+                s.meta().fault_profile.is_some(),
+                "fault scenarios must describe their injections"
+            );
+        }
+        assert_eq!(claim.len() + scale_ids.len() + fault_ids.len(), 14);
     }
 
     #[test]
@@ -310,7 +394,9 @@ mod tests {
         assert!(written.starts_with("x,y"));
         let _ = std::fs::remove_dir_all(&dir);
     }
+    use gcs_clocks::ScheduleDrift;
     use gcs_core::{AlgoParams, GradientNode};
+    use gcs_net::ScheduleSource;
     use gcs_sim::{DelayStrategy, SimBuilder};
 
     #[test]
@@ -319,8 +405,8 @@ mod tests {
         let n = 16;
         let m = merge(n, model, 200.0);
         let params = AlgoParams::with_minimal_b0(model, n, 0.5);
-        let mut sim = SimBuilder::new(model, m.schedule.clone())
-            .clocks(m.clocks.clone())
+        let mut sim = SimBuilder::topology(model, ScheduleSource::new(m.schedule.clone()))
+            .drift(ScheduleDrift::new(m.clocks.clone()))
             .delay(DelayStrategy::Max)
             .build_with(|_| GradientNode::new(params));
         sim.run_until(at(200.0));

@@ -1,0 +1,118 @@
+//! Deprecated-adapter compatibility: the old `SimBuilder` entry points
+//! (`new`, `from_source`, `clocks`, `drift_source`) must keep producing
+//! traces bit-identical to the canonical `topology`/`drift`/`faults`
+//! triple until they are removed.
+//!
+//! This is the ONE file in the workspace allowed `allow(deprecated)` —
+//! CI greps for any other use, so migrations can't quietly regress back
+//! onto the old surface.
+#![allow(deprecated)]
+
+use gcs_clocks::time::at;
+use gcs_clocks::{HardwareClock, ScheduleDrift};
+use gcs_core::{AlgoParams, GradientNode};
+use gcs_net::{generators, ScheduleSource, TopologySchedule};
+use gcs_sim::{DelayStrategy, ModelParams, SimBuilder, Simulator};
+
+fn model() -> ModelParams {
+    ModelParams::new(0.05, 1.0, 2.0)
+}
+
+fn schedule(n: usize) -> TopologySchedule {
+    TopologySchedule::static_graph(n, generators::path(n))
+}
+
+fn clocks(n: usize) -> Vec<HardwareClock> {
+    // The SplitExtremes pattern, spelled out by hand: even nodes slow,
+    // odd nodes fast, at the drift bound.
+    let m = model();
+    (0..n)
+        .map(|i| {
+            let rate = if i % 2 == 0 { 1.0 - m.rho } else { 1.0 + m.rho };
+            HardwareClock::constant(rate, m.rho)
+        })
+        .collect()
+}
+
+fn run(mut sim: Simulator<GradientNode>, horizon: f64) -> Vec<f64> {
+    sim.run_until(at(horizon));
+    sim.logical_snapshot()
+}
+
+#[test]
+fn deprecated_new_matches_canonical_topology() {
+    let (n, horizon) = (32, 40.0);
+    let params = AlgoParams::with_minimal_b0(model(), n, 0.5);
+    let old = SimBuilder::new(model(), schedule(n))
+        .clocks(clocks(n))
+        .delay(DelayStrategy::Max)
+        .build_with(move |_| GradientNode::new(params));
+    let new = SimBuilder::topology(model(), ScheduleSource::new(schedule(n)))
+        .drift(ScheduleDrift::new(clocks(n)))
+        .delay(DelayStrategy::Max)
+        .build_with(move |_| GradientNode::new(params));
+    let (a, b) = (run(old, horizon), run(new, horizon));
+    for (x, y) in a.iter().zip(&b) {
+        assert!(x.to_bits() == y.to_bits(), "adapter trace diverged");
+    }
+}
+
+#[test]
+fn deprecated_from_source_and_drift_source_match_canonical() {
+    let (n, horizon) = (32, 40.0);
+    let params = AlgoParams::with_minimal_b0(model(), n, 0.5);
+    let old = SimBuilder::from_source(model(), ScheduleSource::new(schedule(n)))
+        .drift_source(ScheduleDrift::new(clocks(n)))
+        .delay(DelayStrategy::Uniform { lo: 0.0, hi: 1.0 })
+        .seed(99)
+        .build_with(move |_| GradientNode::new(params));
+    let new = SimBuilder::topology(model(), ScheduleSource::new(schedule(n)))
+        .drift(ScheduleDrift::new(clocks(n)))
+        .delay(DelayStrategy::Uniform { lo: 0.0, hi: 1.0 })
+        .seed(99)
+        .build_with(move |_| GradientNode::new(params));
+    let (a, b) = (run(old, horizon), run(new, horizon));
+    for (x, y) in a.iter().zip(&b) {
+        assert!(x.to_bits() == y.to_bits(), "renamed-adapter trace diverged");
+    }
+}
+
+#[test]
+fn adapters_compose_with_the_fault_plane() {
+    // Old-style construction with the new `.faults(...)` stage: adapters
+    // must not fork the builder into a parallel type that misses new
+    // capabilities.
+    use gcs_sim::{FaultEvent, FaultPlan};
+    let (n, horizon) = (32, 40.0);
+    let params = AlgoParams::with_minimal_b0(model(), n, 0.5);
+    let plan = || {
+        FaultPlan::new(vec![
+            FaultEvent::crash(10.0, gcs_net::node(3)),
+            FaultEvent::restart(20.0, gcs_net::node(3)),
+        ])
+    };
+    let old = SimBuilder::new(model(), schedule(n))
+        .clocks(clocks(n))
+        .delay(DelayStrategy::Max)
+        .faults(plan())
+        .build_with(move |_| GradientNode::new(params));
+    let new = SimBuilder::topology(model(), ScheduleSource::new(schedule(n)))
+        .drift(ScheduleDrift::new(clocks(n)))
+        .delay(DelayStrategy::Max)
+        .faults(plan())
+        .build_with(move |_| GradientNode::new(params));
+    let mut sims = [old, new];
+    for sim in sims.iter_mut() {
+        sim.run_until(at(horizon));
+    }
+    for (x, y) in sims[0]
+        .logical_snapshot()
+        .iter()
+        .zip(sims[1].logical_snapshot())
+    {
+        assert!(x.to_bits() == y.to_bits());
+    }
+    assert_eq!(*sims[0].stats(), *sims[1].stats());
+    assert_eq!(sims[0].stats().crashes, 1);
+    assert_eq!(sims[0].stats().restarts, 1);
+}

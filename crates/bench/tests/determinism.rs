@@ -20,7 +20,9 @@ use gcs_bench::engine_bench::Workload;
 use gcs_bench::scenario::{self, Scenario};
 use gcs_bench::{e1_global_skew, e2_local_skew};
 use gcs_clocks::time::at;
+use gcs_clocks::ScheduleDrift;
 use gcs_core::{AlgoParams, GradientNode};
+use gcs_net::ScheduleSource;
 use gcs_sim::{DelayStrategy, ModelParams, SimBuilder, Simulator};
 
 const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
@@ -86,8 +88,8 @@ fn e2_merge_traces_bit_identical_across_thread_counts() {
     let mut sims: Vec<Simulator<GradientNode>> = THREAD_COUNTS
         .iter()
         .map(|&threads| {
-            SimBuilder::new(model, m.schedule.clone())
-                .clocks(m.clocks.clone())
+            SimBuilder::topology(model, ScheduleSource::new(m.schedule.clone()))
+                .drift(ScheduleDrift::new(m.clocks.clone()))
                 .delay(DelayStrategy::Max)
                 .seed(9)
                 .threads(threads)
@@ -214,7 +216,7 @@ fn random_delay_traces_bit_identical_across_thread_counts() {
     let mut sims: Vec<Simulator<GradientNode>> = THREAD_COUNTS
         .iter()
         .map(|&threads| {
-            SimBuilder::new(w.model(), w.schedule())
+            SimBuilder::topology(w.model(), ScheduleSource::new(w.schedule()))
                 .delay(DelayStrategy::Uniform { lo: 0.0, hi: 1.0 })
                 .seed(w.seed)
                 .threads(threads)

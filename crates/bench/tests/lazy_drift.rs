@@ -12,10 +12,11 @@
 
 use gcs_bench::engine_bench::Workload;
 use gcs_clocks::time::at;
-use gcs_clocks::{DriftModel, HardwareClock, ModelDrift};
+use gcs_clocks::{DriftModel, HardwareClock, ModelDrift, ScheduleDrift};
 use gcs_core::{AlgoParams, GradientNode};
 use gcs_net::churn::ChurnSource;
 use gcs_net::generators;
+use gcs_net::ScheduleSource;
 use gcs_sim::{DelayStrategy, ModelParams, SimBuilder, Simulator};
 
 const THREAD_COUNTS: [usize; 2] = [1, 8];
@@ -87,14 +88,14 @@ fn e1_churn_lazy_vs_materialized_drift_bit_identical() {
         )
     };
     for threads in THREAD_COUNTS {
-        let eager = SimBuilder::from_source(model, source())
-            .clocks(clocks.clone())
+        let eager = SimBuilder::topology(model, source())
+            .drift(ScheduleDrift::new(clocks.clone()))
             .delay(DelayStrategy::Max)
             .seed(seed)
             .threads(threads)
             .build_with(|_| GradientNode::new(params));
-        let lazy = SimBuilder::from_source(model, source())
-            .drift(drift, horizon)
+        let lazy = SimBuilder::topology(model, source())
+            .drift_model(drift, horizon)
             .delay(DelayStrategy::Max)
             .seed(seed)
             .threads(threads)
@@ -115,24 +116,26 @@ fn alternating_drift_with_random_delays_bit_identical() {
     let plane = plane_for(drift, model.rho, horizon, seed);
     let clocks: Vec<HardwareClock> = (0..n).map(|i| plane.clock(i)).collect();
     let mk = |lazy: bool, threads: usize| {
-        let b = SimBuilder::new(
+        let b = SimBuilder::topology(
             model,
-            Workload {
-                n,
-                horizon,
-                churn: true,
-                seed,
-                threads: 1,
-            }
-            .schedule(),
+            ScheduleSource::new(
+                Workload {
+                    n,
+                    horizon,
+                    churn: true,
+                    seed,
+                    threads: 1,
+                }
+                .schedule(),
+            ),
         )
         .delay(DelayStrategy::Uniform { lo: 0.0, hi: 1.0 })
         .seed(seed)
         .threads(threads);
         let b = if lazy {
-            b.drift(drift, horizon)
+            b.drift_model(drift, horizon)
         } else {
-            b.clocks(clocks.clone())
+            b.drift(ScheduleDrift::new(clocks.clone()))
         };
         b.build_with(|_| GradientNode::new(params))
     };
@@ -157,8 +160,8 @@ fn workload_lazy_drift_thread_invariant() {
     let model = w.model();
     let params = w.params();
     let mk = |threads: usize| {
-        SimBuilder::new(model, w.schedule())
-            .drift(DriftModel::RandomWalk { step: 3.0 }, w.horizon)
+        SimBuilder::topology(model, ScheduleSource::new(w.schedule()))
+            .drift_model(DriftModel::RandomWalk { step: 3.0 }, w.horizon)
             .delay(DelayStrategy::Max)
             .seed(w.seed)
             .threads(threads)

@@ -12,11 +12,11 @@
 
 use gcs_bench::scenario;
 use gcs_clocks::time::at;
-use gcs_clocks::{DriftModel, Time};
+use gcs_clocks::{DriftModel, ScheduleDrift, Time};
 use gcs_core::{AlgoParams, GradientNode};
 use gcs_net::churn::ChurnSource;
 use gcs_net::source::{collect_schedule, TopologySource};
-use gcs_net::{generators, Edge, TopologyEvent, TopologySchedule};
+use gcs_net::{generators, Edge, ScheduleSource, TopologyEvent, TopologySchedule};
 use gcs_sim::{DelayStrategy, ModelParams, SimBuilder, Simulator};
 
 const THREAD_COUNTS: [usize; 2] = [1, 8];
@@ -78,10 +78,10 @@ fn e1_churn_eager_vs_streaming_bit_identical() {
     for threads in THREAD_COUNTS {
         let mk = |sched: Option<TopologySchedule>| {
             let b = match sched {
-                Some(s) => SimBuilder::new(model, s),
-                None => SimBuilder::from_source(model, e1_churn_source(n, horizon, seed)),
+                Some(s) => SimBuilder::topology(model, ScheduleSource::new(s)),
+                None => SimBuilder::topology(model, e1_churn_source(n, horizon, seed)),
             };
-            b.drift(DriftModel::FastUpTo(n / 2), horizon)
+            b.drift_model(DriftModel::FastUpTo(n / 2), horizon)
                 .delay(DelayStrategy::Max)
                 .seed(seed)
                 .threads(threads)
@@ -131,8 +131,8 @@ fn e2_merge_eager_vs_streaming_bit_identical() {
     let m = scenario::merge(n, model, t_bridge);
     let horizon = t_bridge + params.w() + 50.0;
     for threads in THREAD_COUNTS {
-        let eager = SimBuilder::new(model, m.schedule.clone())
-            .clocks(m.clocks.clone())
+        let eager = SimBuilder::topology(model, ScheduleSource::new(m.schedule.clone()))
+            .drift(ScheduleDrift::new(m.clocks.clone()))
             .delay(DelayStrategy::Max)
             .seed(9)
             .threads(threads)
@@ -145,8 +145,8 @@ fn e2_merge_eager_vs_streaming_bit_identical() {
             t_bridge: at(t_bridge),
             emitted: false,
         };
-        let streaming = SimBuilder::from_source(model, lazy)
-            .clocks(m.clocks.clone())
+        let streaming = SimBuilder::topology(model, lazy)
+            .drift(ScheduleDrift::new(m.clocks.clone()))
             .delay(DelayStrategy::Max)
             .seed(9)
             .threads(threads)
@@ -163,7 +163,7 @@ fn streaming_pull_pattern_invariant_under_run_until_chunking() {
     let model = e1_model();
     let params = AlgoParams::with_minimal_b0(model, n, 0.5);
     let mk = || {
-        SimBuilder::from_source(model, e1_churn_source(n, horizon, seed))
+        SimBuilder::topology(model, e1_churn_source(n, horizon, seed))
             .delay(DelayStrategy::Uniform { lo: 0.0, hi: 1.0 })
             .seed(seed)
             .build_with(|_| GradientNode::new(params))

@@ -66,6 +66,11 @@ impl Automaton for MaxSyncNode {
         ctx.set_timer(self.delta_h, TimerKind::Tick);
     }
 
+    // Crash/restart with state loss: only the tick period is configuration.
+    fn reboot(&self) -> Self {
+        MaxSyncNode::new(self.delta_h)
+    }
+
     fn on_receive(&mut self, ctx: &mut Context<'_>, from: NodeId, msg: Message) {
         self.upsilon.insert(from);
         self.lmax

@@ -194,6 +194,16 @@ impl Automaton for GradientNode {
         ctx.set_timer(self.params.delta_h, TimerKind::Tick);
     }
 
+    // Crash/restart with state loss: parameters and edge weights are
+    // configuration, every clock and neighbor variable resets to the
+    // time-0 state of [`GradientNode::new`].
+    fn reboot(&self) -> Self {
+        GradientNode {
+            weights: self.weights.clone(),
+            ..Self::new(self.params)
+        }
+    }
+
     // Lines 15–24 of Algorithm 2.
     fn on_receive(&mut self, ctx: &mut Context<'_>, from: NodeId, msg: Message) {
         let hw = ctx.hw;

@@ -3,10 +3,11 @@
 
 use gcs_clocks::time::at;
 use gcs_clocks::DriftModel;
+use gcs_clocks::ScheduleDrift;
 use gcs_core::baseline::MaxSyncNode;
 use gcs_core::{AlgoParams, BudgetPolicy, GradientNode, InvariantMonitor};
 use gcs_net::schedule::add_at;
-use gcs_net::{churn, generators, node, Edge, TopologySchedule};
+use gcs_net::{churn, generators, node, Edge, ScheduleSource, TopologySchedule};
 use gcs_sim::{DelayStrategy, ModelParams, SimBuilder, Simulator};
 
 fn model() -> ModelParams {
@@ -51,8 +52,8 @@ fn static_path_respects_all_invariants() {
     let n = 16;
     let params = AlgoParams::with_minimal_b0(model(), n, 0.5);
     let schedule = TopologySchedule::static_graph(n, generators::path(n));
-    let mut sim = SimBuilder::new(model(), schedule)
-        .drift(DriftModel::SplitExtremes, 400.0)
+    let mut sim = SimBuilder::topology(model(), ScheduleSource::new(schedule))
+        .drift_model(DriftModel::SplitExtremes, 400.0)
         .delay(DelayStrategy::Max)
         .build_with(|_| GradientNode::new(params));
     let monitor = run_checked(&mut sim, params, 400.0, 1.0);
@@ -66,8 +67,8 @@ fn stable_edges_settle_below_dynamic_local_skew_bound() {
     let params = AlgoParams::with_minimal_b0(model(), n, 0.5);
     let schedule = TopologySchedule::static_graph(n, generators::path(n));
     let horizon = 3.0 * (params.w() + params.delta_t() + params.model.d) + 50.0;
-    let mut sim = SimBuilder::new(model(), schedule)
-        .drift(DriftModel::SplitExtremes, horizon)
+    let mut sim = SimBuilder::topology(model(), ScheduleSource::new(schedule))
+        .drift_model(DriftModel::SplitExtremes, horizon)
         .delay(DelayStrategy::Max)
         .build_with(|_| GradientNode::new(params));
     sim.run_until(at(horizon));
@@ -90,8 +91,8 @@ fn ring_with_random_drift_and_delays_is_clean() {
     let n = 12;
     let params = AlgoParams::with_minimal_b0(model(), n, 0.5);
     let schedule = TopologySchedule::static_graph(n, generators::ring(n));
-    let mut sim = SimBuilder::new(model(), schedule)
-        .drift(DriftModel::RandomWalk { step: 5.0 }, 300.0)
+    let mut sim = SimBuilder::topology(model(), ScheduleSource::new(schedule))
+        .drift_model(DriftModel::RandomWalk { step: 5.0 }, 300.0)
         .delay(DelayStrategy::Uniform { lo: 0.0, hi: 1.0 })
         .seed(17)
         .build_with(|_| GradientNode::new(params));
@@ -111,8 +112,8 @@ fn rotating_star_churn_is_clean() {
         gcs_clocks::Duration::new(3.0),
         at(300.0)
     ));
-    let mut sim = SimBuilder::new(model(), schedule)
-        .drift(DriftModel::SplitExtremes, 300.0)
+    let mut sim = SimBuilder::topology(model(), ScheduleSource::new(schedule))
+        .drift_model(DriftModel::SplitExtremes, 300.0)
         .delay(DelayStrategy::Uniform { lo: 0.0, hi: 1.0 })
         .seed(5)
         .build_with(|_| GradientNode::new(params));
@@ -125,8 +126,8 @@ fn staggered_ring_churn_is_clean() {
     let n = 10;
     let params = AlgoParams::with_minimal_b0(model(), n, 0.5);
     let schedule = churn::staggered_ring(n, 8.0, 2.0, 5.0, 250.0);
-    let mut sim = SimBuilder::new(model(), schedule)
-        .drift(DriftModel::Alternating { period: 20.0 }, 250.0)
+    let mut sim = SimBuilder::topology(model(), ScheduleSource::new(schedule))
+        .drift_model(DriftModel::Alternating { period: 20.0 }, 250.0)
         .delay(DelayStrategy::Max)
         .build_with(|_| GradientNode::new(params));
     let monitor = run_checked(&mut sim, params, 250.0, 1.0);
@@ -144,8 +145,8 @@ fn new_bridge_edge_skew_decays_without_disturbing_old_edges() {
     let schedule = TopologySchedule::static_graph(n, generators::path(n))
         .with_extra_events(vec![add_at(t_bridge, bridge)]);
     let horizon = t_bridge + 3.0 * params.w() + 100.0;
-    let mut sim = SimBuilder::new(model(), schedule)
-        .drift(DriftModel::SplitExtremes, horizon)
+    let mut sim = SimBuilder::topology(model(), ScheduleSource::new(schedule))
+        .drift_model(DriftModel::SplitExtremes, horizon)
         .delay(DelayStrategy::Max)
         .build_with(|_| GradientNode::new(params));
 
@@ -190,8 +191,8 @@ fn new_bridge_edge_skew_decays_without_disturbing_old_edges() {
 fn max_sync_baseline_keeps_small_global_skew() {
     let n = 16;
     let schedule = TopologySchedule::static_graph(n, generators::path(n));
-    let mut sim = SimBuilder::new(model(), schedule)
-        .drift(DriftModel::SplitExtremes, 300.0)
+    let mut sim = SimBuilder::topology(model(), ScheduleSource::new(schedule))
+        .drift_model(DriftModel::SplitExtremes, 300.0)
         .delay(DelayStrategy::Max)
         .build_with(|_| MaxSyncNode::new(0.5));
     sim.run_until(at(300.0));
@@ -238,8 +239,8 @@ fn constant_budget_baseline_drags_cluster_behind_lmax() {
             .collect();
         let schedule = TopologySchedule::static_graph(n, cluster_edges())
             .with_extra_events(vec![add_at(t_bridge, bridge)]);
-        let mut sim = SimBuilder::new(model, schedule)
-            .clocks(clocks)
+        let mut sim = SimBuilder::topology(model, ScheduleSource::new(schedule))
+            .drift(ScheduleDrift::new(clocks))
             .delay(DelayStrategy::Max)
             .build_with(|_| GradientNode::new(params));
         sim.run_until(at(t_bridge));
@@ -274,8 +275,8 @@ fn gradient_runs_are_deterministic() {
     let params = AlgoParams::with_minimal_b0(model(), n, 0.5);
     let run = || {
         let schedule = TopologySchedule::static_graph(n, generators::ring(n));
-        let mut sim = SimBuilder::new(model(), schedule)
-            .drift(DriftModel::RandomWalk { step: 4.0 }, 120.0)
+        let mut sim = SimBuilder::topology(model(), ScheduleSource::new(schedule))
+            .drift_model(DriftModel::RandomWalk { step: 4.0 }, 120.0)
             .delay(DelayStrategy::Uniform { lo: 0.0, hi: 1.0 })
             .seed(99)
             .build_with(|_| GradientNode::new(params));
@@ -294,8 +295,8 @@ fn logical_clocks_progress_at_least_half_rate() {
     let n = 8;
     let params = AlgoParams::with_minimal_b0(model(), n, 0.5);
     let schedule = churn::rotating_star(n, 12.0, 5.0, 200.0);
-    let mut sim = SimBuilder::new(model(), schedule)
-        .drift(DriftModel::SplitExtremes, 200.0)
+    let mut sim = SimBuilder::topology(model(), ScheduleSource::new(schedule))
+        .drift_model(DriftModel::SplitExtremes, 200.0)
         .delay(DelayStrategy::Max)
         .build_with(|_| GradientNode::new(params));
     sim.run_until(at(100.0));

@@ -11,9 +11,10 @@
 
 use gcs_clocks::time::at;
 use gcs_clocks::HardwareClock;
+use gcs_clocks::ScheduleDrift;
 use gcs_core::{AlgoParams, GradientNode};
 use gcs_net::schedule::add_at;
-use gcs_net::{node, Edge, NodeId, TopologySchedule};
+use gcs_net::{node, Edge, NodeId, ScheduleSource, TopologySchedule};
 use gcs_sim::{DelayStrategy, ModelParams, SimBuilder};
 use std::collections::BTreeMap;
 
@@ -43,8 +44,8 @@ fn run_merge_with_weight(w: f64) -> (f64, f64) {
         }
         m
     };
-    let mut sim = SimBuilder::new(model, schedule)
-        .clocks(clocks)
+    let mut sim = SimBuilder::topology(model, ScheduleSource::new(schedule))
+        .drift(ScheduleDrift::new(clocks))
         .delay(DelayStrategy::Max)
         .build_with(|i| GradientNode::with_weights(params, weights_for(i)));
     sim.run_until(at(t_bridge));
@@ -96,8 +97,8 @@ fn unit_weights_reproduce_plain_algorithm() {
     let params = AlgoParams::with_minimal_b0(model, n, 0.5);
     let run = |weighted: bool| {
         let schedule = TopologySchedule::static_graph(n, gcs_net::generators::ring(n));
-        let mut sim = SimBuilder::new(model, schedule)
-            .drift(gcs_clocks::DriftModel::SplitExtremes, 100.0)
+        let mut sim = SimBuilder::topology(model, ScheduleSource::new(schedule))
+            .drift_model(gcs_clocks::DriftModel::SplitExtremes, 100.0)
             .delay(DelayStrategy::Max)
             .build_with(|i| {
                 if weighted {

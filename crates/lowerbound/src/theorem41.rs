@@ -159,7 +159,9 @@ impl Theorem41Scenario {
 mod tests {
     use super::*;
     use gcs_clocks::time::at;
+    use gcs_clocks::ScheduleDrift;
     use gcs_core::{AlgoParams, GradientNode};
+    use gcs_net::ScheduleSource;
     use gcs_sim::{ModelParams, SimBuilder};
 
     const RHO: f64 = 0.01;
@@ -209,8 +211,8 @@ mod tests {
         let sc = Theorem41Scenario::new(n, 2.0, RHO, T);
         let model = ModelParams::new(RHO, T, 2.0);
         let params = AlgoParams::with_minimal_b0(model, n, 0.5);
-        let mut sim = SimBuilder::new(model, sc.schedule())
-            .clocks(sc.beta_clocks())
+        let mut sim = SimBuilder::topology(model, ScheduleSource::new(sc.schedule()))
+            .drift(ScheduleDrift::new(sc.beta_clocks()))
             .delay(sc.beta_delays())
             .build_with(|_| GradientNode::new(params));
         let t2 = sc.ready_time() + 10.0;
@@ -231,8 +233,8 @@ mod tests {
         let sc = Theorem41Scenario::new(n, 2.0, RHO, T);
         let model = ModelParams::new(RHO, T, 2.0);
         let params = AlgoParams::with_minimal_b0(model, n, 0.5);
-        let mut sim = SimBuilder::new(model, sc.schedule())
-            .clocks(sc.alpha_clocks())
+        let mut sim = SimBuilder::topology(model, ScheduleSource::new(sc.schedule()))
+            .drift(ScheduleDrift::new(sc.alpha_clocks()))
             .delay(sc.alpha_delays())
             .build_with(|_| GradientNode::new(params));
         sim.run_until(at(sc.ready_time() + 10.0));

@@ -28,6 +28,9 @@
 //!   schedules,
 //! * [`workloads`] — lazy dynamic-workload families: random-waypoint
 //!   mobility, periodic partition-and-heal, flash-crowd join/leave waves,
+//! * [`adversary`] — worst-case chord attacks on a path
+//!   ([`AdversarialChurnSource`]) and a deterministic greedy search over
+//!   attack placement/timing, the empirical companion to Theorem 4.1,
 //! * [`connectivity`] — instantaneous and T-interval connectivity checks,
 //! * [`distance`] — BFS distances, eccentricity, diameter.
 //!
@@ -53,6 +56,7 @@
 //! assert!(schedule.exists_throughout(Edge::between(1, 2), at(5.0), at(100.0)));
 //! ```
 
+pub mod adversary;
 pub mod churn;
 pub mod connectivity;
 pub mod distance;
@@ -63,6 +67,7 @@ pub mod schedule;
 pub mod source;
 pub mod workloads;
 
+pub use adversary::{greedy_worst_case, AdversarialChurnSource, BridgeAttack};
 pub use dynamic::DynamicGraph;
 pub use ids::{node, Edge, NodeId};
 pub use schedule::{TopologyEvent, TopologyEventKind, TopologySchedule};

@@ -181,6 +181,21 @@ pub trait Automaton: Send {
     fn max_estimate(&self, hw: f64) -> f64 {
         self.logical_clock(hw)
     }
+
+    /// A freshly initialized replacement for this node, used by the fault
+    /// plane ([`crate::fault`]) to apply a crash/restart **with state
+    /// loss**: the returned instance must be exactly what the builder's
+    /// `make_node` would have produced at time 0 — configuration
+    /// (parameters, weights) may be retained, clock-valued and neighbor
+    /// state must not. `on_start` runs on the replacement at the restart
+    /// instant. The default panics; protocols opt into restart faults by
+    /// implementing it.
+    fn reboot(&self) -> Self
+    where
+        Self: Sized,
+    {
+        unimplemented!("this Automaton does not support crash/restart faults")
+    }
 }
 
 #[cfg(test)]

@@ -39,6 +39,7 @@ use crate::automaton::{Action, Automaton, Context};
 use crate::delay::DelayStrategy;
 use crate::engine::DiscoveryDelay;
 use crate::event::{EventPayload, LinkChange, LinkChangeKind, QueuedEvent};
+use crate::fault::FaultState;
 use crate::model::ModelParams;
 use crate::shard::{lazy_rng, EdgeStore, Shard};
 use gcs_clocks::{DriftCursor, DriftSource, Time};
@@ -74,6 +75,9 @@ pub(crate) struct DispatchCtx<'a> {
     pub drift: &'a dyn DriftSource,
     pub delay: &'a DelayStrategy,
     pub discovery: &'a DiscoveryDelay,
+    /// Accumulated fault state (crashed set, loss/delay windows, drift
+    /// warp) — written only at fault barriers, read by every worker.
+    pub faults: &'a FaultState,
     pub params: ModelParams,
     pub now: Time,
     /// Simulation seed (lazy per-node streams key off it).
@@ -93,8 +97,8 @@ impl DispatchCtx<'_> {
             EventPayload::Deliver { to, .. } => *to,
             EventPayload::Alarm { node, .. } => *node,
             EventPayload::Discover { node, .. } => *node,
-            EventPayload::Topology { .. } => {
-                unreachable!("topology events are barriers, not dispatched")
+            EventPayload::Topology { .. } | EventPayload::Fault { .. } => {
+                unreachable!("topology and fault events are barriers, not dispatched")
             }
         }
     }
@@ -198,6 +202,18 @@ pub(crate) fn run_event<A: Automaton>(
     ev: &QueuedEvent,
 ) {
     let local = owner.index() / ctx.shard_count;
+    // A crashed node executes nothing: deliveries to it vanish (the edge
+    // is up, so the sender is *not* notified — unlike a removal, a crash
+    // is silent), its alarms and discoveries are suppressed. Watermarks
+    // are left untouched so a restarted node re-learns its edges through
+    // the fresh discoveries the restart schedules.
+    if ctx.faults.is_crashed(owner) {
+        match ev.payload {
+            EventPayload::Deliver { .. } => shard.stats.dropped_crashed += 1,
+            _ => shard.stats.suppressed_crashed += 1,
+        }
+        return;
+    }
     shard.table.ensure(local);
     match ev.payload {
         EventPayload::Deliver {
@@ -262,8 +278,8 @@ pub(crate) fn run_event<A: Automaton>(
                 a.on_discover(c, change)
             });
         }
-        EventPayload::Topology { .. } => {
-            unreachable!("topology events are applied serially between segments")
+        EventPayload::Topology { .. } | EventPayload::Fault { .. } => {
+            unreachable!("barrier events are applied serially between segments")
         }
     }
 }
@@ -296,7 +312,7 @@ pub(crate) fn run_handler<A: Automaton>(
     // every clock reads exactly 0, so `on_start` dispatch touches no
     // table slot — a node whose start handler does nothing never
     // materializes any engine state at all.
-    let hw = if ctx.now == Time::ZERO {
+    let base = if ctx.now == Time::ZERO {
         0.0
     } else {
         table.ensure(local);
@@ -306,6 +322,14 @@ pub(crate) fn run_handler<A: Automaton>(
         }
         table.hw[local]
     };
+    // The *observed* reading adds any drift-excursion warp. The memo and
+    // the cursor stay on the base plane — warp is a pure function of
+    // `(node, now)` given the applied faults, so re-adding it at every
+    // observation point keeps all paths (handlers, `Simulator::hardware`,
+    // later instants) consistent. Exactly 0.0 on clean runs, so fault-free
+    // traces are bit-identical to builds without a fault plane.
+    let warp = ctx.faults.hw_warp(u, ctx.now);
+    let hw = if warp != 0.0 { base + warp } else { base };
     actions.clear();
     // The RNG slot rides outside the table during the handler so a
     // not-yet-materialized node only claims its slots if the handler
@@ -333,19 +357,34 @@ pub(crate) fn run_handler<A: Automaton>(
             Action::Send { to, msg } => {
                 stats.messages_sent += 1;
                 let edge = Edge::new(u, to);
+                // An open loss window swallows the send silently: no
+                // delivery, no sender notification — unlike a removed
+                // edge, the window is invisible to the protocol.
+                if ctx.faults.drops(ctx.now, edge) {
+                    stats.dropped_fault_window += 1;
+                    k += 1;
+                    continue;
+                }
                 let state = ctx.edges.find(edge);
                 if state.map(|e| e.live).unwrap_or(false) {
                     let epoch = state.expect("live edge has an entry").epoch;
-                    // The node's stream materializes only for
-                    // strategies that actually draw.
-                    let d = sample_with_rng(
-                        ctx.delay.draws(),
-                        &mut table.rng[local],
-                        scratch_rng,
-                        ctx.seed,
-                        u.index(),
-                        |rng| ctx.delay.delay(edge, u, ctx.now, ctx.params.t, rng),
-                    );
+                    // A delay spike overrides the strategy (and skips its
+                    // draw — spike windows are deterministic, so this is
+                    // thread-count invariant); otherwise the node's stream
+                    // materializes only for strategies that actually draw.
+                    let d = if let Some(spike) = ctx.faults.delay_override(ctx.now) {
+                        stats.delay_spiked += 1;
+                        spike
+                    } else {
+                        sample_with_rng(
+                            ctx.delay.draws(),
+                            &mut table.rng[local],
+                            scratch_rng,
+                            ctx.seed,
+                            u.index(),
+                            |rng| ctx.delay.delay(edge, u, ctx.now, ctx.params.t, rng),
+                        )
+                    };
                     let mut deliver_at = ctx.now + gcs_clocks::Duration::new(d);
                     // FIFO per directed link: never deliver before an
                     // earlier message.

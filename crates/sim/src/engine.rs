@@ -80,6 +80,7 @@ use crate::automaton::Automaton;
 use crate::delay::DelayStrategy;
 use crate::dispatch::{self, DispatchCtx, Effect, PAR_MIN_EVENTS};
 use crate::event::{EventPayload, LinkChange, LinkChangeKind, QueuedEvent};
+use crate::fault::{FaultEvent, FaultKind, FaultSource, FaultState};
 use crate::model::ModelParams;
 use crate::shard::{EdgeStore, Shards};
 use crate::stats::SimStats;
@@ -182,6 +183,12 @@ impl DiscoveryDelay {
     }
 }
 
+/// Domain-separation salt for restart-rediscovery latency streams: a
+/// rebooted node re-learns a live edge under the edge's last applied add
+/// version, and the latency draw must not collide with the draw the
+/// original discovery of that `(edge, version, endpoint)` already made.
+const RESTART_DISCOVERY_SALT: u64 = 0x94D0_49BB_1331_11EB;
+
 /// Decorrelated one-shot stream seed for scheduled-discovery latencies.
 fn discovery_stream_seed(seed: u64, edge: Edge, version: u64, endpoint: NodeId) -> u64 {
     seed ^ 0xBB67_AE85_84CA_A73B
@@ -207,11 +214,26 @@ enum DriftSpec {
 }
 
 /// Builder for [`Simulator`].
+///
+/// The canonical surface is the **source-plane triple**: every input
+/// plane of the model is one pull-based stream —
+///
+/// * [`topology`](Self::topology) takes the edge stream (any
+///   [`TopologySource`]),
+/// * [`drift`](Self::drift) takes the clock plane (any [`DriftSource`];
+///   [`drift_model`](Self::drift_model) is the seed-deferred sugar for
+///   [`DriftModel`]s),
+/// * [`faults`](Self::faults) takes the fault plane (any
+///   [`FaultSource`]).
+///
+/// The pre-fault constructors (`new`, `from_source`, `clocks`,
+/// `drift_source`) survive as thin deprecated adapters over these forms.
 pub struct SimBuilder {
     params: ModelParams,
     source: Box<dyn TopologySource>,
     n: usize,
     drift: DriftSpec,
+    faults: Option<Box<dyn FaultSource>>,
     delay: DelayStrategy,
     discovery: DiscoveryDelay,
     seed: u64,
@@ -220,19 +242,20 @@ pub struct SimBuilder {
 }
 
 impl SimBuilder {
-    /// Starts a builder over an eagerly materialized schedule (adapted
-    /// through [`ScheduleSource`] — every simulation runs the streaming
-    /// pipeline). Defaults: perfect clocks, maximum delays, worst-case
-    /// (`= D`) discovery latency, seed 0, worker count from
-    /// [`THREADS_ENV`] (1 when unset), presence history off.
+    /// Starts a builder over an eagerly materialized schedule.
+    #[deprecated(note = "use SimBuilder::topology(params, ScheduleSource::new(schedule))")]
     pub fn new(params: ModelParams, schedule: TopologySchedule) -> Self {
-        Self::from_source(params, ScheduleSource::new(schedule))
+        Self::topology(params, ScheduleSource::new(schedule))
     }
 
-    /// Starts a builder over any lazily generated topology stream. This
-    /// is the scale path: peak memory stays independent of the total
-    /// churn-event count.
-    pub fn from_source(params: ModelParams, source: impl TopologySource + 'static) -> Self {
+    /// Starts a builder over a topology stream — the canonical
+    /// constructor. Eager [`TopologySchedule`]s adapt through
+    /// [`ScheduleSource`]; lazy sources keep peak memory independent of
+    /// the total churn-event count. Defaults: perfect clocks, no faults,
+    /// maximum delays, worst-case (`= D`) discovery latency, seed 0,
+    /// worker count from [`THREADS_ENV`] (1 when unset), presence
+    /// history off.
+    pub fn topology(params: ModelParams, source: impl TopologySource + 'static) -> Self {
         let n = source.n();
         SimBuilder {
             discovery: DiscoveryDelay::Constant(params.d),
@@ -240,6 +263,7 @@ impl SimBuilder {
             source: Box::new(source),
             n,
             drift: DriftSpec::Perfect,
+            faults: None,
             delay: DelayStrategy::Max,
             seed: 0,
             threads: None,
@@ -247,9 +271,14 @@ impl SimBuilder {
         }
     }
 
-    /// Uses explicit per-node hardware clocks, served through the eager
-    /// [`ScheduleDrift`] adapter (the `ScheduleSource` of the drift
-    /// plane) — every materialized construction keeps working unchanged.
+    /// Starts a builder over any lazily generated topology stream.
+    #[deprecated(note = "renamed to SimBuilder::topology")]
+    pub fn from_source(params: ModelParams, source: impl TopologySource + 'static) -> Self {
+        Self::topology(params, source)
+    }
+
+    /// Uses explicit per-node hardware clocks.
+    #[deprecated(note = "use .drift(ScheduleDrift::new(clocks))")]
     pub fn clocks(mut self, clocks: Vec<HardwareClock>) -> Self {
         assert_eq!(
             clocks.len(),
@@ -262,6 +291,16 @@ impl SimBuilder {
         self
     }
 
+    /// Uses a caller-supplied drift plane (any [`DriftSource`]) — the
+    /// canonical clock input, mirroring [`topology`](Self::topology).
+    /// Eager per-node [`HardwareClock`]s adapt through [`ScheduleDrift`];
+    /// [`DriftModel`]s through [`drift_model`](Self::drift_model) (which
+    /// defers seeding to build time — prefer it for models).
+    pub fn drift(mut self, source: impl DriftSource + 'static) -> Self {
+        self.drift = DriftSpec::Source(Box::new(source));
+        self
+    }
+
     /// Generates clocks from a drift model with rate changes confined to
     /// `[0, horizon]` (queries beyond continue the final rate — the
     /// deterministic-extension contract of [`DriftModel::build`]).
@@ -270,18 +309,31 @@ impl SimBuilder {
     /// node; each node's rates are generated on demand from its own
     /// keyed stream (a pure function of the builder's *final* seed and
     /// the node index, resolved at [`build_with`](Self::build_with) —
-    /// unlike the old eager builder, `.drift(..).seed(s)` and
-    /// `.seed(s).drift(..)` are equivalent). Drift streams are
-    /// domain-separated from delay/discovery streams.
-    pub fn drift(mut self, model: DriftModel, horizon: f64) -> Self {
+    /// `.drift_model(..).seed(s)` and `.seed(s).drift_model(..)` are
+    /// equivalent). Drift streams are domain-separated from
+    /// delay/discovery streams. This is the sugar form of
+    /// [`drift`](Self::drift) for models; it exists because a
+    /// [`ModelDrift`] built *here* would have to commit to a seed before
+    /// [`seed`](Self::seed) runs.
+    pub fn drift_model(mut self, model: DriftModel, horizon: f64) -> Self {
         self.drift = DriftSpec::Model { model, horizon };
         self
     }
 
-    /// Uses a caller-supplied drift plane (any [`DriftSource`]) — the
-    /// fully general lazy path.
+    /// Uses a caller-supplied drift plane.
+    #[deprecated(note = "renamed to SimBuilder::drift")]
     pub fn drift_source(mut self, source: impl DriftSource + 'static) -> Self {
         self.drift = DriftSpec::Source(Box::new(source));
+        self
+    }
+
+    /// Attaches a fault plane (any [`FaultSource`]): crash/restart,
+    /// message-loss and delay-spike windows, and drift excursions, pulled
+    /// lazily and applied as serial barriers in `(time, class, seq)`
+    /// order — see [`crate::fault`]. Without this call the engine skips
+    /// every fault check (clean runs pay nothing).
+    pub fn faults(mut self, source: impl FaultSource + 'static) -> Self {
+        self.faults = Some(Box::new(source));
         self
     }
 
@@ -394,12 +446,16 @@ impl SimBuilder {
             shards,
             edges,
             source: self.source,
+            fault_source: self.faults,
+            faults: FaultState::default(),
             delay: self.delay,
             discovery: self.discovery,
             seed: self.seed,
             now: Time::ZERO,
             stats: SimStats::default(),
             topo_backlog: 0,
+            fault_backlog: 0,
+            fault_pull_buf: Vec::new(),
             // Pull lookahead: one delay bound of simulated time per pull.
             // Messages in flight span up to T, so the wheel is touched a
             // handful of times per T anyway — pumping once per T adds no
@@ -448,6 +504,10 @@ pub struct Simulator<A: Automaton> {
     edges: EdgeStore,
     /// The topology stream; pulled incrementally by `pump_topology`.
     source: Box<dyn TopologySource>,
+    /// The fault stream, if any; pulled incrementally by `pump_faults`.
+    fault_source: Option<Box<dyn FaultSource>>,
+    /// Accumulated fault state, written only at fault barriers.
+    faults: FaultState,
     delay: DelayStrategy,
     discovery: DiscoveryDelay,
     /// Simulation seed (scheduled-discovery latency streams key off it).
@@ -456,6 +516,10 @@ pub struct Simulator<A: Automaton> {
     stats: SimStats,
     /// Topology events pulled but not yet applied.
     topo_backlog: u64,
+    /// Fault events pulled but not yet applied.
+    fault_backlog: u64,
+    /// Scratch buffer for fault pulls.
+    fault_pull_buf: Vec<FaultEvent>,
     /// Lookahead window (seconds) pulled beyond the next due event.
     pull_chunk: f64,
     /// Scratch buffer for pulls.
@@ -519,8 +583,22 @@ impl<A: Automaton> Simulator<A> {
     /// reading when current, else the node's cursor (its segment when the
     /// query falls inside it, a cloned probe when it falls ahead), else a
     /// cold walk from time 0. All paths produce the identical bits the
-    /// hot path would.
+    /// hot path would. Observed readings include any drift-excursion warp
+    /// from the fault plane (exactly `0.0` when none applies).
     pub fn hardware(&self, u: NodeId) -> f64 {
+        let base = self.hardware_base(u);
+        let warp = self.faults.hw_warp(u, self.now);
+        if warp != 0.0 {
+            base + warp
+        } else {
+            base
+        }
+    }
+
+    /// The un-warped (base-plane) reading — what the drift plane alone
+    /// says. Memoized values are kept on this plane; warp is re-applied
+    /// per observation (see `dispatch::run_handler`).
+    fn hardware_base(&self, u: NodeId) -> f64 {
         let now = self.now;
         if now == Time::ZERO {
             return 0.0;
@@ -656,6 +734,45 @@ impl<A: Automaton> Simulator<A> {
         }
     }
 
+    /// Streams due faults into the wheel, mirroring
+    /// [`pump_topology`](Self::pump_topology): the fault plane is the
+    /// third input stream and obeys the identical pull discipline, so
+    /// fault pull timing is a function of the instant sequence alone.
+    /// Pumped *after* topology each round — each pump's exit guarantee
+    /// ("my stream's next event is later than the wheel's next pop") is
+    /// preserved by the other's pushes, which only move the wheel's next
+    /// pop earlier, never later than either exit threshold.
+    fn pump_faults(&mut self) {
+        if self.fault_source.is_none() {
+            return;
+        }
+        loop {
+            let Some(ts) = self.fault_source.as_mut().and_then(|s| s.peek_time()) else {
+                return;
+            };
+            if let Some(wheel_next) = self.queue.peek_time() {
+                if ts > wheel_next {
+                    return;
+                }
+            }
+            let mut buf = std::mem::take(&mut self.fault_pull_buf);
+            buf.clear();
+            self.fault_source
+                .as_mut()
+                .expect("checked above")
+                .pull_until(ts + Duration::new(self.pull_chunk), &mut buf);
+            debug_assert!(!buf.is_empty(), "peek_time promised a fault at {ts:?}");
+            for ev in &buf {
+                debug_assert!(ev.time > Time::ZERO, "fault events occur after time 0");
+                self.queue
+                    .push(ev.time, EventPayload::Fault { kind: ev.kind });
+                self.stats.faults_pulled += 1;
+                self.fault_backlog += 1;
+            }
+            self.fault_pull_buf = buf;
+        }
+    }
+
     /// Assigns a pulled event its per-edge version and schedules it plus
     /// its two endpoint discoveries.
     fn schedule_topology(&mut self, ev: TopologyEvent) {
@@ -699,6 +816,7 @@ impl<A: Automaton> Simulator<A> {
         let mut round = std::mem::take(&mut self.round_buf);
         loop {
             self.pump_topology();
+            self.pump_faults();
             match self.queue.peek_time() {
                 Some(t) if t <= until => {}
                 _ => break,
@@ -734,6 +852,7 @@ impl<A: Automaton> Simulator<A> {
     /// canonical effect ordering.
     pub fn step(&mut self) -> bool {
         self.pump_topology();
+        self.pump_faults();
         let Some(ev) = self.queue.pop() else {
             return false;
         };
@@ -746,6 +865,7 @@ impl<A: Automaton> Simulator<A> {
                 edge,
                 version,
             } => self.apply_topology(kind, edge, version),
+            EventPayload::Fault { kind } => self.apply_fault(kind, ev.seq),
             _ => {
                 let owner = DispatchCtx::owner(&ev.payload);
                 let (ctx, shards) = self.split_dispatch();
@@ -757,24 +877,39 @@ impl<A: Automaton> Simulator<A> {
         true
     }
 
-    /// One instant: split into segments at topology barriers, dispatch each
-    /// segment sharded by owner, merge effects canonically after each.
+    /// One instant: split into segments at topology and fault barriers,
+    /// dispatch each segment sharded by owner, merge effects canonically
+    /// after each. Class ranks order each instant as topology changes,
+    /// then faults, then protocol events, so a fault observes the
+    /// topology of its instant and protocol events observe the faults.
     fn run_round(&mut self, round: &[QueuedEvent]) {
         let mut i = 0;
         while i < round.len() {
-            if let EventPayload::Topology {
-                kind,
-                edge,
-                version,
-            } = round[i].payload
-            {
-                self.apply_topology(kind, edge, version);
-                i += 1;
-                continue;
+            match round[i].payload {
+                EventPayload::Topology {
+                    kind,
+                    edge,
+                    version,
+                } => {
+                    self.apply_topology(kind, edge, version);
+                    i += 1;
+                    continue;
+                }
+                EventPayload::Fault { kind } => {
+                    self.apply_fault(kind, round[i].seq);
+                    i += 1;
+                    continue;
+                }
+                _ => {}
             }
             let end = i + round[i..]
                 .iter()
-                .position(|ev| matches!(ev.payload, EventPayload::Topology { .. }))
+                .position(|ev| {
+                    matches!(
+                        ev.payload,
+                        EventPayload::Topology { .. } | EventPayload::Fault { .. }
+                    )
+                })
                 .unwrap_or(round.len() - i);
             self.run_segment(&round[i..end]);
             i = end;
@@ -831,6 +966,7 @@ impl<A: Automaton> Simulator<A> {
             drift: &*self.drift,
             delay: &self.delay,
             discovery: &self.discovery,
+            faults: &self.faults,
             params: self.params,
             now: self.now,
             seed: self.seed,
@@ -868,6 +1004,109 @@ impl<A: Automaton> Simulator<A> {
         self.effects_buf = buf;
     }
 
+    /// Applies one fault injection as a serial barrier. `seq` is the
+    /// fault event's queue sequence number; a restart's `on_start` effects
+    /// are tagged with it, keeping the canonical merge order.
+    fn apply_fault(&mut self, kind: FaultKind, seq: u64) {
+        self.stats.faults_applied += 1;
+        self.fault_backlog -= 1;
+        let now = self.now;
+        // Prune closed windows here — a trace-deterministic point — so
+        // the lists workers scan stay short under sustained injection.
+        self.faults.prune(now);
+        match kind {
+            FaultKind::Crash { node } => {
+                assert!(node.index() < self.n, "crash of unknown node {node:?}");
+                if self.faults.crash(node) {
+                    self.stats.crashes += 1;
+                    // All armed timers go stale; entries stay so post-
+                    // restart arms never alias in-flight generations.
+                    let s = self.shards.shard_of(node);
+                    let local = node.index() / self.shards.count();
+                    let table = &mut self.shards.shards[s].table;
+                    if local < table.watermark() {
+                        table.timers[local].cancel_all();
+                    }
+                }
+            }
+            FaultKind::Restart { node } => {
+                assert!(node.index() < self.n, "restart of unknown node {node:?}");
+                self.faults.restart(node);
+                self.stats.restarts += 1;
+                let shard_count = self.shards.count();
+                let s = self.shards.shard_of(node);
+                let local = node.index() / shard_count;
+                // State loss: the automaton is replaced by a time-0-fresh
+                // instance. Engine-side protocol state (timers, discovery
+                // watermarks) resets with it; the hardware clock, drift
+                // cursor, RNG stream and FIFO horizons survive — they
+                // model the oscillator, the environment's randomness and
+                // the link discipline, not protocol state.
+                let fresh = self.shards.shards[s].nodes[local].reboot();
+                self.shards.shards[s].nodes[local] = fresh;
+                let table = &mut self.shards.shards[s].table;
+                if local < table.watermark() {
+                    table.timers[local].cancel_all();
+                    for p in table.peers[local].iter_mut() {
+                        p.discovered_version = 0;
+                    }
+                }
+                // `on_start` runs at the restart instant, its effects
+                // merged under the fault's sequence number.
+                let (ctx, shards) = self.split_dispatch();
+                dispatch::run_handler(&ctx, &mut shards.shards[s], node, local, seq, |a, c| {
+                    a.on_start(c)
+                });
+                self.merge_effects();
+                // The rebooted node rediscovers its currently-live edges
+                // within D, under each edge's last *applied* add version
+                // (stale-suppression then still admits any newer change).
+                let mut neighbors: Vec<NodeId> = self.graph.neighbors(node).collect();
+                neighbors.sort_unstable();
+                for v in neighbors {
+                    let edge = Edge::new(node, v);
+                    let version = self
+                        .edges
+                        .find(edge)
+                        .map(|e| e.last_add_version)
+                        .unwrap_or(1);
+                    let lat = self.discovery.scheduled_latency(
+                        self.params.d,
+                        self.seed ^ RESTART_DISCOVERY_SALT,
+                        edge,
+                        version,
+                        node,
+                    );
+                    self.queue.push(
+                        now + Duration::new(lat),
+                        EventPayload::Discover {
+                            node,
+                            change: LinkChange {
+                                kind: LinkChangeKind::Added,
+                                edge,
+                            },
+                            version,
+                        },
+                    );
+                }
+            }
+            FaultKind::DropWindow { edge, duration } => {
+                self.faults.open_drop(now, duration, edge);
+            }
+            FaultKind::DelaySpike { delay, duration } => {
+                self.faults.open_delay(now, duration, delay);
+            }
+            FaultKind::DriftExcursion {
+                node,
+                rate_delta,
+                duration,
+            } => {
+                assert!(node.index() < self.n, "excursion at unknown node {node:?}");
+                self.faults.open_excursion(node, now, duration, rate_delta);
+            }
+        }
+    }
+
     fn apply_topology(&mut self, kind: LinkChangeKind, edge: Edge, version: u64) {
         self.stats.topology_events += 1;
         self.topo_backlog -= 1;
@@ -877,6 +1116,7 @@ impl<A: Automaton> Simulator<A> {
             LinkChangeKind::Added => {
                 entry.epoch += 1;
                 entry.live = true;
+                entry.last_add_version = version;
                 self.graph.add_edge(edge, now);
             }
             LinkChangeKind::Removed => {

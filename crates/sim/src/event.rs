@@ -88,6 +88,14 @@ pub enum EventPayload {
         /// (older than something already delivered) are skipped.
         version: u64,
     },
+    /// A fault injection (from the fault plane). Like topology changes,
+    /// faults are serial barriers: they mutate global engine state
+    /// (crashed set, loss/delay windows, drift warp) that every worker
+    /// reads, so they split the instant into segments.
+    Fault {
+        /// The injection.
+        kind: crate::fault::FaultKind,
+    },
 }
 
 impl EventPayload {
@@ -98,12 +106,16 @@ impl EventPayload {
     /// with the schedule now *pulled* lazily, a topology event can be
     /// pushed long after a same-instant delivery, so insertion order alone
     /// can no longer guarantee changes apply before deliveries observe
-    /// them.
+    /// them. `Fault` events rank between the two: a fault at `t` observes
+    /// the topology of `t` (a crash at the instant an edge appears crashes
+    /// a node that *has* that edge) and takes effect before any protocol
+    /// event at `t` (a message delivered at the crash instant is lost).
     #[inline]
     pub fn class_rank(&self) -> u8 {
         match self {
             EventPayload::Topology { .. } => 0,
-            _ => 1,
+            EventPayload::Fault { .. } => 1,
+            _ => 2,
         }
     }
 }

@@ -22,15 +22,18 @@
 //! event-handler style in which Algorithm 2 is written.
 //!
 //! Determinism: a simulation is a pure function of (model parameters,
-//! topology stream, drift plane, delay strategy, seed) — and of
-//! *nothing else*. Topology streams from a lazily pulled
+//! topology stream, drift plane, fault stream, delay strategy, seed) —
+//! and of *nothing else*. Topology streams from a lazily pulled
 //! `gcs_net::TopologySource` (eager `TopologySchedule`s are adapted
-//! automatically), so peak memory is independent of the total
+//! through `ScheduleSource`), so peak memory is independent of the total
 //! churn-event count; hardware rates stream the same way from a
 //! [`gcs_clocks::DriftSource`] (eager clocks are adapted through
 //! `ScheduleDrift`), so per-node drift state is an O(1) cursor for
 //! touched nodes — bit-identical to the materialized schedules, pinned
-//! by `crates/bench/tests/lazy_drift.rs`. In particular the worker count
+//! by `crates/bench/tests/lazy_drift.rs`. Faults (crash/restart,
+//! loss/delay windows, drift excursions) stream from a [`FaultSource`]
+//! under the identical pull contract and apply as serial barriers in the
+//! canonical event order — see [`fault`]. In particular the worker count
 //! ([`SimBuilder::threads`], default from the `GCS_SIM_THREADS`
 //! environment variable) never changes a trace: same-instant events to
 //! different nodes are dispatched across scoped worker threads sharded by
@@ -74,6 +77,7 @@ pub mod delay;
 mod dispatch;
 pub mod engine;
 pub mod event;
+pub mod fault;
 pub mod model;
 mod shard;
 pub mod stats;
@@ -83,6 +87,7 @@ pub use automaton::{Action, Automaton, Context};
 pub use delay::DelayStrategy;
 pub use engine::{DiscoveryDelay, SimBuilder, Simulator, THREADS_ENV};
 pub use event::{LinkChange, LinkChangeKind, Message, TimerKind};
+pub use fault::{CrashRestartSource, FaultEvent, FaultKind, FaultPlan, FaultSource};
 pub use model::ModelParams;
 pub use stats::SimStats;
 pub use wheel::TimeWheel;

@@ -59,6 +59,12 @@ pub(crate) struct EdgeShared {
     pub epoch: u64,
     /// Version of the most recent removal.
     pub last_remove_version: u64,
+    /// Version of the most recent *applied* add (1 for initial edges).
+    /// Restart rediscovery re-announces a live edge under this version —
+    /// never under `versions`, which may already name a pulled-but-
+    /// unapplied future change whose own discovery must not be
+    /// suppressed as stale.
+    pub last_add_version: u64,
     /// Monotone per-edge change-version counter: initial presence counts
     /// as version 1, every pulled topology event takes the next value.
     /// Assigned at pull time (stream order), carried by the `Topology`
@@ -73,6 +79,7 @@ impl EdgeShared {
             live: false,
             epoch: 0,
             last_remove_version: 0,
+            last_add_version: 0,
             versions: 0,
         }
     }
@@ -118,6 +125,7 @@ impl EdgeStore {
         entry.live = true;
         entry.epoch = 1;
         entry.versions = 1;
+        entry.last_add_version = 1;
     }
 
     /// Assigns the next change version of `edge` (creating the entry on
@@ -209,6 +217,17 @@ impl TimerSlots {
     pub fn disarm(&mut self, kind: TimerKind) {
         if let Ok(i) = self.v.binary_search_by_key(&kind, |e| e.0) {
             self.v.remove(i);
+        }
+    }
+
+    /// Crash support: bump *every* armed timer's generation so all
+    /// in-flight alarms go stale. Entries stay present (like
+    /// [`cancel`](Self::cancel)) — removing them would let a post-restart
+    /// `arm` restart at generation 1 and alias a pre-crash alarm still in
+    /// the wheel with the same generation.
+    pub fn cancel_all(&mut self) {
+        for e in &mut self.v {
+            e.1 = e.1.wrapping_add(1);
         }
     }
 }

@@ -33,6 +33,22 @@ pub struct SimStats {
     /// counts: pulls are driven by the instant sequence, which is part of
     /// the trace.
     pub peak_topology_backlog: u64,
+    /// Fault events pulled from the fault source into the wheel.
+    pub faults_pulled: u64,
+    /// Fault events applied (at their barrier).
+    pub faults_applied: u64,
+    /// Nodes newly crashed (double crashes are no-ops and not counted).
+    pub crashes: u64,
+    /// Node restarts applied (including in-place reboots of live nodes).
+    pub restarts: u64,
+    /// Deliveries lost because the destination was crashed.
+    pub dropped_crashed: u64,
+    /// Alarms and discoveries suppressed at crashed nodes.
+    pub suppressed_crashed: u64,
+    /// Sends lost to an open `DropWindow`.
+    pub dropped_fault_window: u64,
+    /// Sends whose delay was overridden by an open `DelaySpike`.
+    pub delay_spiked: u64,
 }
 
 impl SimStats {
@@ -52,11 +68,22 @@ impl SimStats {
         self.topology_events += other.topology_events;
         self.topology_pulled += other.topology_pulled;
         self.peak_topology_backlog = self.peak_topology_backlog.max(other.peak_topology_backlog);
+        self.faults_pulled += other.faults_pulled;
+        self.faults_applied += other.faults_applied;
+        self.crashes += other.crashes;
+        self.restarts += other.restarts;
+        self.dropped_crashed += other.dropped_crashed;
+        self.suppressed_crashed += other.suppressed_crashed;
+        self.dropped_fault_window += other.dropped_fault_window;
+        self.delay_spiked += other.delay_spiked;
     }
 
     /// Messages lost for any reason.
     pub fn total_dropped(&self) -> u64 {
-        self.dropped_no_edge + self.dropped_in_flight
+        self.dropped_no_edge
+            + self.dropped_in_flight
+            + self.dropped_crashed
+            + self.dropped_fault_window
     }
 
     /// Delivery ratio over attempted sends (1.0 when nothing was dropped).

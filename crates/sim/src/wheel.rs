@@ -451,7 +451,7 @@ mod tests {
         let order: Vec<u8> = std::iter::from_fn(|| w.pop())
             .map(|e| e.payload.class_rank())
             .collect();
-        assert_eq!(order, vec![0, 0, 1, 1]);
+        assert_eq!(order, vec![0, 0, 2, 2]);
     }
 
     #[test]

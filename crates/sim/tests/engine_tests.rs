@@ -5,9 +5,9 @@
 //! subjective timers — independently of the clock-sync algorithm itself.
 
 use gcs_clocks::time::at;
-use gcs_clocks::{DriftModel, HardwareClock, RateSchedule};
+use gcs_clocks::{DriftModel, HardwareClock, RateSchedule, ScheduleDrift};
 use gcs_net::schedule::{add_at, remove_at};
-use gcs_net::{generators, node, Edge, NodeId, TopologySchedule};
+use gcs_net::{generators, node, Edge, NodeId, ScheduleSource, TopologySchedule};
 use gcs_sim::engine::DiscoveryDelay;
 use gcs_sim::{
     Automaton, Context, DelayStrategy, LinkChange, LinkChangeKind, Message, ModelParams,
@@ -96,7 +96,7 @@ fn params() -> ModelParams {
 fn flood_converges_on_path() {
     let n = 8;
     let schedule = TopologySchedule::static_graph(n, generators::path(n));
-    let mut sim = SimBuilder::new(params(), schedule)
+    let mut sim = SimBuilder::topology(params(), ScheduleSource::new(schedule))
         .delay(DelayStrategy::Max)
         .build_with(|i| Flood::new(i as f64, 0.5));
     // Information needs ≤ (n-1) hops; each hop takes ≤ ΔH/(1-ρ) + T.
@@ -113,7 +113,8 @@ fn flood_converges_on_path() {
 #[test]
 fn initial_edges_discovered_at_time_zero() {
     let schedule = TopologySchedule::static_graph(3, generators::path(3));
-    let mut sim = SimBuilder::new(params(), schedule).build_with(|_| Flood::new(0.0, 0.5));
+    let mut sim = SimBuilder::topology(params(), ScheduleSource::new(schedule))
+        .build_with(|_| Flood::new(0.0, 0.5));
     sim.run_until(at(0.0));
     // Node 1 touches both initial edges.
     let d = &sim.node(node(1)).discoveries;
@@ -133,7 +134,7 @@ fn topology_changes_discovered_within_d() {
             remove_at(20.0, Edge::between(0, 1)),
         ],
     );
-    let mut sim = SimBuilder::new(params(), schedule)
+    let mut sim = SimBuilder::topology(params(), ScheduleSource::new(schedule))
         .discovery(DiscoveryDelay::Uniform { lo: 0.5, hi: 2.0 })
         .seed(3)
         .build_with(|_| Flood::new(0.0, 0.5));
@@ -166,7 +167,7 @@ fn messages_dropped_after_removal_notify_sender() {
         [Edge::between(0, 1)],
         vec![remove_at(10.0, Edge::between(0, 1))],
     );
-    let mut sim = SimBuilder::new(params(), schedule)
+    let mut sim = SimBuilder::topology(params(), ScheduleSource::new(schedule))
         .discovery(DiscoveryDelay::Constant(2.0))
         .build_with(|_| Flood::new(1.0, 0.5));
     sim.run_until(at(30.0));
@@ -192,7 +193,7 @@ fn in_flight_message_dropped_when_edge_dies() {
         [Edge::between(0, 1)],
         vec![remove_at(10.25, Edge::between(0, 1))],
     );
-    let mut sim = SimBuilder::new(params(), schedule)
+    let mut sim = SimBuilder::topology(params(), ScheduleSource::new(schedule))
         .delay(DelayStrategy::Max)
         .build_with(|_| Flood::new(1.0, 0.5));
     sim.run_until(at(15.0));
@@ -202,7 +203,7 @@ fn in_flight_message_dropped_when_edge_dies() {
 #[test]
 fn fifo_per_directed_link_under_random_delays() {
     let schedule = TopologySchedule::static_graph(2, [Edge::between(0, 1)]);
-    let mut sim = SimBuilder::new(params(), schedule)
+    let mut sim = SimBuilder::topology(params(), ScheduleSource::new(schedule))
         .delay(DelayStrategy::Uniform { lo: 0.0, hi: 1.0 })
         .seed(9)
         .build_with(|_| Flood::new(0.0, 0.05)); // fast ticks => many overlaps
@@ -225,8 +226,8 @@ fn delays_never_exceed_bound() {
     // arrive at exactly s + T. Verify arrival spacing is bounded by
     // ΔH/(1-ρ) + T (the ΔT of the paper).
     let schedule = TopologySchedule::static_graph(2, [Edge::between(0, 1)]);
-    let mut sim = SimBuilder::new(params(), schedule)
-        .drift(DriftModel::SplitExtremes, 100.0)
+    let mut sim = SimBuilder::topology(params(), ScheduleSource::new(schedule))
+        .drift_model(DriftModel::SplitExtremes, 100.0)
         .delay(DelayStrategy::Uniform { lo: 0.0, hi: 1.0 })
         .seed(4)
         .build_with(|_| Flood::new(0.0, 0.5));
@@ -254,9 +255,12 @@ fn subjective_timers_follow_hardware_rate() {
         HardwareClock::new(RateSchedule::constant(1.0 + rho), rho),
         HardwareClock::new(RateSchedule::constant(1.0 - rho), rho),
     ];
-    let mut sim = SimBuilder::new(ModelParams::new(rho, 1.0, 2.0), schedule)
-        .clocks(clocks)
-        .build_with(|_| Flood::new(0.0, 0.5));
+    let mut sim = SimBuilder::topology(
+        ModelParams::new(rho, 1.0, 2.0),
+        ScheduleSource::new(schedule),
+    )
+    .drift(ScheduleDrift::new(clocks))
+    .build_with(|_| Flood::new(0.0, 0.5));
     sim.run_until(at(1000.0));
     let fast = sim.node(node(0)).ticks as f64;
     let slow = sim.node(node(1)).ticks as f64;
@@ -272,8 +276,8 @@ fn subjective_timers_follow_hardware_rate() {
 fn runs_are_deterministic_per_seed() {
     let run = |seed: u64| {
         let schedule = TopologySchedule::static_graph(6, generators::ring(6));
-        let mut sim = SimBuilder::new(params(), schedule)
-            .drift(DriftModel::RandomWalk { step: 3.0 }, 60.0)
+        let mut sim = SimBuilder::topology(params(), ScheduleSource::new(schedule))
+            .drift_model(DriftModel::RandomWalk { step: 3.0 }, 60.0)
             .delay(DelayStrategy::Uniform { lo: 0.0, hi: 1.0 })
             .seed(seed)
             .build_with(|i| Flood::new(i as f64, 0.5));
@@ -301,7 +305,8 @@ fn runs_are_deterministic_per_seed() {
 #[test]
 fn run_until_is_idempotent_at_boundaries() {
     let schedule = TopologySchedule::static_graph(3, generators::path(3));
-    let mut sim = SimBuilder::new(params(), schedule).build_with(|i| Flood::new(i as f64, 0.5));
+    let mut sim = SimBuilder::topology(params(), ScheduleSource::new(schedule))
+        .build_with(|i| Flood::new(i as f64, 0.5));
     sim.run_until(at(5.0));
     let snap1 = sim.logical_snapshot();
     sim.run_until(at(5.0));
@@ -312,7 +317,7 @@ fn run_until_is_idempotent_at_boundaries() {
 fn stepwise_equals_batch_advance() {
     let build = || {
         let schedule = TopologySchedule::static_graph(4, generators::ring(4));
-        SimBuilder::new(params(), schedule)
+        SimBuilder::topology(params(), ScheduleSource::new(schedule))
             .delay(DelayStrategy::Uniform { lo: 0.0, hi: 1.0 })
             .seed(7)
             .build_with(|i| Flood::new(i as f64, 0.5))
@@ -337,7 +342,7 @@ fn transient_change_may_be_skipped() {
     // coherent (the edge is up).
     let e = Edge::between(0, 1);
     let schedule = TopologySchedule::new(2, [e], vec![remove_at(10.0, e), add_at(10.5, e)]);
-    let mut sim = SimBuilder::new(params(), schedule)
+    let mut sim = SimBuilder::topology(params(), ScheduleSource::new(schedule))
         .discovery(DiscoveryDelay::Uniform { lo: 0.2, hi: 2.0 })
         .seed(12)
         .build_with(|_| Flood::new(1.0, 0.5));
@@ -375,8 +380,8 @@ fn untouched_nodes_cost_zero_drift_and_node_state() {
     }
     let n = 64;
     let schedule = TopologySchedule::static_graph(n, []);
-    let mut sim = SimBuilder::new(params(), schedule)
-        .drift(DriftModel::RandomWalk { step: 1.0 }, 50.0)
+    let mut sim = SimBuilder::topology(params(), ScheduleSource::new(schedule))
+        .drift_model(DriftModel::RandomWalk { step: 1.0 }, 50.0)
         .build_with(|i| TickOnly { active: i == 0 });
     sim.run_until(at(50.0));
     assert!(sim.stats().alarms_fired > 10);
@@ -397,9 +402,12 @@ fn untouched_nodes_cost_zero_drift_and_node_state() {
     assert!(hw_tail > 0.0);
     // Explicit eager clocks keep the plane stateless: no cursors at all.
     let clocks = vec![HardwareClock::perfect(0.01); 4];
-    let mut eager = SimBuilder::new(params(), TopologySchedule::static_graph(4, []))
-        .clocks(clocks)
-        .build_with(|_| TickOnly { active: true });
+    let mut eager = SimBuilder::topology(
+        params(),
+        ScheduleSource::new(TopologySchedule::static_graph(4, [])),
+    )
+    .drift(ScheduleDrift::new(clocks))
+    .build_with(|_| TickOnly { active: true });
     eager.run_until(at(20.0));
     assert_eq!(eager.drift_cursors(), 0, "eager adapters keep no cursors");
 }
@@ -428,7 +436,8 @@ fn alarms_cancelled_before_firing_are_stale() {
         }
     }
     let schedule = TopologySchedule::static_graph(2, [Edge::between(0, 1)]);
-    let mut sim = SimBuilder::new(params(), schedule).build_with(|_| Resetter { resets: 0 });
+    let mut sim = SimBuilder::topology(params(), ScheduleSource::new(schedule))
+        .build_with(|_| Resetter { resets: 0 });
     sim.run_until(at(50.0));
     assert_eq!(sim.stats().alarms_stale, 2); // one per node
     assert_eq!(sim.stats().alarms_fired, 2);

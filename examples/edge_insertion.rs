@@ -10,6 +10,8 @@
 //!
 //! Run with: `cargo run --release --example edge_insertion`
 
+use gcs_clocks::ScheduleDrift;
+use gcs_net::ScheduleSource;
 use gradient_clock_sync::net::schedule::add_at;
 use gradient_clock_sync::prelude::*;
 
@@ -59,8 +61,8 @@ impl Scenario for EdgeInsertion {
             })
             .collect();
 
-        let mut sim = SimBuilder::new(model, schedule)
-            .clocks(clocks)
+        let mut sim = SimBuilder::topology(model, ScheduleSource::new(schedule))
+            .drift(ScheduleDrift::new(clocks))
             .delay(DelayStrategy::Max)
             .build_with(|_| GradientNode::new(params));
 

@@ -12,6 +12,8 @@
 //!
 //! Run with: `cargo run --release --example lowerbound_demo`
 
+use gcs_clocks::ScheduleDrift;
+use gcs_net::ScheduleSource;
 use gradient_clock_sync::lowerbound::Theorem41Scenario;
 use gradient_clock_sync::prelude::*;
 
@@ -51,8 +53,8 @@ impl Scenario for LowerboundDemo {
             sc.skew_bound()
         ));
 
-        let mut sim = SimBuilder::new(model, sc.schedule())
-            .clocks(sc.beta_clocks())
+        let mut sim = SimBuilder::topology(model, ScheduleSource::new(sc.schedule()))
+            .drift(ScheduleDrift::new(sc.beta_clocks()))
             .delay(sc.beta_delays())
             .build_with(|_| GradientNode::new(params));
 

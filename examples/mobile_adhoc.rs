@@ -9,6 +9,7 @@
 //!
 //! Run with: `cargo run --release --example mobile_adhoc`
 
+use gcs_net::ScheduleSource;
 use gradient_clock_sync::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -56,8 +57,8 @@ impl Scenario for MobileAdhoc {
             self.n, self.horizon
         ));
 
-        let mut sim = SimBuilder::new(model, schedule)
-            .drift(DriftModel::RandomWalk { step: 4.0 }, self.horizon)
+        let mut sim = SimBuilder::topology(model, ScheduleSource::new(schedule))
+            .drift_model(DriftModel::RandomWalk { step: 4.0 }, self.horizon)
             .delay(DelayStrategy::Uniform { lo: 0.1, hi: 1.0 })
             .seed(self.seed)
             .build_with(|_| GradientNode::new(params));

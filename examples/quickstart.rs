@@ -7,6 +7,7 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
+use gcs_net::ScheduleSource;
 use gradient_clock_sync::prelude::*;
 
 /// The quickstart workload: Algorithm 2 on a 16-node ring with split
@@ -43,8 +44,8 @@ impl Scenario for Quickstart {
         // A ring with adversarial (maximum) message delays and half the
         // nodes running at 1−ρ, half at 1+ρ.
         let schedule = TopologySchedule::static_graph(self.n, generators::ring(self.n));
-        let mut sim = SimBuilder::new(model, schedule)
-            .drift(DriftModel::SplitExtremes, self.horizon)
+        let mut sim = SimBuilder::topology(model, ScheduleSource::new(schedule))
+            .drift_model(DriftModel::SplitExtremes, self.horizon)
             .delay(DelayStrategy::Max)
             .build_with(|_| GradientNode::new(params));
 

@@ -15,6 +15,7 @@
 //!
 //! Run with: `cargo run --release --example tdma`
 
+use gcs_net::ScheduleSource;
 use gradient_clock_sync::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -58,8 +59,8 @@ impl Scenario for Tdma {
             }
         }
         let schedule = TopologySchedule::static_graph(self.n, edges.clone());
-        let mut sim = SimBuilder::new(model, schedule)
-            .drift(DriftModel::RandomWalk { step: 5.0 }, self.horizon)
+        let mut sim = SimBuilder::topology(model, ScheduleSource::new(schedule))
+            .drift_model(DriftModel::RandomWalk { step: 5.0 }, self.horizon)
             .delay(DelayStrategy::Uniform { lo: 0.0, hi: 1.0 })
             .seed(self.seed)
             .build_with(|_| GradientNode::new(params));

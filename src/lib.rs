@@ -29,8 +29,8 @@
 //!
 //! // An 8-node ring with worst-case delays and split drift.
 //! let schedule = TopologySchedule::static_graph(n, generators::ring(n));
-//! let mut sim = SimBuilder::new(model, schedule)
-//!     .drift(DriftModel::SplitExtremes, 100.0)
+//! let mut sim = SimBuilder::topology(model, ScheduleSource::new(schedule))
+//!     .drift_model(DriftModel::SplitExtremes, 100.0)
 //!     .delay(DelayStrategy::Max)
 //!     .build_with(|_| GradientNode::new(params));
 //!
@@ -53,12 +53,18 @@ pub use gcs_sim as sim;
 pub mod prelude {
     pub use gcs_analysis::{metrics, CsvSink, Recorder, SkewStream, Summary, Table};
     pub use gcs_bench::scenario::{Scenario, ScenarioReport};
-    pub use gcs_clocks::{time::at, DriftModel, Duration, HardwareClock, RateSchedule, Time};
+    pub use gcs_clocks::{
+        time::at, DriftModel, DriftSource, Duration, HardwareClock, ModelDrift, RateSchedule,
+        ScheduleDrift, Time,
+    };
     pub use gcs_core::baseline::MaxSyncNode;
     pub use gcs_core::{AlgoParams, BudgetPolicy, GradientNode, InvariantMonitor};
     pub use gcs_net::{
-        churn, generators, node, workloads, Edge, NodeId, ScheduleSource, TopologySchedule,
-        TopologySource,
+        churn, generators, greedy_worst_case, node, workloads, AdversarialChurnSource,
+        BridgeAttack, Edge, NodeId, ScheduleSource, TopologySchedule, TopologySource,
     };
-    pub use gcs_sim::{DelayStrategy, ModelParams, SimBuilder, Simulator};
+    pub use gcs_sim::{
+        CrashRestartSource, DelayStrategy, DiscoveryDelay, FaultEvent, FaultKind, FaultPlan,
+        FaultSource, ModelParams, SimBuilder, Simulator,
+    };
 }

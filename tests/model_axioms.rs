@@ -3,6 +3,7 @@
 //! the engine-level tests in `gcs-sim` check the same properties with a
 //! toy protocol.
 
+use gcs_net::ScheduleSource;
 use gradient_clock_sync::net::schedule::remove_at;
 use gradient_clock_sync::prelude::*;
 use gradient_clock_sync::sim::engine::DiscoveryDelay;
@@ -19,8 +20,8 @@ fn estimate_staleness_bounded_by_tau() {
     let n = 6;
     let params = AlgoParams::with_minimal_b0(model(), n, 0.5);
     let schedule = TopologySchedule::static_graph(n, generators::ring(n));
-    let mut sim = SimBuilder::new(model(), schedule)
-        .drift(DriftModel::SplitExtremes, 100.0)
+    let mut sim = SimBuilder::topology(model(), ScheduleSource::new(schedule))
+        .drift_model(DriftModel::SplitExtremes, 100.0)
         .delay(DelayStrategy::Max)
         .build_with(|_| GradientNode::new(params));
     // After the first ΔT + D, every node has all its neighbors in Γ.
@@ -59,7 +60,7 @@ fn removal_clears_neighbor_sets_within_bounds() {
     let params = AlgoParams::with_minimal_b0(model(), 2, 0.5);
     let e = Edge::between(0, 1);
     let schedule = TopologySchedule::new(2, [e], vec![remove_at(50.0, e)]);
-    let mut sim = SimBuilder::new(model(), schedule)
+    let mut sim = SimBuilder::topology(model(), ScheduleSource::new(schedule))
         .discovery(DiscoveryDelay::Constant(2.0))
         .delay(DelayStrategy::Max)
         .build_with(|_| GradientNode::new(params));
@@ -91,7 +92,7 @@ fn lost_timer_drops_silent_neighbors() {
     let schedule = TopologySchedule::new(2, [e], vec![remove_at(50.0, e)]);
     // Discovery takes (almost) the full D = 2; the lost timer ΔT′ ≈ 1.53
     // fires first, so Γ must already be empty before the discover event.
-    let mut sim = SimBuilder::new(model(), schedule)
+    let mut sim = SimBuilder::topology(model(), ScheduleSource::new(schedule))
         .discovery(DiscoveryDelay::Constant(1.999))
         .delay(DelayStrategy::Zero)
         .build_with(|_| GradientNode::new(params));
@@ -119,7 +120,7 @@ fn persistent_edge_joins_gamma_within_bound() {
     let schedule = TopologySchedule::static_graph(3, generators::path(3)).with_extra_events(vec![
         gradient_clock_sync::net::schedule::add_at(30.0, Edge::between(0, 2)),
     ]);
-    let mut sim = SimBuilder::new(model(), schedule)
+    let mut sim = SimBuilder::topology(model(), ScheduleSource::new(schedule))
         .delay(DelayStrategy::Max)
         .build_with(|_| GradientNode::new(params));
     let deadline = 30.0 + params.delta_t() + model().d;
@@ -135,8 +136,8 @@ fn lmax_rate_bounded() {
     let n = 8;
     let params = AlgoParams::with_minimal_b0(model(), n, 0.5);
     let schedule = churn::staggered_ring(n, 8.0, 2.0, 5.0, 200.0);
-    let mut sim = SimBuilder::new(model(), schedule)
-        .drift(DriftModel::RandomWalk { step: 2.0 }, 200.0)
+    let mut sim = SimBuilder::topology(model(), ScheduleSource::new(schedule))
+        .drift_model(DriftModel::RandomWalk { step: 2.0 }, 200.0)
         .delay(DelayStrategy::Uniform { lo: 0.0, hi: 1.0 })
         .seed(3)
         .build_with(|_| GradientNode::new(params));

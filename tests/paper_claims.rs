@@ -2,6 +2,8 @@
 //! paper, at sizes small enough for CI. The bench binaries run the same
 //! pipelines at full size.
 
+use gcs_clocks::ScheduleDrift;
+use gcs_net::ScheduleSource;
 use gradient_clock_sync::lowerbound::Theorem41Scenario;
 use gradient_clock_sync::net::schedule::add_at;
 use gradient_clock_sync::prelude::*;
@@ -30,8 +32,8 @@ fn theorem_6_9_global_skew() {
             ("walk", DriftModel::RandomWalk { step: 5.0 }),
         ] {
             let schedule = TopologySchedule::static_graph(n, edges.clone());
-            let mut sim = SimBuilder::new(model(), schedule)
-                .drift(drift, 200.0)
+            let mut sim = SimBuilder::topology(model(), ScheduleSource::new(schedule))
+                .drift_model(drift, 200.0)
                 .delay(DelayStrategy::Max)
                 .seed(1)
                 .build_with(|_| GradientNode::new(params));
@@ -68,8 +70,8 @@ fn corollary_6_13_dynamic_local_skew() {
     let clocks: Vec<HardwareClock> = (0..n)
         .map(|i| HardwareClock::constant(if i < half { 1.0 + rho } else { 1.0 - rho }, rho))
         .collect();
-    let mut sim = SimBuilder::new(model, schedule)
-        .clocks(clocks)
+    let mut sim = SimBuilder::topology(model, ScheduleSource::new(schedule))
+        .drift(ScheduleDrift::new(clocks))
         .delay(DelayStrategy::Max)
         .build_with(|_| GradientNode::new(params));
     sim.run_until(at(t_bridge));
@@ -108,8 +110,8 @@ fn theorem_4_1_lower_bound_pipeline() {
     let sc = Theorem41Scenario::new(n, 2.0, 0.01, 1.0);
     let params = AlgoParams::with_minimal_b0(model(), n, 0.5);
     let t1 = sc.ready_time() + 10.0;
-    let mut sim = SimBuilder::new(model(), sc.schedule())
-        .clocks(sc.beta_clocks())
+    let mut sim = SimBuilder::topology(model(), ScheduleSource::new(sc.schedule()))
+        .drift(ScheduleDrift::new(sc.beta_clocks()))
         .delay(sc.beta_delays())
         .build_with(|_| GradientNode::new(params));
     sim.run_until(at(t1));
@@ -144,8 +146,8 @@ fn validity_under_heavy_churn() {
     let n = 10;
     let params = AlgoParams::with_minimal_b0(model(), n, 0.5);
     let schedule = churn::rotating_star(n, 10.0, 4.0, 300.0);
-    let mut sim = SimBuilder::new(model(), schedule)
-        .drift(DriftModel::Alternating { period: 15.0 }, 300.0)
+    let mut sim = SimBuilder::topology(model(), ScheduleSource::new(schedule))
+        .drift_model(DriftModel::Alternating { period: 15.0 }, 300.0)
         .delay(DelayStrategy::Uniform { lo: 0.0, hi: 1.0 })
         .seed(23)
         .build_with(|_| GradientNode::new(params));
@@ -180,8 +182,8 @@ fn full_stack_determinism() {
             150.0,
             &mut rng,
         );
-        let mut sim = SimBuilder::new(model(), schedule)
-            .drift(DriftModel::RandomWalk { step: 3.0 }, 150.0)
+        let mut sim = SimBuilder::topology(model(), ScheduleSource::new(schedule))
+            .drift_model(DriftModel::RandomWalk { step: 3.0 }, 150.0)
             .delay(DelayStrategy::Uniform { lo: 0.0, hi: 1.0 })
             .seed(99)
             .build_with(|_| GradientNode::new(params));

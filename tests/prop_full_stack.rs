@@ -6,6 +6,7 @@
 //! paths, the lost-timer path, re-added edges and budget resets in
 //! combinations no hand-written scenario covers.
 
+use gcs_net::ScheduleSource;
 use gradient_clock_sync::prelude::*;
 use gradient_clock_sync::sim::Automaton;
 use proptest::prelude::*;
@@ -71,8 +72,8 @@ proptest! {
             1 => DelayStrategy::Zero,
             _ => DelayStrategy::Uniform { lo: 0.0, hi: 1.0 },
         };
-        let mut sim = SimBuilder::new(model, schedule)
-            .drift(drift, case.horizon)
+        let mut sim = SimBuilder::topology(model, ScheduleSource::new(schedule))
+            .drift_model(drift, case.horizon)
             .delay(delay)
             .seed(case.seed)
             .build_with(|_| GradientNode::new(params));

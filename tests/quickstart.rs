@@ -6,6 +6,7 @@
 //! claim — the global skew of an 8-node ring stays within
 //! `global_skew_bound()` — exercised by `cargo test` proper.
 
+use gcs_net::ScheduleSource;
 use gradient_clock_sync::prelude::*;
 
 #[test]
@@ -17,8 +18,8 @@ fn quickstart_ring_respects_global_skew_bound() {
 
     // An 8-node ring with worst-case delays and split drift.
     let schedule = TopologySchedule::static_graph(n, generators::ring(n));
-    let mut sim = SimBuilder::new(model, schedule)
-        .drift(DriftModel::SplitExtremes, 100.0)
+    let mut sim = SimBuilder::topology(model, ScheduleSource::new(schedule))
+        .drift_model(DriftModel::SplitExtremes, 100.0)
         .delay(DelayStrategy::Max)
         .build_with(|_| GradientNode::new(params));
 
