@@ -21,8 +21,57 @@
 //! speedup, and must not be read against the scaling target.
 
 use gcs_bench::engine_bench::{measure_threads, Measurement, Workload};
-use gcs_bench::scenario::{all_scenarios, run_parallel, Scenario, ScenarioFamily};
+use gcs_bench::scenario::{driver_plan, run_parallel, Scenario};
 use std::io::Write;
+
+/// One explored model-check suite for the JSON trajectory.
+struct McSuite {
+    n: usize,
+    scenarios: usize,
+    states: usize,
+    runs: usize,
+    max_depth: usize,
+    wall_s: f64,
+    violations: usize,
+}
+
+/// Runs the bounded explorer over the CI suites at `n = 2..=4` (the same
+/// suites the fail-closed `model_check` bin verifies) and records the
+/// state-space size and wall time per `n`.
+fn run_model_check() -> Vec<McSuite> {
+    use gcs_core::GradientNode;
+    (2..=4usize)
+        .map(|n| {
+            let start = std::time::Instant::now();
+            let mut suite = McSuite {
+                n,
+                scenarios: 0,
+                states: 0,
+                runs: 0,
+                max_depth: 0,
+                wall_s: 0.0,
+                violations: 0,
+            };
+            for sc in gcs_mc::explore::suite(n) {
+                let report = gcs_mc::explore(&sc, |_| GradientNode::new(sc.algo), 2_000_000);
+                suite.scenarios += 1;
+                suite.states += report.states;
+                suite.runs += report.runs;
+                suite.max_depth = suite.max_depth.max(report.max_depth);
+                suite.violations += usize::from(report.violation.is_some());
+            }
+            suite.wall_s = start.elapsed().as_secs_f64();
+            suite
+        })
+        .collect()
+}
+
+fn mc_entry(s: &McSuite) -> String {
+    format!(
+        "    {{\n      \"n\": {},\n      \"scenarios\": {},\n      \"states\": {},\n      \"runs\": {},\n      \"max_depth\": {},\n      \"wall_s\": {:.6},\n      \"violations\": {}\n    }}",
+        s.n, s.scenarios, s.states, s.runs, s.max_depth, s.wall_s, s.violations
+    )
+}
 
 fn csv_dir() -> std::path::PathBuf {
     let dir = std::path::PathBuf::from("target/experiments");
@@ -110,6 +159,7 @@ fn engine_json(
     e13_n: usize,
     e15: &gcs_bench::e15_faults::Outcomes,
     e15_n: usize,
+    mc: &[McSuite],
     peak_rss_bytes: Option<u64>,
 ) -> String {
     let workload = |w: &Workload| {
@@ -132,8 +182,9 @@ fn engine_json(
     let thread_sweep_valid = host_cpus > 1;
     let e12_entries: Vec<String> = e12.iter().map(e12_entry).collect();
     let e13_entries: Vec<String> = e13.iter().map(e13_entry).collect();
+    let mc_entries: Vec<String> = mc.iter().map(mc_entry).collect();
     format!(
-        "{{\n  \"schema\": \"bench-engine/v5\",\n  \"generated_by\": \"gcs-bench run_all\",\n  \"baseline\": \"batched-serial (threads = 1); the pre-rewrite heap engine was deleted after its equivalence history\",\n  \"host_cpus\": {host_cpus},\n  \"thread_sweep_valid\": {thread_sweep_valid},\n  \"peak_rss_bytes\": {},\n  \"e1_n1024\": {{\n  {},\n  \"engines\": [\n{}\n  ]\n  }},\n  \"e11_large_scale\": {{\n  {},\n  \"engines\": [\n{}\n  ],\n  \"best_parallel_speedup_vs_serial\": {:.3}\n  }},\n  \"e12_dynamic_workloads\": {{\n  \"n\": {},\n  \"families\": [\n{}\n  ]\n  }},\n  \"e13_scale_ceiling\": {{\n  \"n\": {},\n  \"families\": [\n{}\n  ]\n  }},\n{}\n}}\n",
+        "{{\n  \"schema\": \"bench-engine/v6\",\n  \"generated_by\": \"gcs-bench run_all\",\n  \"baseline\": \"batched-serial (threads = 1); the pre-rewrite heap engine was deleted after its equivalence history\",\n  \"host_cpus\": {host_cpus},\n  \"thread_sweep_valid\": {thread_sweep_valid},\n  \"peak_rss_bytes\": {},\n  \"e1_n1024\": {{\n  {},\n  \"engines\": [\n{}\n  ]\n  }},\n  \"e11_large_scale\": {{\n  {},\n  \"engines\": [\n{}\n  ],\n  \"best_parallel_speedup_vs_serial\": {:.3}\n  }},\n  \"e12_dynamic_workloads\": {{\n  \"n\": {},\n  \"families\": [\n{}\n  ]\n  }},\n  \"e13_scale_ceiling\": {{\n  \"n\": {},\n  \"families\": [\n{}\n  ]\n  }},\n{},\n  \"model_check\": {{\n  \"suites\": [\n{}\n  ]\n  }}\n}}\n",
         json_opt_u64(peak_rss_bytes),
         workload(&e1.0),
         entry(&e1.1),
@@ -145,6 +196,7 @@ fn engine_json(
         e13_n,
         e13_entries.join(",\n"),
         e15_section(e15_n, e15),
+        mc_entries.join(",\n"),
     )
 }
 
@@ -187,18 +239,11 @@ fn main() {
     let mut e13_outcomes = None;
     let mut e15_outcomes = None;
     if !engine_only {
-        // Partition the registry on typed scenario metadata: the claim
-        // batch fans out in parallel; scale scenarios (themselves
-        // wall-clock/memory benchmarks) and the fault family (CPU-heavy
-        // adversary search) run alone afterwards, in registry order.
-        let mut claim_batch = Vec::new();
-        let mut solo = Vec::new();
-        for s in all_scenarios() {
-            match s.meta().family {
-                ScenarioFamily::Claim => claim_batch.push(s),
-                _ => solo.push(s),
-            }
-        }
+        // The typed execution plan: the claim batch fans out in
+        // parallel; scale scenarios (themselves wall-clock/memory
+        // benchmarks) and the fault family (CPU-heavy adversary search)
+        // run alone afterwards, in registry order.
+        let (claim_batch, solo) = driver_plan();
         println!(
             "running {} claim experiments in parallel over scoped threads, then {} alone...\n",
             claim_batch.len(),
@@ -310,6 +355,14 @@ fn main() {
         e15_for_json.fault.restarts,
         e15_for_json.control.violations
     );
+    // The bounded model-check suites, for the trajectory.
+    let mc_suites = run_model_check();
+    for s in &mc_suites {
+        println!(
+            "MC  n={:>6} {:>16}: {:>10} states  ({} runs over {} scenarios, max depth {}, {:.2}s, {} violations)",
+            s.n, "explorer", s.states, s.runs, s.scenarios, s.max_depth, s.wall_s, s.violations
+        );
+    }
     let json = engine_json(
         host_cpus,
         &(w1, m1),
@@ -320,6 +373,7 @@ fn main() {
         e13_config.n,
         &e15_for_json,
         e15_config.n,
+        &mc_suites,
         gcs_analysis::peak_rss_bytes(),
     );
     match std::fs::File::create("BENCH_engine.json").and_then(|mut f| f.write_all(json.as_bytes()))

@@ -223,12 +223,37 @@ pub fn all_scenarios() -> Vec<Box<dyn Scenario>> {
     ]
 }
 
+/// An ordered batch of boxed registry scenarios.
+pub type ScenarioBatch = Vec<Box<dyn Scenario>>;
+
 /// The registry scenarios belonging to `family`, in registry order.
 pub fn scenarios_in(family: ScenarioFamily) -> Vec<Box<dyn Scenario>> {
     all_scenarios()
         .into_iter()
         .filter(|s| s.meta().family == family)
         .collect()
+}
+
+/// The driver's execution plan, derived from typed scenario metadata:
+/// `(claim batch, solo batch)`. The claim batch fans out in parallel;
+/// the solo batch — [`ScenarioFamily::Scale`] runs (themselves
+/// wall-clock/memory benchmarks) and [`ScenarioFamily::Fault`] runs
+/// (CPU-heavy adversary search) — executes alone afterwards, in
+/// registry order. `run_all` consumes this instead of re-partitioning,
+/// so the driver and the registry cannot drift apart.
+pub fn driver_plan() -> (ScenarioBatch, ScenarioBatch) {
+    let mut claim = Vec::new();
+    let mut solo = Vec::new();
+    for s in all_scenarios() {
+        match s.meta().family {
+            ScenarioFamily::Claim => claim.push(s),
+            ScenarioFamily::Scale | ScenarioFamily::Fault => solo.push(s),
+            ScenarioFamily::Example => {
+                unreachable!("registry scenarios must not use the Example default meta")
+            }
+        }
+    }
+    (claim, solo)
 }
 
 /// Runs scenarios in parallel over scoped threads, preserving order.
@@ -343,6 +368,68 @@ mod tests {
             );
         }
         assert_eq!(claim.len() + scale_ids.len() + fault_ids.len(), 14);
+    }
+
+    #[test]
+    fn every_scenario_lands_in_exactly_one_family() {
+        // The family partition is exact: summing the per-family slices
+        // recovers the registry with no scenario dropped or duplicated.
+        let registry: Vec<&str> = all_scenarios().iter().map(|s| s.id()).collect();
+        let mut partitioned: Vec<&str> = Vec::new();
+        for family in [
+            ScenarioFamily::Claim,
+            ScenarioFamily::Scale,
+            ScenarioFamily::Fault,
+            ScenarioFamily::Example,
+        ] {
+            for s in scenarios_in(family) {
+                assert!(
+                    !partitioned.contains(&s.id()),
+                    "{} appears in more than one family",
+                    s.id()
+                );
+                partitioned.push(s.id());
+            }
+        }
+        assert_eq!(partitioned.len(), 14);
+        let mut sorted_registry = registry;
+        let mut sorted_partitioned = partitioned;
+        sorted_registry.sort_unstable();
+        sorted_partitioned.sort_unstable();
+        assert_eq!(sorted_registry, sorted_partitioned);
+    }
+
+    #[test]
+    fn driver_plan_fan_out_matches_the_registry() {
+        // The run_all smoke: the plan's claim batch is exactly the Claim
+        // family, the solo batch is Scale + Fault in registry order, and
+        // together they cover the registry.
+        let (claim, solo) = driver_plan();
+        let claim_ids: Vec<&str> = claim.iter().map(|s| s.id()).collect();
+        let solo_ids: Vec<&str> = solo.iter().map(|s| s.id()).collect();
+        let expected_claim: Vec<&str> = scenarios_in(ScenarioFamily::Claim)
+            .iter()
+            .map(|s| s.id())
+            .collect();
+        let mut expected_solo: Vec<&str> = scenarios_in(ScenarioFamily::Scale)
+            .iter()
+            .map(|s| s.id())
+            .collect();
+        expected_solo.extend(scenarios_in(ScenarioFamily::Fault).iter().map(|s| s.id()));
+        assert_eq!(claim_ids, expected_claim);
+        assert_eq!(solo_ids, expected_solo);
+        let planned: Vec<&str> = claim_ids.into_iter().chain(solo_ids).collect();
+        let registry: Vec<&str> = all_scenarios().iter().map(|s| s.id()).collect();
+        assert_eq!(
+            planned, registry,
+            "driver plan must cover the registry in order"
+        );
+        for s in claim {
+            assert_eq!(s.meta().family, ScenarioFamily::Claim);
+        }
+        for s in solo {
+            assert_ne!(s.meta().family, ScenarioFamily::Claim);
+        }
     }
 
     #[test]

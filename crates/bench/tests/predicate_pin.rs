@@ -1,0 +1,90 @@
+//! Bit-identity pins for the blocked/advance predicate extraction.
+//!
+//! PR 7 moved the decision logic of Algorithm 2 — the Definition 6.1
+//! *blocked* predicate and the `AdjustClock` advance target — out of
+//! `GradientNode`'s handlers into the pure functions of
+//! `gcs_core::predicate`, so the model checker (`gcs-mc`) can evaluate the
+//! same arithmetic on model states (encode once, call twice). The refactor
+//! must be invisible in traces: the goldens below are FNV-1a hashes over
+//! the raw `f64::to_bits` of every node's `L` and `Lmax` at sampled
+//! instants of an E1-style churn run and an E2-style cluster-merge run,
+//! captured from the pre-refactor implementation. Any arithmetic
+//! re-ordering inside the extraction shows up here as a changed hash.
+
+use gcs_bench::engine_bench::Workload;
+use gcs_bench::scenario;
+use gcs_clocks::time::at;
+use gcs_clocks::ScheduleDrift;
+use gcs_core::{AlgoParams, GradientNode};
+use gcs_net::ScheduleSource;
+use gcs_sim::{DelayStrategy, ModelParams, SimBuilder};
+
+/// FNV-1a over a stream of `u64`s — stable, dependency-free fingerprint.
+fn fnv1a(words: impl IntoIterator<Item = u64>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for w in words {
+        for byte in w.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+#[test]
+fn e1_churn_trace_is_bit_identical_to_pre_extraction_golden() {
+    let w = Workload {
+        n: 48,
+        horizon: 30.0,
+        churn: true,
+        seed: 2024,
+        threads: 1,
+    };
+    let mut sim = w.build();
+    let mut words = Vec::new();
+    let mut t = 0.0;
+    while t < w.horizon {
+        t = (t + 3.0).min(w.horizon);
+        sim.run_until(at(t));
+        for u in 0..sim.n() {
+            words.push(sim.logical(gcs_net::node(u)).to_bits());
+            words.push(sim.max_estimate_of(gcs_net::node(u)).to_bits());
+        }
+    }
+    assert_eq!(
+        fnv1a(words),
+        0x2e5a_a76b_ca24_dd85,
+        "E1 churn trace diverged from the pre-extraction golden"
+    );
+}
+
+#[test]
+fn e2_merge_trace_is_bit_identical_to_pre_extraction_golden() {
+    let n = 32;
+    let model = ModelParams::new(0.05, 1.0, 2.0);
+    let params = AlgoParams::with_minimal_b0(model, n, 0.5);
+    let t_bridge = scenario::t_bridge_for_skew(model, 30.0);
+    let m = scenario::merge(n, model, t_bridge);
+    let horizon = t_bridge + params.w() + 20.0;
+    let mut sim = SimBuilder::topology(model, ScheduleSource::new(m.schedule.clone()))
+        .drift(ScheduleDrift::new(m.clocks.clone()))
+        .delay(DelayStrategy::Max)
+        .seed(7)
+        .threads(1)
+        .build_with(|_| GradientNode::new(params));
+    let mut words = Vec::new();
+    let mut t = 0.0;
+    while t < horizon {
+        t = (t + 10.0).min(horizon);
+        sim.run_until(at(t));
+        for u in 0..sim.n() {
+            words.push(sim.logical(gcs_net::node(u)).to_bits());
+            words.push(sim.max_estimate_of(gcs_net::node(u)).to_bits());
+        }
+    }
+    assert_eq!(
+        fnv1a(words),
+        0xcb40_2997_d0fd_dd72,
+        "E2 merge trace diverged from the pre-extraction golden"
+    );
+}

@@ -67,8 +67,8 @@ impl Automaton for MaxSyncNode {
     }
 
     // Crash/restart with state loss: only the tick period is configuration.
-    fn reboot(&self) -> Self {
-        MaxSyncNode::new(self.delta_h)
+    fn try_reboot(&self) -> Result<Self, gcs_sim::RebootUnsupported> {
+        Ok(MaxSyncNode::new(self.delta_h))
     }
 
     fn on_receive(&mut self, ctx: &mut Context<'_>, from: NodeId, msg: Message) {

@@ -27,6 +27,7 @@
 
 use crate::neighbors::{FlatMap, IdSet};
 use crate::params::AlgoParams;
+use crate::predicate;
 use gcs_clocks::ClockVar;
 use gcs_net::NodeId;
 use gcs_sim::{Automaton, Context, LinkChange, LinkChangeKind, Message, TimerKind};
@@ -107,9 +108,10 @@ impl GradientNode {
     /// The effective budget toward `v` at subjective edge age `dt`:
     /// `max{B0·w_v, unfloored B(dt)}`.
     fn budget_at(&self, v: NodeId, dt: f64) -> f64 {
-        self.params
-            .budget_unfloored(dt)
-            .max(self.params.b0 * self.weight_of(v))
+        predicate::effective_budget(
+            self.params.budget_unfloored(dt),
+            self.params.b0 * self.weight_of(v),
+        )
     }
 
     /// The parameters this node runs with.
@@ -144,10 +146,25 @@ impl GradientNode {
         self.gamma.get(v).map(|st| st.estimate.value(hw))
     }
 
+    /// The neighbor caps `(L^v_u, B^v_u)` for every `v ∈ Γ_u` at hardware
+    /// reading `hw`, in ascending node-id order — exactly the tuples the
+    /// pure [`predicate`] functions consume. The model checker rebuilds
+    /// the Definition 6.1 predicate from this same iterator, so automaton
+    /// and checker share one encoding.
+    pub fn neighbor_caps(&self, hw: f64) -> impl Iterator<Item = (f64, f64)> + '_ {
+        self.gamma
+            .iter()
+            .map(move |(v, st)| (st.estimate.value(hw), self.budget_at(v, hw - st.joined_hw)))
+    }
+
     /// Definition 6.1: `u` is *blocked* if `Lmax_u > L_u` and some
     /// `v ∈ Γ_u` has `L_u − L^v_u > B^v_u`.
     pub fn is_blocked(&self, hw: f64) -> bool {
-        self.lmax.value(hw) > self.l.value(hw) && self.blocking_neighbor(hw).is_some()
+        predicate::is_blocked(
+            self.l.value(hw),
+            self.lmax.value(hw),
+            self.neighbor_caps(hw),
+        )
     }
 
     /// A neighbor currently blocking `u`, if any.
@@ -158,7 +175,7 @@ impl GradientNode {
         }
         self.gamma.iter().find_map(|(v, st)| {
             let b = self.budget_at(v, hw - st.joined_hw);
-            (l - st.estimate.value(hw) > b).then_some(v)
+            predicate::neighbor_blocks(l, st.estimate.value(hw), b).then_some(v)
         })
     }
 
@@ -170,12 +187,8 @@ impl GradientNode {
     /// Procedure `AdjustClock`:
     /// `L_u ← max{L_u, min{Lmax_u, min_{v∈Γ}(L^v_u + B(H_u − C^v_u))}}`.
     fn adjust_clock(&mut self, hw: f64) {
-        let mut target = self.lmax.value(hw);
-        for (v, st) in self.gamma.iter() {
-            let b = self.budget_at(v, hw - st.joined_hw);
-            target = target.min(st.estimate.value(hw) + b);
-        }
-        if target > self.l.value(hw) {
+        let target = predicate::advance_target(self.lmax.value(hw), self.neighbor_caps(hw));
+        if predicate::should_jump(target, self.l.value(hw)) {
             self.l.set(target, hw);
             self.jumps += 1;
         }
@@ -197,11 +210,11 @@ impl Automaton for GradientNode {
     // Crash/restart with state loss: parameters and edge weights are
     // configuration, every clock and neighbor variable resets to the
     // time-0 state of [`GradientNode::new`].
-    fn reboot(&self) -> Self {
-        GradientNode {
+    fn try_reboot(&self) -> Result<Self, gcs_sim::RebootUnsupported> {
+        Ok(GradientNode {
             weights: self.weights.clone(),
             ..Self::new(self.params)
-        }
+        })
     }
 
     // Lines 15–24 of Algorithm 2.

@@ -43,6 +43,10 @@
 //!   conditions and the skew bounds of Theorems 6.9 and 6.12.
 //! * [`neighbors`] — flat sorted containers for the per-neighbor hot
 //!   state ([`FlatMap`], [`IdSet`]), `O(degree)` memory per node.
+//! * [`predicate`] — the Definition 6.1 blocked predicate and the
+//!   `AdjustClock` advance rule as pure functions over plain values,
+//!   shared bit-for-bit between [`GradientNode`] and the `gcs-mc`
+//!   model checker.
 //!
 //! # Example
 //!
@@ -68,6 +72,7 @@ pub mod gradient;
 pub mod invariants;
 pub mod neighbors;
 pub mod params;
+pub mod predicate;
 
 pub use gradient::{GradientNode, NeighborState};
 pub use invariants::InvariantMonitor;

@@ -1,0 +1,734 @@
+//! ITF-style JSON traces: the model checker's interchange format.
+//!
+//! Every violation (and any healthy run on request) exports as a single
+//! JSON document in the spirit of the Informal Trace Format: a `#meta`
+//! header, a `params` block carrying the *complete* scenario
+//! configuration, a `vars` list, and a `states` array of per-instant
+//! snapshots. The `params` block makes the trace self-contained: the
+//! delays in global send order plus the scheduled churn/fault events are
+//! exactly the nondeterminism of a run, so [`crate::replay`] can rebuild
+//! the whole execution inside the real engine and check it against the
+//! recorded `states` bit for bit.
+//!
+//! No serde: the workspace is offline-vendored without it, so this module
+//! hand-rolls a writer and a minimal recursive-descent JSON parser. All
+//! `f64`s are written with Rust's shortest round-tripping representation
+//! (`{:?}`), which `str::parse::<f64>()` recovers exactly — the
+//! write → parse → write fixpoint is part of the test suite.
+//!
+//! Traces record the paper's model constants and `B0` explicitly;
+//! replay reconstructs `AlgoParams` with the default aging budget policy
+//! (the policy the engine-facing algorithm runs). Traces exported from
+//! baseline-policy mutants are for human inspection, not engine replay.
+
+use crate::model::{InstantState, Scenario, SendRecord};
+use std::fmt::Write as _;
+
+/// One scheduled topology change in a trace.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceTopology {
+    /// Event time.
+    pub time: f64,
+    /// `true` = add, `false` = remove.
+    pub add: bool,
+    /// Lower endpoint index.
+    pub lo: u32,
+    /// Higher endpoint index.
+    pub hi: u32,
+}
+
+/// One scheduled fault in a trace.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceFault {
+    /// Event time.
+    pub time: f64,
+    /// `true` = restart, `false` = crash.
+    pub restart: bool,
+    /// Target node index.
+    pub node: u32,
+}
+
+/// One resolved live-edge send delay, in global send order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceDelay {
+    /// Sender index.
+    pub from: u32,
+    /// Receiver index.
+    pub to: u32,
+    /// The chosen delay in `[0, T]`.
+    pub delay: f64,
+}
+
+/// A complete, self-contained, replayable model-checker trace.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Trace {
+    /// Scenario name.
+    pub name: String,
+    /// Node count.
+    pub n: usize,
+    /// Drift bound `ρ`.
+    pub rho: f64,
+    /// Message delay bound `T`.
+    pub t: f64,
+    /// Discovery bound `D`.
+    pub d: f64,
+    /// Resend interval `ΔH`.
+    pub delta_h: f64,
+    /// Budget floor `B0`.
+    pub b0: f64,
+    /// Per-node constant hardware rates.
+    pub rates: Vec<f64>,
+    /// Initial edges as `(lo, hi)` index pairs, sorted.
+    pub initial_edges: Vec<(u32, u32)>,
+    /// Scheduled churn.
+    pub topology: Vec<TraceTopology>,
+    /// Scheduled faults.
+    pub faults: Vec<TraceFault>,
+    /// Every live-edge send's resolved delay, in global send order.
+    pub delays: Vec<TraceDelay>,
+    /// Run horizon.
+    pub horizon: f64,
+    /// Per-instant `(time, L, Lmax)` snapshots, strictly increasing time.
+    pub states: Vec<InstantState>,
+    /// The violation message, absent for healthy traces.
+    pub violation: Option<String>,
+}
+
+impl Trace {
+    /// Packages a finished run: the scenario configuration, the sends the
+    /// decider resolved, and the snapshots the observer collected.
+    pub fn build(
+        sc: &Scenario,
+        sends: &[SendRecord],
+        states: Vec<InstantState>,
+        violation: Option<String>,
+    ) -> Self {
+        Trace {
+            name: sc.name.clone(),
+            n: sc.algo.n,
+            rho: sc.algo.model.rho,
+            t: sc.algo.model.t,
+            d: sc.algo.model.d,
+            delta_h: sc.algo.delta_h,
+            b0: sc.algo.b0,
+            rates: sc.rates.clone(),
+            initial_edges: sc
+                .initial_edges
+                .iter()
+                .map(|e| (e.lo().index() as u32, e.hi().index() as u32))
+                .collect(),
+            topology: sc
+                .topology
+                .iter()
+                .map(|ev| TraceTopology {
+                    time: ev.time.seconds(),
+                    add: ev.kind == gcs_net::TopologyEventKind::Add,
+                    lo: ev.edge.lo().index() as u32,
+                    hi: ev.edge.hi().index() as u32,
+                })
+                .collect(),
+            faults: sc
+                .faults
+                .iter()
+                .map(|ev| {
+                    let (restart, node) = match ev.kind {
+                        gcs_sim::FaultKind::Crash { node } => (false, node),
+                        gcs_sim::FaultKind::Restart { node } => (true, node),
+                        _ => unreachable!("validated scenarios carry crash/restart only"),
+                    };
+                    TraceFault {
+                        time: ev.time.seconds(),
+                        restart,
+                        node: node.index() as u32,
+                    }
+                })
+                .collect(),
+            delays: sends
+                .iter()
+                .map(|s| TraceDelay {
+                    from: s.from.index() as u32,
+                    to: s.to.index() as u32,
+                    delay: s.delay,
+                })
+                .collect(),
+            horizon: sc.horizon,
+            states,
+            violation,
+        }
+    }
+
+    /// Serializes to ITF-style JSON (stable field order, 2-space indent).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(4096);
+        s.push_str("{\n  \"#meta\": {\n    \"format\": \"ITF\",\n    \"source\": \"gcs-mc\",\n");
+        let _ = writeln!(
+            s,
+            "    \"description\": {}\n  }},",
+            json_str(&format!("model-checker trace of scenario {}", self.name))
+        );
+        s.push_str("  \"params\": {\n");
+        let _ = writeln!(s, "    \"name\": {},", json_str(&self.name));
+        let _ = writeln!(s, "    \"n\": {},", self.n);
+        for (key, v) in [
+            ("rho", self.rho),
+            ("t", self.t),
+            ("d", self.d),
+            ("delta_h", self.delta_h),
+            ("b0", self.b0),
+            ("horizon", self.horizon),
+        ] {
+            let _ = writeln!(s, "    \"{key}\": {},", json_f64(v));
+        }
+        let _ = writeln!(s, "    \"rates\": {},", json_f64_array(&self.rates));
+        let _ = write!(s, "    \"initial_edges\": [");
+        for (i, (lo, hi)) in self.initial_edges.iter().enumerate() {
+            let _ = write!(s, "{}[{lo}, {hi}]", if i == 0 { "" } else { ", " });
+        }
+        s.push_str("],\n");
+        let _ = write!(s, "    \"topology\": [");
+        for (i, ev) in self.topology.iter().enumerate() {
+            let _ = write!(
+                s,
+                "{}{{\"time\": {}, \"add\": {}, \"lo\": {}, \"hi\": {}}}",
+                if i == 0 { "" } else { ", " },
+                json_f64(ev.time),
+                ev.add,
+                ev.lo,
+                ev.hi
+            );
+        }
+        s.push_str("],\n");
+        let _ = write!(s, "    \"faults\": [");
+        for (i, ev) in self.faults.iter().enumerate() {
+            let _ = write!(
+                s,
+                "{}{{\"time\": {}, \"restart\": {}, \"node\": {}}}",
+                if i == 0 { "" } else { ", " },
+                json_f64(ev.time),
+                ev.restart,
+                ev.node
+            );
+        }
+        s.push_str("],\n");
+        let _ = write!(s, "    \"delays\": [");
+        for (i, d) in self.delays.iter().enumerate() {
+            let _ = write!(
+                s,
+                "{}{{\"from\": {}, \"to\": {}, \"delay\": {}}}",
+                if i == 0 { "" } else { ", " },
+                d.from,
+                d.to,
+                json_f64(d.delay)
+            );
+        }
+        s.push_str("]\n  },\n");
+        s.push_str("  \"vars\": [\"time\", \"logical\", \"lmax\"],\n");
+        s.push_str("  \"states\": [\n");
+        for (i, st) in self.states.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    {{\"#meta\": {{\"index\": {i}}}, \"time\": {}, \"logical\": {}, \"lmax\": {}}}",
+                json_f64(st.time),
+                json_f64_array(&st.logical),
+                json_f64_array(&st.lmax)
+            );
+            s.push_str(if i + 1 == self.states.len() {
+                "\n"
+            } else {
+                ",\n"
+            });
+        }
+        s.push_str("  ]");
+        if let Some(v) = &self.violation {
+            let _ = write!(s, ",\n  \"violation\": {}", json_str(v));
+        }
+        s.push_str("\n}\n");
+        s
+    }
+
+    /// Parses a trace previously produced by [`Trace::to_json`] (or any
+    /// structurally equivalent JSON document).
+    pub fn from_json(text: &str) -> Result<Trace, String> {
+        let value = Json::parse(text)?;
+        let root = value.as_obj("trace root")?;
+        let params = root.field("params")?.as_obj("params")?;
+        let states = root
+            .field("states")?
+            .as_arr("states")?
+            .iter()
+            .map(|st| {
+                let st = st.as_obj("state")?;
+                Ok(InstantState {
+                    time: st.field("time")?.as_f64("time")?,
+                    logical: st.field("logical")?.as_f64_array("logical")?,
+                    lmax: st.field("lmax")?.as_f64_array("lmax")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(Trace {
+            name: params.field("name")?.as_str("name")?.to_string(),
+            n: params.field("n")?.as_f64("n")? as usize,
+            rho: params.field("rho")?.as_f64("rho")?,
+            t: params.field("t")?.as_f64("t")?,
+            d: params.field("d")?.as_f64("d")?,
+            delta_h: params.field("delta_h")?.as_f64("delta_h")?,
+            b0: params.field("b0")?.as_f64("b0")?,
+            rates: params.field("rates")?.as_f64_array("rates")?,
+            initial_edges: params
+                .field("initial_edges")?
+                .as_arr("initial_edges")?
+                .iter()
+                .map(|pair| {
+                    let pair = pair.as_arr("edge pair")?;
+                    if pair.len() != 2 {
+                        return Err("edge pair must have two endpoints".into());
+                    }
+                    Ok((
+                        pair[0].as_f64("edge lo")? as u32,
+                        pair[1].as_f64("edge hi")? as u32,
+                    ))
+                })
+                .collect::<Result<Vec<_>, String>>()?,
+            topology: params
+                .field("topology")?
+                .as_arr("topology")?
+                .iter()
+                .map(|ev| {
+                    let ev = ev.as_obj("topology event")?;
+                    Ok(TraceTopology {
+                        time: ev.field("time")?.as_f64("time")?,
+                        add: ev.field("add")?.as_bool("add")?,
+                        lo: ev.field("lo")?.as_f64("lo")? as u32,
+                        hi: ev.field("hi")?.as_f64("hi")? as u32,
+                    })
+                })
+                .collect::<Result<Vec<_>, String>>()?,
+            faults: params
+                .field("faults")?
+                .as_arr("faults")?
+                .iter()
+                .map(|ev| {
+                    let ev = ev.as_obj("fault event")?;
+                    Ok(TraceFault {
+                        time: ev.field("time")?.as_f64("time")?,
+                        restart: ev.field("restart")?.as_bool("restart")?,
+                        node: ev.field("node")?.as_f64("node")? as u32,
+                    })
+                })
+                .collect::<Result<Vec<_>, String>>()?,
+            delays: params
+                .field("delays")?
+                .as_arr("delays")?
+                .iter()
+                .map(|d| {
+                    let d = d.as_obj("delay record")?;
+                    Ok(TraceDelay {
+                        from: d.field("from")?.as_f64("from")? as u32,
+                        to: d.field("to")?.as_f64("to")? as u32,
+                        delay: d.field("delay")?.as_f64("delay")?,
+                    })
+                })
+                .collect::<Result<Vec<_>, String>>()?,
+            horizon: params.field("horizon")?.as_f64("horizon")?,
+            states,
+            violation: match root.0.iter().find(|(k, _)| k == "violation") {
+                Some((_, v)) => Some(v.as_str("violation")?.to_string()),
+                None => None,
+            },
+        })
+    }
+}
+
+fn json_f64(v: f64) -> String {
+    debug_assert!(v.is_finite(), "traces carry finite values only");
+    format!("{v:?}")
+}
+
+fn json_f64_array(vs: &[f64]) -> String {
+    let mut s = String::from("[");
+    for (i, v) in vs.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&json_f64(*v));
+    }
+    s.push(']');
+    s
+}
+
+fn json_str(v: &str) -> String {
+    let mut s = String::with_capacity(v.len() + 2);
+    s.push('"');
+    for c in v.chars() {
+        match c {
+            '"' => s.push_str("\\\""),
+            '\\' => s.push_str("\\\\"),
+            '\n' => s.push_str("\\n"),
+            '\t' => s.push_str("\\t"),
+            '\r' => s.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(s, "\\u{:04x}", c as u32);
+            }
+            c => s.push(c),
+        }
+    }
+    s.push('"');
+    s
+}
+
+/// A parsed JSON value (exactly the subset the writer emits).
+#[derive(Clone, Debug, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(JsonObj),
+}
+
+/// Object fields in document order (duplicate keys rejected at access).
+#[derive(Clone, Debug, PartialEq)]
+struct JsonObj(Vec<(String, Json)>);
+
+impl JsonObj {
+    fn field(&self, key: &str) -> Result<&Json, String> {
+        self.0
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("missing field `{key}`"))
+    }
+}
+
+impl Json {
+    fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing content at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    fn as_obj(&self, what: &str) -> Result<&JsonObj, String> {
+        match self {
+            Json::Obj(o) => Ok(o),
+            _ => Err(format!("{what}: expected object")),
+        }
+    }
+
+    fn as_arr(&self, what: &str) -> Result<&[Json], String> {
+        match self {
+            Json::Arr(a) => Ok(a),
+            _ => Err(format!("{what}: expected array")),
+        }
+    }
+
+    fn as_f64(&self, what: &str) -> Result<f64, String> {
+        match self {
+            Json::Num(v) => Ok(*v),
+            _ => Err(format!("{what}: expected number")),
+        }
+    }
+
+    fn as_bool(&self, what: &str) -> Result<bool, String> {
+        match self {
+            Json::Bool(v) => Ok(*v),
+            _ => Err(format!("{what}: expected bool")),
+        }
+    }
+
+    fn as_str(&self, what: &str) -> Result<&str, String> {
+        match self {
+            Json::Str(v) => Ok(v),
+            _ => Err(format!("{what}: expected string")),
+        }
+    }
+
+    fn as_f64_array(&self, what: &str) -> Result<Vec<f64>, String> {
+        self.as_arr(what)?.iter().map(|v| v.as_f64(what)).collect()
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\n' || b == b'\t' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", char::from(b), self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.keyword("true", Json::Bool(true)),
+            Some(b'f') => self.keyword("false", Json::Bool(false)),
+            Some(b'n') => self.keyword("null", Json::Null),
+            Some(_) => self.number(),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn keyword(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("invalid keyword at byte {}", self.pos))
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(JsonObj(fields)));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(JsonObj(fields)));
+                }
+                _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err("unterminated string".into());
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err("unterminated escape".into());
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("truncated \\u escape")?;
+                            self.pos += 4;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            out.push(char::from_u32(code).ok_or("invalid \\u code point")?);
+                        }
+                        _ => return Err(format!("unknown escape at byte {}", self.pos)),
+                    }
+                }
+                _ => {
+                    // Collect the full UTF-8 sequence starting at b.
+                    let start = self.pos - 1;
+                    let len = utf8_len(b)?;
+                    let end = start + len;
+                    let chunk = self
+                        .bytes
+                        .get(start..end)
+                        .ok_or("truncated UTF-8 sequence")?;
+                    out.push_str(std::str::from_utf8(chunk).map_err(|e| e.to_string())?);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|e| format!("bad number `{text}` at byte {start}: {e}"))
+    }
+}
+
+fn utf8_len(first: u8) -> Result<usize, String> {
+    match first {
+        0x00..=0x7f => Ok(1),
+        0xc0..=0xdf => Ok(2),
+        0xe0..=0xef => Ok(3),
+        0xf0..=0xf7 => Ok(4),
+        _ => Err("invalid UTF-8 lead byte".into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        Trace {
+            name: "sample \"quoted\" — unicode".into(),
+            n: 3,
+            rho: 0.05,
+            t: 1.0,
+            d: 2.0,
+            delta_h: 0.5,
+            b0: 7.0,
+            rates: vec![1.05, 1.0, 0.95],
+            initial_edges: vec![(0, 1), (1, 2)],
+            topology: vec![TraceTopology {
+                time: 0.7,
+                add: false,
+                lo: 0,
+                hi: 1,
+            }],
+            faults: vec![TraceFault {
+                time: 0.6,
+                restart: false,
+                node: 0,
+            }],
+            delays: vec![
+                TraceDelay {
+                    from: 0,
+                    to: 1,
+                    delay: 0.0,
+                },
+                TraceDelay {
+                    from: 1,
+                    to: 0,
+                    delay: 1.0,
+                },
+            ],
+            horizon: 1.3,
+            states: vec![
+                InstantState {
+                    time: 0.0,
+                    logical: vec![0.0, 0.0, 0.0],
+                    lmax: vec![0.0, 0.0, 0.0],
+                },
+                InstantState {
+                    time: 0.5250000000000001,
+                    logical: vec![0.55125e0, 0.525, 0.49875],
+                    lmax: vec![0.55125, 0.525, 0.49875],
+                },
+            ],
+            violation: Some("t=0.5 node=0: Property 6.3 violated".into()),
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let trace = sample();
+        let json = trace.to_json();
+        let back = Trace::from_json(&json).expect("parse");
+        assert_eq!(trace, back);
+        assert_eq!(json, back.to_json(), "write → parse → write fixpoint");
+    }
+
+    #[test]
+    fn healthy_trace_omits_violation() {
+        let mut trace = sample();
+        trace.violation = None;
+        let json = trace.to_json();
+        assert!(!json.contains("violation"));
+        assert_eq!(Trace::from_json(&json).unwrap(), trace);
+    }
+
+    #[test]
+    fn f64_bits_survive_the_round_trip() {
+        let mut trace = sample();
+        // Adversarial values: subnormal-adjacent, long mantissas, exact
+        // binary fractions.
+        trace.rates = vec![1.0 / 3.0, 0.1 + 0.2, f64::MIN_POSITIVE, 1e-300];
+        let back = Trace::from_json(&trace.to_json()).unwrap();
+        for (a, b) in trace.rates.iter().zip(&back.rates) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        assert!(Trace::from_json("{").is_err());
+        assert!(Trace::from_json("[]").is_err());
+        assert!(Trace::from_json("{\"params\": 3}").is_err());
+        let valid = sample().to_json();
+        assert!(Trace::from_json(&valid[..valid.len() - 3]).is_err());
+    }
+}

@@ -1,0 +1,1212 @@
+//! The executable model: a serial, decision-instrumented mirror of the
+//! engine's event semantics.
+//!
+//! [`Model`] re-implements exactly the state machine that
+//! `gcs_sim::Simulator` executes — the same event total order
+//! `(time, class, seq)`, the same canonical effect merge order
+//! `(trigger seq, emission index)`, the same timer-generation, discovery-
+//! version, FIFO-horizon, edge-epoch and crash/restart rules — but
+//!
+//! * runs strictly serially over a handful of nodes,
+//! * treats every live-edge message delay as an explicit **decision
+//!   point** resolved by a [`DelayDecider`] (the engine draws it from a
+//!   [`gcs_sim::DelayStrategy`]), and
+//! * exposes a canonical [`encode`](Model::encode) of its complete state,
+//!   which is what makes bounded exhaustive exploration
+//!   ([`mod@crate::explore`]) possible.
+//!
+//! Bit-identity with the engine is not aspirational: every `f64` the
+//! model produces goes through the *same* code the engine calls —
+//! [`HardwareClock::read`]/[`HardwareClock::fire_time`] for clocks, the
+//! automaton's own handlers for protocol state, [`Time`]/[`Duration`]
+//! arithmetic for event times — so replaying a recorded decision sequence
+//! through the real engine ([`crate::replay`]) reproduces the model's
+//! trace exactly, at every thread count.
+
+use gcs_clocks::{Duration, HardwareClock, Time};
+use gcs_core::GradientNode;
+use gcs_net::schedule::TopologyEventKind;
+use gcs_net::{Edge, NodeId, TopologyEvent};
+use gcs_sim::{
+    Action, Automaton, Context, FaultEvent, FaultKind, LinkChange, LinkChangeKind, Message,
+    TimerKind,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// One bounded-model-checking configuration: the closed world the
+/// explorer enumerates decision interleavings in.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Display name (also the exported trace name).
+    pub name: String,
+    /// Algorithm parameters (carry the model constants `ρ, T, D`).
+    pub algo: gcs_core::AlgoParams,
+    /// Per-node constant hardware rates, each within `[1−ρ, 1+ρ]`.
+    pub rates: Vec<f64>,
+    /// Initial edge set `E₀`, sorted ascending.
+    pub initial_edges: Vec<Edge>,
+    /// Scheduled churn, sorted by `(time, edge)`, all times `> 0`.
+    pub topology: Vec<TopologyEvent>,
+    /// Scheduled crash/restart faults, sorted by time, all times `> 0`.
+    pub faults: Vec<FaultEvent>,
+    /// The quantized delay alternatives offered at every live-edge send
+    /// (each within `[0, T]`); their count is the branching factor.
+    pub delay_choices: Vec<f64>,
+    /// Real-time horizon: events after it stay unexplored.
+    pub horizon: f64,
+}
+
+impl Scenario {
+    /// Validates the bounds the model relies on. Called by the explorer
+    /// and the fuzzer before any run.
+    pub fn validate(&self) {
+        let n = self.algo.n;
+        let m = &self.algo.model;
+        assert_eq!(self.rates.len(), n, "one rate per node");
+        for &r in &self.rates {
+            assert!(
+                (1.0 - m.rho..=1.0 + m.rho).contains(&r),
+                "rate {r} outside [1−ρ, 1+ρ]"
+            );
+        }
+        assert!(
+            self.initial_edges.windows(2).all(|w| w[0] < w[1]),
+            "initial edges must be sorted and distinct"
+        );
+        for e in &self.initial_edges {
+            assert!(e.hi().index() < n, "edge endpoint out of range");
+        }
+        assert!(
+            self.topology
+                .windows(2)
+                .all(|w| (w[0].time, w[0].edge) <= (w[1].time, w[1].edge)),
+            "topology events must be sorted by (time, edge)"
+        );
+        assert!(
+            self.faults.windows(2).all(|w| w[0].time <= w[1].time),
+            "fault events must be sorted by time"
+        );
+        for f in &self.faults {
+            assert!(f.time > Time::ZERO, "faults occur after time 0");
+            assert!(
+                matches!(f.kind, FaultKind::Crash { .. } | FaultKind::Restart { .. }),
+                "the model supports crash/restart faults only"
+            );
+        }
+        assert!(!self.delay_choices.is_empty(), "need at least one delay");
+        for &d in &self.delay_choices {
+            assert!((0.0..=m.t).contains(&d), "delay {d} outside [0, T]");
+        }
+        assert!(
+            self.horizon.is_finite() && self.horizon > 0.0,
+            "horizon must be positive"
+        );
+    }
+}
+
+/// How the model resolves the delay of one live-edge send — the only
+/// nondeterminism the explorer enumerates.
+#[derive(Debug)]
+pub enum DelayDecider {
+    /// Exhaustive-exploration mode: follow a forced prefix of choice
+    /// indices into [`Scenario::delay_choices`], pick index 0 beyond it,
+    /// and record `(arity, chosen)` for every decision so the explorer
+    /// can schedule the untaken branches.
+    Trail {
+        /// Forced choice prefix.
+        forced: Vec<usize>,
+        /// Decisions made so far: `(arity, chosen index)` per decision.
+        record: Vec<(usize, usize)>,
+    },
+    /// Fuzz mode: draw a uniform delay in `[0, T]` from a seeded stream,
+    /// recording every draw for shrinking and replay.
+    Random {
+        /// The fuzz stream.
+        rng: StdRng,
+        /// Delay bound `T`.
+        t: f64,
+        /// Every delay drawn, in global send order.
+        record: Vec<f64>,
+    },
+    /// Replay mode: feed back a recorded delay list (shrunken or not);
+    /// past its end, fall back to `fallback` (the worst-case `T`).
+    Scripted {
+        /// The recorded delays, in global send order.
+        delays: Vec<f64>,
+        /// Next index to serve.
+        pos: usize,
+        /// Delay served once `delays` is exhausted.
+        fallback: f64,
+    },
+}
+
+impl DelayDecider {
+    /// An exploration decider over `forced` choice indices.
+    pub fn trail(forced: Vec<usize>) -> Self {
+        DelayDecider::Trail {
+            forced,
+            record: Vec::new(),
+        }
+    }
+
+    /// A fuzz decider drawing uniformly from `[0, t]` under `seed`.
+    pub fn random(seed: u64, t: f64) -> Self {
+        DelayDecider::Random {
+            rng: StdRng::seed_from_u64(seed),
+            t,
+            record: Vec::new(),
+        }
+    }
+
+    /// A replay decider over a recorded delay list.
+    pub fn scripted(delays: Vec<f64>, fallback: f64) -> Self {
+        DelayDecider::Scripted {
+            delays,
+            pos: 0,
+            fallback,
+        }
+    }
+
+    /// Number of decisions resolved so far.
+    pub fn decisions(&self) -> usize {
+        match self {
+            DelayDecider::Trail { record, .. } => record.len(),
+            DelayDecider::Random { record, .. } => record.len(),
+            DelayDecider::Scripted { pos, .. } => *pos,
+        }
+    }
+
+    fn next_delay(&mut self, choices: &[f64]) -> f64 {
+        match self {
+            DelayDecider::Trail { forced, record } => {
+                let pos = record.len();
+                let chosen = forced.get(pos).copied().unwrap_or(0);
+                debug_assert!(chosen < choices.len(), "forced choice out of range");
+                record.push((choices.len(), chosen));
+                choices[chosen]
+            }
+            DelayDecider::Random { rng, t, record } => {
+                let d = rng.gen_range(0.0..=*t);
+                record.push(d);
+                d
+            }
+            DelayDecider::Scripted {
+                delays,
+                pos,
+                fallback,
+            } => {
+                let d = delays.get(*pos).copied().unwrap_or(*fallback);
+                *pos += 1;
+                d
+            }
+        }
+    }
+}
+
+/// An automaton the model checker can run: cloneable (one fresh instance
+/// per exploration run), probe-able (for the invariant oracle), and
+/// exactly encodable (for the seen-state set).
+pub trait ModelNode: Automaton + Clone {
+    /// The oracle's view of this node at hardware reading `hw`.
+    fn probe(&self, hw: f64) -> NodeProbe;
+
+    /// Appends an exact encoding of the node's complete dynamic state
+    /// (stable across paths: two nodes behaving identically forever must
+    /// encode identically, and vice versa).
+    fn encode(&self, out: &mut Vec<u64>);
+}
+
+/// Everything the invariant oracle reads from one node.
+#[derive(Clone, Debug)]
+pub struct NodeProbe {
+    /// `L_u` at the probed reading.
+    pub logical: f64,
+    /// `Lmax_u` at the probed reading.
+    pub max_estimate: f64,
+    /// The node's *own* report of the Definition 6.1 blocked predicate.
+    pub blocked: bool,
+    /// The neighbor caps `(L^v_u, B^v_u)` in ascending node-id order —
+    /// the tuples the specification-side predicate recomputation consumes.
+    pub caps: Vec<(f64, f64)>,
+}
+
+impl ModelNode for GradientNode {
+    fn probe(&self, hw: f64) -> NodeProbe {
+        NodeProbe {
+            logical: self.logical_clock(hw),
+            max_estimate: self.max_estimate(hw),
+            blocked: self.is_blocked(hw),
+            caps: self.neighbor_caps(hw).collect(),
+        }
+    }
+
+    fn encode(&self, out: &mut Vec<u64>) {
+        // ClockVar state is an offset from the hardware clock; probing at
+        // hw = 0 returns exactly that offset (`offset + 0.0 == offset`).
+        out.push(self.logical_clock(0.0).to_bits());
+        out.push(self.max_estimate(0.0).to_bits());
+        out.push(self.gamma().count() as u64);
+        for v in self.gamma() {
+            let st = self.neighbor_state(v).expect("gamma key");
+            out.push(v.index() as u64);
+            out.push(st.joined_hw.to_bits());
+            out.push(st.estimate.offset().to_bits());
+        }
+        out.push(self.upsilon().count() as u64);
+        for v in self.upsilon() {
+            out.push(v.index() as u64);
+        }
+    }
+}
+
+/// Mirror of the engine's event payloads (the model keeps its own copy so
+/// the engine's internals stay private to `gcs_sim`).
+#[derive(Clone, Copy, Debug)]
+enum Payload {
+    Deliver {
+        from: NodeId,
+        to: NodeId,
+        msg: Message,
+        epoch: u64,
+    },
+    Alarm {
+        node: NodeId,
+        kind: TimerKind,
+        generation: u64,
+    },
+    Topology {
+        kind: LinkChangeKind,
+        edge: Edge,
+        version: u64,
+    },
+    Discover {
+        node: NodeId,
+        change: LinkChange,
+        version: u64,
+    },
+    Fault {
+        kind: FaultKind,
+    },
+}
+
+impl Payload {
+    /// The engine's class ranks: topology changes apply before faults,
+    /// faults before protocol events, within one instant.
+    fn class(&self) -> u8 {
+        match self {
+            Payload::Topology { .. } => 0,
+            Payload::Fault { .. } => 1,
+            _ => 2,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct QueuedEv {
+    time: Time,
+    seq: u64,
+    payload: Payload,
+}
+
+impl QueuedEv {
+    fn key(&self) -> (Time, u8, u64) {
+        (self.time, self.payload.class(), self.seq)
+    }
+}
+
+/// The model's event queue: same total order as the engine's wheel —
+/// `(time, class, seq)` with `seq` assigned at push.
+#[derive(Clone, Debug, Default)]
+struct ModelQueue {
+    events: Vec<QueuedEv>,
+    next_seq: u64,
+}
+
+impl ModelQueue {
+    fn push(&mut self, time: Time, payload: Payload) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.events.push(QueuedEv { time, seq, payload });
+    }
+
+    fn peek_time(&self) -> Option<Time> {
+        self.events.iter().map(|e| e.time).min()
+    }
+
+    /// Removes and returns every event at the earliest pending time, in
+    /// `(class, seq)` order — the engine's `pop_instant`. Events pushed
+    /// afterwards at the same time form the next round, exactly as the
+    /// wheel's larger sequence numbers do.
+    fn pop_instant(&mut self) -> Option<(Time, Vec<QueuedEv>)> {
+        let t = self.peek_time()?;
+        let mut round: Vec<QueuedEv> = Vec::new();
+        self.events.retain(|e| {
+            if e.time == t {
+                round.push(*e);
+                false
+            } else {
+                true
+            }
+        });
+        round.sort_unstable_by_key(|e| e.key());
+        Some((t, round))
+    }
+}
+
+/// Mirror of the engine's canonical per-edge state (`EdgeStore` entry).
+#[derive(Clone, Copy, Debug, Default)]
+struct EdgeMirror {
+    live: bool,
+    epoch: u64,
+    versions: u64,
+    last_add_version: u64,
+    last_remove_version: u64,
+}
+
+/// Mirror of the engine's per-directed-pair node-local state.
+#[derive(Clone, Copy, Debug)]
+struct PeerMirror {
+    discovered_version: u64,
+    fifo_out: Time,
+}
+
+impl Default for PeerMirror {
+    fn default() -> Self {
+        PeerMirror {
+            discovered_version: 0,
+            fifo_out: Time::ZERO,
+        }
+    }
+}
+
+/// A deferred effect, merged after each segment in `(seq, k)` order.
+#[derive(Clone, Copy, Debug)]
+struct ModelEffect {
+    seq: u64,
+    k: u32,
+    time: Time,
+    payload: Payload,
+}
+
+/// One recorded live-edge send: the replayable decision outcome.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SendRecord {
+    /// Sender.
+    pub from: NodeId,
+    /// Receiver.
+    pub to: NodeId,
+    /// The chosen delay.
+    pub delay: f64,
+}
+
+/// A per-instant snapshot of the observable clock values — one ITF state.
+#[derive(Clone, Debug, PartialEq)]
+pub struct InstantState {
+    /// Real time of the snapshot.
+    pub time: f64,
+    /// `L_u` for every node, in id order.
+    pub logical: Vec<f64>,
+    /// `Lmax_u` for every node, in id order.
+    pub lmax: Vec<f64>,
+}
+
+/// The serial model interpreter over one [`Scenario`].
+#[derive(Clone, Debug)]
+pub struct Model<N: ModelNode> {
+    algo: gcs_core::AlgoParams,
+    clocks: Vec<HardwareClock>,
+    nodes: Vec<N>,
+    timers: Vec<BTreeMap<TimerKind, u64>>,
+    peers: Vec<BTreeMap<NodeId, PeerMirror>>,
+    edges: BTreeMap<Edge, EdgeMirror>,
+    crashed: Vec<NodeId>,
+    restart_count: Vec<u64>,
+    queue: ModelQueue,
+    now: Time,
+    topology: Vec<TopologyEvent>,
+    topo_cursor: usize,
+    faults: Vec<FaultEvent>,
+    fault_cursor: usize,
+    delay_choices: Vec<f64>,
+    sends: Vec<SendRecord>,
+    /// Scratch stream handed to [`Context`]; Algorithm 2 never draws, and
+    /// the engine's scratch stream is equally unobservable.
+    scratch_rng: StdRng,
+}
+
+impl<N: ModelNode> Model<N> {
+    /// Builds the time-0 state, mirroring `SimBuilder::build_with`:
+    /// initial edges are live at epoch 1 / version 1 with both endpoint
+    /// discoveries queued at time 0, then every node's `on_start` runs in
+    /// id order with its effects merged per node.
+    pub fn new(sc: &Scenario, mut make: impl FnMut(usize) -> N) -> Self {
+        let n = sc.algo.n;
+        let mut model = Model {
+            algo: sc.algo,
+            clocks: sc
+                .rates
+                .iter()
+                .map(|&r| HardwareClock::constant(r, sc.algo.model.rho))
+                .collect(),
+            nodes: (0..n).map(&mut make).collect(),
+            timers: vec![BTreeMap::new(); n],
+            peers: vec![BTreeMap::new(); n],
+            edges: BTreeMap::new(),
+            crashed: Vec::new(),
+            restart_count: vec![0; n],
+            queue: ModelQueue::default(),
+            now: Time::ZERO,
+            topology: sc.topology.clone(),
+            topo_cursor: 0,
+            faults: sc.faults.clone(),
+            fault_cursor: 0,
+            delay_choices: sc.delay_choices.clone(),
+            sends: Vec::new(),
+            scratch_rng: StdRng::seed_from_u64(0),
+        };
+        for &e in &sc.initial_edges {
+            let entry = model.edges.entry(e).or_default();
+            entry.live = true;
+            entry.epoch = 1;
+            entry.versions = 1;
+            entry.last_add_version = 1;
+            for w in [e.lo(), e.hi()] {
+                model.queue.push(
+                    Time::ZERO,
+                    Payload::Discover {
+                        node: w,
+                        change: LinkChange {
+                            kind: LinkChangeKind::Added,
+                            edge: e,
+                        },
+                        version: 1,
+                    },
+                );
+            }
+        }
+        // `on_start` per node in id order, effects merged per node — the
+        // engine's build loop.
+        let mut decider = DelayDecider::scripted(Vec::new(), sc.algo.model.t);
+        for i in 0..n {
+            let mut effects = Vec::new();
+            model.run_handler(
+                NodeId::from_index(i),
+                0,
+                &mut decider,
+                &mut effects,
+                |a, c| a.on_start(c),
+            );
+            model.merge_effects(effects);
+        }
+        debug_assert_eq!(decider.decisions(), 0, "on_start must not send");
+        model
+    }
+
+    /// Current real time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// The algorithm parameters this model runs under.
+    pub fn algo(&self) -> &gcs_core::AlgoParams {
+        &self.algo
+    }
+
+    /// Every recorded live-edge send so far, in global order.
+    pub fn sends(&self) -> &[SendRecord] {
+        &self.sends
+    }
+
+    /// Times a node has been restarted (the oracle resets its logical-
+    /// clock monotonicity floor across restarts).
+    pub fn restarts_of(&self, u: NodeId) -> u64 {
+        self.restart_count[u.index()]
+    }
+
+    /// Whether `u` is currently crashed.
+    pub fn is_crashed(&self, u: NodeId) -> bool {
+        self.crashed.binary_search(&u).is_ok()
+    }
+
+    /// The oracle probe of node `u` at the current time.
+    pub fn probe(&self, u: NodeId) -> NodeProbe {
+        self.nodes[u.index()].probe(self.read_hw(u, self.now))
+    }
+
+    /// The observable clock snapshot at the current time.
+    pub fn snapshot(&self) -> InstantState {
+        let n = self.nodes.len();
+        let mut logical = Vec::with_capacity(n);
+        let mut lmax = Vec::with_capacity(n);
+        for i in 0..n {
+            let u = NodeId::from_index(i);
+            let hw = self.read_hw(u, self.now);
+            logical.push(self.nodes[i].logical_clock(hw));
+            lmax.push(self.nodes[i].max_estimate(hw));
+        }
+        InstantState {
+            time: self.now.seconds(),
+            logical,
+            lmax,
+        }
+    }
+
+    /// Runs the model to `horizon`, resolving send delays through
+    /// `decider` and calling `on_instant` after every completed instant
+    /// (with `now()` at that instant, and the number of decisions made so
+    /// far as the second argument) plus once at the final processed
+    /// instant. Returning `false` from the callback stops the run early
+    /// (the explorer's seen-state pruning). Afterwards `now()` is the
+    /// horizon (unless stopped early).
+    ///
+    /// This mirrors `Simulator::run_until(horizon)` exactly: sources are
+    /// pumped before every pop with a `T` lookahead, instants split into
+    /// topology barriers, fault barriers and one protocol segment, and
+    /// all segment effects merge in `(trigger seq, emission idx)` order.
+    pub fn run(
+        &mut self,
+        horizon: f64,
+        decider: &mut DelayDecider,
+        mut on_instant: impl FnMut(&Model<N>, usize) -> bool,
+    ) -> RunStatus {
+        let until = Time::new(horizon);
+        assert!(until >= self.now, "cannot run backwards");
+        loop {
+            self.pump_topology();
+            self.pump_faults();
+            let Some(t) = self.queue.peek_time() else {
+                break;
+            };
+            if t > until {
+                break;
+            }
+            if t > self.now && !on_instant(self, decider.decisions()) {
+                return RunStatus::Stopped;
+            }
+            let (t, round) = self.queue.pop_instant().expect("peek said non-empty");
+            self.now = t;
+            self.run_round(&round, decider);
+        }
+        let go_on = on_instant(self, decider.decisions());
+        self.now = until;
+        if go_on {
+            RunStatus::Completed
+        } else {
+            RunStatus::Stopped
+        }
+    }
+
+    /// Streams due topology into the queue — the engine's
+    /// `pump_topology`: pull while the source's next event is at or
+    /// before the queue's next pop (or the queue is empty), with a `T`
+    /// lookahead per pull.
+    fn pump_topology(&mut self) {
+        loop {
+            let Some(ts) = self.topology.get(self.topo_cursor).map(|e| e.time) else {
+                return;
+            };
+            if let Some(next) = self.queue.peek_time() {
+                if ts > next {
+                    return;
+                }
+            }
+            let until = ts + Duration::new(self.algo.model.t);
+            while let Some(&ev) = self
+                .topology
+                .get(self.topo_cursor)
+                .filter(|e| e.time <= until)
+            {
+                self.topo_cursor += 1;
+                self.schedule_topology(ev);
+            }
+        }
+    }
+
+    fn pump_faults(&mut self) {
+        loop {
+            let Some(ts) = self.faults.get(self.fault_cursor).map(|e| e.time) else {
+                return;
+            };
+            if let Some(next) = self.queue.peek_time() {
+                if ts > next {
+                    return;
+                }
+            }
+            let until = ts + Duration::new(self.algo.model.t);
+            while let Some(&ev) = self
+                .faults
+                .get(self.fault_cursor)
+                .filter(|e| e.time <= until)
+            {
+                self.fault_cursor += 1;
+                self.queue.push(ev.time, Payload::Fault { kind: ev.kind });
+            }
+        }
+    }
+
+    /// Assigns the pulled event its per-edge change version and queues it
+    /// plus both endpoint discoveries at `time + D` (the model fixes the
+    /// engine's `DiscoveryDelay::Constant(D)`, which draws nothing).
+    fn schedule_topology(&mut self, ev: TopologyEvent) {
+        let entry = self.edges.entry(ev.edge).or_default();
+        entry.versions += 1;
+        let version = entry.versions;
+        let kind = match ev.kind {
+            TopologyEventKind::Add => LinkChangeKind::Added,
+            TopologyEventKind::Remove => LinkChangeKind::Removed,
+        };
+        self.queue.push(
+            ev.time,
+            Payload::Topology {
+                kind,
+                edge: ev.edge,
+                version,
+            },
+        );
+        let lat = self.discovery_latency();
+        for w in [ev.edge.lo(), ev.edge.hi()] {
+            self.queue.push(
+                ev.time + Duration::new(lat),
+                Payload::Discover {
+                    node: w,
+                    change: LinkChange {
+                        kind,
+                        edge: ev.edge,
+                    },
+                    version,
+                },
+            );
+        }
+    }
+
+    /// `DiscoveryDelay::Constant(D)` as the engine evaluates it.
+    fn discovery_latency(&self) -> f64 {
+        let d = self.algo.model.d;
+        d.clamp(f64::MIN_POSITIVE, d)
+    }
+
+    /// One instant: topology barriers, then fault barriers, then a single
+    /// protocol segment — the order the `(time, class, seq)` sort already
+    /// put the round in.
+    fn run_round(&mut self, round: &[QueuedEv], decider: &mut DelayDecider) {
+        let mut i = 0;
+        while i < round.len() {
+            match round[i].payload {
+                Payload::Topology {
+                    kind,
+                    edge,
+                    version,
+                } => {
+                    self.apply_topology(kind, edge, version);
+                    i += 1;
+                }
+                Payload::Fault { kind } => {
+                    self.apply_fault(kind, round[i].seq, decider);
+                    i += 1;
+                }
+                _ => break,
+            }
+        }
+        if i == round.len() {
+            return;
+        }
+        let mut effects = Vec::new();
+        for ev in &round[i..] {
+            debug_assert_eq!(ev.payload.class(), 2, "barriers sort first");
+            self.run_event(ev, decider, &mut effects);
+        }
+        self.merge_effects(effects);
+    }
+
+    fn apply_topology(&mut self, kind: LinkChangeKind, edge: Edge, version: u64) {
+        let entry = self.edges.entry(edge).or_default();
+        match kind {
+            LinkChangeKind::Added => {
+                entry.epoch += 1;
+                entry.live = true;
+                entry.last_add_version = version;
+            }
+            LinkChangeKind::Removed => {
+                entry.last_remove_version = version;
+                entry.live = false;
+            }
+        }
+    }
+
+    /// The engine's fault barrier for the crash/restart family.
+    fn apply_fault(&mut self, kind: FaultKind, seq: u64, decider: &mut DelayDecider) {
+        match kind {
+            FaultKind::Crash { node } => {
+                if let Err(i) = self.crashed.binary_search(&node) {
+                    self.crashed.insert(i, node);
+                    // All armed timers go stale; entries stay so post-
+                    // restart arms never alias in-flight generations.
+                    for gen in self.timers[node.index()].values_mut() {
+                        *gen = gen.wrapping_add(1);
+                    }
+                }
+            }
+            FaultKind::Restart { node } => {
+                if let Ok(i) = self.crashed.binary_search(&node) {
+                    self.crashed.remove(i);
+                }
+                self.restart_count[node.index()] += 1;
+                let fresh = self.nodes[node.index()]
+                    .try_reboot()
+                    .expect("model automata support reboot");
+                self.nodes[node.index()] = fresh;
+                for gen in self.timers[node.index()].values_mut() {
+                    *gen = gen.wrapping_add(1);
+                }
+                for peer in self.peers[node.index()].values_mut() {
+                    peer.discovered_version = 0;
+                }
+                // `on_start` at the restart instant, merged under the
+                // fault's sequence number.
+                let mut effects = Vec::new();
+                self.run_handler(node, seq, decider, &mut effects, |a, c| a.on_start(c));
+                self.merge_effects(effects);
+                // Rediscover currently-live edges within D, under each
+                // edge's last applied add version.
+                let lat = self.discovery_latency();
+                let neighbors: Vec<NodeId> = (0..self.nodes.len())
+                    .map(NodeId::from_index)
+                    .filter(|&v| {
+                        v != node && self.edges.get(&Edge::new(node, v)).is_some_and(|e| e.live)
+                    })
+                    .collect();
+                for v in neighbors {
+                    let edge = Edge::new(node, v);
+                    let version = self
+                        .edges
+                        .get(&edge)
+                        .map(|e| e.last_add_version)
+                        .unwrap_or(1);
+                    self.queue.push(
+                        self.now + Duration::new(lat),
+                        Payload::Discover {
+                            node,
+                            change: LinkChange {
+                                kind: LinkChangeKind::Added,
+                                edge,
+                            },
+                            version,
+                        },
+                    );
+                }
+            }
+            _ => unreachable!("Scenario::validate admits crash/restart only"),
+        }
+    }
+
+    /// Hardware reading of `u` at `t`: `H(0) = 0`, else the node's clock —
+    /// the engine's stateless-plane path bit for bit.
+    fn read_hw(&self, u: NodeId, t: Time) -> f64 {
+        if t == Time::ZERO {
+            return 0.0;
+        }
+        self.clocks[u.index()].read(t)
+    }
+
+    /// One non-barrier event — the engine's `dispatch::run_event`.
+    fn run_event(
+        &mut self,
+        ev: &QueuedEv,
+        decider: &mut DelayDecider,
+        effects: &mut Vec<ModelEffect>,
+    ) {
+        let owner = match ev.payload {
+            Payload::Deliver { to, .. } => to,
+            Payload::Alarm { node, .. } => node,
+            Payload::Discover { node, .. } => node,
+            _ => unreachable!("barriers applied above"),
+        };
+        // A crashed node executes nothing: deliveries to it vanish, its
+        // alarms and discoveries are suppressed; watermarks are left
+        // untouched.
+        if self.is_crashed(owner) {
+            return;
+        }
+        match ev.payload {
+            Payload::Deliver {
+                from,
+                to,
+                msg,
+                epoch,
+            } => {
+                let edge = Edge::new(from, to);
+                let state = self.edges.get(&edge);
+                if state.map(|e| e.live && e.epoch == epoch).unwrap_or(false) {
+                    self.run_handler(owner, ev.seq, decider, effects, |a, c| {
+                        a.on_receive(c, from, msg)
+                    });
+                } else {
+                    // Dropped in flight: the sender learns of the removal
+                    // now (≤ send + T < send + D).
+                    let version = state.map(|e| e.last_remove_version).unwrap_or(0);
+                    effects.push(ModelEffect {
+                        seq: ev.seq,
+                        k: 0,
+                        time: self.now,
+                        payload: Payload::Discover {
+                            node: from,
+                            change: LinkChange {
+                                kind: LinkChangeKind::Removed,
+                                edge,
+                            },
+                            version,
+                        },
+                    });
+                }
+            }
+            Payload::Alarm {
+                kind, generation, ..
+            } => {
+                let timers = &mut self.timers[owner.index()];
+                if timers.get(&kind).copied() != Some(generation) {
+                    return; // stale
+                }
+                timers.remove(&kind); // disarm: a fired alarm consumes its entry
+                self.run_handler(owner, ev.seq, decider, effects, |a, c| a.on_alarm(c, kind));
+            }
+            Payload::Discover {
+                change, version, ..
+            } => {
+                let other = change.edge.other(owner);
+                let peer = self.peers[owner.index()].entry(other).or_default();
+                if version <= peer.discovered_version {
+                    return; // stale
+                }
+                peer.discovered_version = version;
+                self.run_handler(owner, ev.seq, decider, effects, |a, c| {
+                    a.on_discover(c, change)
+                });
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    /// Runs one handler and converts its actions into effects — the
+    /// engine's `dispatch::run_handler`, with the delay draw replaced by
+    /// the decider.
+    fn run_handler(
+        &mut self,
+        u: NodeId,
+        seq: u64,
+        decider: &mut DelayDecider,
+        effects: &mut Vec<ModelEffect>,
+        f: impl FnOnce(&mut N, &mut Context<'_>),
+    ) {
+        let hw = self.read_hw(u, self.now);
+        let mut actions: Vec<Action> = Vec::new();
+        {
+            let mut ctx = Context::new(u, self.now, hw, &mut actions, &mut self.scratch_rng);
+            f(&mut self.nodes[u.index()], &mut ctx);
+        }
+        let mut k = 0u32;
+        for action in actions {
+            match action {
+                Action::Send { to, msg } => {
+                    let edge = Edge::new(u, to);
+                    let state = self.edges.get(&edge);
+                    if state.map(|e| e.live).unwrap_or(false) {
+                        let epoch = state.expect("live edge has an entry").epoch;
+                        // THE decision point: the adversary picks the
+                        // delay within [0, T] (the engine's strategy
+                        // clamp applied for exactness).
+                        let d = decider
+                            .next_delay(&self.delay_choices)
+                            .clamp(0.0, self.algo.model.t);
+                        let mut deliver_at = self.now + Duration::new(d);
+                        let peer = self.peers[u.index()].entry(to).or_default();
+                        deliver_at = deliver_at.max(peer.fifo_out);
+                        peer.fifo_out = deliver_at;
+                        self.sends.push(SendRecord {
+                            from: u,
+                            to,
+                            delay: d,
+                        });
+                        effects.push(ModelEffect {
+                            seq,
+                            k,
+                            time: deliver_at,
+                            payload: Payload::Deliver {
+                                from: u,
+                                to,
+                                msg,
+                                epoch,
+                            },
+                        });
+                    } else {
+                        // No edge: not delivered, sender discovers within D.
+                        let version = state.map(|e| e.last_remove_version).unwrap_or(0);
+                        effects.push(ModelEffect {
+                            seq,
+                            k,
+                            time: self.now + Duration::new(self.discovery_latency()),
+                            payload: Payload::Discover {
+                                node: u,
+                                change: LinkChange {
+                                    kind: LinkChangeKind::Removed,
+                                    edge,
+                                },
+                                version,
+                            },
+                        });
+                    }
+                    k += 1;
+                }
+                Action::SetTimer { delta, kind } => {
+                    let generation = self.timers[u.index()]
+                        .entry(kind)
+                        .and_modify(|g| *g = g.wrapping_add(1))
+                        .or_insert(1);
+                    let generation = *generation;
+                    let fire = if self.now == Time::ZERO {
+                        self.clocks[u.index()].fire_time(Time::ZERO, delta)
+                    } else {
+                        self.clocks[u.index()].fire_time(self.now, delta)
+                    };
+                    effects.push(ModelEffect {
+                        seq,
+                        k,
+                        time: fire,
+                        payload: Payload::Alarm {
+                            node: u,
+                            kind,
+                            generation,
+                        },
+                    });
+                    k += 1;
+                }
+                Action::CancelTimer { kind } => {
+                    // cancel: bump if armed, entry stays present.
+                    if let Some(gen) = self.timers[u.index()].get_mut(&kind) {
+                        *gen = gen.wrapping_add(1);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Canonical effect merge: sort by `(trigger seq, emission idx)`,
+    /// push in that order so new events get the engine's tie-break order.
+    fn merge_effects(&mut self, mut effects: Vec<ModelEffect>) {
+        effects.sort_unstable_by_key(|e| (e.seq, e.k));
+        for e in effects {
+            self.queue.push(e.time, e.payload);
+        }
+    }
+
+    /// Appends an exact canonical encoding of the complete model state.
+    ///
+    /// Queue sequence numbers are remapped to their pop-order rank:
+    /// absolute values grow with history length, but only their *order*
+    /// is observable (they never enter any `f64` computation), so two
+    /// states agreeing on everything but the absolute values behave
+    /// identically forever. Everything else — times, offsets, epochs,
+    /// versions, generations — is encoded raw.
+    pub fn encode(&self, out: &mut Vec<u64>) {
+        out.push(self.now.seconds().to_bits());
+        for (i, node) in self.nodes.iter().enumerate() {
+            let u = NodeId::from_index(i);
+            out.push(u64::from(self.is_crashed(u)));
+            node.encode(out);
+            let timers = &self.timers[i];
+            out.push(timers.len() as u64);
+            for (&kind, &gen) in timers {
+                out.push(timer_code(kind));
+                out.push(gen);
+            }
+            // Engine peer slots materialize lazily with default content,
+            // so default entries encode as absent.
+            let live_peers: Vec<_> = self.peers[i]
+                .iter()
+                .filter(|(_, p)| p.discovered_version != 0 || p.fifo_out != Time::ZERO)
+                .collect();
+            out.push(live_peers.len() as u64);
+            for (&v, p) in live_peers {
+                out.push(v.index() as u64);
+                out.push(p.discovered_version);
+                out.push(p.fifo_out.seconds().to_bits());
+            }
+        }
+        out.push(self.edges.len() as u64);
+        for (e, st) in &self.edges {
+            out.push(e.lo().index() as u64);
+            out.push(e.hi().index() as u64);
+            out.push(u64::from(st.live));
+            out.push(st.epoch);
+            out.push(st.versions);
+            out.push(st.last_add_version);
+            out.push(st.last_remove_version);
+        }
+        out.push(self.topo_cursor as u64);
+        out.push(self.fault_cursor as u64);
+        let mut pending = self.queue.events.clone();
+        pending.sort_unstable_by_key(|e| e.key());
+        out.push(pending.len() as u64);
+        for ev in &pending {
+            out.push(ev.time.seconds().to_bits());
+            match ev.payload {
+                Payload::Deliver {
+                    from,
+                    to,
+                    msg,
+                    epoch,
+                } => {
+                    out.push(0);
+                    out.push(from.index() as u64);
+                    out.push(to.index() as u64);
+                    out.push(msg.logical.to_bits());
+                    out.push(msg.max_estimate.to_bits());
+                    out.push(epoch);
+                }
+                Payload::Alarm {
+                    node,
+                    kind,
+                    generation,
+                } => {
+                    out.push(1);
+                    out.push(node.index() as u64);
+                    out.push(timer_code(kind));
+                    out.push(generation);
+                }
+                Payload::Topology {
+                    kind,
+                    edge,
+                    version,
+                } => {
+                    out.push(2);
+                    out.push(u64::from(kind == LinkChangeKind::Added));
+                    out.push(edge.lo().index() as u64);
+                    out.push(edge.hi().index() as u64);
+                    out.push(version);
+                }
+                Payload::Discover {
+                    node,
+                    change,
+                    version,
+                } => {
+                    out.push(3);
+                    out.push(node.index() as u64);
+                    out.push(u64::from(change.kind == LinkChangeKind::Added));
+                    out.push(change.edge.lo().index() as u64);
+                    out.push(change.edge.hi().index() as u64);
+                    out.push(version);
+                }
+                Payload::Fault { kind } => {
+                    out.push(4);
+                    match kind {
+                        FaultKind::Crash { node } => {
+                            out.push(0);
+                            out.push(node.index() as u64);
+                        }
+                        FaultKind::Restart { node } => {
+                            out.push(1);
+                            out.push(node.index() as u64);
+                        }
+                        _ => unreachable!("validated scenario"),
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// How a [`Model::run`] ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunStatus {
+    /// Ran to the horizon.
+    Completed,
+    /// The instant callback requested an early stop (seen state or
+    /// violation).
+    Stopped,
+}
+
+fn timer_code(kind: TimerKind) -> u64 {
+    match kind {
+        TimerKind::Tick => 0,
+        TimerKind::Lost(v) => 1 + v.index() as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcs_core::AlgoParams;
+    use gcs_sim::ModelParams;
+
+    fn tiny_scenario() -> Scenario {
+        let model = ModelParams::new(0.05, 1.0, 2.0);
+        Scenario {
+            name: "tiny".into(),
+            algo: AlgoParams::with_minimal_b0(model, 2, 0.5),
+            rates: vec![1.05, 0.95],
+            initial_edges: vec![Edge::new(NodeId::from_index(0), NodeId::from_index(1))],
+            topology: Vec::new(),
+            faults: Vec::new(),
+            delay_choices: vec![0.0, 1.0],
+            horizon: 2.0,
+        }
+    }
+
+    #[test]
+    fn model_runs_to_horizon_and_snapshots() {
+        let sc = tiny_scenario();
+        sc.validate();
+        let mut m = Model::new(&sc, |_| GradientNode::new(sc.algo));
+        let mut decider = DelayDecider::trail(Vec::new());
+        let mut instants = 0;
+        let status = m.run(sc.horizon, &mut decider, |_, _| {
+            instants += 1;
+            true
+        });
+        assert_eq!(status, RunStatus::Completed);
+        assert!(instants > 0, "ticks and discoveries produce instants");
+        assert!(decider.decisions() > 0, "live-edge sends are decisions");
+        let snap = m.snapshot();
+        assert_eq!(snap.time, sc.horizon);
+        // The fast node's logical clock tracks its hardware clock.
+        assert!(snap.logical[0] > 0.0 && snap.lmax[0] >= snap.logical[0]);
+    }
+
+    #[test]
+    fn encode_is_deterministic_across_identical_runs() {
+        let sc = tiny_scenario();
+        let run = |choices: Vec<usize>| {
+            let mut m = Model::new(&sc, |_| GradientNode::new(sc.algo));
+            let mut d = DelayDecider::trail(choices);
+            m.run(sc.horizon, &mut d, |_, _| true);
+            let mut enc = Vec::new();
+            m.encode(&mut enc);
+            enc
+        };
+        assert_eq!(run(vec![0, 1]), run(vec![0, 1]));
+        assert_ne!(
+            run(vec![0, 0]),
+            run(vec![1, 1]),
+            "different delay choices reach different states"
+        );
+    }
+
+    #[test]
+    fn scripted_decider_replays_a_recorded_run_exactly() {
+        let sc = tiny_scenario();
+        let mut m1 = Model::new(&sc, |_| GradientNode::new(sc.algo));
+        let mut d1 = DelayDecider::trail(vec![1, 0, 1]);
+        m1.run(sc.horizon, &mut d1, |_, _| true);
+        let delays: Vec<f64> = m1.sends().iter().map(|s| s.delay).collect();
+
+        let mut m2 = Model::new(&sc, |_| GradientNode::new(sc.algo));
+        let mut d2 = DelayDecider::scripted(delays, sc.algo.model.t);
+        m2.run(sc.horizon, &mut d2, |_, _| true);
+        assert_eq!(m1.sends(), m2.sends());
+        let (mut e1, mut e2) = (Vec::new(), Vec::new());
+        m1.encode(&mut e1);
+        m2.encode(&mut e2);
+        assert_eq!(e1, e2);
+    }
+}

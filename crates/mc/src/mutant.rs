@@ -1,0 +1,303 @@
+//! Seeded mutants: intentionally broken Algorithm 2 variants that the
+//! oracle **must** reject — the mutation smoke test that keeps the
+//! `model_check` CI job fail-closed.
+//!
+//! A model checker that silently passes everything is worse than none, so
+//! CI runs the checker against each [`Mutation`] and fails unless a
+//! violation is found. [`MutantNode`] is a deliberately independent,
+//! minimal re-implementation of Algorithm 2 (it need not be bit-identical
+//! to [`GradientNode`](gcs_core::GradientNode) — only behaviorally
+//! correct when unmutated), with the mutation applied at one precise
+//! point:
+//!
+//! * [`Mutation::LmaxOverwrite`] — `on_receive` *overwrites* `Lmax_u`
+//!   with the sender's estimate instead of raising to it. A node ahead of
+//!   its neighbor then lowers its max estimate below its own logical
+//!   clock, violating **Property 6.3** the moment a slow node's message
+//!   reaches a fast one.
+//! * [`Mutation::MissingHeadroomClause`] — the blocked predicate is
+//!   reported without Definition 6.1's `Lmax_u > L_u` conjunct: the node
+//!   claims to be blocked whenever *any* neighbor estimate exceeds its
+//!   budget, even while `L_u = Lmax_u`. The recomputed predicate
+//!   disagrees at any state where the max-holding node faces a far-behind
+//!   neighbor — reachable with wide margin by bridging two long-isolated
+//!   components under the constant-budget baseline policy.
+//! * [`Mutation::None`] — the unmutated control; the oracle must accept
+//!   it on the same schedules (this pins that rejections come from the
+//!   mutation, not from the re-implementation being wrong).
+
+use crate::model::{ModelNode, NodeProbe};
+use gcs_clocks::ClockVar;
+use gcs_core::{predicate, AlgoParams};
+use gcs_net::NodeId;
+use gcs_sim::{Automaton, Context, LinkChange, LinkChangeKind, Message, TimerKind};
+use std::collections::BTreeMap;
+
+/// Which defect to inject (see module docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mutation {
+    /// Unmutated control — must pass the oracle.
+    None,
+    /// `on_receive` overwrites `Lmax` instead of raising — breaks
+    /// Property 6.3.
+    LmaxOverwrite,
+    /// The blocked report drops the `Lmax_u > L_u` clause — breaks
+    /// Definition 6.1 agreement.
+    MissingHeadroomClause,
+}
+
+/// A minimal independent Algorithm 2 node with an injectable defect.
+#[derive(Clone, Debug)]
+pub struct MutantNode {
+    algo: AlgoParams,
+    mutation: Mutation,
+    l: ClockVar,
+    lmax: ClockVar,
+    gamma: BTreeMap<NodeId, (f64, ClockVar)>,
+    upsilon: Vec<NodeId>,
+}
+
+impl MutantNode {
+    /// A fresh node at `L = Lmax = 0` with the given defect.
+    pub fn new(algo: AlgoParams, mutation: Mutation) -> Self {
+        MutantNode {
+            algo,
+            mutation,
+            l: ClockVar::zeroed(),
+            lmax: ClockVar::zeroed(),
+            gamma: BTreeMap::new(),
+            upsilon: Vec::new(),
+        }
+    }
+
+    fn caps(&self, hw: f64) -> Vec<(f64, f64)> {
+        self.gamma
+            .iter()
+            .map(|(_, (joined_hw, estimate))| {
+                let budget = predicate::effective_budget(
+                    self.algo.budget_unfloored(hw - joined_hw),
+                    self.algo.b0,
+                );
+                (estimate.value(hw), budget)
+            })
+            .collect()
+    }
+
+    fn adjust_clock(&mut self, hw: f64) {
+        let target = predicate::advance_target(self.lmax.value(hw), self.caps(hw));
+        if predicate::should_jump(target, self.l.value(hw)) {
+            self.l.set(target, hw);
+        }
+    }
+
+    fn message(&self, hw: f64) -> Message {
+        Message {
+            logical: self.l.value(hw),
+            max_estimate: self.lmax.value(hw),
+        }
+    }
+
+    fn upsilon_insert(&mut self, v: NodeId) {
+        if let Err(i) = self.upsilon.binary_search(&v) {
+            self.upsilon.insert(i, v);
+        }
+    }
+}
+
+impl Automaton for MutantNode {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        ctx.set_timer(self.algo.delta_h, TimerKind::Tick);
+    }
+
+    fn on_receive(&mut self, ctx: &mut Context<'_>, from: NodeId, msg: Message) {
+        ctx.cancel_timer(TimerKind::Lost(from));
+        self.upsilon_insert(from);
+        match self.gamma.get_mut(&from) {
+            Some((_, estimate)) => estimate.overwrite(msg.logical, ctx.hw),
+            None => {
+                self.gamma
+                    .insert(from, (ctx.hw, ClockVar::with_value(msg.logical, ctx.hw)));
+            }
+        }
+        match self.mutation {
+            // The defect: take the sender's estimate verbatim, even when
+            // it is *below* ours (and below our own logical clock).
+            Mutation::LmaxOverwrite => self.lmax.overwrite(msg.max_estimate, ctx.hw),
+            _ => self.lmax.raise_to(msg.max_estimate, ctx.hw),
+        }
+        self.adjust_clock(ctx.hw);
+        ctx.set_timer(self.algo.delta_t_prime(), TimerKind::Lost(from));
+    }
+
+    fn on_discover(&mut self, ctx: &mut Context<'_>, change: LinkChange) {
+        let other = change.edge.other(ctx.node);
+        match change.kind {
+            LinkChangeKind::Added => {
+                ctx.send(other, self.message(ctx.hw));
+                self.upsilon_insert(other);
+            }
+            LinkChangeKind::Removed => {
+                self.gamma.remove(&other);
+                if let Ok(i) = self.upsilon.binary_search(&other) {
+                    self.upsilon.remove(i);
+                }
+            }
+        }
+        self.adjust_clock(ctx.hw);
+    }
+
+    fn on_alarm(&mut self, ctx: &mut Context<'_>, kind: TimerKind) {
+        match kind {
+            TimerKind::Lost(v) => {
+                self.gamma.remove(&v);
+                self.adjust_clock(ctx.hw);
+            }
+            TimerKind::Tick => {
+                let msg = self.message(ctx.hw);
+                for &v in &self.upsilon {
+                    ctx.send(v, msg);
+                }
+                self.adjust_clock(ctx.hw);
+                ctx.set_timer(self.algo.delta_h, TimerKind::Tick);
+            }
+        }
+    }
+
+    fn logical_clock(&self, hw: f64) -> f64 {
+        self.l.value(hw)
+    }
+
+    fn max_estimate(&self, hw: f64) -> f64 {
+        self.lmax.value(hw)
+    }
+
+    fn try_reboot(&self) -> Result<Self, gcs_sim::RebootUnsupported> {
+        Ok(MutantNode::new(self.algo, self.mutation))
+    }
+}
+
+impl ModelNode for MutantNode {
+    fn probe(&self, hw: f64) -> NodeProbe {
+        let caps = self.caps(hw);
+        let l = self.l.value(hw);
+        let lmax = self.lmax.value(hw);
+        let blocked = match self.mutation {
+            // The defect: drop the headroom conjunct — report any
+            // over-budget neighbor as blocking, even at L = Lmax.
+            Mutation::MissingHeadroomClause => caps
+                .iter()
+                .any(|&(estimate, budget)| predicate::neighbor_blocks(l, estimate, budget)),
+            _ => predicate::is_blocked(l, lmax, caps.iter().copied()),
+        };
+        NodeProbe {
+            logical: l,
+            max_estimate: lmax,
+            blocked,
+            caps,
+        }
+    }
+
+    fn encode(&self, out: &mut Vec<u64>) {
+        out.push(self.l.offset().to_bits());
+        out.push(self.lmax.offset().to_bits());
+        out.push(self.gamma.len() as u64);
+        for (v, (joined_hw, estimate)) in &self.gamma {
+            out.push(v.index() as u64);
+            out.push(joined_hw.to_bits());
+            out.push(estimate.offset().to_bits());
+        }
+        out.push(self.upsilon.len() as u64);
+        for v in &self.upsilon {
+            out.push(v.index() as u64);
+        }
+    }
+}
+
+/// The schedule used by the mutation smoke test for `mutation`: a
+/// deterministic scenario on which the mutated node must violate an
+/// invariant while [`Mutation::None`] passes. Returns the scenario and
+/// the worst-case scripted delay (every send takes the full `T`).
+pub fn smoke_scenario(mutation: Mutation) -> crate::model::Scenario {
+    use gcs_net::{node, Edge};
+    let model = gcs_sim::ModelParams::new(0.4, 1.0, 2.0);
+    match mutation {
+        // Two drifting nodes on a live edge: the fast node receives the
+        // slow node's (lower) max estimate within a few exchanges.
+        Mutation::None | Mutation::LmaxOverwrite => crate::model::Scenario {
+            name: format!("mutant-{mutation:?}"),
+            algo: AlgoParams::with_minimal_b0(model, 2, 0.5),
+            rates: vec![1.4, 0.6],
+            initial_edges: vec![Edge::new(node(0), node(1))],
+            topology: Vec::new(),
+            faults: Vec::new(),
+            delay_choices: vec![1.0],
+            horizon: 6.0,
+        },
+        // Two components drift apart for 40 time units, then a bridge
+        // edge appears: under the constant-budget baseline the skew
+        // (0.8·40 = 32) far exceeds B0, so the fast node sees its new
+        // neighbor more than a full budget behind while holding the max
+        // itself — the dropped headroom clause misreports with ~11 units
+        // of slack, no floating-point boundary in sight.
+        Mutation::MissingHeadroomClause => {
+            let algo =
+                AlgoParams::with_policy(model, 2, 0.5, 21.0, gcs_core::BudgetPolicy::Constant);
+            crate::model::Scenario {
+                name: format!("mutant-{mutation:?}"),
+                algo,
+                rates: vec![1.4, 0.6],
+                initial_edges: Vec::new(),
+                topology: vec![TopologyEvent::add_at(40.0, Edge::new(node(0), node(1)))],
+                faults: Vec::new(),
+                delay_choices: vec![1.0],
+                horizon: 46.0,
+            }
+        }
+    }
+}
+
+use gcs_net::TopologyEvent;
+
+/// Runs `mutation` through its smoke scenario under worst-case (full-`T`)
+/// delays and returns the first violation, if any.
+pub fn smoke_run(mutation: Mutation) -> Option<crate::oracle::Violation> {
+    use crate::model::{DelayDecider, Model};
+    use crate::oracle::Oracle;
+    let sc = smoke_scenario(mutation);
+    sc.validate();
+    let mut m = Model::new(&sc, |_| MutantNode::new(sc.algo, mutation));
+    let mut oracle = Oracle::new(sc.algo.n);
+    let mut decider = DelayDecider::scripted(Vec::new(), sc.algo.model.t);
+    m.run(sc.horizon, &mut decider, |m, _| oracle.check(m));
+    oracle.violation().cloned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unmutated_control_passes_both_smoke_scenarios() {
+        assert_eq!(smoke_run(Mutation::None), None);
+        // The control must also pass the bridge scenario the headroom
+        // mutant runs on.
+        let sc = smoke_scenario(Mutation::MissingHeadroomClause);
+        let mut m = crate::model::Model::new(&sc, |_| MutantNode::new(sc.algo, Mutation::None));
+        let mut oracle = crate::oracle::Oracle::new(sc.algo.n);
+        let mut decider = crate::model::DelayDecider::scripted(Vec::new(), sc.algo.model.t);
+        m.run(sc.horizon, &mut decider, |m, _| oracle.check(m));
+        assert_eq!(oracle.violation(), None);
+    }
+
+    #[test]
+    fn lmax_overwrite_violates_property_6_3() {
+        let v = smoke_run(Mutation::LmaxOverwrite).expect("mutant must be caught");
+        assert!(v.message.contains("Property 6.3"), "{v}");
+    }
+
+    #[test]
+    fn missing_headroom_clause_violates_definition_6_1() {
+        let v = smoke_run(Mutation::MissingHeadroomClause).expect("mutant must be caught");
+        assert!(v.message.contains("Definition 6.1"), "{v}");
+    }
+}

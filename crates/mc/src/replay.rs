@@ -1,0 +1,286 @@
+//! Counterexample replay: executing an ITF trace through the real engine.
+//!
+//! [`TraceReplaySource`] packages a trace's scheduled nondeterminism as
+//! one object implementing all three of the engine's source-plane
+//! contracts — [`TopologySource`] (the recorded initial edges + churn),
+//! [`FaultSource`] (the recorded crash/restart schedule), and
+//! [`DriftSource`] (the recorded constant per-node rates, served
+//! statelessly through [`ScheduleDrift`], the exact plane
+//! `SimBuilder::clocks` installs). One value is cloned into each of the
+//! `SimBuilder::topology/drift/faults` slots; the recorded per-send
+//! delays go in as a [`DelayStrategy::Scripted`] script and discovery is
+//! pinned at the model's `DiscoveryDelay::Constant(D)`.
+//!
+//! With every nondeterministic input pinned, the engine's trace is a
+//! pure function of the trace file — and because the model interpreter
+//! mirrors the engine's event order exactly, [`replay_trace`] demands
+//! **bit identity**: at every recorded instant, every node's `L_u` and
+//! `Lmax_u` must match the recorded snapshot to the last bit, at any
+//! thread count. A mismatch fails with the first diverging node/instant.
+//!
+//! Replay reconstructs `AlgoParams` via `AlgoParams::new` (aging budget
+//! policy) — the configuration of the engine-facing Algorithm 2. Traces
+//! exported from baseline-policy mutants are inspection artifacts, not
+//! replay inputs.
+
+use crate::itf::Trace;
+use gcs_clocks::{DriftCursor, DriftSource, HardwareClock, ScheduleDrift, Time};
+use gcs_core::{AlgoParams, GradientNode};
+use gcs_net::{Edge, NodeId, TopologyEvent, TopologySource};
+use gcs_sim::{
+    DelayScript, DelayStrategy, DiscoveryDelay, FaultEvent, FaultSource, ModelParams, SimBuilder,
+};
+use std::sync::Arc;
+
+/// A trace's nondeterminism as a single engine source plane (see module
+/// docs). Clone one instance into each `SimBuilder` slot.
+#[derive(Clone, Debug)]
+pub struct TraceReplaySource {
+    n: usize,
+    initial: Vec<Edge>,
+    topology: Vec<TopologyEvent>,
+    topo_cursor: usize,
+    faults: Vec<FaultEvent>,
+    fault_cursor: usize,
+    drift: Arc<ScheduleDrift>,
+}
+
+impl TraceReplaySource {
+    /// Builds the source plane for `trace`.
+    pub fn new(trace: &Trace) -> Self {
+        let initial: Vec<Edge> = trace
+            .initial_edges
+            .iter()
+            .map(|&(lo, hi)| {
+                Edge::new(
+                    NodeId::from_index(lo as usize),
+                    NodeId::from_index(hi as usize),
+                )
+            })
+            .collect();
+        let topology: Vec<TopologyEvent> = trace
+            .topology
+            .iter()
+            .map(|ev| {
+                let edge = Edge::new(
+                    NodeId::from_index(ev.lo as usize),
+                    NodeId::from_index(ev.hi as usize),
+                );
+                if ev.add {
+                    TopologyEvent::add_at(ev.time, edge)
+                } else {
+                    TopologyEvent::remove_at(ev.time, edge)
+                }
+            })
+            .collect();
+        let faults: Vec<FaultEvent> = trace
+            .faults
+            .iter()
+            .map(|ev| {
+                let node = NodeId::from_index(ev.node as usize);
+                if ev.restart {
+                    FaultEvent::restart(ev.time, node)
+                } else {
+                    FaultEvent::crash(ev.time, node)
+                }
+            })
+            .collect();
+        let clocks: Vec<HardwareClock> = trace
+            .rates
+            .iter()
+            .map(|&r| HardwareClock::constant(r, trace.rho))
+            .collect();
+        TraceReplaySource {
+            n: trace.n,
+            initial,
+            topology,
+            topo_cursor: 0,
+            faults,
+            fault_cursor: 0,
+            drift: Arc::new(ScheduleDrift::new(clocks)),
+        }
+    }
+}
+
+impl TopologySource for TraceReplaySource {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn initial_edges(&mut self) -> Vec<Edge> {
+        self.initial.clone()
+    }
+
+    fn peek_time(&mut self) -> Option<Time> {
+        self.topology.get(self.topo_cursor).map(|ev| ev.time)
+    }
+
+    fn pull_until(&mut self, until: Time, buf: &mut Vec<TopologyEvent>) {
+        while let Some(ev) = self.topology.get(self.topo_cursor) {
+            if ev.time > until {
+                break;
+            }
+            buf.push(*ev);
+            self.topo_cursor += 1;
+        }
+    }
+}
+
+impl FaultSource for TraceReplaySource {
+    fn peek_time(&mut self) -> Option<Time> {
+        self.faults.get(self.fault_cursor).map(|ev| ev.time)
+    }
+
+    fn pull_until(&mut self, until: Time, buf: &mut Vec<FaultEvent>) {
+        while let Some(ev) = self.faults.get(self.fault_cursor) {
+            if ev.time > until {
+                break;
+            }
+            buf.push(*ev);
+            self.fault_cursor += 1;
+        }
+    }
+}
+
+impl DriftSource for TraceReplaySource {
+    fn rho(&self) -> f64 {
+        self.drift.rho()
+    }
+
+    fn init(&self, index: usize) -> DriftCursor {
+        self.drift.init(index)
+    }
+
+    fn next_segment(&self, index: usize, cursor: &mut DriftCursor) {
+        self.drift.next_segment(index, cursor)
+    }
+
+    fn stateless(&self) -> bool {
+        true
+    }
+
+    fn read_at(&self, index: usize, t: Time) -> f64 {
+        self.drift.read_at(index, t)
+    }
+
+    fn fire_at(&self, index: usize, now: Time, delta: f64) -> Time {
+        self.drift.fire_at(index, now, delta)
+    }
+}
+
+/// Replays `trace` through the real engine at `threads` workers and
+/// checks bit identity against the recorded snapshots.
+///
+/// Returns `Err` with the first divergence (instant, node, recorded vs
+/// replayed bits) or any structural problem (unsorted snapshot times,
+/// leftover scripted delays).
+pub fn replay_trace(trace: &Trace, threads: usize) -> Result<(), String> {
+    let model = ModelParams::new(trace.rho, trace.t, trace.d);
+    let algo = AlgoParams::new(model, trace.n, trace.delta_h, trace.b0);
+    let source = TraceReplaySource::new(trace);
+    let script = DelayScript::new();
+    for d in &trace.delays {
+        script.push(
+            NodeId::from_index(d.from as usize),
+            NodeId::from_index(d.to as usize),
+            d.delay,
+        );
+    }
+    let mut sim = SimBuilder::topology(model, source.clone())
+        .drift(source.clone())
+        .faults(source)
+        .delay(DelayStrategy::Scripted(script.clone()))
+        .discovery(DiscoveryDelay::Constant(model.d))
+        .seed(0)
+        .threads(threads)
+        .build_with(|_| GradientNode::new(algo));
+
+    let mut last = f64::NEG_INFINITY;
+    for (idx, state) in trace.states.iter().enumerate() {
+        if state.time <= last && idx > 0 {
+            return Err(format!(
+                "snapshot times must strictly increase (state {idx} at {})",
+                state.time
+            ));
+        }
+        last = state.time;
+        sim.run_until(Time::new(state.time));
+        for u in 0..trace.n {
+            let node = NodeId::from_index(u);
+            let logical = sim.logical(node);
+            let lmax = sim.max_estimate_of(node);
+            if logical.to_bits() != state.logical[u].to_bits() {
+                return Err(format!(
+                    "divergence at state {idx} (t = {}), node {u}: \
+                     L_u replayed {logical:?} vs recorded {:?}",
+                    state.time, state.logical[u]
+                ));
+            }
+            if lmax.to_bits() != state.lmax[u].to_bits() {
+                return Err(format!(
+                    "divergence at state {idx} (t = {}), node {u}: \
+                     Lmax_u replayed {lmax:?} vs recorded {:?}",
+                    state.time, state.lmax[u]
+                ));
+            }
+        }
+    }
+    let leftover = script.remaining();
+    if leftover != 0 {
+        return Err(format!(
+            "{leftover} scripted delays were never consumed — the engine \
+             made fewer sends than the model recorded"
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::{suite, trace_of_trail};
+
+    #[test]
+    fn healthy_static_trace_replays_bit_identical_at_1_and_2_threads() {
+        let suite = suite(2);
+        let sc = &suite[0];
+        let (trace, oracle) = trace_of_trail(sc, |_| GradientNode::new(sc.algo), vec![1, 0, 1]);
+        assert!(oracle.violation().is_none());
+        assert!(!trace.states.is_empty() && !trace.delays.is_empty());
+        replay_trace(&trace, 1).expect("single-thread replay");
+        replay_trace(&trace, 2).expect("two-thread replay");
+    }
+
+    #[test]
+    fn churn_and_fault_traces_replay_bit_identical() {
+        for sc in suite(3)
+            .iter()
+            .filter(|sc| !sc.topology.is_empty() || !sc.faults.is_empty())
+        {
+            let (trace, oracle) = trace_of_trail(sc, |_| GradientNode::new(sc.algo), vec![1]);
+            assert!(oracle.violation().is_none(), "{}", sc.name);
+            replay_trace(&trace, 1).unwrap_or_else(|e| panic!("{}: {e}", sc.name));
+        }
+    }
+
+    #[test]
+    fn replay_round_trips_through_json() {
+        let suite = suite(2);
+        let sc = &suite[0];
+        let (trace, _) = trace_of_trail(sc, |_| GradientNode::new(sc.algo), Vec::new());
+        let parsed = Trace::from_json(&trace.to_json()).expect("parse");
+        assert_eq!(parsed, trace);
+        replay_trace(&parsed, 1).expect("replay of parsed trace");
+    }
+
+    #[test]
+    fn corrupted_snapshot_is_rejected() {
+        let suite = suite(2);
+        let sc = &suite[0];
+        let (mut trace, _) = trace_of_trail(sc, |_| GradientNode::new(sc.algo), Vec::new());
+        let mid = trace.states.len() / 2;
+        trace.states[mid].logical[0] += 1e-12;
+        let err = replay_trace(&trace, 1).expect_err("tampered trace must fail");
+        assert!(err.contains("divergence"), "{err}");
+    }
+}

@@ -31,6 +31,26 @@ pub struct TopologyEvent {
     pub edge: Edge,
 }
 
+impl TopologyEvent {
+    /// An addition of `edge` at real time `time`.
+    pub fn add_at(time: f64, edge: Edge) -> Self {
+        TopologyEvent {
+            time: Time::new(time),
+            kind: TopologyEventKind::Add,
+            edge,
+        }
+    }
+
+    /// A removal of `edge` at real time `time`.
+    pub fn remove_at(time: f64, edge: Edge) -> Self {
+        TopologyEvent {
+            time: Time::new(time),
+            kind: TopologyEventKind::Remove,
+            edge,
+        }
+    }
+}
+
 /// A validated dynamic-graph description: initial edges + event log.
 #[derive(Clone, Debug, PartialEq)]
 pub struct TopologySchedule {

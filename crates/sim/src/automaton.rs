@@ -151,6 +151,37 @@ impl<'a> Context<'a> {
     }
 }
 
+/// Error returned by [`Automaton::try_reboot`] for protocols that do not
+/// support crash/restart faults: injecting a `Restart` fault against such
+/// an automaton is a configuration error, and this type names the
+/// offending automaton so the failure is diagnosable instead of an
+/// anonymous panic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RebootUnsupported {
+    /// `std::any::type_name` of the automaton that cannot reboot.
+    type_name: &'static str,
+}
+
+impl RebootUnsupported {
+    /// The type name of the automaton that rejected the reboot.
+    pub fn type_name(&self) -> &'static str {
+        self.type_name
+    }
+}
+
+impl std::fmt::Display for RebootUnsupported {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "automaton `{}` does not support crash/restart faults \
+             (implement Automaton::try_reboot to opt in)",
+            self.type_name
+        )
+    }
+}
+
+impl std::error::Error for RebootUnsupported {}
+
 /// An event-driven protocol instance running at one node.
 ///
 /// All clock-valued state must be represented so that it grows at the
@@ -188,13 +219,39 @@ pub trait Automaton: Send {
     /// `make_node` would have produced at time 0 — configuration
     /// (parameters, weights) may be retained, clock-valued and neighbor
     /// state must not. `on_start` runs on the replacement at the restart
-    /// instant. The default panics; protocols opt into restart faults by
-    /// implementing it.
+    /// instant.
+    ///
+    /// The default returns [`Err(RebootUnsupported)`](RebootUnsupported):
+    /// protocols opt into restart faults by overriding this method.
+    /// Callers that can surface errors (the model checker, scenario
+    /// validation) use this form; the engine's fault barrier goes through
+    /// [`reboot`](Self::reboot), which converts the error into a
+    /// deterministic panic naming the automaton type.
+    fn try_reboot(&self) -> Result<Self, RebootUnsupported>
+    where
+        Self: Sized,
+    {
+        Err(RebootUnsupported {
+            type_name: std::any::type_name::<Self>(),
+        })
+    }
+
+    /// [`try_reboot`](Self::try_reboot), panicking on `Err`. This is the
+    /// engine's entry point at `Restart` fault barriers; the panic message
+    /// is the [`RebootUnsupported`] display text, so a mis-configured
+    /// fault plan fails with the automaton's type name.
+    ///
+    /// # Panics
+    /// Panics iff `try_reboot` returns `Err` — i.e. the automaton does not
+    /// implement crash/restart faults.
     fn reboot(&self) -> Self
     where
         Self: Sized,
     {
-        unimplemented!("this Automaton does not support crash/restart faults")
+        match self.try_reboot() {
+            Ok(fresh) => fresh,
+            Err(e) => panic!("{e}"),
+        }
     }
 }
 
@@ -243,6 +300,40 @@ mod tests {
         let mut ctx = Context::new(node(0), Time::ZERO, 0.0, &mut actions, &mut rng);
         let drawn: f64 = ctx.rng().gen_range(0.0..1.0);
         assert_eq!(drawn, reference.gen_range(0.0..1.0));
+    }
+
+    /// A protocol that never overrides the reboot hooks.
+    #[derive(Debug)]
+    struct NoReboot;
+    impl Automaton for NoReboot {
+        fn on_start(&mut self, _ctx: &mut Context<'_>) {}
+        fn on_receive(&mut self, _ctx: &mut Context<'_>, _from: NodeId, _msg: Message) {}
+        fn on_discover(&mut self, _ctx: &mut Context<'_>, _change: LinkChange) {}
+        fn on_alarm(&mut self, _ctx: &mut Context<'_>, _kind: TimerKind) {}
+        fn logical_clock(&self, hw: f64) -> f64 {
+            hw
+        }
+    }
+
+    #[test]
+    fn try_reboot_defaults_to_a_typed_error_naming_the_automaton() {
+        let err = NoReboot.try_reboot().expect_err("default must refuse");
+        assert!(
+            err.type_name().ends_with("NoReboot"),
+            "error names the automaton type, got {:?}",
+            err.type_name()
+        );
+        let text = err.to_string();
+        assert!(text.contains("NoReboot") && text.contains("try_reboot"));
+        // It is a real std error, usable behind `dyn Error`.
+        let dynamic: Box<dyn std::error::Error> = Box::new(err);
+        assert!(dynamic.to_string().contains("crash/restart"));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not support crash/restart faults")]
+    fn reboot_panics_with_the_typed_error_text() {
+        let _ = NoReboot.reboot();
     }
 
     #[test]

@@ -11,7 +11,8 @@ use gcs_clocks::Time;
 use gcs_net::{Edge, NodeId};
 use rand::rngs::StdRng;
 use rand::Rng;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Arc, Mutex};
 
 /// How the environment assigns message delays.
 #[derive(Clone, Debug)]
@@ -52,6 +53,16 @@ pub enum DelayStrategy {
         /// Fallback for everything else.
         default: Box<DelayStrategy>,
     },
+    /// Replays a prescribed per-directed-link delay script — the
+    /// trace-replay adversary of the model checker (`gcs-mc`): every send
+    /// from `u` to `v` pops the next entry of the `(u, v)` queue, so an
+    /// explored execution's exact delay choices drive the engine.
+    /// **Fail-closed**: a send with no scripted entry left panics — a
+    /// replay that diverges from its trace must never silently invent a
+    /// delay. Deterministic at every thread count because a directed
+    /// link's sends all originate at one node, whose events the engine
+    /// processes in canonical sequence order.
+    Scripted(DelayScript),
     /// The Masking Lemma's execution-β adversary (Lemma 4.2, Part II).
     ///
     /// In execution β a node in layer `j` has hardware clock
@@ -73,6 +84,73 @@ pub enum DelayStrategy {
         /// α-delay for messages between same-layer unconstrained nodes.
         intra: f64,
     },
+}
+
+/// The shared queue state of [`DelayStrategy::Scripted`]: one FIFO of
+/// prescribed delays per **directed** node pair, pushed in global send
+/// order by the trace exporter and popped in the same order by the
+/// engine. The handle is cheaply cloneable (the replay harness keeps a
+/// clone to assert the script drained — a leftover entry means the engine
+/// sent fewer messages than the model did).
+#[derive(Clone, Debug, Default)]
+pub struct DelayScript {
+    queues: Arc<Mutex<ScriptQueues>>,
+}
+
+/// One FIFO of prescribed delays per directed `(from, to)` node pair.
+type ScriptQueues = BTreeMap<(u32, u32), VecDeque<f64>>;
+
+impl DelayScript {
+    /// An empty script.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a prescribed delay for the next unscripted send from
+    /// `from` to `to`.
+    pub fn push(&self, from: NodeId, to: NodeId, delay: f64) {
+        assert!(
+            delay.is_finite() && delay >= 0.0,
+            "scripted delays must be finite and >= 0, got {delay}"
+        );
+        self.queues
+            .lock()
+            .expect("delay script lock poisoned")
+            .entry((from.0, to.0))
+            .or_default()
+            .push_back(delay);
+    }
+
+    /// Prescribed delays not yet consumed (0 once the replay has used
+    /// every scripted send).
+    pub fn remaining(&self) -> usize {
+        self.queues
+            .lock()
+            .expect("delay script lock poisoned")
+            .values()
+            .map(VecDeque::len)
+            .sum()
+    }
+
+    /// Pops the next delay for a `from → to` send.
+    ///
+    /// # Panics
+    /// Panics when the queue for that directed pair is exhausted (or was
+    /// never scripted) — the fail-closed replay contract.
+    fn pop(&self, from: NodeId, to: NodeId) -> f64 {
+        self.queues
+            .lock()
+            .expect("delay script lock poisoned")
+            .get_mut(&(from.0, to.0))
+            .and_then(VecDeque::pop_front)
+            .unwrap_or_else(|| {
+                panic!(
+                    "delay script exhausted for send {} -> {}: \
+                     the replayed execution sent more messages than its trace",
+                    from.0, to.0
+                )
+            })
+    }
 }
 
 /// `H^β` of the Masking Lemma: `t + min{ρt, T·layer}` (Equation (1)).
@@ -108,6 +186,7 @@ impl DelayStrategy {
             | DelayStrategy::Max
             | DelayStrategy::Zero
             | DelayStrategy::Layered { .. }
+            | DelayStrategy::Scripted(_)
             | DelayStrategy::BetaLayered { .. } => false,
         }
     }
@@ -152,6 +231,7 @@ impl DelayStrategy {
                 Some(&d) => d,
                 None => default.delay(edge, from, now, big_t, rng),
             },
+            DelayStrategy::Scripted(script) => script.pop(from, edge.other(from)),
             DelayStrategy::BetaLayered {
                 layer,
                 constrained,
@@ -277,6 +357,34 @@ mod tests {
             default: Box::new(DelayStrategy::Uniform { lo: 0.0, hi: 1.0 }),
         }
         .draws());
+    }
+
+    #[test]
+    fn scripted_pops_per_directed_pair_in_fifo_order() {
+        let script = DelayScript::new();
+        script.push(node(0), node(1), 0.25);
+        script.push(node(0), node(1), 0.75);
+        script.push(node(1), node(0), 0.0);
+        let s = DelayStrategy::Scripted(script.clone());
+        assert!(!s.draws());
+        assert_eq!(script.remaining(), 3);
+        let mut r = rng();
+        // Directed: 0 -> 1 and 1 -> 0 consume independent queues.
+        assert_eq!(s.delay(e(0, 1), node(0), at(0.0), 1.0, &mut r), 0.25);
+        assert_eq!(s.delay(e(0, 1), node(1), at(0.0), 1.0, &mut r), 0.0);
+        assert_eq!(s.delay(e(0, 1), node(0), at(1.0), 1.0, &mut r), 0.75);
+        assert_eq!(script.remaining(), 0, "script fully drained");
+    }
+
+    #[test]
+    #[should_panic(expected = "delay script exhausted")]
+    fn scripted_fails_closed_on_underrun() {
+        let script = DelayScript::new();
+        script.push(node(0), node(1), 0.5);
+        let s = DelayStrategy::Scripted(script);
+        let mut r = rng();
+        let _ = s.delay(e(0, 1), node(0), at(0.0), 1.0, &mut r);
+        let _ = s.delay(e(0, 1), node(0), at(1.0), 1.0, &mut r);
     }
 
     #[test]

@@ -83,8 +83,8 @@ mod shard;
 pub mod stats;
 pub mod wheel;
 
-pub use automaton::{Action, Automaton, Context};
-pub use delay::DelayStrategy;
+pub use automaton::{Action, Automaton, Context, RebootUnsupported};
+pub use delay::{DelayScript, DelayStrategy};
 pub use engine::{DiscoveryDelay, SimBuilder, Simulator, THREADS_ENV};
 pub use event::{LinkChange, LinkChangeKind, Message, TimerKind};
 pub use fault::{CrashRestartSource, FaultEvent, FaultKind, FaultPlan, FaultSource};

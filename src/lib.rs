@@ -15,6 +15,10 @@
 //! * the lower-bound constructions of Section 4 (delay masks, the Masking
 //!   Lemma's α/β executions, Lemma 4.3 edge placement, the Theorem 4.1
 //!   two-chain scenario) — [`lowerbound`],
+//! * bounded exhaustive model checking of Algorithm 2 (Property 6.3 and
+//!   the Definition 6.1 blocked predicate on every reachable state at
+//!   small `n`), with ITF counterexample export and bit-deterministic
+//!   replay into the engine — [`mc`],
 //! * measurement, statistics and parallel sweeps — [`analysis`].
 //!
 //! ## Quickstart
@@ -46,6 +50,7 @@ pub use gcs_bench as bench;
 pub use gcs_clocks as clocks;
 pub use gcs_core as core;
 pub use gcs_lowerbound as lowerbound;
+pub use gcs_mc as mc;
 pub use gcs_net as net;
 pub use gcs_sim as sim;
 
