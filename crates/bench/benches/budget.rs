@@ -1,0 +1,81 @@
+//! The compact automaton plane's budget path: the shared `B(·)` curve
+//! table against the exact closed-form evaluation it reproduces
+//! bit-for-bit on the quantized grid, and the cost of pulling a node out
+//! of the cold tier to answer a budget query.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gcs_clocks::Time;
+use gcs_core::{AlgoParams, GradientNode, GradientShared};
+use gcs_net::node;
+use gcs_sim::{Automaton, Context, Message, ModelParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn params(n: usize) -> AlgoParams {
+    AlgoParams::with_minimal_b0(ModelParams::new(0.01, 1.0, 2.0), n, 0.5)
+}
+
+/// A gradient node on the shared plane with `deg` Γ-neighbors, plus the
+/// plane it lives on.
+fn loaded_node(deg: usize) -> (Arc<GradientShared>, GradientNode) {
+    let shared = Arc::new(GradientShared::new(params(deg + 2)));
+    let mut gn = GradientNode::with_shared(shared.clone());
+    let mut actions = Vec::new();
+    let mut rng = StdRng::seed_from_u64(0);
+    for i in 1..=deg {
+        let mut ctx = Context::new(node(0), Time::new(1.0), 1.0, &mut actions, &mut rng);
+        gn.on_receive(
+            &mut ctx,
+            node(i),
+            Message {
+                logical: 1.0,
+                max_estimate: 1.0,
+            },
+        );
+        actions.clear();
+    }
+    (shared, gn)
+}
+
+fn bench_budget_plane(c: &mut Criterion) {
+    let mut group = c.benchmark_group("budget_plane");
+    let p = params(64);
+    let shared = GradientShared::new(p);
+    let table = shared.table();
+    // On-grid ages: what every cold join stamp quantizes to, i.e. the
+    // hot-path case the table exists for.
+    let ages: Vec<f64> = (0..table.len())
+        .map(|k| k as f64 * table.quantum())
+        .collect();
+    group.bench_function("table_lookup", |b| {
+        let mut k = 0usize;
+        b.iter(|| {
+            k = (k + 1) % ages.len();
+            black_box(table.lookup(black_box(ages[k])).unwrap())
+        })
+    });
+    group.bench_function("exact_unfloored", |b| {
+        let mut k = 0usize;
+        b.iter(|| {
+            k = (k + 1) % ages.len();
+            black_box(p.budget_unfloored(black_box(ages[k])))
+        })
+    });
+    // The slow path the cold tier trades for memory: unpack a packed
+    // automaton blob into a fresh node and read a budget through it.
+    let (plane, mut gn) = loaded_node(8);
+    let mut blob = Vec::new();
+    assert!(gn.pack_cold(&mut blob), "unweighted node must pack");
+    group.bench_function("cold_rehydrate_and_read", |b| {
+        b.iter(|| {
+            let mut cold = GradientNode::with_shared(plane.clone());
+            cold.unpack_cold(black_box(&blob));
+            black_box(cold.budget_for(node(1), 1.5))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_budget_plane);
+criterion_main!(benches);

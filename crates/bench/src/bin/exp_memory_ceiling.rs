@@ -1,0 +1,86 @@
+//! E14 — the compact automaton plane at `n = 2^23` (shared budget
+//! table, idle parking, quiescent-node eviction into the cold tier).
+//!
+//! `cargo run --release -p gcs-bench --bin exp_memory_ceiling`
+//!
+//! CI smoke runs shrink the width with `GCS_SMOKE_N=4096` so the
+//! compact-plane code path is exercised on every push. The peak-RSS
+//! assertion at the end is **fail-closed**: the binary exits nonzero
+//! when the run does not fit the memory budget for its width.
+
+use gcs_bench::e14_memory_ceiling as e14;
+use gcs_bench::engine_bench::smoke_n;
+
+fn main() {
+    let config = e14::Config::scaled_to(smoke_n(e14::Config::default().n));
+    println!(
+        "claim: the automaton plane needs one shared budget curve, no armed timer on idle\n\
+         nodes, and only packed bytes for quiescent ones — so n = 2^23 fits where the\n\
+         flat plane would not\n"
+    );
+    println!(
+        "running n = {}, backbone {}, {} waves x {} visitors, horizon {}s, threads {} \
+         (host cpus: {})...\n",
+        config.n,
+        config.backbone,
+        config.waves,
+        config.wave_visitors,
+        config.horizon,
+        config.threads,
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    );
+    let o = e14::run(&config);
+    e14::render(&config, &o).print();
+    println!();
+    println!(
+        "evictions {} / rehydrations {} -> {} cold nodes in {} packed bytes; \
+         watermark {} of n = {}; live RSS after run {} MiB",
+        o.evictions,
+        o.rehydrations,
+        o.cold_nodes,
+        o.cold_bytes,
+        o.node_state_watermark,
+        config.n,
+        gcs_analysis::mem::fmt_mib(o.current_rss_bytes),
+    );
+    println!(
+        "plane bytes (MiB): {}",
+        gcs_analysis::mem::fmt_planes(&o.planes)
+    );
+    assert_eq!(
+        o.stats.topology_pulled, o.stats.topology_events,
+        "pulled events must all apply by the horizon"
+    );
+    assert!(
+        o.evictions > 0 && o.cold_nodes > 0,
+        "departed waves must reach the cold tier"
+    );
+    assert!(
+        o.node_state_watermark <= config.backbone + config.visitor_band(),
+        "an untouched node claimed a node-state slot"
+    );
+    let peak = gcs_analysis::peak_rss_bytes();
+    println!(
+        "process peak RSS: {} MiB (measured via /proc/self/status)",
+        gcs_analysis::mem::fmt_mib(peak),
+    );
+    // Fail closed on the memory budget: 8 GiB for the headline width,
+    // 2 GiB for smoke sizes (generous — a smoke run sits far below it,
+    // but a flat-plane regression at smoke scale would still blow it).
+    if let Some(peak) = peak {
+        let limit: u64 = if config.n >= (1 << 23) {
+            8 << 30
+        } else {
+            2 << 30
+        };
+        assert!(
+            peak < limit,
+            "peak RSS {} bytes exceeds the {} byte budget at n = {}",
+            peak,
+            limit,
+            config.n
+        );
+    }
+}

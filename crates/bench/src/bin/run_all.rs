@@ -1,4 +1,4 @@
-//! Regenerates every experiment table (E1–E13) in one run, exports the
+//! Regenerates every experiment table (E1–E15) in one run, exports the
 //! main series as CSV under `target/experiments/`, and records the engine
 //! perf trajectory as machine-readable `BENCH_engine.json`.
 //!
@@ -6,11 +6,17 @@
 //! `cargo run --release -p gcs-bench --bin run_all -- --engine-only`
 //!
 //! All scenarios come from [`gcs_bench::scenario::all_scenarios`]. E1–E10
-//! are fanned out in parallel over scoped threads; E11, E12 and E13 are
-//! themselves wall-clock/memory benchmarks, so they run **alone** after
-//! the parallel batch. The final phase times the engine on the E1
-//! workload (`n = 1024`, continuity with the PR 2 numbers) and on the
-//! E11 workload (`n = 65 536`, churn on) at worker counts {1, 2, 8}.
+//! are fanned out in parallel over scoped threads; E11–E14 are themselves
+//! wall-clock/memory benchmarks, so they run **alone** after the parallel
+//! batch. The final phase times the engine on the E1 workload
+//! (`n = 1024`, continuity with the PR 2 numbers) and on the E11 workload
+//! (`n = 65 536`, churn on) at worker counts {1, 2, 8}.
+//!
+//! Before overwriting a committed `BENCH_engine.json`, the run compares
+//! the new E14 per-plane byte meters against the recorded ones and warns
+//! loudly when any plane grew by more than 10% — a silent memory-plane
+//! regression would otherwise hide until the `n = 2^23` run stops
+//! fitting.
 //!
 //! With the frozen pre-rewrite engine deleted, the **batched serial
 //! engine (`threads = 1`) is the baseline** every speedup is measured
@@ -117,6 +123,66 @@ fn e13_entry(o: &gcs_bench::e13_scale_ceiling::FamilyOutcome) -> String {
     )
 }
 
+fn e14_entry(n: usize, o: &gcs_bench::e14_memory_ceiling::Outcome) -> String {
+    format!(
+        "  \"e14_memory_ceiling\": {{\n  \"n\": {},\n  \"events\": {},\n  \"setup_s\": {:.6},\n  \"wall_s\": {:.6},\n  \"events_per_sec\": {:.1},\n  \"evictions\": {},\n  \"rehydrations\": {},\n  \"cold_nodes\": {},\n  \"cold_bytes\": {},\n  \"node_state_watermark\": {},\n  \"drift_cursors\": {},\n  \"plane_topology_bytes\": {},\n  \"plane_drift_bytes\": {},\n  \"plane_automaton_hot_bytes\": {},\n  \"plane_automaton_cold_bytes\": {},\n  \"plane_wheel_bytes\": {},\n  \"current_rss_bytes\": {}\n  }}",
+        n,
+        o.events,
+        o.setup_s,
+        o.wall_s,
+        o.events_per_sec,
+        o.evictions,
+        o.rehydrations,
+        o.cold_nodes,
+        o.cold_bytes,
+        o.node_state_watermark,
+        o.drift_cursors,
+        o.planes.topology,
+        o.planes.drift,
+        o.planes.automaton_hot,
+        o.planes.automaton_cold,
+        o.planes.wheel,
+        json_opt_u64(o.current_rss_bytes)
+    )
+}
+
+/// The E14 plane meters a committed `BENCH_engine.json` recorded, keyed
+/// by JSON field name. Hand-rolled extraction (the file is written by
+/// this binary, field-per-line) — no JSON dependency needed.
+fn committed_plane_bytes(json: &str, key: &str) -> Option<usize> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start();
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+/// Warns loudly when any E14 plane meter grew >10% over the committed
+/// recording. Purely advisory — recording continues either way.
+fn warn_on_plane_regressions(committed: &str, planes: &gcs_sim::PlaneBytes) {
+    let meters = [
+        ("plane_topology_bytes", planes.topology),
+        ("plane_drift_bytes", planes.drift),
+        ("plane_automaton_hot_bytes", planes.automaton_hot),
+        ("plane_automaton_cold_bytes", planes.automaton_cold),
+        ("plane_wheel_bytes", planes.wheel),
+    ];
+    for (key, now) in meters {
+        let Some(was) = committed_plane_bytes(committed, key) else {
+            continue;
+        };
+        if was > 0 && now as f64 > was as f64 * 1.10 {
+            eprintln!(
+                "\nWARNING: E14 {key} regressed {} -> {} bytes (+{:.1}%) vs the committed\n\
+                 BENCH_engine.json — a memory-plane regression; investigate before recording.\n",
+                was,
+                now,
+                (now as f64 / was as f64 - 1.0) * 100.0
+            );
+        }
+    }
+}
+
 fn json_opt_u64(v: Option<u64>) -> String {
     v.map(|b| b.to_string())
         .unwrap_or_else(|| "null".to_string())
@@ -157,6 +223,8 @@ fn engine_json(
     e12_n: usize,
     e13: &[gcs_bench::e13_scale_ceiling::FamilyOutcome],
     e13_n: usize,
+    e14: &gcs_bench::e14_memory_ceiling::Outcome,
+    e14_n: usize,
     e15: &gcs_bench::e15_faults::Outcomes,
     e15_n: usize,
     mc: &[McSuite],
@@ -184,7 +252,7 @@ fn engine_json(
     let e13_entries: Vec<String> = e13.iter().map(e13_entry).collect();
     let mc_entries: Vec<String> = mc.iter().map(mc_entry).collect();
     format!(
-        "{{\n  \"schema\": \"bench-engine/v6\",\n  \"generated_by\": \"gcs-bench run_all\",\n  \"baseline\": \"batched-serial (threads = 1); the pre-rewrite heap engine was deleted after its equivalence history\",\n  \"host_cpus\": {host_cpus},\n  \"thread_sweep_valid\": {thread_sweep_valid},\n  \"peak_rss_bytes\": {},\n  \"e1_n1024\": {{\n  {},\n  \"engines\": [\n{}\n  ]\n  }},\n  \"e11_large_scale\": {{\n  {},\n  \"engines\": [\n{}\n  ],\n  \"best_parallel_speedup_vs_serial\": {:.3}\n  }},\n  \"e12_dynamic_workloads\": {{\n  \"n\": {},\n  \"families\": [\n{}\n  ]\n  }},\n  \"e13_scale_ceiling\": {{\n  \"n\": {},\n  \"families\": [\n{}\n  ]\n  }},\n{},\n  \"model_check\": {{\n  \"suites\": [\n{}\n  ]\n  }}\n}}\n",
+        "{{\n  \"schema\": \"bench-engine/v7\",\n  \"generated_by\": \"gcs-bench run_all\",\n  \"baseline\": \"batched-serial (threads = 1); the pre-rewrite heap engine was deleted after its equivalence history\",\n  \"host_cpus\": {host_cpus},\n  \"thread_sweep_valid\": {thread_sweep_valid},\n  \"peak_rss_bytes\": {},\n  \"e1_n1024\": {{\n  {},\n  \"engines\": [\n{}\n  ]\n  }},\n  \"e11_large_scale\": {{\n  {},\n  \"engines\": [\n{}\n  ],\n  \"best_parallel_speedup_vs_serial\": {:.3}\n  }},\n  \"e12_dynamic_workloads\": {{\n  \"n\": {},\n  \"families\": [\n{}\n  ]\n  }},\n  \"e13_scale_ceiling\": {{\n  \"n\": {},\n  \"families\": [\n{}\n  ]\n  }},\n{},\n{},\n  \"model_check\": {{\n  \"suites\": [\n{}\n  ]\n  }}\n}}\n",
         json_opt_u64(peak_rss_bytes),
         workload(&e1.0),
         entry(&e1.1),
@@ -195,6 +263,7 @@ fn engine_json(
         e12_entries.join(",\n"),
         e13_n,
         e13_entries.join(",\n"),
+        e14_entry(e14_n, e14),
         e15_section(e15_n, e15),
         mc_entries.join(",\n"),
     )
@@ -229,14 +298,18 @@ fn main() {
         );
     }
 
-    // E12, E13 and E15 run in both modes: their outcomes feed the JSON
+    // E12–E15 run in both modes: their outcomes feed the JSON
     // trajectory.
     let e12_config = gcs_bench::e12_dynamic_workloads::Config::default();
     let e13_config = gcs_bench::e13_scale_ceiling::Config::default();
+    let e14_config = gcs_bench::e14_memory_ceiling::Config::scaled_to(
+        gcs_bench::engine_bench::smoke_n(gcs_bench::e14_memory_ceiling::Config::default().n),
+    );
     let e15_config = gcs_bench::e15_faults::Config::default();
 
     let mut e12_outcomes = None;
     let mut e13_outcomes = None;
+    let mut e14_outcome = None;
     let mut e15_outcomes = None;
     if !engine_only {
         // The typed execution plan: the claim batch fans out in
@@ -253,9 +326,9 @@ fn main() {
         for (s, rep) in claim_batch.iter().zip(&reports) {
             print_report(s.as_ref(), rep, &dir);
         }
-        // E12 at n = 2^17, E13 at n = 2^20 and E15's adversary search are
-        // expensive: run each outcome set once and reuse it for both the
-        // report and the JSON trajectory below.
+        // E12 at n = 2^17, E13 at n = 2^20, E14 at n = 2^23 and E15's
+        // adversary search are expensive: run each outcome set once and
+        // reuse it for both the report and the JSON trajectory below.
         for s in &solo {
             match s.meta().name {
                 "E12" => {
@@ -275,6 +348,15 @@ fn main() {
                         &dir,
                     );
                     e13_outcomes = Some(outcomes);
+                }
+                "E14" => {
+                    let outcome = gcs_bench::e14_memory_ceiling::run(&e14_config);
+                    print_report(
+                        s.as_ref(),
+                        &gcs_bench::e14_memory_ceiling::report(&e14_config, &outcome),
+                        &dir,
+                    );
+                    e14_outcome = Some(outcome);
                 }
                 "E15" => {
                     let outcomes = gcs_bench::e15_faults::run(&e15_config);
@@ -341,6 +423,21 @@ fn main() {
             o.node_state_watermark
         );
     }
+    // The E14 compact-automaton-plane census at the memory ceiling.
+    let e14_for_json = e14_outcome
+        .take()
+        .unwrap_or_else(|| gcs_bench::e14_memory_ceiling::run(&e14_config));
+    println!(
+        "E14 n={:>7} {:>16}: {:>10.0} events/s  ({} events in {:.2}s, {} evicted / {} rehydrated, planes {})",
+        e14_config.n,
+        "compact plane",
+        e14_for_json.events_per_sec,
+        e14_for_json.events,
+        e14_for_json.wall_s,
+        e14_for_json.evictions,
+        e14_for_json.rehydrations,
+        gcs_analysis::mem::fmt_planes(&e14_for_json.planes)
+    );
     // The E15 fault/adversary outcomes for the trajectory.
     let e15_for_json = e15_outcomes
         .take()
@@ -371,11 +468,16 @@ fn main() {
         e12_config.n,
         &e13_for_json,
         e13_config.n,
+        &e14_for_json,
+        e14_config.n,
         &e15_for_json,
         e15_config.n,
         &mc_suites,
         gcs_analysis::peak_rss_bytes(),
     );
+    if let Ok(committed) = std::fs::read_to_string("BENCH_engine.json") {
+        warn_on_plane_regressions(&committed, &e14_for_json.planes);
+    }
     match std::fs::File::create("BENCH_engine.json").and_then(|mut f| f.write_all(json.as_bytes()))
     {
         Ok(()) => println!("wrote BENCH_engine.json"),

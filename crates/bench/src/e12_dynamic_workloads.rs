@@ -140,12 +140,14 @@ pub fn run_family(
     let model = model();
     let params = AlgoParams::with_minimal_b0(model, n, 0.5);
     let t0 = std::time::Instant::now();
+    // One shared budget plane for all n automata.
+    let shared = std::sync::Arc::new(gcs_core::GradientShared::new(params));
     let mut sim = SimBuilder::topology(model, source)
         .drift_model(DriftModel::FastUpTo(n / 2), config.horizon)
         .delay(DelayStrategy::Max)
         .seed(config.seed)
         .threads(config.threads)
-        .build_with(|_| GradientNode::new(params));
+        .build_with(|_| GradientNode::with_shared(shared.clone()));
     let setup_s = t0.elapsed().as_secs_f64();
     let mut probe = SkewStream::new(n, model.rho, 64);
     let t1 = std::time::Instant::now();

@@ -1,0 +1,411 @@
+//! E14 — the memory-ceiling run: the compact automaton plane at
+//! `n = 2^23`.
+//!
+//! PR 5 made drift state lazy (E13, `n = 2^20`); the ceiling that
+//! remained was the automaton plane itself: per-neighbor `f64` pairs in
+//! every `Γ_u`, a privately sampled budget curve per node, and hot
+//! engine-side state for every node that was ever touched, *forever*.
+//! This scenario runs **eight times** E13's width — `n = 8 388 608` —
+//! on the compact plane:
+//!
+//! * all automata resolve budgets against **one shared
+//!   [`gcs_core::GradientShared`]** (quantized curve table, exact-path
+//!   fallback), so the curve is sampled once for the whole run,
+//! * **idle parking** is on: a node with empty `Υ_u` holds no armed
+//!   tick timer, so the untouched majority never enters the event loop
+//!   (protocol-invisible — empty `Υ` forces `L = Lmax` anyway),
+//! * between phases the engine **evicts quiescent nodes** into the
+//!   packed cold tier (`Simulator::evict_quiescent`), which rehydrates
+//!   bit-exactly on touch.
+//!
+//! The workload makes eviction *matter*: a small path backbone of
+//! always-ticking nodes (low contiguous ids, so the touched watermark
+//! stays a prefix), plus waves of one-shot **visitors** that each join
+//! a backbone host briefly and leave. After a wave departs, its
+//! visitors go quiescent; the sweep at the next chunk boundary packs
+//! them. The untouched majority above the visitor band never claims a
+//! node-state slot at all.
+//!
+//! Reported: the per-plane byte census ([`gcs_sim::PlaneBytes`]),
+//! eviction/rehydration counters, cold-tier census, and measured RSS —
+//! the acceptance number for "break the memory ceiling" is peak RSS at
+//! `n = 2^23`, recorded in `BENCH_engine.json`.
+
+use crate::scenario::{Scenario, ScenarioFamily, ScenarioMeta, ScenarioReport};
+use gcs_analysis::mem::PlaneBytes;
+use gcs_analysis::Table;
+use gcs_clocks::time::at;
+use gcs_core::{AlgoParams, GradientNode, GradientShared};
+use gcs_net::schedule::{add_at, remove_at, TopologyEvent};
+use gcs_net::{Edge, ScheduleSource, TopologySchedule};
+use gcs_sim::{DelayStrategy, ModelParams, SimBuilder, SimStats};
+use std::sync::Arc;
+
+/// E14's model: tighter latency bounds than [`crate::default_model`]
+/// (`T = 0.25`, `D = 0.6` — still `D > ΔH/(1−ρ)` for `ΔH = 0.5`) so a
+/// visitor's one-chunk stay is long enough to be discovered, exchange a
+/// round, and have its departure discovered well before the next sweep
+/// boundary.
+pub fn model() -> ModelParams {
+    ModelParams::new(0.01, 0.25, 0.6)
+}
+
+/// Configuration for E14.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Node count (the headline configuration is `2^23 = 8 388 608`).
+    pub n: usize,
+    /// Path-backbone width (always-ticking nodes, ids `0..backbone`).
+    pub backbone: usize,
+    /// Number of visitor waves.
+    pub waves: usize,
+    /// Visitors per wave (each visits one backbone host, then leaves).
+    pub wave_visitors: usize,
+    /// Real-time horizon.
+    pub horizon: f64,
+    /// Seed for the engine's streams.
+    pub seed: u64,
+    /// Worker count for the dispatcher (trace-invariant).
+    pub threads: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            n: 1 << 23,
+            backbone: 1 << 16,
+            waves: 8,
+            wave_visitors: 1 << 15,
+            // 10 chunks of 1.8 s — each comfortably dominates D + T.
+            horizon: 18.0,
+            seed: 42,
+            threads: 1,
+        }
+    }
+}
+
+impl Config {
+    /// The headline configuration shrunk to `n` nodes (CI smoke): the
+    /// backbone and visitor bands scale with `n`, keeping the same
+    /// shape — touched prefix, departing waves, untouched majority.
+    pub fn scaled_to(n: usize) -> Config {
+        let d = Config::default();
+        if n >= d.n {
+            return d;
+        }
+        Config {
+            n,
+            backbone: (n / 128).max(8),
+            wave_visitors: (n / 256).max(4),
+            ..d
+        }
+    }
+
+    /// Gap between chunk boundaries (one wave per chunk, plus a lead-in
+    /// and a drain chunk).
+    fn chunk(&self) -> f64 {
+        self.horizon / (self.waves + 2) as f64
+    }
+
+    /// Total distinct visitor ids, directly above the backbone band.
+    pub fn visitor_band(&self) -> usize {
+        self.waves * self.wave_visitors
+    }
+
+    /// The workload schedule: a static path over `0..backbone`, plus per
+    /// wave `w` one add/remove pair per visitor. Wave `w`'s visitors are
+    /// ids `backbone + w·wave_visitors ..`, each joining host
+    /// `j % backbone` shortly after chunk `w+1` opens and leaving near
+    /// its end — so the join is discovered (`+D`), a round is exchanged
+    /// (`+T`), the departure is discovered, and the visitor's next tick
+    /// re-parks it before the sweep at chunk boundary `w+3`.
+    pub fn schedule(&self) -> TopologySchedule {
+        assert!(self.backbone >= 2, "backbone needs at least one edge");
+        assert!(
+            self.backbone + self.visitor_band() <= self.n,
+            "backbone + visitors must fit under n"
+        );
+        let backbone_edges: Vec<Edge> = (0..self.backbone - 1)
+            .map(|i| Edge::between(i, i + 1))
+            .collect();
+        let chunk = self.chunk();
+        assert!(
+            chunk >= 2.0 * (model().d + model().t),
+            "chunks must dominate the discovery/delay bounds for visits \
+             to be live; widen the horizon"
+        );
+        let mut events: Vec<TopologyEvent> = Vec::with_capacity(2 * self.visitor_band());
+        for w in 0..self.waves {
+            let t_join = (w as f64 + 1.1) * chunk;
+            let t_leave = (w as f64 + 1.9) * chunk;
+            for j in 0..self.wave_visitors {
+                let visitor = self.backbone + w * self.wave_visitors + j;
+                let host = j % self.backbone;
+                let e = Edge::between(visitor, host);
+                events.push(add_at(t_join, e));
+                events.push(remove_at(t_leave, e));
+            }
+        }
+        TopologySchedule::static_graph(self.n, backbone_edges).with_extra_events(events)
+    }
+}
+
+/// The result of one memory-ceiling run.
+#[derive(Clone, Debug)]
+pub struct Outcome {
+    /// Seconds spent building the simulation.
+    pub setup_s: f64,
+    /// Seconds spent running it (including eviction sweeps).
+    pub wall_s: f64,
+    /// Events processed.
+    pub events: u64,
+    /// Throughput.
+    pub events_per_sec: f64,
+    /// Nodes moved to the cold tier over the whole run.
+    pub evictions: u64,
+    /// Cold nodes pulled back on touch.
+    pub rehydrations: u64,
+    /// Nodes resident in the cold tier at the horizon.
+    pub cold_nodes: usize,
+    /// Packed bytes in the cold tier at the horizon.
+    pub cold_bytes: usize,
+    /// Node-state slots materialized (the touched watermark).
+    pub node_state_watermark: usize,
+    /// Drift cursors materialized at the horizon.
+    pub drift_cursors: usize,
+    /// Per-plane heap census at the horizon.
+    pub planes: PlaneBytes,
+    /// Current resident set right after the run, simulation still live.
+    pub current_rss_bytes: Option<u64>,
+    /// Execution counters.
+    pub stats: SimStats,
+}
+
+/// Runs the workload in chunks, sweeping the cold tier at every chunk
+/// boundary (a deterministic, trace-invariant cadence).
+pub fn run(config: &Config) -> Outcome {
+    let model = model();
+    let params = AlgoParams::with_minimal_b0(model, config.n, 0.5);
+    let t0 = std::time::Instant::now();
+    // One shared budget plane for all n automata, with idle parking so
+    // the untouched majority never arms a timer.
+    let shared = Arc::new(GradientShared::new(params).with_idle_parking(true));
+    let mut sim = SimBuilder::topology(model, ScheduleSource::new(config.schedule()))
+        .delay(DelayStrategy::Max)
+        .seed(config.seed)
+        .threads(config.threads)
+        .build_with(|_| GradientNode::with_shared(shared.clone()));
+    let setup_s = t0.elapsed().as_secs_f64();
+    let chunk = config.chunk();
+    let t1 = std::time::Instant::now();
+    for k in 1..=(config.waves + 2) {
+        sim.run_until(at((k as f64 * chunk).min(config.horizon)));
+        sim.evict_quiescent();
+    }
+    sim.run_until(at(config.horizon));
+    let wall_s = t1.elapsed().as_secs_f64();
+    let stats = *sim.stats();
+    // Read while `sim` is still alive so the numbers reflect this run's
+    // live allocations.
+    let current_rss_bytes = gcs_analysis::current_rss_bytes();
+    Outcome {
+        setup_s,
+        wall_s,
+        events: stats.events_processed,
+        events_per_sec: stats.events_processed as f64 / wall_s.max(1e-12),
+        evictions: sim.evictions(),
+        rehydrations: sim.rehydrations(),
+        cold_nodes: sim.cold_nodes(),
+        cold_bytes: sim.cold_bytes(),
+        node_state_watermark: sim.node_state_watermark(),
+        drift_cursors: sim.drift_cursors(),
+        planes: sim.plane_bytes(),
+        current_rss_bytes,
+        stats,
+    }
+}
+
+/// Renders the memory-ceiling table.
+pub fn render(config: &Config, o: &Outcome) -> Table {
+    let mib = |b: usize| format!("{:.1}", b as f64 / (1024.0 * 1024.0));
+    let mut t = Table::new(
+        format!(
+            "E14 / §3+§5 memory ceiling at n = {} — compact automaton plane, cold tier",
+            config.n
+        ),
+        &["metric", "value", "", "plane", "MiB"],
+    );
+    let planes = [
+        ("topology", o.planes.topology),
+        ("drift", o.planes.drift),
+        ("automaton hot", o.planes.automaton_hot),
+        ("automaton cold", o.planes.automaton_cold),
+        ("wheel", o.planes.wheel),
+    ];
+    let metrics = [
+        ("events", o.events.to_string()),
+        ("events/sec", format!("{:.0}", o.events_per_sec)),
+        ("evictions", o.evictions.to_string()),
+        ("rehydrations", o.rehydrations.to_string()),
+        ("cold nodes", o.cold_nodes.to_string()),
+    ];
+    for i in 0..planes.len().max(metrics.len()) {
+        let (m, mv) = metrics
+            .get(i)
+            .map(|(k, v)| (*k, v.clone()))
+            .unwrap_or(("", String::new()));
+        let (p, pv) = planes
+            .get(i)
+            .map(|(k, v)| (*k, mib(*v)))
+            .unwrap_or(("", String::new()));
+        t.row(&[m.to_string(), mv, String::new(), p.to_string(), pv]);
+    }
+    t
+}
+
+/// Builds the scenario report from an already-computed outcome (shared
+/// by [`Scenario::run_scenario`] and `run_all`).
+pub fn report(config: &Config, o: &Outcome) -> ScenarioReport {
+    let mut rep = ScenarioReport::new();
+    rep.table(render(config, o));
+    rep.note(format!(
+        "touched watermark {} of n = {} — the untouched majority above the \
+         visitor band claims no node-state slot (idle parking keeps it out \
+         of the event loop entirely)",
+        o.node_state_watermark, config.n,
+    ));
+    rep.note(format!(
+        "cold tier holds {} nodes in {} packed bytes at the horizon \
+         ({} evictions, {} rehydrations over the run)",
+        o.cold_nodes, o.cold_bytes, o.evictions, o.rehydrations,
+    ));
+    rep.record_memory();
+    rep.record_planes(o.planes);
+    rep.csv(
+        "e14_memory_ceiling.csv",
+        &[
+            "events",
+            "events_per_sec",
+            "evictions",
+            "rehydrations",
+            "cold_nodes",
+            "cold_bytes",
+            "node_state_watermark",
+            "plane_topology_bytes",
+            "plane_drift_bytes",
+            "plane_automaton_hot_bytes",
+            "plane_automaton_cold_bytes",
+            "plane_wheel_bytes",
+        ],
+        vec![vec![
+            o.events as f64,
+            o.events_per_sec,
+            o.evictions as f64,
+            o.rehydrations as f64,
+            o.cold_nodes as f64,
+            o.cold_bytes as f64,
+            o.node_state_watermark as f64,
+            o.planes.topology as f64,
+            o.planes.drift as f64,
+            o.planes.automaton_hot as f64,
+            o.planes.automaton_cold as f64,
+            o.planes.wheel as f64,
+        ]],
+    );
+    rep
+}
+
+/// E14 behind the [`Scenario`] surface.
+#[derive(Clone, Debug, Default)]
+pub struct Experiment {
+    /// Memory-ceiling configuration.
+    pub config: Config,
+}
+
+impl Scenario for Experiment {
+    fn id(&self) -> &'static str {
+        "E14"
+    }
+    fn title(&self) -> &'static str {
+        "compact automaton plane — evictable cold tier at n = 2^23"
+    }
+    fn claim(&self) -> &'static str {
+        "§3/§5 at scale — shared budget table, quiescent-node eviction"
+    }
+    fn meta(&self) -> ScenarioMeta {
+        ScenarioMeta {
+            name: "E14",
+            n: Some(self.config.n),
+            family: ScenarioFamily::Scale,
+            fault_profile: None,
+        }
+    }
+    fn run_scenario(&self) -> ScenarioReport {
+        let config = self.config.clone();
+        report(&config, &run(&config))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Config {
+        Config {
+            n: 4096,
+            backbone: 64,
+            waves: 3,
+            wave_visitors: 32,
+            horizon: 10.0,
+            seed: 7,
+            threads: 1,
+        }
+    }
+
+    #[test]
+    fn waves_evict_and_the_majority_stays_untouched() {
+        let config = small();
+        let o = run(&config);
+        assert!(o.events > 1_000, "workload too small: {}", o.events);
+        assert!(
+            o.evictions > 0,
+            "departed visitor waves must reach the cold tier"
+        );
+        assert!(o.cold_nodes > 0, "cold tier empty at the horizon");
+        assert!(o.cold_bytes > 0, "cold nodes must hold packed bytes");
+        assert_eq!(
+            o.cold_nodes as u64,
+            o.evictions - o.rehydrations,
+            "cold census must balance the counters"
+        );
+        let touched_band = config.backbone + config.visitor_band();
+        assert!(
+            o.node_state_watermark <= touched_band,
+            "watermark {} exceeds the touched band {} — an untouched node \
+             claimed a slot",
+            o.node_state_watermark,
+            touched_band
+        );
+        assert!(
+            o.planes.automaton_cold > 0,
+            "plane census must see the cold tier"
+        );
+        assert!(o.planes.automaton_hot > 0 && o.planes.topology > 0);
+    }
+
+    #[test]
+    fn outcome_is_trace_invariant_across_thread_counts() {
+        let base = small();
+        let serial = run(&base);
+        let parallel = run(&Config { threads: 4, ..base });
+        assert_eq!(serial.stats, parallel.stats, "counters diverged");
+        assert_eq!(serial.evictions, parallel.evictions, "eviction census");
+        assert_eq!(
+            serial.rehydrations, parallel.rehydrations,
+            "rehydration census"
+        );
+        assert_eq!(serial.cold_nodes, parallel.cold_nodes);
+        assert_eq!(serial.cold_bytes, parallel.cold_bytes);
+        assert_eq!(serial.node_state_watermark, parallel.node_state_watermark);
+    }
+}

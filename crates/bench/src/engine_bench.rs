@@ -102,14 +102,16 @@ impl Workload {
     }
 
     /// Builds the workload on the engine with this workload's threads.
+    /// All `n` automata share one budget plane (`Arc<GradientShared>`) —
+    /// the curve table is sampled once, not per node.
     pub fn build(&self) -> Simulator<GradientNode> {
-        let params = self.params();
+        let shared = std::sync::Arc::new(gcs_core::GradientShared::new(self.params()));
         SimBuilder::topology(self.model(), ScheduleSource::new(self.schedule()))
             .drift_model(DriftModel::FastUpTo(self.n / 2), self.horizon)
             .delay(DelayStrategy::Max)
             .seed(self.seed)
             .threads(self.threads)
-            .build_with(|_| GradientNode::new(params))
+            .build_with(|_| GradientNode::with_shared(shared.clone()))
     }
 }
 

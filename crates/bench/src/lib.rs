@@ -25,6 +25,7 @@
 //! | E11 | Theorem 4.1 at scale — parallel dispatch at `n = 65 536` | [`e11_large_scale`] |
 //! | E12 | §3.1–3.2 — streaming dynamic workloads at `n = 2^17` | [`e12_dynamic_workloads`] |
 //! | E13 | §3 drift axioms at scale — lazy clock plane at `n = 2^20` | [`e13_scale_ceiling`] |
+//! | E14 | §3/§5 at scale — compact automaton plane at `n = 2^23` | [`e14_memory_ceiling`] |
 //! | E15 | Theorem 4.1 adversary + fault injection + negative controls | [`e15_faults`] |
 //!
 //! # Example
@@ -37,12 +38,12 @@
 //! use gcs_bench::scenario::{all_scenarios, scenarios_in, ScenarioFamily};
 //!
 //! let scenarios = all_scenarios();
-//! assert_eq!(scenarios.len(), 14);
+//! assert_eq!(scenarios.len(), 15);
 //! assert_eq!(scenarios[0].id(), "E1");
 //! assert!(scenarios[0].claim().contains("Theorem 6.9"));
-//! assert_eq!(scenarios[13].id(), "E15");
+//! assert_eq!(scenarios[14].id(), "E15");
 //! assert_eq!(scenarios_in(ScenarioFamily::Claim).len(), 10);
-//! assert_eq!(scenarios_in(ScenarioFamily::Scale).len(), 3);
+//! assert_eq!(scenarios_in(ScenarioFamily::Scale).len(), 4);
 //! assert_eq!(scenarios_in(ScenarioFamily::Fault).len(), 1);
 //! assert!(scenarios.iter().all(|s| !s.title().is_empty()));
 //! ```
@@ -51,6 +52,7 @@ pub mod e10_weighted;
 pub mod e11_large_scale;
 pub mod e12_dynamic_workloads;
 pub mod e13_scale_ceiling;
+pub mod e14_memory_ceiling;
 pub mod e15_faults;
 pub mod e1_global_skew;
 pub mod e2_local_skew;

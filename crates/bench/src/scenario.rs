@@ -57,11 +57,18 @@ pub struct ScenarioReport {
     /// (see [`ScenarioReport::record_memory`]). Process-wide: only
     /// meaningful for scenarios that run alone, like E11/E12.
     pub peak_rss_bytes: Option<u64>,
+    /// Per-plane heap census read while the scenario's simulation was
+    /// still live (see [`ScenarioReport::record_planes`]). Excluded from
+    /// equality like `peak_rss_bytes`: totals are trace facts but the
+    /// census counts *capacities*, whose growth rounding varies with the
+    /// shard (= worker) count.
+    pub plane_bytes: Option<gcs_analysis::mem::PlaneBytes>,
 }
 
 impl PartialEq for ScenarioReport {
     fn eq(&self, other: &Self) -> bool {
-        // `peak_rss_bytes` deliberately excluded — see the type docs.
+        // `peak_rss_bytes` and `plane_bytes` deliberately excluded — see
+        // the type docs.
         self.tables == other.tables && self.notes == other.notes && self.series == other.series
     }
 }
@@ -78,6 +85,14 @@ impl ScenarioReport {
     /// `/proc/self/status`.
     pub fn record_memory(&mut self) -> &mut Self {
         self.peak_rss_bytes = gcs_analysis::peak_rss_bytes();
+        self
+    }
+
+    /// Stamps a per-plane heap census into the report. Read the census
+    /// (`Simulator::plane_bytes`) while the simulation is still live,
+    /// then pass it here.
+    pub fn record_planes(&mut self, planes: gcs_analysis::mem::PlaneBytes) -> &mut Self {
+        self.plane_bytes = Some(planes);
         self
     }
 
@@ -124,6 +139,13 @@ impl ScenarioReport {
                 "process peak RSS: {} MiB (process-lifetime high-water mark — \
                  faithful only in a fresh process, e.g. the standalone bins)",
                 gcs_analysis::mem::fmt_mib(Some(bytes))
+            );
+        }
+        if let Some(planes) = &self.plane_bytes {
+            println!(
+                "plane bytes (MiB): {} — total {:.1}",
+                gcs_analysis::mem::fmt_planes(planes),
+                planes.total() as f64 / (1024.0 * 1024.0)
             );
         }
     }
@@ -199,11 +221,12 @@ pub trait Scenario: Send + Sync {
     fn run_scenario(&self) -> ScenarioReport;
 }
 
-/// All fourteen experiments, in order (E1–E10 reproduce paper claims at
+/// All fifteen experiments, in order (E1–E10 reproduce paper claims at
 /// small `n`; E11 is the large-scale parallel-engine run; E12 is the
 /// streaming dynamic-workload family at `n = 2^17`; E13 is the lazy
-/// clock plane's scale-ceiling run at `n = 2^20`; E15 is the fault and
-/// adversary family).
+/// clock plane's scale-ceiling run at `n = 2^20`; E14 is the compact
+/// automaton plane's memory-ceiling run at `n = 2^23`; E15 is the fault
+/// and adversary family).
 pub fn all_scenarios() -> Vec<Box<dyn Scenario>> {
     vec![
         Box::new(crate::e1_global_skew::Experiment::default()),
@@ -219,6 +242,7 @@ pub fn all_scenarios() -> Vec<Box<dyn Scenario>> {
         Box::new(crate::e11_large_scale::Experiment::default()),
         Box::new(crate::e12_dynamic_workloads::Experiment::default()),
         Box::new(crate::e13_scale_ceiling::Experiment::default()),
+        Box::new(crate::e14_memory_ceiling::Experiment::default()),
         Box::new(crate::e15_faults::Experiment::default()),
     ]
 }
@@ -328,13 +352,13 @@ mod tests {
     use gcs_clocks::time::at;
 
     #[test]
-    fn registry_lists_all_fourteen_experiments_in_order() {
+    fn registry_lists_all_fifteen_experiments_in_order() {
         let ids: Vec<&str> = all_scenarios().iter().map(|s| s.id()).collect();
         assert_eq!(
             ids,
             vec![
                 "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13",
-                "E15"
+                "E14", "E15"
             ]
         );
         for s in all_scenarios() {
@@ -358,7 +382,7 @@ mod tests {
         let fault = scenarios_in(ScenarioFamily::Fault);
         assert_eq!(claim.len(), 10, "E1-E10 are the claim batch");
         let scale_ids: Vec<&str> = scale.iter().map(|s| s.id()).collect();
-        assert_eq!(scale_ids, vec!["E11", "E12", "E13"]);
+        assert_eq!(scale_ids, vec!["E11", "E12", "E13", "E14"]);
         let fault_ids: Vec<&str> = fault.iter().map(|s| s.id()).collect();
         assert_eq!(fault_ids, vec!["E15"]);
         for s in fault {
@@ -367,7 +391,7 @@ mod tests {
                 "fault scenarios must describe their injections"
             );
         }
-        assert_eq!(claim.len() + scale_ids.len() + fault_ids.len(), 14);
+        assert_eq!(claim.len() + scale_ids.len() + fault_ids.len(), 15);
     }
 
     #[test]
@@ -391,7 +415,7 @@ mod tests {
                 partitioned.push(s.id());
             }
         }
-        assert_eq!(partitioned.len(), 14);
+        assert_eq!(partitioned.len(), 15);
         let mut sorted_registry = registry;
         let mut sorted_partitioned = partitioned;
         sorted_registry.sort_unstable();
@@ -439,6 +463,10 @@ mod tests {
         let mut b = a.clone();
         a.peak_rss_bytes = Some(1);
         b.peak_rss_bytes = Some(2);
+        a.record_planes(gcs_analysis::mem::PlaneBytes {
+            automaton_hot: 7,
+            ..Default::default()
+        });
         assert_eq!(a, b, "host memory facts must not break determinism pins");
         b.note("different trace");
         assert_ne!(a, b);

@@ -108,6 +108,38 @@ impl Automaton for MaxSyncNode {
     fn max_estimate(&self, hw: f64) -> f64 {
         self.lmax.value(hw)
     }
+
+    // Compact-plane cold tier: the baseline's only heap state is Υ, and
+    // the inline clocks survive the drain. The baseline never parks its
+    // tick timer, so the engine's eviction sweep (which requires no armed
+    // timer) will not evict live MaxSync nodes — the encoding exists for
+    // crashed ones and for symmetry with [`crate::GradientNode`].
+    fn quiescent(&self) -> bool {
+        self.upsilon.is_empty()
+    }
+
+    fn pack_cold(&mut self, out: &mut Vec<u8>) -> bool {
+        out.extend_from_slice(&(self.upsilon.len() as u32).to_le_bytes());
+        for v in self.upsilon.iter() {
+            out.extend_from_slice(&(v.index() as u32).to_le_bytes());
+        }
+        self.upsilon = IdSet::new();
+        true
+    }
+
+    fn unpack_cold(&mut self, bytes: &[u8]) {
+        let n = u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as usize;
+        assert_eq!(bytes.len(), 4 + 4 * n, "malformed cold blob");
+        for i in 0..n {
+            let at = 4 + 4 * i;
+            let id = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap());
+            self.upsilon.insert(NodeId::from_index(id as usize));
+        }
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.upsilon.heap_bytes()
+    }
 }
 
 #[cfg(test)]
@@ -205,6 +237,48 @@ mod tests {
         actions.clear();
         n.on_alarm(&mut ctx_at(2.0, &mut actions, &mut rng), TimerKind::Tick);
         assert!(!actions.iter().any(|a| matches!(a, Action::Send { .. })));
+    }
+
+    #[test]
+    fn cold_roundtrip_preserves_upsilon_and_clocks() {
+        let mut n = MaxSyncNode::new(0.5);
+        let mut actions = Vec::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        for i in [4usize, 1, 9] {
+            n.on_discover(
+                &mut ctx_at(0.0, &mut actions, &mut rng),
+                LinkChange {
+                    kind: LinkChangeKind::Added,
+                    edge: Edge::between(0, i),
+                },
+            );
+        }
+        n.on_receive(
+            &mut ctx_at(1.0, &mut actions, &mut rng),
+            node(1),
+            Message {
+                logical: 7.0,
+                max_estimate: 7.0,
+            },
+        );
+        let before = n.clone();
+        let mut blob = Vec::new();
+        assert!(n.pack_cold(&mut blob));
+        assert!(n.quiescent());
+        assert_eq!(n.heap_bytes(), 0);
+        assert_eq!(
+            n.logical_clock(3.0).to_bits(),
+            before.logical_clock(3.0).to_bits()
+        );
+        n.unpack_cold(&blob);
+        assert_eq!(
+            n.upsilon().collect::<Vec<_>>(),
+            before.upsilon().collect::<Vec<_>>()
+        );
+        assert_eq!(
+            n.max_estimate(2.0).to_bits(),
+            before.max_estimate(2.0).to_bits()
+        );
     }
 
     #[test]

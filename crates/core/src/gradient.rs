@@ -25,6 +25,7 @@
 //! identical to the old `BTreeMap` order, so execution traces are
 //! unchanged.
 
+use crate::budget::BudgetTable;
 use crate::neighbors::{FlatMap, IdSet};
 use crate::params::AlgoParams;
 use crate::predicate;
@@ -32,6 +33,7 @@ use gcs_clocks::ClockVar;
 use gcs_net::NodeId;
 use gcs_sim::{Automaton, Context, LinkChange, LinkChangeKind, Message, TimerKind};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Per-neighbor state for `v ∈ Γ_u`.
 #[derive(Clone, Copy, Debug)]
@@ -42,10 +44,81 @@ pub struct NeighborState {
     pub estimate: ClockVar,
 }
 
+/// Immutable configuration shared by every [`GradientNode`] of a run: the
+/// algorithm parameters, the one sampled `B(·)` curve of the compact
+/// automaton plane, and the idle-parking policy. One `Arc` replaces the
+/// inline 72-byte `AlgoParams` copy (plus a per-node curve) in each of the
+/// `n = 2^23` automata.
+#[derive(Debug)]
+pub struct GradientShared {
+    params: AlgoParams,
+    table: BudgetTable,
+    park_idle: bool,
+}
+
+impl GradientShared {
+    /// Builds the shared plane for `params`: the budget curve is sampled
+    /// at quantum `ΔH/4` (the engine's event grid) out to the settle age,
+    /// so steady-state edge ages resolve by table hit while anything
+    /// off-grid falls back to the exact `budget_unfloored` path.
+    pub fn new(params: AlgoParams) -> Self {
+        let quantum = params.delta_h / 4.0;
+        let settle = params.budget_settle_age();
+        let len = if settle.is_finite() && settle > 0.0 {
+            ((settle / quantum).ceil() as usize + 2).clamp(64, 4096)
+        } else {
+            64
+        };
+        GradientShared {
+            params,
+            table: BudgetTable::sample(quantum, len, |dt| params.budget_unfloored(dt)),
+            park_idle: false,
+        }
+    }
+
+    /// Enables idle parking: a node with empty `Υ_u` does not keep a tick
+    /// timer armed and re-arms it on first contact (receive or
+    /// discover-add). Protocol-invisible — an isolated node has `Γ_u = ∅`
+    /// and `L_u = Lmax_u`, so its skipped ticks would neither send nor
+    /// adjust anything — but it changes *event traces* (timer
+    /// generations), so it is opt-in and default-off; existing recorded
+    /// runs are untouched.
+    pub fn with_idle_parking(mut self, on: bool) -> Self {
+        self.park_idle = on;
+        self
+    }
+
+    /// The algorithm parameters.
+    pub fn params(&self) -> &AlgoParams {
+        &self.params
+    }
+
+    /// The shared budget curve table.
+    pub fn table(&self) -> &BudgetTable {
+        &self.table
+    }
+
+    /// Whether idle parking is enabled.
+    pub fn parks_idle(&self) -> bool {
+        self.park_idle
+    }
+
+    /// The unfloored budget at subjective age `dt`: table hit when `dt`
+    /// is exactly on the sampled grid (bit-identical by the
+    /// [`BudgetTable`] contract), exact evaluation otherwise.
+    #[inline]
+    fn unfloored(&self, dt: f64) -> f64 {
+        match self.table.lookup(dt) {
+            Some(b) => b,
+            None => self.params.budget_unfloored(dt),
+        }
+    }
+}
+
 /// One node running Algorithm 2.
 #[derive(Clone, Debug)]
 pub struct GradientNode {
-    params: AlgoParams,
+    shared: Arc<GradientShared>,
     /// `L_u`.
     l: ClockVar,
     /// `Lmax_u`.
@@ -57,25 +130,39 @@ pub struct GradientNode {
     /// Count of discrete jumps of `L_u` (diagnostics).
     jumps: u64,
     /// Per-neighbor edge weights for the §7 weighted-graph extension: the
-    /// budget toward `v` floors at `B0·w` instead of `B0`. Missing entries
-    /// default to weight 1 (the plain algorithm). In the companion-paper
-    /// reading, the weight is the edge's relative delay uncertainty —
-    /// e.g. a reference-broadcast link gets `w ≪ 1` and therefore a much
-    /// tighter stable skew guarantee. Stored dense, indexed by node id.
-    weights: Vec<f64>,
+    /// budget toward `v` floors at `B0·w` instead of `B0`. `None` (the
+    /// overwhelmingly common case) means every edge has weight 1 — the
+    /// plain algorithm — at zero per-node cost; configured nodes carry a
+    /// sparse sorted map of only the non-unit edges. In the
+    /// companion-paper reading, the weight is the edge's relative delay
+    /// uncertainty — e.g. a reference-broadcast link gets `w ≪ 1` and
+    /// therefore a much tighter stable skew guarantee.
+    weights: Option<Box<FlatMap<f64>>>,
+    /// True while idle parking holds the tick timer disarmed.
+    parked: bool,
 }
 
 impl GradientNode {
     /// A node at time 0: `L_u = Lmax_u = H_u = 0`, no neighbors.
+    ///
+    /// Builds a private [`GradientShared`]; scale scenarios should build
+    /// one shared plane and use [`GradientNode::with_shared`] so the
+    /// sampled curve is paid for once, not `n` times.
     pub fn new(params: AlgoParams) -> Self {
+        Self::with_shared(Arc::new(GradientShared::new(params)))
+    }
+
+    /// A node over an existing shared plane (one `Arc` per run).
+    pub fn with_shared(shared: Arc<GradientShared>) -> Self {
         GradientNode {
-            params,
+            shared,
             l: ClockVar::zeroed(),
             lmax: ClockVar::zeroed(),
             gamma: FlatMap::new(),
             upsilon: IdSet::new(),
             jumps: 0,
-            weights: Vec::new(),
+            weights: None,
+            parked: false,
         }
     }
 
@@ -83,40 +170,45 @@ impl GradientNode {
     /// sketched in the paper's conclusion; weights must be in `(0, 1]` so
     /// the standard analysis still upper-bounds every budget).
     pub fn with_weights(params: AlgoParams, weights: BTreeMap<NodeId, f64>) -> Self {
-        let mut dense = Vec::new();
+        let mut sparse = FlatMap::new();
         for (&v, &w) in &weights {
             assert!(
                 w > 0.0 && w <= 1.0,
                 "edge weight toward {v:?} must be in (0, 1], got {w}"
             );
-            if dense.len() <= v.index() {
-                dense.resize(v.index() + 1, 1.0);
-            }
-            dense[v.index()] = w;
+            sparse.insert(v, w);
         }
         GradientNode {
-            weights: dense,
+            weights: (!sparse.is_empty()).then(|| Box::new(sparse)),
             ..Self::new(params)
         }
     }
 
     /// The weight of the edge toward `v` (1.0 unless configured).
     pub fn weight_of(&self, v: NodeId) -> f64 {
-        self.weights.get(v.index()).copied().unwrap_or(1.0)
+        self.weights
+            .as_ref()
+            .and_then(|w| w.get(v).copied())
+            .unwrap_or(1.0)
     }
 
     /// The effective budget toward `v` at subjective edge age `dt`:
     /// `max{B0·w_v, unfloored B(dt)}`.
     fn budget_at(&self, v: NodeId, dt: f64) -> f64 {
         predicate::effective_budget(
-            self.params.budget_unfloored(dt),
-            self.params.b0 * self.weight_of(v),
+            self.shared.unfloored(dt),
+            self.shared.params.b0 * self.weight_of(v),
         )
     }
 
     /// The parameters this node runs with.
     pub fn params(&self) -> &AlgoParams {
-        &self.params
+        &self.shared.params
+    }
+
+    /// The shared plane this node resolves budgets against.
+    pub fn shared(&self) -> &Arc<GradientShared> {
+        &self.shared
     }
 
     /// Current `Γ_u`.
@@ -200,11 +292,147 @@ impl GradientNode {
             max_estimate: self.lmax.value(hw),
         }
     }
+
+    /// Re-arms the tick timer if idle parking had it disarmed. Called on
+    /// first contact (receive, discover-add); a parked node has
+    /// `Υ_u = ∅` and `L_u = Lmax_u`, so no tick was observable while
+    /// parked.
+    fn wake(&mut self, ctx: &mut Context<'_>) {
+        if self.parked {
+            self.parked = false;
+            ctx.set_timer(self.shared.params.delta_h, TimerKind::Tick);
+        }
+    }
+
+    /// Packs `Γ_u` and `Υ_u` into `out` and drains them, leaving a hollow
+    /// node whose inline scalars (`L`, `Lmax`, jump count, parked flag)
+    /// still answer [`Automaton::logical_clock`] exactly. Refuses (and
+    /// leaves the node untouched) when edge weights are configured —
+    /// weighted nodes are rare and stay hot. Returns whether it packed.
+    ///
+    /// Encoding (little-endian): `Γ` length (`u32`), then per neighbor
+    /// `id:u32`, an age code for `C^v_u` — tag `1` + `u32` grid index
+    /// when the join stamp sits exactly on the shared table's quantum
+    /// grid, else tag `0` + raw `f64` bits — and the raw bits of the
+    /// estimate offset; then `Υ` length (`u32`) and its ids.
+    fn pack_cold_impl(&mut self, out: &mut Vec<u8>) -> bool {
+        if self.weights.is_some() {
+            return false;
+        }
+        let q = self.shared.table.quantum();
+        out.extend_from_slice(&(self.gamma.len() as u32).to_le_bytes());
+        for (v, st) in self.gamma.iter() {
+            out.extend_from_slice(&(v.index() as u32).to_le_bytes());
+            match hw_grid_code(q, st.joined_hw) {
+                Some(k) => {
+                    out.push(1);
+                    out.extend_from_slice(&k.to_le_bytes());
+                }
+                None => {
+                    out.push(0);
+                    out.extend_from_slice(&st.joined_hw.to_bits().to_le_bytes());
+                }
+            }
+            out.extend_from_slice(&st.estimate.offset().to_bits().to_le_bytes());
+        }
+        out.extend_from_slice(&(self.upsilon.len() as u32).to_le_bytes());
+        for v in self.upsilon.iter() {
+            out.extend_from_slice(&(v.index() as u32).to_le_bytes());
+        }
+        self.gamma = FlatMap::new();
+        self.upsilon = IdSet::new();
+        true
+    }
+
+    /// Rebuilds `Γ_u` and `Υ_u` from a [`Self::pack_cold_impl`] blob.
+    /// Exact inverse: grid-coded join stamps decode to the identical
+    /// float by the quantum-reconstruction contract, raw-coded ones by
+    /// bit transport.
+    fn unpack_cold_impl(&mut self, bytes: &[u8]) {
+        let q = self.shared.table.quantum();
+        let mut r = ColdReader::new(bytes);
+        let glen = r.u32() as usize;
+        for _ in 0..glen {
+            let id = NodeId::from_index(r.u32() as usize);
+            let joined_hw = match r.u8() {
+                1 => r.u32() as f64 * q,
+                _ => f64::from_bits(r.u64()),
+            };
+            let offset = f64::from_bits(r.u64());
+            // Entries were packed in ascending id order, so each insert
+            // appends at the end of the flat map.
+            self.gamma.insert(
+                id,
+                NeighborState {
+                    joined_hw,
+                    estimate: ClockVar::with_value(offset, 0.0),
+                },
+            );
+        }
+        let ulen = r.u32() as usize;
+        for _ in 0..ulen {
+            self.upsilon.insert(NodeId::from_index(r.u32() as usize));
+        }
+        r.finish();
+    }
+}
+
+/// The `u32` grid code of `hw` on quantum `q`, if `k·q` reproduces `hw`
+/// bit-for-bit (same reconstruction contract as
+/// [`BudgetTable::grid_index`], but over the full `u32` index range so it
+/// covers join *stamps*, not just ages).
+fn hw_grid_code(q: f64, hw: f64) -> Option<u32> {
+    let r = hw / q;
+    if !(r >= 0.0 && r <= u32::MAX as f64) {
+        return None;
+    }
+    let k = r.round();
+    ((k * q).to_bits() == hw.to_bits()).then_some(k as u32)
+}
+
+/// Little-endian cursor over a cold blob; panics on truncation (a packed
+/// blob is produced and consumed by the same code, so truncation is a
+/// bug, not an input condition).
+struct ColdReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ColdReader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        ColdReader { bytes, pos: 0 }
+    }
+
+    fn take<const N: usize>(&mut self) -> [u8; N] {
+        let out: [u8; N] = self.bytes[self.pos..self.pos + N].try_into().unwrap();
+        self.pos += N;
+        out
+    }
+
+    fn u8(&mut self) -> u8 {
+        self.take::<1>()[0]
+    }
+
+    fn u32(&mut self) -> u32 {
+        u32::from_le_bytes(self.take())
+    }
+
+    fn u64(&mut self) -> u64 {
+        u64::from_le_bytes(self.take())
+    }
+
+    fn finish(self) {
+        assert_eq!(self.pos, self.bytes.len(), "cold blob has trailing bytes");
+    }
 }
 
 impl Automaton for GradientNode {
     fn on_start(&mut self, ctx: &mut Context<'_>) {
-        ctx.set_timer(self.params.delta_h, TimerKind::Tick);
+        if self.shared.park_idle && self.upsilon.is_empty() {
+            self.parked = true;
+        } else {
+            ctx.set_timer(self.shared.params.delta_h, TimerKind::Tick);
+        }
     }
 
     // Crash/restart with state loss: parameters and edge weights are
@@ -213,13 +441,14 @@ impl Automaton for GradientNode {
     fn try_reboot(&self) -> Result<Self, gcs_sim::RebootUnsupported> {
         Ok(GradientNode {
             weights: self.weights.clone(),
-            ..Self::new(self.params)
+            ..Self::with_shared(self.shared.clone())
         })
     }
 
     // Lines 15–24 of Algorithm 2.
     fn on_receive(&mut self, ctx: &mut Context<'_>, from: NodeId, msg: Message) {
         let hw = ctx.hw;
+        self.wake(ctx);
         ctx.cancel_timer(TimerKind::Lost(from));
         self.upsilon.insert(from); // see module note 2
         match self.gamma.get_mut(from) {
@@ -242,7 +471,7 @@ impl Automaton for GradientNode {
         // Line 21: Lmax_u ← max{Lmax_u, Lmax_v}.
         self.lmax.raise_to(msg.max_estimate, hw);
         self.adjust_clock(hw);
-        ctx.set_timer(self.params.delta_t_prime(), TimerKind::Lost(from));
+        ctx.set_timer(self.shared.params.delta_t_prime(), TimerKind::Lost(from));
     }
 
     // Lines 1–10.
@@ -250,6 +479,7 @@ impl Automaton for GradientNode {
         let other = change.edge.other(ctx.node);
         match change.kind {
             LinkChangeKind::Added => {
+                self.wake(ctx);
                 ctx.send(other, self.message(ctx.hw));
                 self.upsilon.insert(other);
             }
@@ -274,7 +504,15 @@ impl Automaton for GradientNode {
                     ctx.send(v, msg);
                 }
                 self.adjust_clock(ctx.hw);
-                ctx.set_timer(self.params.delta_h, TimerKind::Tick);
+                if self.shared.park_idle && self.upsilon.is_empty() {
+                    // Idle parking: an isolated node has Γ_u = ∅ (the
+                    // Γ ⊆ Υ invariant) and L_u = Lmax_u, so further
+                    // ticks would neither send nor adjust — stop
+                    // re-arming until first contact wakes us.
+                    self.parked = true;
+                } else {
+                    ctx.set_timer(self.shared.params.delta_h, TimerKind::Tick);
+                }
             }
         }
     }
@@ -285,6 +523,30 @@ impl Automaton for GradientNode {
 
     fn max_estimate(&self, hw: f64) -> f64 {
         self.lmax.value(hw)
+    }
+
+    // The compact-plane cold tier (PR 8): quiescence, pack, rehydrate.
+
+    fn quiescent(&self) -> bool {
+        self.gamma.is_empty() && self.upsilon.is_empty()
+    }
+
+    fn pack_cold(&mut self, out: &mut Vec<u8>) -> bool {
+        self.pack_cold_impl(out)
+    }
+
+    fn unpack_cold(&mut self, bytes: &[u8]) {
+        self.unpack_cold_impl(bytes);
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.gamma.heap_bytes()
+            + self.upsilon.heap_bytes()
+            + self
+                .weights
+                .as_ref()
+                .map(|w| std::mem::size_of::<FlatMap<f64>>() + w.heap_bytes())
+                .unwrap_or(0)
     }
 }
 
@@ -562,6 +824,169 @@ mod tests {
     #[should_panic(expected = "must be in (0, 1]")]
     fn oversized_weight_rejected() {
         let _ = GradientNode::with_weights(params(), [(node(1), 1.5)].into_iter().collect());
+    }
+
+    #[test]
+    fn shared_table_hits_match_exact_budget_bitwise() {
+        let p = params();
+        let shared = GradientShared::new(p);
+        let q = shared.table().quantum();
+        // Every grid age must resolve to the exact evaluation bit-for-bit,
+        // and off-grid ages must take the exact path (trivially equal).
+        for k in 0..shared.table().len() {
+            let dt = k as f64 * q;
+            assert_eq!(
+                shared.unfloored(dt).to_bits(),
+                p.budget_unfloored(dt).to_bits(),
+                "grid age {dt}"
+            );
+        }
+        for dt in [0.01, 1.0 / 3.0, 7.7, 1e6, -0.5] {
+            assert_eq!(
+                shared.unfloored(dt).to_bits(),
+                p.budget_unfloored(dt).to_bits(),
+                "off-grid age {dt}"
+            );
+        }
+        // The table must cover the whole pre-settle ramp.
+        assert!(shared.table().len() as f64 * q >= p.budget_settle_age());
+    }
+
+    #[test]
+    fn idle_parking_arms_no_tick_until_contact() {
+        let shared = Arc::new(GradientShared::new(params()).with_idle_parking(true));
+        let mut n = GradientNode::with_shared(shared);
+        let mut actions = Vec::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        n.on_start(&mut ctx_at(0.0, &mut actions, &mut rng));
+        assert!(actions.is_empty(), "parked start must emit nothing");
+        // First contact wakes the node: the tick timer is re-armed.
+        n.on_discover(
+            &mut ctx_at(2.0, &mut actions, &mut rng),
+            LinkChange {
+                kind: LinkChangeKind::Added,
+                edge: Edge::between(0, 1),
+            },
+        );
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            Action::SetTimer {
+                kind: TimerKind::Tick,
+                ..
+            }
+        )));
+        // Neighbor leaves; the next tick finds Υ empty and re-parks.
+        n.on_discover(
+            &mut ctx_at(3.0, &mut actions, &mut rng),
+            LinkChange {
+                kind: LinkChangeKind::Removed,
+                edge: Edge::between(0, 1),
+            },
+        );
+        actions.clear();
+        n.on_alarm(&mut ctx_at(3.5, &mut actions, &mut rng), TimerKind::Tick);
+        assert!(
+            actions.is_empty(),
+            "tick with empty Υ must neither send nor re-arm: {actions:?}"
+        );
+        // A receive also wakes.
+        n.on_receive(
+            &mut ctx_at(4.0, &mut actions, &mut rng),
+            node(2),
+            Message {
+                logical: 1.0,
+                max_estimate: 1.0,
+            },
+        );
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            Action::SetTimer {
+                kind: TimerKind::Tick,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn cold_roundtrip_restores_identical_state() {
+        let p = params();
+        let mut n = GradientNode::new(p);
+        let mut actions = Vec::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        // One on-grid join stamp (0.125-multiples of ΔH/4) and one
+        // off-grid stamp, so both age codes are exercised.
+        n.on_receive(
+            &mut ctx_at(1.0, &mut actions, &mut rng),
+            node(3),
+            Message {
+                logical: 0.25,
+                max_estimate: 9.0,
+            },
+        );
+        n.on_receive(
+            &mut ctx_at(2.0 + 1e-3, &mut actions, &mut rng),
+            node(7),
+            Message {
+                logical: 1.75,
+                max_estimate: 11.0,
+            },
+        );
+        n.on_discover(
+            &mut ctx_at(2.5, &mut actions, &mut rng),
+            LinkChange {
+                kind: LinkChangeKind::Added,
+                edge: Edge::between(0, 9),
+            },
+        );
+        let before = n.clone();
+        let mut blob = Vec::new();
+        assert!(n.pack_cold(&mut blob), "unweighted node must pack");
+        assert!(n.quiescent(), "packed node is drained");
+        assert_eq!(n.heap_bytes(), 0, "drained node holds no heap");
+        assert_eq!(
+            n.logical_clock(5.0).to_bits(),
+            before.logical_clock(5.0).to_bits(),
+            "inline clocks must survive the drain"
+        );
+        n.unpack_cold(&blob);
+        let hw = 6.0;
+        assert_eq!(
+            n.upsilon().collect::<Vec<_>>(),
+            before.upsilon().collect::<Vec<_>>()
+        );
+        let caps_a: Vec<_> = n.neighbor_caps(hw).collect();
+        let caps_b: Vec<_> = before.neighbor_caps(hw).collect();
+        assert_eq!(caps_a.len(), caps_b.len());
+        for ((la, ba), (lb, bb)) in caps_a.iter().zip(&caps_b) {
+            assert_eq!(la.to_bits(), lb.to_bits(), "estimate bits");
+            assert_eq!(ba.to_bits(), bb.to_bits(), "budget bits");
+        }
+        for v in [node(3), node(7)] {
+            assert_eq!(
+                n.neighbor_state(v).unwrap().joined_hw.to_bits(),
+                before.neighbor_state(v).unwrap().joined_hw.to_bits()
+            );
+        }
+        assert_eq!(n.is_blocked(hw), before.is_blocked(hw));
+    }
+
+    #[test]
+    fn weighted_nodes_refuse_to_pack() {
+        let mut n = GradientNode::with_weights(params(), [(node(1), 0.25)].into_iter().collect());
+        let mut actions = Vec::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        n.on_receive(
+            &mut ctx_at(0.0, &mut actions, &mut rng),
+            node(1),
+            Message {
+                logical: 0.0,
+                max_estimate: 0.0,
+            },
+        );
+        let mut blob = Vec::new();
+        assert!(!n.pack_cold(&mut blob));
+        assert!(blob.is_empty());
+        assert_eq!(n.gamma().count(), 1, "refusal must not drain");
     }
 
     #[test]

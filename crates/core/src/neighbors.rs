@@ -109,6 +109,13 @@ impl<T> FlatMap<T> {
     pub fn keys(&self) -> impl Iterator<Item = NodeId> + '_ {
         self.entries.iter().map(|(v, _)| *v)
     }
+
+    /// Heap bytes backing the entry array (plane accounting: this is the
+    /// dominant per-node term the cold tier reclaims).
+    #[inline]
+    pub fn heap_bytes(&self) -> usize {
+        self.entries.capacity() * std::mem::size_of::<(NodeId, T)>()
+    }
 }
 
 /// A set of [`NodeId`]s with the same sorted compact layout as
@@ -168,6 +175,12 @@ impl IdSet {
     #[inline]
     pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
         self.items.iter().copied()
+    }
+
+    /// Heap bytes backing the member array (plane accounting).
+    #[inline]
+    pub fn heap_bytes(&self) -> usize {
+        self.items.capacity() * std::mem::size_of::<NodeId>()
     }
 }
 

@@ -64,6 +64,27 @@ impl DynamicGraph {
         self.retain_history
     }
 
+    /// Approximate heap bytes of the live adjacency, presence set and
+    /// retained history (the topology plane's memory meter). B-tree node
+    /// overhead is not observable from outside `std`, so set and map
+    /// entries are counted at payload size.
+    pub fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let degree_total: usize = self.adjacency.iter().map(|s| s.len()).sum();
+        self.adjacency.capacity() * size_of::<BTreeSet<NodeId>>()
+            + degree_total * size_of::<NodeId>()
+            + self.present.len() * size_of::<Edge>()
+            + self
+                .history
+                .values()
+                .map(|v| {
+                    size_of::<Edge>()
+                        + size_of::<Vec<PresenceInterval>>()
+                        + v.capacity() * size_of::<PresenceInterval>()
+                })
+                .sum::<usize>()
+    }
+
     /// A graph initialized with `E₀` at time 0.
     pub fn with_initial(n: usize, edges: impl IntoIterator<Item = Edge>) -> Self {
         let mut g = Self::empty(n);

@@ -253,6 +253,45 @@ pub trait Automaton: Send {
             Err(e) => panic!("{e}"),
         }
     }
+
+    // ---- Compact-plane cold tier (optional; defaults opt out) ----
+    //
+    // The engine's eviction sweep ([`crate::Simulator::evict_quiescent`])
+    // packs nodes that are quiescent *and* hold no armed timer into byte
+    // blobs, and rehydrates them on the next touching event. The three
+    // methods below are the protocol side of that contract; protocols
+    // that do not implement them are simply never evicted.
+
+    /// True when the node holds no per-neighbor protocol state — for
+    /// Algorithm 2, `Γ_u = Υ_u = ∅`. Only quiescent nodes are candidates
+    /// for cold-tier eviction. The default (`false`) opts the protocol
+    /// out entirely.
+    fn quiescent(&self) -> bool {
+        false
+    }
+
+    /// Packs this node's heap-backed state into `out` and **drains** it,
+    /// leaving inline state (clocks, counters) untouched so queries like
+    /// [`logical_clock`](Self::logical_clock) still answer exactly while
+    /// cold. Returns `false` — writing nothing and draining nothing — to
+    /// refuse (the default, and e.g. for weighted nodes). A later
+    /// [`unpack_cold`](Self::unpack_cold) of the written bytes must
+    /// restore the state bit-for-bit.
+    fn pack_cold(&mut self, _out: &mut Vec<u8>) -> bool {
+        false
+    }
+
+    /// Restores state drained by a [`pack_cold`](Self::pack_cold) that
+    /// returned `true`. Exact inverse: the rehydrated node must be
+    /// bit-for-bit indistinguishable from one that was never evicted.
+    fn unpack_cold(&mut self, _bytes: &[u8]) {}
+
+    /// Heap bytes currently held by this node's protocol state (the
+    /// automaton-hot plane meter). Inline struct bytes are accounted by
+    /// the engine; the default covers protocols with no heap state.
+    fn heap_bytes(&self) -> usize {
+        0
+    }
 }
 
 #[cfg(test)]

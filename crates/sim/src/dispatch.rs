@@ -227,6 +227,11 @@ pub(crate) fn run_event<A: Automaton>(
             let state = ctx.edges.find(edge);
             if state.map(|e| e.live && e.epoch == epoch).unwrap_or(false) {
                 shard.stats.messages_delivered += 1;
+                // A delivery touches the node: rehydrate it from the cold
+                // tier before the handler observes any state. (The drop
+                // path below touches only the *sender*, so it leaves the
+                // owner cold.)
+                shard.table.rehydrate(local, &mut shard.nodes[local]);
                 run_handler(ctx, shard, owner, local, ev.seq, |a, c| {
                     a.on_receive(c, from, msg)
                 });
@@ -254,18 +259,29 @@ pub(crate) fn run_event<A: Automaton>(
         EventPayload::Alarm {
             kind, generation, ..
         } => {
-            let timers = &mut shard.table.timers[local];
-            if timers.get(kind) != Some(generation) {
+            // No rehydration here, by construction: eviction requires no
+            // armed timer, so an alarm reaching a cold node is stale on
+            // the drained slots (`get` → `None`) exactly as it would be
+            // on the hot ones (generation mismatch) — same branch, same
+            // stats.
+            if shard.table.timers[local].get(kind) != Some(generation) {
                 shard.stats.alarms_stale += 1;
                 return;
             }
-            timers.disarm(kind);
+            debug_assert!(
+                !shard.table.is_cold(local),
+                "live alarm against a cold node: eviction let an armed timer through"
+            );
+            shard.table.timers[local].disarm(kind);
             shard.stats.alarms_fired += 1;
             run_handler(ctx, shard, owner, local, ev.seq, |a, c| a.on_alarm(c, kind));
         }
         EventPayload::Discover {
             change, version, ..
         } => {
+            // Rehydrate before the staleness check: the discovery
+            // watermark being compared lives in the packed peer state.
+            shard.table.rehydrate(local, &mut shard.nodes[local]);
             let other = change.edge.other(owner);
             let peer = shard.table.peer(local, other);
             if version <= peer.discovered_version {

@@ -489,6 +489,39 @@ impl SimBuilder {
     }
 }
 
+/// Heap-byte census of the engine's memory planes, one meter per plane:
+///
+/// * `topology` — canonical edge state plus the live dynamic graph,
+/// * `drift` — hardware memo columns and materialized drift cursors,
+/// * `automaton_hot` — automaton structs and their heap state, plus the
+///   engine-side per-node columns (timers, peers, RNG streams),
+/// * `automaton_cold` — packed blobs of evicted quiescent nodes,
+/// * `wheel` — the pending-event calendar queue.
+///
+/// Capacities (not lengths) are counted where observable; B-tree node
+/// overhead is approximated by entry payloads. The census is exact enough
+/// to attribute peak memory to a plane, not an allocator-level audit.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlaneBytes {
+    /// Canonical edge state plus live dynamic-graph adjacency.
+    pub topology: usize,
+    /// Hardware memo columns plus materialized drift cursors.
+    pub drift: usize,
+    /// Hot automaton structs/heap plus engine-side node columns.
+    pub automaton_hot: usize,
+    /// Packed cold-tier blobs.
+    pub automaton_cold: usize,
+    /// Pending-event calendar queue.
+    pub wheel: usize,
+}
+
+impl PlaneBytes {
+    /// Sum over all planes.
+    pub fn total(&self) -> usize {
+        self.topology + self.drift + self.automaton_hot + self.automaton_cold + self.wheel
+    }
+}
+
 /// The simulation engine; see the module docs for semantics.
 pub struct Simulator<A: Automaton> {
     params: ModelParams,
@@ -656,6 +689,78 @@ impl<A: Automaton> Simulator<A> {
             .iter()
             .map(|s| s.table.rng_streams())
             .sum()
+    }
+
+    /// Nodes currently packed into the cold tier across all shards.
+    pub fn cold_nodes(&self) -> usize {
+        self.shards
+            .shards
+            .iter()
+            .map(|s| s.table.cold_nodes())
+            .sum()
+    }
+
+    /// Packed bytes currently held by the cold tier.
+    pub fn cold_bytes(&self) -> usize {
+        self.shards
+            .shards
+            .iter()
+            .map(|s| s.table.cold_bytes())
+            .sum()
+    }
+
+    /// Evictions performed so far. Kept off [`SimStats`] deliberately:
+    /// eviction is a memory policy, not protocol behavior, so `stats()`
+    /// must compare equal between eviction-on and eviction-off runs.
+    pub fn evictions(&self) -> u64 {
+        self.shards.shards.iter().map(|s| s.table.evictions).sum()
+    }
+
+    /// Rehydrations performed so far (see [`Self::evictions`]).
+    pub fn rehydrations(&self) -> u64 {
+        self.shards
+            .shards
+            .iter()
+            .map(|s| s.table.rehydrations)
+            .sum()
+    }
+
+    /// Sweeps every touched node and evicts the quiescent ones into the
+    /// packed cold tier; returns how many moved. A serial barrier, and
+    /// every per-node predicate (`NodeTable::pack_node`) reads only
+    /// node-local state — so which nodes evict is a function of the
+    /// trace alone, identical across thread counts.
+    ///
+    /// Callers choose the cadence (e.g. between scenario phases); the
+    /// engine never evicts on its own.
+    pub fn evict_quiescent(&mut self) -> usize {
+        let mut evicted = 0;
+        for shard in &mut self.shards.shards {
+            for local in 0..shard.table.watermark() {
+                if shard.table.pack_node(local, &mut shard.nodes[local]) {
+                    evicted += 1;
+                }
+            }
+        }
+        evicted
+    }
+
+    /// Byte census of the engine's memory planes (see [`PlaneBytes`]).
+    pub fn plane_bytes(&self) -> PlaneBytes {
+        use std::mem::size_of;
+        let mut p = PlaneBytes {
+            topology: self.edges.heap_bytes() + self.graph.heap_bytes(),
+            wheel: self.queue.heap_bytes(),
+            ..PlaneBytes::default()
+        };
+        for shard in &self.shards.shards {
+            p.drift += shard.table.drift_bytes();
+            p.automaton_hot += shard.nodes.capacity() * size_of::<A>()
+                + shard.nodes.iter().map(|n| n.heap_bytes()).sum::<usize>()
+                + shard.table.engine_hot_bytes();
+            p.automaton_cold += shard.table.cold_bytes();
+        }
+        p
     }
 
     /// Logical clock `L_u` at the current time.
@@ -1020,12 +1125,15 @@ impl<A: Automaton> Simulator<A> {
                 if self.faults.crash(node) {
                     self.stats.crashes += 1;
                     // All armed timers go stale; entries stay so post-
-                    // restart arms never alias in-flight generations.
+                    // restart arms never alias in-flight generations. A
+                    // cold node rehydrates first so the generation bumps
+                    // land in the live slots, not a stale blob.
                     let s = self.shards.shard_of(node);
                     let local = node.index() / self.shards.count();
-                    let table = &mut self.shards.shards[s].table;
-                    if local < table.watermark() {
-                        table.timers[local].cancel_all();
+                    let shard = &mut self.shards.shards[s];
+                    if local < shard.table.watermark() {
+                        shard.table.rehydrate(local, &mut shard.nodes[local]);
+                        shard.table.timers[local].cancel_all();
                     }
                 }
             }
@@ -1042,6 +1150,18 @@ impl<A: Automaton> Simulator<A> {
                 // cursor, RNG stream and FIFO horizons survive — they
                 // model the oscillator, the environment's randomness and
                 // the link discipline, not protocol state.
+                // A cold node rehydrates before the reboot so its timer
+                // generations are restored ahead of the `cancel_all`
+                // bumps and `on_start`'s fresh arm (a first arm against
+                // drained slots would restart at generation 1 and alias
+                // any stale in-flight alarm), and so no stale blob
+                // lingers next to the fresh automaton.
+                {
+                    let shard = &mut self.shards.shards[s];
+                    if local < shard.table.watermark() {
+                        shard.table.rehydrate(local, &mut shard.nodes[local]);
+                    }
+                }
                 let fresh = self.shards.shards[s].nodes[local].reboot();
                 self.shards.shards[s].nodes[local] = fresh;
                 let table = &mut self.shards.shards[s].table;

@@ -85,7 +85,7 @@ pub mod wheel;
 
 pub use automaton::{Action, Automaton, Context, RebootUnsupported};
 pub use delay::{DelayScript, DelayStrategy};
-pub use engine::{DiscoveryDelay, SimBuilder, Simulator, THREADS_ENV};
+pub use engine::{DiscoveryDelay, PlaneBytes, SimBuilder, Simulator, THREADS_ENV};
 pub use event::{LinkChange, LinkChangeKind, Message, TimerKind};
 pub use fault::{CrashRestartSource, FaultEvent, FaultKind, FaultPlan, FaultSource};
 pub use model::ModelParams;

@@ -169,14 +169,35 @@ impl EdgeStore {
             }
         }
     }
+
+    /// Heap bytes of the canonical edge state (topology plane meter).
+    pub fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.adj.capacity() * size_of::<Vec<Vec<EdgeShared>>>()
+            + self
+                .adj
+                .iter()
+                .map(|shard| {
+                    shard.capacity() * size_of::<Vec<EdgeShared>>()
+                        + shard
+                            .iter()
+                            .map(|row| row.capacity() * size_of::<EdgeShared>())
+                            .sum::<usize>()
+                })
+                .sum::<usize>()
+    }
 }
 
-/// One node's armed timers, sorted by kind. An *armed* timer is a present
-/// entry whose generation must match the alarm's; cancelling bumps the
-/// generation but keeps the entry; firing removes it.
+/// One node's timers, sorted by kind. An *armed* timer is an entry whose
+/// `armed` flag is set and whose generation must match the alarm's;
+/// cancelling bumps the generation and clears the flag but keeps the
+/// entry (generation continuity — removing it would let a later `arm`
+/// restart at generation 1 and alias a stale in-flight alarm); firing
+/// removes the entry.
 #[derive(Clone, Debug, Default)]
 pub(crate) struct TimerSlots {
-    v: Vec<(TimerKind, u64)>,
+    /// `(kind, generation, armed)`.
+    v: Vec<(TimerKind, u64, bool)>,
 }
 
 impl TimerSlots {
@@ -195,20 +216,22 @@ impl TimerSlots {
         match self.v.binary_search_by_key(&kind, |e| e.0) {
             Ok(i) => {
                 self.v[i].1 = self.v[i].1.wrapping_add(1);
+                self.v[i].2 = true;
                 self.v[i].1
             }
             Err(i) => {
-                self.v.insert(i, (kind, 1));
+                self.v.insert(i, (kind, 1, true));
                 1
             }
         }
     }
 
-    /// `cancel`: bump the generation if armed (entry stays present).
+    /// `cancel`: bump the generation if present (entry stays).
     #[inline]
     pub fn cancel(&mut self, kind: TimerKind) {
         if let Ok(i) = self.v.binary_search_by_key(&kind, |e| e.0) {
             self.v[i].1 = self.v[i].1.wrapping_add(1);
+            self.v[i].2 = false;
         }
     }
 
@@ -220,15 +243,28 @@ impl TimerSlots {
         }
     }
 
-    /// Crash support: bump *every* armed timer's generation so all
-    /// in-flight alarms go stale. Entries stay present (like
-    /// [`cancel`](Self::cancel)) — removing them would let a post-restart
-    /// `arm` restart at generation 1 and alias a pre-crash alarm still in
-    /// the wheel with the same generation.
+    /// Crash support: bump *every* timer's generation so all in-flight
+    /// alarms go stale. Entries stay present (like
+    /// [`cancel`](Self::cancel)).
     pub fn cancel_all(&mut self) {
         for e in &mut self.v {
             e.1 = e.1.wrapping_add(1);
+            e.2 = false;
         }
+    }
+
+    /// True if any timer is armed (an alarm is genuinely in flight).
+    /// Cancelled entries — generation counters kept for continuity — do
+    /// not count.
+    #[inline]
+    pub fn any_armed(&self) -> bool {
+        self.v.iter().any(|e| e.2)
+    }
+
+    /// Heap bytes backing the entry array.
+    #[inline]
+    pub fn heap_bytes(&self) -> usize {
+        self.v.capacity() * std::mem::size_of::<(TimerKind, u64, bool)>()
     }
 }
 
@@ -282,6 +318,19 @@ pub(crate) struct NodeTable {
     /// drift plane. `None` until the node's clock is first evaluated
     /// past time 0 (and permanently for stateless eager adapters).
     pub drift: Vec<Option<Box<DriftCursor>>>,
+    /// The cold tier: a packed byte blob per evicted node, `None` while
+    /// hot. The blob holds the automaton's drained heap state plus this
+    /// table's timer generations and peer watermarks; the next touching
+    /// event rehydrates it in place (see [`NodeTable::rehydrate`]).
+    pub cold: Vec<Option<Box<[u8]>>>,
+    /// Total bytes across all cold blobs (the automaton-cold meter).
+    cold_blob_bytes: usize,
+    /// Nodes evicted so far (engine diagnostic; deliberately *not* in
+    /// [`crate::SimStats`], so stats stay equal between runs that do and
+    /// do not evict).
+    pub evictions: u64,
+    /// Nodes rehydrated so far.
+    pub rehydrations: u64,
 }
 
 impl NodeTable {
@@ -296,6 +345,7 @@ impl NodeTable {
             self.hw.resize(n, 0.0);
             self.hw_time.resize(n, Time::ZERO);
             self.drift.resize_with(n, || None);
+            self.cold.resize_with(n, || None);
         }
     }
 
@@ -326,6 +376,204 @@ impl NodeTable {
     /// RNG streams materialized in this table.
     pub fn rng_streams(&self) -> usize {
         self.rng.iter().filter(|r| r.is_some()).count()
+    }
+
+    /// True if node `local` currently lives in the cold tier.
+    #[inline]
+    pub fn is_cold(&self, local: usize) -> bool {
+        local < self.cold.len() && self.cold[local].is_some()
+    }
+
+    /// Nodes currently in the cold tier.
+    pub fn cold_nodes(&self) -> usize {
+        self.cold.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// Total packed bytes in the cold tier.
+    #[inline]
+    pub fn cold_bytes(&self) -> usize {
+        self.cold_blob_bytes
+    }
+
+    /// Tries to evict node `local` into the cold tier. Succeeds only when
+    /// the node is genuinely quiescent from every angle the engine can
+    /// see *locally* — which is what keeps the sweep thread-invariant:
+    ///
+    /// * the automaton reports [`Automaton::quiescent`] and agrees to
+    ///   pack (weighted nodes refuse),
+    /// * no timer is armed, so every alarm still in the wheel is stale
+    ///   whether checked against the hot entry (generation mismatch) or
+    ///   the drained one (`get` → `None`) — alarms therefore never need
+    ///   to rehydrate,
+    /// * no RNG stream has materialized (stream position is not
+    ///   reconstructible from the seed).
+    ///
+    /// On success the automaton's heap state, the timer generations and
+    /// the peer watermarks are packed into one blob, their hot storage is
+    /// released, and the drift cursor is dropped (re-materialization is
+    /// bit-neutral by the lazy-drift contract). Inline state — clocks,
+    /// hardware memo — stays hot, so snapshots of cold nodes read
+    /// exactly.
+    pub fn pack_node<A: crate::automaton::Automaton>(
+        &mut self,
+        local: usize,
+        node: &mut A,
+    ) -> bool {
+        if self.is_cold(local)
+            || local >= self.watermark()
+            || self.rng[local].is_some()
+            || self.timers[local].any_armed()
+            || !node.quiescent()
+        {
+            return false;
+        }
+        let mut auto = Vec::new();
+        if !node.pack_cold(&mut auto) {
+            return false;
+        }
+        let timers = std::mem::take(&mut self.timers[local]);
+        let peers = std::mem::take(&mut self.peers[local]);
+        let mut blob = Vec::with_capacity(12 + auto.len() + 13 * timers.v.len() + 20 * peers.len());
+        blob.extend_from_slice(&(auto.len() as u32).to_le_bytes());
+        blob.extend_from_slice(&auto);
+        blob.extend_from_slice(&(timers.v.len() as u32).to_le_bytes());
+        for &(kind, generation, armed) in &timers.v {
+            debug_assert!(!armed, "armed timers block eviction");
+            match kind {
+                TimerKind::Tick => {
+                    blob.push(0);
+                    blob.extend_from_slice(&0u32.to_le_bytes());
+                }
+                TimerKind::Lost(v) => {
+                    blob.push(1);
+                    blob.extend_from_slice(&(v.index() as u32).to_le_bytes());
+                }
+            }
+            blob.extend_from_slice(&generation.to_le_bytes());
+        }
+        blob.extend_from_slice(&(peers.len() as u32).to_le_bytes());
+        for p in &peers {
+            blob.extend_from_slice(&(p.neighbor.index() as u32).to_le_bytes());
+            blob.extend_from_slice(&p.discovered_version.to_le_bytes());
+            blob.extend_from_slice(&p.fifo_out.seconds().to_bits().to_le_bytes());
+        }
+        self.drift[local] = None;
+        self.cold_blob_bytes += blob.len();
+        self.cold[local] = Some(blob.into_boxed_slice());
+        self.evictions += 1;
+        true
+    }
+
+    /// Restores a cold node in place: exact inverse of
+    /// [`pack_node`](Self::pack_node). No-op when the node is hot.
+    pub fn rehydrate<A: crate::automaton::Automaton>(&mut self, local: usize, node: &mut A) {
+        let Some(blob) = self.cold.get_mut(local).and_then(|c| c.take()) else {
+            return;
+        };
+        self.cold_blob_bytes -= blob.len();
+        let mut r = BlobReader::new(&blob);
+        let auto_len = r.u32() as usize;
+        node.unpack_cold(r.bytes(auto_len));
+        let timer_len = r.u32() as usize;
+        let mut timers = TimerSlots::default();
+        for _ in 0..timer_len {
+            let tag = r.u8();
+            let id = r.u32() as usize;
+            let kind = match tag {
+                0 => TimerKind::Tick,
+                _ => TimerKind::Lost(NodeId::from_index(id)),
+            };
+            // Packed in sorted order; cancelled (unarmed) by invariant.
+            timers.v.push((kind, r.u64(), false));
+        }
+        let peer_len = r.u32() as usize;
+        let mut peers = Vec::with_capacity(peer_len);
+        for _ in 0..peer_len {
+            let neighbor = NodeId::from_index(r.u32() as usize);
+            let discovered_version = r.u64();
+            let fifo_out = Time::new(f64::from_bits(r.u64()));
+            peers.push(PeerLocal {
+                neighbor,
+                discovered_version,
+                fifo_out,
+            });
+        }
+        r.finish();
+        self.timers[local] = timers;
+        self.peers[local] = peers;
+        self.rehydrations += 1;
+    }
+
+    /// Heap bytes of the drift plane's share of this table: the hardware
+    /// memo columns, the cursor column, and the materialized cursor
+    /// boxes.
+    pub fn drift_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.hw.capacity() * size_of::<f64>()
+            + self.hw_time.capacity() * size_of::<Time>()
+            + self.drift.capacity() * size_of::<Option<Box<DriftCursor>>>()
+            + self.drift.iter().flatten().count() * size_of::<DriftCursor>()
+    }
+
+    /// Heap bytes of the engine-side node state counted into the
+    /// automaton-hot plane: timer/peer/RNG/cold columns plus the nested
+    /// timer and peer entries and materialized RNG boxes. (Automaton
+    /// struct and heap bytes, cold blobs and drift state are metered
+    /// separately.)
+    pub fn engine_hot_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let columns = self.timers.capacity() * size_of::<TimerSlots>()
+            + self.peers.capacity() * size_of::<Vec<PeerLocal>>()
+            + self.rng.capacity() * size_of::<Option<Box<StdRng>>>()
+            + self.cold.capacity() * size_of::<Option<Box<[u8]>>>();
+        let nested: usize = self
+            .timers
+            .iter()
+            .map(TimerSlots::heap_bytes)
+            .sum::<usize>()
+            + self
+                .peers
+                .iter()
+                .map(|p| p.capacity() * size_of::<PeerLocal>())
+                .sum::<usize>()
+            + self.rng.iter().flatten().count() * size_of::<StdRng>();
+        columns + nested
+    }
+}
+
+/// Little-endian cursor over a cold blob (see [`NodeTable::pack_node`]);
+/// panics on truncation — blobs are produced and consumed by the same
+/// code, so a short read is a bug, not an input condition.
+struct BlobReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> BlobReader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        BlobReader { bytes, pos: 0 }
+    }
+
+    fn bytes(&mut self, n: usize) -> &'a [u8] {
+        let out = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        out
+    }
+
+    fn u8(&mut self) -> u8 {
+        self.bytes(1)[0]
+    }
+
+    fn u32(&mut self) -> u32 {
+        u32::from_le_bytes(self.bytes(4).try_into().unwrap())
+    }
+
+    fn u64(&mut self) -> u64 {
+        u64::from_le_bytes(self.bytes(8).try_into().unwrap())
+    }
+
+    fn finish(self) {
+        assert_eq!(self.pos, self.bytes.len(), "cold blob has trailing bytes");
     }
 }
 
@@ -504,6 +752,114 @@ mod tests {
         assert_eq!(shards.shards[0].nodes, vec![0, 3, 6]);
         assert_eq!(shards.shards[1].nodes, vec![1, 4, 7]);
         assert_eq!(shards.shards[2].nodes, vec![2, 5]);
+    }
+
+    #[test]
+    fn timer_slots_track_armed_state() {
+        let mut t = TimerSlots::default();
+        assert!(!t.any_armed());
+        t.arm(TimerKind::Tick);
+        assert!(t.any_armed());
+        t.cancel(TimerKind::Tick);
+        assert!(!t.any_armed(), "cancelled entry keeps gen, not armed");
+        assert_eq!(t.get(TimerKind::Tick), Some(2), "generation continuity");
+        t.arm(TimerKind::Lost(node(3)));
+        t.cancel_all();
+        assert!(!t.any_armed());
+    }
+
+    /// Minimal automaton with one heap member, for cold-tier round trips.
+    struct PackMe {
+        data: Vec<u8>,
+    }
+
+    impl crate::automaton::Automaton for PackMe {
+        fn on_start(&mut self, _ctx: &mut crate::automaton::Context<'_>) {}
+        fn on_receive(
+            &mut self,
+            _ctx: &mut crate::automaton::Context<'_>,
+            _from: NodeId,
+            _msg: crate::event::Message,
+        ) {
+        }
+        fn on_discover(
+            &mut self,
+            _ctx: &mut crate::automaton::Context<'_>,
+            _change: crate::event::LinkChange,
+        ) {
+        }
+        fn on_alarm(&mut self, _ctx: &mut crate::automaton::Context<'_>, _kind: TimerKind) {}
+        fn logical_clock(&self, hw: f64) -> f64 {
+            hw
+        }
+        fn quiescent(&self) -> bool {
+            true
+        }
+        fn pack_cold(&mut self, out: &mut Vec<u8>) -> bool {
+            out.extend_from_slice(&self.data);
+            self.data = Vec::new();
+            true
+        }
+        fn unpack_cold(&mut self, bytes: &[u8]) {
+            self.data = bytes.to_vec();
+        }
+        fn heap_bytes(&self) -> usize {
+            self.data.capacity()
+        }
+    }
+
+    #[test]
+    fn cold_pack_rehydrate_roundtrips_engine_state() {
+        let mut t = NodeTable::default();
+        t.ensure(0);
+        let mut a = PackMe {
+            data: vec![9, 8, 7],
+        };
+        // Build engine-side state: a cancelled timer (generation must
+        // survive), and a peer with a version and FIFO horizon.
+        t.timers[0].arm(TimerKind::Tick);
+        t.timers[0].arm(TimerKind::Lost(node(5)));
+        t.timers[0].cancel(TimerKind::Tick);
+        t.timers[0].cancel(TimerKind::Lost(node(5)));
+        t.peer(0, node(5)).discovered_version = 3;
+        t.peer(0, node(5)).fifo_out = Time::new(1.25);
+        assert!(t.pack_node(0, &mut a), "quiescent node must pack");
+        assert!(t.is_cold(0));
+        assert_eq!(t.cold_nodes(), 1);
+        assert!(t.cold_bytes() > 0);
+        assert!(a.data.is_empty(), "automaton drained");
+        assert_eq!(t.timers[0].get(TimerKind::Tick), None, "timers drained");
+        assert!(t.peers[0].is_empty(), "peers drained");
+        assert_eq!(t.evictions, 1);
+        // Double eviction is refused.
+        assert!(!t.pack_node(0, &mut a));
+
+        t.rehydrate(0, &mut a);
+        assert!(!t.is_cold(0));
+        assert_eq!(t.cold_bytes(), 0);
+        assert_eq!(a.data, vec![9, 8, 7]);
+        assert_eq!(t.timers[0].get(TimerKind::Tick), Some(2));
+        assert_eq!(t.timers[0].get(TimerKind::Lost(node(5))), Some(2));
+        assert!(!t.timers[0].any_armed());
+        assert_eq!(t.peer(0, node(5)).discovered_version, 3);
+        assert_eq!(t.peer(0, node(5)).fifo_out, Time::new(1.25));
+        assert_eq!(t.rehydrations, 1);
+        // Rehydrating a hot node is a no-op.
+        t.rehydrate(0, &mut a);
+        assert_eq!(t.rehydrations, 1);
+    }
+
+    #[test]
+    fn armed_timers_and_live_rng_block_eviction() {
+        let mut t = NodeTable::default();
+        t.ensure(1);
+        let mut a = PackMe { data: vec![1] };
+        t.timers[0].arm(TimerKind::Tick);
+        assert!(!t.pack_node(0, &mut a), "armed timer blocks");
+        assert_eq!(a.data, vec![1], "refusal must not drain");
+        use rand::RngCore;
+        lazy_rng(&mut t.rng[1], 7, 1).next_u64();
+        assert!(!t.pack_node(1, &mut a), "materialized stream blocks");
     }
 
     #[test]

@@ -279,6 +279,23 @@ impl TimeWheel {
         Some(t)
     }
 
+    /// Heap bytes held by the ring buckets, the cursor bucket, the spill
+    /// heap and the overflow map (the wheel plane's memory meter; B-tree
+    /// node overhead is approximated by the entry payloads).
+    pub fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let ev = size_of::<QueuedEvent>();
+        self.ring.len() * size_of::<Vec<QueuedEvent>>()
+            + self.ring.iter().map(|b| b.capacity() * ev).sum::<usize>()
+            + self.current.capacity() * ev
+            + self.spill.capacity() * ev
+            + self
+                .overflow
+                .values()
+                .map(|v| size_of::<u64>() + size_of::<Vec<QueuedEvent>>() + v.capacity() * ev)
+                .sum::<usize>()
+    }
+
     /// Number of pending events.
     pub fn len(&self) -> usize {
         self.len
