@@ -87,8 +87,16 @@ fn csv_dir() -> std::path::PathBuf {
 
 fn entry(m: &Measurement) -> String {
     format!(
-        "    {{\n      \"engine\": \"{}\",\n      \"threads\": {},\n      \"events\": {},\n      \"setup_s\": {:.6},\n      \"wall_s\": {:.6},\n      \"events_per_sec\": {:.1},\n      \"peak_topology_backlog\": {}\n    }}",
-        m.engine, m.threads, m.events, m.setup_s, m.wall_s, m.events_per_sec, m.peak_topology_backlog
+        "    {{\n      \"engine\": \"{}\",\n      \"threads\": {},\n      \"events\": {},\n      \"setup_s\": {:.6},\n      \"wall_s\": {:.6},\n      \"events_per_sec\": {:.1},\n      \"peak_topology_backlog\": {},\n      \"topology_apply_s\": {:.6},\n      \"segments_parallel\": {}\n    }}",
+        m.engine,
+        m.threads,
+        m.events,
+        m.setup_s,
+        m.wall_s,
+        m.events_per_sec,
+        m.peak_topology_backlog,
+        m.topology_apply_s,
+        m.segments_parallel
     )
 }
 
@@ -108,11 +116,12 @@ fn e12_entry(o: &gcs_bench::e12_dynamic_workloads::FamilyOutcome) -> String {
 
 fn e13_entry(o: &gcs_bench::e13_scale_ceiling::FamilyOutcome) -> String {
     format!(
-        "    {{\n      \"family\": \"{}\",\n      \"events\": {},\n      \"setup_s\": {:.6},\n      \"wall_s\": {:.6},\n      \"events_per_sec\": {:.1},\n      \"topology_events\": {},\n      \"peak_topology_backlog\": {},\n      \"drift_cursors\": {},\n      \"node_state_watermark\": {},\n      \"rng_streams\": {},\n      \"current_rss_bytes\": {}\n    }}",
+        "    {{\n      \"family\": \"{}\",\n      \"events\": {},\n      \"setup_s\": {:.6},\n      \"wall_s\": {:.6},\n      \"topology_apply_s\": {:.6},\n      \"events_per_sec\": {:.1},\n      \"topology_events\": {},\n      \"peak_topology_backlog\": {},\n      \"drift_cursors\": {},\n      \"node_state_watermark\": {},\n      \"rng_streams\": {},\n      \"current_rss_bytes\": {}\n    }}",
         o.family,
         o.events,
         o.setup_s,
         o.wall_s,
+        o.topology_apply_s,
         o.events_per_sec,
         o.stats.topology_events,
         o.stats.peak_topology_backlog,
@@ -125,7 +134,7 @@ fn e13_entry(o: &gcs_bench::e13_scale_ceiling::FamilyOutcome) -> String {
 
 fn e14_entry(n: usize, o: &gcs_bench::e14_memory_ceiling::Outcome) -> String {
     format!(
-        "  \"e14_memory_ceiling\": {{\n  \"n\": {},\n  \"events\": {},\n  \"setup_s\": {:.6},\n  \"wall_s\": {:.6},\n  \"events_per_sec\": {:.1},\n  \"evictions\": {},\n  \"rehydrations\": {},\n  \"cold_nodes\": {},\n  \"cold_bytes\": {},\n  \"node_state_watermark\": {},\n  \"drift_cursors\": {},\n  \"plane_topology_bytes\": {},\n  \"plane_drift_bytes\": {},\n  \"plane_automaton_hot_bytes\": {},\n  \"plane_automaton_cold_bytes\": {},\n  \"plane_wheel_bytes\": {},\n  \"current_rss_bytes\": {}\n  }}",
+        "  \"e14_memory_ceiling\": {{\n  \"n\": {},\n  \"events\": {},\n  \"setup_s\": {:.6},\n  \"wall_s\": {:.6},\n  \"events_per_sec\": {:.1},\n  \"evictions\": {},\n  \"rehydrations\": {},\n  \"cold_nodes\": {},\n  \"cold_bytes\": {},\n  \"node_state_watermark\": {},\n  \"drift_cursors\": {},\n  \"plane_topology_bytes\": {},\n  \"plane_drift_bytes\": {},\n  \"plane_automaton_hot_bytes\": {},\n  \"plane_automaton_cold_bytes\": {},\n  \"plane_wheel_bytes\": {},\n  \"plane_dispatch_scratch_bytes\": {},\n  \"current_rss_bytes\": {}\n  }}",
         n,
         o.events,
         o.setup_s,
@@ -142,6 +151,7 @@ fn e14_entry(n: usize, o: &gcs_bench::e14_memory_ceiling::Outcome) -> String {
         o.planes.automaton_hot,
         o.planes.automaton_cold,
         o.planes.wheel,
+        o.planes.dispatch_scratch,
         json_opt_u64(o.current_rss_bytes)
     )
 }
@@ -166,6 +176,7 @@ fn warn_on_plane_regressions(committed: &str, planes: &gcs_sim::PlaneBytes) {
         ("plane_automaton_hot_bytes", planes.automaton_hot),
         ("plane_automaton_cold_bytes", planes.automaton_cold),
         ("plane_wheel_bytes", planes.wheel),
+        ("plane_dispatch_scratch_bytes", planes.dispatch_scratch),
     ];
     for (key, now) in meters {
         let Some(was) = committed_plane_bytes(committed, key) else {
@@ -252,7 +263,7 @@ fn engine_json(
     let e13_entries: Vec<String> = e13.iter().map(e13_entry).collect();
     let mc_entries: Vec<String> = mc.iter().map(mc_entry).collect();
     format!(
-        "{{\n  \"schema\": \"bench-engine/v7\",\n  \"generated_by\": \"gcs-bench run_all\",\n  \"baseline\": \"batched-serial (threads = 1); the pre-rewrite heap engine was deleted after its equivalence history\",\n  \"host_cpus\": {host_cpus},\n  \"thread_sweep_valid\": {thread_sweep_valid},\n  \"peak_rss_bytes\": {},\n  \"e1_n1024\": {{\n  {},\n  \"engines\": [\n{}\n  ]\n  }},\n  \"e11_large_scale\": {{\n  {},\n  \"engines\": [\n{}\n  ],\n  \"best_parallel_speedup_vs_serial\": {:.3}\n  }},\n  \"e12_dynamic_workloads\": {{\n  \"n\": {},\n  \"families\": [\n{}\n  ]\n  }},\n  \"e13_scale_ceiling\": {{\n  \"n\": {},\n  \"families\": [\n{}\n  ]\n  }},\n{},\n{},\n  \"model_check\": {{\n  \"suites\": [\n{}\n  ]\n  }}\n}}\n",
+        "{{\n  \"schema\": \"bench-engine/v8\",\n  \"generated_by\": \"gcs-bench run_all\",\n  \"baseline\": \"batched-serial (threads = 1); the pre-rewrite heap engine was deleted after its equivalence history\",\n  \"host_cpus\": {host_cpus},\n  \"thread_sweep_valid\": {thread_sweep_valid},\n  \"peak_rss_bytes\": {},\n  \"e1_n1024\": {{\n  {},\n  \"engines\": [\n{}\n  ]\n  }},\n  \"e11_large_scale\": {{\n  {},\n  \"engines\": [\n{}\n  ],\n  \"best_parallel_speedup_vs_serial\": {:.3}\n  }},\n  \"e12_dynamic_workloads\": {{\n  \"n\": {},\n  \"families\": [\n{}\n  ]\n  }},\n  \"e13_scale_ceiling\": {{\n  \"n\": {},\n  \"families\": [\n{}\n  ]\n  }},\n{},\n{},\n  \"model_check\": {{\n  \"suites\": [\n{}\n  ]\n  }}\n}}\n",
         json_opt_u64(peak_rss_bytes),
         workload(&e1.0),
         entry(&e1.1),

@@ -79,7 +79,7 @@ impl Default for Config {
             // 10 chunks of 1.8 s — each comfortably dominates D + T.
             horizon: 18.0,
             seed: 42,
-            threads: 1,
+            threads: crate::default_threads(),
         }
     }
 }

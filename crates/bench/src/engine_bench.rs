@@ -136,6 +136,12 @@ pub struct Measurement {
     /// Peak pulled-but-unapplied topology events (the streaming
     /// pipeline's event backlog; equals the stats field of the run).
     pub peak_topology_backlog: u64,
+    /// Wall-clock seconds spent inside topology batch application
+    /// (graph mirror + sharded edge-store apply), a slice of `wall_s`.
+    pub topology_apply_s: f64,
+    /// Segments dispatched across worker lanes (scheduling-only counter,
+    /// recorded for the trajectory; not trace-relevant).
+    pub segments_parallel: u64,
     /// Execution counters of the run (identical across thread counts —
     /// consumers use this for determinism cross-checks without re-running).
     pub stats: SimStats,
@@ -164,6 +170,8 @@ pub fn measure(w: &Workload) -> Measurement {
         wall_s,
         events_per_sec: events as f64 / wall_s.max(1e-12),
         peak_topology_backlog: stats.peak_topology_backlog,
+        topology_apply_s: sim.topology_apply_seconds(),
+        segments_parallel: stats.segments_parallel,
         stats,
     }
 }

@@ -60,25 +60,35 @@
 //! before same-instant protocol events (a change takes effect *at* its
 //! instant), insertion order breaks remaining ties.
 //! [`Simulator::run_until`] drains the wheel one **instant** (all
-//! events at the earliest pending time) at a time. Within an instant,
-//! **topology events are barriers**: they mutate the canonical edge state
-//! every delivery reads, so the instant is split into *segments* at each
-//! topology event and the segments run in queue order. All events inside a
-//! segment target node-exclusive state, so a segment is dispatched
-//! **sharded by owning [`NodeId`]** — round-robin over
-//! [`SimBuilder::threads`] worker shards, run on `std::thread::scope`
-//! workers when the segment is wide enough (the `dispatch` module) and
-//! inline otherwise. Handler-emitted actions are buffered and merged back
+//! events at the earliest pending time) at a time. The instant's
+//! topology events form a contiguous prefix (the class sort above) and
+//! are applied as **one batch** before any handler runs: the graph
+//! mirror serially in seq order, then the edge-store deltas partitioned
+//! by shard and applied per shard in seq order — equivalent to the
+//! serial walk because shards own disjoint edge rows. The rest of the
+//! instant (fault events are serial barriers) is cut into *segments*;
+//! all events inside a segment target node-exclusive state, so a
+//! segment is dispatched **sharded by owning [`NodeId`]** — round-robin
+//! over [`SimBuilder::threads`] worker shards. Wide segments and wide
+//! batches (at least [`SimBuilder::par_threshold`] events, default 64,
+//! env [`PAR_MIN_ENV`]) run on a **persistent worker pool** (the
+//! `dispatch` module): shard-pinned lanes spawned once at the first
+//! wide segment, lane 0 on the coordinating thread, fed per-barrier
+//! jobs over channels — the per-segment `std::thread::scope`
+//! spawn/join it replaces survives behind
+//! [`SimBuilder::persistent_pool`]`(false)` as the A/B baseline.
+//! Handler-emitted actions are buffered and merged back
 //! into the wheel in the canonical `(triggering event seq, emission
 //! index)` order, and every random draw comes from the consuming node's
 //! private stream, so the trace is **bit-identical for every thread
-//! count** — pinned by `crates/bench/tests/determinism.rs`, with
-//! eager-vs-streaming equivalence pinned by
+//! count and both backends** — pinned by
+//! `crates/bench/tests/determinism.rs` and `crates/sim/tests/pool.rs`,
+//! with eager-vs-streaming equivalence pinned by
 //! `crates/bench/tests/streaming.rs`.
 
 use crate::automaton::Automaton;
 use crate::delay::DelayStrategy;
-use crate::dispatch::{self, DispatchCtx, Effect, PAR_MIN_EVENTS};
+use crate::dispatch::{self, DispatchCtx, Effect, ScopedJob, WorkerPool, PAR_MIN_EVENTS};
 use crate::event::{EventPayload, LinkChange, LinkChangeKind, QueuedEvent};
 use crate::fault::{FaultEvent, FaultKind, FaultSource, FaultState};
 use crate::model::ModelParams;
@@ -100,6 +110,14 @@ use rand::{Rng, SeedableRng};
 /// code: `GCS_SIM_THREADS=8 cargo test`.
 pub const THREADS_ENV: &str = "GCS_SIM_THREADS";
 
+/// Environment variable consulted for the default parallel threshold
+/// (minimum events in a segment or topology batch before it is handed to
+/// the worker pool): `GCS_SIM_PAR_MIN=128 cargo bench` tunes the
+/// crossover on a real host without rebuilding. Overridden by
+/// [`SimBuilder::par_threshold`]; scheduling only — traces are identical
+/// for every value.
+pub const PAR_MIN_ENV: &str = "GCS_SIM_PAR_MIN";
+
 /// Hard cap on worker shards — far above any sensible host, it only guards
 /// against a malformed environment value allocating absurd shard counts.
 const MAX_THREADS: usize = 64;
@@ -111,6 +129,13 @@ fn threads_from_env() -> usize {
         .filter(|&t| t >= 1)
         .map(|t| t.min(MAX_THREADS))
         .unwrap_or(1)
+}
+
+fn par_min_from_env() -> Option<usize> {
+    std::env::var(PAR_MIN_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&t| t >= 1)
 }
 
 /// How long the environment waits before telling an endpoint about a
@@ -238,6 +263,8 @@ pub struct SimBuilder {
     discovery: DiscoveryDelay,
     seed: u64,
     threads: Option<usize>,
+    par_threshold: Option<usize>,
+    persistent_pool: bool,
     record_history: bool,
 }
 
@@ -267,6 +294,8 @@ impl SimBuilder {
             delay: DelayStrategy::Max,
             seed: 0,
             threads: None,
+            par_threshold: None,
+            persistent_pool: true,
             record_history: false,
         }
     }
@@ -374,6 +403,29 @@ impl SimBuilder {
         self
     }
 
+    /// Minimum events in a segment or topology batch before it is handed
+    /// to the parallel backend (≥ 1); narrower ones run inline.
+    /// Overrides [`PAR_MIN_ENV`]; defaults to 64. Scheduling only — the
+    /// trace is bit-identical for every value (pinned by the boundary
+    /// proptest in `crates/sim/tests/pool.rs`). The effective value is
+    /// recorded in [`SimStats::par_min_events`].
+    pub fn par_threshold(mut self, events: usize) -> Self {
+        assert!(events >= 1, "threshold of 0 would parallelize empty work");
+        self.par_threshold = Some(events);
+        self
+    }
+
+    /// Chooses the wide-segment dispatch backend: the persistent
+    /// shard-pinned worker pool (default, `true`) or the pre-pool
+    /// per-segment `std::thread::scope` fork/join (`false`), kept
+    /// selectable so benches and tests can A/B the two. Traces are
+    /// bit-identical either way; with fork/join, topology batches apply
+    /// serially.
+    pub fn persistent_pool(mut self, on: bool) -> Self {
+        self.persistent_pool = on;
+        self
+    }
+
     /// Finalizes the simulator; `make_node(i)` constructs the automaton for
     /// node `i`. `on_start` handlers run immediately, followed by the
     /// discovery of the initial edge set at time 0. Scheduled topology is
@@ -383,6 +435,11 @@ impl SimBuilder {
         let n = self.n;
         let workers = self.threads.unwrap_or_else(threads_from_env).max(1);
         let shard_count = workers.min(n.max(1));
+        let par_min = self
+            .par_threshold
+            .or_else(par_min_from_env)
+            .unwrap_or(PAR_MIN_EVENTS)
+            .max(1);
         // Resolve the drift spec into the one plane every evaluation goes
         // through. The model plane's stream seed keeps the historical
         // `seed ^ GOLDEN` domain separation from node streams.
@@ -477,7 +534,13 @@ impl SimBuilder {
             round_buf: Vec::new(),
             effects_buf: Vec::new(),
             touched_buf: Vec::new(),
+            pool: None,
+            pool_spawns: 0,
+            use_pool: self.persistent_pool,
+            par_min,
+            topology_apply: std::time::Duration::ZERO,
         };
+        sim.stats.par_min_events = par_min as u64;
         // `on_start` before any event (matching "at the beginning of the
         // execution"), one node at a time in id order so emitted events are
         // enqueued exactly as the per-event engine enqueued them.
@@ -513,12 +576,23 @@ pub struct PlaneBytes {
     pub automaton_cold: usize,
     /// Pending-event calendar queue.
     pub wheel: usize,
+    /// Dispatch scratch reused across segments and batches: the round /
+    /// effect-merge / touched / pull buffers, the per-shard event,
+    /// effect, action and touched buffers, and the per-shard topology
+    /// batch buffers. Steady-state capacity, not per-segment churn —
+    /// these buffers are allocated once and recycled.
+    pub dispatch_scratch: usize,
 }
 
 impl PlaneBytes {
     /// Sum over all planes.
     pub fn total(&self) -> usize {
-        self.topology + self.drift + self.automaton_hot + self.automaton_cold + self.wheel
+        self.topology
+            + self.drift
+            + self.automaton_hot
+            + self.automaton_cold
+            + self.wheel
+            + self.dispatch_scratch
     }
 }
 
@@ -571,6 +645,24 @@ pub struct Simulator<A: Automaton> {
     round_buf: Vec<QueuedEvent>,
     effects_buf: Vec<Effect>,
     touched_buf: Vec<NodeId>,
+    /// The persistent shard-pinned worker pool; spawned lazily at the
+    /// first wide segment (or wide topology batch), `None` until then
+    /// and forever on runs that never go wide. Sized `os_workers`.
+    pool: Option<WorkerPool>,
+    /// Times the pool has been (re-)spawned — 1 for the life of a
+    /// simulator unless it never went wide (test observability).
+    pool_spawns: u64,
+    /// Dispatch backend toggle: persistent pool (default) vs per-segment
+    /// scoped fork/join (see [`SimBuilder::persistent_pool`]).
+    use_pool: bool,
+    /// Effective parallel threshold (events) for segments and topology
+    /// batches; see [`SimBuilder::par_threshold`].
+    par_min: usize,
+    /// Wall-clock time spent applying topology batches (graph mirror +
+    /// canonical edge state). Host-dependent by nature, so it lives here
+    /// rather than in [`SimStats`], whose counters must compare equal
+    /// across thread counts.
+    topology_apply: std::time::Duration,
 }
 
 impl<A: Automaton> Simulator<A> {
@@ -751,6 +843,12 @@ impl<A: Automaton> Simulator<A> {
         let mut p = PlaneBytes {
             topology: self.edges.heap_bytes() + self.graph.heap_bytes(),
             wheel: self.queue.heap_bytes(),
+            dispatch_scratch: self.round_buf.capacity() * size_of::<QueuedEvent>()
+                + self.effects_buf.capacity() * size_of::<Effect>()
+                + self.touched_buf.capacity() * size_of::<NodeId>()
+                + self.pull_buf.capacity() * size_of::<TopologyEvent>()
+                + self.fault_pull_buf.capacity() * size_of::<FaultEvent>()
+                + self.edges.scratch_bytes(),
             ..PlaneBytes::default()
         };
         for shard in &self.shards.shards {
@@ -759,8 +857,38 @@ impl<A: Automaton> Simulator<A> {
                 + shard.nodes.iter().map(|n| n.heap_bytes()).sum::<usize>()
                 + shard.table.engine_hot_bytes();
             p.automaton_cold += shard.table.cold_bytes();
+            p.dispatch_scratch += shard.events.capacity() * size_of::<QueuedEvent>()
+                + shard.effects.capacity() * size_of::<Effect>()
+                + shard.actions.capacity() * size_of::<crate::automaton::Action>()
+                + shard.touched.capacity() * size_of::<NodeId>();
         }
         p
+    }
+
+    /// Wall-clock seconds spent applying topology batches so far (graph
+    /// mirror plus canonical edge state, whichever backend applied it).
+    /// Host- and backend-dependent by nature — this is a performance
+    /// meter, not part of the deterministic trace.
+    pub fn topology_apply_seconds(&self) -> f64 {
+        self.topology_apply.as_secs_f64()
+    }
+
+    /// Worker threads currently alive in the persistent pool (0 until
+    /// the first wide segment spawns it, and always 0 with the fork/join
+    /// backend or `threads == 1`).
+    pub fn pool_workers(&self) -> usize {
+        self.pool.as_ref().map_or(0, WorkerPool::size)
+    }
+
+    /// Times the pool has been spawned — stays at 1 across any number of
+    /// `run_until` calls, which is exactly what the pool-reuse test pins.
+    pub fn pool_spawns(&self) -> u64 {
+        self.pool_spawns
+    }
+
+    /// Jobs submitted to the pool over its lifetime (0 without a pool).
+    pub fn pool_jobs(&self) -> u64 {
+        self.pool.as_ref().map_or(0, WorkerPool::jobs_run)
     }
 
     /// Logical clock `L_u` at the current time.
@@ -965,11 +1093,12 @@ impl<A: Automaton> Simulator<A> {
         self.now = ev.time;
         self.stats.events_processed += 1;
         match ev.payload {
-            EventPayload::Topology {
-                kind,
-                edge,
-                version,
-            } => self.apply_topology(kind, edge, version),
+            EventPayload::Topology { .. } => {
+                // A single-event batch: same mutations, same counters per
+                // event; only the batch granularity differs from a
+                // `run_until` drain of the same trace.
+                self.apply_topology_batch(std::slice::from_ref(&ev));
+            }
             EventPayload::Fault { kind } => self.apply_fault(kind, ev.seq),
             _ => {
                 let owner = DispatchCtx::owner(&ev.payload);
@@ -982,39 +1111,28 @@ impl<A: Automaton> Simulator<A> {
         true
     }
 
-    /// One instant: split into segments at topology and fault barriers,
-    /// dispatch each segment sharded by owner, merge effects canonically
-    /// after each. Class ranks order each instant as topology changes,
-    /// then faults, then protocol events, so a fault observes the
-    /// topology of its instant and protocol events observe the faults.
+    /// One instant: apply its topology prefix as one batch, then split
+    /// the rest into segments at fault barriers, dispatch each segment
+    /// sharded by owner, and merge effects canonically after each. Class
+    /// ranks order each instant as topology changes, then faults, then
+    /// protocol events — so the whole instant's changes form a
+    /// contiguous prefix (one batch, one barrier), a fault observes the
+    /// topology of its instant, and protocol events observe the faults.
     fn run_round(&mut self, round: &[QueuedEvent]) {
-        let mut i = 0;
+        let topo = crate::wheel::topology_prefix_len(round);
+        if topo > 0 {
+            self.apply_topology_batch(&round[..topo]);
+        }
+        let mut i = topo;
         while i < round.len() {
-            match round[i].payload {
-                EventPayload::Topology {
-                    kind,
-                    edge,
-                    version,
-                } => {
-                    self.apply_topology(kind, edge, version);
-                    i += 1;
-                    continue;
-                }
-                EventPayload::Fault { kind } => {
-                    self.apply_fault(kind, round[i].seq);
-                    i += 1;
-                    continue;
-                }
-                _ => {}
+            if let EventPayload::Fault { kind } = round[i].payload {
+                self.apply_fault(kind, round[i].seq);
+                i += 1;
+                continue;
             }
             let end = i + round[i..]
                 .iter()
-                .position(|ev| {
-                    matches!(
-                        ev.payload,
-                        EventPayload::Topology { .. } | EventPayload::Fault { .. }
-                    )
-                })
+                .position(|ev| matches!(ev.payload, EventPayload::Fault { .. }))
                 .unwrap_or(round.len() - i);
             self.run_segment(&round[i..end]);
             i = end;
@@ -1022,30 +1140,81 @@ impl<A: Automaton> Simulator<A> {
     }
 
     /// Dispatches one topology-free segment and merges its effects.
+    ///
+    /// Wide segments (≥ `par_min` events, more than one shard) go to the
+    /// parallel backend: by default the persistent pool — shard chunk
+    /// `w` always runs on pool worker `w`, so the shard → worker pinning
+    /// is fixed for the simulator's lifetime — or, when configured, the
+    /// legacy per-segment `std::thread::scope` fork/join. Both backends
+    /// run the same dispatch body over the same disjoint `&mut` shard
+    /// partition and merge effects in the same canonical order, so the
+    /// choice (like the threshold) is scheduling only.
     fn run_segment(&mut self, seg: &[QueuedEvent]) {
-        let os_workers = self.os_workers;
-        let (ctx, shards) = self.split_dispatch();
-        let shard_count = shards.count();
-        let parallel = shard_count > 1 && seg.len() >= PAR_MIN_EVENTS;
+        let shard_count = self.shards.count();
+        let parallel = shard_count > 1 && seg.len() >= self.par_min;
         if !parallel {
+            self.stats.segments_inline += 1;
+            let (ctx, shards) = self.split_dispatch();
             for ev in seg {
                 let owner = DispatchCtx::owner(&ev.payload);
                 let s = shards.shard_of(owner);
                 dispatch::run_event(&ctx, &mut shards.shards[s], owner, ev);
             }
-        } else {
-            for ev in seg {
-                let owner = DispatchCtx::owner(&ev.payload);
-                let s = owner.index() % shard_count;
-                shards.shards[s].events.push(*ev);
+            self.merge_effects();
+            return;
+        }
+        self.stats.segments_parallel += 1;
+        for ev in seg {
+            let owner = DispatchCtx::owner(&ev.payload);
+            let s = owner.index() % shard_count;
+            self.shards.shards[s].events.push(*ev);
+        }
+        // One worker can serve several shards: shard count fixes the
+        // (trace-relevant) data partition, `os_workers` only caps
+        // oversubscription. Contiguous chunking is safe because shards
+        // are mutually independent within a segment.
+        let os_workers = self.os_workers;
+        let per_worker = shard_count.div_ceil(os_workers);
+        // Built field-by-field (not via `split_dispatch`) so the borrow
+        // of `self.pool` below stays disjoint.
+        let ctx = DispatchCtx {
+            edges: &self.edges,
+            drift: &*self.drift,
+            delay: &self.delay,
+            discovery: &self.discovery,
+            faults: &self.faults,
+            params: self.params,
+            now: self.now,
+            seed: self.seed,
+            shard_count,
+            observing: self.observing,
+        };
+        if self.use_pool {
+            if self.pool.is_none() {
+                self.pool = Some(WorkerPool::spawn(os_workers));
+                self.pool_spawns += 1;
             }
-            // One OS thread can serve several shards: shard count fixes
-            // the (trace-relevant) data partition, `os_workers` only caps
-            // oversubscription. Contiguous chunking is safe because
-            // shards are mutually independent within a segment.
-            let per_worker = shard_count.div_ceil(os_workers);
+            let pool = self.pool.as_mut().expect("spawned above");
+            let mut jobs: Vec<(usize, ScopedJob<'_>)> = Vec::with_capacity(os_workers);
+            for (w, chunk) in self.shards.shards.chunks_mut(per_worker).enumerate() {
+                if chunk.iter().all(|s| s.events.is_empty()) {
+                    continue;
+                }
+                jobs.push((
+                    w,
+                    Box::new(move || {
+                        for shard in chunk.iter_mut() {
+                            if !shard.events.is_empty() {
+                                dispatch::run_shard(&ctx, shard);
+                            }
+                        }
+                    }),
+                ));
+            }
+            pool.run(jobs);
+        } else {
             std::thread::scope(|scope| {
-                for chunk in shards.shards.chunks_mut(per_worker) {
+                for chunk in self.shards.shards.chunks_mut(per_worker) {
                     if chunk.iter().all(|s| s.events.is_empty()) {
                         continue;
                     }
@@ -1227,23 +1396,83 @@ impl<A: Automaton> Simulator<A> {
         }
     }
 
-    fn apply_topology(&mut self, kind: LinkChangeKind, edge: Edge, version: u64) {
-        self.stats.topology_events += 1;
-        self.topo_backlog -= 1;
+    /// Applies one instant's topology changes as a single batch — one
+    /// barrier per instant instead of one per event.
+    ///
+    /// The live [`DynamicGraph`] mirror touches *both* endpoints'
+    /// adjacency per change, so it stays serial, applied in queue-`seq`
+    /// order. The canonical [`EdgeStore`] rows shard cleanly by lower
+    /// endpoint: wide batches are partitioned per [`crate::shard::EdgeShard`]
+    /// and applied on each shard's pinned pool worker, each shard in
+    /// `(seq)` order — disjoint rows, so the result is bit-identical to
+    /// the serial loop (narrow batches, fork/join mode, and `step`).
+    fn apply_topology_batch(&mut self, batch: &[QueuedEvent]) {
+        let started = std::time::Instant::now();
+        self.stats.topology_events += batch.len() as u64;
+        self.stats.topology_batches += 1;
+        self.stats.peak_batch_len = self.stats.peak_batch_len.max(batch.len() as u64);
+        self.topo_backlog -= batch.len() as u64;
         let now = self.now;
-        let entry = self.edges.entry(edge);
-        match kind {
-            LinkChangeKind::Added => {
-                entry.epoch += 1;
-                entry.live = true;
-                entry.last_add_version = version;
-                self.graph.add_edge(edge, now);
-            }
-            LinkChangeKind::Removed => {
-                entry.last_remove_version = version;
-                entry.live = false;
-                self.graph.remove_edge(edge, now);
+        for ev in batch {
+            let EventPayload::Topology { kind, edge, .. } = ev.payload else {
+                unreachable!("caller passes the instant's topology prefix only");
+            };
+            match kind {
+                LinkChangeKind::Added => self.graph.add_edge(edge, now),
+                LinkChangeKind::Removed => self.graph.remove_edge(edge, now),
             }
         }
+        let shard_count = self.edges.shard_count();
+        let wide = self.use_pool && shard_count > 1 && batch.len() >= self.par_min;
+        if !wide {
+            for ev in batch {
+                let EventPayload::Topology {
+                    kind,
+                    edge,
+                    version,
+                } = ev.payload
+                else {
+                    unreachable!("checked above");
+                };
+                self.edges.apply(kind, edge, version);
+            }
+        } else {
+            for ev in batch {
+                let EventPayload::Topology {
+                    kind,
+                    edge,
+                    version,
+                } = ev.payload
+                else {
+                    unreachable!("checked above");
+                };
+                let s = self.edges.shard_of(edge);
+                self.edges.shards[s].batch.push((kind, edge, version));
+            }
+            if self.pool.is_none() {
+                self.pool = Some(WorkerPool::spawn(self.os_workers));
+                self.pool_spawns += 1;
+            }
+            let pool = self.pool.as_mut().expect("spawned above");
+            // Identical chunking to `run_segment`, so edge shard `s` is
+            // applied by the same worker that dispatches node shard `s`.
+            let per_worker = shard_count.div_ceil(pool.size());
+            let mut jobs: Vec<(usize, ScopedJob<'_>)> = Vec::with_capacity(pool.size());
+            for (w, chunk) in self.edges.shards.chunks_mut(per_worker).enumerate() {
+                if chunk.iter().all(|s| s.batch.is_empty()) {
+                    continue;
+                }
+                jobs.push((
+                    w,
+                    Box::new(move || {
+                        for shard in chunk.iter_mut() {
+                            shard.apply_batch(shard_count);
+                        }
+                    }),
+                ));
+            }
+            pool.run(jobs);
+        }
+        self.topology_apply += started.elapsed();
     }
 }

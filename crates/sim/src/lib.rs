@@ -36,8 +36,9 @@
 //! canonical event order — see [`fault`]. In particular the worker count
 //! ([`SimBuilder::threads`], default from the `GCS_SIM_THREADS`
 //! environment variable) never changes a trace: same-instant events to
-//! different nodes are dispatched across scoped worker threads sharded by
-//! node id, every random draw comes from the consuming node's private
+//! different nodes are dispatched across a persistent pool of
+//! shard-pinned worker lanes (sharded by node id), every random draw
+//! comes from the consuming node's private
 //! stream, and handler-emitted events are merged back into the time wheel
 //! in a canonical `(triggering seq, emission index)` order. See
 //! [`engine`] for the full argument and
@@ -85,7 +86,7 @@ pub mod wheel;
 
 pub use automaton::{Action, Automaton, Context, RebootUnsupported};
 pub use delay::{DelayScript, DelayStrategy};
-pub use engine::{DiscoveryDelay, PlaneBytes, SimBuilder, Simulator, THREADS_ENV};
+pub use engine::{DiscoveryDelay, PlaneBytes, SimBuilder, Simulator, PAR_MIN_ENV, THREADS_ENV};
 pub use event::{LinkChange, LinkChangeKind, Message, TimerKind};
 pub use fault::{CrashRestartSource, FaultEvent, FaultKind, FaultPlan, FaultSource};
 pub use model::ModelParams;

@@ -31,13 +31,17 @@
 //!   store never needs to know the future, which is what lets topology
 //!   stream instead of materializing. During a segment every worker
 //!   reads it through a shared `&`, which is safe precisely because
-//!   deliveries cannot change liveness or epochs.
+//!   deliveries cannot change liveness or epochs. Writes happen only at
+//!   the topology barrier between segments: serially for narrow
+//!   batches, or — since the store is itself split into per-worker
+//!   [`EdgeShard`]s — as disjoint `&mut` slices applied in `(seq)` order
+//!   on the pinned pool workers for wide ones.
 //!
 //! The node → shard assignment is round-robin by id. It affects only data
 //! layout, never semantics: traces are identical for every shard count
 //! (pinned by `crates/bench/tests/determinism.rs`).
 
-use crate::event::TimerKind;
+use crate::event::{LinkChangeKind, TimerKind};
 use gcs_clocks::{DriftCursor, Time};
 use gcs_net::{Edge, NodeId};
 use rand::rngs::StdRng;
@@ -85,6 +89,82 @@ impl EdgeShared {
     }
 }
 
+/// One shard's slice of the canonical edge state: the adjacency rows of
+/// every node it owns, plus that shard's slice of the topology batch
+/// currently being applied. An `EdgeShard` is the unit the engine hands
+/// to a pool worker during a batched topology apply — each edge's row
+/// lives in exactly one shard (by lower endpoint), so per-shard
+/// application in `(seq)` order produces content bit-identical to the
+/// serial loop.
+#[derive(Debug, Default)]
+pub(crate) struct EdgeShard {
+    /// `rows[local(lo)]` = sorted adjacency of node `lo`.
+    rows: Vec<Vec<EdgeShared>>,
+    /// This shard's slice of the current topology batch, in `(seq)`
+    /// order. Filled by the engine at the batch barrier, drained by
+    /// [`apply_batch`](Self::apply_batch); capacity is reused across
+    /// batches.
+    pub batch: Vec<(LinkChangeKind, Edge, u64)>,
+}
+
+impl EdgeShard {
+    /// The canonical state of `edge` within this shard, created on first
+    /// contact. `edge.lo()` must be owned by this shard.
+    fn entry(&mut self, edge: Edge, shard_count: usize) -> &mut EdgeShared {
+        let row = &mut self.rows[edge.lo().index() / shard_count];
+        match row.binary_search_by_key(&edge.hi(), |e| e.neighbor) {
+            Ok(i) => &mut row[i],
+            Err(i) => {
+                row.insert(i, EdgeShared::new(edge.hi()));
+                &mut row[i]
+            }
+        }
+    }
+
+    /// Applies one topology change to this shard's slice of the edge
+    /// state. The graph mirror, stats and backlog accounting stay with
+    /// the engine — this is only the per-edge canonical mutation.
+    pub fn apply(&mut self, kind: LinkChangeKind, edge: Edge, version: u64, shard_count: usize) {
+        let entry = self.entry(edge, shard_count);
+        match kind {
+            LinkChangeKind::Added => {
+                entry.epoch += 1;
+                entry.live = true;
+                entry.last_add_version = version;
+            }
+            LinkChangeKind::Removed => {
+                entry.last_remove_version = version;
+                entry.live = false;
+            }
+        }
+    }
+
+    /// Drains [`batch`](Self::batch), applying every change in the order
+    /// it was pushed (queue-`seq` order — the engine fills batches from
+    /// the sorted instant). Runs on the shard's pinned pool worker
+    /// during a wide batch, inline otherwise; either way the resulting
+    /// edge state is identical.
+    pub fn apply_batch(&mut self, shard_count: usize) {
+        let batch = std::mem::take(&mut self.batch);
+        for &(kind, edge, version) in &batch {
+            self.apply(kind, edge, version, shard_count);
+        }
+        self.batch = batch;
+        self.batch.clear();
+    }
+
+    /// Heap bytes of this shard's adjacency rows.
+    fn rows_heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.rows.capacity() * size_of::<Vec<EdgeShared>>()
+            + self
+                .rows
+                .iter()
+                .map(|row| row.capacity() * size_of::<EdgeShared>())
+                .sum::<usize>()
+    }
+}
+
 /// The canonical edge state of the whole network, sharded by the lower
 /// endpoint's owner so churn events route to the shard that owns them.
 ///
@@ -98,12 +178,14 @@ impl EdgeShared {
 /// worker count.
 ///
 /// Reads go through a shared reference during parallel segments; writes
-/// (topology pulls and applications) happen only on the serial paths
-/// between segments.
+/// happen only at barriers between segments — serially for narrow
+/// topology batches, or split `&mut` per [`EdgeShard`] across the pool
+/// for wide ones (disjoint rows, so the borrow checker enforces what the
+/// old serial-only discipline promised).
 #[derive(Debug)]
 pub(crate) struct EdgeStore {
-    /// `adj[shard][local(lo)]` = sorted adjacency of node `lo`.
-    adj: Vec<Vec<Vec<EdgeShared>>>,
+    /// One [`EdgeShard`] per worker shard.
+    pub shards: Vec<EdgeShard>,
     shard_count: usize,
 }
 
@@ -111,12 +193,34 @@ impl EdgeStore {
     /// An empty store over `n` nodes split into `shard_count` shards.
     pub fn new(n: usize, shard_count: usize) -> Self {
         assert!(shard_count >= 1);
-        let mut adj: Vec<Vec<Vec<EdgeShared>>> = (0..shard_count).map(|_| Vec::new()).collect();
-        for (s, shard_adj) in adj.iter_mut().enumerate() {
+        let mut shards: Vec<EdgeShard> = (0..shard_count).map(|_| EdgeShard::default()).collect();
+        for (s, shard) in shards.iter_mut().enumerate() {
             let local_n = n / shard_count + usize::from(s < n % shard_count);
-            shard_adj.resize(local_n, Vec::new());
+            shard.rows.resize(local_n, Vec::new());
         }
-        EdgeStore { adj, shard_count }
+        EdgeStore {
+            shards,
+            shard_count,
+        }
+    }
+
+    /// Number of edge shards (always the worker shard count).
+    #[inline]
+    pub fn shard_count(&self) -> usize {
+        self.shard_count
+    }
+
+    /// The shard owning `edge`'s canonical row (its lower endpoint's).
+    #[inline]
+    pub fn shard_of(&self, edge: Edge) -> usize {
+        edge.lo().index() % self.shard_count
+    }
+
+    /// Applies one topology change serially (narrow-batch and stepped
+    /// paths; the wide path goes through [`EdgeShard::apply_batch`]).
+    pub fn apply(&mut self, kind: LinkChangeKind, edge: Edge, version: u64) {
+        let s = self.shard_of(edge);
+        self.shards[s].apply(kind, edge, version, self.shard_count);
     }
 
     /// Marks an initial edge live at epoch 1, change-version 1.
@@ -140,13 +244,7 @@ impl EdgeStore {
     #[inline]
     fn row(&self, lo: NodeId) -> &Vec<EdgeShared> {
         let i = lo.index();
-        &self.adj[i % self.shard_count][i / self.shard_count]
-    }
-
-    #[inline]
-    fn row_mut(&mut self, lo: NodeId) -> &mut Vec<EdgeShared> {
-        let i = lo.index();
-        &mut self.adj[i % self.shard_count][i / self.shard_count]
+        &self.shards[i % self.shard_count].rows[i / self.shard_count]
     }
 
     /// The canonical state of `edge`, if any contact has happened.
@@ -160,31 +258,30 @@ impl EdgeStore {
 
     /// The canonical state of `edge`, created on first contact.
     pub fn entry(&mut self, edge: Edge) -> &mut EdgeShared {
-        let row = self.row_mut(edge.lo());
-        match row.binary_search_by_key(&edge.hi(), |e| e.neighbor) {
-            Ok(i) => &mut row[i],
-            Err(i) => {
-                row.insert(i, EdgeShared::new(edge.hi()));
-                &mut row[i]
-            }
-        }
+        let s = self.shard_of(edge);
+        let shard_count = self.shard_count;
+        self.shards[s].entry(edge, shard_count)
     }
 
     /// Heap bytes of the canonical edge state (topology plane meter).
+    /// Batch buffers are scratch, metered by
+    /// [`scratch_bytes`](Self::scratch_bytes) instead.
     pub fn heap_bytes(&self) -> usize {
-        use std::mem::size_of;
-        self.adj.capacity() * size_of::<Vec<Vec<EdgeShared>>>()
+        self.shards.capacity() * std::mem::size_of::<EdgeShard>()
             + self
-                .adj
+                .shards
                 .iter()
-                .map(|shard| {
-                    shard.capacity() * size_of::<Vec<EdgeShared>>()
-                        + shard
-                            .iter()
-                            .map(|row| row.capacity() * size_of::<EdgeShared>())
-                            .sum::<usize>()
-                })
+                .map(EdgeShard::rows_heap_bytes)
                 .sum::<usize>()
+    }
+
+    /// Heap bytes of the per-shard topology batch buffers (the
+    /// dispatch-scratch plane meter).
+    pub fn scratch_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.batch.capacity() * std::mem::size_of::<(LinkChangeKind, Edge, u64)>())
+            .sum()
     }
 }
 
@@ -702,6 +799,43 @@ mod tests {
         let fresh = Edge::between(2, 5);
         assert_eq!(store.next_version(fresh), 1);
         assert!(!store.find(fresh).unwrap().live, "pull does not apply");
+    }
+
+    #[test]
+    fn edge_shard_batch_apply_matches_serial() {
+        let changes = [
+            (LinkChangeKind::Added, Edge::between(0, 1), 2),
+            (LinkChangeKind::Added, Edge::between(2, 5), 1),
+            (LinkChangeKind::Removed, Edge::between(0, 1), 3),
+            (LinkChangeKind::Added, Edge::between(0, 1), 4),
+            (LinkChangeKind::Removed, Edge::between(2, 5), 2),
+        ];
+        let mut serial = EdgeStore::new(6, 2);
+        let mut batched = EdgeStore::new(6, 2);
+        for store in [&mut serial, &mut batched] {
+            store.insert_initial(Edge::between(0, 1));
+        }
+        for &(kind, edge, version) in &changes {
+            serial.apply(kind, edge, version);
+        }
+        for &(kind, edge, version) in &changes {
+            let s = batched.shard_of(edge);
+            batched.shards[s].batch.push((kind, edge, version));
+        }
+        for s in &mut batched.shards {
+            s.apply_batch(2);
+        }
+        for e in [Edge::between(0, 1), Edge::between(2, 5)] {
+            let a = serial.find(e).expect("serial entry");
+            let b = batched.find(e).expect("batched entry");
+            assert_eq!(
+                (a.live, a.epoch, a.last_add_version, a.last_remove_version),
+                (b.live, b.epoch, b.last_add_version, b.last_remove_version),
+                "batched apply diverged on {e:?}"
+            );
+        }
+        assert!(batched.shards.iter().all(|s| s.batch.is_empty()));
+        assert!(batched.scratch_bytes() > 0, "batch capacity is retained");
     }
 
     #[test]

@@ -1,7 +1,17 @@
 //! Execution counters, used by tests (e.g. determinism checks) and benches.
 
 /// Counters accumulated over one simulation run.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+///
+/// Equality deliberately skips the *scheduling* counters
+/// ([`segments_parallel`](Self::segments_parallel),
+/// [`segments_inline`](Self::segments_inline),
+/// [`par_min_events`](Self::par_min_events)): they describe how the host
+/// chose to execute the trace, not the trace itself, and determinism
+/// tests compare stats across thread counts with `assert_eq!`. Every
+/// other counter — including the topology *batch* counters, which are a
+/// pure function of the instant sequence — must be bit-identical for
+/// every worker count.
+#[derive(Clone, Copy, Debug, Default)]
 pub struct SimStats {
     /// Events popped from the queue (including skipped stale ones).
     pub events_processed: u64,
@@ -49,7 +59,84 @@ pub struct SimStats {
     pub dropped_fault_window: u64,
     /// Sends whose delay was overridden by an open `DelaySpike`.
     pub delay_spiked: u64,
+    /// Topology batches applied — one per instant that carried at least
+    /// one topology event (stepped execution applies one event per
+    /// batch). A function of the instant sequence alone, so identical
+    /// across thread counts.
+    pub topology_batches: u64,
+    /// Widest topology batch applied (events in one instant's batch).
+    /// Trace-relevant like [`topology_batches`](Self::topology_batches).
+    pub peak_batch_len: u64,
+    /// Segments dispatched to the parallel backend (pool or fork/join).
+    /// **Scheduling only** — depends on the thread count and the
+    /// parallel threshold, excluded from equality.
+    pub segments_parallel: u64,
+    /// Segments run inline on the coordinating thread. Scheduling only,
+    /// excluded from equality.
+    pub segments_inline: u64,
+    /// The effective parallel threshold this run was built with (see
+    /// `SimBuilder::par_threshold` / `GCS_SIM_PAR_MIN`). Configuration
+    /// echo, excluded from equality.
+    pub par_min_events: u64,
 }
+
+impl PartialEq for SimStats {
+    fn eq(&self, other: &Self) -> bool {
+        // Destructure so a new counter is a compile error until it is
+        // classified as trace-relevant or scheduling-only.
+        let SimStats {
+            events_processed,
+            messages_sent,
+            messages_delivered,
+            dropped_no_edge,
+            dropped_in_flight,
+            alarms_fired,
+            alarms_stale,
+            discovers_delivered,
+            discovers_stale,
+            topology_events,
+            topology_pulled,
+            peak_topology_backlog,
+            faults_pulled,
+            faults_applied,
+            crashes,
+            restarts,
+            dropped_crashed,
+            suppressed_crashed,
+            dropped_fault_window,
+            delay_spiked,
+            topology_batches,
+            peak_batch_len,
+            segments_parallel: _,
+            segments_inline: _,
+            par_min_events: _,
+        } = *self;
+        events_processed == other.events_processed
+            && messages_sent == other.messages_sent
+            && messages_delivered == other.messages_delivered
+            && dropped_no_edge == other.dropped_no_edge
+            && dropped_in_flight == other.dropped_in_flight
+            && alarms_fired == other.alarms_fired
+            && alarms_stale == other.alarms_stale
+            && discovers_delivered == other.discovers_delivered
+            && discovers_stale == other.discovers_stale
+            && topology_events == other.topology_events
+            && topology_pulled == other.topology_pulled
+            && peak_topology_backlog == other.peak_topology_backlog
+            && faults_pulled == other.faults_pulled
+            && faults_applied == other.faults_applied
+            && crashes == other.crashes
+            && restarts == other.restarts
+            && dropped_crashed == other.dropped_crashed
+            && suppressed_crashed == other.suppressed_crashed
+            && dropped_fault_window == other.dropped_fault_window
+            && delay_spiked == other.delay_spiked
+            && topology_batches == other.topology_batches
+            && peak_batch_len == other.peak_batch_len
+    }
+}
+
+impl Eq for SimStats {}
 
 impl SimStats {
     /// Adds another counter set into this one (used to fold per-shard
@@ -76,6 +163,11 @@ impl SimStats {
         self.suppressed_crashed += other.suppressed_crashed;
         self.dropped_fault_window += other.dropped_fault_window;
         self.delay_spiked += other.delay_spiked;
+        self.topology_batches += other.topology_batches;
+        self.peak_batch_len = self.peak_batch_len.max(other.peak_batch_len);
+        self.segments_parallel += other.segments_parallel;
+        self.segments_inline += other.segments_inline;
+        self.par_min_events = self.par_min_events.max(other.par_min_events);
     }
 
     /// Messages lost for any reason.
@@ -110,5 +202,30 @@ mod tests {
         s.dropped_in_flight = 1;
         assert_eq!(s.total_dropped(), 2);
         assert!((s.delivery_ratio() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equality_skips_scheduling_counters() {
+        let a = SimStats {
+            messages_delivered: 3,
+            topology_batches: 2,
+            peak_batch_len: 5,
+            segments_parallel: 10,
+            segments_inline: 4,
+            par_min_events: 64,
+            ..SimStats::default()
+        };
+        let b = SimStats {
+            segments_parallel: 0,
+            segments_inline: 99,
+            par_min_events: 1,
+            ..a
+        };
+        assert_eq!(a, b, "scheduling counters must not break equality");
+        let c = SimStats {
+            peak_batch_len: 6,
+            ..a
+        };
+        assert_ne!(a, c, "batch counters are trace-relevant");
     }
 }

@@ -307,6 +307,29 @@ impl TimeWheel {
     }
 }
 
+/// Length of the topology-class prefix of an instant popped by
+/// [`TimeWheel::pop_instant`].
+///
+/// `pop_instant` returns the round in `(time, class, seq)` order and
+/// topology has the lowest class rank, so *all* of an instant's topology
+/// events form a contiguous prefix — this is the property that lets the
+/// engine apply them as one batch (one barrier per instant instead of
+/// one per event). Effects emitted mid-round are protocol-class and land
+/// behind the round, so a later same-instant pop starts its own prefix.
+pub(crate) fn topology_prefix_len(round: &[QueuedEvent]) -> usize {
+    let k = round
+        .iter()
+        .take_while(|ev| matches!(ev.payload, EventPayload::Topology { .. }))
+        .count();
+    debug_assert!(
+        round[k..]
+            .iter()
+            .all(|ev| !matches!(ev.payload, EventPayload::Topology { .. })),
+        "class ranks must sort all topology events to the instant's prefix"
+    );
+    k
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -344,6 +367,45 @@ mod tests {
         }
         let order: Vec<u64> = std::iter::from_fn(|| w.pop()).map(|e| e.seq).collect();
         assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pop_instant_sorts_topology_into_one_prefix() {
+        let mut w = TimeWheel::new(0.25);
+        let topo = |i: usize| EventPayload::Topology {
+            kind: crate::event::LinkChangeKind::Added,
+            edge: gcs_net::Edge::between(i, i + 1),
+            version: 1,
+        };
+        // Interleave pushes: protocol, topology, protocol, topology.
+        w.push(at(1.0), alarm(0));
+        w.push(at(1.0), topo(0));
+        w.push(at(1.0), alarm(1));
+        w.push(at(1.0), topo(2));
+        w.push(at(2.0), topo(4)); // different instant, stays behind
+        let mut round = Vec::new();
+        assert_eq!(w.pop_instant(&mut round), Some(at(1.0)));
+        assert_eq!(round.len(), 4);
+        assert_eq!(
+            topology_prefix_len(&round),
+            2,
+            "all same-instant topology events form the prefix"
+        );
+        // Within each class, insertion order (seq) is preserved.
+        let prefix_edges: Vec<_> = round[..2]
+            .iter()
+            .map(|ev| match ev.payload {
+                EventPayload::Topology { edge, .. } => edge,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(
+            prefix_edges,
+            vec![gcs_net::Edge::between(0, 1), gcs_net::Edge::between(2, 3)]
+        );
+        round.clear();
+        assert_eq!(w.pop_instant(&mut round), Some(at(2.0)));
+        assert_eq!(topology_prefix_len(&round), 1);
     }
 
     #[test]
