@@ -57,22 +57,23 @@ pub fn fmt_mib(bytes: Option<u64>) -> String {
 /// Per-plane heap census, re-exported from the engine so analysis and
 /// report code name one type. Unlike [`peak_rss_bytes`] this is *not*
 /// process-wide: it attributes live bytes to the engine's planes
-/// (topology / drift / automaton-hot / automaton-cold / wheel /
+/// (topology / drift / automaton-hot / automaton-cold / wheel / staging /
 /// dispatch-scratch) at the instant it is read.
 pub use gcs_sim::PlaneBytes;
 
 /// Formats one plane census as a compact single-line summary in MiB,
 /// e.g. `topo 1.2 | drift 0.3 | hot 4.5 | cold 0.1 | wheel 0.2 |
-/// scratch 0.1`.
+/// staged 0.1 | scratch 0.1`.
 pub fn fmt_planes(p: &PlaneBytes) -> String {
     let mib = |b: usize| b as f64 / (1024.0 * 1024.0);
     format!(
-        "topo {:.1} | drift {:.1} | hot {:.1} | cold {:.1} | wheel {:.1} | scratch {:.1}",
+        "topo {:.1} | drift {:.1} | hot {:.1} | cold {:.1} | wheel {:.1} | staged {:.1} | scratch {:.1}",
         mib(p.topology),
         mib(p.drift),
         mib(p.automaton_hot),
         mib(p.automaton_cold),
         mib(p.wheel),
+        mib(p.staging),
         mib(p.dispatch_scratch)
     )
 }
@@ -104,12 +105,16 @@ mod tests {
             automaton_hot: 2 * 1024 * 1024,
             automaton_cold: 512 * 1024,
             wheel: 0,
+            staging: 128 * 1024,
             dispatch_scratch: 256 * 1024,
         };
         assert_eq!(
             fmt_planes(&p),
-            "topo 1.0 | drift 0.0 | hot 2.0 | cold 0.5 | wheel 0.0 | scratch 0.2"
+            "topo 1.0 | drift 0.0 | hot 2.0 | cold 0.5 | wheel 0.0 | staged 0.1 | scratch 0.2"
         );
-        assert_eq!(p.total(), 1024 * 1024 * 3 + 512 * 1024 + 256 * 1024);
+        assert_eq!(
+            p.total(),
+            1024 * 1024 * 3 + 512 * 1024 + 128 * 1024 + 256 * 1024
+        );
     }
 }

@@ -61,6 +61,24 @@ fn main() {
         o.node_state_watermark <= config.backbone + config.visitor_band(),
         "an untouched node claimed a node-state slot"
     );
+    // Fail closed on the packed event plane: the v8 recording held
+    // 1 168 912 384 wheel bytes at the headline width; the compact plane
+    // (24-byte records + slab payload arena) must stay under half of
+    // that. Smoke widths get a generous 256 MiB ceiling — far above a
+    // healthy run, but a fat-record regression would still blow it.
+    let wheel_limit: usize = if config.n >= (1 << 23) {
+        584_456_192
+    } else {
+        256 << 20
+    };
+    assert!(
+        o.planes.wheel < wheel_limit,
+        "wheel plane {} bytes exceeds the {} byte budget at n = {} — \
+         the packed event plane regressed",
+        o.planes.wheel,
+        wheel_limit,
+        config.n
+    );
     let peak = gcs_analysis::peak_rss_bytes();
     println!(
         "process peak RSS: {} MiB (measured via /proc/self/status)",

@@ -13,10 +13,11 @@
 //! (`n = 65 536`, churn on) at worker counts {1, 2, 8}.
 //!
 //! Before overwriting a committed `BENCH_engine.json`, the run compares
-//! the new E14 per-plane byte meters against the recorded ones and warns
-//! loudly when any plane grew by more than 10% — a silent memory-plane
-//! regression would otherwise hide until the `n = 2^23` run stops
-//! fitting.
+//! the new E14 per-plane byte meters — plus the per-family E12/E13
+//! wheel-plane meters, where churn backlogs make the packed event plane
+//! the largest plane — against the recorded ones and warns loudly when
+//! any meter grew by more than 10% — a silent memory-plane regression
+//! would otherwise hide until the `n = 2^23` run stops fitting.
 //!
 //! With the frozen pre-rewrite engine deleted, the **batched serial
 //! engine (`threads = 1`) is the baseline** every speedup is measured
@@ -102,7 +103,7 @@ fn entry(m: &Measurement) -> String {
 
 fn e12_entry(o: &gcs_bench::e12_dynamic_workloads::FamilyOutcome) -> String {
     format!(
-        "    {{\n      \"family\": \"{}\",\n      \"events\": {},\n      \"setup_s\": {:.6},\n      \"wall_s\": {:.6},\n      \"events_per_sec\": {:.1},\n      \"topology_events\": {},\n      \"peak_topology_backlog\": {},\n      \"current_rss_bytes\": {}\n    }}",
+        "    {{\n      \"family\": \"{}\",\n      \"events\": {},\n      \"setup_s\": {:.6},\n      \"wall_s\": {:.6},\n      \"events_per_sec\": {:.1},\n      \"topology_events\": {},\n      \"peak_topology_backlog\": {},\n      \"wheel_staged_events\": {},\n      \"peak_pending_deliver\": {},\n      \"peak_pending_alarm\": {},\n      \"peak_pending_topology\": {},\n      \"plane_wheel_bytes\": {},\n      \"plane_staging_bytes\": {},\n      \"current_rss_bytes\": {}\n    }}",
         o.family,
         o.events,
         o.setup_s,
@@ -110,13 +111,19 @@ fn e12_entry(o: &gcs_bench::e12_dynamic_workloads::FamilyOutcome) -> String {
         o.events_per_sec,
         o.stats.topology_events,
         o.stats.peak_topology_backlog,
+        o.stats.peak_staged_events,
+        o.pending_peaks[2],
+        o.pending_peaks[3],
+        o.pending_peaks[0],
+        o.wheel_plane_bytes,
+        o.staging_plane_bytes,
         json_opt_u64(o.current_rss_bytes)
     )
 }
 
 fn e13_entry(o: &gcs_bench::e13_scale_ceiling::FamilyOutcome) -> String {
     format!(
-        "    {{\n      \"family\": \"{}\",\n      \"events\": {},\n      \"setup_s\": {:.6},\n      \"wall_s\": {:.6},\n      \"topology_apply_s\": {:.6},\n      \"events_per_sec\": {:.1},\n      \"topology_events\": {},\n      \"peak_topology_backlog\": {},\n      \"drift_cursors\": {},\n      \"node_state_watermark\": {},\n      \"rng_streams\": {},\n      \"current_rss_bytes\": {}\n    }}",
+        "    {{\n      \"family\": \"{}\",\n      \"events\": {},\n      \"setup_s\": {:.6},\n      \"wall_s\": {:.6},\n      \"topology_apply_s\": {:.6},\n      \"events_per_sec\": {:.1},\n      \"topology_events\": {},\n      \"peak_topology_backlog\": {},\n      \"wheel_staged_events\": {},\n      \"peak_pending_deliver\": {},\n      \"peak_pending_alarm\": {},\n      \"peak_pending_topology\": {},\n      \"plane_wheel_bytes\": {},\n      \"plane_staging_bytes\": {},\n      \"drift_cursors\": {},\n      \"node_state_watermark\": {},\n      \"rng_streams\": {},\n      \"current_rss_bytes\": {}\n    }}",
         o.family,
         o.events,
         o.setup_s,
@@ -125,6 +132,12 @@ fn e13_entry(o: &gcs_bench::e13_scale_ceiling::FamilyOutcome) -> String {
         o.events_per_sec,
         o.stats.topology_events,
         o.stats.peak_topology_backlog,
+        o.stats.peak_staged_events,
+        o.pending_peaks[2],
+        o.pending_peaks[3],
+        o.pending_peaks[0],
+        o.wheel_plane_bytes,
+        o.staging_plane_bytes,
         o.drift_cursors,
         o.node_state_watermark,
         o.rng_streams,
@@ -134,7 +147,7 @@ fn e13_entry(o: &gcs_bench::e13_scale_ceiling::FamilyOutcome) -> String {
 
 fn e14_entry(n: usize, o: &gcs_bench::e14_memory_ceiling::Outcome) -> String {
     format!(
-        "  \"e14_memory_ceiling\": {{\n  \"n\": {},\n  \"events\": {},\n  \"setup_s\": {:.6},\n  \"wall_s\": {:.6},\n  \"events_per_sec\": {:.1},\n  \"evictions\": {},\n  \"rehydrations\": {},\n  \"cold_nodes\": {},\n  \"cold_bytes\": {},\n  \"node_state_watermark\": {},\n  \"drift_cursors\": {},\n  \"plane_topology_bytes\": {},\n  \"plane_drift_bytes\": {},\n  \"plane_automaton_hot_bytes\": {},\n  \"plane_automaton_cold_bytes\": {},\n  \"plane_wheel_bytes\": {},\n  \"plane_dispatch_scratch_bytes\": {},\n  \"current_rss_bytes\": {}\n  }}",
+        "  \"e14_memory_ceiling\": {{\n  \"n\": {},\n  \"events\": {},\n  \"setup_s\": {:.6},\n  \"wall_s\": {:.6},\n  \"events_per_sec\": {:.1},\n  \"evictions\": {},\n  \"rehydrations\": {},\n  \"cold_nodes\": {},\n  \"cold_bytes\": {},\n  \"node_state_watermark\": {},\n  \"drift_cursors\": {},\n  \"wheel_staged_events\": {},\n  \"peak_pending_deliver\": {},\n  \"peak_pending_alarm\": {},\n  \"peak_pending_topology\": {},\n  \"plane_topology_bytes\": {},\n  \"plane_drift_bytes\": {},\n  \"plane_automaton_hot_bytes\": {},\n  \"plane_automaton_cold_bytes\": {},\n  \"plane_wheel_bytes\": {},\n  \"plane_staging_bytes\": {},\n  \"plane_dispatch_scratch_bytes\": {},\n  \"current_rss_bytes\": {}\n  }}",
         n,
         o.events,
         o.setup_s,
@@ -146,22 +159,31 @@ fn e14_entry(n: usize, o: &gcs_bench::e14_memory_ceiling::Outcome) -> String {
         o.cold_bytes,
         o.node_state_watermark,
         o.drift_cursors,
+        o.stats.peak_staged_events,
+        o.pending_peaks[2],
+        o.pending_peaks[3],
+        o.pending_peaks[0],
         o.planes.topology,
         o.planes.drift,
         o.planes.automaton_hot,
         o.planes.automaton_cold,
         o.planes.wheel,
+        o.planes.staging,
         o.planes.dispatch_scratch,
         json_opt_u64(o.current_rss_bytes)
     )
 }
 
-/// The E14 plane meters a committed `BENCH_engine.json` recorded, keyed
-/// by JSON field name. Hand-rolled extraction (the file is written by
-/// this binary, field-per-line) — no JSON dependency needed.
-fn committed_plane_bytes(json: &str, key: &str) -> Option<usize> {
+/// A byte/count meter from a committed `BENCH_engine.json`, keyed by
+/// JSON field name and scoped to the first occurrence **after**
+/// `anchor` — the same field name now appears in the E12, E13 and E14
+/// sections, so an unanchored lookup would read the wrong experiment.
+/// Hand-rolled extraction (the file is written by this binary,
+/// field-per-line) — no JSON dependency needed.
+fn committed_bytes_after(json: &str, anchor: &str, key: &str) -> Option<usize> {
+    let from = json.find(anchor)? + anchor.len();
     let needle = format!("\"{key}\":");
-    let at = json.find(&needle)? + needle.len();
+    let at = from + json[from..].find(&needle)? + needle.len();
     let rest = json[at..].trim_start();
     let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
     digits.parse().ok()
@@ -176,21 +198,48 @@ fn warn_on_plane_regressions(committed: &str, planes: &gcs_sim::PlaneBytes) {
         ("plane_automaton_hot_bytes", planes.automaton_hot),
         ("plane_automaton_cold_bytes", planes.automaton_cold),
         ("plane_wheel_bytes", planes.wheel),
+        ("plane_staging_bytes", planes.staging),
         ("plane_dispatch_scratch_bytes", planes.dispatch_scratch),
     ];
     for (key, now) in meters {
-        let Some(was) = committed_plane_bytes(committed, key) else {
+        let Some(was) = committed_bytes_after(committed, "\"e14_memory_ceiling\"", key) else {
             continue;
         };
-        if was > 0 && now as f64 > was as f64 * 1.10 {
-            eprintln!(
-                "\nWARNING: E14 {key} regressed {} -> {} bytes (+{:.1}%) vs the committed\n\
-                 BENCH_engine.json — a memory-plane regression; investigate before recording.\n",
-                was,
-                now,
-                (now as f64 / was as f64 - 1.0) * 100.0
-            );
-        }
+        warn_on_meter_regression("E14", key, was, now);
+    }
+}
+
+/// Warns loudly when a per-family E12/E13 wheel-plane meter grew >10%
+/// over the committed recording — the packed event plane is the largest
+/// plane under churn backlogs, and a silent regression there would hide
+/// until the next full-scale recording. Purely advisory.
+fn warn_on_wheel_regressions(
+    committed: &str,
+    e12: &[gcs_bench::e12_dynamic_workloads::FamilyOutcome],
+    e13: &[gcs_bench::e13_scale_ceiling::FamilyOutcome],
+) {
+    let meters = e12
+        .iter()
+        .map(|o| ("E12", o.family, o.wheel_plane_bytes))
+        .chain(e13.iter().map(|o| ("E13", o.family, o.wheel_plane_bytes)));
+    for (exp, family, now) in meters {
+        let anchor = format!("\"family\": \"{family}\"");
+        let Some(was) = committed_bytes_after(committed, &anchor, "plane_wheel_bytes") else {
+            continue;
+        };
+        warn_on_meter_regression(&format!("{exp} {family}"), "plane_wheel_bytes", was, now);
+    }
+}
+
+fn warn_on_meter_regression(scope: &str, key: &str, was: usize, now: usize) {
+    if was > 0 && now as f64 > was as f64 * 1.10 {
+        eprintln!(
+            "\nWARNING: {scope} {key} regressed {} -> {} bytes (+{:.1}%) vs the committed\n\
+             BENCH_engine.json — a memory-plane regression; investigate before recording.\n",
+            was,
+            now,
+            (now as f64 / was as f64 - 1.0) * 100.0
+        );
     }
 }
 
@@ -263,7 +312,7 @@ fn engine_json(
     let e13_entries: Vec<String> = e13.iter().map(e13_entry).collect();
     let mc_entries: Vec<String> = mc.iter().map(mc_entry).collect();
     format!(
-        "{{\n  \"schema\": \"bench-engine/v8\",\n  \"generated_by\": \"gcs-bench run_all\",\n  \"baseline\": \"batched-serial (threads = 1); the pre-rewrite heap engine was deleted after its equivalence history\",\n  \"host_cpus\": {host_cpus},\n  \"thread_sweep_valid\": {thread_sweep_valid},\n  \"peak_rss_bytes\": {},\n  \"e1_n1024\": {{\n  {},\n  \"engines\": [\n{}\n  ]\n  }},\n  \"e11_large_scale\": {{\n  {},\n  \"engines\": [\n{}\n  ],\n  \"best_parallel_speedup_vs_serial\": {:.3}\n  }},\n  \"e12_dynamic_workloads\": {{\n  \"n\": {},\n  \"families\": [\n{}\n  ]\n  }},\n  \"e13_scale_ceiling\": {{\n  \"n\": {},\n  \"families\": [\n{}\n  ]\n  }},\n{},\n{},\n  \"model_check\": {{\n  \"suites\": [\n{}\n  ]\n  }}\n}}\n",
+        "{{\n  \"schema\": \"bench-engine/v9\",\n  \"generated_by\": \"gcs-bench run_all\",\n  \"baseline\": \"batched-serial (threads = 1); the pre-rewrite heap engine was deleted after its equivalence history\",\n  \"host_cpus\": {host_cpus},\n  \"thread_sweep_valid\": {thread_sweep_valid},\n  \"peak_rss_bytes\": {},\n  \"e1_n1024\": {{\n  {},\n  \"engines\": [\n{}\n  ]\n  }},\n  \"e11_large_scale\": {{\n  {},\n  \"engines\": [\n{}\n  ],\n  \"best_parallel_speedup_vs_serial\": {:.3}\n  }},\n  \"e12_dynamic_workloads\": {{\n  \"n\": {},\n  \"families\": [\n{}\n  ]\n  }},\n  \"e13_scale_ceiling\": {{\n  \"n\": {},\n  \"families\": [\n{}\n  ]\n  }},\n{},\n{},\n  \"model_check\": {{\n  \"suites\": [\n{}\n  ]\n  }}\n}}\n",
         json_opt_u64(peak_rss_bytes),
         workload(&e1.0),
         entry(&e1.1),
@@ -488,6 +537,7 @@ fn main() {
     );
     if let Ok(committed) = std::fs::read_to_string("BENCH_engine.json") {
         warn_on_plane_regressions(&committed, &e14_for_json.planes);
+        warn_on_wheel_regressions(&committed, &e12_for_json, &e13_for_json);
     }
     match std::fs::File::create("BENCH_engine.json").and_then(|mut f| f.write_all(json.as_bytes()))
     {

@@ -121,8 +121,16 @@ pub struct FamilyOutcome {
     /// mark, this reflects *this* family's footprint even when other
     /// work ran earlier in the process.
     pub current_rss_bytes: Option<u64>,
-    /// Execution counters (carries `topology_events`, `topology_pulled`
-    /// and `peak_topology_backlog`).
+    /// Packed event-plane heap bytes (records + payload arena) at the
+    /// horizon.
+    pub wheel_plane_bytes: usize,
+    /// Compact staging-buffer heap bytes at the horizon.
+    pub staging_plane_bytes: usize,
+    /// Peak pending wheel events per payload lane, in
+    /// `[topology, fault, deliver, alarm, discover]` order.
+    pub pending_peaks: [usize; 5],
+    /// Execution counters (carries `topology_events`, `topology_pulled`,
+    /// `peak_topology_backlog` and `peak_staged_events`).
     pub stats: SimStats,
 }
 
@@ -156,9 +164,10 @@ pub fn run_family(
     });
     let wall_s = t1.elapsed().as_secs_f64();
     let stats = *sim.stats();
-    // Read while `sim` is still alive so the number reflects this
+    // Read while `sim` is still alive so the numbers reflect this
     // family's live allocations.
     let current_rss_bytes = gcs_analysis::current_rss_bytes();
+    let planes = sim.plane_bytes();
     FamilyOutcome {
         family,
         setup_s,
@@ -169,6 +178,9 @@ pub fn run_family(
         peak_local: probe.peak_local_skew(),
         skew_error_bound: probe.error_bound(),
         current_rss_bytes,
+        wheel_plane_bytes: planes.wheel,
+        staging_plane_bytes: planes.staging,
+        pending_peaks: sim.wheel_pending_peaks(),
         stats,
     }
 }

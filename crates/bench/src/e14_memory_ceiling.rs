@@ -175,6 +175,9 @@ pub struct Outcome {
     pub drift_cursors: usize,
     /// Per-plane heap census at the horizon.
     pub planes: PlaneBytes,
+    /// Peak pending wheel events per payload lane, in
+    /// `[topology, fault, deliver, alarm, discover]` order.
+    pub pending_peaks: [usize; 5],
     /// Current resident set right after the run, simulation still live.
     pub current_rss_bytes: Option<u64>,
     /// Execution counters.
@@ -220,6 +223,7 @@ pub fn run(config: &Config) -> Outcome {
         node_state_watermark: sim.node_state_watermark(),
         drift_cursors: sim.drift_cursors(),
         planes: sim.plane_bytes(),
+        pending_peaks: sim.wheel_pending_peaks(),
         current_rss_bytes,
         stats,
     }
@@ -241,6 +245,7 @@ pub fn render(config: &Config, o: &Outcome) -> Table {
         ("automaton hot", o.planes.automaton_hot),
         ("automaton cold", o.planes.automaton_cold),
         ("wheel", o.planes.wheel),
+        ("staging", o.planes.staging),
     ];
     let metrics = [
         ("events", o.events.to_string()),
@@ -296,6 +301,7 @@ pub fn report(config: &Config, o: &Outcome) -> ScenarioReport {
             "plane_automaton_hot_bytes",
             "plane_automaton_cold_bytes",
             "plane_wheel_bytes",
+            "plane_staging_bytes",
         ],
         vec![vec![
             o.events as f64,
@@ -310,6 +316,7 @@ pub fn report(config: &Config, o: &Outcome) -> ScenarioReport {
             o.planes.automaton_hot as f64,
             o.planes.automaton_cold as f64,
             o.planes.wheel as f64,
+            o.planes.staging as f64,
         ]],
     );
     rep

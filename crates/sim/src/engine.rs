@@ -25,19 +25,29 @@
 //! ## The streaming topology pipeline
 //!
 //! Topology is **pulled, not pre-loaded**: before each instant the engine
-//! asks the source for any events due at or before the wheel's next
+//! asks the source for any events due at or before the next pending
 //! event (`Simulator::pump_topology`, with a small fixed lookahead
 //! window to amortize pulls). Each pulled event is assigned its per-edge
-//! change version (stream order, via the `EdgeStore` counter), pushed
-//! into the wheel, and its two endpoint `Discover` events are scheduled
-//! with latencies drawn from a dedicated per-`(edge, version, endpoint)`
-//! stream — never from a node's stream, so the draw is independent of
-//! *when* the event happens to be pulled. Peak memory is therefore
-//! `O(backlog window)`, independent of the total churn-event count; the
-//! old eager path held the whole schedule in the wheel's overflow map.
-//! Pull decisions depend only on the instant sequence (itself part of the
-//! trace), so they are identical across thread counts and across
-//! arbitrary `run_until` splits.
+//! change version (stream order, via the `EdgeStore` counter) and
+//! **staged, not pushed**: it parks in a compact per-source staging
+//! buffer in near-native form, holding three *reserved* wheel sequence
+//! numbers (the change plus its two endpoint `Discover`s — reserved at
+//! pull time, exactly where a direct push would have assigned them).
+//! Admission into the wheel is horizon-gated: a staged event converts
+//! into its wheel-event trio only once it is due no later than the
+//! wheel's next event, with discovery latencies drawn at admission from
+//! a dedicated per-`(edge, version, endpoint)` stream — a pure function
+//! of the event identity, never a node's stream, so the draw is
+//! independent of *when* the event is pulled or admitted. The pulled
+//! backlog therefore never materializes as full events (no overflow-map
+//! churn on the push path), and peak memory is `O(backlog window)`
+//! compact records, independent of the total churn-event count. Pull
+//! decisions compare the source against the merged front of the wheel
+//! *and* both staging buffers — exactly the set of pending events the
+//! pre-staging engine kept in the wheel — so pull timing, reserved
+//! sequence numbers, and with them the trace are bit-identical to the
+//! eager-push pipeline, across thread counts and arbitrary `run_until`
+//! splits.
 //!
 //! ## The lazy clock plane
 //!
@@ -104,6 +114,7 @@ use gcs_net::{
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
 
 /// Environment variable consulted for the default worker count, so a CI
 /// matrix (or an operator) can exercise the parallel path without touching
@@ -221,6 +232,33 @@ fn discovery_stream_seed(seed: u64, edge: Edge, version: u64, endpoint: NodeId) 
         ^ (edge.hi().index() as u64 + 1).wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
         ^ version.wrapping_mul(0xD6E8_FEB8_6659_FD93)
         ^ (endpoint.index() as u64 + 1).wrapping_mul(0xA076_1D64_78BD_642F)
+}
+
+/// A pulled topology event parked in the staging buffer: the compact
+/// form the horizon-gated admission path holds instead of the three
+/// materialized wheel events (change + two discovers). `seq` is the
+/// first of the trio's three *reserved* wheel sequence numbers, claimed
+/// at pull time so the eventual pop order is fixed by the pull order —
+/// exactly as if the trio had been pushed eagerly — no matter when
+/// admission happens. The version is also assigned at pull time (stream
+/// order); only the discovery-latency draws (pure functions of
+/// `(edge, version, endpoint)`) are deferred to admission.
+#[derive(Clone, Copy, Debug)]
+struct StagedTopology {
+    time: Time,
+    seq: u64,
+    edge: Edge,
+    version: u64,
+    kind: LinkChangeKind,
+}
+
+/// A pulled fault event parked in the staging buffer, with its one
+/// reserved wheel sequence number (see [`StagedTopology`]).
+#[derive(Clone, Copy, Debug)]
+struct StagedFault {
+    time: Time,
+    seq: u64,
+    kind: FaultKind,
 }
 
 /// How the builder was told to generate hardware clocks; resolved into
@@ -512,6 +550,8 @@ impl SimBuilder {
             stats: SimStats::default(),
             topo_backlog: 0,
             fault_backlog: 0,
+            topo_staged: VecDeque::new(),
+            fault_staged: VecDeque::new(),
             fault_pull_buf: Vec::new(),
             // Pull lookahead: one delay bound of simulated time per pull.
             // Messages in flight span up to T, so the wheel is touched a
@@ -559,7 +599,10 @@ impl SimBuilder {
 /// * `automaton_hot` — automaton structs and their heap state, plus the
 ///   engine-side per-node columns (timers, peers, RNG streams),
 /// * `automaton_cold` — packed blobs of evicted quiescent nodes,
-/// * `wheel` — the pending-event calendar queue.
+/// * `wheel` — the pending-event calendar queue (packed records plus the
+///   payload arena),
+/// * `staging` — pulled-but-not-yet-due topology/fault events held in
+///   compact staged form by the horizon-gated admission path.
 ///
 /// Capacities (not lengths) are counted where observable; B-tree node
 /// overhead is approximated by entry payloads. The census is exact enough
@@ -574,8 +617,10 @@ pub struct PlaneBytes {
     pub automaton_hot: usize,
     /// Packed cold-tier blobs.
     pub automaton_cold: usize,
-    /// Pending-event calendar queue.
+    /// Pending-event calendar queue (packed records + payload arena).
     pub wheel: usize,
+    /// Compact staged topology/fault events awaiting admission.
+    pub staging: usize,
     /// Dispatch scratch reused across segments and batches: the round /
     /// effect-merge / touched / pull buffers, the per-shard event,
     /// effect, action and touched buffers, and the per-shard topology
@@ -592,6 +637,7 @@ impl PlaneBytes {
             + self.automaton_hot
             + self.automaton_cold
             + self.wheel
+            + self.staging
             + self.dispatch_scratch
     }
 }
@@ -625,6 +671,12 @@ pub struct Simulator<A: Automaton> {
     topo_backlog: u64,
     /// Fault events pulled but not yet applied.
     fault_backlog: u64,
+    /// Pulled topology events awaiting admission into the wheel, in pull
+    /// (= nondecreasing time) order — the compact backlog of the
+    /// horizon-gated admission path.
+    topo_staged: VecDeque<StagedTopology>,
+    /// Pulled fault events awaiting admission, in pull order.
+    fault_staged: VecDeque<StagedFault>,
     /// Scratch buffer for fault pulls.
     fault_pull_buf: Vec<FaultEvent>,
     /// Lookahead window (seconds) pulled beyond the next due event.
@@ -843,6 +895,8 @@ impl<A: Automaton> Simulator<A> {
         let mut p = PlaneBytes {
             topology: self.edges.heap_bytes() + self.graph.heap_bytes(),
             wheel: self.queue.heap_bytes(),
+            staging: self.topo_staged.capacity() * size_of::<StagedTopology>()
+                + self.fault_staged.capacity() * size_of::<StagedFault>(),
             dispatch_scratch: self.round_buf.capacity() * size_of::<QueuedEvent>()
                 + self.effects_buf.capacity() * size_of::<Effect>()
                 + self.touched_buf.capacity() * size_of::<NodeId>()
@@ -863,6 +917,23 @@ impl<A: Automaton> Simulator<A> {
                 + shard.touched.capacity() * size_of::<NodeId>();
         }
         p
+    }
+
+    /// Topology/fault events currently parked in the staging buffers —
+    /// pulled (with reserved wheel sequence numbers) but not yet due for
+    /// admission. A function of the instant sequence, identical across
+    /// thread counts; the lifetime peak is
+    /// [`SimStats::peak_staged_events`].
+    pub fn staged_events(&self) -> usize {
+        self.topo_staged.len() + self.fault_staged.len()
+    }
+
+    /// Per-lane peak pending-event counts inside the wheel, indexed
+    /// `[topology, fault, deliver, alarm, discover]` — the high-water
+    /// occupancy of each payload arena lane. Trace-derived, identical
+    /// across thread counts.
+    pub fn wheel_pending_peaks(&self) -> [usize; 5] {
+        self.queue.pending_peaks()
     }
 
     /// Wall-clock seconds spent applying topology batches so far (graph
@@ -939,19 +1010,39 @@ impl<A: Automaton> Simulator<A> {
         self.observing = false;
     }
 
-    /// Streams due topology into the wheel: while the source's next event
-    /// is at or before the wheel's next event (or the wheel is empty),
-    /// pull everything up to that time plus the lookahead window and
-    /// schedule it. Pull decisions depend only on the wheel/source state
-    /// at instant boundaries — never on the `run_until` target or the
-    /// thread count — so traces are invariant under both.
+    /// The time of the earliest pending event anywhere: the wheel's next
+    /// pop merged with the fronts of both staging buffers (staged
+    /// buffers are FIFO in nondecreasing time, so their fronts are their
+    /// minima; a staged topology event's materialized trio would pop at
+    /// its own instant — the discovery latencies are strictly positive).
+    /// This is exactly the set of events the pre-staging engine kept in
+    /// the wheel, so pull decisions keyed on it are unchanged.
+    fn effective_next(&mut self) -> Option<Time> {
+        let mut next = self.queue.peek_time();
+        let staged = [
+            self.topo_staged.front().map(|s| s.time),
+            self.fault_staged.front().map(|s| s.time),
+        ];
+        for t in staged.into_iter().flatten() {
+            next = Some(next.map_or(t, |n| n.min(t)));
+        }
+        next
+    }
+
+    /// Streams due topology into the staging buffer: while the source's
+    /// next event is at or before the next pending event anywhere (or
+    /// nothing is pending), pull everything up to that time plus the
+    /// lookahead window and stage it. Pull decisions depend only on the
+    /// merged pending state at instant boundaries — never on the
+    /// `run_until` target or the thread count — so traces are invariant
+    /// under both.
     fn pump_topology(&mut self) {
         loop {
             let Some(ts) = self.source.peek_time() else {
                 return;
             };
-            if let Some(wheel_next) = self.queue.peek_time() {
-                if ts > wheel_next {
+            if let Some(next) = self.effective_next() {
+                if ts > next {
                     return;
                 }
             }
@@ -961,20 +1052,20 @@ impl<A: Automaton> Simulator<A> {
                 .pull_until(ts + Duration::new(self.pull_chunk), &mut buf);
             debug_assert!(!buf.is_empty(), "peek_time promised an event at {ts:?}");
             for ev in &buf {
-                self.schedule_topology(*ev);
+                self.stage_topology(*ev);
             }
             self.pull_buf = buf;
         }
     }
 
-    /// Streams due faults into the wheel, mirroring
+    /// Streams due faults into the staging buffer, mirroring
     /// [`pump_topology`](Self::pump_topology): the fault plane is the
     /// third input stream and obeys the identical pull discipline, so
     /// fault pull timing is a function of the instant sequence alone.
     /// Pumped *after* topology each round — each pump's exit guarantee
-    /// ("my stream's next event is later than the wheel's next pop") is
-    /// preserved by the other's pushes, which only move the wheel's next
-    /// pop earlier, never later than either exit threshold.
+    /// ("my stream's next event is later than the next pending pop") is
+    /// preserved by the other's staging, which only moves the merged
+    /// front earlier, never later than either exit threshold.
     fn pump_faults(&mut self) {
         if self.fault_source.is_none() {
             return;
@@ -983,8 +1074,8 @@ impl<A: Automaton> Simulator<A> {
             let Some(ts) = self.fault_source.as_mut().and_then(|s| s.peek_time()) else {
                 return;
             };
-            if let Some(wheel_next) = self.queue.peek_time() {
-                if ts > wheel_next {
+            if let Some(next) = self.effective_next() {
+                if ts > next {
                     return;
                 }
             }
@@ -997,48 +1088,121 @@ impl<A: Automaton> Simulator<A> {
             debug_assert!(!buf.is_empty(), "peek_time promised a fault at {ts:?}");
             for ev in &buf {
                 debug_assert!(ev.time > Time::ZERO, "fault events occur after time 0");
-                self.queue
-                    .push(ev.time, EventPayload::Fault { kind: ev.kind });
+                debug_assert!(
+                    self.fault_staged.back().is_none_or(|s| s.time <= ev.time),
+                    "fault source must emit nondecreasing times"
+                );
+                let seq = self.queue.reserve_seqs(1);
+                self.fault_staged.push_back(StagedFault {
+                    time: ev.time,
+                    seq,
+                    kind: ev.kind,
+                });
                 self.stats.faults_pulled += 1;
                 self.fault_backlog += 1;
             }
             self.fault_pull_buf = buf;
+            self.note_staged_peak();
         }
     }
 
-    /// Assigns a pulled event its per-edge version and schedules it plus
-    /// its two endpoint discoveries.
-    fn schedule_topology(&mut self, ev: TopologyEvent) {
+    /// Assigns a pulled event its per-edge version, reserves the wheel
+    /// sequence numbers of its three-event trio (change + two endpoint
+    /// discoveries — in that order, matching what an eager push would
+    /// have assigned), and parks it in the staging buffer.
+    fn stage_topology(&mut self, ev: TopologyEvent) {
         debug_assert!(ev.time > Time::ZERO, "topology events occur after time 0");
+        debug_assert!(
+            self.topo_staged.back().is_none_or(|s| s.time <= ev.time),
+            "topology source must emit nondecreasing times"
+        );
         let version = self.edges.next_version(ev.edge);
         let kind = match ev.kind {
             TopologyEventKind::Add => LinkChangeKind::Added,
             TopologyEventKind::Remove => LinkChangeKind::Removed,
         };
-        self.queue.push(
-            ev.time,
-            EventPayload::Topology {
-                kind,
-                edge: ev.edge,
-                version,
-            },
-        );
+        let seq = self.queue.reserve_seqs(3);
+        self.topo_staged.push_back(StagedTopology {
+            time: ev.time,
+            seq,
+            edge: ev.edge,
+            version,
+            kind,
+        });
         self.stats.topology_pulled += 1;
         self.topo_backlog += 1;
         self.stats.peak_topology_backlog = self.stats.peak_topology_backlog.max(self.topo_backlog);
-        for w in [ev.edge.lo(), ev.edge.hi()] {
+        self.note_staged_peak();
+    }
+
+    #[inline]
+    fn note_staged_peak(&mut self) {
+        let staged = (self.topo_staged.len() + self.fault_staged.len()) as u64;
+        self.stats.peak_staged_events = self.stats.peak_staged_events.max(staged);
+    }
+
+    /// Admits every staged event that is due: while a staging front's
+    /// time is at or before the wheel's next event (or the wheel is
+    /// empty), convert it into its wheel events under its reserved
+    /// sequence numbers. Runs after the pumps at every instant boundary,
+    /// so by the time an instant pops, everything belonging to it is in
+    /// the wheel: a staged event still parked afterwards is strictly
+    /// later than the wheel's next pop, and its discoveries (which fire
+    /// even later) cannot belong to the popping instant either. Pop
+    /// order is then fixed by the reserved `(time, class, seq)` keys
+    /// alone — bit-identical to the eager-push engine.
+    fn admit_due(&mut self) {
+        loop {
+            let wheel_next = self.queue.peek_time();
+            let due = |t: Time| wheel_next.is_none_or(|w| t <= w);
+            if let Some(s) = self.topo_staged.front() {
+                if due(s.time) {
+                    let s = self.topo_staged.pop_front().expect("front peeked");
+                    self.admit_topology(s);
+                    continue;
+                }
+            }
+            if let Some(s) = self.fault_staged.front() {
+                if due(s.time) {
+                    let s = self.fault_staged.pop_front().expect("front peeked");
+                    self.queue
+                        .push_reserved(s.time, s.seq, EventPayload::Fault { kind: s.kind });
+                    continue;
+                }
+            }
+            return;
+        }
+    }
+
+    /// Materializes one staged topology event into the wheel: the change
+    /// plus its two endpoint discoveries, under the trio's reserved
+    /// sequence numbers. Discovery latencies are drawn here — they are
+    /// pure functions of `(seed, edge, version, endpoint)`, so drawing
+    /// at admission instead of pull time changes nothing.
+    fn admit_topology(&mut self, s: StagedTopology) {
+        self.queue.push_reserved(
+            s.time,
+            s.seq,
+            EventPayload::Topology {
+                kind: s.kind,
+                edge: s.edge,
+                version: s.version,
+            },
+        );
+        for (i, w) in [s.edge.lo(), s.edge.hi()].into_iter().enumerate() {
             let lat =
                 self.discovery
-                    .scheduled_latency(self.params.d, self.seed, ev.edge, version, w);
-            self.queue.push(
-                ev.time + Duration::new(lat),
+                    .scheduled_latency(self.params.d, self.seed, s.edge, s.version, w);
+            self.queue.push_reserved(
+                s.time + Duration::new(lat),
+                s.seq + 1 + i as u64,
                 EventPayload::Discover {
                     node: w,
                     change: LinkChange {
-                        kind,
-                        edge: ev.edge,
+                        kind: s.kind,
+                        edge: s.edge,
                     },
-                    version,
+                    version: s.version,
                 },
             );
         }
@@ -1050,6 +1214,10 @@ impl<A: Automaton> Simulator<A> {
         loop {
             self.pump_topology();
             self.pump_faults();
+            // After admission, every staged event is strictly later than
+            // the wheel's next pop, so the wheel front *is* the global
+            // front.
+            self.admit_due();
             match self.queue.peek_time() {
                 Some(t) if t <= until => {}
                 _ => break,
@@ -1086,6 +1254,7 @@ impl<A: Automaton> Simulator<A> {
     pub fn step(&mut self) -> bool {
         self.pump_topology();
         self.pump_faults();
+        self.admit_due();
         let Some(ev) = self.queue.pop() else {
             return false;
         };

@@ -164,6 +164,248 @@ impl PartialOrd for QueuedEvent {
     }
 }
 
+/// Payload lane indices of the packed event plane. The lane tag both
+/// selects the arena column group a payload lives in and encodes its
+/// class rank ([`lane_class`]): topology and faults keep their dedicated
+/// ranks 0 and 1, the three protocol lanes all rank 2.
+pub(crate) const LANE_TOPOLOGY: u8 = 0;
+pub(crate) const LANE_FAULT: u8 = 1;
+pub(crate) const LANE_DELIVER: u8 = 2;
+pub(crate) const LANE_ALARM: u8 = 3;
+pub(crate) const LANE_DISCOVER: u8 = 4;
+/// Number of payload lanes.
+pub(crate) const LANES: usize = 5;
+
+/// Class rank of a lane — identical to [`EventPayload::class_rank`] of
+/// any payload stored in it, so packed queue records can be ordered
+/// without touching the arena.
+#[inline]
+pub(crate) fn lane_class(lane: u8) -> u8 {
+    lane.min(2)
+}
+
+/// Per-lane slot bookkeeping: the free list plus live/peak occupancy.
+#[derive(Debug, Default)]
+struct LaneSlots {
+    /// Recycled slot indices; popping an event frees its slot here.
+    free: Vec<u32>,
+    /// Slots currently holding a pending payload.
+    live: usize,
+    /// High-water mark of `live` (per-class pending-event peak).
+    peak: usize,
+}
+
+impl LaneSlots {
+    /// Claims a slot: a recycled one when available, else the next fresh
+    /// index (`fresh` = current column length). Returns the slot index and
+    /// whether the columns must grow by one.
+    #[inline]
+    fn claim(&mut self, fresh: usize) -> (u32, bool) {
+        self.live += 1;
+        self.peak = self.peak.max(self.live);
+        match self.free.pop() {
+            Some(h) => (h, false),
+            None => (fresh as u32, true),
+        }
+    }
+
+    #[inline]
+    fn release(&mut self, handle: u32) {
+        self.live -= 1;
+        self.free.push(handle);
+    }
+}
+
+/// Slab arenas for pending-event payloads — the storage half of the
+/// packed event plane.
+///
+/// A queued event's payload no longer travels with its ordering key:
+/// the [`TimeWheel`](crate::wheel::TimeWheel) keeps a small fixed-size
+/// record per pending event and parks the payload here, in per-lane
+/// struct-of-arrays columns addressed by a `u32` handle. Popping an
+/// event takes the payload back out and recycles its slot, so steady
+/// state allocates nothing and each column's length tracks the lane's
+/// high-water mark, not the sum of per-bucket peaks.
+#[derive(Debug, Default)]
+pub(crate) struct PayloadArena {
+    // Deliver lane columns.
+    deliver_from: Vec<NodeId>,
+    deliver_to: Vec<NodeId>,
+    deliver_msg: Vec<Message>,
+    deliver_epoch: Vec<u64>,
+    // Alarm lane columns.
+    alarm_node: Vec<NodeId>,
+    alarm_kind: Vec<TimerKind>,
+    alarm_gen: Vec<u64>,
+    // Discover lane columns.
+    discover_node: Vec<NodeId>,
+    discover_change: Vec<LinkChange>,
+    discover_version: Vec<u64>,
+    // Topology lane columns.
+    topo_kind: Vec<LinkChangeKind>,
+    topo_edge: Vec<Edge>,
+    topo_version: Vec<u64>,
+    // Fault lane column (one wide enum — faults are rare and never bulk).
+    fault_kind: Vec<crate::fault::FaultKind>,
+    /// Free lists and occupancy, indexed by lane.
+    lanes: [LaneSlots; LANES],
+}
+
+impl PayloadArena {
+    /// Stores `payload`, returning its `(lane, handle)` address.
+    pub(crate) fn alloc(&mut self, payload: &EventPayload) -> (u8, u32) {
+        match *payload {
+            EventPayload::Deliver {
+                from,
+                to,
+                msg,
+                epoch,
+            } => {
+                let (h, grow) = self.lanes[LANE_DELIVER as usize].claim(self.deliver_from.len());
+                if grow {
+                    self.deliver_from.push(from);
+                    self.deliver_to.push(to);
+                    self.deliver_msg.push(msg);
+                    self.deliver_epoch.push(epoch);
+                } else {
+                    let i = h as usize;
+                    self.deliver_from[i] = from;
+                    self.deliver_to[i] = to;
+                    self.deliver_msg[i] = msg;
+                    self.deliver_epoch[i] = epoch;
+                }
+                (LANE_DELIVER, h)
+            }
+            EventPayload::Alarm {
+                node,
+                kind,
+                generation,
+            } => {
+                let (h, grow) = self.lanes[LANE_ALARM as usize].claim(self.alarm_node.len());
+                if grow {
+                    self.alarm_node.push(node);
+                    self.alarm_kind.push(kind);
+                    self.alarm_gen.push(generation);
+                } else {
+                    let i = h as usize;
+                    self.alarm_node[i] = node;
+                    self.alarm_kind[i] = kind;
+                    self.alarm_gen[i] = generation;
+                }
+                (LANE_ALARM, h)
+            }
+            EventPayload::Discover {
+                node,
+                change,
+                version,
+            } => {
+                let (h, grow) = self.lanes[LANE_DISCOVER as usize].claim(self.discover_node.len());
+                if grow {
+                    self.discover_node.push(node);
+                    self.discover_change.push(change);
+                    self.discover_version.push(version);
+                } else {
+                    let i = h as usize;
+                    self.discover_node[i] = node;
+                    self.discover_change[i] = change;
+                    self.discover_version[i] = version;
+                }
+                (LANE_DISCOVER, h)
+            }
+            EventPayload::Topology {
+                kind,
+                edge,
+                version,
+            } => {
+                let (h, grow) = self.lanes[LANE_TOPOLOGY as usize].claim(self.topo_kind.len());
+                if grow {
+                    self.topo_kind.push(kind);
+                    self.topo_edge.push(edge);
+                    self.topo_version.push(version);
+                } else {
+                    let i = h as usize;
+                    self.topo_kind[i] = kind;
+                    self.topo_edge[i] = edge;
+                    self.topo_version[i] = version;
+                }
+                (LANE_TOPOLOGY, h)
+            }
+            EventPayload::Fault { kind } => {
+                let (h, grow) = self.lanes[LANE_FAULT as usize].claim(self.fault_kind.len());
+                if grow {
+                    self.fault_kind.push(kind);
+                } else {
+                    self.fault_kind[h as usize] = kind;
+                }
+                (LANE_FAULT, h)
+            }
+        }
+    }
+
+    /// Takes the payload at `(lane, handle)` back out, recycling the slot.
+    pub(crate) fn take(&mut self, lane: u8, handle: u32) -> EventPayload {
+        self.lanes[lane as usize].release(handle);
+        let i = handle as usize;
+        match lane {
+            LANE_DELIVER => EventPayload::Deliver {
+                from: self.deliver_from[i],
+                to: self.deliver_to[i],
+                msg: self.deliver_msg[i],
+                epoch: self.deliver_epoch[i],
+            },
+            LANE_ALARM => EventPayload::Alarm {
+                node: self.alarm_node[i],
+                kind: self.alarm_kind[i],
+                generation: self.alarm_gen[i],
+            },
+            LANE_DISCOVER => EventPayload::Discover {
+                node: self.discover_node[i],
+                change: self.discover_change[i],
+                version: self.discover_version[i],
+            },
+            LANE_TOPOLOGY => EventPayload::Topology {
+                kind: self.topo_kind[i],
+                edge: self.topo_edge[i],
+                version: self.topo_version[i],
+            },
+            LANE_FAULT => EventPayload::Fault {
+                kind: self.fault_kind[i],
+            },
+            _ => unreachable!("invalid payload lane {lane}"),
+        }
+    }
+
+    /// Per-lane peak pending counts, indexed by lane constant.
+    pub(crate) fn peaks(&self) -> [usize; LANES] {
+        std::array::from_fn(|l| self.lanes[l].peak)
+    }
+
+    /// Heap bytes held by the payload columns and free lists (capacities,
+    /// matching the rest of the plane census).
+    pub(crate) fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.deliver_from.capacity() * size_of::<NodeId>()
+            + self.deliver_to.capacity() * size_of::<NodeId>()
+            + self.deliver_msg.capacity() * size_of::<Message>()
+            + self.deliver_epoch.capacity() * size_of::<u64>()
+            + self.alarm_node.capacity() * size_of::<NodeId>()
+            + self.alarm_kind.capacity() * size_of::<TimerKind>()
+            + self.alarm_gen.capacity() * size_of::<u64>()
+            + self.discover_node.capacity() * size_of::<NodeId>()
+            + self.discover_change.capacity() * size_of::<LinkChange>()
+            + self.discover_version.capacity() * size_of::<u64>()
+            + self.topo_kind.capacity() * size_of::<LinkChangeKind>()
+            + self.topo_edge.capacity() * size_of::<Edge>()
+            + self.topo_version.capacity() * size_of::<u64>()
+            + self.fault_kind.capacity() * size_of::<crate::fault::FaultKind>()
+            + self
+                .lanes
+                .iter()
+                .map(|l| l.free.capacity() * size_of::<u32>())
+                .sum::<usize>()
+    }
+}
+
 /// Deterministic priority queue of events.
 #[derive(Debug, Default)]
 pub struct EventQueue {

@@ -43,6 +43,12 @@ pub struct SimStats {
     /// counts: pulls are driven by the instant sequence, which is part of
     /// the trace.
     pub peak_topology_backlog: u64,
+    /// Peak number of pulled topology/fault events parked in the compact
+    /// staging buffers — pulled from their source (and holding reserved
+    /// wheel sequence numbers) but not yet admitted into the wheel
+    /// because they are not due. Staging is driven by the instant
+    /// sequence alone, so the peak is identical across thread counts.
+    pub peak_staged_events: u64,
     /// Fault events pulled from the fault source into the wheel.
     pub faults_pulled: u64,
     /// Fault events applied (at their barrier).
@@ -97,6 +103,7 @@ impl PartialEq for SimStats {
             topology_events,
             topology_pulled,
             peak_topology_backlog,
+            peak_staged_events,
             faults_pulled,
             faults_applied,
             crashes,
@@ -123,6 +130,7 @@ impl PartialEq for SimStats {
             && topology_events == other.topology_events
             && topology_pulled == other.topology_pulled
             && peak_topology_backlog == other.peak_topology_backlog
+            && peak_staged_events == other.peak_staged_events
             && faults_pulled == other.faults_pulled
             && faults_applied == other.faults_applied
             && crashes == other.crashes
@@ -155,6 +163,7 @@ impl SimStats {
         self.topology_events += other.topology_events;
         self.topology_pulled += other.topology_pulled;
         self.peak_topology_backlog = self.peak_topology_backlog.max(other.peak_topology_backlog);
+        self.peak_staged_events = self.peak_staged_events.max(other.peak_staged_events);
         self.faults_pulled += other.faults_pulled;
         self.faults_applied += other.faults_applied;
         self.crashes += other.crashes;

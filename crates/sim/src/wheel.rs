@@ -13,13 +13,37 @@
 //! * the **overflow** map beyond that (pre-scheduled topology churn far in
 //!   the future).
 //!
+//! ## The packed event plane
+//!
+//! Buckets do not hold full [`QueuedEvent`]s. Each pending event is a
+//! 24-byte `PackedEvent` record — `(time, seq)` plus a lane tag and a
+//! `u32` handle — and its payload lives in the payload arena's per-lane
+//! struct-of-arrays columns until the pop reconstructs the
+//! [`QueuedEvent`]. Two consequences: bucket sorts move 24-byte records
+//! (keyed on 17 bytes) instead of 56-byte payload enums, and the
+//! payload columns are sized by the *global* per-lane pending peak
+//! instead of paying the payload width once per bucket high-water mark,
+//! which is what made the wheel the largest memory plane at scale.
+//! Slots recycle on pop, so steady state allocates nothing.
+//!
 //! Draining is strictly bucket-by-bucket: the cursor only ever advances to
-//! the earliest non-empty bucket, and within a bucket events are ordered
-//! through a small binary heap. Because an event at real time `t` always
-//! belongs to bucket `⌊t/width⌋` and later buckets hold strictly later
-//! times, the pop order is **exactly** the `(time, seq)` order of the
-//! global heap — the wheel is a drop-in, trace-identical replacement that
-//! turns most pushes into a `Vec::push` into a small contiguous bucket.
+//! the earliest non-empty bucket — found by a trailing-zeros scan over a
+//! [`SLOTS`]-bit occupancy bitmap rather than a linear ring probe — and
+//! within a bucket events are ordered through one contiguous sort.
+//! Because an event at real time `t` always belongs to bucket
+//! `⌊t/width⌋` and later buckets hold strictly later times, the pop
+//! order is **exactly** the `(time, class, seq)` order of the global
+//! heap — the wheel is a drop-in, trace-identical replacement that turns
+//! most pushes into a `Vec::push` into a small contiguous bucket.
+//!
+//! Sequence numbers are normally assigned at push time, but callers that
+//! *stage* events outside the wheel (the engine's horizon-gated topology
+//! admission) can [`reserve_seqs`](TimeWheel::reserve_seqs) at the
+//! moment the event is pulled and admit it later with
+//! [`push_reserved`](TimeWheel::push_reserved): the pop order is a
+//! function of the reserved key alone, so *when* the event is admitted
+//! cannot change the trace — provided it is admitted before its instant
+//! pops, which the engine's admission loop guarantees.
 //!
 //! Invariants that make this work (checked in debug builds):
 //!
@@ -30,18 +54,70 @@
 //!   every pop consults, so the pop order is unaffected,
 //! * a non-empty ring slot holds events of exactly one bucket index
 //!   (within any window of `SLOTS` consecutive buckets, each residue
-//!   `index mod SLOTS` occurs once),
+//!   `index mod SLOTS` occurs once), and its occupancy bit is set iff the
+//!   slot is non-empty (the cursor's own slot is never occupied: a push
+//!   into the cursor bucket spills, and a wrap-around to the same residue
+//!   is at least `SLOTS` buckets away, which overflows),
 //! * the same bucket index may appear in both the ring and the overflow
 //!   (pushed under different cursors); advancing drains both.
 
-use crate::event::{EventPayload, QueuedEvent};
+use crate::event::{lane_class, EventPayload, PayloadArena, QueuedEvent, LANES};
 use gcs_clocks::Time;
+use std::cmp::Ordering;
 use std::collections::{BTreeMap, BinaryHeap};
 
 /// Number of ring buckets. With `width = T/4` the ring covers `128·T` of
 /// simulated time ahead of the cursor before events spill to the overflow
 /// map.
 pub const SLOTS: usize = 512;
+
+/// Words in the ring occupancy bitmap.
+const WORDS: usize = SLOTS / 64;
+
+/// The fixed-size queue record of one pending event: the total-order key
+/// `(time, class, seq)` (class derived from the lane tag) plus the
+/// payload's arena address. 24 bytes against the 56 of a full
+/// [`QueuedEvent`].
+#[derive(Clone, Copy, Debug)]
+struct PackedEvent {
+    /// When the event fires.
+    time: Time,
+    /// Insertion (or reservation) sequence number.
+    seq: u64,
+    /// Slot index in the payload lane.
+    handle: u32,
+    /// Payload lane (see `event::LANE_*`); encodes the class rank.
+    lane: u8,
+}
+
+impl PackedEvent {
+    /// The total-order key all queues pop in — identical to
+    /// [`QueuedEvent::key`] of the reconstructed event.
+    #[inline]
+    fn key(&self) -> (Time, u8, u64) {
+        (self.time, lane_class(self.lane), self.seq)
+    }
+}
+
+impl PartialEq for PackedEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for PackedEvent {}
+
+impl Ord for PackedEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest key pops first.
+        other.key().cmp(&self.key())
+    }
+}
+
+impl PartialOrd for PackedEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
 
 /// A calendar event queue with heap-identical pop order.
 ///
@@ -56,20 +132,26 @@ pub struct TimeWheel {
     width: f64,
     /// Ring of future buckets; slot `b % SLOTS` holds bucket `b` while
     /// `cursor < b < cursor + SLOTS`.
-    ring: Box<[Vec<QueuedEvent>]>,
+    ring: Box<[Vec<PackedEvent>]>,
+    /// One bit per ring slot, set iff the slot is non-empty; `advance`
+    /// finds the next bucket with a trailing-zeros scan instead of
+    /// probing up to `SLOTS` `Vec` headers.
+    occupied: [u64; WORDS],
     /// Events in ring slots (excludes `current`, `spill` and `overflow`).
     ring_len: usize,
     /// Absolute index of the bucket currently being drained.
     cursor: u64,
-    /// Events of bucket `cursor`, sorted ascending by `(time, seq)`;
-    /// `cur_idx` points at the next one to pop.
-    current: Vec<QueuedEvent>,
+    /// Events of bucket `cursor`, sorted ascending by key; `cur_idx`
+    /// points at the next one to pop.
+    current: Vec<PackedEvent>,
     /// Consumption index into `current`.
     cur_idx: usize,
     /// Events pushed into bucket `cursor` after it was sorted.
-    spill: BinaryHeap<QueuedEvent>,
+    spill: BinaryHeap<PackedEvent>,
     /// Buckets at or beyond `cursor + SLOTS` at push time.
-    overflow: BTreeMap<u64, Vec<QueuedEvent>>,
+    overflow: BTreeMap<u64, Vec<PackedEvent>>,
+    /// Payload storage for every pending record.
+    arena: PayloadArena,
     /// Total pending events.
     len: usize,
     /// Insertion sequence counter (global tie-break, like `EventQueue`).
@@ -89,12 +171,14 @@ impl TimeWheel {
         TimeWheel {
             width,
             ring: (0..SLOTS).map(|_| Vec::new()).collect(),
+            occupied: [0; WORDS],
             ring_len: 0,
             cursor: 0,
             current: Vec::new(),
             cur_idx: 0,
             spill: BinaryHeap::new(),
             overflow: BTreeMap::new(),
+            arena: PayloadArena::default(),
             len: 0,
             next_seq: 0,
             last_popped: Time::ZERO,
@@ -111,14 +195,46 @@ impl TimeWheel {
     /// order; topology payloads order before others at the same instant
     /// (see [`QueuedEvent::key`]).
     pub fn push(&mut self, time: Time, payload: EventPayload) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.insert(time, seq, payload);
+    }
+
+    /// Claims `n` consecutive sequence numbers without inserting anything,
+    /// returning the first. A caller staging events outside the wheel
+    /// reserves their seqs at *pull* time — the point a direct `push`
+    /// would have assigned them — so later pushes keep the exact sequence
+    /// numbers they would have had, and the staged events' eventual
+    /// admission order is fixed by the reservation, not the admission
+    /// instant.
+    pub fn reserve_seqs(&mut self, n: u64) -> u64 {
+        let first = self.next_seq;
+        self.next_seq += n;
+        first
+    }
+
+    /// Schedules `payload` at `time` under a previously
+    /// [reserved](Self::reserve_seqs) sequence number. The caller must
+    /// admit the event before its instant pops (the engine admits staged
+    /// events whenever they are due no later than the wheel's next event).
+    pub fn push_reserved(&mut self, time: Time, seq: u64, payload: EventPayload) {
+        debug_assert!(seq < self.next_seq, "seq {seq} was never reserved");
+        self.insert(time, seq, payload);
+    }
+
+    fn insert(&mut self, time: Time, seq: u64, payload: EventPayload) {
         debug_assert!(
             time >= self.last_popped,
             "push at {time:?} behind the last popped event ({:?})",
             self.last_popped
         );
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        let ev = QueuedEvent { time, seq, payload };
+        let (lane, handle) = self.arena.alloc(&payload);
+        let ev = PackedEvent {
+            time,
+            seq,
+            handle,
+            lane,
+        };
         let bucket = self.bucket_of(time);
         self.len += 1;
         if bucket <= self.cursor {
@@ -128,7 +244,11 @@ impl TimeWheel {
             // consulted on every pop, so order is preserved either way.
             self.spill.push(ev);
         } else if bucket < self.cursor + SLOTS as u64 {
-            self.ring[(bucket % SLOTS as u64) as usize].push(ev);
+            let slot = (bucket % SLOTS as u64) as usize;
+            if self.ring[slot].is_empty() {
+                self.occupied[slot / 64] |= 1u64 << (slot % 64);
+            }
+            self.ring[slot].push(ev);
             self.ring_len += 1;
         } else {
             self.overflow.entry(bucket).or_default().push(ev);
@@ -141,21 +261,45 @@ impl TimeWheel {
         self.cur_idx < self.current.len() || !self.spill.is_empty()
     }
 
+    /// The earliest non-empty ring bucket strictly after the cursor, via
+    /// the occupancy bitmap: scan words starting at the cursor's
+    /// successor slot, mask off the bits behind the start, and take the
+    /// first set bit. Distance from the cursor grows monotonically along
+    /// the scan (low bits are lower slot numbers), so the first hit is
+    /// the minimum.
+    fn next_ring_bucket(&self) -> Option<u64> {
+        if self.ring_len == 0 {
+            return None;
+        }
+        let base = (self.cursor % SLOTS as u64) as usize;
+        let start = (base + 1) % SLOTS;
+        let (sw, sb) = (start / 64, start % 64);
+        for i in 0..=WORDS {
+            let w = (sw + i) % WORDS;
+            let mut bits = self.occupied[w];
+            if i == 0 {
+                bits &= !0u64 << sb;
+            } else if i == WORDS {
+                // Wrapped back to the start word: only the slots *before*
+                // `start` remain unexamined.
+                bits &= !(!0u64 << sb);
+            }
+            if bits != 0 {
+                let slot = w * 64 + bits.trailing_zeros() as usize;
+                let d = ((slot + SLOTS - base) % SLOTS) as u64;
+                debug_assert!(d != 0, "the cursor's own slot is never occupied");
+                return Some(self.cursor + d);
+            }
+        }
+        unreachable!("ring_len > 0 but no occupancy bit set")
+    }
+
     /// Moves the cursor to the earliest non-empty bucket, sorts it once,
     /// and resets the consumption index. Requires the cursor bucket to be
     /// fully consumed and at least one pending event somewhere.
     fn advance(&mut self) {
         debug_assert!(!self.cursor_has_events() && self.len > 0);
-        // Earliest ring bucket: slot `(cursor + d) % SLOTS` non-empty means
-        // it holds exactly bucket `cursor + d`.
-        let ring_next = if self.ring_len == 0 {
-            None
-        } else {
-            (1..SLOTS as u64).find_map(|d| {
-                let slot = ((self.cursor + d) % SLOTS as u64) as usize;
-                (!self.ring[slot].is_empty()).then_some(self.cursor + d)
-            })
-        };
+        let ring_next = self.next_ring_bucket();
         let overflow_next = self.overflow.keys().next().copied();
         let next = match (ring_next, overflow_next) {
             (Some(r), Some(o)) => r.min(o),
@@ -166,6 +310,7 @@ impl TimeWheel {
         self.cursor = next;
         let slot = (next % SLOTS as u64) as usize;
         self.ring_len -= self.ring[slot].len();
+        self.occupied[slot / 64] &= !(1u64 << (slot % 64));
         // Swap buffers so the drained slot inherits the consumed
         // allocation — steady state allocates nothing.
         self.current.clear();
@@ -178,7 +323,7 @@ impl TimeWheel {
             .current
             .iter()
             .all(|ev| (ev.time.seconds() / self.width) as u64 == next));
-        self.current.sort_unstable_by_key(QueuedEvent::key);
+        self.current.sort_unstable_by_key(PackedEvent::key);
     }
 
     /// Makes the cursor bucket non-empty (advancing if needed); false when
@@ -205,27 +350,30 @@ impl TimeWheel {
         }
     }
 
-    /// Removes and returns the earliest event.
+    /// Removes and returns the earliest event, reconstructing the full
+    /// payload from the arena (which recycles the slot).
     pub fn pop(&mut self) -> Option<QueuedEvent> {
         if !self.ensure_front() {
             return None;
         }
         self.len -= 1;
-        let ev = if self.front_is_spill() {
-            self.spill.pop()
+        let pe = if self.front_is_spill() {
+            self.spill.pop().expect("front_is_spill peeked an event")
         } else {
-            let ev = self.current[self.cur_idx];
+            let pe = self.current[self.cur_idx];
             self.cur_idx += 1;
-            Some(ev)
+            pe
         };
-        if let Some(ev) = &ev {
-            self.last_popped = ev.time;
-        }
-        ev
+        self.last_popped = pe.time;
+        Some(QueuedEvent {
+            time: pe.time,
+            seq: pe.seq,
+            payload: self.arena.take(pe.lane, pe.handle),
+        })
     }
 
-    /// The earliest pending event, advancing the cursor if needed.
-    fn front(&mut self) -> Option<&QueuedEvent> {
+    /// The earliest pending record, advancing the cursor if needed.
+    fn front(&mut self) -> Option<&PackedEvent> {
         if !self.ensure_front() {
             return None;
         }
@@ -249,7 +397,7 @@ impl TimeWheel {
     /// events at the same instant after the round.
     ///
     /// [`pop_instant`]: Self::pop_instant
-    fn peek_in_cursor(&self) -> Option<&QueuedEvent> {
+    fn peek_in_cursor(&self) -> Option<&PackedEvent> {
         let cur = self.current.get(self.cur_idx);
         let sp = self.spill.peek();
         match (cur, sp) {
@@ -279,21 +427,32 @@ impl TimeWheel {
         Some(t)
     }
 
-    /// Heap bytes held by the ring buckets, the cursor bucket, the spill
-    /// heap and the overflow map (the wheel plane's memory meter; B-tree
-    /// node overhead is approximated by the entry payloads).
+    /// Heap bytes held by the packed records (ring buckets, cursor bucket,
+    /// spill heap, overflow map) plus the payload arena columns (the wheel
+    /// plane's memory meter; B-tree node overhead is approximated by the
+    /// entry payloads).
     pub fn heap_bytes(&self) -> usize {
         use std::mem::size_of;
-        let ev = size_of::<QueuedEvent>();
-        self.ring.len() * size_of::<Vec<QueuedEvent>>()
+        let ev = size_of::<PackedEvent>();
+        self.ring.len() * size_of::<Vec<PackedEvent>>()
             + self.ring.iter().map(|b| b.capacity() * ev).sum::<usize>()
             + self.current.capacity() * ev
             + self.spill.capacity() * ev
             + self
                 .overflow
                 .values()
-                .map(|v| size_of::<u64>() + size_of::<Vec<QueuedEvent>>() + v.capacity() * ev)
+                .map(|v| size_of::<u64>() + size_of::<Vec<PackedEvent>>() + v.capacity() * ev)
                 .sum::<usize>()
+            + self.arena.heap_bytes()
+    }
+
+    /// Per-lane peak pending-event counts, indexed
+    /// `[topology, fault, deliver, alarm, discover]` — the high-water
+    /// occupancy of each payload lane over the wheel's lifetime. A
+    /// function of the trace (what was pending when), identical across
+    /// thread counts.
+    pub fn pending_peaks(&self) -> [usize; LANES] {
+        self.arena.peaks()
     }
 
     /// Number of pending events.
@@ -333,7 +492,8 @@ pub(crate) fn topology_prefix_len(round: &[QueuedEvent]) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::event::{EventQueue, TimerKind};
+    use crate::event::{EventQueue, LinkChange, LinkChangeKind, Message, TimerKind};
+    use crate::fault::FaultKind;
     use gcs_clocks::time::at;
     use gcs_net::node;
     use rand::rngs::StdRng;
@@ -367,6 +527,69 @@ mod tests {
         }
         let order: Vec<u64> = std::iter::from_fn(|| w.pop()).map(|e| e.seq).collect();
         assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pop_reconstructs_the_pushed_payload() {
+        // The packed plane splits key from payload; a pop must hand back
+        // exactly the payload that went in, for every lane.
+        let mut w = TimeWheel::new(0.25);
+        let payloads = vec![
+            EventPayload::Topology {
+                kind: LinkChangeKind::Added,
+                edge: gcs_net::Edge::between(1, 2),
+                version: 7,
+            },
+            EventPayload::Fault {
+                kind: FaultKind::Crash { node: node(3) },
+            },
+            EventPayload::Deliver {
+                from: node(4),
+                to: node(5),
+                msg: Message {
+                    logical: 1.5,
+                    max_estimate: 2.5,
+                },
+                epoch: 9,
+            },
+            EventPayload::Alarm {
+                node: node(6),
+                kind: TimerKind::Lost(node(7)),
+                generation: 11,
+            },
+            EventPayload::Discover {
+                node: node(8),
+                change: LinkChange {
+                    kind: LinkChangeKind::Removed,
+                    edge: gcs_net::Edge::between(8, 9),
+                },
+                version: 13,
+            },
+        ];
+        for (i, p) in payloads.iter().enumerate() {
+            w.push(at(1.0 + i as f64), *p);
+        }
+        for p in &payloads {
+            assert_eq!(&w.pop().unwrap().payload, p);
+        }
+        assert!(w.is_empty());
+        // Every lane peaked at exactly one pending event.
+        assert_eq!(w.pending_peaks(), [1, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn reserved_seqs_fix_the_order_regardless_of_admission_time() {
+        // Reserve a trio up front, push later events first, then admit the
+        // reserved ones — ties at the same instant must still pop in
+        // reservation order, exactly as if they had been pushed eagerly.
+        let mut w = TimeWheel::new(0.25);
+        let first = w.reserve_seqs(2);
+        assert_eq!(first, 0);
+        w.push(at(2.0), alarm(100)); // seq 2
+        w.push_reserved(at(2.0), first + 1, alarm(1));
+        w.push_reserved(at(2.0), first, alarm(0));
+        let order: Vec<u64> = std::iter::from_fn(|| w.pop()).map(|e| e.seq).collect();
+        assert_eq!(order, vec![0, 1, 2]);
     }
 
     #[test]
@@ -440,9 +663,52 @@ mod tests {
         assert!(w.pop().is_none());
     }
 
+    /// One random payload, cycling through every lane so class ranks and
+    /// arena round-trips both get differential coverage.
+    fn mixed_payload(step: usize, rng: &mut StdRng) -> EventPayload {
+        match rng.gen_range(0..5) {
+            0 => EventPayload::Topology {
+                kind: if step.is_multiple_of(2) {
+                    LinkChangeKind::Added
+                } else {
+                    LinkChangeKind::Removed
+                },
+                edge: gcs_net::Edge::between(step, step + 1),
+                version: step as u64,
+            },
+            1 => EventPayload::Fault {
+                kind: FaultKind::Crash { node: node(step) },
+            },
+            2 => EventPayload::Deliver {
+                from: node(step),
+                to: node(step + 1),
+                msg: Message {
+                    logical: step as f64,
+                    max_estimate: step as f64 + 0.5,
+                },
+                epoch: step as u64,
+            },
+            3 => EventPayload::Discover {
+                node: node(step),
+                change: LinkChange {
+                    kind: LinkChangeKind::Added,
+                    edge: gcs_net::Edge::between(step, step + 2),
+                },
+                version: step as u64,
+            },
+            _ => alarm(step),
+        }
+    }
+
     #[test]
     fn matches_heap_order_on_random_workload() {
-        // Differential test: random interleaved push/pop against EventQueue.
+        // Differential test: random interleaved push/pop against
+        // EventQueue, over *mixed* payload classes — same-instant ties
+        // across Topology/Fault/protocol exercise the class ranking, the
+        // far-future spikes exercise the overflow map, and pushes at or
+        // just after a pop land in cursor/skipped buckets (the spill
+        // path). Payload equality checks the arena round-trip under
+        // recycling.
         let mut rng = StdRng::seed_from_u64(7);
         let mut heap = EventQueue::new();
         let mut wheel = TimeWheel::new(0.25);
@@ -452,18 +718,23 @@ mod tests {
         for step in 0..5000 {
             if rng.gen_bool(0.6) || heap.is_empty() {
                 // Pushes go to "now or later" with occasional far-future
-                // spikes, like pre-scheduled churn.
+                // spikes, like pre-scheduled churn; dt = 0.0 re-targets
+                // the instant (and bucket) that just popped.
                 let dt = if rng.gen_bool(0.02) {
                     rng.gen_range(100.0..400.0)
+                } else if rng.gen_bool(0.1) {
+                    0.0
                 } else {
                     rng.gen_range(0.0..3.0)
                 };
-                heap.push(at(t + dt), alarm(step));
-                wheel.push(at(t + dt), alarm(step));
+                let payload = mixed_payload(step, &mut rng);
+                heap.push(at(t + dt), payload);
+                wheel.push(at(t + dt), payload);
             } else {
                 let a = heap.pop().unwrap();
                 let b = wheel.pop().unwrap();
                 assert_eq!((a.time, a.seq), (b.time, b.seq), "step {step}");
+                assert_eq!(a.payload, b.payload, "step {step}");
                 t = a.time.seconds();
                 popped_h.push(a.seq);
                 popped.push(b.seq);
@@ -473,9 +744,68 @@ mod tests {
         while let Some(a) = heap.pop() {
             let b = wheel.pop().unwrap();
             assert_eq!((a.time, a.seq), (b.time, b.seq));
+            assert_eq!(a.payload, b.payload);
         }
         assert!(wheel.is_empty());
         assert_eq!(popped, popped_h);
+    }
+
+    #[test]
+    fn matches_heap_order_through_skipped_buckets_and_spill() {
+        // Force the paths the uniform workload hits only rarely: long
+        // cursor jumps (ring wrap + overflow promotion) followed by
+        // pushes *behind* the cursor into skipped buckets.
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut heap = EventQueue::new();
+        let mut wheel = TimeWheel::new(0.25);
+        let mut t = 0.0f64;
+        for step in 0..2000 {
+            match rng.gen_range(0..4) {
+                // A far-future anchor, then drain to it: the cursor leaps
+                // over hundreds of empty (skipped) buckets.
+                0 => {
+                    let far = t + rng.gen_range(50.0..300.0);
+                    let p = mixed_payload(step, &mut rng);
+                    heap.push(at(far), p);
+                    wheel.push(at(far), p);
+                }
+                // A push at the current instant or barely after — the
+                // cursor bucket (spill) path.
+                1 => {
+                    let dt = rng.gen_range(0.0..0.05);
+                    let p = mixed_payload(step, &mut rng);
+                    heap.push(at(t + dt), p);
+                    wheel.push(at(t + dt), p);
+                }
+                // A "lazily pulled" event between now and the next
+                // pending event: often a skipped bucket behind the
+                // cursor after a long jump.
+                2 => {
+                    let next = wheel.peek_time().map_or(t + 10.0, |n| n.seconds());
+                    if next > t {
+                        let mid = t + (next - t) * rng.gen_range(0.0..1.0);
+                        let p = mixed_payload(step, &mut rng);
+                        heap.push(at(mid), p);
+                        wheel.push(at(mid), p);
+                    }
+                }
+                _ => {
+                    if let Some(a) = heap.pop() {
+                        let b = wheel.pop().unwrap();
+                        assert_eq!((a.time, a.seq), (b.time, b.seq), "step {step}");
+                        assert_eq!(a.payload, b.payload, "step {step}");
+                        t = a.time.seconds();
+                    }
+                }
+            }
+            assert_eq!(heap.len(), wheel.len());
+        }
+        while let Some(a) = heap.pop() {
+            let b = wheel.pop().unwrap();
+            assert_eq!((a.time, a.seq), (b.time, b.seq));
+            assert_eq!(a.payload, b.payload);
+        }
+        assert!(wheel.is_empty());
     }
 
     #[test]
@@ -563,5 +893,27 @@ mod tests {
         assert_eq!(w.pop_instant(&mut buf), Some(at(10.0)));
         assert_eq!(buf.len(), 2);
         assert_eq!(buf[0].payload.class_rank(), 0, "topology first");
+    }
+
+    #[test]
+    fn occupancy_bitmap_tracks_ring_slots_across_wraps() {
+        // March the cursor several times around the ring with sparse
+        // events, so `advance` repeatedly crosses word boundaries and the
+        // wrap-around word of the bitmap scan.
+        let mut w = TimeWheel::new(0.25);
+        let mut expect = Vec::new();
+        // Slot stride of 97 (coprime to 512) visits residues in a
+        // scattered order while staying inside the ring horizon.
+        for i in 0..300u64 {
+            let t = 0.26 + ((i * 97) % 511) as f64 * 0.25;
+            expect.push(t);
+            w.push(at(t), alarm(i as usize));
+        }
+        expect.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let got: Vec<f64> = std::iter::from_fn(|| w.pop())
+            .map(|e| e.time.seconds())
+            .collect();
+        assert_eq!(got, expect);
+        assert!(w.is_empty());
     }
 }
